@@ -1,0 +1,162 @@
+use crate::krum::krum_scores;
+use crate::types::finite_updates;
+use crate::{AggError, Aggregation, Defense, Selection};
+
+/// Bulyan (El Mhamdi et al., 2018): two-stage robust aggregation.
+///
+/// 1. **Selection** — iteratively run Krum, each time moving the
+///    lowest-score update into the selection set `S` and removing it from
+///    the pool, until `|S| = θ = n − 2f`.
+/// 2. **Aggregation** — per coordinate, average the `β = θ − 2f` values of
+///    `S` closest to the coordinate-wise median.
+///
+/// The paper calls Bulyan the most aggressive of its four defenses; with
+/// `n = 10, f = 2` it keeps θ = 6 updates and averages the β = 2 most
+/// median-like values per coordinate.
+#[derive(Debug, Clone, Copy)]
+pub struct Bulyan {
+    f: usize,
+}
+
+impl Bulyan {
+    /// Creates Bulyan tolerating `f` Byzantine clients.
+    pub fn new(f: usize) -> Bulyan {
+        Bulyan { f }
+    }
+}
+
+impl Defense for Bulyan {
+    fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
+        let (idx, refs) = finite_updates(updates)?;
+        let n = refs.len();
+        let f = self.f;
+        // Need θ = n − 2f ≥ 1 and the Krum precondition on the *last*
+        // selection round: pool size n − θ + 1 ≥ f + 3.
+        let theta = n.checked_sub(2 * f).filter(|&t| t >= 1).ok_or(
+            AggError::TooFewUpdates { rule: "bulyan", needed: 2 * f + 1, got: n },
+        )?;
+        let beta = theta.saturating_sub(2 * f).max(1);
+        if n < theta + f + 2 {
+            return Err(AggError::TooFewUpdates {
+                rule: "bulyan",
+                needed: theta + f + 2,
+                got: n,
+            });
+        }
+
+        // Stage 1: iterative Krum selection.
+        let mut pool: Vec<usize> = (0..n).collect(); // local indices
+        let mut selected: Vec<usize> = Vec::with_capacity(theta);
+        while selected.len() < theta {
+            let pool_refs: Vec<&[f32]> = pool.iter().map(|&i| refs[i]).collect();
+            let scores = krum_scores(&pool_refs, f)?;
+            let best_pos = scores
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .expect("pool nonempty");
+            selected.push(pool.remove(best_pos));
+        }
+
+        // Stage 2: per-coordinate trimmed mean around the median.
+        let d = refs[0].len();
+        let mut model = vec![0.0f32; d];
+        let mut column = vec![0.0f32; theta];
+        for (coord, out) in model.iter_mut().enumerate() {
+            for (slot, &sel) in column.iter_mut().zip(&selected) {
+                *slot = refs[sel][coord];
+            }
+            let mut sorted = column.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let med = if theta % 2 == 1 {
+                sorted[theta / 2]
+            } else {
+                0.5 * (sorted[theta / 2 - 1] + sorted[theta / 2])
+            };
+            // β values closest to the median.
+            let mut by_closeness: Vec<f32> = column.clone();
+            by_closeness.sort_by(|a, b| {
+                (a - med)
+                    .abs()
+                    .partial_cmp(&(b - med).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            *out = by_closeness[..beta].iter().sum::<f32>() / beta as f32;
+        }
+
+        let mut chosen: Vec<usize> = selected.iter().map(|&i| idx[i]).collect();
+        chosen.sort_unstable();
+        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        Ok(Aggregation { model, selection: Selection::Chosen(chosen), rejected_non_finite: rejected })
+    }
+
+    fn name(&self) -> &'static str {
+        "Bulyan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benign_cluster(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let eps = (i as f32 * 0.713).sin() * 0.1;
+                vec![1.0 + eps, -1.0 - eps, 0.5 + 0.5 * eps]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn excludes_large_outliers_from_selection() {
+        let mut ups = benign_cluster(8);
+        ups.push(vec![100.0, 100.0, 100.0]);
+        ups.push(vec![-100.0, -100.0, -100.0]);
+        let agg = Bulyan::new(2).aggregate(&ups, &[1.0; 10]).unwrap();
+        match agg.selection {
+            Selection::Chosen(ref c) => {
+                assert_eq!(c.len(), 6); // θ = 10 − 4
+                assert!(!c.contains(&8) && !c.contains(&9));
+            }
+            _ => panic!(),
+        }
+        assert!((agg.model[0] - 1.0).abs() < 0.2, "{:?}", agg.model);
+    }
+
+    #[test]
+    fn paper_geometry_n10_f2() {
+        let ups = benign_cluster(10);
+        let agg = Bulyan::new(2).aggregate(&ups, &[1.0; 10]).unwrap();
+        match agg.selection {
+            Selection::Chosen(ref c) => assert_eq!(c.len(), 6),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn output_bounded_by_selected_values() {
+        let ups = benign_cluster(10);
+        let agg = Bulyan::new(2).aggregate(&ups, &[1.0; 10]).unwrap();
+        for coord in 0..3 {
+            let lo = ups.iter().map(|u| u[coord]).fold(f32::INFINITY, f32::min);
+            let hi = ups.iter().map(|u| u[coord]).fold(f32::NEG_INFINITY, f32::max);
+            assert!(agg.model[coord] >= lo && agg.model[coord] <= hi);
+        }
+    }
+
+    #[test]
+    fn too_few_updates_error() {
+        // θ = n − 2f underflows at n = 4, f = 2.
+        let ups = benign_cluster(4);
+        assert!(matches!(
+            Bulyan::new(2).aggregate(&ups, &[1.0; 4]),
+            Err(AggError::TooFewUpdates { .. })
+        ));
+        // n = 5 is degenerate (θ = 1) but valid under the paper's relaxed
+        // geometry (the paper itself runs n = 10 < 4f + 3): must succeed.
+        let ups5 = benign_cluster(5);
+        assert!(Bulyan::new(2).aggregate(&ups5, &[1.0; 5]).is_ok());
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Error type for aggregation rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggError {
+    /// No (finite) updates were available to aggregate.
+    NoUpdates,
+    /// Updates (or the weight vector) had inconsistent lengths.
+    LengthMismatch {
+        /// Length of the first update / expected length.
+        expected: usize,
+        /// Offending length encountered.
+        actual: usize,
+    },
+    /// The rule's robustness precondition on the number of updates failed
+    /// (e.g. Krum needs `n >= f + 3`).
+    TooFewUpdates {
+        /// Name of the rule.
+        rule: &'static str,
+        /// Minimum required number of updates.
+        needed: usize,
+        /// Number of updates provided (after non-finite filtering).
+        got: usize,
+    },
+    /// A rule parameter was invalid at construction time.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::NoUpdates => write!(f, "no finite updates to aggregate"),
+            AggError::LengthMismatch { expected, actual } => {
+                write!(f, "update length {actual} differs from expected {expected}")
+            }
+            AggError::TooFewUpdates { rule, needed, got } => {
+                write!(f, "`{rule}` needs at least {needed} updates, got {got}")
+            }
+            AggError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(AggError::NoUpdates.to_string().contains("no finite"));
+        assert!(AggError::LengthMismatch { expected: 2, actual: 3 }.to_string().contains('3'));
+        assert!(AggError::TooFewUpdates { rule: "krum", needed: 4, got: 2 }
+            .to_string()
+            .contains("krum"));
+        assert!(AggError::InvalidParameter("f too big".into()).to_string().contains("f too big"));
+    }
+}

@@ -1,0 +1,82 @@
+use crate::types::finite_updates;
+use crate::{AggError, Aggregation, Defense, Selection};
+
+/// FedAvg (McMahan et al., 2017): the sample-count-weighted average of all
+/// submitted updates — Eq. 2 of the paper. Offers no Byzantine robustness;
+/// it is the "no defense" baseline whose accuracy defines `acc_natk`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+impl FedAvg {
+    /// Creates the rule.
+    pub fn new() -> FedAvg {
+        FedAvg
+    }
+}
+
+impl Defense for FedAvg {
+    fn aggregate(&self, updates: &[Vec<f32>], weights: &[f32]) -> Result<Aggregation, AggError> {
+        if weights.len() != updates.len() {
+            return Err(AggError::LengthMismatch {
+                expected: updates.len(),
+                actual: weights.len(),
+            });
+        }
+        let (idx, refs) = finite_updates(updates)?;
+        let kept_weights: Vec<f32> = idx.iter().map(|&i| weights[i]).collect();
+        let total: f32 = kept_weights.iter().sum();
+        if total <= 0.0 {
+            return Err(AggError::InvalidParameter("total client weight is zero".into()));
+        }
+        let d = refs[0].len();
+        let mut model = vec![0.0f32; d];
+        for (r, &w) in refs.iter().zip(&kept_weights) {
+            let alpha = w / total;
+            for (m, &v) in model.iter_mut().zip(*r) {
+                *m += alpha * v;
+            }
+        }
+        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        Ok(Aggregation { model, selection: Selection::Chosen(idx), rejected_non_finite: rejected })
+    }
+
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_average() {
+        let ups = vec![vec![0.0, 0.0], vec![3.0, 6.0]];
+        let agg = FedAvg::new().aggregate(&ups, &[1.0, 2.0]).unwrap();
+        assert_eq!(agg.model, vec![2.0, 4.0]);
+        assert_eq!(agg.selection, Selection::Chosen(vec![0, 1]));
+        assert!(agg.rejected_non_finite.is_empty());
+    }
+
+    #[test]
+    fn equal_weights_give_plain_mean() {
+        let ups = vec![vec![1.0], vec![3.0]];
+        let agg = FedAvg::new().aggregate(&ups, &[5.0, 5.0]).unwrap();
+        assert_eq!(agg.model, vec![2.0]);
+    }
+
+    #[test]
+    fn nan_update_is_rejected_not_propagated() {
+        let ups = vec![vec![1.0], vec![f32::NAN]];
+        let agg = FedAvg::new().aggregate(&ups, &[1.0, 1.0]).unwrap();
+        assert_eq!(agg.model, vec![1.0]);
+        assert_eq!(agg.rejected_non_finite, vec![1]);
+    }
+
+    #[test]
+    fn errors_on_bad_weights() {
+        let ups = vec![vec![1.0]];
+        assert!(FedAvg::new().aggregate(&ups, &[]).is_err());
+        assert!(FedAvg::new().aggregate(&ups, &[0.0]).is_err());
+    }
+}

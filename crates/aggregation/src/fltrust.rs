@@ -1,0 +1,162 @@
+//! FLTrust-style aggregation (Cao et al., NDSS 2021) — an extension in the
+//! "stronger defenses" direction of the paper's conclusion.
+//!
+//! The server owns a small clean *root dataset* and computes its own
+//! reference update every round; client updates are (a) trust-scored by
+//! the ReLU-clipped cosine similarity of their *delta* to the server's
+//! delta and (b) magnitude-normalized to the server delta's norm, then
+//! averaged with trust weights.
+//!
+//! The aggregation itself is pure vector math and lives here; *producing*
+//! the server update requires training and is driven by the simulator
+//! (`fabflip-fl`), which owns models and data.
+
+use crate::types::finite_updates;
+use crate::{AggError, Aggregation, Selection};
+use fabflip_tensor::vecops;
+
+/// Minimum trust score for an update to count as "selected" for DPR.
+pub const FLTRUST_SELECT_CUTOFF: f32 = 1e-3;
+
+/// FLTrust aggregation given the current global model and the server's own
+/// root-data update (both full weight vectors, like client updates).
+///
+/// Returns the new global model; [`Selection::Chosen`] lists the updates
+/// with positive trust.
+///
+/// # Errors
+///
+/// Returns [`AggError`] when updates are empty/ragged or the global /
+/// server vectors have mismatched lengths.
+pub fn fltrust_aggregate(
+    updates: &[Vec<f32>],
+    global: &[f32],
+    server_update: &[f32],
+) -> Result<Aggregation, AggError> {
+    let (idx, refs) = finite_updates(updates)?;
+    let d = refs[0].len();
+    if global.len() != d {
+        return Err(AggError::LengthMismatch { expected: d, actual: global.len() });
+    }
+    if server_update.len() != d {
+        return Err(AggError::LengthMismatch { expected: d, actual: server_update.len() });
+    }
+    let g0 = vecops::sub(server_update, global);
+    let g0_norm = vecops::l2_norm(&g0);
+    if g0_norm < 1e-12 {
+        // Degenerate server step: keep the global model unchanged rather
+        // than dividing by zero.
+        return Ok(Aggregation {
+            model: global.to_vec(),
+            selection: Selection::Chosen(Vec::new()),
+            rejected_non_finite: (0..updates.len()).filter(|i| !idx.contains(i)).collect(),
+        });
+    }
+
+    let mut trust = Vec::with_capacity(refs.len());
+    let mut normalized: Vec<Vec<f32>> = Vec::with_capacity(refs.len());
+    for r in &refs {
+        let gi = vecops::sub(r, global);
+        let gi_norm = vecops::l2_norm(&gi);
+        let cos = if gi_norm < 1e-12 {
+            0.0
+        } else {
+            (vecops::dot(&gi, &g0) / (gi_norm * g0_norm)).clamp(-1.0, 1.0)
+        };
+        trust.push(cos.max(0.0)); // ReLU clip
+        let scale = if gi_norm < 1e-12 { 0.0 } else { g0_norm / gi_norm };
+        normalized.push(vecops::scale(&gi, scale));
+    }
+    let total: f32 = trust.iter().sum();
+    let mut model = global.to_vec();
+    if total > 0.0 {
+        for (gi, &ts) in normalized.iter().zip(&trust) {
+            vecops::axpy_in_place(&mut model, ts / total, gi);
+        }
+    } else {
+        // No client trusted this round: take the server's own step, the
+        // reference behaviour that keeps training alive under full attack.
+        vecops::axpy_in_place(&mut model, 1.0, &g0);
+    }
+    let chosen: Vec<usize> = idx
+        .iter()
+        .zip(&trust)
+        .filter(|(_, &ts)| ts >= FLTRUST_SELECT_CUTOFF)
+        .map(|(&i, _)| i)
+        .collect();
+    Ok(Aggregation {
+        model,
+        selection: Selection::Chosen(chosen),
+        rejected_non_finite: (0..updates.len()).filter(|i| !idx.contains(i)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trusts_aligned_updates_and_zeroes_opposed_ones() {
+        let global = vec![0.0f32; 3];
+        let server = vec![1.0f32, 0.0, 0.0]; // delta = +x
+        let updates = vec![
+            vec![2.0f32, 0.0, 0.0],  // aligned (cos 1)
+            vec![-1.0f32, 0.0, 0.0], // opposed (cos -1 → trust 0)
+        ];
+        let agg = fltrust_aggregate(&updates, &global, &server).unwrap();
+        match agg.selection {
+            Selection::Chosen(ref c) => assert_eq!(c, &vec![0]),
+            _ => panic!(),
+        }
+        // Aggregate = trust-weighted, magnitude-normalized: exactly g0.
+        assert!((agg.model[0] - 1.0).abs() < 1e-5, "{:?}", agg.model);
+        assert!(agg.model[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn magnitude_normalization_caps_scaled_attacks() {
+        // A boosted update in the right direction gains no extra weight.
+        let global = vec![0.0f32; 2];
+        let server = vec![1.0f32, 0.0];
+        let updates = vec![vec![1000.0f32, 0.0]];
+        let agg = fltrust_aggregate(&updates, &global, &server).unwrap();
+        assert!((agg.model[0] - 1.0).abs() < 1e-4, "{:?}", agg.model);
+    }
+
+    #[test]
+    fn all_untrusted_round_takes_the_server_step() {
+        let global = vec![1.0f32, 1.0];
+        let server = vec![1.5f32, 1.0]; // delta +0.5 on x
+        let updates = vec![vec![0.0f32, 1.0], vec![0.5, 1.0]]; // all opposed
+        let agg = fltrust_aggregate(&updates, &global, &server).unwrap();
+        assert!((agg.model[0] - 1.5).abs() < 1e-6);
+        match agg.selection {
+            Selection::Chosen(ref c) => assert!(c.is_empty()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn degenerate_server_step_is_a_noop() {
+        let global = vec![1.0f32, 2.0];
+        let agg = fltrust_aggregate(&[vec![5.0, 5.0]], &global, &global).unwrap();
+        assert_eq!(agg.model, global);
+    }
+
+    #[test]
+    fn length_mismatches_are_rejected() {
+        let updates = vec![vec![1.0f32, 2.0]];
+        assert!(fltrust_aggregate(&updates, &[0.0], &[0.0, 0.0]).is_err());
+        assert!(fltrust_aggregate(&updates, &[0.0, 0.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn nan_updates_are_filtered_first() {
+        let global = vec![0.0f32; 2];
+        let server = vec![1.0f32, 0.0];
+        let updates = vec![vec![f32::NAN, 0.0], vec![2.0, 0.0]];
+        let agg = fltrust_aggregate(&updates, &global, &server).unwrap();
+        assert_eq!(agg.rejected_non_finite, vec![0]);
+        assert!(agg.model.iter().all(|v| v.is_finite()));
+    }
+}

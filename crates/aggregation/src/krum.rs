@@ -1,0 +1,280 @@
+use crate::types::finite_updates;
+use crate::{AggError, Aggregation, Defense, Selection};
+use fabflip_tensor::vecops;
+
+/// Computes Krum scores (Blanchard et al., 2017): for each update, the sum
+/// of squared L2 distances to its `n − f − 2` nearest other updates. Lower
+/// is "more central".
+///
+/// # Errors
+///
+/// Returns [`AggError::TooFewUpdates`] when `n < f + 3`.
+pub fn krum_scores(refs: &[&[f32]], f: usize) -> Result<Vec<f32>, AggError> {
+    let n = refs.len();
+    if n < f + 3 {
+        return Err(AggError::TooFewUpdates { rule: "krum", needed: f + 3, got: n });
+    }
+    let k = n - f - 2;
+    let dists = vecops::pairwise_sq_distances(refs);
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row: Vec<f32> = (0..n).filter(|&j| j != i).map(|j| dists[i][j]).collect();
+        row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        scores.push(row[..k].iter().sum());
+    }
+    Ok(scores)
+}
+
+/// Classic Krum: selects the single update with the lowest score.
+#[derive(Debug, Clone, Copy)]
+pub struct Krum {
+    f: usize,
+}
+
+impl Krum {
+    /// Creates Krum tolerating `f` Byzantine clients.
+    pub fn new(f: usize) -> Krum {
+        Krum { f }
+    }
+}
+
+impl Defense for Krum {
+    fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
+        let (idx, refs) = finite_updates(updates)?;
+        let scores = krum_scores(&refs, self.f)?;
+        let best = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .expect("scores nonempty");
+        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        Ok(Aggregation {
+            model: refs[best].to_vec(),
+            selection: Selection::Chosen(vec![idx[best]]),
+            rejected_non_finite: rejected,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Krum"
+    }
+}
+
+/// Multi-Krum (mKrum): selects the `m` lowest-score updates and averages
+/// them — interpolating between Krum (`m = 1`) and plain averaging
+/// (`m = n`). The paper's default is `m = n − f − 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiKrum {
+    f: usize,
+    m: Option<usize>,
+}
+
+impl MultiKrum {
+    /// Creates Multi-Krum tolerating `f` Byzantine clients and selecting
+    /// exactly `m` updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::InvalidParameter`] when `m == 0`.
+    pub fn new(f: usize, m: usize) -> Result<MultiKrum, AggError> {
+        if m == 0 {
+            return Err(AggError::InvalidParameter("mKrum needs m >= 1".into()));
+        }
+        Ok(MultiKrum { f, m: Some(m) })
+    }
+
+    /// Creates Multi-Krum with the default selection size `m = n − f − 2`
+    /// (resolved per round from the number of submitted updates).
+    pub fn with_default_m(f: usize) -> MultiKrum {
+        MultiKrum { f, m: None }
+    }
+}
+
+impl Defense for MultiKrum {
+    fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
+        let (idx, refs) = finite_updates(updates)?;
+        let n = refs.len();
+        let scores = krum_scores(&refs, self.f)?;
+        let m = self.m.unwrap_or_else(|| (n - self.f - 2).max(1)).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let chosen_local = &order[..m];
+        let chosen_refs: Vec<&[f32]> = chosen_local.iter().map(|&i| refs[i]).collect();
+        let model = vecops::mean(&chosen_refs);
+        let mut chosen: Vec<usize> = chosen_local.iter().map(|&i| idx[i]).collect();
+        chosen.sort_unstable();
+        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        Ok(Aggregation { model, selection: Selection::Chosen(chosen), rejected_non_finite: rejected })
+    }
+
+    fn name(&self) -> &'static str {
+        "mKrum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_outlier() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 1.0],
+            vec![1.1, 0.9],
+            vec![0.9, 1.1],
+            vec![1.05, 1.0],
+            vec![0.95, 1.0],
+            vec![50.0, -50.0],
+        ]
+    }
+
+    #[test]
+    fn scores_rank_outlier_last() {
+        let ups = cluster_with_outlier();
+        let refs: Vec<&[f32]> = ups.iter().map(|u| u.as_slice()).collect();
+        let scores = krum_scores(&refs, 1).unwrap();
+        let worst = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(worst, 5);
+    }
+
+    #[test]
+    fn krum_picks_a_cluster_member() {
+        let ups = cluster_with_outlier();
+        let agg = Krum::new(1).aggregate(&ups, &[1.0; 6]).unwrap();
+        match agg.selection {
+            Selection::Chosen(ref c) => {
+                assert_eq!(c.len(), 1);
+                assert!(c[0] < 5, "picked the outlier");
+            }
+            _ => panic!("krum must report a selection"),
+        }
+        // Output equals the chosen update verbatim.
+        assert!((agg.model[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn mkrum_excludes_outlier_and_averages() {
+        let ups = cluster_with_outlier();
+        let agg = MultiKrum::new(1, 3).unwrap().aggregate(&ups, &[1.0; 6]).unwrap();
+        match agg.selection {
+            Selection::Chosen(ref c) => {
+                assert_eq!(c.len(), 3);
+                assert!(!c.contains(&5));
+            }
+            _ => panic!(),
+        }
+        assert!((agg.model[0] - 1.0).abs() < 0.15);
+        assert!((agg.model[1] - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn default_m_is_n_minus_f_minus_2() {
+        let ups = cluster_with_outlier(); // n = 6
+        let agg = MultiKrum::with_default_m(1).aggregate(&ups, &[1.0; 6]).unwrap();
+        match agg.selection {
+            Selection::Chosen(ref c) => assert_eq!(c.len(), 3), // 6 - 1 - 2
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn too_few_updates_is_an_error() {
+        let ups = vec![vec![1.0], vec![2.0], vec![3.0]];
+        assert!(matches!(
+            Krum::new(1).aggregate(&ups, &[1.0; 3]),
+            Err(AggError::TooFewUpdates { .. })
+        ));
+    }
+
+    #[test]
+    fn mkrum_rejects_zero_m() {
+        assert!(MultiKrum::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn nan_update_cannot_hide_in_selection() {
+        let mut ups = cluster_with_outlier();
+        ups[5] = vec![f32::NAN, f32::NAN];
+        let agg = MultiKrum::new(1, 3).unwrap().aggregate(&ups, &[1.0; 6]).unwrap();
+        assert_eq!(agg.rejected_non_finite, vec![5]);
+        assert!(agg.model.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[cfg(test)]
+mod sybil_geometry_tests {
+    use super::*;
+    use crate::Selection;
+
+    /// Documents the identical-copy phenomenon observed in the evaluation
+    /// (EXPERIMENTS.md, micro_random): duplicate malicious updates have
+    /// zero mutual distance, which *lowers* their Krum scores and can pull
+    /// them into a selection that would reject a single copy. Distance
+    /// defenses punish outliers, not collusion — that is exactly the gap
+    /// Sybil defenses like FoolsGold fill.
+    #[test]
+    fn identical_copies_lower_each_others_krum_scores() {
+        // Two rounds with the same total population n = 8 (so Krum's
+        // neighbour count k is identical): 7 benign + 1 malicious copy vs
+        // 6 benign + 2 identical malicious copies.
+        let benign = |count: usize| -> Vec<Vec<f32>> {
+            (0..count)
+                .map(|i| {
+                    let e = (i as f32 * 0.9).sin() * 0.2;
+                    vec![1.0 + e, -1.0 - e, 0.5]
+                })
+                .collect()
+        };
+        let mal = vec![2.5f32, -2.5, 1.5];
+
+        let mut one_copy = benign(7);
+        one_copy.push(mal.clone());
+        let refs1: Vec<&[f32]> = one_copy.iter().map(|u| u.as_slice()).collect();
+        let s1 = krum_scores(&refs1, 2).unwrap();
+
+        let mut two_copies = benign(6);
+        two_copies.push(mal.clone());
+        two_copies.push(mal.clone());
+        let refs2: Vec<&[f32]> = two_copies.iter().map(|u| u.as_slice()).collect();
+        let s2 = krum_scores(&refs2, 2).unwrap();
+
+        // The malicious score strictly improves when a twin is present
+        // (one of its k nearest-neighbour distances becomes zero).
+        assert!(
+            s2[6] < s1[7],
+            "twin should lower the malicious score: {} !< {}",
+            s2[6],
+            s1[7]
+        );
+    }
+
+    #[test]
+    fn foolsgold_catches_what_mkrum_tolerates() {
+        // The same colluding geometry: mKrum may select the twins, the
+        // Sybil defense never does.
+        use crate::{Defense, FoolsGold};
+        let mut ups: Vec<Vec<f32>> = (0..6)
+            .map(|i| {
+                let e = (i as f32 * 2.1).sin();
+                vec![e, (i as f32 * 1.3).cos(), -e, 0.4 * e, 1.0 - e, e * e]
+            })
+            .collect();
+        let mal = vec![0.3f32, 0.3, 0.3, 0.3, 0.3, 0.3];
+        ups.push(mal.clone());
+        ups.push(mal);
+        let fg = FoolsGold::new().aggregate(&ups, &[1.0; 8]).unwrap();
+        match fg.selection {
+            Selection::Chosen(ref c) => {
+                assert!(!c.contains(&6) && !c.contains(&7), "foolsgold missed the twins: {c:?}");
+            }
+            _ => panic!(),
+        }
+    }
+}

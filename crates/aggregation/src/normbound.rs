@@ -1,0 +1,143 @@
+use crate::types::finite_updates;
+use crate::{AggError, Aggregation, Defense, FedAvg, Selection};
+use fabflip_tensor::vecops;
+
+/// Norm-bounding aggregation — an *extension* defense of the kind the
+/// paper's conclusion calls for ("FL is in need of stronger defenses").
+///
+/// Each update's delta `w_i − w(t)` is rescaled to at most `max_norm`
+/// before weighted averaging. Unlike selection defenses it cannot be
+/// "passed" or "failed" outright (every update contributes, just bounded),
+/// so it reports [`Selection::PerCoordinate`] — DPR is NA, like the
+/// statistic defenses.
+///
+/// Rationale against ZKA specifically: the fabricated-flip updates do not
+/// need to be *far* from the global model to be harmful (that is their
+/// stealth), but bounding the step size caps the per-round damage any
+/// minority of clients can do.
+///
+/// Requires the reference model: use [`Defense::aggregate_with_reference`].
+/// Without a reference it bounds the raw vectors (useful for delta-space
+/// tests only).
+#[derive(Debug, Clone, Copy)]
+pub struct NormBound {
+    max_norm: f32,
+}
+
+impl NormBound {
+    /// Creates the rule with the given per-update delta budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_norm <= 0`.
+    pub fn new(max_norm: f32) -> NormBound {
+        assert!(max_norm > 0.0, "norm bound must be positive");
+        NormBound { max_norm }
+    }
+
+    fn clip(&self, updates: &[Vec<f32>], reference: Option<&[f32]>) -> Result<Vec<Vec<f32>>, AggError> {
+        let (_, refs) = finite_updates(updates)?;
+        if let Some(r) = reference {
+            if r.len() != refs[0].len() {
+                return Err(AggError::LengthMismatch { expected: refs[0].len(), actual: r.len() });
+            }
+        }
+        Ok(refs
+            .iter()
+            .map(|u| {
+                let delta = match reference {
+                    Some(r) => vecops::sub(u, r),
+                    None => u.to_vec(),
+                };
+                let norm = vecops::l2_norm(&delta);
+                let scale = if norm > self.max_norm { self.max_norm / norm } else { 1.0 };
+                match reference {
+                    Some(r) => vecops::add(r, &vecops::scale(&delta, scale)),
+                    None => vecops::scale(&delta, scale),
+                }
+            })
+            .collect())
+    }
+}
+
+impl Defense for NormBound {
+    fn aggregate(&self, updates: &[Vec<f32>], weights: &[f32]) -> Result<Aggregation, AggError> {
+        self.aggregate_with_reference(updates, weights, None)
+    }
+
+    fn aggregate_with_reference(
+        &self,
+        updates: &[Vec<f32>],
+        weights: &[f32],
+        reference: Option<&[f32]>,
+    ) -> Result<Aggregation, AggError> {
+        let (idx, _) = finite_updates(updates)?;
+        let kept_weights: Vec<f32> = idx.iter().map(|&i| weights.get(i).copied().unwrap_or(1.0)).collect();
+        let clipped = self.clip(updates, reference)?;
+        let mut agg = FedAvg::new().aggregate(&clipped, &kept_weights)?;
+        // Clipping is per-coordinate-style smoothing, not selection.
+        agg.selection = Selection::PerCoordinate;
+        agg.rejected_non_finite = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        Ok(agg)
+    }
+
+    fn name(&self) -> &'static str {
+        "NormBound"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_outlier_delta() {
+        let global = vec![1.0f32, 1.0];
+        let ups = vec![
+            vec![1.1f32, 1.0],   // small delta, untouched
+            vec![101.0, 1.0],    // huge delta, clipped to norm 1
+        ];
+        let nb = NormBound::new(1.0);
+        let agg = nb.aggregate_with_reference(&ups, &[1.0, 1.0], Some(&global)).unwrap();
+        // Aggregate = mean of [1.1, 1.0] and [2.0, 1.0] = [1.55, 1.0].
+        assert!((agg.model[0] - 1.55).abs() < 1e-5, "{:?}", agg.model);
+        assert!((agg.model[1] - 1.0).abs() < 1e-6);
+        assert_eq!(agg.selection, Selection::PerCoordinate);
+    }
+
+    #[test]
+    fn small_updates_pass_unchanged() {
+        let global = vec![0.0f32; 3];
+        let ups = vec![vec![0.1f32, 0.0, 0.0], vec![0.0, 0.1, 0.0]];
+        let nb = NormBound::new(5.0);
+        let agg = nb.aggregate_with_reference(&ups, &[1.0, 1.0], Some(&global)).unwrap();
+        assert!((agg.model[0] - 0.05).abs() < 1e-6);
+        assert!((agg.model[1] - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn caps_minority_damage() {
+        // One attacker at distance 1000 among four benign at ~0.1: with the
+        // bound the aggregate stays near the benign cluster.
+        let global = vec![0.0f32; 2];
+        let mut ups = vec![vec![0.1f32, 0.0]; 4];
+        ups.push(vec![1000.0, -1000.0]);
+        let nb = NormBound::new(0.5);
+        let agg = nb.aggregate_with_reference(&ups, &[1.0; 5], Some(&global)).unwrap();
+        assert!(vecops::l2_norm(&agg.model) < 0.3, "{:?}", agg.model);
+    }
+
+    #[test]
+    fn works_without_reference_in_delta_space() {
+        let ups = vec![vec![3.0f32, 4.0]]; // norm 5 → scaled to 1
+        let nb = NormBound::new(1.0);
+        let agg = nb.aggregate(&ups, &[1.0]).unwrap();
+        assert!((vecops::l2_norm(&agg.model) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_bound() {
+        let _ = NormBound::new(0.0);
+    }
+}

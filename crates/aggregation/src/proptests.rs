@@ -1,0 +1,135 @@
+//! Property-based tests of the aggregation rules.
+
+use crate::{Bulyan, Defense, FedAvg, Krum, Median, MultiKrum, Selection, TrimmedMean};
+use proptest::prelude::*;
+
+fn updates_strategy(n: std::ops::Range<usize>, d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, d), n)
+}
+
+/// Applies a permutation to a list of updates.
+fn permute<T: Clone>(items: &[T], rotate: usize) -> Vec<T> {
+    let mut v = items.to_vec();
+    v.rotate_left(rotate % items.len().max(1));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fedavg_is_linear_and_bounded(ups in updates_strategy(2..8, 5)) {
+        let w = vec![1.0; ups.len()];
+        let agg = FedAvg::new().aggregate(&ups, &w).unwrap();
+        for coord in 0..5 {
+            let lo = ups.iter().map(|u| u[coord]).fold(f32::INFINITY, f32::min);
+            let hi = ups.iter().map(|u| u[coord]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(agg.model[coord] >= lo - 1e-4 && agg.model[coord] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn fedavg_of_identical_updates_is_identity(u in proptest::collection::vec(-5.0f32..5.0, 6), n in 1usize..6) {
+        let ups: Vec<Vec<f32>> = (0..n).map(|_| u.clone()).collect();
+        let agg = FedAvg::new().aggregate(&ups, &vec![1.0; n]).unwrap();
+        for (a, b) in agg.model.iter().zip(&u) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn median_and_trmean_bounded_by_extremes(ups in updates_strategy(5..9, 4)) {
+        let w = vec![1.0; ups.len()];
+        for defense in [&Median::new() as &dyn Defense, &TrimmedMean::new(1)] {
+            let agg = defense.aggregate(&ups, &w).unwrap();
+            prop_assert_eq!(&agg.selection, &Selection::PerCoordinate);
+            for coord in 0..4 {
+                let lo = ups.iter().map(|u| u[coord]).fold(f32::INFINITY, f32::min);
+                let hi = ups.iter().map(|u| u[coord]).fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(agg.model[coord] >= lo - 1e-5 && agg.model[coord] <= hi + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn statistic_rules_are_permutation_invariant(ups in updates_strategy(5..9, 3), rot in 1usize..5) {
+        let w = vec![1.0; ups.len()];
+        let shuffled = permute(&ups, rot);
+        for defense in [&Median::new() as &dyn Defense, &TrimmedMean::new(1)] {
+            let a = defense.aggregate(&ups, &w).unwrap();
+            let b = defense.aggregate(&shuffled, &w).unwrap();
+            for (x, y) in a.model.iter().zip(&b.model) {
+                prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn krum_selects_a_submitted_update(ups in updates_strategy(5..9, 3)) {
+        let w = vec![1.0; ups.len()];
+        let agg = Krum::new(1).aggregate(&ups, &w).unwrap();
+        match agg.selection {
+            Selection::Chosen(ref c) => {
+                prop_assert_eq!(c.len(), 1);
+                // Output is exactly the chosen update.
+                prop_assert_eq!(&agg.model, &ups[c[0]]);
+            }
+            _ => prop_assert!(false, "krum must choose"),
+        }
+    }
+
+    #[test]
+    fn mkrum_selection_tracks_permutation(ups in updates_strategy(6..9, 3), rot in 1usize..5) {
+        // The *set of selected updates* (as vectors) must be permutation
+        // invariant, even though indices change.
+        let w = vec![1.0; ups.len()];
+        let rule = MultiKrum::new(1, 3).unwrap();
+        let a = rule.aggregate(&ups, &w).unwrap();
+        let shuffled = permute(&ups, rot);
+        let b = rule.aggregate(&shuffled, &w).unwrap();
+        let set_of = |agg: &crate::Aggregation, src: &[Vec<f32>]| -> Vec<Vec<u32>> {
+            match &agg.selection {
+                Selection::Chosen(c) => {
+                    let mut v: Vec<Vec<u32>> = c
+                        .iter()
+                        .map(|&i| src[i].iter().map(|f| f.to_bits()).collect())
+                        .collect();
+                    v.sort();
+                    v
+                }
+                _ => panic!(),
+            }
+        };
+        prop_assert_eq!(set_of(&a, &ups), set_of(&b, &shuffled));
+    }
+
+    #[test]
+    fn bulyan_bounded_by_extremes(ups in updates_strategy(9..12, 4)) {
+        let w = vec![1.0; ups.len()];
+        let agg = Bulyan::new(2).aggregate(&ups, &w).unwrap();
+        for coord in 0..4 {
+            let lo = ups.iter().map(|u| u[coord]).fold(f32::INFINITY, f32::min);
+            let hi = ups.iter().map(|u| u[coord]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(agg.model[coord] >= lo - 1e-5 && agg.model[coord] <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn all_rules_survive_one_nan_update(mut ups in updates_strategy(10..12, 4)) {
+        ups[0][2] = f32::NAN;
+        let w = vec![1.0; ups.len()];
+        let rules: Vec<Box<dyn Defense>> = vec![
+            Box::new(FedAvg::new()),
+            Box::new(Krum::new(2)),
+            Box::new(MultiKrum::with_default_m(2)),
+            Box::new(TrimmedMean::new(2)),
+            Box::new(Median::new()),
+            Box::new(Bulyan::new(2)),
+        ];
+        for rule in &rules {
+            let agg = rule.aggregate(&ups, &w).unwrap();
+            prop_assert!(agg.model.iter().all(|v| v.is_finite()), "{} emitted non-finite", rule.name());
+            prop_assert_eq!(&agg.rejected_non_finite, &vec![0usize]);
+        }
+    }
+}

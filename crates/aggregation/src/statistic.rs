@@ -1,0 +1,107 @@
+use crate::types::finite_updates;
+use crate::{AggError, Aggregation, Defense, Selection};
+use fabflip_tensor::vecops;
+
+/// Per-coordinate trimmed mean (Yin et al., 2018): drops the `trim` largest
+/// and smallest values of every coordinate and averages the rest. The
+/// paper's "TRmean" defense.
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    trim: usize,
+}
+
+impl TrimmedMean {
+    /// Creates the rule trimming `trim` values per side.
+    pub fn new(trim: usize) -> TrimmedMean {
+        TrimmedMean { trim }
+    }
+}
+
+impl Defense for TrimmedMean {
+    fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
+        let (idx, refs) = finite_updates(updates)?;
+        let n = refs.len();
+        if n <= 2 * self.trim {
+            return Err(AggError::TooFewUpdates {
+                rule: "trimmed-mean",
+                needed: 2 * self.trim + 1,
+                got: n,
+            });
+        }
+        let model = vecops::trimmed_mean(&refs, self.trim);
+        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        Ok(Aggregation { model, selection: Selection::PerCoordinate, rejected_non_finite: rejected })
+    }
+
+    fn name(&self) -> &'static str {
+        "TRmean"
+    }
+}
+
+/// Per-coordinate median (Yin et al., 2018) — the paper's "Median" defense,
+/// the most aggressive statistic rule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Median;
+
+impl Median {
+    /// Creates the rule.
+    pub fn new() -> Median {
+        Median
+    }
+}
+
+impl Defense for Median {
+    fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
+        let (idx, refs) = finite_updates(updates)?;
+        let model = vecops::median(&refs);
+        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        Ok(Aggregation { model, selection: Selection::PerCoordinate, rejected_non_finite: rejected })
+    }
+
+    fn name(&self) -> &'static str {
+        "Median"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_ignores_extreme_attacker() {
+        let ups = vec![
+            vec![1.0, -1.0],
+            vec![1.2, -0.8],
+            vec![0.8, -1.2],
+            vec![1e6, -1e6], // attacker
+        ];
+        let agg = TrimmedMean::new(1).aggregate(&ups, &[1.0; 4]).unwrap();
+        assert!(agg.model[0] < 2.0, "attacker leaked into coordinate 0: {:?}", agg.model);
+        assert!(agg.model[1] > -2.0);
+        assert_eq!(agg.selection, Selection::PerCoordinate);
+    }
+
+    #[test]
+    fn trimmed_mean_needs_enough_updates() {
+        let ups = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            TrimmedMean::new(1).aggregate(&ups, &[1.0; 2]),
+            Err(AggError::TooFewUpdates { .. })
+        ));
+    }
+
+    #[test]
+    fn median_is_robust_to_minority() {
+        let ups = vec![vec![1.0], vec![2.0], vec![3.0], vec![1e9], vec![-1e9]];
+        let agg = Median::new().aggregate(&ups, &[1.0; 5]).unwrap();
+        assert_eq!(agg.model, vec![2.0]);
+    }
+
+    #[test]
+    fn median_with_nan_updates_filters_them() {
+        let ups = vec![vec![1.0], vec![f32::NAN], vec![3.0]];
+        let agg = Median::new().aggregate(&ups, &[1.0; 3]).unwrap();
+        assert_eq!(agg.model, vec![2.0]);
+        assert_eq!(agg.rejected_non_finite, vec![1]);
+    }
+}

@@ -1,0 +1,254 @@
+use crate::{AggError, Bulyan, FedAvg, FoolsGold, Krum, Median, MultiKrum, NormBound, TrimmedMean};
+use serde::{Deserialize, Serialize};
+
+/// Which updates an aggregation rule included in the new global model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Indices (into the submitted update list) of updates that were
+    /// selected and averaged. DPR (paper Eq. 5) is computable.
+    Chosen(Vec<usize>),
+    /// The rule combined statistics of every update per coordinate (median,
+    /// trimmed mean); no per-update selection exists and DPR is "NA".
+    PerCoordinate,
+}
+
+impl Selection {
+    /// Whether a per-update selection is available (i.e. DPR is defined).
+    pub fn supports_dpr(&self) -> bool {
+        matches!(self, Selection::Chosen(_))
+    }
+}
+
+/// The result of one aggregation round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregation {
+    /// The new global model (flat parameter vector).
+    pub model: Vec<f32>,
+    /// Which updates were included.
+    pub selection: Selection,
+    /// Indices of updates discarded up front for containing NaN/∞.
+    pub rejected_non_finite: Vec<usize>,
+}
+
+/// A Byzantine-robust aggregation rule.
+///
+/// Implementations must be deterministic functions of their inputs: the
+/// simulator relies on this for reproducible runs.
+pub trait Defense: Send + Sync {
+    /// Aggregates `updates` (flat parameter vectors, one per client) with
+    /// per-client sample-count `weights` (used only by weighted rules;
+    /// robust rules ignore them, as in the original papers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError`] when no finite updates remain, lengths are
+    /// inconsistent, or the rule's robustness precondition fails.
+    fn aggregate(&self, updates: &[Vec<f32>], weights: &[f32]) -> Result<Aggregation, AggError>;
+
+    /// Short rule name for reports, e.g. `"mKrum"`.
+    fn name(&self) -> &'static str;
+
+    /// Aggregates with an optional *reference model* (the current global
+    /// model `w(t)`). Distance-based rules are shift-invariant and ignore
+    /// it — the default delegates to [`Defense::aggregate`] — but
+    /// similarity-based rules (FoolsGold) must measure update *deltas*
+    /// `w_i − w(t)`, which are not shift-invariant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Defense::aggregate`].
+    fn aggregate_with_reference(
+        &self,
+        updates: &[Vec<f32>],
+        weights: &[f32],
+        _reference: Option<&[f32]>,
+    ) -> Result<Aggregation, AggError> {
+        self.aggregate(updates, weights)
+    }
+}
+
+/// Serializable defense configuration — the experiment-grid axis of the
+/// paper's evaluation. Build the actual rule with [`DefenseKind::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefenseKind {
+    /// Plain weighted averaging (no defense).
+    FedAvg,
+    /// Classic Krum selecting a single update; `f` is the tolerated number
+    /// of Byzantine clients.
+    Krum {
+        /// Tolerated Byzantine count.
+        f: usize,
+    },
+    /// Multi-Krum: select the `m = n − f − 2` lowest-score updates.
+    MKrum {
+        /// Tolerated Byzantine count.
+        f: usize,
+    },
+    /// Per-coordinate trimmed mean dropping `trim` values at each extreme.
+    TrMean {
+        /// Values trimmed per side.
+        trim: usize,
+    },
+    /// Per-coordinate median.
+    Median,
+    /// Bulyan with tolerated Byzantine count `f`.
+    Bulyan {
+        /// Tolerated Byzantine count.
+        f: usize,
+    },
+    /// FoolsGold cosine-similarity Sybil defense (extension; the paper's
+    /// evaluation excludes Sybil defenses).
+    FoolsGold,
+    /// Norm-bounded averaging (extension: the "stronger defense" direction
+    /// of the paper's conclusion).
+    NormBound {
+        /// Maximum L2 norm of each update's delta from the global model.
+        /// Serialized as milli-units (integer) to keep the kind `Eq`-able
+        /// and hashable for result caching.
+        max_norm_milli: u32,
+    },
+}
+
+impl DefenseKind {
+    /// The four defenses of the paper's evaluation plus the FedAvg baseline,
+    /// parameterized for `n` submitted updates and a server-assumed
+    /// Byzantine count `f` (the paper's setting: n = 10, f = 2).
+    pub fn paper_grid(f: usize) -> Vec<DefenseKind> {
+        vec![
+            DefenseKind::MKrum { f },
+            DefenseKind::TrMean { trim: f },
+            DefenseKind::Bulyan { f },
+            DefenseKind::Median,
+        ]
+    }
+
+    /// Instantiates the rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggError::InvalidParameter`] for degenerate parameters.
+    pub fn build(&self) -> Result<Box<dyn Defense>, AggError> {
+        Ok(match *self {
+            DefenseKind::FedAvg => Box::new(FedAvg::new()),
+            DefenseKind::Krum { f } => Box::new(Krum::new(f)),
+            DefenseKind::MKrum { f } => Box::new(MultiKrum::with_default_m(f)),
+            DefenseKind::TrMean { trim } => Box::new(TrimmedMean::new(trim)),
+            DefenseKind::Median => Box::new(Median::new()),
+            DefenseKind::Bulyan { f } => Box::new(Bulyan::new(f)),
+            DefenseKind::FoolsGold => Box::new(FoolsGold::new()),
+            DefenseKind::NormBound { max_norm_milli } => {
+                if max_norm_milli == 0 {
+                    return Err(AggError::InvalidParameter("norm bound must be positive".into()));
+                }
+                Box::new(NormBound::new(max_norm_milli as f32 / 1000.0))
+            }
+        })
+    }
+
+    /// Stable display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseKind::FedAvg => "FedAvg",
+            DefenseKind::Krum { .. } => "Krum",
+            DefenseKind::MKrum { .. } => "mKrum",
+            DefenseKind::TrMean { .. } => "TRmean",
+            DefenseKind::Median => "Median",
+            DefenseKind::Bulyan { .. } => "Bulyan",
+            DefenseKind::FoolsGold => "FoolsGold",
+            DefenseKind::NormBound { .. } => "NormBound",
+        }
+    }
+}
+
+/// Filters out non-finite updates, returning `(kept_indices, kept_refs)`.
+///
+/// # Errors
+///
+/// Returns [`AggError::NoUpdates`] when nothing remains and
+/// [`AggError::LengthMismatch`] on ragged input.
+pub(crate) fn finite_updates(
+    updates: &[Vec<f32>],
+) -> Result<(Vec<usize>, Vec<&[f32]>), AggError> {
+    if updates.is_empty() {
+        return Err(AggError::NoUpdates);
+    }
+    let d = updates[0].len();
+    for u in updates {
+        if u.len() != d {
+            return Err(AggError::LengthMismatch { expected: d, actual: u.len() });
+        }
+    }
+    let mut idx = Vec::new();
+    let mut refs = Vec::new();
+    for (i, u) in updates.iter().enumerate() {
+        if u.iter().all(|v| v.is_finite()) {
+            idx.push(i);
+            refs.push(u.as_slice());
+        }
+    }
+    if refs.is_empty() {
+        return Err(AggError::NoUpdates);
+    }
+    Ok((idx, refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_builds_and_labels() {
+        for kind in [
+            DefenseKind::FedAvg,
+            DefenseKind::Krum { f: 1 },
+            DefenseKind::MKrum { f: 2 },
+            DefenseKind::TrMean { trim: 2 },
+            DefenseKind::Median,
+            DefenseKind::Bulyan { f: 2 },
+            DefenseKind::FoolsGold,
+            DefenseKind::NormBound { max_norm_milli: 500 },
+        ] {
+            let d = kind.build().unwrap();
+            assert!(!d.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_grid_is_the_four_defenses() {
+        let grid = DefenseKind::paper_grid(2);
+        let labels: Vec<&str> = grid.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["mKrum", "TRmean", "Bulyan", "Median"]);
+    }
+
+    #[test]
+    fn normbound_kind_rejects_zero() {
+        assert!(DefenseKind::NormBound { max_norm_milli: 0 }.build().is_err());
+    }
+
+    #[test]
+    fn kind_roundtrips_through_serde() {
+        let kind = DefenseKind::Bulyan { f: 2 };
+        let s = serde_json::to_string(&kind).unwrap();
+        let back: DefenseKind = serde_json::from_str(&s).unwrap();
+        assert_eq!(kind, back);
+    }
+
+    #[test]
+    fn finite_filter_drops_nan_updates() {
+        let ups = vec![vec![1.0, 2.0], vec![f32::NAN, 0.0], vec![3.0, 4.0]];
+        let (idx, refs) = finite_updates(&ups).unwrap();
+        assert_eq!(idx, vec![0, 2]);
+        assert_eq!(refs.len(), 2);
+        let all_bad = vec![vec![f32::INFINITY]];
+        assert_eq!(finite_updates(&all_bad), Err(AggError::NoUpdates));
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(matches!(finite_updates(&ragged), Err(AggError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn selection_dpr_support() {
+        assert!(Selection::Chosen(vec![0]).supports_dpr());
+        assert!(!Selection::PerCoordinate.supports_dpr());
+    }
+}

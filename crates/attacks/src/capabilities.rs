@@ -1,0 +1,52 @@
+use serde::Serialize;
+
+/// The assumption profile of an attack — the columns of Table I of the
+/// paper ("Attack scenarios in the state-of-the-art").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Capabilities {
+    /// Does the attack read benign clients' updates (eavesdropping oracle)?
+    pub needs_benign_updates: bool,
+    /// Defenses the attack was designed against, e.g. `["TRmean", "Krum"]`.
+    pub defenses_known: Vec<&'static str>,
+    /// Can the attack operate without knowing the deployed defense?
+    pub works_defense_unknown: bool,
+    /// Does the attack require local raw (real) training data?
+    pub needs_raw_data: bool,
+    /// Was the attack designed/evaluated for heterogeneous data?
+    pub handles_heterogeneity: bool,
+}
+
+impl Capabilities {
+    /// The profile of a zero-knowledge attack (ZKA-R / ZKA-G): no benign
+    /// updates, no raw data, defense-agnostic, heterogeneity-aware.
+    pub fn zero_knowledge() -> Capabilities {
+        Capabilities {
+            needs_benign_updates: false,
+            defenses_known: Vec::new(),
+            works_defense_unknown: true,
+            needs_raw_data: false,
+            handles_heterogeneity: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_knowledge_profile() {
+        let c = Capabilities::zero_knowledge();
+        assert!(!c.needs_benign_updates);
+        assert!(!c.needs_raw_data);
+        assert!(c.works_defense_unknown);
+        assert!(c.handles_heterogeneity);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Capabilities::zero_knowledge();
+        let s = serde_json::to_string(&c).unwrap();
+        assert!(s.contains("needs_benign_updates"));
+    }
+}

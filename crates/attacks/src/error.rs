@@ -1,0 +1,62 @@
+use fabflip_nn::NnError;
+use std::fmt;
+
+/// Error type for attack crafting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// The attack requires the benign-update oracle but none was provided
+    /// (zero-knowledge context).
+    NeedsBenignUpdates(&'static str),
+    /// The attack requires local raw data but the adversary has none.
+    NeedsRawData(&'static str),
+    /// A neural-network operation failed while crafting the update.
+    Nn(NnError),
+    /// The context was inconsistent (e.g. mismatched parameter lengths).
+    BadContext(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::NeedsBenignUpdates(a) => {
+                write!(f, "attack `{a}` requires benign updates, none available")
+            }
+            AttackError::NeedsRawData(a) => {
+                write!(f, "attack `{a}` requires raw data, none available")
+            }
+            AttackError::Nn(e) => write!(f, "nn error while crafting update: {e}"),
+            AttackError::BadContext(msg) => write!(f, "bad attack context: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(AttackError::NeedsBenignUpdates("lie").to_string().contains("lie"));
+        assert!(AttackError::NeedsRawData("fang").to_string().contains("fang"));
+        let e = AttackError::Nn(NnError::BackwardBeforeForward("Dense"));
+        assert!(e.source().is_some());
+        assert!(AttackError::BadContext("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! # fabflip-attacks
+//!
+//! The state-of-the-art baseline untargeted poisoning attacks the paper
+//! compares against (Sec. III-B, V-B), plus shared attack machinery:
+//!
+//! * [`Lie`] — "A Little Is Enough" (Baruch et al., 2019): shift the benign
+//!   mean by `z` standard deviations per coordinate,
+//! * [`Fang`] — local model poisoning (Fang et al., 2020), the TRmean/Median
+//!   directed-deviation variant used by the paper,
+//! * [`MinMax`] — DnC Min-Max (Shejwalkar & Houmansadr, 2021): the largest
+//!   perturbation whose distance to every benign update stays within the
+//!   maximum benign pairwise distance,
+//! * [`MinSum`] — its sum-of-distances sibling (extension; mentioned but
+//!   not compared in the paper),
+//! * [`RandomWeights`] — the naive strawman of Sec. IV-A (almost never
+//!   passes the defenses),
+//! * [`RealDataFlip`] — the "Real-data" comparator of Fig. 7: train on real
+//!   images labelled with a random class `Ỹ`, with the distance loss.
+//!
+//! The zero-knowledge attacks themselves (ZKA-R / ZKA-G) are the paper's
+//! contribution and live in the `fabflip` core crate; they implement the
+//! same [`Attack`] trait.
+//!
+//! The [`Capabilities`] matrix reproduces Table I of the paper and is
+//! unit-tested against it.
+
+mod capabilities;
+mod error;
+mod fang;
+mod lie;
+mod minmax;
+mod minsum;
+mod random;
+mod realdata;
+pub mod stats;
+pub mod trainer;
+mod types;
+
+pub use capabilities::Capabilities;
+pub use error::AttackError;
+pub use fang::Fang;
+pub use lie::Lie;
+pub use minmax::{MinMax, Perturbation};
+pub use minsum::MinSum;
+pub use random::RandomWeights;
+pub use realdata::RealDataFlip;
+pub use types::{finite_benign, Attack, AttackContext, ModelBuilder, TaskInfo};

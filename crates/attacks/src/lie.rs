@@ -1,0 +1,160 @@
+use crate::stats::lie_z_factor;
+use crate::{Attack, AttackContext, AttackError, Capabilities};
+use fabflip_tensor::vecops;
+use rand::rngs::StdRng;
+
+/// The LIE attack — *A Little Is Enough* (Baruch et al., 2019).
+///
+/// Crafts `w_m = mean(W_b) + z · std(W_b)` per coordinate, where `W_b` are
+/// the benign updates of the round (an eavesdropping oracle the paper's
+/// threat-model analysis flags as unrealistic) and `z` is a fixed factor
+/// chosen so the shifted value still looks like a plausible benign draw.
+#[derive(Debug, Clone, Copy)]
+pub struct Lie {
+    z_override: Option<f32>,
+}
+
+impl Lie {
+    /// Creates the attack with `z` derived from the round's worker counts
+    /// via Baruch's formula, floored at [`Lie::MIN_Z`].
+    pub fn new() -> Lie {
+        Lie { z_override: None }
+    }
+
+    /// Creates the attack with an explicit fixed `z`.
+    pub fn with_z(z: f32) -> Lie {
+        Lie { z_override: Some(z) }
+    }
+
+    /// Lower bound on the derived `z`: with few selected clients Baruch's
+    /// formula degenerates to 0 (the crafted update would equal the benign
+    /// mean and have no effect), so implementations floor it.
+    pub const MIN_Z: f32 = 0.25;
+}
+
+impl Default for Lie {
+    fn default() -> Self {
+        Lie::new()
+    }
+}
+
+impl Attack for Lie {
+    fn craft(&mut self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+        let refs = crate::types::finite_benign(ctx, "LIE", 1)?;
+        let mean = vecops::mean(&refs);
+        let std = vecops::std_dev(&refs);
+        let z = self.z_override.unwrap_or_else(|| {
+            (lie_z_factor(ctx.n_selected.max(2), ctx.n_malicious_selected.min(ctx.n_selected - 1))
+                as f32)
+                .max(Lie::MIN_Z)
+        });
+        let mut w = mean;
+        vecops::axpy_in_place(&mut w, z, &std);
+        Ok(w)
+    }
+
+    fn name(&self) -> &'static str {
+        "LIE"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            needs_benign_updates: true,
+            defenses_known: vec!["TRmean", "Krum", "Bulyan"],
+            works_defense_unknown: true,
+            needs_raw_data: false,
+            handles_heterogeneity: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TaskInfo;
+    use fabflip_nn::{Dense, Sequential};
+
+    fn ctx_fixture<'a>(
+        global: &'a [f32],
+        benign: &'a [Vec<f32>],
+        task: &'a TaskInfo,
+        builder: &'a crate::ModelBuilder,
+    ) -> AttackContext<'a> {
+        AttackContext {
+            global,
+            prev_global: None,
+            benign_updates: benign,
+            n_selected: 10,
+            n_malicious_selected: 2,
+            task,
+            build_model: builder,
+        }
+    }
+
+    fn toy_task() -> TaskInfo {
+        TaskInfo {
+            channels: 1,
+            height: 2,
+            width: 2,
+            num_classes: 2,
+            synth_set_size: 4,
+            local_lr: 0.1,
+            local_batch: 2,
+            local_epochs: 1,
+        }
+    }
+
+    fn toy_builder(rng: &mut StdRng) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Dense::new(4, 2, rng));
+        m
+    }
+
+    #[test]
+    fn crafts_mean_plus_z_std() {
+        let task = toy_task();
+        let benign = vec![vec![0.0f32, 10.0], vec![2.0, 10.0]];
+        let global = vec![0.0f32; 2];
+        let ctx = ctx_fixture(&global, &benign, &task, &toy_builder);
+        let mut attack = Lie::with_z(2.0);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let w = attack.craft(&ctx, &mut rng).unwrap();
+        // mean = [1, 10], std = [1, 0] → w = [3, 10].
+        assert_eq!(w, vec![3.0, 10.0]);
+    }
+
+    #[test]
+    fn derived_z_is_floored() {
+        let task = toy_task();
+        let benign = vec![vec![0.0f32, 0.0], vec![2.0, 0.0]];
+        let global = vec![0.0f32; 2];
+        let ctx = ctx_fixture(&global, &benign, &task, &toy_builder);
+        let mut attack = Lie::new();
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let w = attack.craft(&ctx, &mut rng).unwrap();
+        // n=10, m=2 → formula z = 0, floored to MIN_Z: w0 = 1 + 0.25·1.
+        assert!((w[0] - (1.0 + Lie::MIN_Z)).abs() < 1e-6, "{w:?}");
+    }
+
+    #[test]
+    fn requires_benign_oracle() {
+        let task = toy_task();
+        let global = vec![0.0f32; 2];
+        let benign: Vec<Vec<f32>> = Vec::new();
+        let ctx = ctx_fixture(&global, &benign, &task, &toy_builder);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        assert_eq!(
+            Lie::new().craft(&ctx, &mut rng),
+            Err(AttackError::NeedsBenignUpdates("LIE"))
+        );
+    }
+
+    #[test]
+    fn capabilities_match_table1() {
+        let c = Lie::new().capabilities();
+        assert!(c.needs_benign_updates);
+        assert!(c.works_defense_unknown);
+        assert!(!c.needs_raw_data);
+        assert!(!c.handles_heterogeneity);
+    }
+}

@@ -1,0 +1,231 @@
+use crate::{Attack, AttackContext, AttackError, Capabilities};
+use fabflip_tensor::vecops;
+use rand::rngs::StdRng;
+
+/// Perturbation direction for the Min-Max attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Perturbation {
+    /// `−unit(mean(W_b))` — the "inverse unit vector" of the original
+    /// paper, its strongest agnostic (defense-unknown) choice.
+    #[default]
+    InverseUnit,
+    /// `−std(W_b)` — the "inverse standard deviation" variant.
+    InverseStd,
+    /// `−sign(mean(W_b))` — the "inverse sign" variant.
+    InverseSign,
+}
+
+/// The Min-Max attack (Shejwalkar & Houmansadr, NDSS 2021), defense-unknown
+/// ("agnostic") variant — the strongest baseline in the paper's comparison.
+///
+/// The malicious update is `w_m = mean(W_b) + γ·∇p`, where `∇p` is a fixed
+/// perturbation direction and `γ` is maximized (by bisection) subject to
+/// the stealthiness constraint that `w_m`'s distance to every benign update
+/// stays within the maximum benign pairwise distance:
+/// `max_i ‖w_m − w_i‖ ≤ max_{i,j} ‖w_i − w_j‖`.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMax {
+    perturbation: Perturbation,
+    gamma_init: f32,
+    iterations: usize,
+}
+
+impl MinMax {
+    /// Creates the attack with the default inverse-unit perturbation.
+    pub fn new() -> MinMax {
+        MinMax { perturbation: Perturbation::default(), gamma_init: 20.0, iterations: 30 }
+    }
+
+    /// Creates the attack with an explicit perturbation direction.
+    pub fn with_perturbation(perturbation: Perturbation) -> MinMax {
+        MinMax { perturbation, ..MinMax::new() }
+    }
+
+    fn direction(&self, refs: &[&[f32]]) -> Vec<f32> {
+        let mean = vecops::mean(refs);
+        match self.perturbation {
+            Perturbation::InverseUnit => vecops::scale(&vecops::unit(&mean), -1.0),
+            Perturbation::InverseStd => vecops::scale(&vecops::std_dev(refs), -1.0),
+            Perturbation::InverseSign => vecops::scale(&vecops::sign(&mean), -1.0),
+        }
+    }
+}
+
+impl Default for MinMax {
+    fn default() -> Self {
+        MinMax::new()
+    }
+}
+
+impl Attack for MinMax {
+    fn craft(&mut self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+        let refs = crate::types::finite_benign(ctx, "Min-Max", 2)?;
+        let mean = vecops::mean(&refs);
+        let dp = self.direction(&refs);
+        if vecops::l2_norm(&dp) == 0.0 {
+            // Degenerate geometry (all-zero mean/std): nothing to scale.
+            return Ok(mean);
+        }
+        // Stealthiness budget: the maximum benign pairwise distance.
+        let dists = vecops::pairwise_sq_distances(&refs);
+        let budget = dists
+            .iter()
+            .flatten()
+            .fold(0.0f32, |a, &b| a.max(b))
+            .sqrt();
+        let fits = |gamma: f32| -> bool {
+            let mut w = mean.clone();
+            vecops::axpy_in_place(&mut w, gamma, &dp);
+            refs.iter().all(|r| vecops::l2_distance(&w, r) <= budget)
+        };
+        // Bisection for the largest feasible γ.
+        let (mut lo, mut hi) = (0.0f32, self.gamma_init);
+        // Grow hi if it is still feasible.
+        let mut grow = 0;
+        while fits(hi) && grow < 10 {
+            lo = hi;
+            hi *= 2.0;
+            grow += 1;
+        }
+        for _ in 0..self.iterations {
+            let mid = 0.5 * (lo + hi);
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut w = mean;
+        vecops::axpy_in_place(&mut w, lo, &dp);
+        Ok(w)
+    }
+
+    fn name(&self) -> &'static str {
+        "Min-Max"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            needs_benign_updates: true,
+            defenses_known: vec!["Krum", "Bulyan", "TRmean", "Median", "AFA"],
+            works_defense_unknown: true,
+            needs_raw_data: false,
+            handles_heterogeneity: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TaskInfo;
+    use fabflip_nn::{Dense, Sequential};
+    use rand::SeedableRng;
+
+    fn toy_task() -> TaskInfo {
+        TaskInfo {
+            channels: 1,
+            height: 2,
+            width: 2,
+            num_classes: 2,
+            synth_set_size: 4,
+            local_lr: 0.1,
+            local_batch: 2,
+            local_epochs: 1,
+        }
+    }
+
+    fn toy_builder(rng: &mut StdRng) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Dense::new(4, 2, rng));
+        m
+    }
+
+    fn craft_with(benign: &[Vec<f32>], pert: Perturbation) -> Vec<f32> {
+        let task = toy_task();
+        let global = vec![0.0f32; benign[0].len()];
+        let ctx = AttackContext {
+            global: &global,
+            prev_global: None,
+            benign_updates: benign,
+            n_selected: 10,
+            n_malicious_selected: 2,
+            task: &task,
+            build_model: &toy_builder,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        MinMax::with_perturbation(pert).craft(&ctx, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn satisfies_stealth_constraint() {
+        let benign = vec![
+            vec![1.0f32, 0.0, 2.0],
+            vec![1.2, 0.1, 1.8],
+            vec![0.8, -0.1, 2.2],
+            vec![1.1, 0.0, 2.1],
+        ];
+        let w = craft_with(&benign, Perturbation::InverseUnit);
+        let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
+        let budget = vecops::pairwise_sq_distances(&refs)
+            .iter()
+            .flatten()
+            .fold(0.0f32, |a, &b| a.max(b))
+            .sqrt();
+        for r in &refs {
+            assert!(vecops::l2_distance(&w, r) <= budget * 1.01, "constraint violated");
+        }
+        // And it actually moved away from the mean.
+        let mean = vecops::mean(&refs);
+        assert!(vecops::l2_distance(&w, &mean) > 1e-3);
+    }
+
+    #[test]
+    fn opposes_the_mean_direction() {
+        let benign = vec![vec![2.0f32, 2.0], vec![2.2, 1.8], vec![1.8, 2.2]];
+        let w = craft_with(&benign, Perturbation::InverseUnit);
+        let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
+        let mean = vecops::mean(&refs);
+        // The perturbation points against the mean: dot(w − mean, mean) < 0.
+        let delta = vecops::sub(&w, &mean);
+        assert!(vecops::dot(&delta, &mean) < 0.0);
+    }
+
+    #[test]
+    fn all_perturbations_produce_finite_updates() {
+        let benign = vec![vec![1.0f32, -1.0], vec![1.5, -0.5], vec![0.5, -1.5]];
+        for pert in [Perturbation::InverseUnit, Perturbation::InverseStd, Perturbation::InverseSign] {
+            let w = craft_with(&benign, pert);
+            assert!(w.iter().all(|v| v.is_finite()), "{pert:?}");
+        }
+    }
+
+    #[test]
+    fn needs_at_least_two_benign_updates() {
+        let task = toy_task();
+        let global = vec![0.0f32; 2];
+        let benign = vec![vec![1.0f32, 1.0]];
+        let ctx = AttackContext {
+            global: &global,
+            prev_global: None,
+            benign_updates: &benign,
+            n_selected: 10,
+            n_malicious_selected: 2,
+            task: &task,
+            build_model: &toy_builder,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            MinMax::new().craft(&ctx, &mut rng),
+            Err(AttackError::NeedsBenignUpdates(_))
+        ));
+    }
+
+    #[test]
+    fn identical_benign_updates_degenerate_gracefully() {
+        // Zero pairwise budget → γ = 0 → w = mean.
+        let benign = vec![vec![1.0f32, 2.0], vec![1.0, 2.0], vec![1.0, 2.0]];
+        let w = craft_with(&benign, Perturbation::InverseUnit);
+        assert!((w[0] - 1.0).abs() < 1e-4 && (w[1] - 2.0).abs() < 1e-4);
+    }
+}

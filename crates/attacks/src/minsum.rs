@@ -1,0 +1,199 @@
+use crate::{Attack, AttackContext, AttackError, Capabilities, Perturbation};
+use fabflip_tensor::vecops;
+use rand::rngs::StdRng;
+
+/// The Min-Sum attack (Shejwalkar & Houmansadr, NDSS 2021) — the sibling
+/// of [`MinMax`] that the paper mentions as the authors' other
+/// defense-unknown proposal. Instead of bounding the *maximum* distance to
+/// any benign update, Min-Sum bounds the **sum** of squared distances:
+///
+/// `Σ_i ‖w_m − w_i‖² ≤ max_i Σ_j ‖w_i − w_j‖²`
+///
+/// i.e. the crafted update may not be more "cumulatively distant" than the
+/// most distant benign update already is. Implemented as an extension for
+/// completeness of the baseline family.
+#[derive(Debug, Clone, Copy)]
+pub struct MinSum {
+    perturbation: Perturbation,
+    gamma_init: f32,
+    iterations: usize,
+}
+
+impl MinSum {
+    /// Creates the attack with the default inverse-unit perturbation.
+    pub fn new() -> MinSum {
+        MinSum { perturbation: Perturbation::default(), gamma_init: 20.0, iterations: 30 }
+    }
+
+    /// Creates the attack with an explicit perturbation direction.
+    pub fn with_perturbation(perturbation: Perturbation) -> MinSum {
+        MinSum { perturbation, ..MinSum::new() }
+    }
+}
+
+impl Default for MinSum {
+    fn default() -> Self {
+        MinSum::new()
+    }
+}
+
+impl Attack for MinSum {
+    fn craft(&mut self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+        let refs = crate::types::finite_benign(ctx, "Min-Sum", 2)?;
+        let mean = vecops::mean(&refs);
+        let dp = match self.perturbation {
+            Perturbation::InverseUnit => vecops::scale(&vecops::unit(&mean), -1.0),
+            Perturbation::InverseStd => vecops::scale(&vecops::std_dev(&refs), -1.0),
+            Perturbation::InverseSign => vecops::scale(&vecops::sign(&mean), -1.0),
+        };
+        if vecops::l2_norm(&dp) == 0.0 {
+            return Ok(mean);
+        }
+        let dists = vecops::pairwise_sq_distances(&refs);
+        let budget = dists
+            .iter()
+            .map(|row| row.iter().sum::<f32>())
+            .fold(0.0f32, f32::max);
+        let fits = |gamma: f32| -> bool {
+            let mut w = mean.clone();
+            vecops::axpy_in_place(&mut w, gamma, &dp);
+            refs.iter().map(|r| vecops::sq_distance(&w, r)).sum::<f32>() <= budget
+        };
+        let (mut lo, mut hi) = (0.0f32, self.gamma_init);
+        let mut grow = 0;
+        while fits(hi) && grow < 10 {
+            lo = hi;
+            hi *= 2.0;
+            grow += 1;
+        }
+        for _ in 0..self.iterations {
+            let mid = 0.5 * (lo + hi);
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut w = mean;
+        vecops::axpy_in_place(&mut w, lo, &dp);
+        Ok(w)
+    }
+
+    fn name(&self) -> &'static str {
+        "Min-Sum"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            needs_benign_updates: true,
+            defenses_known: vec!["Krum", "Bulyan", "TRmean", "Median", "AFA"],
+            works_defense_unknown: true,
+            needs_raw_data: false,
+            handles_heterogeneity: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TaskInfo;
+    use fabflip_nn::{Dense, Sequential};
+    use rand::SeedableRng;
+
+    fn craft(benign: &[Vec<f32>]) -> Vec<f32> {
+        let task = TaskInfo {
+            channels: 1,
+            height: 2,
+            width: 2,
+            num_classes: 2,
+            synth_set_size: 4,
+            local_lr: 0.1,
+            local_batch: 2,
+            local_epochs: 1,
+        };
+        let builder = |rng: &mut StdRng| {
+            let mut m = Sequential::new();
+            m.push(Dense::new(4, 2, rng));
+            m
+        };
+        let global = vec![0.0f32; benign[0].len()];
+        let ctx = AttackContext {
+            global: &global,
+            prev_global: None,
+            benign_updates: benign,
+            n_selected: 10,
+            n_malicious_selected: 2,
+            task: &task,
+            build_model: &builder,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        MinSum::new().craft(&ctx, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn satisfies_sum_constraint() {
+        let benign = vec![
+            vec![1.0f32, 0.0, 2.0],
+            vec![1.2, 0.1, 1.8],
+            vec![0.8, -0.1, 2.2],
+            vec![1.1, 0.0, 2.1],
+        ];
+        let w = craft(&benign);
+        let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
+        let budget = vecops::pairwise_sq_distances(&refs)
+            .iter()
+            .map(|row| row.iter().sum::<f32>())
+            .fold(0.0f32, f32::max);
+        let total: f32 = refs.iter().map(|r| vecops::sq_distance(&w, r)).sum();
+        assert!(total <= budget * 1.01, "{total} > {budget}");
+        let mean = vecops::mean(&refs);
+        assert!(vecops::l2_distance(&w, &mean) > 1e-4, "no perturbation applied");
+    }
+
+    #[test]
+    fn min_sum_is_no_bolder_than_min_max() {
+        // The sum constraint is tighter than the max constraint in this
+        // geometry, so Min-Sum's deviation from the mean must not exceed
+        // Min-Max's.
+        let benign = vec![
+            vec![1.0f32, 0.0],
+            vec![1.4, 0.2],
+            vec![0.6, -0.2],
+            vec![1.0, 0.1],
+        ];
+        let w_sum = craft(&benign);
+        let task = TaskInfo {
+            channels: 1,
+            height: 2,
+            width: 2,
+            num_classes: 2,
+            synth_set_size: 4,
+            local_lr: 0.1,
+            local_batch: 2,
+            local_epochs: 1,
+        };
+        let builder = |rng: &mut StdRng| {
+            let mut m = Sequential::new();
+            m.push(Dense::new(4, 2, rng));
+            m
+        };
+        let global = vec![0.0f32; 2];
+        let ctx = AttackContext {
+            global: &global,
+            prev_global: None,
+            benign_updates: &benign,
+            n_selected: 10,
+            n_malicious_selected: 2,
+            task: &task,
+            build_model: &builder,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let w_max = crate::MinMax::new().craft(&ctx, &mut rng).unwrap();
+        let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
+        let mean = vecops::mean(&refs);
+        assert!(
+            vecops::l2_distance(&w_sum, &mean) <= vecops::l2_distance(&w_max, &mean) * 1.05
+        );
+    }
+}

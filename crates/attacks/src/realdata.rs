@@ -1,0 +1,161 @@
+use crate::trainer::{train_adversarial_classifier, DistanceReg};
+use crate::{Attack, AttackContext, AttackError, Capabilities};
+use fabflip_data::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The "Real-data" comparator of Fig. 7: the adversary *does* own real
+/// images (assigned under the same Dirichlet distribution as benign
+/// clients) and trains the local model on them paired with one uniformly
+/// chosen class `Ỹ`, using the same distance-based loss as the ZKA
+/// attacks. The paper shows the ZKA synthetic data *outperforms* this
+/// real-data label flip.
+pub struct RealDataFlip {
+    data: Dataset,
+    reg: DistanceReg,
+    target: Option<usize>,
+}
+
+impl std::fmt::Debug for RealDataFlip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealDataFlip")
+            .field("samples", &self.data.len())
+            .field("reg", &self.reg)
+            .field("target", &self.target)
+            .finish()
+    }
+}
+
+impl RealDataFlip {
+    /// Creates the attack owning the adversary's real shard.
+    pub fn new(data: Dataset, reg: DistanceReg) -> RealDataFlip {
+        RealDataFlip { data, reg, target: None }
+    }
+
+    /// The flipped target class `Ỹ` (chosen uniformly on first use, then
+    /// fixed for the whole training, as in the paper).
+    pub fn target(&self) -> Option<usize> {
+        self.target
+    }
+}
+
+impl Attack for RealDataFlip {
+    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+        if self.data.is_empty() {
+            return Err(AttackError::NeedsRawData("RealDataFlip"));
+        }
+        let target =
+            *self.target.get_or_insert_with(|| rng.gen_range(0..ctx.task.num_classes));
+        let mut model = (ctx.build_model)(rng);
+        // Cap the set at |S| to match the ZKA attacks' budget.
+        let n = self.data.len().min(ctx.task.synth_set_size.max(1));
+        let idx: Vec<usize> = (0..n).collect();
+        let batch = self.data.gather(&idx);
+        let labels = vec![target; n];
+        train_adversarial_classifier(
+            &mut model,
+            ctx.global,
+            ctx.prev_global,
+            &batch.images,
+            &labels,
+            ctx.task.local_epochs,
+            ctx.task.local_lr,
+            ctx.task.local_batch,
+            self.reg,
+            rng,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "Real-data"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            needs_benign_updates: false,
+            defenses_known: Vec::new(),
+            works_defense_unknown: true,
+            needs_raw_data: true,
+            handles_heterogeneity: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TaskInfo;
+    use fabflip_data::SynthSpec;
+    use fabflip_nn::{models, Sequential};
+    use rand::SeedableRng;
+
+    fn fashion_task() -> TaskInfo {
+        TaskInfo {
+            channels: 1,
+            height: 28,
+            width: 28,
+            num_classes: 10,
+            synth_set_size: 16,
+            local_lr: 0.05,
+            local_batch: 8,
+            local_epochs: 1,
+        }
+    }
+
+    fn fashion_builder(rng: &mut StdRng) -> Sequential {
+        models::fashion_cnn(rng)
+    }
+
+    #[test]
+    fn crafts_an_update_of_model_size_that_differs_from_global() {
+        let spec = SynthSpec::fashion_like();
+        let data = Dataset::synthesize(&spec, 24, 3);
+        let mut attack = RealDataFlip::new(data, DistanceReg::enabled());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = models::fashion_cnn(&mut rng);
+        let global = model.flat_params();
+        let task = fashion_task();
+        let ctx = AttackContext {
+            global: &global,
+            prev_global: None,
+            benign_updates: &[],
+            n_selected: 10,
+            n_malicious_selected: 2,
+            task: &task,
+            build_model: &fashion_builder,
+        };
+        let w = attack.craft(&ctx, &mut rng).unwrap();
+        assert_eq!(w.len(), global.len());
+        assert_ne!(w, global);
+        // Target fixed after first craft.
+        let t1 = attack.target().unwrap();
+        let _ = attack.craft(&ctx, &mut rng).unwrap();
+        assert_eq!(attack.target().unwrap(), t1);
+    }
+
+    #[test]
+    fn empty_shard_is_an_error() {
+        let spec = SynthSpec::fashion_like();
+        let data = Dataset::synthesize(&spec, 1, 3);
+        // Build an empty dataset by gathering zero indices.
+        let empty = {
+            let b = data.gather(&[]);
+            Dataset::new(b.images, b.labels, 10)
+        };
+        let mut attack = RealDataFlip::new(empty, DistanceReg::enabled());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = models::fashion_cnn(&mut rng);
+        let global = model.flat_params();
+        let task = fashion_task();
+        let ctx = AttackContext {
+            global: &global,
+            prev_global: None,
+            benign_updates: &[],
+            n_selected: 10,
+            n_malicious_selected: 2,
+            task: &task,
+            build_model: &fashion_builder,
+        };
+        assert!(matches!(attack.craft(&ctx, &mut rng), Err(AttackError::NeedsRawData(_))));
+    }
+}

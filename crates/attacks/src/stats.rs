@@ -1,0 +1,118 @@
+//! Small statistical helpers for attack parameterization.
+
+/// Inverse of the standard normal CDF (the probit function), using
+/// Acklam's rational approximation (relative error < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics when `p` is not strictly inside `(0, 1)`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit requires p in (0, 1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The LIE attack's `z` factor (Baruch et al., 2019): with `n` workers of
+/// which `m` are corrupted, the attacker needs
+/// `s = ⌊n/2⌋ + 1 − m` benign "supporters"; `z` is the quantile such that
+/// a fraction `(n − m − s)/(n − m)` of benign updates lies below the crafted
+/// value.
+///
+/// # Panics
+///
+/// Panics when `m >= n` or `n == 0`.
+pub fn lie_z_factor(n: usize, m: usize) -> f64 {
+    assert!(n > 0 && m < n, "need at least one benign worker");
+    let s = (n / 2 + 1).saturating_sub(m) as f64;
+    let benign = (n - m) as f64;
+    let p = ((benign - s) / benign).clamp(1e-6, 1.0 - 1e-6);
+    inverse_normal_cdf(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probit_known_values() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.8413) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn probit_is_monotone() {
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..100 {
+            let v = inverse_normal_cdf(i as f64 / 100.0);
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn probit_rejects_bounds() {
+        let _ = inverse_normal_cdf(0.0);
+    }
+
+    #[test]
+    fn lie_z_paper_setting() {
+        // n = 50 workers, m = 24 corrupted (Baruch's running example):
+        // s = 2, p = (26 − 2)/26 ≈ 0.923 → z ≈ 1.43.
+        let z = lie_z_factor(50, 24);
+        assert!((z - 1.426).abs() < 0.02, "z = {z}");
+        // Our FL setting: n = 10 selected, m = 2 malicious → s = 4,
+        // p = 0.5, z = 0 (degenerate; the Lie attack floors it).
+        let z = lie_z_factor(10, 2);
+        assert!(z.abs() < 1e-9, "z = {z}");
+        // Population-level setting: 100 clients, 20 malicious.
+        let z = lie_z_factor(100, 20);
+        assert!(z > 0.2 && z < 0.5, "z = {z}");
+    }
+}

@@ -1,0 +1,173 @@
+use crate::{AttackError, Capabilities};
+use fabflip_nn::Sequential;
+use rand::rngs::StdRng;
+
+/// Builds a freshly initialized model of the task's architecture. The
+/// attack loads the global weights into it before any adversarial training.
+pub type ModelBuilder = dyn Fn(&mut StdRng) -> Sequential + Send + Sync;
+
+/// Static description of the learning task, known to every client (the
+/// central server distributes the model, so architecture, image geometry
+/// and class count are public — exactly the knowledge the paper grants the
+/// zero-knowledge adversary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskInfo {
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of classes `L`.
+    pub num_classes: usize,
+    /// Synthetic-set size `|S|` (the paper finds a size similar to benign
+    /// clients' datasets works well).
+    pub synth_set_size: usize,
+    /// Local learning rate `η` (uniform across clients, Sec. II-A).
+    pub local_lr: f32,
+    /// Local mini-batch size.
+    pub local_batch: usize,
+    /// Local training epochs for the adversarial classifier.
+    pub local_epochs: usize,
+}
+
+impl TaskInfo {
+    /// Flat length of one image.
+    pub fn image_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+/// Everything an attack may consult when crafting the round's malicious
+/// update. Zero-knowledge attacks use only `global`, `prev_global` and
+/// `task`; the baselines additionally read the benign oracle.
+pub struct AttackContext<'a> {
+    /// Current global model `w(t)` (flat).
+    pub global: &'a [f32],
+    /// Previous global model `w(t−1)`, if any (for the distance
+    /// regularizer, Eq. 3).
+    pub prev_global: Option<&'a [f32]>,
+    /// Benign updates of this round — the oracle the baseline attacks
+    /// assume. Empty for zero-knowledge attacks.
+    pub benign_updates: &'a [Vec<f32>],
+    /// Number of clients selected this round (`K`).
+    pub n_selected: usize,
+    /// Number of malicious clients among the selected (`m`).
+    pub n_malicious_selected: usize,
+    /// Task description.
+    pub task: &'a TaskInfo,
+    /// Architecture factory.
+    pub build_model: &'a ModelBuilder,
+}
+
+impl std::fmt::Debug for AttackContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttackContext")
+            .field("global_len", &self.global.len())
+            .field("has_prev", &self.prev_global.is_some())
+            .field("benign_updates", &self.benign_updates.len())
+            .field("n_selected", &self.n_selected)
+            .field("n_malicious_selected", &self.n_malicious_selected)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Filters the benign oracle down to finite updates of the expected
+/// length. Oracle-dependent attacks call this first so that one diverged
+/// benign client cannot poison *their* arithmetic.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadContext`] when an update has the wrong length
+/// and [`AttackError::NeedsBenignUpdates`] when fewer than `min` finite
+/// updates remain.
+pub fn finite_benign<'a>(
+    ctx: &'a AttackContext<'_>,
+    attack: &'static str,
+    min: usize,
+) -> Result<Vec<&'a [f32]>, AttackError> {
+    let mut out = Vec::with_capacity(ctx.benign_updates.len());
+    for u in ctx.benign_updates {
+        if u.len() != ctx.global.len() {
+            return Err(AttackError::BadContext("benign update length mismatch".into()));
+        }
+        if u.iter().all(|v| v.is_finite()) {
+            out.push(u.as_slice());
+        }
+    }
+    if out.len() < min {
+        return Err(AttackError::NeedsBenignUpdates(attack));
+    }
+    Ok(out)
+}
+
+/// An untargeted poisoning attack. One adversarial party computes a single
+/// malicious update per round; every malicious client submits it
+/// (Sec. III-A).
+pub trait Attack: Send {
+    /// Crafts this round's malicious update (flat parameter vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`] when a required capability is missing from
+    /// the context or internal training fails.
+    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Vec<f32>, AttackError>;
+
+    /// Short name for reports, e.g. `"LIE"`.
+    fn name(&self) -> &'static str;
+
+    /// The attack's assumption profile (Table I).
+    fn capabilities(&self) -> Capabilities;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabflip_nn::Dense;
+
+    #[test]
+    fn task_info_image_len() {
+        let t = TaskInfo {
+            channels: 3,
+            height: 32,
+            width: 32,
+            num_classes: 10,
+            synth_set_size: 50,
+            local_lr: 0.05,
+            local_batch: 16,
+            local_epochs: 2,
+        };
+        assert_eq!(t.image_len(), 3072);
+    }
+
+    #[test]
+    fn context_debug_is_informative() {
+        let task = TaskInfo {
+            channels: 1,
+            height: 4,
+            width: 4,
+            num_classes: 2,
+            synth_set_size: 4,
+            local_lr: 0.1,
+            local_batch: 2,
+            local_epochs: 1,
+        };
+        let builder = |rng: &mut StdRng| {
+            let mut m = Sequential::new();
+            m.push(Dense::new(16, 2, rng));
+            m
+        };
+        let global = vec![0.0f32; 34];
+        let ctx = AttackContext {
+            global: &global,
+            prev_global: None,
+            benign_updates: &[],
+            n_selected: 10,
+            n_malicious_selected: 2,
+            task: &task,
+            build_model: &builder,
+        };
+        let s = format!("{ctx:?}");
+        assert!(s.contains("global_len: 34"));
+    }
+}

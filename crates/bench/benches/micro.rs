@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the paper's Sec. IV-E complexity claims:
+//! the adversary's per-round crafting cost is within a small factor of a
+//! benign client's local training, and the per-rule aggregation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabflip::{ZkaConfig, ZkaG, ZkaR};
+use fabflip_agg::{Bulyan, Defense, FedAvg, Median, MultiKrum, TrimmedMean};
+use fabflip_attacks::TaskInfo;
+use fabflip_data::{Dataset, SynthSpec};
+use fabflip_fl::TaskKind;
+use fabflip_nn::losses::softmax_cross_entropy_hard;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn fashion_task(set_size: usize) -> TaskInfo {
+    let spec = SynthSpec::fashion_like();
+    TaskInfo {
+        channels: spec.channels,
+        height: spec.height,
+        width: spec.width,
+        num_classes: spec.num_classes,
+        synth_set_size: set_size,
+        local_lr: 0.08,
+        local_batch: 16,
+        local_epochs: 1,
+    }
+}
+
+/// A benign client's whole local round: one epoch over a 20-image shard.
+fn bench_benign_local_epoch(c: &mut Criterion) {
+    let spec = SynthSpec::fashion_like();
+    let data = Dataset::synthesize(&spec, 20, 1);
+    let idx: Vec<usize> = (0..20).collect();
+    c.bench_function("benign_local_epoch_fashion", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut model = TaskKind::Fashion.build_model(&mut rng);
+            for batch in data.shuffled_batches(&idx, 16, &mut rng) {
+                model
+                    .train_step(&batch.images, 0.08, |lg| {
+                        softmax_cross_entropy_hard(lg, &batch.labels)
+                    })
+                    .unwrap();
+            }
+            black_box(model.flat_params().len())
+        })
+    });
+}
+
+/// ZKA-R synthetic-set generation (|S| = 20, E = 5), Sec. IV-E's
+/// O(|S| J² Q I²) term.
+fn bench_zka_r_generation(c: &mut Criterion) {
+    let task = fashion_task(20);
+    c.bench_function("zka_r_synthesize_s20", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut global = TaskKind::Fashion.build_model(&mut rng);
+            let (s, _) = ZkaR::new(ZkaConfig::paper()).synthesize(&mut global, &task, &mut rng).unwrap();
+            black_box(s.len())
+        })
+    });
+}
+
+/// ZKA-G synthetic-set generation (|S| = 20, E = 5), Sec. IV-E's
+/// O(|S| (P + Q) I²) term.
+fn bench_zka_g_generation(c: &mut Criterion) {
+    let task = fashion_task(20);
+    c.bench_function("zka_g_synthesize_s20", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut global = TaskKind::Fashion.build_model(&mut rng);
+            let (s, _) =
+                ZkaG::new(ZkaConfig::paper()).synthesize(&mut global, &task, 0, &mut rng).unwrap();
+            black_box(s.len())
+        })
+    });
+}
+
+/// Server-side aggregation cost per rule, 10 updates of fashion-model size.
+fn bench_defenses(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut model = {
+        let mut r = StdRng::seed_from_u64(0);
+        TaskKind::Fashion.build_model(&mut r)
+    };
+    let d = model.num_params();
+    let updates: Vec<Vec<f32>> =
+        (0..10).map(|_| (0..d).map(|_| rng.gen_range(-0.1..0.1)).collect()).collect();
+    let weights = vec![20.0f32; 10];
+    let rules: Vec<(&str, Box<dyn Defense>)> = vec![
+        ("fedavg", Box::new(FedAvg::new())),
+        ("mkrum", Box::new(MultiKrum::with_default_m(2))),
+        ("trmean", Box::new(TrimmedMean::new(2))),
+        ("median", Box::new(Median::new())),
+        ("bulyan", Box::new(Bulyan::new(2))),
+    ];
+    let mut group = c.benchmark_group("aggregate_10x_fashion_model");
+    for (name, rule) in &rules {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(rule.aggregate(&updates, &weights).unwrap().model.len()))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_benign_local_epoch, bench_zka_r_generation, bench_zka_g_generation, bench_defenses
+}
+criterion_main!(benches);

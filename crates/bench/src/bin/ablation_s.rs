@@ -1,0 +1,43 @@
+//! Ablation of the synthetic-set size |S| — the hyper-parameter the paper
+//! calls task-dependent, noting that "a similar number of images as benign
+//! clients produce[s] good results" (Sec. IV-A). Sweeps |S| around the
+//! benign shard size (20 images/client at default scale) for both ZKA
+//! variants on Fashion-MNIST with mKrum.
+
+use fabflip::ZkaConfig;
+use fabflip_agg::DefenseKind;
+use fabflip_bench::{render_table, save_json, BenchOpts, CellCache};
+use fabflip_fl::{AttackSpec, FlConfig, TaskKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut cache = CellCache::open(&opts.out_dir);
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for (name, make) in [
+        ("ZKA-R", (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec),
+        ("ZKA-G", |cfg: ZkaConfig| AttackSpec::ZkaG { cfg }),
+    ] {
+        for s_size in [5usize, 20, 50] {
+            let cfg = opts.scale.shrink(
+                FlConfig::builder(TaskKind::Fashion)
+                    .defense(DefenseKind::MKrum { f: 2 })
+                    .attack(make(ZkaConfig::paper()))
+                    .synth_set_size(s_size)
+                    .seed(1)
+                    .build(),
+            );
+            let s = cache.run(&cfg, opts.repeats);
+            rows.push(vec![
+                name.to_string(),
+                format!("|S| = {s_size}"),
+                format!("{:.2}", s.asr * 100.0),
+                s.dpr_display(),
+            ]);
+            all.push(s);
+        }
+    }
+    println!("\nAblation — synthetic-set size |S| (Fashion-MNIST, mKrum)");
+    println!("{}", render_table(&["Attack", "Set size", "ASR %", "DPR %"], &rows));
+    save_json(&opts.out_dir, "ablation_s.json", &all);
+}

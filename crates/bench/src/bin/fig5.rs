@@ -1,0 +1,33 @@
+//! Fig. 5: defense pass rate (DPR) on the selection defenses mKrum and
+//! Bulyan, both datasets, β = 0.5. Shares cells with table2 via the cache.
+
+use fabflip_agg::DefenseKind;
+use fabflip_bench::{render_table, save_json, BenchOpts, CellCache};
+use fabflip_fl::{AttackSpec, FlConfig, TaskKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut cache = CellCache::open(&opts.out_dir);
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for task in [TaskKind::Fashion, TaskKind::Cifar] {
+        for defense in [DefenseKind::MKrum { f: 2 }, DefenseKind::Bulyan { f: 2 }] {
+            let mut row = vec![task.label().to_string(), defense.label().to_string()];
+            for attack in AttackSpec::paper_grid() {
+                let cfg = opts.scale.shrink(
+                    FlConfig::builder(task).defense(defense).attack(attack.clone()).seed(1).build(),
+                );
+                let s = cache.run(&cfg, opts.repeats);
+                row.push(s.dpr_display());
+                all.push(s);
+            }
+            rows.push(row);
+        }
+    }
+    println!("\nFig. 5 — defense pass rate (DPR, %) on selection defenses");
+    println!(
+        "{}",
+        render_table(&["Dataset", "Defense", "Fang", "LIE", "Min-Max", "ZKA-R", "ZKA-G"], &rows)
+    );
+    save_json(&opts.out_dir, "fig5.json", &all);
+}

@@ -1,0 +1,35 @@
+//! Sec. IV-A strawman: random model weights almost never pass the
+//! selection defenses (paper: 2.62% / 6.57% DPR on mKrum, ≤ 3.27% Bulyan).
+
+use fabflip_agg::DefenseKind;
+use fabflip_bench::{render_table, save_json, BenchOpts, CellCache};
+use fabflip_fl::{AttackSpec, FlConfig, TaskKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut cache = CellCache::open(&opts.out_dir);
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for task in [TaskKind::Fashion, TaskKind::Cifar] {
+        for defense in [DefenseKind::MKrum { f: 2 }, DefenseKind::Bulyan { f: 2 }] {
+            let cfg = opts.scale.shrink(
+                FlConfig::builder(task)
+                    .defense(defense)
+                    .attack(AttackSpec::RandomWeights)
+                    .seed(1)
+                    .build(),
+            );
+            let s = cache.run(&cfg, opts.repeats);
+            rows.push(vec![
+                task.label().to_string(),
+                defense.label().to_string(),
+                s.dpr_display(),
+                format!("{:.2}", s.asr * 100.0),
+            ]);
+            all.push(s);
+        }
+    }
+    println!("\nSec. IV-A — random-weight strawman (DPR %, ASR %)");
+    println!("{}", render_table(&["Dataset", "Defense", "DPR", "ASR"], &rows));
+    save_json(&opts.out_dir, "micro_random.json", &all);
+}

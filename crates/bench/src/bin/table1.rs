@@ -1,0 +1,41 @@
+//! Table I: attack assumption matrix (qualitative threat-model comparison).
+
+use fabflip::{ZkaConfig, ZkaG, ZkaR};
+use fabflip_attacks::{Attack, Fang, Lie, MinMax};
+use fabflip_bench::render_table;
+
+fn main() {
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Lie::new()),
+        Box::new(Fang::new()),
+        Box::new(MinMax::new()),
+        Box::new(ZkaR::new(ZkaConfig::paper())),
+        Box::new(ZkaG::new(ZkaConfig::paper())),
+    ];
+    let rows: Vec<Vec<String>> = attacks
+        .iter()
+        .map(|a| {
+            let c = a.capabilities();
+            vec![
+                a.name().to_string(),
+                if c.needs_benign_updates { "yes" } else { "no" }.to_string(),
+                if c.defenses_known.is_empty() {
+                    "—".to_string()
+                } else {
+                    c.defenses_known.join(", ")
+                },
+                if c.works_defense_unknown { "yes" } else { "no" }.to_string(),
+                if c.needs_raw_data { "yes" } else { "no" }.to_string(),
+                if c.handles_heterogeneity { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table I — attack scenarios (paper Sec. III-B)\n");
+    println!(
+        "{}",
+        render_table(
+            &["Attack", "Benign updates", "Defenses known", "Defense-unknown", "Raw data", "Heterogeneity"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,34 @@
+//! Table II: ASR and max accuracy for the full attack × defense × dataset
+//! grid at β = 0.5. Fig. 5 reuses these cells via the on-disk cache.
+
+use fabflip_agg::DefenseKind;
+use fabflip_bench::{render_table, save_json, BenchOpts, CellCache};
+use fabflip_fl::{AttackSpec, FlConfig, TaskKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut cache = CellCache::open(&opts.out_dir);
+    let mut all = Vec::new();
+    for task in [TaskKind::Fashion, TaskKind::Cifar] {
+        let mut rows = Vec::new();
+        for defense in DefenseKind::paper_grid(2) {
+            let mut row = vec![task.label().to_string(), defense.label().to_string()];
+            for attack in AttackSpec::paper_grid() {
+                let cfg = opts.scale.shrink(
+                    FlConfig::builder(task).defense(defense).attack(attack.clone()).seed(1).build(),
+                );
+                let s = cache.run(&cfg, opts.repeats);
+                row.push(format!("{:.1}/{:.1}", s.acc_max * 100.0, s.asr * 100.0));
+                all.push(s);
+            }
+            rows.push(row);
+        }
+        let natk = all.last().map(|s| s.acc_natk).unwrap_or(0.0);
+        println!("\nTable II — {} (acc_natk = {:.1}); cells are acc/ASR in %", task.label(), natk * 100.0);
+        println!(
+            "{}",
+            render_table(&["Dataset", "Defense", "Fang", "LIE", "Min-Max", "ZKA-R", "ZKA-G"], &rows)
+        );
+    }
+    save_json(&opts.out_dir, "table2.json", &all);
+}

@@ -1,0 +1,50 @@
+//! Table IV: static (randomly initialized, untrained) vs trained synthetic
+//! data generation for ZKA-R and ZKA-G — ASR and DPR on all four defenses.
+
+use fabflip::ZkaConfig;
+use fabflip_agg::DefenseKind;
+use fabflip_bench::{render_table, save_json, BenchOpts, CellCache};
+use fabflip_fl::{AttackSpec, FlConfig, TaskKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut cache = CellCache::open(&opts.out_dir);
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for task in [TaskKind::Fashion, TaskKind::Cifar] {
+        for (name, make) in [
+            ("ZKA-R", (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec),
+            ("ZKA-G", |cfg: ZkaConfig| AttackSpec::ZkaG { cfg }),
+        ] {
+            for defense in DefenseKind::paper_grid(2) {
+                let mut row = vec![
+                    format!("{name} {}", task.label()),
+                    defense.label().to_string(),
+                ];
+                for zcfg in [ZkaConfig::static_variant(), ZkaConfig::paper()] {
+                    let cfg = opts.scale.shrink(
+                        FlConfig::builder(task)
+                            .defense(defense)
+                            .attack(make(zcfg))
+                            .seed(1)
+                            .build(),
+                    );
+                    let s = cache.run(&cfg, opts.repeats);
+                    row.push(format!("{:.2}", s.asr * 100.0));
+                    row.push(s.dpr_display());
+                    all.push(s);
+                }
+                rows.push(row);
+            }
+        }
+    }
+    println!("\nTable IV — static vs trained synthetic data (ASR %, DPR %)");
+    println!(
+        "{}",
+        render_table(
+            &["Attack", "Defense", "Static ASR", "Static DPR", "Trained ASR", "Trained DPR"],
+            &rows
+        )
+    );
+    save_json(&opts.out_dir, "table4.json", &all);
+}

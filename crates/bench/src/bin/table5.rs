@@ -1,0 +1,45 @@
+//! Table V: ablation of the distance-based regularizer (Eq. 3) on
+//! Fashion-MNIST — ASR and DPR with λ = 0 vs the paper's λ.
+
+use fabflip::ZkaConfig;
+use fabflip_agg::DefenseKind;
+use fabflip_bench::{render_table, save_json, BenchOpts, CellCache};
+use fabflip_fl::{AttackSpec, FlConfig, TaskKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut cache = CellCache::open(&opts.out_dir);
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for (name, make) in [
+        ("ZKA-R", (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec),
+        ("ZKA-G", |cfg: ZkaConfig| AttackSpec::ZkaG { cfg }),
+    ] {
+        for defense in DefenseKind::paper_grid(2) {
+            let mut row = vec![name.to_string(), defense.label().to_string()];
+            for zcfg in [ZkaConfig::without_regularization(), ZkaConfig::paper()] {
+                let cfg = opts.scale.shrink(
+                    FlConfig::builder(TaskKind::Fashion)
+                        .defense(defense)
+                        .attack(make(zcfg))
+                        .seed(1)
+                        .build(),
+                );
+                let s = cache.run(&cfg, opts.repeats);
+                row.push(format!("{:.2}", s.asr * 100.0));
+                row.push(s.dpr_display());
+                all.push(s);
+            }
+            rows.push(row);
+        }
+    }
+    println!("\nTable V — distance-regularizer ablation, Fashion-MNIST (ASR %, DPR %)");
+    println!(
+        "{}",
+        render_table(
+            &["Attack", "Defense", "no-reg ASR", "no-reg DPR", "reg ASR", "reg DPR"],
+            &rows
+        )
+    );
+    save_json(&opts.out_dir, "table5.json", &all);
+}

@@ -1,0 +1,299 @@
+//! # fabflip-cli
+//!
+//! Command-line front end for the `fabflip` testbed. Subcommands:
+//!
+//! * `list` — the available attacks (with their Table I assumption
+//!   profiles) and defenses,
+//! * `run` — one federated-learning simulation with live per-round
+//!   progress, e.g.
+//!
+//! ```sh
+//! fabflip-cli run --task fashion --attack zka-g --defense mkrum --rounds 20
+//! fabflip-cli run --task cifar --attack min-max --defense bulyan --beta 0.1
+//! fabflip-cli run --task fashion --attack zka-r --defense foolsgold --sybil-noise 0.02
+//! ```
+//!
+//! The argument parser is hand-rolled (no CLI dependency) and exposed here
+//! for testing.
+
+use fabflip::ZkaConfig;
+use fabflip_agg::DefenseKind;
+use fabflip_fl::{AttackSpec, FlConfig, TaskKind};
+
+/// A parsed `run` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// The full simulation config.
+    pub config: FlConfig,
+    /// Emit one line per round while running.
+    pub live: bool,
+    /// Emit the summary as JSON instead of text.
+    pub json: bool,
+}
+
+/// Top-level parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `list`
+    List,
+    /// `run …`
+    Run(RunArgs),
+    /// `help` or `--help`
+    Help,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an attack name (the labels used across the repo and the paper).
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn parse_attack(name: &str) -> Result<AttackSpec, ParseError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "none" => AttackSpec::None,
+        "lie" => AttackSpec::Lie,
+        "fang" => AttackSpec::Fang,
+        "min-max" | "minmax" => AttackSpec::MinMax,
+        "min-sum" | "minsum" => AttackSpec::MinSum,
+        "random" | "random-weights" => AttackSpec::RandomWeights,
+        "real-data" | "realdata" => AttackSpec::RealData { lambda: 1.0 },
+        "zka-r" | "zkar" => AttackSpec::ZkaR { cfg: ZkaConfig::paper() },
+        "zka-g" | "zkag" => AttackSpec::ZkaG { cfg: ZkaConfig::paper() },
+        "zka-r-static" => AttackSpec::ZkaR { cfg: ZkaConfig::static_variant() },
+        "zka-g-static" => AttackSpec::ZkaG { cfg: ZkaConfig::static_variant() },
+        other => {
+            return Err(ParseError(format!(
+                "unknown attack `{other}`; one of: none, lie, fang, min-max, min-sum, random, \
+                 real-data, zka-r, zka-g, zka-r-static, zka-g-static"
+            )))
+        }
+    })
+}
+
+/// Parses a defense name.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn parse_defense(name: &str) -> Result<DefenseKind, ParseError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "fedavg" | "none" => DefenseKind::FedAvg,
+        "krum" => DefenseKind::Krum { f: 2 },
+        "mkrum" | "multi-krum" => DefenseKind::MKrum { f: 2 },
+        "trmean" | "trimmed-mean" => DefenseKind::TrMean { trim: 2 },
+        "median" => DefenseKind::Median,
+        "bulyan" => DefenseKind::Bulyan { f: 2 },
+        "foolsgold" => DefenseKind::FoolsGold,
+        "normbound" | "norm-bound" => DefenseKind::NormBound { max_norm_milli: 500 },
+        other => {
+            return Err(ParseError(format!(
+                "unknown defense `{other}`; one of: fedavg, krum, mkrum, trmean, median, bulyan, \
+                 foolsgold, normbound"
+            )))
+        }
+    })
+}
+
+/// Parses a task name.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn parse_task(name: &str) -> Result<TaskKind, ParseError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "fashion" | "fashion-mnist" => TaskKind::Fashion,
+        "cifar" | "cifar-10" | "cifar10" => TaskKind::Cifar,
+        other => return Err(ParseError(format!("unknown task `{other}`; fashion or cifar"))),
+    })
+}
+
+fn take_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, ParseError> {
+    *i += 1;
+    args.get(*i).map(String::as_str).ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown subcommands, flags or values.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => Ok(Command::List),
+        Some("run") => {
+            let mut task = TaskKind::Fashion;
+            let mut attack = AttackSpec::None;
+            let mut defense = DefenseKind::FedAvg;
+            let mut rounds: Option<usize> = None;
+            let mut beta: Option<f64> = None;
+            let mut seed: u64 = 1;
+            let mut sybil_noise: f32 = 0.0;
+            let mut live = true;
+            let mut json = false;
+            let mut i = 1usize;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--task" => task = parse_task(take_value(args, &mut i, "--task")?)?,
+                    "--attack" => attack = parse_attack(take_value(args, &mut i, "--attack")?)?,
+                    "--defense" => {
+                        defense = parse_defense(take_value(args, &mut i, "--defense")?)?
+                    }
+                    "--rounds" => {
+                        rounds = Some(
+                            take_value(args, &mut i, "--rounds")?
+                                .parse()
+                                .map_err(|_| ParseError("--rounds needs an integer".into()))?,
+                        )
+                    }
+                    "--beta" => {
+                        beta = Some(
+                            take_value(args, &mut i, "--beta")?
+                                .parse()
+                                .map_err(|_| ParseError("--beta needs a number".into()))?,
+                        )
+                    }
+                    "--seed" => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?
+                    }
+                    "--sybil-noise" => {
+                        sybil_noise = take_value(args, &mut i, "--sybil-noise")?
+                            .parse()
+                            .map_err(|_| ParseError("--sybil-noise needs a number".into()))?
+                    }
+                    "--quiet" => live = false,
+                    "--json" => json = true,
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            let mut builder = FlConfig::builder(task)
+                .attack(attack)
+                .defense(defense)
+                .seed(seed)
+                .sybil_noise(sybil_noise);
+            if let Some(r) = rounds {
+                builder = builder.rounds(r);
+            }
+            if let Some(b) = beta {
+                builder = builder.beta(b);
+            }
+            Ok(Command::Run(RunArgs { config: builder.build(), live, json }))
+        }
+        Some(other) => Err(ParseError(format!(
+            "unknown subcommand `{other}`; try `list`, `run` or `help`"
+        ))),
+    }
+}
+
+/// The `help` text.
+pub fn help_text() -> &'static str {
+    "fabflip-cli — zero-knowledge FL poisoning testbed
+
+USAGE:
+    fabflip-cli list
+    fabflip-cli run [--task fashion|cifar] [--attack NAME] [--defense NAME]
+                    [--rounds N] [--beta B] [--seed S] [--sybil-noise X]
+                    [--quiet] [--json]
+
+EXAMPLES:
+    fabflip-cli run --task fashion --attack zka-g --defense mkrum --rounds 20
+    fabflip-cli run --task cifar --attack min-max --defense bulyan --beta 0.1
+    fabflip-cli list
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_names_case_insensitively() {
+        assert_eq!(parse_attack("ZKA-G").unwrap().label(), "ZKA-G");
+        assert_eq!(parse_attack("minmax").unwrap(), AttackSpec::MinMax);
+        assert_eq!(parse_defense("MKRUM").unwrap().label(), "mKrum");
+        assert_eq!(parse_task("CIFAR10").unwrap(), TaskKind::Cifar);
+        assert!(parse_attack("bogus").is_err());
+        assert!(parse_defense("bogus").is_err());
+        assert!(parse_task("bogus").is_err());
+    }
+
+    #[test]
+    fn parses_a_full_run_command() {
+        let cmd = parse(&argv(
+            "run --task cifar --attack zka-r --defense bulyan --rounds 7 --beta 0.1 --seed 9 --json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.config.task, TaskKind::Cifar);
+                assert_eq!(r.config.attack.label(), "ZKA-R");
+                assert_eq!(r.config.defense.label(), "Bulyan");
+                assert_eq!(r.config.rounds, 7);
+                assert_eq!(r.config.beta, 0.1);
+                assert_eq!(r.config.seed, 9);
+                assert!(r.json);
+                assert!(r.live);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cmd = parse(&argv("run")).unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.config.task, TaskKind::Fashion);
+                assert_eq!(r.config.attack, AttackSpec::None);
+                assert!(!r.json);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn help_and_list_and_errors() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --rounds")).is_err());
+        assert!(parse(&argv("run --rounds x")).is_err());
+        assert!(parse(&argv("run --whatever")).is_err());
+        assert!(!help_text().is_empty());
+    }
+
+    #[test]
+    fn sybil_noise_flag_reaches_config() {
+        let cmd = parse(&argv("run --sybil-noise 0.05 --quiet")).unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert!((r.config.sybil_noise - 0.05).abs() < 1e-6);
+                assert!(!r.live);
+            }
+            _ => panic!(),
+        }
+    }
+}

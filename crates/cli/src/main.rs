@@ -1,0 +1,102 @@
+//! `fabflip-cli` binary: see [`fabflip_cli`] for the parser and
+//! `fabflip-cli help` for usage.
+
+use fabflip::{ZkaConfig, ZkaG, ZkaR};
+use fabflip_attacks::{Attack, Fang, Lie, MinMax, MinSum, RandomWeights};
+use fabflip_cli::{parse, help_text, Command, RunArgs};
+use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate_observed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(Command::Help) => print!("{}", help_text()),
+        Ok(Command::List) => list(),
+        Ok(Command::Run(run_args)) => {
+            if let Err(e) = run(run_args) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print!("{}", help_text());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn list() {
+    println!("attacks (name — benign-update oracle / raw data / defense-unknown):");
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Lie::new()),
+        Box::new(Fang::new()),
+        Box::new(MinMax::new()),
+        Box::new(MinSum::new()),
+        Box::new(RandomWeights::new()),
+        Box::new(ZkaR::new(ZkaConfig::paper())),
+        Box::new(ZkaG::new(ZkaConfig::paper())),
+    ];
+    for a in &attacks {
+        let c = a.capabilities();
+        println!(
+            "  {:<14} oracle={:<5} raw-data={:<5} defense-unknown={}",
+            a.name(),
+            c.needs_benign_updates,
+            c.needs_raw_data,
+            c.works_defense_unknown
+        );
+    }
+    println!("  {:<14} (real images + flipped label; needs --attack real-data)", "Real-data");
+    println!("\ndefenses: fedavg, krum, mkrum, trmean, median, bulyan, foolsgold, normbound");
+    println!("tasks:    fashion (28x28x1, 2-conv CNN), cifar (32x32x3, 6-conv CNN)");
+}
+
+fn run(args: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = args.config;
+    if args.live && !args.json {
+        eprintln!(
+            "task {} | attack {} | defense {} | β {} | {} rounds | seed {}",
+            cfg.task.label(),
+            cfg.attack.label(),
+            cfg.defense.label(),
+            cfg.beta,
+            cfg.rounds,
+            cfg.seed
+        );
+    }
+    let result = simulate_observed(&cfg, |r| {
+        if args.live && !args.json {
+            eprintln!(
+                "round {:>3}: accuracy {:.3}  (malicious submitted {}, passed {})",
+                r.round, r.accuracy, r.malicious_selected, r.malicious_passed
+            );
+        }
+    })?;
+    let natk = acc_natk(&cfg)?;
+    let asr = attack_success_rate(natk, result.max_accuracy());
+    if args.json {
+        let summary = serde_json::json!({
+            "task": cfg.task.label(),
+            "attack": cfg.attack.label(),
+            "defense": cfg.defense.label(),
+            "beta": cfg.beta,
+            "seed": cfg.seed,
+            "acc_natk": natk,
+            "acc_max": result.max_accuracy(),
+            "acc_final": result.final_accuracy(),
+            "asr": asr,
+            "dpr": result.dpr(),
+            "accuracy_trace": result.accuracy_trace(),
+        });
+        println!("{}", serde_json::to_string_pretty(&summary)?);
+    } else {
+        println!("clean ceiling (acc_natk):  {natk:.3}");
+        println!("max accuracy under attack: {:.3}", result.max_accuracy());
+        println!("attack success rate:       {:.1}%", asr * 100.0);
+        match result.dpr() {
+            Some(d) => println!("defense pass rate:         {:.1}%", d * 100.0),
+            None => println!("defense pass rate:         NA"),
+        }
+    }
+    Ok(())
+}

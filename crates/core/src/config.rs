@@ -1,0 +1,96 @@
+use fabflip_attacks::trainer::DistanceReg;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by both ZKA variants.
+///
+/// The defaults mirror the paper's setup; [`ZkaConfig::fast`] is a reduced
+/// profile for tests and doc examples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZkaConfig {
+    /// Train the filter layer / generator each round (`true`, the paper's
+    /// main configuration) or use it randomly initialized without updates
+    /// ("Static", Table IV).
+    pub trained: bool,
+    /// Strength λ of the distance-based regularizer (Eq. 3); `0` disables
+    /// it (Table V ablation).
+    pub reg_lambda: f32,
+    /// Generation epochs `E` for the filter layer / generator. The paper's
+    /// Fig. 6 shows convergence after only a few epochs.
+    pub gen_epochs: usize,
+    /// Learning rate for the filter layer / generator.
+    pub gen_lr: f32,
+    /// ZKA-R filter kernel size `J` (odd, "same" padding).
+    pub filter_kernel: usize,
+    /// ZKA-G noise dimensionality of `z`.
+    pub z_dim: usize,
+    /// Seed for the fixed noise batch `Z` of ZKA-G ("we use the same random
+    /// seed over multiple rounds").
+    pub z_seed: u64,
+}
+
+impl ZkaConfig {
+    /// The paper's default configuration.
+    pub fn paper() -> ZkaConfig {
+        ZkaConfig {
+            trained: true,
+            reg_lambda: 1.0,
+            gen_epochs: 5,
+            gen_lr: 0.05,
+            filter_kernel: 3,
+            z_dim: 32,
+            z_seed: 0xFAB_F11b,
+        }
+    }
+
+    /// A reduced profile (fewer epochs) for tests and examples.
+    pub fn fast() -> ZkaConfig {
+        ZkaConfig { gen_epochs: 2, ..ZkaConfig::paper() }
+    }
+
+    /// The "Static" arm of Table IV: randomly initialized synthesizer,
+    /// no training over rounds.
+    pub fn static_variant() -> ZkaConfig {
+        ZkaConfig { trained: false, ..ZkaConfig::paper() }
+    }
+
+    /// The "without regularization" arm of Table V.
+    pub fn without_regularization() -> ZkaConfig {
+        ZkaConfig { reg_lambda: 0.0, ..ZkaConfig::paper() }
+    }
+
+    /// The regularizer implied by `reg_lambda`.
+    pub fn reg(&self) -> DistanceReg {
+        DistanceReg { lambda: self.reg_lambda }
+    }
+}
+
+impl Default for ZkaConfig {
+    fn default() -> Self {
+        ZkaConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles() {
+        let p = ZkaConfig::paper();
+        assert!(p.trained);
+        assert!(p.reg_lambda > 0.0);
+        assert_eq!(p.filter_kernel % 2, 1);
+        assert!(!ZkaConfig::static_variant().trained);
+        assert_eq!(ZkaConfig::without_regularization().reg_lambda, 0.0);
+        assert!(ZkaConfig::fast().gen_epochs < p.gen_epochs);
+        assert_eq!(ZkaConfig::default(), p);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = ZkaConfig::paper();
+        let s = serde_json::to_string(&p).unwrap();
+        let back: ZkaConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! # fabflip — Fabricated Flips / the Zero-Knowledge Attack (ZKA)
+//!
+//! The paper's contribution: untargeted poisoning of federated learning
+//! **without data and without eavesdropping**. The adversary only ever sees
+//! the global model `w(t)` that the server distributes anyway, fabricates
+//! malicious synthetic images from it, assigns them one uniformly chosen
+//! label `Ỹ` ("fabricated flips"), trains a local model on the fabricated
+//! set with a distance-based stealth regularizer, and submits the result
+//! through all malicious clients.
+//!
+//! Two variants (Sec. IV):
+//!
+//! * [`ZkaR`] — **R**everse engineering: map a static uniform-random image
+//!   `A` through a single trainable convolution ("filter layer") into a
+//!   synthetic image `B`, training the filter so the *frozen* global model
+//!   assigns `B` the maximally ambiguous prediction
+//!   `Y_D = [1/L, …, 1/L]`. Repeated `|S|` times for diversity.
+//! * [`ZkaG`] — **G**enerator: a light-weight transposed-convolution
+//!   generator maps a *fixed* noise batch `Z` to images, trained to
+//!   **maximize** the global model's cross-entropy towards `Ỹ` — images the
+//!   model confidently considers *not* `Ỹ`, then labelled `Ỹ`.
+//!
+//! Both variants then call the shared adversarial trainer
+//! ([`fabflip_attacks::trainer`]) which minimizes `F(w, S) + λ·L_d` with the
+//! Eq. 3 distance regularizer. Both implement the common
+//! [`fabflip_attacks::Attack`] trait and plug into the `fabflip-fl`
+//! simulator alongside the baselines.
+//!
+//! # Examples
+//!
+//! Craft one malicious update with ZKA-G, knowing nothing but the global
+//! model:
+//!
+//! ```
+//! use fabflip::{ZkaConfig, ZkaG};
+//! use fabflip_attacks::{Attack, AttackContext, TaskInfo};
+//! use fabflip_nn::models;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut global_model = models::fashion_cnn(&mut rng);
+//! let global = global_model.flat_params();
+//! let task = TaskInfo {
+//!     channels: 1, height: 28, width: 28, num_classes: 10,
+//!     synth_set_size: 8, local_lr: 0.05, local_batch: 8, local_epochs: 1,
+//! };
+//! let mut attack = ZkaG::new(ZkaConfig::fast());
+//! let ctx = AttackContext {
+//!     global: &global,
+//!     prev_global: None,
+//!     benign_updates: &[], // zero knowledge!
+//!     n_selected: 10,
+//!     n_malicious_selected: 2,
+//!     task: &task,
+//!     build_model: &|rng: &mut StdRng| models::fashion_cnn(rng),
+//! };
+//! let malicious = attack.craft(&ctx, &mut rng)?;
+//! assert_eq!(malicious.len(), global.len());
+//! # Ok::<(), fabflip_attacks::AttackError>(())
+//! ```
+
+mod config;
+mod zka_g;
+mod zka_r;
+
+pub use config::ZkaConfig;
+pub use fabflip_attacks::trainer::DistanceReg;
+pub use zka_g::ZkaG;
+pub use zka_r::ZkaR;

@@ -1,0 +1,109 @@
+//! Tiny image export: write `[C, H, W]` tensors as binary PGM (grayscale)
+//! or PPM (RGB) so the fabricated images of the attacks can be inspected
+//! with any image viewer (used by `examples/synthetic_data.rs` and the
+//! Fig. 4 pipeline for qualitative checks).
+
+use fabflip_tensor::Tensor;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes a single image tensor (`[C, H, W]` or `[1, C, H, W]`, values in
+/// `[0, 1]`) as PGM (1 channel) or PPM (3 channels).
+///
+/// # Errors
+///
+/// Returns an I/O error on write failure, or `InvalidInput` for shapes that
+/// are not 1- or 3-channel images.
+pub fn save_image<P: AsRef<Path>>(img: &Tensor, path: P) -> io::Result<()> {
+    let shape = img.shape();
+    let (c, h, w) = match shape.len() {
+        3 => (shape[0], shape[1], shape[2]),
+        4 if shape[0] == 1 => (shape[1], shape[2], shape[3]),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("expected [C,H,W] or [1,C,H,W], got {shape:?}"),
+            ))
+        }
+    };
+    let mut out = Vec::new();
+    match c {
+        1 => {
+            out.extend_from_slice(format!("P5\n{w} {h}\n255\n").as_bytes());
+            for &v in img.data().iter().take(h * w) {
+                out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        3 => {
+            out.extend_from_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
+            let plane = h * w;
+            for i in 0..plane {
+                for ch in 0..3 {
+                    let v = img.data()[ch * plane + i];
+                    out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+                }
+            }
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{other} channels not supported (1 or 3)"),
+            ))
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fabflip-io-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_valid_pgm_header_and_payload() {
+        let img = Tensor::from_vec(vec![1, 2, 2], vec![0.0, 0.5, 1.0, 0.25]).unwrap();
+        let path = tmp("a.pgm");
+        save_image(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n2 2\n255\n".len() + 4);
+        assert_eq!(bytes[bytes.len() - 4], 0); // 0.0
+        assert_eq!(bytes[bytes.len() - 1], 64); // 0.25
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn writes_ppm_for_rgb_and_accepts_batched_shape() {
+        let img = Tensor::full(vec![1, 3, 2, 2], 1.0);
+        let path = tmp("b.ppm");
+        save_image(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n2 2\n255\n"));
+        assert!(bytes.ends_with(&[255u8; 12]));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_unsupported_shapes() {
+        let img = Tensor::zeros(vec![2, 2]);
+        assert!(save_image(&img, tmp("c.pgm")).is_err());
+        let img = Tensor::zeros(vec![4, 2, 2]);
+        assert!(save_image(&img, tmp("d.pgm")).is_err());
+        let img = Tensor::zeros(vec![2, 1, 2, 2]); // batch of 2
+        assert!(save_image(&img, tmp("e.pgm")).is_err());
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let img = Tensor::from_vec(vec![1, 1, 2], vec![-1.0, 2.0]).unwrap();
+        let path = tmp("f.pgm");
+        save_image(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[bytes.len() - 2..], &[0u8, 255u8]);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,155 @@
+//! 2-D principal component analysis by power iteration with deflation.
+//!
+//! The paper's Fig. 4 visualizes ZKA-R vs ZKA-G synthetic-data diversity
+//! with UMAP; any variance-preserving linear projection exhibits the same
+//! variance gap, so this reproduction uses PCA (see DESIGN.md §3).
+
+/// Projects `rows` (each of dimension `dim`) onto their first two principal
+/// components. Returns the projected `(x, y)` coordinates, one per row.
+///
+/// Uses mean-centering, then power iteration on the implicit covariance
+/// (never materializing the `dim × dim` matrix), with deflation for the
+/// second component.
+///
+/// # Panics
+///
+/// Panics when rows have inconsistent lengths or `rows` is empty.
+pub fn pca_2d(rows: &[Vec<f32>]) -> Vec<(f32, f32)> {
+    assert!(!rows.is_empty(), "pca of zero rows");
+    let dim = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == dim), "inconsistent row lengths");
+    let n = rows.len();
+
+    // Mean-center.
+    let mut mean = vec![0.0f32; dim];
+    for r in rows {
+        for (m, &v) in mean.iter_mut().zip(r) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    let centered: Vec<Vec<f32>> = rows
+        .iter()
+        .map(|r| r.iter().zip(&mean).map(|(v, m)| v - m).collect())
+        .collect();
+
+    let pc1 = power_iterate(&centered, None);
+    let pc2 = power_iterate(&centered, Some(&pc1));
+
+    centered
+        .iter()
+        .map(|r| {
+            let x: f32 = r.iter().zip(&pc1).map(|(a, b)| a * b).sum();
+            let y: f32 = r.iter().zip(&pc2).map(|(a, b)| a * b).sum();
+            (x, y)
+        })
+        .collect()
+}
+
+/// Power iteration for the leading eigenvector of `Xᵀ X / n`, with optional
+/// deflation against a previous (unit) component.
+fn power_iterate(centered: &[Vec<f32>], deflate: Option<&[f32]>) -> Vec<f32> {
+    let dim = centered[0].len();
+    // Deterministic pseudo-random start.
+    let mut v: Vec<f32> = (0..dim).map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() - 0.5).collect();
+    normalize(&mut v);
+    for _ in 0..60 {
+        if let Some(d) = deflate {
+            project_out(&mut v, d);
+        }
+        // w = Xᵀ (X v)
+        let mut w = vec![0.0f32; dim];
+        for r in centered {
+            let s: f32 = r.iter().zip(&v).map(|(a, b)| a * b).sum();
+            for (wv, &rv) in w.iter_mut().zip(r) {
+                *wv += s * rv;
+            }
+        }
+        if let Some(d) = deflate {
+            project_out(&mut w, d);
+        }
+        let norm: f32 = w.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm < 1e-12 {
+            break; // Degenerate direction (e.g. all rows identical).
+        }
+        for (vv, wv) in v.iter_mut().zip(&w) {
+            *vv = wv / norm;
+        }
+    }
+    v
+}
+
+fn normalize(v: &mut [f32]) {
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if n > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+fn project_out(v: &mut [f32], d: &[f32]) {
+    let s: f32 = v.iter().zip(d).map(|(a, b)| a * b).sum();
+    for (vv, &dv) in v.iter_mut().zip(d) {
+        *vv -= s * dv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Points spread along axis 0 with small noise on axis 1: PC1 scores
+        // must carry far more variance than PC2 scores.
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let t = i as f32 - 20.0;
+                vec![t, 0.01 * (i as f32 * 0.7).sin(), 0.0]
+            })
+            .collect();
+        let proj = pca_2d(&rows);
+        let var = |sel: fn(&(f32, f32)) -> f32| -> f32 {
+            let m: f32 = proj.iter().map(sel).sum::<f32>() / proj.len() as f32;
+            proj.iter().map(|p| (sel(p) - m).powi(2)).sum::<f32>() / proj.len() as f32
+        };
+        let v1 = var(|p| p.0);
+        let v2 = var(|p| p.1);
+        assert!(v1 > 100.0 * v2.max(1e-9), "v1 {v1} vs v2 {v2}");
+    }
+
+    #[test]
+    fn projection_preserves_relative_spread() {
+        // A wide cloud must project to higher total variance than a tight one.
+        let wide: Vec<Vec<f32>> = (0..30)
+            .map(|i| vec![(i as f32 * 1.7).sin() * 10.0, (i as f32 * 0.9).cos() * 10.0, i as f32])
+            .collect();
+        let tight: Vec<Vec<f32>> =
+            (0..30).map(|i| vec![(i as f32 * 1.7).sin() * 0.1, 0.0, 0.0]).collect();
+        let spread = |rows: &[Vec<f32>]| -> f32 {
+            let p = pca_2d(rows);
+            let mx: f32 = p.iter().map(|q| q.0).sum::<f32>() / p.len() as f32;
+            let my: f32 = p.iter().map(|q| q.1).sum::<f32>() / p.len() as f32;
+            p.iter().map(|q| (q.0 - mx).powi(2) + (q.1 - my).powi(2)).sum::<f32>() / p.len() as f32
+        };
+        assert!(spread(&wide) > 10.0 * spread(&tight));
+    }
+
+    #[test]
+    fn identical_rows_project_to_one_point() {
+        let rows = vec![vec![1.0, 2.0, 3.0]; 5];
+        let proj = pca_2d(&rows);
+        for (x, y) in proj {
+            assert!(x.abs() < 1e-5 && y.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn rejects_empty_input() {
+        let _ = pca_2d(&[]);
+    }
+}

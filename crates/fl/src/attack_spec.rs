@@ -1,0 +1,149 @@
+use fabflip::{ZkaConfig, ZkaG, ZkaR};
+use fabflip_attacks::trainer::DistanceReg;
+use fabflip_attacks::{Attack, Fang, Lie, MinMax, MinSum, RandomWeights, RealDataFlip};
+use fabflip_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of the adversary's strategy — the attack axis
+/// of the paper's experiment grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttackSpec {
+    /// No attack (clean runs; with [`fabflip_agg::DefenseKind::FedAvg`]
+    /// this measures `acc_natk`).
+    None,
+    /// LIE (Baruch et al., 2019) with the derived `z`.
+    Lie,
+    /// Fang et al. (2020), TRmean/Median directed-deviation variant.
+    Fang,
+    /// Min-Max (Shejwalkar & Houmansadr, 2021), defense-agnostic variant.
+    MinMax,
+    /// Min-Sum (same authors), the sum-of-distances sibling (extension).
+    MinSum,
+    /// Random model weights (Sec. IV-A strawman).
+    RandomWeights,
+    /// Real-data label flip (Fig. 7 comparator); the runner hands the
+    /// adversary a Dirichlet shard of real images.
+    RealData {
+        /// Distance-regularizer strength λ.
+        lambda: f32,
+    },
+    /// ZKA-R — the paper's reverse-engineering variant.
+    ZkaR {
+        /// Variant configuration.
+        cfg: ZkaConfig,
+    },
+    /// ZKA-G — the paper's generator variant.
+    ZkaG {
+        /// Variant configuration.
+        cfg: ZkaConfig,
+    },
+}
+
+impl AttackSpec {
+    /// Instantiates the attack. `adversary_data` is consulted only by
+    /// [`AttackSpec::RealData`] (the only variant that owns raw images).
+    /// Returns `None` for [`AttackSpec::None`].
+    pub fn build(&self, adversary_data: Option<Dataset>) -> Option<Box<dyn Attack>> {
+        match self {
+            AttackSpec::None => None,
+            AttackSpec::Lie => Some(Box::new(Lie::new())),
+            AttackSpec::Fang => Some(Box::new(Fang::new())),
+            AttackSpec::MinMax => Some(Box::new(MinMax::new())),
+            AttackSpec::MinSum => Some(Box::new(MinSum::new())),
+            AttackSpec::RandomWeights => Some(Box::new(RandomWeights::new())),
+            AttackSpec::RealData { lambda } => {
+                let data = adversary_data.unwrap_or_else(|| {
+                    Dataset::new(fabflip_tensor::Tensor::zeros(vec![0, 1, 1, 1]), Vec::new(), 1)
+                });
+                Some(Box::new(RealDataFlip::new(data, DistanceReg { lambda: *lambda })))
+            }
+            AttackSpec::ZkaR { cfg } => Some(Box::new(ZkaR::new(*cfg))),
+            AttackSpec::ZkaG { cfg } => Some(Box::new(ZkaG::new(*cfg))),
+        }
+    }
+
+    /// Whether this attack reads the benign-update oracle (the simulator
+    /// only exposes it to attacks that assume it, keeping the ZKA variants
+    /// honest about their zero-knowledge claim).
+    pub fn uses_benign_oracle(&self) -> bool {
+        matches!(
+            self,
+            AttackSpec::Lie | AttackSpec::Fang | AttackSpec::MinMax | AttackSpec::MinSum
+        )
+    }
+
+    /// Whether the runner must provision real data for the adversary.
+    pub fn needs_adversary_data(&self) -> bool {
+        matches!(self, AttackSpec::RealData { .. })
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackSpec::None => "None",
+            AttackSpec::Lie => "LIE",
+            AttackSpec::Fang => "Fang",
+            AttackSpec::MinMax => "Min-Max",
+            AttackSpec::MinSum => "Min-Sum",
+            AttackSpec::RandomWeights => "Random",
+            AttackSpec::RealData { .. } => "Real-data",
+            AttackSpec::ZkaR { .. } => "ZKA-R",
+            AttackSpec::ZkaG { .. } => "ZKA-G",
+        }
+    }
+
+    /// The five attacks of Table II / Fig. 5, in the paper's column order.
+    pub fn paper_grid() -> Vec<AttackSpec> {
+        vec![
+            AttackSpec::Fang,
+            AttackSpec::Lie,
+            AttackSpec::MinMax,
+            AttackSpec::ZkaR { cfg: ZkaConfig::paper() },
+            AttackSpec::ZkaG { cfg: ZkaConfig::paper() },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_oracle_flags() {
+        assert!(AttackSpec::None.build(None).is_none());
+        for spec in AttackSpec::paper_grid() {
+            let attack = spec.build(None).expect("buildable");
+            assert_eq!(attack.name(), spec.label());
+        }
+        assert!(AttackSpec::Lie.uses_benign_oracle());
+        assert!(AttackSpec::Fang.uses_benign_oracle());
+        assert!(AttackSpec::MinMax.uses_benign_oracle());
+        assert!(!AttackSpec::ZkaR { cfg: ZkaConfig::paper() }.uses_benign_oracle());
+        assert!(!AttackSpec::ZkaG { cfg: ZkaConfig::paper() }.uses_benign_oracle());
+        assert!(!AttackSpec::RandomWeights.uses_benign_oracle());
+        assert!(AttackSpec::RealData { lambda: 1.0 }.needs_adversary_data());
+    }
+
+    #[test]
+    fn oracle_flag_matches_capabilities() {
+        // The simulator's oracle gating must agree with each attack's own
+        // declared Table I profile.
+        for spec in AttackSpec::paper_grid() {
+            let attack = spec.build(None).unwrap();
+            assert_eq!(
+                attack.capabilities().needs_benign_updates,
+                spec.uses_benign_oracle(),
+                "{}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = AttackSpec::ZkaG { cfg: ZkaConfig::paper() };
+        let s = serde_json::to_string(&spec).unwrap();
+        let back: AttackSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,87 @@
+use fabflip_agg::AggError;
+use fabflip_attacks::AttackError;
+use fabflip_data::PartitionError;
+use fabflip_nn::NnError;
+use std::fmt;
+
+/// Error type for federated-learning simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// Data partitioning failed.
+    Partition(PartitionError),
+    /// A local training or evaluation step failed.
+    Nn(NnError),
+    /// The server-side aggregation failed.
+    Agg(AggError),
+    /// The adversary failed to craft an update.
+    Attack(AttackError),
+    /// The configuration was inconsistent.
+    BadConfig(String),
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Partition(e) => write!(f, "partition error: {e}"),
+            FlError::Nn(e) => write!(f, "nn error: {e}"),
+            FlError::Agg(e) => write!(f, "aggregation error: {e}"),
+            FlError::Attack(e) => write!(f, "attack error: {e}"),
+            FlError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Partition(e) => Some(e),
+            FlError::Nn(e) => Some(e),
+            FlError::Agg(e) => Some(e),
+            FlError::Attack(e) => Some(e),
+            FlError::BadConfig(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<PartitionError> for FlError {
+    fn from(e: PartitionError) -> Self {
+        FlError::Partition(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        FlError::Nn(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<AggError> for FlError {
+    fn from(e: AggError) -> Self {
+        FlError::Agg(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<AttackError> for FlError {
+    fn from(e: AttackError) -> Self {
+        FlError::Attack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = FlError::BadConfig("rounds = 0".into());
+        assert!(e.to_string().contains("rounds"));
+        assert!(e.source().is_none());
+        let e = FlError::Agg(AggError::NoUpdates);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,45 @@
+//! # fabflip-fl
+//!
+//! The federated-learning simulator and experiment runner of the `fabflip`
+//! reproduction — the paper's evaluation harness (Sec. V):
+//!
+//! * [`FlConfig`] — the full experiment configuration (task, client
+//!   population, sampling, defense, attack, heterogeneity `β`, seeds),
+//! * [`simulate`] — one FL run: per round, sample `K` clients uniformly,
+//!   train benign clients locally for one epoch, let the single adversary
+//!   craft one malicious update submitted by every selected malicious
+//!   client, aggregate under the configured defense, and evaluate,
+//! * [`metrics`] — attack success rate (ASR, Eq. 4) and defense pass rate
+//!   (DPR, Eq. 5),
+//! * [`runner`] — repeated runs, the clean-run baseline `acc_natk`, and the
+//!   cell summaries the bench harness turns into the paper's tables.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fabflip_fl::{AttackSpec, FlConfig, TaskKind, simulate};
+//! use fabflip_agg::DefenseKind;
+//!
+//! let cfg = FlConfig::builder(TaskKind::Fashion)
+//!     .rounds(10)
+//!     .defense(DefenseKind::MKrum { f: 2 })
+//!     .attack(AttackSpec::ZkaG { cfg: fabflip::ZkaConfig::fast() })
+//!     .seed(1)
+//!     .build();
+//! let result = simulate(&cfg)?;
+//! println!("max accuracy: {}", result.max_accuracy());
+//! # Ok::<(), fabflip_fl::FlError>(())
+//! ```
+
+mod attack_spec;
+mod config;
+mod error;
+pub mod metrics;
+pub mod runner;
+mod sim;
+
+pub use attack_spec::AttackSpec;
+pub use config::{FlConfig, FlConfigBuilder, TaskKind};
+pub use error::FlError;
+pub use metrics::{RoundRecord, RunResult};
+pub use sim::{simulate, simulate_observed};

@@ -1,0 +1,163 @@
+//! The paper's evaluation metrics (Sec. V-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-round bookkeeping of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index `t`.
+    pub round: usize,
+    /// Global test accuracy after aggregation.
+    pub accuracy: f32,
+    /// Malicious clients among the sampled `K` this round.
+    pub malicious_selected: usize,
+    /// Malicious updates the defense included (only meaningful for
+    /// selection defenses; 0 otherwise).
+    pub malicious_passed: usize,
+    /// Whether the defense reported a per-update selection this round.
+    pub selection_available: bool,
+}
+
+/// The outcome of one FL simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// The final global model (flat weights). Excluded from serialization —
+    /// it is large and derivable by re-running the deterministic sim.
+    #[serde(skip)]
+    pub final_model: Vec<f32>,
+}
+
+impl RunResult {
+    /// Maximum global accuracy over the run — the paper's `acc_max`
+    /// (for clean FedAvg runs, `acc_natk`).
+    pub fn max_accuracy(&self) -> f32 {
+        self.rounds.iter().map(|r| r.accuracy).fold(0.0, f32::max)
+    }
+
+    /// Final-round accuracy.
+    pub fn final_accuracy(&self) -> f32 {
+        self.rounds.last().map_or(0.0, |r| r.accuracy)
+    }
+
+    /// Defense pass rate (Eq. 5): the fraction of selected malicious
+    /// clients whose update the defense included, over the whole run.
+    /// `None` when the defense never exposed a selection (TRmean/Median —
+    /// "NA" in the paper) or no malicious client was ever sampled.
+    pub fn dpr(&self) -> Option<f32> {
+        let mut passed = 0usize;
+        let mut selected = 0usize;
+        let mut any_selection = false;
+        for r in &self.rounds {
+            if r.selection_available {
+                any_selection = true;
+                passed += r.malicious_passed;
+                selected += r.malicious_selected;
+            }
+        }
+        if !any_selection || selected == 0 {
+            return None;
+        }
+        Some(passed as f32 / selected as f32)
+    }
+
+    /// Accuracy trace (one entry per round).
+    pub fn accuracy_trace(&self) -> Vec<f32> {
+        self.rounds.iter().map(|r| r.accuracy).collect()
+    }
+
+    /// First round whose accuracy reaches `threshold`, or `None` — the
+    /// convergence-interference view of an untargeted attack (the paper's
+    /// objective includes "even interfere with its convergence").
+    pub fn rounds_to_reach(&self, threshold: f32) -> Option<usize> {
+        self.rounds.iter().find(|r| r.accuracy >= threshold).map(|r| r.round)
+    }
+}
+
+/// Attack success rate (Eq. 4): the accuracy drop caused by the attack,
+/// relative to the clean no-attack/no-defense accuracy `acc_natk`:
+/// `ASR = (acc_natk − acc_max) / acc_natk`.
+///
+/// Clamped to `[0, 1]`: a run whose defended accuracy exceeds the clean
+/// baseline has a fully failed attack.
+pub fn attack_success_rate(acc_natk: f32, acc_max_under_attack: f32) -> f32 {
+    if acc_natk <= 0.0 {
+        return 0.0;
+    }
+    ((acc_natk - acc_max_under_attack) / acc_natk).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, acc: f32, sel: usize, pass: usize, avail: bool) -> RoundRecord {
+        RoundRecord {
+            round,
+            accuracy: acc,
+            malicious_selected: sel,
+            malicious_passed: pass,
+            selection_available: avail,
+        }
+    }
+
+    fn result(rounds: Vec<RoundRecord>) -> RunResult {
+        RunResult { rounds, final_model: Vec::new() }
+    }
+
+    #[test]
+    fn max_and_final_accuracy() {
+        let r = result(vec![record(0, 0.3, 0, 0, true), record(1, 0.7, 0, 0, true), record(2, 0.5, 0, 0, true)]);
+        assert_eq!(r.max_accuracy(), 0.7);
+        assert_eq!(r.final_accuracy(), 0.5);
+        assert_eq!(r.accuracy_trace(), vec![0.3, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn dpr_counts_only_selection_rounds() {
+        let r = result(vec![
+            record(0, 0.1, 2, 1, true),
+            record(1, 0.1, 2, 2, true),
+            record(2, 0.1, 5, 0, false), // statistic defense round: ignored
+        ]);
+        assert_eq!(r.dpr(), Some(0.75));
+    }
+
+    #[test]
+    fn dpr_is_na_for_statistic_defenses_or_no_malicious() {
+        let r = result(vec![record(0, 0.1, 3, 0, false)]);
+        assert_eq!(r.dpr(), None);
+        let r = result(vec![record(0, 0.1, 0, 0, true)]);
+        assert_eq!(r.dpr(), None);
+    }
+
+    #[test]
+    fn asr_formula_and_clamping() {
+        assert!((attack_success_rate(0.82, 0.526) - 0.3585).abs() < 1e-3); // Table II ZKA-R/mKrum
+        assert_eq!(attack_success_rate(0.8, 0.9), 0.0);
+        assert_eq!(attack_success_rate(0.0, 0.5), 0.0);
+        assert_eq!(attack_success_rate(0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn rounds_to_reach_finds_first_crossing() {
+        let r = result(vec![
+            record(0, 0.2, 0, 0, true),
+            record(1, 0.5, 0, 0, true),
+            record(2, 0.4, 0, 0, true),
+            record(3, 0.6, 0, 0, true),
+        ]);
+        assert_eq!(r.rounds_to_reach(0.5), Some(1));
+        assert_eq!(r.rounds_to_reach(0.55), Some(3));
+        assert_eq!(r.rounds_to_reach(0.9), None);
+    }
+
+    #[test]
+    fn empty_run_is_harmless() {
+        let r = result(Vec::new());
+        assert_eq!(r.max_accuracy(), 0.0);
+        assert_eq!(r.final_accuracy(), 0.0);
+        assert_eq!(r.dpr(), None);
+    }
+}

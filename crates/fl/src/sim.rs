@@ -1,0 +1,378 @@
+//! The federated-learning simulation loop (paper Sec. II-A, V-A).
+
+use crate::metrics::{RoundRecord, RunResult};
+use crate::{FlConfig, FlError};
+use fabflip_agg::{AggError, Selection};
+use fabflip_attacks::{AttackContext, TaskInfo};
+use fabflip_data::{dirichlet_partition, Dataset};
+use fabflip_nn::losses::{accuracy, softmax_cross_entropy_hard};
+use fabflip_nn::Sequential;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Fixed task seed: all runs (clean baseline and attacked) share the same
+/// class prototypes, so `acc_natk` and `acc_max` are comparable.
+const TASK_SEED: u64 = 0xDA7A_5E_ED;
+
+fn sub_seed(master: u64, stream: u64, a: u64, b: u64) -> u64 {
+    // SplitMix-style mixing for independent deterministic streams.
+    let mut x = master
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ a.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ b.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Evaluates `model` on `test`, batching to bound peak memory.
+///
+/// # Errors
+///
+/// Propagates forward-pass failures.
+pub fn evaluate_model(model: &mut Sequential, test: &Dataset, batch: usize) -> Result<f32, FlError> {
+    let n = test.len();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut correct_weighted = 0.0f32;
+    let idx: Vec<usize> = (0..n).collect();
+    for chunk in idx.chunks(batch.max(1)) {
+        let b = test.gather(chunk);
+        let logits = model.forward(&b.images)?;
+        correct_weighted += accuracy(&logits, &b.labels) * chunk.len() as f32;
+    }
+    Ok(correct_weighted / n as f32)
+}
+
+/// Trains one benign client: start at `global`, run `local_epochs` of
+/// mini-batch SGD on the client's shard, return the flat update.
+fn train_benign_client(
+    cfg: &FlConfig,
+    train: &Dataset,
+    shard: &[usize],
+    global: &[f32],
+    rng: &mut StdRng,
+) -> Result<Vec<f32>, FlError> {
+    let mut model = cfg.task.build_model(rng);
+    model.set_flat_params(global)?;
+    for _ in 0..cfg.local_epochs {
+        for b in train.shuffled_batches(shard, cfg.batch, rng) {
+            model.train_step(&b.images, cfg.lr, |logits| {
+                softmax_cross_entropy_hard(logits, &b.labels)
+            })?;
+        }
+    }
+    Ok(model.flat_params())
+}
+
+/// Runs one full FL simulation described by `cfg`.
+///
+/// Per round: sample `K` clients uniformly; benign clients train locally
+/// for one epoch; the single adversarial party crafts **one** malicious
+/// update which every selected malicious client submits (Sec. III-A); the
+/// server aggregates under the configured defense; the global model is
+/// evaluated on the held-out test set. Rounds whose aggregation fails a
+/// robustness precondition (too few finite updates) leave the global model
+/// unchanged, like a round with no quorum.
+///
+/// # Errors
+///
+/// Returns [`FlError`] on configuration, partition, training or attack
+/// failures. Aggregation "too few updates" is tolerated per round; all
+/// other aggregation errors abort.
+pub fn simulate(cfg: &FlConfig) -> Result<RunResult, FlError> {
+    simulate_observed(cfg, |_| {})
+}
+
+/// Like [`simulate`], invoking `observer` with each round's record as soon
+/// as it is complete — for live progress display and streaming dashboards.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_observed<F: FnMut(&RoundRecord)>(
+    cfg: &FlConfig,
+    mut observer: F,
+) -> Result<RunResult, FlError> {
+    cfg.validate().map_err(FlError::BadConfig)?;
+    let spec = cfg.task.spec();
+    let train = Dataset::synthesize_split(
+        &spec,
+        cfg.train_size,
+        TASK_SEED,
+        sub_seed(cfg.seed, 1, 0, 0),
+    );
+    let test = Dataset::synthesize_split(
+        &spec,
+        cfg.test_size,
+        TASK_SEED,
+        sub_seed(cfg.seed, 2, 0, 0),
+    );
+    let shards = dirichlet_partition(&train, cfg.n_clients, cfg.beta, sub_seed(cfg.seed, 3, 0, 0))?;
+
+    // Adversary-controlled clients: a uniformly random subset.
+    let mut setup_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 4, 0, 0));
+    let mut ids: Vec<usize> = (0..cfg.n_clients).collect();
+    ids.shuffle(&mut setup_rng);
+    let malicious: std::collections::HashSet<usize> =
+        ids[..cfg.n_malicious()].iter().copied().collect();
+
+    // The Fig. 7 real-data adversary pools its clients' Dirichlet shards.
+    let adversary_data = if cfg.attack.needs_adversary_data() {
+        let mut pool: Vec<usize> =
+            malicious.iter().flat_map(|&c| shards[c].iter().copied()).collect();
+        pool.sort_unstable();
+        let b = train.gather(&pool);
+        Some(Dataset::new(b.images, b.labels, train.num_classes()))
+    } else {
+        None
+    };
+    let mut attack = cfg.attack.build(adversary_data);
+
+    let task_info = TaskInfo {
+        channels: spec.channels,
+        height: spec.height,
+        width: spec.width,
+        num_classes: spec.num_classes,
+        synth_set_size: cfg.synth_set_size,
+        local_lr: cfg.lr,
+        local_batch: cfg.batch,
+        local_epochs: cfg.local_epochs,
+    };
+    let defense = cfg.defense.build()?;
+    // FLTrust extension: the server's clean root dataset (same task,
+    // independent sample stream).
+    let fltrust_root = cfg
+        .fltrust_root_size
+        .map(|n| Dataset::synthesize_split(&spec, n, TASK_SEED, sub_seed(cfg.seed, 9, 0, 0)));
+    let build_model = {
+        let task = cfg.task;
+        move |rng: &mut StdRng| task.build_model(rng)
+    };
+
+    let mut init_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 5, 0, 0));
+    let mut global_model = cfg.task.build_model(&mut init_rng);
+    let mut global = global_model.flat_params();
+    let mut prev_global: Option<Vec<f32>> = None;
+
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    for round in 0..cfg.rounds {
+        let mut round_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 6, round as u64, 0));
+        let mut pool: Vec<usize> = (0..cfg.n_clients).collect();
+        pool.shuffle(&mut round_rng);
+        let selected = &pool[..cfg.clients_per_round];
+
+        // Benign local training.
+        let mut benign_updates: Vec<Vec<f32>> = Vec::new();
+        let mut benign_weights: Vec<f32> = Vec::new();
+        let mut malicious_selected = 0usize;
+        for &client in selected {
+            if malicious.contains(&client) {
+                malicious_selected += 1;
+                continue;
+            }
+            let shard = &shards[client];
+            if shard.is_empty() {
+                continue; // Client has no data: no update (offline).
+            }
+            let mut crng =
+                StdRng::seed_from_u64(sub_seed(cfg.seed, 7, round as u64, client as u64));
+            let w = train_benign_client(cfg, &train, shard, &global, &mut crng)?;
+            if w.iter().any(|v| !v.is_finite()) {
+                // Local training diverged (possible once the global model is
+                // poisoned): a real client would fail to submit. Skip it so
+                // non-finite values never reach attacks or defenses.
+                continue;
+            }
+            benign_updates.push(w);
+            benign_weights.push(shard.len() as f32);
+        }
+
+        // Adversarial crafting: one update for all malicious clients.
+        let mut updates = benign_updates.clone();
+        let mut weights = benign_weights.clone();
+        let mut malicious_indices: Vec<usize> = Vec::new();
+        if malicious_selected > 0 {
+            if let Some(attack) = attack.as_mut() {
+                let empty: Vec<Vec<f32>> = Vec::new();
+                let oracle: &[Vec<f32>] = if cfg.attack.uses_benign_oracle() {
+                    &benign_updates
+                } else {
+                    &empty
+                };
+                let ctx = AttackContext {
+                    global: &global,
+                    prev_global: prev_global.as_deref(),
+                    benign_updates: oracle,
+                    n_selected: cfg.clients_per_round,
+                    n_malicious_selected: malicious_selected,
+                    task: &task_info,
+                    build_model: &build_model,
+                };
+                let mut arng =
+                    StdRng::seed_from_u64(sub_seed(cfg.seed, 8, round as u64, 0));
+                match attack.craft(&ctx, &mut arng) {
+                    Ok(w_mal) => {
+                        for _ in 0..malicious_selected {
+                            let mut copy = w_mal.clone();
+                            if cfg.sybil_noise > 0.0 {
+                                // Sec. III-A: independent per-copy noise to
+                                // break Sybil-similarity detection.
+                                use rand::Rng;
+                                for v in &mut copy {
+                                    let u1: f32 = arng.gen_range(f32::EPSILON..1.0);
+                                    let u2: f32 = arng.gen_range(0.0..1.0);
+                                    let n = (-2.0 * u1.ln()).sqrt()
+                                        * (std::f32::consts::TAU * u2).cos();
+                                    *v += cfg.sybil_noise * n;
+                                }
+                            }
+                            malicious_indices.push(updates.len());
+                            updates.push(copy);
+                            weights.push(cfg.synth_set_size.max(1) as f32);
+                        }
+                    }
+                    // An oracle-dependent attack cannot act in a round whose
+                    // oracle is empty or unusable: malicious clients stay
+                    // silent.
+                    Err(fabflip_attacks::AttackError::NeedsBenignUpdates(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+
+        // Server-side aggregation.
+        let mut malicious_passed = 0usize;
+        let mut selection_available = false;
+        if !updates.is_empty() {
+            let aggregation = if let Some(root) = &fltrust_root {
+                // FLTrust: the server computes its own root update, then
+                // trust-scores the clients against it.
+                let mut srng =
+                    StdRng::seed_from_u64(sub_seed(cfg.seed, 10, round as u64, 0));
+                let all: Vec<usize> = (0..root.len()).collect();
+                let server_update = train_benign_client(cfg, root, &all, &global, &mut srng)?;
+                fabflip_agg::fltrust_aggregate(&updates, &global, &server_update)
+            } else {
+                defense.aggregate_with_reference(&updates, &weights, Some(&global))
+            };
+            match aggregation {
+                Ok(agg) => {
+                    if let Selection::Chosen(ref kept) = agg.selection {
+                        selection_available = true;
+                        malicious_passed =
+                            kept.iter().filter(|i| malicious_indices.contains(i)).count();
+                    }
+                    prev_global = Some(global.clone());
+                    global = agg.model;
+                    global_model.set_flat_params(&global)?;
+                }
+                Err(AggError::TooFewUpdates { .. }) | Err(AggError::NoUpdates) => {
+                    // No quorum this round: global model unchanged.
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let acc = evaluate_model(&mut global_model, &test, 100)?;
+        let record = RoundRecord {
+            round,
+            accuracy: acc,
+            // DPR denominator: malicious clients that actually submitted.
+            malicious_selected: malicious_indices.len(),
+            malicious_passed,
+            selection_available,
+        };
+        observer(&record);
+        rounds.push(record);
+    }
+    Ok(RunResult { rounds, final_model: global })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackSpec, TaskKind};
+    use fabflip_agg::DefenseKind;
+
+    fn tiny_cfg() -> FlConfig {
+        FlConfig::builder(TaskKind::Fashion)
+            .rounds(3)
+            .n_clients(12)
+            .clients_per_round(6)
+            .train_size(240)
+            .test_size(80)
+            .synth_set_size(6)
+            .seed(5)
+            .build()
+    }
+
+    #[test]
+    fn clean_run_learns() {
+        let cfg = tiny_cfg();
+        let r = simulate(&cfg).unwrap();
+        assert_eq!(r.rounds.len(), 3);
+        // Accuracy after a few rounds must beat chance (10 classes).
+        assert!(r.max_accuracy() > 0.15, "trace {:?}", r.accuracy_trace());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = tiny_cfg();
+        let a = simulate(&cfg).unwrap();
+        let b = simulate(&cfg).unwrap();
+        assert_eq!(a, b);
+        let mut cfg2 = tiny_cfg();
+        cfg2.seed = 6;
+        let c = simulate(&cfg2).unwrap();
+        assert_ne!(a.accuracy_trace(), c.accuracy_trace());
+    }
+
+    #[test]
+    fn random_weight_attack_destroys_undefended_training() {
+        let mut cfg = tiny_cfg();
+        cfg.attack = AttackSpec::RandomWeights;
+        cfg.malicious_fraction = 0.5;
+        let attacked = simulate(&cfg).unwrap();
+        let clean = simulate(&tiny_cfg()).unwrap();
+        assert!(
+            attacked.max_accuracy() <= clean.max_accuracy() + 0.05,
+            "attack did not hurt: {} vs {}",
+            attacked.max_accuracy(),
+            clean.max_accuracy()
+        );
+    }
+
+    #[test]
+    fn mkrum_reports_dpr_and_median_does_not() {
+        let mut cfg = tiny_cfg();
+        cfg.attack = AttackSpec::RandomWeights;
+        cfg.defense = DefenseKind::MKrum { f: 2 };
+        let r = simulate(&cfg).unwrap();
+        // Some round must have had a selection.
+        assert!(r.rounds.iter().any(|x| x.selection_available));
+        cfg.defense = DefenseKind::Median;
+        let r = simulate(&cfg).unwrap();
+        assert_eq!(r.dpr(), None);
+    }
+
+    #[test]
+    fn observer_sees_every_round_in_order() {
+        let cfg = tiny_cfg();
+        let mut seen = Vec::new();
+        let r = crate::sim::simulate_observed(&cfg, |rec| seen.push(rec.round)).unwrap();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(r.rounds.len(), 3);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = tiny_cfg();
+        cfg.rounds = 0;
+        assert!(matches!(simulate(&cfg), Err(FlError::BadConfig(_))));
+    }
+}

@@ -1,0 +1,333 @@
+use crate::{Layer, NnError};
+use fabflip_tensor::Tensor;
+
+/// Batch normalization over the channel axis of `[N, C, H, W]` batches
+/// (Ioffe & Szegedy, 2015).
+///
+/// In training mode, activations are normalized by the batch statistics of
+/// each channel and running averages are maintained; in evaluation mode
+/// the running averages are used. The affine parameters `γ` (scale, init
+/// 1) and `β` (shift, init 0) are learnable and travel through the flat
+/// parameter vector like every other weight, so batch-normalized models
+/// aggregate federatively without special casing.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    training: bool,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels == 0`.
+    pub fn new(channels: usize) -> BatchNorm2d {
+        assert!(channels > 0, "batch norm needs at least one channel");
+        BatchNorm2d {
+            gamma: Tensor::full(vec![channels], 1.0),
+            beta: Tensor::zeros(vec![channels]),
+            grad_gamma: Tensor::zeros(vec![channels]),
+            grad_beta: Tensor::zeros(vec![channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            training: true,
+        cache: None,
+        }
+    }
+
+    /// Switches between training (batch statistics) and evaluation
+    /// (running averages) mode.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether the layer is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 || input.shape()[1] != self.channels {
+            return Err(NnError::BadInput {
+                layer: "BatchNorm2d",
+                detail: format!(
+                    "expected [N, {}, H, W], got {:?}",
+                    self.channels,
+                    input.shape()
+                ),
+            });
+        }
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut out = input.clone();
+        let mut x_hat = input.clone();
+        let mut inv_std = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if self.training {
+                let mut sum = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ch) * plane;
+                    sum += input.data()[base..base + plane].iter().sum::<f32>();
+                }
+                let mean = sum / m;
+                let mut var = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ch) * plane;
+                    for &v in &input.data()[base..base + plane] {
+                        var += (v - mean) * (v - mean);
+                    }
+                }
+                var /= m;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[ch] = istd;
+            let g = self.gamma.data()[ch];
+            let b = self.beta.data()[ch];
+            for ni in 0..n {
+                let base = (ni * c + ch) * plane;
+                for off in base..base + plane {
+                    let xh = (input.data()[off] - mean) * istd;
+                    x_hat.data_mut()[off] = xh;
+                    out.data_mut()[off] = g * xh + b;
+                }
+            }
+        }
+        self.cache = Some(Cache { x_hat, inv_std, in_shape: input.shape().to_vec() });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward("BatchNorm2d"))?;
+        if grad_out.shape() != cache.in_shape.as_slice() {
+            return Err(NnError::BadInput {
+                layer: "BatchNorm2d",
+                detail: format!(
+                    "grad shape {:?}, expected {:?}",
+                    grad_out.shape(),
+                    cache.in_shape
+                ),
+            });
+        }
+        let (n, c, h, w) =
+            (cache.in_shape[0], cache.in_shape[1], cache.in_shape[2], cache.in_shape[3]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut grad_in = Tensor::zeros(cache.in_shape.clone());
+        for ch in 0..c {
+            // Channel-wise reductions.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ch) * plane;
+                for off in base..base + plane {
+                    let dy = grad_out.data()[off];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[off];
+                }
+            }
+            self.grad_beta.data_mut()[ch] += sum_dy;
+            self.grad_gamma.data_mut()[ch] += sum_dy_xhat;
+            let g = self.gamma.data()[ch];
+            let istd = cache.inv_std[ch];
+            if self.training {
+                // dx = γ·istd/m · (m·dy − Σdy − x̂·Σ(dy·x̂))
+                let k = g * istd / m;
+                for ni in 0..n {
+                    let base = (ni * c + ch) * plane;
+                    for off in base..base + plane {
+                        let dy = grad_out.data()[off];
+                        let xh = cache.x_hat.data()[off];
+                        grad_in.data_mut()[off] = k * (m * dy - sum_dy - xh * sum_dy_xhat);
+                    }
+                }
+            } else {
+                // Eval mode: statistics are constants.
+                let k = g * istd;
+                for ni in 0..n {
+                    let base = (ni * c + ch) * plane;
+                    for off in base..base + plane {
+                        grad_in.data_mut()[off] = k * grad_out.data()[off];
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+
+    fn set_training(&mut self, training: bool) {
+        BatchNorm2d::set_training(self, training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_each_channel_to_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::normal(vec![4, 3, 5, 5], 7.0, 3.0, &mut rng);
+        let y = bn.forward(&x).unwrap();
+        let plane = 25;
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                let base = (ni * 3 + ch) * plane;
+                vals.extend_from_slice(&y.data()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new(1);
+        // Warm up running stats on many batches.
+        for _ in 0..50 {
+            let x = Tensor::normal(vec![8, 1, 4, 4], 5.0, 2.0, &mut rng);
+            let _ = bn.forward(&x).unwrap();
+        }
+        bn.set_training(false);
+        assert!(!bn.is_training());
+        // In eval mode a constant input maps deterministically via the
+        // running stats (≈ (5 − 5)/2 = 0).
+        let x = Tensor::full(vec![1, 1, 4, 4], 5.0);
+        let y = bn.forward(&x).unwrap();
+        assert!(y.data().iter().all(|v| v.abs() < 0.2), "{:?}", &y.data()[..4]);
+    }
+
+    #[test]
+    fn gradcheck_batchnorm_train_mode() {
+        // Finite-difference check of the full train-mode backward.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new(2);
+        // Give gamma/beta non-trivial values.
+        bn.gamma.data_mut().copy_from_slice(&[1.3, 0.7]);
+        bn.beta.data_mut().copy_from_slice(&[0.2, -0.4]);
+        let x = Tensor::uniform(vec![2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let coeffs = Tensor::uniform(vec![2 * 2 * 3 * 3], -1.0, 1.0, &mut rng);
+
+        let loss_of = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            let y = bn.forward(x).unwrap();
+            y.data().iter().zip(coeffs.data()).map(|(a, b)| a * b).sum()
+        };
+
+        bn.zero_grads();
+        let y = bn.forward(&x).unwrap();
+        let gy = Tensor::from_vec(y.shape().to_vec(), coeffs.data().to_vec()).unwrap();
+        let gx = bn.backward(&gy).unwrap();
+        let g_gamma = bn.grad_gamma.data().to_vec();
+        let g_beta = bn.grad_beta.data().to_vec();
+
+        let eps = 1e-3f32;
+        // Input gradient (running stats drift per forward, but with
+        // momentum 0.1 the x-statistics are identical for same x).
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let lp = loss_of(&mut bn, &xp);
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lm = loss_of(&mut bn, &xm);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[i]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dx[{i}]: numeric {numeric} vs analytic {}",
+                gx.data()[i]
+            );
+        }
+        // Gamma / beta gradients.
+        for ch in 0..2 {
+            let orig = bn.gamma.data()[ch];
+            bn.gamma.data_mut()[ch] = orig + eps;
+            let lp = loss_of(&mut bn, &x);
+            bn.gamma.data_mut()[ch] = orig - eps;
+            let lm = loss_of(&mut bn, &x);
+            bn.gamma.data_mut()[ch] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - g_gamma[ch]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dgamma[{ch}]: {numeric} vs {}",
+                g_gamma[ch]
+            );
+
+            let orig = bn.beta.data()[ch];
+            bn.beta.data_mut()[ch] = orig + eps;
+            let lp = loss_of(&mut bn, &x);
+            bn.beta.data_mut()[ch] = orig - eps;
+            let lm = loss_of(&mut bn, &x);
+            bn.beta.data_mut()[ch] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - g_beta[ch]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dbeta[{ch}]: {numeric} vs {}",
+                g_beta[ch]
+            );
+        }
+    }
+
+    #[test]
+    fn params_travel_through_flat_vector() {
+        use crate::Sequential;
+        let mut m = Sequential::new();
+        m.push(BatchNorm2d::new(4));
+        assert_eq!(m.num_params(), 8);
+        let w = m.flat_params();
+        assert_eq!(&w[..4], &[1.0, 1.0, 1.0, 1.0]); // gamma init
+        assert_eq!(&w[4..], &[0.0, 0.0, 0.0, 0.0]); // beta init
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count_and_early_backward() {
+        let mut bn = BatchNorm2d::new(2);
+        assert!(bn.forward(&Tensor::zeros(vec![1, 3, 4, 4])).is_err());
+        assert!(bn.backward(&Tensor::zeros(vec![1, 2, 4, 4])).is_err());
+    }
+}

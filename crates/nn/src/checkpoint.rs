@@ -1,0 +1,125 @@
+//! Model checkpointing: save/load the flat parameter vector of a
+//! [`Sequential`] to disk.
+//!
+//! Format: a one-line JSON-ish ASCII header (`FABFLIP1 <count>\n`) followed
+//! by `count` little-endian `f32`s. The architecture itself is code (the
+//! model zoo builders), so only weights are persisted — the same contract
+//! federated aggregation uses.
+
+use crate::{NnError, Sequential};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "FABFLIP1";
+
+/// Saves the model's parameters to `path`.
+///
+/// # Errors
+///
+/// Returns an I/O error on write failure.
+pub fn save_weights<P: AsRef<Path>>(model: &mut Sequential, path: P) -> io::Result<()> {
+    let params = model.flat_params();
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{MAGIC} {}", params.len())?;
+    let mut bytes = Vec::with_capacity(params.len() * 4);
+    for v in &params {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    f.write_all(&bytes)
+}
+
+/// Loads parameters from `path` into the model.
+///
+/// # Errors
+///
+/// Returns an I/O error on read failure or malformed files, and wraps
+/// [`NnError::ParamLengthMismatch`] (as `InvalidData`) when the checkpoint
+/// does not fit the model architecture.
+pub fn load_weights<P: AsRef<Path>>(model: &mut Sequential, path: P) -> io::Result<()> {
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    let newline = buf
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header"))?;
+    let header = std::str::from_utf8(&buf[..newline])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 header"))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(MAGIC) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let count: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad count"))?;
+    let body = &buf[newline + 1..];
+    if body.len() != count * 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected {} bytes of weights, got {}", count * 4, body.len()),
+        ));
+    }
+    let params: Vec<f32> = body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    model.set_flat_params(&params).map_err(|e: NnError| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint does not fit model: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{models, Dense};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fabflip-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_weight() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = models::fashion_cnn(&mut rng);
+        let original = model.flat_params();
+        let path = tmp("a.bin");
+        save_weights(&mut model, &path).unwrap();
+        // Scramble, then restore.
+        let scrambled = vec![9.0f32; original.len()];
+        model.set_flat_params(&scrambled).unwrap();
+        load_weights(&mut model, &path).unwrap();
+        assert_eq!(model.flat_params(), original);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_mismatched_architecture() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut big = models::fashion_cnn(&mut rng);
+        let path = tmp("b.bin");
+        save_weights(&mut big, &path).unwrap();
+        let mut small = Sequential::new();
+        small.push(Dense::new(2, 2, &mut rng));
+        let err = load_weights(&mut small, &path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        let path = tmp("c.bin");
+        std::fs::write(&path, b"NOTAMAGIC 5\n0123").unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = Sequential::new();
+        m.push(Dense::new(2, 2, &mut rng));
+        assert!(load_weights(&mut m, &path).is_err());
+        std::fs::write(&path, b"FABFLIP1 3\n0123").unwrap(); // wrong byte count
+        assert!(load_weights(&mut m, &path).is_err());
+        std::fs::write(&path, b"no newline at all").unwrap();
+        assert!(load_weights(&mut m, &path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,218 @@
+use crate::{Layer, NnError};
+use fabflip_tensor::{col2im, conv_out_dim, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution layer over `[N, C, H, W]` batches.
+///
+/// Weights are stored `[out_channels, in_channels, kh, kw]`; the forward
+/// pass lowers each sample with [`im2col`] and performs one matrix multiply.
+/// Initialization is He-normal (`std = sqrt(2 / fan_in)`), appropriate for
+/// the ReLU networks of the paper.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// Cached per-sample im2col matrices + input geometry from the last forward.
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    cols: Vec<Vec<f32>>,
+    in_shape: Vec<usize>,
+    out_h: usize,
+    out_w: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with square `kernel`, given `stride` and `pad`,
+    /// He-normal initialized from `rng`.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Conv2d {
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        Conv2d {
+            weight: Tensor::normal(vec![out_channels, in_channels, kernel, kernel], 0.0, std, rng),
+            bias: Tensor::zeros(vec![out_channels]),
+            grad_weight: Tensor::zeros(vec![out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(vec![out_channels]),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for a given input spatial size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the geometry error when the kernel does not fit.
+    pub fn out_dim(&self, input: usize) -> Result<usize, NnError> {
+        Ok(conv_out_dim(input, self.kernel, self.stride, self.pad)?)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 || input.shape()[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: "Conv2d",
+                detail: format!(
+                    "expected [N, {}, H, W], got {:?}",
+                    self.in_channels,
+                    input.shape()
+                ),
+            });
+        }
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let oh = conv_out_dim(h, self.kernel, self.stride, self.pad)?;
+        let ow = conv_out_dim(w, self.kernel, self.stride, self.pad)?;
+        let ckk = c * self.kernel * self.kernel;
+        let out_area = oh * ow;
+        let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
+        let mut cols = Vec::with_capacity(n);
+        let sample_len = c * h * w;
+        let out_sample_len = self.out_channels * out_area;
+        for i in 0..n {
+            let img = &input.data()[i * sample_len..(i + 1) * sample_len];
+            let mut col = vec![0.0f32; ckk * out_area];
+            im2col(img, &mut col, c, h, w, self.kernel, self.kernel, self.stride, self.pad);
+            let out_sample = &mut out.data_mut()[i * out_sample_len..(i + 1) * out_sample_len];
+            matmul_into(self.weight.data(), &col, out_sample, self.out_channels, ckk, out_area);
+            for oc in 0..self.out_channels {
+                let b = self.bias.data()[oc];
+                for v in &mut out_sample[oc * out_area..(oc + 1) * out_area] {
+                    *v += b;
+                }
+            }
+            cols.push(col);
+        }
+        self.cache = Some(ConvCache { cols, in_shape: input.shape().to_vec(), out_h: oh, out_w: ow });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
+        let (n, c, h, w) =
+            (cache.in_shape[0], cache.in_shape[1], cache.in_shape[2], cache.in_shape[3]);
+        let (oh, ow) = (cache.out_h, cache.out_w);
+        let out_area = oh * ow;
+        let ckk = c * self.kernel * self.kernel;
+        let expected = vec![n, self.out_channels, oh, ow];
+        if grad_out.shape() != expected.as_slice() {
+            return Err(NnError::BadInput {
+                layer: "Conv2d",
+                detail: format!("grad shape {:?}, expected {:?}", grad_out.shape(), expected),
+            });
+        }
+        let mut grad_in = Tensor::zeros(cache.in_shape.clone());
+        let sample_len = c * h * w;
+        let out_sample_len = self.out_channels * out_area;
+        let mut grad_col = vec![0.0f32; ckk * out_area];
+        for i in 0..n {
+            let g = &grad_out.data()[i * out_sample_len..(i + 1) * out_sample_len];
+            // Bias gradient: sum over spatial positions.
+            for oc in 0..self.out_channels {
+                self.grad_bias.data_mut()[oc] += g[oc * out_area..(oc + 1) * out_area].iter().sum::<f32>();
+            }
+            // Weight gradient: g [OC, A] · colᵀ [A, CKK].
+            matmul_transpose_b(
+                g,
+                &cache.cols[i],
+                self.grad_weight.data_mut(),
+                self.out_channels,
+                out_area,
+                ckk,
+            );
+            // Input gradient: Wᵀ [CKK, OC] · g [OC, A], folded back with col2im.
+            grad_col.iter_mut().for_each(|v| *v = 0.0);
+            matmul_transpose_a(
+                self.weight.data(),
+                g,
+                &mut grad_col,
+                ckk,
+                self.out_channels,
+                out_area,
+            );
+            let gi = &mut grad_in.data_mut()[i * sample_len..(i + 1) * sample_len];
+            col2im(&grad_col, gi, c, h, w, self.kernel, self.kernel, self.stride, self.pad);
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(vec![2, 1, 8, 8]);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+        assert_eq!(conv.out_dim(8).unwrap(), 8);
+    }
+
+    #[test]
+    fn forward_known_values() {
+        // Identity-ish: single 1x1 kernel with weight 2, bias 1.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.weight.data_mut()[0] = 2.0;
+        conv.bias.data_mut()[0] = 1.0;
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.data(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(vec![1, 1, 8, 8]);
+        assert!(matches!(conv.forward(&x), Err(NnError::BadInput { .. })));
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        let g = Tensor::zeros(vec![1, 1, 8, 8]);
+        assert!(matches!(conv.backward(&g), Err(NnError::BackwardBeforeForward(_))));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        assert_eq!(conv.num_params(), 3 * 2 * 9 + 3);
+    }
+}

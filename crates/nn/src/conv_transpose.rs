@@ -1,0 +1,239 @@
+use crate::{Layer, NnError};
+use fabflip_tensor::{col2im, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, Tensor};
+use rand::Rng;
+
+/// A 2-D transposed convolution ("deconvolution") over `[N, C, H, W]`
+/// batches — the upsampling building block of the ZKA-G generator (the paper
+/// uses a light-weight TCNN of two transposed convolutions and one
+/// convolution, following the WGAN generator structure).
+///
+/// Weights are stored `[in_channels, out_channels, kh, kw]` (PyTorch
+/// `ConvTranspose2d` layout). Output spatial size is
+/// `(H − 1)·stride − 2·pad + kernel`.
+///
+/// Implementation note: the forward pass *is* the input-gradient pass of an
+/// ordinary convolution, so it reuses the property-tested
+/// [`col2im`]/[`im2col`] pair from `fabflip-tensor`.
+#[derive(Debug)]
+pub struct ConvTranspose2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    input: Tensor,
+    out_h: usize,
+    out_w: usize,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed convolution, He-normal initialized.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> ConvTranspose2d {
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        ConvTranspose2d {
+            weight: Tensor::normal(vec![in_channels, out_channels, kernel, kernel], 0.0, std, rng),
+            bias: Tensor::zeros(vec![out_channels]),
+            grad_weight: Tensor::zeros(vec![in_channels, out_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(vec![out_channels]),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for a given input spatial size:
+    /// `(input − 1)·stride − 2·pad + kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the geometry underflows.
+    pub fn out_dim(&self, input: usize) -> Result<usize, NnError> {
+        let grown = (input - 1) * self.stride + self.kernel;
+        if grown < 2 * self.pad + 1 {
+            return Err(NnError::BadInput {
+                layer: "ConvTranspose2d",
+                detail: format!("padding {} too large for input {input}", self.pad),
+            });
+        }
+        Ok(grown - 2 * self.pad)
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 || input.shape()[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: "ConvTranspose2d",
+                detail: format!(
+                    "expected [N, {}, H, W], got {:?}",
+                    self.in_channels,
+                    input.shape()
+                ),
+            });
+        }
+        let (n, _c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let oh = self.out_dim(h)?;
+        let ow = self.out_dim(w)?;
+        let area_in = h * w;
+        let okk = self.out_channels * self.kernel * self.kernel;
+        let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
+        let in_sample = self.in_channels * area_in;
+        let out_sample = self.out_channels * oh * ow;
+        let mut col = vec![0.0f32; okk * area_in];
+        for i in 0..n {
+            let x = &input.data()[i * in_sample..(i + 1) * in_sample];
+            // col = Wᵀ [OKK, IC] · x [IC, HW]; weight stored [IC, OKK].
+            col.iter_mut().for_each(|v| *v = 0.0);
+            matmul_transpose_a(self.weight.data(), x, &mut col, okk, self.in_channels, area_in);
+            let y = &mut out.data_mut()[i * out_sample..(i + 1) * out_sample];
+            col2im(&col, y, self.out_channels, oh, ow, self.kernel, self.kernel, self.stride, self.pad);
+            for oc in 0..self.out_channels {
+                let b = self.bias.data()[oc];
+                for v in &mut y[oc * oh * ow..(oc + 1) * oh * ow] {
+                    *v += b;
+                }
+            }
+        }
+        self.cache = Some(Cache { input: input.clone(), out_h: oh, out_w: ow });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward("ConvTranspose2d"))?;
+        let input = &cache.input;
+        let (n, _c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (oh, ow) = (cache.out_h, cache.out_w);
+        let expected = vec![n, self.out_channels, oh, ow];
+        if grad_out.shape() != expected.as_slice() {
+            return Err(NnError::BadInput {
+                layer: "ConvTranspose2d",
+                detail: format!("grad shape {:?}, expected {:?}", grad_out.shape(), expected),
+            });
+        }
+        let area_in = h * w;
+        let okk = self.out_channels * self.kernel * self.kernel;
+        let in_sample = self.in_channels * area_in;
+        let out_sample = self.out_channels * oh * ow;
+        let mut grad_in = Tensor::zeros(input.shape().to_vec());
+        let mut col_g = vec![0.0f32; okk * area_in];
+        for i in 0..n {
+            let g = &grad_out.data()[i * out_sample..(i + 1) * out_sample];
+            // Bias gradient.
+            for oc in 0..self.out_channels {
+                self.grad_bias.data_mut()[oc] +=
+                    g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+            }
+            // col_g = im2col(g): [OKK, HW] — the forward conv's lowering.
+            im2col(g, &mut col_g, self.out_channels, oh, ow, self.kernel, self.kernel, self.stride, self.pad);
+            // grad_x = W [IC, OKK] · col_g [OKK, HW].
+            let gx = &mut grad_in.data_mut()[i * in_sample..(i + 1) * in_sample];
+            matmul_into(self.weight.data(), &col_g, gx, self.in_channels, okk, area_in);
+            // grad_W += x [IC, HW] · col_gᵀ [HW, OKK].
+            let x = &input.data()[i * in_sample..(i + 1) * in_sample];
+            matmul_transpose_b(x, &col_g, self.grad_weight.data_mut(), self.in_channels, area_in, okk);
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "ConvTranspose2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn out_dim_doubles_with_stride_2() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let up = ConvTranspose2d::new(4, 2, 4, 2, 1, &mut rng);
+        assert_eq!(up.out_dim(7).unwrap(), 14);
+        assert_eq!(up.out_dim(14).unwrap(), 28);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut up = ConvTranspose2d::new(3, 2, 4, 2, 1, &mut rng);
+        let x = Tensor::zeros(vec![2, 3, 7, 7]);
+        let y = up.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 2, 14, 14]);
+    }
+
+    #[test]
+    fn forward_known_value_1x1() {
+        // 1x1 kernel stride 1: output = w * x + b.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut up = ConvTranspose2d::new(1, 1, 1, 1, 0, &mut rng);
+        up.weight.data_mut()[0] = 3.0;
+        up.bias.data_mut()[0] = 0.5;
+        let x = Tensor::from_vec(vec![1, 1, 1, 2], vec![1.0, 2.0]).unwrap();
+        let y = up.forward(&x).unwrap();
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn transpose_is_adjoint_of_conv() {
+        // <convT(x), y> must equal <x, conv(y)> when convT's weight equals
+        // the conv's weight (same [IC(out of conv), OC, k, k] layout match).
+        use crate::Conv2d;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut up = ConvTranspose2d::new(2, 3, 3, 2, 1, &mut rng);
+        up.bias.zero_();
+        // Build conv sharing the same weight: conv maps 3ch -> 2ch. The
+        // transposed layer stores weights [IC_up=2, OC_up=3, k, k], which is
+        // byte-identical to the conv layout [OC_conv=2, IC_conv=3, k, k]
+        // because convT's forward is exactly conv's input-gradient pass.
+        let mut conv = Conv2d::new(3, 2, 3, 2, 1, &mut rng);
+        let k = 3usize;
+        let mut uw = vec![0.0f32; 2 * 3 * k * k];
+        up.visit_params(&mut |p, _| {
+            if p.len() == uw.len() {
+                uw.copy_from_slice(p.data());
+            }
+        });
+        conv.visit_params(&mut |p, _| {
+            if p.len() == uw.len() {
+                p.data_mut().copy_from_slice(&uw);
+            } else {
+                p.zero_();
+            }
+        });
+        let mut r2 = StdRng::seed_from_u64(9);
+        let x = Tensor::uniform(vec![1, 2, 5, 5], -1.0, 1.0, &mut r2);
+        let up_out = up.forward(&x).unwrap();
+        let y = Tensor::uniform(up_out.shape().to_vec(), -1.0, 1.0, &mut r2);
+        let lhs: f32 = up_out.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let conv_y = conv.forward(&y).unwrap();
+        assert_eq!(conv_y.shape(), x.shape());
+        let rhs: f32 = x.data().iter().zip(conv_y.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,141 @@
+use crate::{Layer, NnError};
+use fabflip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `p` and scales the survivors by `1/(1−p)`; in evaluation
+/// mode it is the identity.
+///
+/// The layer owns a seeded RNG so whole-model runs stay deterministic
+/// (a requirement of the FL simulator).
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: StdRng,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, seeded RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, training: true, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+
+    /// Switches between training (dropping) and evaluation (identity) mode.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether the layer is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if !self.training || self.p == 0.0 {
+            self.mask = Some(vec![true; input.len()]);
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<bool> = (0..input.len()).map(|_| self.rng.gen::<f32>() < keep).collect();
+        let mut out = input.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *v = if m { *v * scale } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward("Dropout"))?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::BadInput {
+                layer: "Dropout",
+                detail: format!("grad len {} vs cached {}", grad_out.len(), mask.len()),
+            });
+        }
+        if !self.training || self.p == 0.0 {
+            return Ok(grad_out.clone());
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mut g = grad_out.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+            *v = if m { *v * scale } else { 0.0 };
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+
+    fn set_training(&mut self, training: bool) {
+        Dropout::set_training(self, training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = d.forward(&x).unwrap();
+        assert_eq!(y.data(), x.data());
+        let g = d.backward(&x).unwrap();
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn training_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::full(vec![20_000], 1.0);
+        let y = d.forward(&x).unwrap();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Dropped positions are exactly zero; kept are scaled.
+        let scale = 1.0 / 0.7;
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full(vec![64], 1.0);
+        let y = d.forward(&x).unwrap();
+        let g = d.backward(&Tensor::full(vec![64], 1.0)).unwrap();
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            // Forward zero ⇔ backward zero.
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| -> Vec<f32> {
+            let mut d = Dropout::new(0.5, seed);
+            d.forward(&Tensor::full(vec![32], 1.0)).unwrap().into_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_p() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

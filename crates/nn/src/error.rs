@@ -1,0 +1,80 @@
+use fabflip_tensor::TensorError;
+use std::fmt;
+
+/// Error type for neural-network operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-level operation failed (shape/rank/geometry).
+    Tensor(TensorError),
+    /// A layer received an input whose shape it cannot process.
+    BadInput {
+        /// Layer name, e.g. `"Conv2d"`.
+        layer: &'static str,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// `backward` was called before `forward` populated the layer cache.
+    BackwardBeforeForward(&'static str),
+    /// A flat parameter buffer had the wrong length.
+    ParamLengthMismatch {
+        /// Expected number of parameters.
+        expected: usize,
+        /// Provided number of values.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, detail } => {
+                write!(f, "bad input to `{layer}`: {detail}")
+            }
+            NnError::BackwardBeforeForward(layer) => {
+                write!(f, "`{layer}` backward called before forward")
+            }
+            NnError::ParamLengthMismatch { expected, actual } => {
+                write!(f, "flat parameter buffer of length {actual}, model has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = NnError::Tensor(TensorError::LengthMismatch { expected: 2, actual: 1 });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        let e = NnError::BackwardBeforeForward("Conv2d");
+        assert!(e.to_string().contains("Conv2d"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,190 @@
+//! The model zoo of the paper's evaluation (Sec. V-A):
+//!
+//! * [`fashion_cnn`] — the Fashion-MNIST classifier: 2 convolutional layers
+//!   and 1 densely-connected layer,
+//! * [`cifar_cnn`] — the CIFAR-10 classifier: 6 convolutional layers and
+//!   2 densely-connected layers,
+//! * [`tcnn_generator`] — the ZKA-G generator: a light-weight transposed-CNN
+//!   of two transposed convolutions and one convolution (WGAN-style),
+//! * [`filter_layer`] — the single trainable convolution of ZKA-R that maps
+//!   the static random image `A` to the synthetic image `B`.
+
+use crate::{Conv2d, ConvTranspose2d, Dense, Flatten, MaxPool2d, Relu, Reshape, Sequential, Sigmoid};
+use rand::Rng;
+
+/// The Fashion-MNIST-scale classifier of the paper: input `[N, 1, 28, 28]`,
+/// 2 conv layers + 1 dense layer, 10 logits.
+///
+/// ```
+/// # use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut m = fabflip_nn::models::fashion_cnn(&mut rng);
+/// let y = m.forward(&fabflip_tensor::Tensor::zeros(vec![1, 1, 28, 28])).unwrap();
+/// assert_eq!(y.shape(), &[1, 10]);
+/// ```
+pub fn fashion_cnn<R: Rng + ?Sized>(rng: &mut R) -> Sequential {
+    let mut m = Sequential::new();
+    m.push(Conv2d::new(1, 8, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2)); // 28 -> 14
+    m.push(Conv2d::new(8, 16, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2)); // 14 -> 7
+    m.push(Flatten::new());
+    m.push(Dense::new(16 * 7 * 7, 10, rng));
+    m
+}
+
+/// The CIFAR-10-scale classifier of the paper: input `[N, 3, 32, 32]`,
+/// 6 conv layers + 2 dense layers, 10 logits. Channel counts are kept
+/// modest so the full evaluation grid runs on a single CPU core.
+pub fn cifar_cnn<R: Rng + ?Sized>(rng: &mut R) -> Sequential {
+    let mut m = Sequential::new();
+    m.push(Conv2d::new(3, 8, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(Conv2d::new(8, 8, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2)); // 32 -> 16
+    m.push(Conv2d::new(8, 16, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(Conv2d::new(16, 16, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2)); // 16 -> 8
+    m.push(Conv2d::new(16, 24, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(Conv2d::new(24, 24, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2)); // 8 -> 4
+    m.push(Flatten::new());
+    m.push(Dense::new(24 * 4 * 4, 48, rng));
+    m.push(Relu::new());
+    m.push(Dense::new(48, 10, rng));
+    m
+}
+
+/// The ZKA-G generator (Sec. IV-C): noise vector `z ∈ R^{z_dim}` →
+/// dense stem → reshape → two transposed convolutions → one convolution →
+/// sigmoid image in `[0, 1]` of shape `[channels, height, width]`.
+///
+/// # Panics
+///
+/// Panics when `height` or `width` is not a multiple of 4 (the two ×2
+/// upsampling stages require it).
+pub fn tcnn_generator<R: Rng + ?Sized>(
+    z_dim: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+    rng: &mut R,
+) -> Sequential {
+    assert!(height % 4 == 0 && width % 4 == 0, "generator needs H, W divisible by 4");
+    let (h0, w0) = (height / 4, width / 4);
+    let stem = 32usize;
+    let mut g = Sequential::new();
+    g.push(Dense::new(z_dim, stem * h0 * w0, rng));
+    g.push(Relu::new());
+    g.push(Reshape::new(stem, h0, w0));
+    g.push(ConvTranspose2d::new(stem, 16, 4, 2, 1, rng)); // ×2
+    g.push(Relu::new());
+    g.push(ConvTranspose2d::new(16, 8, 4, 2, 1, rng)); // ×2
+    g.push(Relu::new());
+    g.push(Conv2d::new(8, channels, 3, 1, 1, rng));
+    g.push(Sigmoid::new());
+    g
+}
+
+/// The ZKA-R filter layer (Sec. IV-B): a single `channels → channels`
+/// convolution with square kernel `j × j` and "same" padding, so the
+/// synthetic image `B` has the size of the real images. A sigmoid keeps
+/// pixels in `[0, 1]` like the benign data.
+///
+/// # Panics
+///
+/// Panics when `j` is even (no symmetric "same" padding exists).
+pub fn filter_layer<R: Rng + ?Sized>(channels: usize, j: usize, rng: &mut R) -> Sequential {
+    assert!(j % 2 == 1, "filter kernel must be odd for same-size output");
+    let mut f = Sequential::new();
+    f.push(Conv2d::new(channels, channels, j, 1, (j - 1) / 2, rng));
+    f.push(Sigmoid::new());
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabflip_tensor::Tensor;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn fashion_cnn_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = fashion_cnn(&mut rng);
+        let y = m.forward(&Tensor::zeros(vec![2, 1, 28, 28])).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn cifar_cnn_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = cifar_cnn(&mut rng);
+        let y = m.forward(&Tensor::zeros(vec![1, 3, 32, 32])).unwrap();
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn generator_produces_images_in_unit_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = tcnn_generator(16, 1, 28, 28, &mut rng);
+        let z = Tensor::normal(vec![3, 16], 0.0, 1.0, &mut rng);
+        let imgs = g.forward(&z).unwrap();
+        assert_eq!(imgs.shape(), &[3, 1, 28, 28]);
+        assert!(imgs.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn generator_cifar_geometry() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = tcnn_generator(16, 3, 32, 32, &mut rng);
+        let z = Tensor::normal(vec![2, 16], 0.0, 1.0, &mut rng);
+        let imgs = g.forward(&z).unwrap();
+        assert_eq!(imgs.shape(), &[2, 3, 32, 32]);
+    }
+
+    #[test]
+    fn filter_layer_preserves_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut f = filter_layer(1, 3, &mut rng);
+        let a = Tensor::uniform(vec![1, 1, 28, 28], 0.0, 1.0, &mut rng);
+        let b = f.forward(&a).unwrap();
+        assert_eq!(b.shape(), a.shape());
+        assert!(b.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn filter_layer_rejects_even_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = filter_layer(1, 4, &mut rng);
+    }
+
+    #[test]
+    fn models_are_trainable_end_to_end() {
+        // One SGD step on fashion_cnn must reduce loss on a fixed batch.
+        use crate::losses::softmax_cross_entropy_hard;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = fashion_cnn(&mut rng);
+        let x = Tensor::uniform(vec![4, 1, 28, 28], 0.0, 1.0, &mut rng);
+        let labels = [0usize, 1, 2, 3];
+        let mut losses = Vec::new();
+        for _ in 0..8 {
+            let loss = m
+                .train_step(&x, 0.05, |logits| softmax_cross_entropy_hard(logits, &labels))
+                .unwrap();
+            losses.push(loss);
+        }
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "loss not decreasing: {losses:?}"
+        );
+    }
+}

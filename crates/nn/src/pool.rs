@@ -1,0 +1,132 @@
+use crate::{Layer, NnError};
+use fabflip_tensor::Tensor;
+
+/// 2×2 (or k×k) max pooling with stride equal to the window size, over
+/// `[N, C, H, W]` batches. Trailing rows/columns that do not fill a window
+/// are dropped (floor semantics), matching PyTorch defaults.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    /// Flat argmax index into the input for every output element.
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<Vec<usize>>,
+    out_len: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> MaxPool2d {
+        assert!(k > 0, "pool window must be positive");
+        MaxPool2d { k, argmax: None, in_shape: None, out_len: 0 }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "MaxPool2d",
+                detail: format!("expected rank-4 input, got {:?}", input.shape()),
+            });
+        }
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let k = self.k;
+        if h < k || w < k {
+            return Err(NnError::BadInput {
+                layer: "MaxPool2d",
+                detail: format!("input {h}x{w} smaller than window {k}"),
+            });
+        }
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(vec![n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let data = input.data();
+        let out_data = out.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let obase = (ni * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = base + oy * k * w + ox * k;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let idx = base + (oy * k + dy) * w + (ox * k + dx);
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out_data[obase + oy * ow + ox] = best;
+                        argmax[obase + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.in_shape = Some(input.shape().to_vec());
+        self.out_len = n * c * oh * ow;
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let argmax = self.argmax.as_ref().ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
+        let in_shape = self.in_shape.clone().ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
+        if grad_out.len() != self.out_len {
+            return Err(NnError::BadInput {
+                layer: "MaxPool2d",
+                detail: format!("grad len {} vs cached {}", grad_out.len(), self.out_len),
+            });
+        }
+        let mut grad_in = Tensor::zeros(in_shape);
+        for (g, &idx) in grad_out.data().iter().zip(argmax) {
+            grad_in.data_mut()[idx] += g;
+        }
+        Ok(grad_in)
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_max_and_routes_grad() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1, 1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 8.0],
+        )
+        .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[5.0, 8.0]);
+        let g = Tensor::from_vec(vec![1, 1, 1, 2], vec![10.0, 20.0]).unwrap();
+        let gx = p.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[0.0, 10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 20.0]);
+    }
+
+    #[test]
+    fn odd_tail_is_dropped() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::zeros(vec![1, 1, 5, 5]);
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_too_small_input() {
+        let mut p = MaxPool2d::new(4);
+        assert!(p.forward(&Tensor::zeros(vec![1, 1, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+use crate::{Layer, NnError};
+use fabflip_tensor::Tensor;
+
+/// k×k average pooling with stride k over `[N, C, H, W]` batches (floor
+/// semantics for trailing rows/columns, like [`crate::MaxPool2d`]).
+#[derive(Debug)]
+pub struct AvgPool2d {
+    k: usize,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> AvgPool2d {
+        assert!(k > 0, "pool window must be positive");
+        AvgPool2d { k, in_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "AvgPool2d",
+                detail: format!("expected rank-4 input, got {:?}", input.shape()),
+            });
+        }
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let k = self.k;
+        if h < k || w < k {
+            return Err(NnError::BadInput {
+                layer: "AvgPool2d",
+                detail: format!("input {h}x{w} smaller than window {k}"),
+            });
+        }
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = Tensor::zeros(vec![n, c, oh, ow]);
+        let data = input.data();
+        let out_data = out.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let obase = (ni * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                acc += data[base + (oy * k + dy) * w + (ox * k + dx)];
+                            }
+                        }
+                        out_data[obase + oy * ow + ox] = acc * inv;
+                    }
+                }
+            }
+        }
+        self.in_shape = Some(input.shape().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let in_shape = self.in_shape.clone().ok_or(NnError::BackwardBeforeForward("AvgPool2d"))?;
+        let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let k = self.k;
+        let (oh, ow) = (h / k, w / k);
+        if grad_out.shape() != [n, c, oh, ow] {
+            return Err(NnError::BadInput {
+                layer: "AvgPool2d",
+                detail: format!("grad shape {:?}, expected [{n}, {c}, {oh}, {ow}]", grad_out.shape()),
+            });
+        }
+        let inv = 1.0 / (k * k) as f32;
+        let mut grad_in = Tensor::zeros(in_shape);
+        let gi = grad_in.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let obase = (ni * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.data()[obase + oy * ow + ox] * inv;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                gi[base + (oy * k + dy) * w + (ox * k + dx)] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_averages_windows() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn backward_spreads_gradient_evenly() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::zeros(vec![1, 1, 2, 2]);
+        let _ = p.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![1, 1, 1, 1], vec![4.0]).unwrap();
+        let gx = p.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_small_input_and_early_backward() {
+        let mut p = AvgPool2d::new(3);
+        assert!(p.forward(&Tensor::zeros(vec![1, 1, 2, 2])).is_err());
+        assert!(p.backward(&Tensor::zeros(vec![1, 1, 1, 1])).is_err());
+    }
+}

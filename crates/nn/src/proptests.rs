@@ -1,0 +1,119 @@
+//! Property-based tests for the NN library.
+
+use crate::losses::{softmax, softmax_cross_entropy_hard, softmax_cross_entropy_soft};
+use crate::{Conv2d, Dense, Layer, Relu, Sequential};
+use fabflip_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mlp(seed: u64, d_in: usize, d_out: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new();
+    m.push(Dense::new(d_in, 6, &mut rng));
+    m.push(Relu::new());
+    m.push(Dense::new(6, d_out, &mut rng));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn forward_is_deterministic(seed in 0u64..500, data in proptest::collection::vec(-2.0f32..2.0, 8)) {
+        let mut m = mlp(seed, 4, 3);
+        let x = Tensor::from_vec(vec![2, 4], data).unwrap();
+        let a = m.forward(&x).unwrap();
+        let b = m.forward(&x).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn flat_param_roundtrip_is_identity(seed in 0u64..500) {
+        let mut m = mlp(seed, 5, 2);
+        let w = m.flat_params();
+        m.set_flat_params(&w).unwrap();
+        prop_assert_eq!(m.flat_params(), w);
+    }
+
+    #[test]
+    fn setting_params_changes_outputs_consistently(seed in 0u64..200, scale in 0.1f32..3.0) {
+        // Scaling the last layer's weights scales the logits' spread; at
+        // minimum, outputs must change when parameters change.
+        let mut m = mlp(seed, 4, 3);
+        let x = Tensor::full(vec![1, 4], 0.5);
+        let y1 = m.forward(&x).unwrap();
+        // A seed whose hidden ReLUs are all dead gives identically-zero
+        // logits that stay zero under scaling (dense biases init to 0).
+        prop_assume!(y1.data().iter().any(|v| v.abs() > 1e-6));
+        let mut w = m.flat_params();
+        for v in &mut w {
+            *v *= 1.0 + scale;
+        }
+        m.set_flat_params(&w).unwrap();
+        let y2 = m.forward(&x).unwrap();
+        prop_assert_ne!(y1.data(), y2.data());
+    }
+
+    #[test]
+    fn softmax_outputs_are_probabilities(rows in proptest::collection::vec(proptest::collection::vec(-30.0f32..30.0, 5), 1..5)) {
+        let n = rows.len();
+        let flat: Vec<f32> = rows.into_iter().flatten().collect();
+        let logits = Tensor::from_vec(vec![n, 5], flat).unwrap();
+        let p = softmax(&logits);
+        for i in 0..n {
+            let row = &p.data()[i * 5..(i + 1) * 5];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn hard_ce_loss_is_nonnegative_and_bounded_by_logit_range(
+        logits_row in proptest::collection::vec(-10.0f32..10.0, 4),
+        label in 0usize..4
+    ) {
+        let logits = Tensor::from_vec(vec![1, 4], logits_row).unwrap();
+        let (loss, grad) = softmax_cross_entropy_hard(&logits, &[label]).unwrap();
+        prop_assert!(loss >= -1e-6);
+        prop_assert!(loss <= 25.0); // bounded by max logit spread + ln L
+        prop_assert!(grad.data().iter().all(|v| v.is_finite()));
+        // Row of the gradient sums to zero.
+        let s: f32 = grad.data().iter().sum();
+        prop_assert!(s.abs() < 1e-5);
+    }
+
+    #[test]
+    fn soft_ce_minimized_at_matching_distribution(
+        logits_row in proptest::collection::vec(-3.0f32..3.0, 4)
+    ) {
+        // CE(softmax(x), t) with t = softmax(x) has zero gradient.
+        let logits = Tensor::from_vec(vec![1, 4], logits_row).unwrap();
+        let target = softmax(&logits);
+        let (_, grad) = softmax_cross_entropy_soft(&logits, &target).unwrap();
+        prop_assert!(grad.data().iter().all(|g| g.abs() < 1e-5));
+    }
+
+    #[test]
+    fn conv_is_translation_consistent_on_interior(shift in 1usize..3) {
+        // Same-padding conv commutes with translation away from borders:
+        // shifting the input shifts the output (checked on interior pixels).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        let mut img = Tensor::zeros(vec![1, 1, 9, 9]);
+        img.data_mut()[4 * 9 + 4] = 1.0; // impulse at center
+        let y1 = conv.forward(&img).unwrap();
+        let mut img2 = Tensor::zeros(vec![1, 1, 9, 9]);
+        img2.data_mut()[(4 + shift) * 9 + 4] = 1.0;
+        let y2 = conv.forward(&img2).unwrap();
+        // Compare the response around each impulse.
+        for dy in 0..3usize {
+            for dx in 0..3usize {
+                let a = y1.data()[(3 + dy) * 9 + (3 + dx)];
+                let b = y2.data()[(3 + shift + dy) * 9 + (3 + dx)];
+                prop_assert!((a - b).abs() < 1e-5, "impulse response not shift-equivariant");
+            }
+        }
+    }
+}

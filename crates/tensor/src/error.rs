@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Every fallible operation in this crate returns `Result<_, TensorError>`;
+/// the variants carry enough context to diagnose shape bugs in the layers
+/// built on top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the failing operation, e.g. `"add"`.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The number of data elements did not match the product of the shape.
+    LengthMismatch {
+        /// Expected number of elements (product of shape dims).
+        expected: usize,
+        /// Actual length of the provided buffer.
+        actual: usize,
+    },
+    /// An operation required a tensor of a specific rank.
+    RankMismatch {
+        /// Name of the failing operation.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor that was provided.
+        actual: usize,
+    },
+    /// A convolution geometry was invalid (e.g. kernel larger than padded input).
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape product {expected}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "`{op}` requires rank-{expected} tensor, got rank {actual}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::ShapeMismatch { op: "add", lhs: vec![2], rhs: vec![3] },
+            TensorError::LengthMismatch { expected: 4, actual: 3 },
+            TensorError::RankMismatch { op: "matmul", expected: 2, actual: 1 },
+            TensorError::InvalidGeometry("kernel 5 > input 3".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with('`'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,191 @@
+//! im2col / col2im lowering for 2-D convolution.
+//!
+//! `im2col` unfolds a `[C, H, W]` image into a `[C·KH·KW, OH·OW]` matrix so
+//! convolution becomes one matrix multiply; `col2im` is its adjoint, folding
+//! gradients back into image space. The pair is exercised by an adjointness
+//! property test (`<x_col, y> == <x, col2im(y)>`), which pins down the
+//! correctness of convolution backprop.
+
+use crate::TensorError;
+
+/// Output spatial dimension of a convolution:
+/// `(input + 2·pad − kernel) / stride + 1`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGeometry`] when the kernel does not fit the
+/// padded input or `stride == 0`.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize, TensorError> {
+    if stride == 0 {
+        return Err(TensorError::InvalidGeometry("stride must be positive".into()));
+    }
+    let padded = input + 2 * pad;
+    if kernel == 0 || kernel > padded {
+        return Err(TensorError::InvalidGeometry(format!(
+            "kernel {kernel} does not fit padded input {padded}"
+        )));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Unfolds one `[C, H, W]` image (flat slice) into column-major patches.
+///
+/// The output buffer `col` has layout `[C*KH*KW, OH*OW]` row-major: row
+/// `(c*KH + kh)*KW + kw` holds, for each output position, the input pixel
+/// that the kernel tap `(c, kh, kw)` sees (0 where padding is sampled).
+///
+/// # Panics
+///
+/// Debug-asserts buffer sizes.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    img: &[f32],
+    col: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    debug_assert_eq!(img.len(), c * h * w);
+    debug_assert_eq!(col.len(), c * kh * kw * oh * ow);
+    let out_area = oh * ow;
+    for ch in 0..c {
+        let img_ch = &img[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((ch * kh + ky) * kw + kx) * out_area;
+                let col_row = &mut col[row..row + out_area];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let dst = &mut col_row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        for v in dst.iter_mut() {
+                            *v = 0.0;
+                        }
+                        continue;
+                    }
+                    let src_row = &img_ch[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, v) in dst.iter_mut().enumerate() {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        *v = if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: folds patch-space gradients back into image space,
+/// accumulating into `img` (caller usually passes a zeroed buffer).
+///
+/// # Panics
+///
+/// Debug-asserts buffer sizes.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    col: &[f32],
+    img: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    debug_assert_eq!(img.len(), c * h * w);
+    debug_assert_eq!(col.len(), c * kh * kw * oh * ow);
+    let out_area = oh * ow;
+    for ch in 0..c {
+        let img_ch = &mut img[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((ch * kh + ky) * kw + kx) * out_area;
+                let col_row = &col[row..row + out_area];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = &col_row[oy * ow..(oy + 1) * ow];
+                    let dst_row = &mut img_ch[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, &v) in src.iter().enumerate() {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(28, 3, 1, 1).unwrap(), 28);
+        assert_eq!(conv_out_dim(28, 3, 1, 0).unwrap(), 26);
+        assert_eq!(conv_out_dim(28, 2, 2, 0).unwrap(), 14);
+        assert!(conv_out_dim(2, 5, 1, 0).is_err());
+        assert!(conv_out_dim(8, 3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: col equals the image.
+        let img: Vec<f32> = (0..12).map(|i| i as f32).collect(); // 1x3x4
+        let mut col = vec![0.0; 12];
+        im2col(&img, &mut col, 1, 3, 4, 1, 1, 1, 0);
+        assert_eq!(col, img);
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        // 2x2 image, 2x2 kernel, stride 1, no pad -> single output position.
+        let img = [1.0, 2.0, 3.0, 4.0];
+        let mut col = vec![0.0; 4];
+        im2col(&img, &mut col, 1, 2, 2, 2, 2, 1, 0);
+        assert_eq!(col, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zeroes() {
+        // 1x1 image, 3x3 kernel, pad 1 -> one output, only center nonzero.
+        let img = [5.0];
+        let mut col = vec![0.0; 9];
+        im2col(&img, &mut col, 1, 1, 1, 3, 3, 1, 1);
+        let mut expect = [0.0f32; 9];
+        expect[4] = 5.0;
+        assert_eq!(col, expect);
+    }
+
+    #[test]
+    fn col2im_adjoint_small() {
+        // <im2col(x), y> == <x, col2im(y)> for fixed small geometry.
+        let (c, h, w, kh, kw, s, p) = (2, 4, 3, 3, 2, 1, 1);
+        let oh = (h + 2 * p - kh) / s + 1;
+        let ow = (w + 2 * p - kw) / s + 1;
+        let n_img = c * h * w;
+        let n_col = c * kh * kw * oh * ow;
+        let x: Vec<f32> = (0..n_img).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..n_col).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut x_col = vec![0.0; n_col];
+        im2col(&x, &mut x_col, c, h, w, kh, kw, s, p);
+        let mut y_img = vec![0.0; n_img];
+        col2im(&y, &mut y_img, c, h, w, kh, kw, s, p);
+        let lhs: f32 = x_col.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&y_img).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

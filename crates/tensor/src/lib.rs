@@ -1,0 +1,42 @@
+//! # fabflip-tensor
+//!
+//! Dense, row-major `f32` tensor math substrate for the `fabflip`
+//! reproduction of *Fabricated Flips: Poisoning Federated Learning without
+//! Data* (DSN 2023).
+//!
+//! The crate provides exactly what the layers above need and nothing more:
+//!
+//! * [`Tensor`] — an owned, dense, row-major `f32` tensor with shape
+//!   bookkeeping and element-wise arithmetic,
+//! * [`matmul`] — a cache-friendly (ikj-ordered) matrix multiply used by the
+//!   dense and im2col-based convolution layers,
+//! * [`im2col`]/[`col2im`] — the lowering used by `fabflip-nn`'s `Conv2d`,
+//! * [`vecops`] — algebra on flat `&[f32]` parameter vectors, the
+//!   representation on which every aggregation rule and attack in the paper
+//!   is defined.
+//!
+//! # Examples
+//!
+//! ```
+//! use fabflip_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+//! let b = Tensor::zeros(vec![2, 2]);
+//! let c = a.add(&b)?;
+//! assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok::<(), fabflip_tensor::TensorError>(())
+//! ```
+
+mod error;
+mod im2col;
+mod matmul;
+mod tensor;
+pub mod vecops;
+
+pub use error::TensorError;
+pub use im2col::{col2im, conv_out_dim, im2col};
+pub use matmul::{matmul, matmul_into, matmul_transpose_a, matmul_transpose_b};
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod proptests;

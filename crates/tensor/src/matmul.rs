@@ -1,0 +1,166 @@
+//! Matrix multiplication kernels.
+//!
+//! All matrices are dense row-major `f32` slices with explicit dimensions.
+//! The `ikj` loop order keeps the innermost loop streaming over contiguous
+//! memory of both the output row and the `b` row, which is the single most
+//! important optimization for the convolution-by-im2col path.
+
+use crate::{Tensor, TensorError};
+
+/// Computes `c += a (m×k) · b (k×n)` into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Debug-asserts that the slice lengths match the given dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// Multiplies two rank-2 tensors: `a (m×k) · b (k×n) -> (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::ShapeMismatch`] when the inner dimensions disagree.
+///
+/// ```
+/// use fabflip_tensor::{matmul, Tensor};
+/// let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let i = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0])?;
+/// assert_eq!(matmul(&a, &i)?.data(), a.data());
+/// # Ok::<(), fabflip_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: b.rank() });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros(vec![m, n]);
+    matmul_into(a.data(), b.data(), c.data_mut(), m, k, n);
+    Ok(c)
+}
+
+/// Computes `aᵀ (k×m)ᵀ · b (k×n) -> (m×n)` without materializing `aᵀ`.
+///
+/// `a` is stored as `k×m`. Used for weight gradients (`grad_w = δᵀ·x`).
+pub fn matmul_transpose_a(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_pi * b_v;
+            }
+        }
+    }
+}
+
+/// Computes `a (m×k) · bᵀ (n×k)ᵀ -> (m×n)` without materializing `bᵀ`.
+///
+/// `b` is stored as `n×k`. Used for input gradients of dense layers.
+pub fn matmul_transpose_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&a_v, &b_v) in a_row.iter().zip(b_row) {
+                acc += a_v * b_v;
+            }
+            *c_v += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = t(&[2, 3], &[0.0; 6]);
+        let b = t(&[2, 3], &[0.0; 6]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::ShapeMismatch { .. })));
+        let v = t(&[3], &[0.0; 3]);
+        assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_a_matches_explicit_transpose() {
+        // a is stored k×m = 3×2; logical op is (2×3)·(3×2).
+        let a_t = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0]; // transpose of [[1,2,3],[4,5,6]]
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let mut c = [0.0f32; 4];
+        matmul_transpose_a(&a_t, &b, &mut c, 2, 3, 2);
+        assert_eq!(c, [58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_b_matches_explicit_transpose() {
+        // b is stored n×k = 2×3; logical op is (2×3)·(3×2).
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b_t = [7.0, 9.0, 11.0, 8.0, 10.0, 12.0]; // transpose of [[7,8],[9,10],[11,12]]
+        let mut c = [0.0f32; 4];
+        matmul_transpose_b(&a, &b_t, &mut c, 2, 3, 2);
+        assert_eq!(c, [58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_into_accumulates() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let mut c = [10.0, 10.0, 10.0, 10.0];
+        matmul_into(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [11.0, 12.0, 13.0, 14.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the tensor substrate.
+
+use crate::{col2im, conv_out_dim, im2col, matmul, vecops, Tensor};
+use proptest::prelude::*;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(data in vec_strategy(16), data2 in vec_strategy(16)) {
+        let a = Tensor::from_vec(vec![4, 4], data).unwrap();
+        let b = Tensor::from_vec(vec![4, 4], data2).unwrap();
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(data in vec_strategy(12), data2 in vec_strategy(12)) {
+        let a = Tensor::from_vec(vec![12], data).unwrap();
+        let b = Tensor::from_vec(vec![12], data2).unwrap();
+        let back = a.sub(&b).unwrap().add(&b).unwrap();
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_is_linear_in_norm(data in vec_strategy(20), alpha in -4.0f32..4.0) {
+        let a = Tensor::from_vec(vec![20], data).unwrap();
+        let scaled = a.scale(alpha);
+        prop_assert!((scaled.l2_norm() - alpha.abs() * a.l2_norm()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn matmul_identity(data in vec_strategy(9)) {
+        let a = Tensor::from_vec(vec![3, 3], data).unwrap();
+        let eye = Tensor::from_vec(vec![3, 3],
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        let c = matmul(&a, &eye).unwrap();
+        prop_assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in vec_strategy(6), b in vec_strategy(6), c in vec_strategy(6)
+    ) {
+        let a = Tensor::from_vec(vec![2, 3], a).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], b).unwrap();
+        let c = Tensor::from_vec(vec![3, 2], c).unwrap();
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        h in 2usize..6, w in 2usize..6, kh in 1usize..4, kw in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2, seed in 0u64..1000
+    ) {
+        prop_assume!(conv_out_dim(h, kh, stride, pad).is_ok());
+        prop_assume!(conv_out_dim(w, kw, stride, pad).is_ok());
+        let c = 2usize;
+        let oh = conv_out_dim(h, kh, stride, pad).unwrap();
+        let ow = conv_out_dim(w, kw, stride, pad).unwrap();
+        let n_img = c * h * w;
+        let n_col = c * kh * kw * oh * ow;
+        // Deterministic pseudo-random fill from the seed.
+        let x: Vec<f32> = (0..n_img).map(|i| ((i as f32 + seed as f32) * 0.7).sin()).collect();
+        let y: Vec<f32> = (0..n_col).map(|i| ((i as f32 * 1.3) + seed as f32).cos()).collect();
+        let mut x_col = vec![0.0; n_col];
+        im2col(&x, &mut x_col, c, h, w, kh, kw, stride, pad);
+        let mut y_img = vec![0.0; n_img];
+        col2im(&y, &mut y_img, c, h, w, kh, kw, stride, pad);
+        let lhs: f32 = x_col.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f32 = x.iter().zip(&y_img).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn median_bounded_by_extremes(rows in proptest::collection::vec(vec_strategy(5), 1..7)) {
+        let refs: Vec<&[f32]> = rows.iter().map(|v| v.as_slice()).collect();
+        let med = vecops::median(&refs);
+        for i in 0..5 {
+            let lo = refs.iter().map(|r| r[i]).fold(f32::INFINITY, f32::min);
+            let hi = refs.iter().map(|r| r[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(med[i] >= lo - 1e-6 && med[i] <= hi + 1e-6);
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_bounded_and_permutation_invariant(
+        rows in proptest::collection::vec(vec_strategy(4), 5..9)
+    ) {
+        let refs: Vec<&[f32]> = rows.iter().map(|v| v.as_slice()).collect();
+        let tm = vecops::trimmed_mean(&refs, 1);
+        // Bounded by per-coordinate extremes.
+        for i in 0..4 {
+            let lo = refs.iter().map(|r| r[i]).fold(f32::INFINITY, f32::min);
+            let hi = refs.iter().map(|r| r[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(tm[i] >= lo - 1e-5 && tm[i] <= hi + 1e-5);
+        }
+        // Permutation invariance: reverse the set of updates.
+        let rev: Vec<&[f32]> = refs.iter().rev().copied().collect();
+        let tm2 = vecops::trimmed_mean(&rev, 1);
+        for (a, b) in tm.iter().zip(&tm2) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mean_of_identical_vectors_is_identity(v in vec_strategy(8), n in 1usize..6) {
+        let copies: Vec<&[f32]> = (0..n).map(|_| v.as_slice()).collect();
+        let m = vecops::mean(&copies);
+        for (a, b) in m.iter().zip(&v) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn unit_vector_has_unit_norm(v in vec_strategy(16)) {
+        prop_assume!(vecops::l2_norm(&v) > 1e-3);
+        let u = vecops::unit(&v);
+        prop_assert!((vecops::l2_norm(&u) - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Algebra on flat `f32` parameter vectors.
+//!
+//! Federated aggregation rules (Krum, trimmed mean, median, Bulyan) and the
+//! model-poisoning attacks (LIE, Min-Max, the ZKA distance regularizer) are
+//! all defined on the flattened weight vector of a model. This module is the
+//! shared vocabulary for those computations.
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Squared Euclidean distance between two vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sq_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sq_distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two vectors.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    sq_distance(a, b).sqrt()
+}
+
+/// `out = a + b` element-wise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// `out = a - b` element-wise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// `out = alpha * a`.
+pub fn scale(a: &[f32], alpha: f32) -> Vec<f32> {
+    a.iter().map(|x| x * alpha).collect()
+}
+
+/// In-place `a += alpha * b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy_in_place(a: &mut [f32], alpha: f32, b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "axpy: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// Returns the unit vector `a / ‖a‖₂`, or a zero vector when `‖a‖₂ == 0`.
+pub fn unit(a: &[f32]) -> Vec<f32> {
+    let n = l2_norm(a);
+    if n == 0.0 {
+        vec![0.0; a.len()]
+    } else {
+        scale(a, 1.0 / n)
+    }
+}
+
+/// Element-wise sign vector (−1, 0, +1).
+pub fn sign(a: &[f32]) -> Vec<f32> {
+    a.iter()
+        .map(|&x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Coordinate-wise mean of a set of equally long vectors.
+///
+/// # Panics
+///
+/// Panics when `vs` is empty or lengths differ.
+pub fn mean(vs: &[&[f32]]) -> Vec<f32> {
+    assert!(!vs.is_empty(), "mean of zero vectors");
+    let d = vs[0].len();
+    let mut out = vec![0.0f32; d];
+    for v in vs {
+        assert_eq!(v.len(), d, "mean: length mismatch");
+        for (o, &x) in out.iter_mut().zip(*v) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / vs.len() as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    out
+}
+
+/// Coordinate-wise (population) standard deviation of a set of vectors.
+///
+/// # Panics
+///
+/// Panics when `vs` is empty or lengths differ.
+pub fn std_dev(vs: &[&[f32]]) -> Vec<f32> {
+    let m = mean(vs);
+    let d = m.len();
+    let mut out = vec![0.0f32; d];
+    for v in vs {
+        for i in 0..d {
+            let diff = v[i] - m[i];
+            out[i] += diff * diff;
+        }
+    }
+    let inv = 1.0 / vs.len() as f32;
+    for o in &mut out {
+        *o = (*o * inv).sqrt();
+    }
+    out
+}
+
+/// Coordinate-wise median of a set of vectors.
+///
+/// For an even count the lower-upper midpoint is used. NaN coordinates are
+/// sorted last and therefore never selected as median unless all values for
+/// the coordinate are NaN.
+///
+/// # Panics
+///
+/// Panics when `vs` is empty or lengths differ.
+pub fn median(vs: &[&[f32]]) -> Vec<f32> {
+    assert!(!vs.is_empty(), "median of zero vectors");
+    let d = vs[0].len();
+    let n = vs.len();
+    let mut buf = vec![0.0f32; n];
+    let mut out = vec![0.0f32; d];
+    for (i, o) in out.iter_mut().enumerate() {
+        for (j, v) in vs.iter().enumerate() {
+            assert_eq!(v.len(), d, "median: length mismatch");
+            buf[j] = v[i];
+        }
+        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+        *o = if n % 2 == 1 { buf[n / 2] } else { 0.5 * (buf[n / 2 - 1] + buf[n / 2]) };
+    }
+    out
+}
+
+/// Coordinate-wise trimmed mean: drops the `trim` smallest and `trim`
+/// largest values per coordinate, averaging the rest.
+///
+/// # Panics
+///
+/// Panics when `vs` is empty, lengths differ, or `2·trim >= vs.len()`.
+pub fn trimmed_mean(vs: &[&[f32]], trim: usize) -> Vec<f32> {
+    assert!(!vs.is_empty(), "trimmed mean of zero vectors");
+    let n = vs.len();
+    assert!(2 * trim < n, "trim {trim} too large for {n} vectors");
+    let d = vs[0].len();
+    let mut buf = vec![0.0f32; n];
+    let mut out = vec![0.0f32; d];
+    let keep = (n - 2 * trim) as f32;
+    for (i, o) in out.iter_mut().enumerate() {
+        for (j, v) in vs.iter().enumerate() {
+            assert_eq!(v.len(), d, "trimmed_mean: length mismatch");
+            buf[j] = v[i];
+        }
+        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+        *o = buf[trim..n - trim].iter().sum::<f32>() / keep;
+    }
+    out
+}
+
+/// Full pairwise squared-distance matrix (symmetric, zero diagonal).
+///
+/// # Panics
+///
+/// Panics if vector lengths differ.
+pub fn pairwise_sq_distances(vs: &[&[f32]]) -> Vec<Vec<f32>> {
+    let n = vs.len();
+    let mut m = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sq_distance(vs[i], vs[j]);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(sq_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(add(&[1.0], &[2.0]), vec![3.0]);
+        assert_eq!(sub(&[1.0], &[2.0]), vec![-1.0]);
+        assert_eq!(scale(&[2.0, -1.0], 3.0), vec![6.0, -3.0]);
+        let mut a = vec![1.0, 1.0];
+        axpy_in_place(&mut a, 2.0, &[1.0, 2.0]);
+        assert_eq!(a, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn unit_and_sign() {
+        assert_eq!(unit(&[3.0, 4.0]), vec![0.6, 0.8]);
+        assert_eq!(unit(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(sign(&[-2.0, 0.0, 5.0]), vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let a = [1.0f32, 10.0];
+        let b = [3.0f32, 10.0];
+        let m = mean(&[&a, &b]);
+        assert_eq!(m, vec![2.0, 10.0]);
+        let s = std_dev(&[&a, &b]);
+        assert_eq!(s, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        let a = [1.0f32];
+        let b = [5.0f32];
+        let c = [3.0f32];
+        assert_eq!(median(&[&a, &b, &c]), vec![3.0]);
+        assert_eq!(median(&[&a, &b]), vec![3.0]);
+    }
+
+    #[test]
+    fn median_resists_one_outlier() {
+        let a = [1.0f32];
+        let b = [2.0f32];
+        let c = [1e9f32];
+        assert_eq!(median(&[&a, &b, &c]), vec![2.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let vs: Vec<Vec<f32>> = vec![vec![-100.0], vec![1.0], vec![2.0], vec![3.0], vec![100.0]];
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(trimmed_mean(&refs, 1), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim")]
+    fn trimmed_mean_rejects_overtrim() {
+        let vs: Vec<Vec<f32>> = vec![vec![1.0], vec![2.0]];
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let _ = trimmed_mean(&refs, 1);
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric() {
+        let vs: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]];
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let m = pairwise_sq_distances(&refs);
+        assert_eq!(m[0][1], 25.0);
+        assert_eq!(m[1][0], 25.0);
+        assert_eq!(m[0][2], 100.0);
+        assert_eq!(m[1][1], 0.0);
+    }
+}

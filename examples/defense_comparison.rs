@@ -1,0 +1,46 @@
+//! Compare all four robust aggregation rules (plus undefended FedAvg)
+//! against the same zero-knowledge attack — the scenario of paper Table II,
+//! one attack column at a reduced scale.
+//!
+//! ```sh
+//! cargo run --release --example defense_comparison
+//! ```
+
+use fabflip::ZkaConfig;
+use fabflip_agg::DefenseKind;
+use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate, AttackSpec, FlConfig, TaskKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let defenses = [
+        DefenseKind::FedAvg,
+        DefenseKind::MKrum { f: 2 },
+        DefenseKind::TrMean { trim: 2 },
+        DefenseKind::Bulyan { f: 2 },
+        DefenseKind::Median,
+    ];
+    println!("{:<8} {:>8} {:>8} {:>8}", "defense", "acc_max", "ASR%", "DPR%");
+    for defense in defenses {
+        let cfg = FlConfig::builder(TaskKind::Fashion)
+            .n_clients(40)
+            .rounds(25)
+        .local_epochs(2)
+            .train_size(1200)
+            .test_size(300)
+            .defense(defense)
+            .attack(AttackSpec::ZkaR { cfg: ZkaConfig::fast() })
+            .seed(7)
+            .build();
+        let r = simulate(&cfg)?;
+        let natk = acc_natk(&cfg)?;
+        let asr = attack_success_rate(natk, r.max_accuracy());
+        let dpr = r.dpr().map_or("NA".to_string(), |d| format!("{:.1}", d * 100.0));
+        println!(
+            "{:<8} {:>8.3} {:>8.1} {:>8}",
+            defense.label(),
+            r.max_accuracy(),
+            asr * 100.0,
+            dpr
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every table and figure. Order: cheap/fashion first.
+set -x
+cd /root/repo
+B=target/release
+$B/table1 > results/table1.txt 2>&1
+$B/fig4  > results/fig4.txt 2>&1
+$B/fig6  > results/fig6.txt 2>&1
+$B/table2 > results/table2.txt 2>&1
+$B/fig5   > results/fig5.txt 2>&1
+$B/table5 > results/table5.txt 2>&1
+$B/micro_random > results/micro_random.txt 2>&1
+$B/table3 > results/table3.txt 2>&1
+$B/fig7   > results/fig7.txt 2>&1
+$B/table4 > results/table4.txt 2>&1
+$B/ablation_s > results/ablation_s.txt 2>&1
+$B/ablation_lambda > results/ablation_lambda.txt 2>&1
+echo ALL_EXPERIMENTS_DONE

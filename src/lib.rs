@@ -1,0 +1,9 @@
+//! Umbrella crate: re-exports the full `fabflip` reproduction stack.
+//! See README.md and DESIGN.md.
+pub use fabflip as zka;
+pub use fabflip_agg as agg;
+pub use fabflip_attacks as attacks;
+pub use fabflip_data as data;
+pub use fabflip_fl as fl;
+pub use fabflip_nn as nn;
+pub use fabflip_tensor as tensor;

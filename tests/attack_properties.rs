@@ -1,0 +1,128 @@
+//! Property-based tests on the attack algebra: the crafted updates must
+//! satisfy each attack's defining constraint for arbitrary benign-update
+//! geometries, not just hand-picked fixtures.
+
+use fabflip_attacks::{Attack, AttackContext, Fang, Lie, MinMax, MinSum, TaskInfo};
+use fabflip_nn::{Dense, Sequential};
+use fabflip_tensor::vecops;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_task() -> TaskInfo {
+    TaskInfo {
+        channels: 1,
+        height: 2,
+        width: 2,
+        num_classes: 2,
+        synth_set_size: 4,
+        local_lr: 0.1,
+        local_batch: 2,
+        local_epochs: 1,
+    }
+}
+
+fn toy_builder(rng: &mut StdRng) -> Sequential {
+    let mut m = Sequential::new();
+    m.push(Dense::new(4, 2, rng));
+    m
+}
+
+fn craft(attack: &mut dyn Attack, benign: &[Vec<f32>], global: &[f32]) -> Vec<f32> {
+    let task = toy_task();
+    let ctx = AttackContext {
+        global,
+        prev_global: None,
+        benign_updates: benign,
+        n_selected: 10,
+        n_malicious_selected: 2,
+        task: &task,
+        build_model: &toy_builder,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    attack.craft(&ctx, &mut rng).expect("craft succeeds on finite input")
+}
+
+fn benign_strategy(d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-3.0f32..3.0, d), 3..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn lie_update_is_exactly_mean_plus_z_std(benign in benign_strategy(6)) {
+        let global = vec![0.0f32; 6];
+        let w = craft(&mut Lie::with_z(1.5), &benign, &global);
+        let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
+        let mean = vecops::mean(&refs);
+        let std = vecops::std_dev(&refs);
+        for j in 0..6 {
+            let expect = mean[j] + 1.5 * std[j];
+            prop_assert!((w[j] - expect).abs() < 1e-4, "coord {}: {} vs {}", j, w[j], expect);
+        }
+    }
+
+    #[test]
+    fn fang_lands_outside_the_benign_interval_against_the_direction(
+        benign in benign_strategy(5)
+    ) {
+        let global = vec![0.0f32; 5];
+        let w = craft(&mut Fang::new(), &benign, &global);
+        let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
+        let mean = vecops::mean(&refs);
+        for j in 0..5 {
+            let lo = refs.iter().map(|r| r[j]).fold(f32::INFINITY, f32::min);
+            let hi = refs.iter().map(|r| r[j]).fold(f32::NEG_INFINITY, f32::max);
+            if mean[j] - global[j] > 0.0 {
+                prop_assert!(w[j] <= lo + 1e-5, "coord {} should undershoot", j);
+            } else {
+                prop_assert!(w[j] >= hi - 1e-5, "coord {} should overshoot", j);
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_never_violates_the_max_distance_budget(benign in benign_strategy(6)) {
+        let global = vec![0.0f32; 6];
+        let w = craft(&mut MinMax::new(), &benign, &global);
+        let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
+        let budget = vecops::pairwise_sq_distances(&refs)
+            .iter()
+            .flatten()
+            .fold(0.0f32, |a, &b| a.max(b))
+            .sqrt();
+        for r in &refs {
+            prop_assert!(
+                vecops::l2_distance(&w, r) <= budget * 1.01 + 1e-4,
+                "stealth constraint violated"
+            );
+        }
+        prop_assert!(w.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn minsum_never_violates_the_sum_distance_budget(benign in benign_strategy(6)) {
+        let global = vec![0.0f32; 6];
+        let w = craft(&mut MinSum::new(), &benign, &global);
+        let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
+        let budget = vecops::pairwise_sq_distances(&refs)
+            .iter()
+            .map(|row| row.iter().sum::<f32>())
+            .fold(0.0f32, f32::max);
+        let total: f32 = refs.iter().map(|r| vecops::sq_distance(&w, r)).sum();
+        prop_assert!(total <= budget * 1.01 + 1e-4, "{} > {}", total, budget);
+    }
+
+    #[test]
+    fn oracle_attacks_ignore_nonfinite_benign_updates(mut benign in benign_strategy(4)) {
+        // Poison one benign update with NaN: the crafted update must remain
+        // finite and identical to crafting without the poisoned entry.
+        let global = vec![0.0f32; 4];
+        let clean = benign.clone();
+        benign.push(vec![f32::NAN, 1.0, 2.0, f32::INFINITY]);
+        let w_clean = craft(&mut Lie::with_z(1.0), &clean, &global);
+        let w_poisoned = craft(&mut Lie::with_z(1.0), &benign, &global);
+        prop_assert_eq!(w_clean, w_poisoned);
+    }
+}

@@ -1,0 +1,61 @@
+//! Table I of the paper, as executable assertions: the assumption profile
+//! of every attack in the comparison.
+
+use fabflip::{ZkaConfig, ZkaG, ZkaR};
+use fabflip_attacks::{Attack, Fang, Lie, MinMax, RandomWeights};
+
+#[test]
+fn table1_lie_row() {
+    let c = Lie::new().capabilities();
+    assert!(c.needs_benign_updates, "LIE eavesdrops on benign updates");
+    assert!(c.works_defense_unknown);
+    assert!(!c.needs_raw_data);
+    assert!(!c.handles_heterogeneity, "LIE was not evaluated under heterogeneity");
+    assert!(c.defenses_known.contains(&"TRmean"));
+    assert!(c.defenses_known.contains(&"Krum"));
+}
+
+#[test]
+fn table1_fang_row() {
+    let c = Fang::new().capabilities();
+    assert!(c.needs_benign_updates);
+    assert!(!c.works_defense_unknown, "Fang needs the deployed defense for stealth");
+    assert!(c.handles_heterogeneity);
+    assert!(c.defenses_known.contains(&"Median"));
+}
+
+#[test]
+fn table1_minmax_row() {
+    let c = MinMax::new().capabilities();
+    assert!(c.needs_benign_updates);
+    assert!(c.works_defense_unknown);
+    assert!(c.handles_heterogeneity);
+    assert!(c.defenses_known.len() >= 4);
+}
+
+#[test]
+fn zka_rows_are_strictly_weaker_assumptions() {
+    // The paper's core claim: ZKA needs neither benign updates nor raw data
+    // nor defense knowledge — no baseline matches that profile.
+    for zka in [
+        ZkaR::new(ZkaConfig::paper()).capabilities(),
+        ZkaG::new(ZkaConfig::paper()).capabilities(),
+        RandomWeights::new().capabilities(),
+    ] {
+        assert!(!zka.needs_benign_updates);
+        assert!(!zka.needs_raw_data);
+        assert!(zka.works_defense_unknown);
+        assert!(zka.handles_heterogeneity);
+        assert!(zka.defenses_known.is_empty());
+    }
+    for baseline in [
+        Lie::new().capabilities(),
+        Fang::new().capabilities(),
+        MinMax::new().capabilities(),
+    ] {
+        assert!(
+            baseline.needs_benign_updates,
+            "every baseline assumes the benign-update oracle"
+        );
+    }
+}

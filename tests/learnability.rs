@@ -1,0 +1,59 @@
+//! Calibration tests: the procedural datasets must be learnable by the
+//! paper's classifiers — high ceiling for the fashion-like task, a harder
+//! (lower-ceiling) cifar-like task. These pin the substitution argument of
+//! DESIGN.md §3.
+
+use fabflip_data::{Dataset, SynthSpec};
+use fabflip_nn::losses::{accuracy, softmax_cross_entropy_hard};
+use fabflip_nn::{models, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Centralized SGD training; returns test accuracy.
+fn train_centrally(
+    model: &mut Sequential,
+    train: &Dataset,
+    test: &Dataset,
+    epochs: usize,
+    batch: usize,
+    lr: f32,
+    seed: u64,
+) -> f32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all: Vec<usize> = (0..train.len()).collect();
+    for _ in 0..epochs {
+        for b in train.shuffled_batches(&all, batch, &mut rng) {
+            model
+                .train_step(&b.images, lr, |logits| {
+                    softmax_cross_entropy_hard(logits, &b.labels)
+                })
+                .expect("training step");
+        }
+    }
+    let tb = test.gather(&(0..test.len()).collect::<Vec<_>>());
+    let logits = model.forward(&tb.images).expect("forward");
+    accuracy(&logits, &tb.labels)
+}
+
+#[test]
+fn fashion_like_reaches_high_accuracy() {
+    let spec = SynthSpec::fashion_like();
+    let train = Dataset::synthesize_split(&spec, 1200, 1, 100);
+    let test = Dataset::synthesize_split(&spec, 400, 1, 200);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = models::fashion_cnn(&mut rng);
+    let acc = train_centrally(&mut model, &train, &test, 4, 32, 0.08, 3);
+    assert!(acc > 0.70, "fashion-like accuracy too low: {acc}");
+}
+
+#[test]
+fn cifar_like_is_harder_but_learnable() {
+    let spec = SynthSpec::cifar_like();
+    let train = Dataset::synthesize_split(&spec, 1200, 1, 100);
+    let test = Dataset::synthesize_split(&spec, 400, 1, 200);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = models::cifar_cnn(&mut rng);
+    let acc = train_centrally(&mut model, &train, &test, 4, 32, 0.05, 3);
+    assert!(acc > 0.25, "cifar-like accuracy too low: {acc}");
+    assert!(acc < 0.95, "cifar-like unexpectedly trivial: {acc}");
+}
