@@ -1,0 +1,207 @@
+//! Offline vendored shim for the subset of `rayon` used by this workspace.
+//!
+//! Implements `slice.par_iter().map(f).collect()` on top of
+//! `std::thread::scope`, splitting the input into one contiguous block per
+//! worker thread and concatenating results in order, so collected output is
+//! ordered exactly like the serial iterator. Thread count comes from
+//! `ThreadPoolBuilder::num_threads` / the `FABFLIP_THREADS` environment
+//! variable / `std::thread::available_parallelism`, in that priority order.
+
+use std::sync::OnceLock;
+
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> Option<usize> {
+    std::env::var("FABFLIP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Number of worker threads parallel iterators will use.
+pub fn current_num_threads() -> usize {
+    if let Some(&n) = GLOBAL_THREADS.get() {
+        return n;
+    }
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; only the global pool's
+/// thread count is honored (this shim spawns scoped threads per call).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = self
+            .num_threads
+            .filter(|&n| n > 0)
+            .or_else(env_threads)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        GLOBAL_THREADS.set(n).map_err(|_| ThreadPoolBuildError)
+    }
+}
+
+/// Runs `f(0..n)` across worker threads, returning results in index order.
+fn run_ordered<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>()));
+        }
+        for h in handles {
+            out.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+pub struct SliceParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// `par_iter` entry point for slices and anything derefencing to one.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> SliceParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> SliceParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> SliceParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        SliceParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> SliceParMap<'a, T, F> {
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let results = run_ordered(self.items.len(), |i| (self.f)(&self.items[i]));
+        C::from_ordered(results)
+    }
+}
+
+/// Collection targets for `collect`; results arrive already in input order.
+pub trait FromParallelIterator<T>: Sized {
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E, C: FromParallelIterator<T>> FromParallelIterator<Result<T, E>> for Result<C, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        let mut ok = Vec::with_capacity(items.len());
+        for item in items {
+            ok.push(item?);
+        }
+        Ok(C::from_ordered(ok))
+    }
+}
+
+pub mod prelude {
+    pub use super::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits() {
+        let v: Vec<usize> = (0..10).collect();
+        let ok: Result<Vec<usize>, String> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap(), v);
+        let err: Result<Vec<usize>, String> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+}

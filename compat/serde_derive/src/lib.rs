@@ -1,0 +1,440 @@
+//! Offline vendored `serde_derive` shim.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls (in terms of
+//! the shim's `Content` data model) for structs with named fields and for
+//! enums whose variants are unit or struct-like — the only shapes this
+//! workspace derives. Attribute support: `#[serde(skip)]`,
+//! `#[serde(default)]`, `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Built without `syn`/`quote`: the item is parsed directly from the
+//! `proc_macro` token stream and the impl is emitted as a source string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+enum Variant {
+    Unit(String),
+    Struct(String, Vec<Field>),
+}
+
+enum Item {
+    Struct(String, Vec<Field>),
+    Enum(String, Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct(name, fields) => gen_struct_ser(name, fields),
+        Item::Enum(name, variants) => gen_enum_ser(name, variants),
+    };
+    code.parse().expect("serde_derive: generated invalid code")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct(name, fields) => gen_struct_de(name, fields),
+        Item::Enum(name, variants) => gen_enum_de(name, variants),
+    };
+    code.parse().expect("serde_derive: generated invalid code")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Serde-relevant flags found in one `#[...]` attribute group.
+#[derive(Default)]
+struct AttrFlags {
+    skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+impl AttrFlags {
+    fn merge(&mut self, other: AttrFlags) {
+        self.skip |= other.skip;
+        self.default |= other.default;
+        if other.skip_serializing_if.is_some() {
+            self.skip_serializing_if = other.skip_serializing_if;
+        }
+    }
+}
+
+/// Parses the contents of one attribute bracket group, e.g.
+/// `serde(default, skip_serializing_if = "Option::is_none")` or `doc = "…"`.
+fn parse_attr_group(stream: TokenStream) -> AttrFlags {
+    let mut flags = AttrFlags::default();
+    let mut tokens = stream.into_iter();
+    let Some(TokenTree::Ident(head)) = tokens.next() else {
+        return flags;
+    };
+    if head.to_string() != "serde" {
+        return flags;
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return flags;
+    };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tok) = inner.next() {
+        let TokenTree::Ident(key) = tok else { continue };
+        match key.to_string().as_str() {
+            "skip" => flags.skip = true,
+            "default" => flags.default = true,
+            "skip_serializing_if" => {
+                // Expect `= "path"`.
+                let eq = inner.next();
+                debug_assert!(matches!(&eq, Some(TokenTree::Punct(p)) if p.as_char() == '='));
+                if let Some(TokenTree::Literal(lit)) = inner.next() {
+                    let text = lit.to_string();
+                    let path = text.trim_matches('"').to_string();
+                    flags.skip_serializing_if = Some(path);
+                }
+            }
+            other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+        }
+    }
+    flags
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until `struct` / `enum`.
+    let mut kind = None;
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the bracket group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                // `pub`, `crate`, etc.
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("serde_derive shim: expected `struct` or `enum`");
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic types are not supported")
+            }
+            Some(_) => continue,
+            None => {
+                panic!("serde_derive shim: `{name}` has no braced body (tuple structs unsupported)")
+            }
+        }
+    };
+    if kind == "struct" {
+        Item::Struct(name, parse_fields(body))
+    } else {
+        Item::Enum(name, parse_variants(body))
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut flags = AttrFlags::default();
+        // Attributes.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.next() {
+                flags.merge(parse_attr_group(g.stream()));
+            }
+        }
+        // Visibility.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            skip: flags.skip,
+            default: flags.default,
+            skip_serializing_if: flags.skip_serializing_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Attributes (doc comments etc.).
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let name = name.to_string();
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                tokens.next();
+                variants.push(Variant::Struct(name, fields));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde_derive shim: tuple variant `{name}` unsupported; use struct-like fields"
+                )
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Trailing comma.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn push_field_ser(out: &mut String, field: &Field, access: &str) {
+    if field.skip {
+        return;
+    }
+    let name = &field.name;
+    if let Some(cond) = &field.skip_serializing_if {
+        let _ = writeln!(out, "        if !{cond}(&{access}) {{");
+        let _ = writeln!(
+            out,
+            "            entries.push((::std::string::String::from(\"{name}\"), ::serde::Serialize::to_content(&{access})));"
+        );
+        let _ = writeln!(out, "        }}");
+    } else {
+        let _ = writeln!(
+            out,
+            "        entries.push((::std::string::String::from(\"{name}\"), ::serde::Serialize::to_content(&{access})));"
+        );
+    }
+}
+
+fn push_field_de(out: &mut String, field: &Field, context: &str) {
+    let name = &field.name;
+    if field.skip {
+        let _ = writeln!(
+            out,
+            "            {name}: ::std::default::Default::default(),"
+        );
+        return;
+    }
+    let missing = if field.default || field.skip_serializing_if.is_some() {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{name}\", \"{context}\"))"
+        )
+    };
+    let _ = writeln!(
+        out,
+        "            {name}: match ::serde::map_get(entries, \"{name}\") {{ ::std::option::Option::Some(v) => ::serde::Deserialize::from_content(v)?, ::std::option::Option::None => {missing} }},"
+    );
+}
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#[automatically_derived]");
+    let _ = writeln!(out, "#[allow(unused, clippy::all)]");
+    let _ = writeln!(out, "impl ::serde::Serialize for {name} {{");
+    let _ = writeln!(out, "    fn to_content(&self) -> ::serde::Content {{");
+    let _ = writeln!(
+        out,
+        "        let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();"
+    );
+    for field in fields {
+        push_field_ser(&mut out, field, &format!("self.{}", field.name));
+    }
+    let _ = writeln!(out, "        ::serde::Content::Map(entries)");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#[automatically_derived]");
+    let _ = writeln!(out, "#[allow(unused, clippy::all)]");
+    let _ = writeln!(out, "impl ::serde::Deserialize for {name} {{");
+    let _ = writeln!(
+        out,
+        "    fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{"
+    );
+    let _ = writeln!(
+        out,
+        "        let entries = content.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\", content))?;"
+    );
+    let _ = writeln!(out, "        ::std::result::Result::Ok({name} {{");
+    for field in fields {
+        push_field_de(&mut out, field, name);
+    }
+    let _ = writeln!(out, "        }})");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#[automatically_derived]");
+    let _ = writeln!(out, "#[allow(unused, clippy::all)]");
+    let _ = writeln!(out, "impl ::serde::Serialize for {name} {{");
+    let _ = writeln!(out, "    fn to_content(&self) -> ::serde::Content {{");
+    let _ = writeln!(out, "        match self {{");
+    for variant in variants {
+        match variant {
+            Variant::Unit(v) => {
+                let _ = writeln!(
+                    out,
+                    "            {name}::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\")),"
+                );
+            }
+            Variant::Struct(v, fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "            {name}::{v} {{ {} }} => {{",
+                    bindings.join(", ")
+                );
+                let _ = writeln!(
+                    out,
+                    "        let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();"
+                );
+                for field in fields {
+                    push_field_ser(&mut out, field, field.name.to_string().as_str());
+                }
+                let _ = writeln!(
+                    out,
+                    "                ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Content::Map(entries))])"
+                );
+                let _ = writeln!(out, "            }}");
+            }
+        }
+    }
+    let _ = writeln!(out, "        }}");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&String> = variants
+        .iter()
+        .filter_map(|v| match v {
+            Variant::Unit(n) => Some(n),
+            _ => None,
+        })
+        .collect();
+    let structs: Vec<(&String, &Vec<Field>)> = variants
+        .iter()
+        .filter_map(|v| match v {
+            Variant::Struct(n, f) => Some((n, f)),
+            _ => None,
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "#[automatically_derived]");
+    let _ = writeln!(out, "#[allow(unused, clippy::all)]");
+    let _ = writeln!(out, "impl ::serde::Deserialize for {name} {{");
+    let _ = writeln!(
+        out,
+        "    fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{"
+    );
+    let _ = writeln!(out, "        match content {{");
+
+    // Unit variants arrive as bare strings.
+    let _ = writeln!(out, "            ::serde::Content::Str(s) => {{");
+    for v in &unit {
+        let _ = writeln!(
+            out,
+            "                if s == \"{v}\" {{ return ::std::result::Result::Ok({name}::{v}); }}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "                ::std::result::Result::Err(::serde::DeError::unknown_variant(s, \"{name}\"))"
+    );
+    let _ = writeln!(out, "            }}");
+
+    // Struct variants arrive as single-entry maps.
+    let _ = writeln!(
+        out,
+        "            ::serde::Content::Map(outer) if outer.len() == 1 => {{"
+    );
+    let _ = writeln!(out, "                let (tag, payload) = &outer[0];");
+    for (v, fields) in &structs {
+        let _ = writeln!(out, "                if tag == \"{v}\" {{");
+        let _ = writeln!(
+            out,
+            "                    let entries = payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{v}\", payload))?;"
+        );
+        let _ = writeln!(
+            out,
+            "                    return ::std::result::Result::Ok({name}::{v} {{"
+        );
+        for field in *fields {
+            push_field_de(&mut out, field, &format!("{name}::{v}"));
+        }
+        let _ = writeln!(out, "                    }});");
+        let _ = writeln!(out, "                }}");
+    }
+    let _ = writeln!(
+        out,
+        "                ::std::result::Result::Err(::serde::DeError::unknown_variant(tag, \"{name}\"))"
+    );
+    let _ = writeln!(out, "            }}");
+
+    let _ = writeln!(
+        out,
+        "            other => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key map\", \"{name}\", other)),"
+    );
+    let _ = writeln!(out, "        }}");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
+    out
+}

@@ -1,0 +1,535 @@
+//! Offline vendored shim for the subset of `serde_json` used by this
+//! workspace: `to_string`, `to_string_pretty`, `from_str`, `Value`, and the
+//! `json!` macro, all in terms of the serde shim's [`Content`] data model.
+
+pub use serde::Content as Value;
+use serde::{Content, DeError, Deserialize, Serialize};
+
+// The `json!` macro needs `serde` even when the calling crate does not
+// depend on it directly, so re-export it under `$crate`.
+#[doc(hidden)]
+pub use serde as __serde;
+
+/// Error type shared by serialization and parsing.
+pub type Error = DeError;
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(DeError::custom(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::from_content(&content)
+}
+
+/// Builds a [`Value`] from JSON-ish literal syntax. Supports objects,
+/// arrays, `null`, and arbitrary serializable expressions as values
+/// (including multi-token expressions like `result.dpr()`), with optional
+/// trailing commas.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::Value::Seq($crate::json_internal_seq!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Map($crate::json_internal_map!([] $($tt)*)) };
+    ($other:expr) => { $crate::__serde::Serialize::to_content(&$other) };
+}
+
+// Token munchers for `json!`: values are accumulated one token tree at a
+// time until a top-level comma, then re-dispatched through `json!`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal_map {
+    ([$($done:expr,)*]) => { ::std::vec![$($done,)*] };
+    ([$($done:expr,)*] $key:literal : $($rest:tt)*) => {
+        $crate::json_map_munch!([$($done,)*] $key; []; $($rest)*)
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_map_munch {
+    ([$($done:expr,)*] $key:literal; [$($val:tt)*];) => {
+        ::std::vec![$($done,)* (::std::string::String::from($key), $crate::json!($($val)*)),]
+    };
+    ([$($done:expr,)*] $key:literal; [$($val:tt)*]; , $($rest:tt)*) => {
+        $crate::json_internal_map!(
+            [$($done,)* (::std::string::String::from($key), $crate::json!($($val)*)),]
+            $($rest)*
+        )
+    };
+    ([$($done:expr,)*] $key:literal; [$($val:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_map_munch!([$($done,)*] $key; [$($val)* $next]; $($rest)*)
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal_seq {
+    ([$($done:expr,)*]) => { ::std::vec![$($done,)*] };
+    ([$($done:expr,)*] $($rest:tt)+) => {
+        $crate::json_seq_munch!([$($done,)*]; []; $($rest)+)
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_seq_munch {
+    ([$($done:expr,)*]; [$($val:tt)*];) => {
+        ::std::vec![$($done,)* $crate::json!($($val)*),]
+    };
+    ([$($done:expr,)*]; [$($val:tt)*]; , $($rest:tt)*) => {
+        $crate::json_internal_seq!([$($done,)* $crate::json!($($val)*),] $($rest)*)
+    };
+    ([$($done:expr,)*]; [$($val:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_seq_munch!([$($done,)*]; [$($val)* $next]; $($rest)*)
+    };
+}
+
+// ------------------------------------------------------------- rendering
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            // Keep integral floats readable ("3.0" not "3").
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        // JSON has no Inf/NaN; serde_json emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            write_block(items.iter().map(Entry::Seq), out, indent, depth, ['[', ']'])
+        }
+        Content::Map(entries) => write_block(
+            entries.iter().map(|(k, v)| Entry::Map(k, v)),
+            out,
+            indent,
+            depth,
+            ['{', '}'],
+        ),
+    }
+}
+
+enum Entry<'a> {
+    Seq(&'a Content),
+    Map(&'a String, &'a Content),
+}
+
+fn write_block<'a>(
+    items: impl ExactSizeIterator<Item = Entry<'a>>,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: [char; 2],
+) {
+    if items.len() == 0 {
+        out.push(brackets[0]);
+        out.push(brackets[1]);
+        return;
+    }
+    out.push(brackets[0]);
+    let n = items.len();
+    for (i, entry) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        match entry {
+            Entry::Seq(v) => write_content(v, out, indent, depth + 1),
+            Entry::Map(k, v) => {
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, depth + 1);
+            }
+        }
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(brackets[1]);
+}
+
+// --------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::custom(format!(
+                "expected `{}` at offset {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Content::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => {
+                            return Err(DeError::custom(format!(
+                                "expected `,` or `]` at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => {
+                            return Err(DeError::custom(format!(
+                                "expected `,` or `}}` at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(DeError::custom(format!(
+                "unexpected character at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| DeError::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| DeError::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| DeError::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| DeError::custom("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this workspace.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError::custom("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(DeError::custom(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| DeError::custom("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(DeError::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| DeError::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&3.5f32).unwrap(), "3.5");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<f64>("3.5").unwrap(), 3.5);
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+    }
+
+    #[test]
+    fn u64_seed_roundtrips_exactly() {
+        let seed = 0xFAB_F11Bu64;
+        let json = to_string(&seed).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), seed);
+    }
+
+    #[test]
+    fn vec_and_map_roundtrip() {
+        let v = vec![1.0f32, -2.5, 3.25];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f32>>(&json).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let json = to_string(&m).unwrap();
+        assert_eq!(from_str::<HashMap<String, u64>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn option_skips_and_nulls() {
+        assert_eq!(to_string(&Option::<f32>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<f32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<f32>>("1.5").unwrap(), Some(1.5));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\n\"quoted\"\tand \\ backslash".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn pretty_output_is_parseable() {
+        let v = json!({ "a": [1, 2, 3], "b": { "c": null }, "d": 1.5, });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "x": 1u64, "y": [true, null], "z": "s" });
+        let expected = Value::Map(vec![
+            ("x".to_string(), Value::U64(1)),
+            (
+                "y".to_string(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("z".to_string(), Value::Str("s".to_string())),
+        ]);
+        assert_eq!(v, expected);
+        let opt: Option<f32> = None;
+        let v = json!({ "opt": opt, "vec": vec![1.0f32], });
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("opt".to_string(), Value::Null),
+                ("vec".to_string(), Value::Seq(vec![Value::F64(1.0)])),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{oops}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("[1] junk").is_err());
+    }
+
+    #[test]
+    fn nested_json_macro_and_method_calls() {
+        struct S;
+        impl S {
+            fn val(&self) -> f32 {
+                2.5
+            }
+        }
+        let s = S;
+        let v = json!({ "outer": { "inner": s.val() }, "arr": [1.0f32, s.val()], });
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                (
+                    "outer".to_string(),
+                    Value::Map(vec![("inner".to_string(), Value::F64(2.5))])
+                ),
+                (
+                    "arr".to_string(),
+                    Value::Seq(vec![Value::F64(1.0), Value::F64(2.5)])
+                )
+            ])
+        );
+    }
+}

@@ -1,6 +1,10 @@
-use crate::krum::krum_scores;
+use crate::krum::krum_scores_from_dists;
 use crate::types::finite_updates;
 use crate::{AggError, Aggregation, Defense, Selection};
+use fabflip_tensor::{par, vecops};
+
+/// Minimum `coordinates × selected` work before stage 2 goes parallel.
+const PAR_STAGE2_WORK: usize = 1 << 20;
 
 /// Bulyan (El Mhamdi et al., 2018): two-stage robust aggregation.
 ///
@@ -32,9 +36,14 @@ impl Defense for Bulyan {
         let f = self.f;
         // Need θ = n − 2f ≥ 1 and the Krum precondition on the *last*
         // selection round: pool size n − θ + 1 ≥ f + 3.
-        let theta = n.checked_sub(2 * f).filter(|&t| t >= 1).ok_or(
-            AggError::TooFewUpdates { rule: "bulyan", needed: 2 * f + 1, got: n },
-        )?;
+        let theta = n
+            .checked_sub(2 * f)
+            .filter(|&t| t >= 1)
+            .ok_or(AggError::TooFewUpdates {
+                rule: "bulyan",
+                needed: 2 * f + 1,
+                got: n,
+            })?;
         let beta = theta.saturating_sub(2 * f).max(1);
         if n < theta + f + 2 {
             return Err(AggError::TooFewUpdates {
@@ -44,12 +53,15 @@ impl Defense for Bulyan {
             });
         }
 
-        // Stage 1: iterative Krum selection.
+        // Stage 1: iterative Krum selection. The pairwise distance matrix
+        // is computed once (parallel over pairs inside `vecops`) and each
+        // selection round re-scores the shrinking pool from it, instead of
+        // recomputing all O(n²·d) distances per round.
+        let dists = vecops::pairwise_sq_distances(&refs);
         let mut pool: Vec<usize> = (0..n).collect(); // local indices
         let mut selected: Vec<usize> = Vec::with_capacity(theta);
         while selected.len() < theta {
-            let pool_refs: Vec<&[f32]> = pool.iter().map(|&i| refs[i]).collect();
-            let scores = krum_scores(&pool_refs, f)?;
+            let scores = krum_scores_from_dists(&dists, &pool, f)?;
             let best_pos = scores
                 .iter()
                 .enumerate()
@@ -59,36 +71,58 @@ impl Defense for Bulyan {
             selected.push(pool.remove(best_pos));
         }
 
-        // Stage 2: per-coordinate trimmed mean around the median.
+        // Stage 2: per-coordinate trimmed mean around the median, in fixed
+        // coordinate chunks (parallel above PAR_STAGE2_WORK) with the
+        // column/sort scratch reused across each chunk's coordinates. Every
+        // coordinate is an independent pure function of the selected
+        // column, so chunking cannot change results.
         let d = refs[0].len();
         let mut model = vec![0.0f32; d];
-        let mut column = vec![0.0f32; theta];
-        for (coord, out) in model.iter_mut().enumerate() {
-            for (slot, &sel) in column.iter_mut().zip(&selected) {
-                *slot = refs[sel][coord];
+        let selected_refs: Vec<&[f32]> = selected.iter().map(|&i| refs[i]).collect();
+        let stage2 = |chunk_idx: usize, out: &mut [f32]| {
+            let lo = chunk_idx * par::CHUNK;
+            let mut column = vec![0.0f32; theta];
+            let mut sorted = vec![0.0f32; theta];
+            let mut by_closeness = vec![0.0f32; theta];
+            for (i, out_v) in out.iter_mut().enumerate() {
+                let coord = lo + i;
+                for (slot, r) in column.iter_mut().zip(&selected_refs) {
+                    *slot = r[coord];
+                }
+                sorted.copy_from_slice(&column);
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let med = if theta % 2 == 1 {
+                    sorted[theta / 2]
+                } else {
+                    0.5 * (sorted[theta / 2 - 1] + sorted[theta / 2])
+                };
+                // β values closest to the median.
+                by_closeness.copy_from_slice(&column);
+                by_closeness.sort_by(|a, b| {
+                    (a - med)
+                        .abs()
+                        .partial_cmp(&(b - med).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                *out_v = by_closeness[..beta].iter().sum::<f32>() / beta as f32;
             }
-            let mut sorted = column.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            let med = if theta % 2 == 1 {
-                sorted[theta / 2]
-            } else {
-                0.5 * (sorted[theta / 2 - 1] + sorted[theta / 2])
-            };
-            // β values closest to the median.
-            let mut by_closeness: Vec<f32> = column.clone();
-            by_closeness.sort_by(|a, b| {
-                (a - med)
-                    .abs()
-                    .partial_cmp(&(b - med).abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            *out = by_closeness[..beta].iter().sum::<f32>() / beta as f32;
+        };
+        if d.saturating_mul(theta) < PAR_STAGE2_WORK || par::max_threads() == 1 {
+            for (ci, chunk) in model.chunks_mut(par::CHUNK).enumerate() {
+                stage2(ci, chunk);
+            }
+        } else {
+            par::for_each_chunk_mut(&mut model, par::CHUNK, stage2);
         }
 
         let mut chosen: Vec<usize> = selected.iter().map(|&i| idx[i]).collect();
         chosen.sort_unstable();
         let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
-        Ok(Aggregation { model, selection: Selection::Chosen(chosen), rejected_non_finite: rejected })
+        Ok(Aggregation {
+            model,
+            selection: Selection::Chosen(chosen),
+            rejected_non_finite: rejected,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -141,7 +175,10 @@ mod tests {
         let agg = Bulyan::new(2).aggregate(&ups, &[1.0; 10]).unwrap();
         for coord in 0..3 {
             let lo = ups.iter().map(|u| u[coord]).fold(f32::INFINITY, f32::min);
-            let hi = ups.iter().map(|u| u[coord]).fold(f32::NEG_INFINITY, f32::max);
+            let hi = ups
+                .iter()
+                .map(|u| u[coord])
+                .fold(f32::NEG_INFINITY, f32::max);
             assert!(agg.model[coord] >= lo && agg.model[coord] <= hi);
         }
     }

@@ -50,10 +50,21 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(AggError::NoUpdates.to_string().contains("no finite"));
-        assert!(AggError::LengthMismatch { expected: 2, actual: 3 }.to_string().contains('3'));
-        assert!(AggError::TooFewUpdates { rule: "krum", needed: 4, got: 2 }
+        assert!(AggError::LengthMismatch {
+            expected: 2,
+            actual: 3
+        }
+        .to_string()
+        .contains('3'));
+        assert!(AggError::TooFewUpdates {
+            rule: "krum",
+            needed: 4,
+            got: 2
+        }
+        .to_string()
+        .contains("krum"));
+        assert!(AggError::InvalidParameter("f too big".into())
             .to_string()
-            .contains("krum"));
-        assert!(AggError::InvalidParameter("f too big".into()).to_string().contains("f too big"));
+            .contains("f too big"));
     }
 }

@@ -26,7 +26,9 @@ impl Defense for FedAvg {
         let kept_weights: Vec<f32> = idx.iter().map(|&i| weights[i]).collect();
         let total: f32 = kept_weights.iter().sum();
         if total <= 0.0 {
-            return Err(AggError::InvalidParameter("total client weight is zero".into()));
+            return Err(AggError::InvalidParameter(
+                "total client weight is zero".into(),
+            ));
         }
         let d = refs[0].len();
         let mut model = vec![0.0f32; d];
@@ -37,7 +39,11 @@ impl Defense for FedAvg {
             }
         }
         let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
-        Ok(Aggregation { model, selection: Selection::Chosen(idx), rejected_non_finite: rejected })
+        Ok(Aggregation {
+            model,
+            selection: Selection::Chosen(idx),
+            rejected_non_finite: rejected,
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -36,10 +36,16 @@ pub fn fltrust_aggregate(
     let (idx, refs) = finite_updates(updates)?;
     let d = refs[0].len();
     if global.len() != d {
-        return Err(AggError::LengthMismatch { expected: d, actual: global.len() });
+        return Err(AggError::LengthMismatch {
+            expected: d,
+            actual: global.len(),
+        });
     }
     if server_update.len() != d {
-        return Err(AggError::LengthMismatch { expected: d, actual: server_update.len() });
+        return Err(AggError::LengthMismatch {
+            expected: d,
+            actual: server_update.len(),
+        });
     }
     let g0 = vecops::sub(server_update, global);
     let g0_norm = vecops::l2_norm(&g0);
@@ -64,7 +70,11 @@ pub fn fltrust_aggregate(
             (vecops::dot(&gi, &g0) / (gi_norm * g0_norm)).clamp(-1.0, 1.0)
         };
         trust.push(cos.max(0.0)); // ReLU clip
-        let scale = if gi_norm < 1e-12 { 0.0 } else { g0_norm / gi_norm };
+        let scale = if gi_norm < 1e-12 {
+            0.0
+        } else {
+            g0_norm / gi_norm
+        };
         normalized.push(vecops::scale(&gi, scale));
     }
     let total: f32 = trust.iter().sum();

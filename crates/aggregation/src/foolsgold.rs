@@ -74,7 +74,12 @@ fn foolsgold_weights(refs: &[&[f32]]) -> Vec<f32> {
         }
     }
     let maxes: Vec<f32> = (0..n)
-        .map(|i| (0..n).filter(|&j| j != i).map(|j| cs[i][j]).fold(f32::NEG_INFINITY, f32::max))
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| cs[i][j])
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
         .collect();
     // Pardoning: honest clients that merely resemble a popular direction
     // are rescaled relative to the more-suspicious party.
@@ -117,7 +122,10 @@ impl FoolsGold {
         let (idx, refs) = finite_updates(updates)?;
         if let Some(r) = reference {
             if r.len() != refs[0].len() {
-                return Err(AggError::LengthMismatch { expected: refs[0].len(), actual: r.len() });
+                return Err(AggError::LengthMismatch {
+                    expected: refs[0].len(),
+                    actual: r.len(),
+                });
             }
         }
         // Similarities on deltas w_i − w(t) (or raw inputs when no ref).
@@ -149,7 +157,11 @@ impl FoolsGold {
             .map(|(&i, _)| i)
             .collect();
         let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
-        Ok(Aggregation { model, selection: Selection::Chosen(chosen), rejected_non_finite: rejected })
+        Ok(Aggregation {
+            model,
+            selection: Selection::Chosen(chosen),
+            rejected_non_finite: rejected,
+        })
     }
 }
 
@@ -205,7 +217,10 @@ mod tests {
         let agg = fg.aggregate(&ups, &[1.0; 9]).unwrap();
         match agg.selection {
             Selection::Chosen(ref c) => {
-                assert!(!c.contains(&6) && !c.contains(&7) && !c.contains(&8), "{c:?}");
+                assert!(
+                    !c.contains(&6) && !c.contains(&7) && !c.contains(&8),
+                    "{c:?}"
+                );
             }
             _ => panic!(),
         }
@@ -252,7 +267,10 @@ mod tests {
             .unwrap();
         match agg.selection {
             Selection::Chosen(ref c) => {
-                assert!(!c.contains(&6) && !c.contains(&7) && !c.contains(&8), "{c:?}");
+                assert!(
+                    !c.contains(&6) && !c.contains(&7) && !c.contains(&8),
+                    "{c:?}"
+                );
                 assert!(c.len() >= 4, "honest majority should be kept: {c:?}");
             }
             _ => panic!(),

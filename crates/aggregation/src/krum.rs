@@ -12,13 +12,48 @@ use fabflip_tensor::vecops;
 pub fn krum_scores(refs: &[&[f32]], f: usize) -> Result<Vec<f32>, AggError> {
     let n = refs.len();
     if n < f + 3 {
-        return Err(AggError::TooFewUpdates { rule: "krum", needed: f + 3, got: n });
+        return Err(AggError::TooFewUpdates {
+            rule: "krum",
+            needed: f + 3,
+            got: n,
+        });
+    }
+    let dists = vecops::pairwise_sq_distances(refs);
+    let pool: Vec<usize> = (0..n).collect();
+    krum_scores_from_dists(&dists, &pool, f)
+}
+
+/// Krum scores for a `pool` of row/column indices into a precomputed
+/// pairwise squared-distance matrix (as produced by
+/// [`vecops::pairwise_sq_distances`]). Returns one score per pool entry, in
+/// pool order, bitwise identical to [`krum_scores`] on the pool's vectors.
+///
+/// Bulyan's iterative selection calls this with a shrinking pool so the
+/// O(n²·d) distance pass runs once instead of once per selection round.
+///
+/// # Errors
+///
+/// Returns [`AggError::TooFewUpdates`] when the pool has fewer than `f + 3`
+/// entries.
+pub fn krum_scores_from_dists(
+    dists: &[Vec<f32>],
+    pool: &[usize],
+    f: usize,
+) -> Result<Vec<f32>, AggError> {
+    let n = pool.len();
+    if n < f + 3 {
+        return Err(AggError::TooFewUpdates {
+            rule: "krum",
+            needed: f + 3,
+            got: n,
+        });
     }
     let k = n - f - 2;
-    let dists = vecops::pairwise_sq_distances(refs);
     let mut scores = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut row: Vec<f32> = (0..n).filter(|&j| j != i).map(|j| dists[i][j]).collect();
+    let mut row: Vec<f32> = Vec::with_capacity(n - 1);
+    for &i in pool {
+        row.clear();
+        row.extend(pool.iter().filter(|&&j| j != i).map(|&j| dists[i][j]));
         row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         scores.push(row[..k].iter().sum());
     }
@@ -99,7 +134,9 @@ impl Defense for MultiKrum {
         let m = self.m.unwrap_or_else(|| (n - self.f - 2).max(1)).min(n);
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+            scores[a]
+                .partial_cmp(&scores[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let chosen_local = &order[..m];
         let chosen_refs: Vec<&[f32]> = chosen_local.iter().map(|&i| refs[i]).collect();
@@ -107,7 +144,11 @@ impl Defense for MultiKrum {
         let mut chosen: Vec<usize> = chosen_local.iter().map(|&i| idx[i]).collect();
         chosen.sort_unstable();
         let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
-        Ok(Aggregation { model, selection: Selection::Chosen(chosen), rejected_non_finite: rejected })
+        Ok(Aggregation {
+            model,
+            selection: Selection::Chosen(chosen),
+            rejected_non_finite: rejected,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -162,7 +203,10 @@ mod tests {
     #[test]
     fn mkrum_excludes_outlier_and_averages() {
         let ups = cluster_with_outlier();
-        let agg = MultiKrum::new(1, 3).unwrap().aggregate(&ups, &[1.0; 6]).unwrap();
+        let agg = MultiKrum::new(1, 3)
+            .unwrap()
+            .aggregate(&ups, &[1.0; 6])
+            .unwrap();
         match agg.selection {
             Selection::Chosen(ref c) => {
                 assert_eq!(c.len(), 3);
@@ -177,7 +221,9 @@ mod tests {
     #[test]
     fn default_m_is_n_minus_f_minus_2() {
         let ups = cluster_with_outlier(); // n = 6
-        let agg = MultiKrum::with_default_m(1).aggregate(&ups, &[1.0; 6]).unwrap();
+        let agg = MultiKrum::with_default_m(1)
+            .aggregate(&ups, &[1.0; 6])
+            .unwrap();
         match agg.selection {
             Selection::Chosen(ref c) => assert_eq!(c.len(), 3), // 6 - 1 - 2
             _ => panic!(),
@@ -202,7 +248,10 @@ mod tests {
     fn nan_update_cannot_hide_in_selection() {
         let mut ups = cluster_with_outlier();
         ups[5] = vec![f32::NAN, f32::NAN];
-        let agg = MultiKrum::new(1, 3).unwrap().aggregate(&ups, &[1.0; 6]).unwrap();
+        let agg = MultiKrum::new(1, 3)
+            .unwrap()
+            .aggregate(&ups, &[1.0; 6])
+            .unwrap();
         assert_eq!(agg.rejected_non_finite, vec![5]);
         assert!(agg.model.iter().all(|v| v.is_finite()));
     }
@@ -272,7 +321,10 @@ mod sybil_geometry_tests {
         let fg = FoolsGold::new().aggregate(&ups, &[1.0; 8]).unwrap();
         match fg.selection {
             Selection::Chosen(ref c) => {
-                assert!(!c.contains(&6) && !c.contains(&7), "foolsgold missed the twins: {c:?}");
+                assert!(
+                    !c.contains(&6) && !c.contains(&7),
+                    "foolsgold missed the twins: {c:?}"
+                );
             }
             _ => panic!(),
         }

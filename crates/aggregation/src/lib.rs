@@ -48,8 +48,8 @@ mod error;
 mod fedavg;
 mod fltrust;
 mod foolsgold;
-mod normbound;
 mod krum;
+mod normbound;
 mod statistic;
 mod types;
 
@@ -58,8 +58,8 @@ pub use error::AggError;
 pub use fedavg::FedAvg;
 pub use fltrust::{fltrust_aggregate, FLTRUST_SELECT_CUTOFF};
 pub use foolsgold::FoolsGold;
+pub use krum::{krum_scores, krum_scores_from_dists, Krum, MultiKrum};
 pub use normbound::NormBound;
-pub use krum::{krum_scores, Krum, MultiKrum};
 pub use statistic::{Median, TrimmedMean};
 pub use types::{Aggregation, Defense, DefenseKind, Selection};
 

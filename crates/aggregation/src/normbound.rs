@@ -35,11 +35,18 @@ impl NormBound {
         NormBound { max_norm }
     }
 
-    fn clip(&self, updates: &[Vec<f32>], reference: Option<&[f32]>) -> Result<Vec<Vec<f32>>, AggError> {
+    fn clip(
+        &self,
+        updates: &[Vec<f32>],
+        reference: Option<&[f32]>,
+    ) -> Result<Vec<Vec<f32>>, AggError> {
         let (_, refs) = finite_updates(updates)?;
         if let Some(r) = reference {
             if r.len() != refs[0].len() {
-                return Err(AggError::LengthMismatch { expected: refs[0].len(), actual: r.len() });
+                return Err(AggError::LengthMismatch {
+                    expected: refs[0].len(),
+                    actual: r.len(),
+                });
             }
         }
         Ok(refs
@@ -50,7 +57,11 @@ impl NormBound {
                     None => u.to_vec(),
                 };
                 let norm = vecops::l2_norm(&delta);
-                let scale = if norm > self.max_norm { self.max_norm / norm } else { 1.0 };
+                let scale = if norm > self.max_norm {
+                    self.max_norm / norm
+                } else {
+                    1.0
+                };
                 match reference {
                     Some(r) => vecops::add(r, &vecops::scale(&delta, scale)),
                     None => vecops::scale(&delta, scale),
@@ -72,7 +83,10 @@ impl Defense for NormBound {
         reference: Option<&[f32]>,
     ) -> Result<Aggregation, AggError> {
         let (idx, _) = finite_updates(updates)?;
-        let kept_weights: Vec<f32> = idx.iter().map(|&i| weights.get(i).copied().unwrap_or(1.0)).collect();
+        let kept_weights: Vec<f32> = idx
+            .iter()
+            .map(|&i| weights.get(i).copied().unwrap_or(1.0))
+            .collect();
         let clipped = self.clip(updates, reference)?;
         let mut agg = FedAvg::new().aggregate(&clipped, &kept_weights)?;
         // Clipping is per-coordinate-style smoothing, not selection.
@@ -94,11 +108,13 @@ mod tests {
     fn bounds_outlier_delta() {
         let global = vec![1.0f32, 1.0];
         let ups = vec![
-            vec![1.1f32, 1.0],   // small delta, untouched
-            vec![101.0, 1.0],    // huge delta, clipped to norm 1
+            vec![1.1f32, 1.0], // small delta, untouched
+            vec![101.0, 1.0],  // huge delta, clipped to norm 1
         ];
         let nb = NormBound::new(1.0);
-        let agg = nb.aggregate_with_reference(&ups, &[1.0, 1.0], Some(&global)).unwrap();
+        let agg = nb
+            .aggregate_with_reference(&ups, &[1.0, 1.0], Some(&global))
+            .unwrap();
         // Aggregate = mean of [1.1, 1.0] and [2.0, 1.0] = [1.55, 1.0].
         assert!((agg.model[0] - 1.55).abs() < 1e-5, "{:?}", agg.model);
         assert!((agg.model[1] - 1.0).abs() < 1e-6);
@@ -110,7 +126,9 @@ mod tests {
         let global = vec![0.0f32; 3];
         let ups = vec![vec![0.1f32, 0.0, 0.0], vec![0.0, 0.1, 0.0]];
         let nb = NormBound::new(5.0);
-        let agg = nb.aggregate_with_reference(&ups, &[1.0, 1.0], Some(&global)).unwrap();
+        let agg = nb
+            .aggregate_with_reference(&ups, &[1.0, 1.0], Some(&global))
+            .unwrap();
         assert!((agg.model[0] - 0.05).abs() < 1e-6);
         assert!((agg.model[1] - 0.05).abs() < 1e-6);
     }
@@ -123,7 +141,9 @@ mod tests {
         let mut ups = vec![vec![0.1f32, 0.0]; 4];
         ups.push(vec![1000.0, -1000.0]);
         let nb = NormBound::new(0.5);
-        let agg = nb.aggregate_with_reference(&ups, &[1.0; 5], Some(&global)).unwrap();
+        let agg = nb
+            .aggregate_with_reference(&ups, &[1.0; 5], Some(&global))
+            .unwrap();
         assert!(vecops::l2_norm(&agg.model) < 0.3, "{:?}", agg.model);
     }
 

@@ -30,7 +30,11 @@ impl Defense for TrimmedMean {
         }
         let model = vecops::trimmed_mean(&refs, self.trim);
         let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
-        Ok(Aggregation { model, selection: Selection::PerCoordinate, rejected_non_finite: rejected })
+        Ok(Aggregation {
+            model,
+            selection: Selection::PerCoordinate,
+            rejected_non_finite: rejected,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -55,7 +59,11 @@ impl Defense for Median {
         let (idx, refs) = finite_updates(updates)?;
         let model = vecops::median(&refs);
         let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
-        Ok(Aggregation { model, selection: Selection::PerCoordinate, rejected_non_finite: rejected })
+        Ok(Aggregation {
+            model,
+            selection: Selection::PerCoordinate,
+            rejected_non_finite: rejected,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -76,7 +84,11 @@ mod tests {
             vec![1e6, -1e6], // attacker
         ];
         let agg = TrimmedMean::new(1).aggregate(&ups, &[1.0; 4]).unwrap();
-        assert!(agg.model[0] < 2.0, "attacker leaked into coordinate 0: {:?}", agg.model);
+        assert!(
+            agg.model[0] < 2.0,
+            "attacker leaked into coordinate 0: {:?}",
+            agg.model
+        );
         assert!(agg.model[1] > -2.0);
         assert_eq!(agg.selection, Selection::PerCoordinate);
     }

@@ -138,7 +138,9 @@ impl DefenseKind {
             DefenseKind::FoolsGold => Box::new(FoolsGold::new()),
             DefenseKind::NormBound { max_norm_milli } => {
                 if max_norm_milli == 0 {
-                    return Err(AggError::InvalidParameter("norm bound must be positive".into()));
+                    return Err(AggError::InvalidParameter(
+                        "norm bound must be positive".into(),
+                    ));
                 }
                 Box::new(NormBound::new(max_norm_milli as f32 / 1000.0))
             }
@@ -166,16 +168,17 @@ impl DefenseKind {
 ///
 /// Returns [`AggError::NoUpdates`] when nothing remains and
 /// [`AggError::LengthMismatch`] on ragged input.
-pub(crate) fn finite_updates(
-    updates: &[Vec<f32>],
-) -> Result<(Vec<usize>, Vec<&[f32]>), AggError> {
+pub(crate) fn finite_updates(updates: &[Vec<f32>]) -> Result<(Vec<usize>, Vec<&[f32]>), AggError> {
     if updates.is_empty() {
         return Err(AggError::NoUpdates);
     }
     let d = updates[0].len();
     for u in updates {
         if u.len() != d {
-            return Err(AggError::LengthMismatch { expected: d, actual: u.len() });
+            return Err(AggError::LengthMismatch {
+                expected: d,
+                actual: u.len(),
+            });
         }
     }
     let mut idx = Vec::new();
@@ -206,7 +209,9 @@ mod tests {
             DefenseKind::Median,
             DefenseKind::Bulyan { f: 2 },
             DefenseKind::FoolsGold,
-            DefenseKind::NormBound { max_norm_milli: 500 },
+            DefenseKind::NormBound {
+                max_norm_milli: 500,
+            },
         ] {
             let d = kind.build().unwrap();
             assert!(!d.name().is_empty());
@@ -223,7 +228,9 @@ mod tests {
 
     #[test]
     fn normbound_kind_rejects_zero() {
-        assert!(DefenseKind::NormBound { max_norm_milli: 0 }.build().is_err());
+        assert!(DefenseKind::NormBound { max_norm_milli: 0 }
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -243,7 +250,10 @@ mod tests {
         let all_bad = vec![vec![f32::INFINITY]];
         assert_eq!(finite_updates(&all_bad), Err(AggError::NoUpdates));
         let ragged = vec![vec![1.0], vec![1.0, 2.0]];
-        assert!(matches!(finite_updates(&ragged), Err(AggError::LengthMismatch { .. })));
+        assert!(matches!(
+            finite_updates(&ragged),
+            Err(AggError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

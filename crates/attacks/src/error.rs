@@ -53,8 +53,12 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        assert!(AttackError::NeedsBenignUpdates("lie").to_string().contains("lie"));
-        assert!(AttackError::NeedsRawData("fang").to_string().contains("fang"));
+        assert!(AttackError::NeedsBenignUpdates("lie")
+            .to_string()
+            .contains("lie"));
+        assert!(AttackError::NeedsRawData("fang")
+            .to_string()
+            .contains("fang"));
         let e = AttackError::Nn(NnError::BackwardBeforeForward("Dense"));
         assert!(e.source().is_some());
         assert!(AttackError::BadContext("x".into()).source().is_none());

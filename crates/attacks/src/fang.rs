@@ -42,7 +42,11 @@ impl Default for Fang {
 }
 
 impl Attack for Fang {
-    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+    fn craft(
+        &mut self,
+        ctx: &AttackContext<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f32>, AttackError> {
         let refs = crate::types::finite_benign(ctx, "Fang", 1)?;
         let mean = vecops::mean(&refs);
         let d = mean.len();

@@ -23,7 +23,9 @@ impl Lie {
 
     /// Creates the attack with an explicit fixed `z`.
     pub fn with_z(z: f32) -> Lie {
-        Lie { z_override: Some(z) }
+        Lie {
+            z_override: Some(z),
+        }
     }
 
     /// Lower bound on the derived `z`: with few selected clients Baruch's
@@ -39,13 +41,19 @@ impl Default for Lie {
 }
 
 impl Attack for Lie {
-    fn craft(&mut self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+    fn craft(
+        &mut self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<f32>, AttackError> {
         let refs = crate::types::finite_benign(ctx, "LIE", 1)?;
         let mean = vecops::mean(&refs);
         let std = vecops::std_dev(&refs);
         let z = self.z_override.unwrap_or_else(|| {
-            (lie_z_factor(ctx.n_selected.max(2), ctx.n_malicious_selected.min(ctx.n_selected - 1))
-                as f32)
+            (lie_z_factor(
+                ctx.n_selected.max(2),
+                ctx.n_malicious_selected.min(ctx.n_selected - 1),
+            ) as f32)
                 .max(Lie::MIN_Z)
         });
         let mut w = mean;

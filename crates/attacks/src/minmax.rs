@@ -33,12 +33,19 @@ pub struct MinMax {
 impl MinMax {
     /// Creates the attack with the default inverse-unit perturbation.
     pub fn new() -> MinMax {
-        MinMax { perturbation: Perturbation::default(), gamma_init: 20.0, iterations: 30 }
+        MinMax {
+            perturbation: Perturbation::default(),
+            gamma_init: 20.0,
+            iterations: 30,
+        }
     }
 
     /// Creates the attack with an explicit perturbation direction.
     pub fn with_perturbation(perturbation: Perturbation) -> MinMax {
-        MinMax { perturbation, ..MinMax::new() }
+        MinMax {
+            perturbation,
+            ..MinMax::new()
+        }
     }
 
     fn direction(&self, refs: &[&[f32]]) -> Vec<f32> {
@@ -58,7 +65,11 @@ impl Default for MinMax {
 }
 
 impl Attack for MinMax {
-    fn craft(&mut self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+    fn craft(
+        &mut self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<f32>, AttackError> {
         let refs = crate::types::finite_benign(ctx, "Min-Max", 2)?;
         let mean = vecops::mean(&refs);
         let dp = self.direction(&refs);
@@ -68,11 +79,7 @@ impl Attack for MinMax {
         }
         // Stealthiness budget: the maximum benign pairwise distance.
         let dists = vecops::pairwise_sq_distances(&refs);
-        let budget = dists
-            .iter()
-            .flatten()
-            .fold(0.0f32, |a, &b| a.max(b))
-            .sqrt();
+        let budget = dists.iter().flatten().fold(0.0f32, |a, &b| a.max(b)).sqrt();
         let fits = |gamma: f32| -> bool {
             let mut w = mean.clone();
             vecops::axpy_in_place(&mut w, gamma, &dp);
@@ -154,7 +161,9 @@ mod tests {
             build_model: &toy_builder,
         };
         let mut rng = StdRng::seed_from_u64(0);
-        MinMax::with_perturbation(pert).craft(&ctx, &mut rng).unwrap()
+        MinMax::with_perturbation(pert)
+            .craft(&ctx, &mut rng)
+            .unwrap()
     }
 
     #[test]
@@ -173,7 +182,10 @@ mod tests {
             .fold(0.0f32, |a, &b| a.max(b))
             .sqrt();
         for r in &refs {
-            assert!(vecops::l2_distance(&w, r) <= budget * 1.01, "constraint violated");
+            assert!(
+                vecops::l2_distance(&w, r) <= budget * 1.01,
+                "constraint violated"
+            );
         }
         // And it actually moved away from the mean.
         let mean = vecops::mean(&refs);
@@ -194,7 +206,11 @@ mod tests {
     #[test]
     fn all_perturbations_produce_finite_updates() {
         let benign = vec![vec![1.0f32, -1.0], vec![1.5, -0.5], vec![0.5, -1.5]];
-        for pert in [Perturbation::InverseUnit, Perturbation::InverseStd, Perturbation::InverseSign] {
+        for pert in [
+            Perturbation::InverseUnit,
+            Perturbation::InverseStd,
+            Perturbation::InverseSign,
+        ] {
             let w = craft_with(&benign, pert);
             assert!(w.iter().all(|v| v.is_finite()), "{pert:?}");
         }

@@ -22,12 +22,19 @@ pub struct MinSum {
 impl MinSum {
     /// Creates the attack with the default inverse-unit perturbation.
     pub fn new() -> MinSum {
-        MinSum { perturbation: Perturbation::default(), gamma_init: 20.0, iterations: 30 }
+        MinSum {
+            perturbation: Perturbation::default(),
+            gamma_init: 20.0,
+            iterations: 30,
+        }
     }
 
     /// Creates the attack with an explicit perturbation direction.
     pub fn with_perturbation(perturbation: Perturbation) -> MinSum {
-        MinSum { perturbation, ..MinSum::new() }
+        MinSum {
+            perturbation,
+            ..MinSum::new()
+        }
     }
 }
 
@@ -38,7 +45,11 @@ impl Default for MinSum {
 }
 
 impl Attack for MinSum {
-    fn craft(&mut self, ctx: &AttackContext<'_>, _rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+    fn craft(
+        &mut self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<f32>, AttackError> {
         let refs = crate::types::finite_benign(ctx, "Min-Sum", 2)?;
         let mean = vecops::mean(&refs);
         let dp = match self.perturbation {
@@ -148,7 +159,10 @@ mod tests {
         let total: f32 = refs.iter().map(|r| vecops::sq_distance(&w, r)).sum();
         assert!(total <= budget * 1.01, "{total} > {budget}");
         let mean = vecops::mean(&refs);
-        assert!(vecops::l2_distance(&w, &mean) > 1e-4, "no perturbation applied");
+        assert!(
+            vecops::l2_distance(&w, &mean) > 1e-4,
+            "no perturbation applied"
+        );
     }
 
     #[test]
@@ -192,8 +206,6 @@ mod tests {
         let w_max = crate::MinMax::new().craft(&ctx, &mut rng).unwrap();
         let refs: Vec<&[f32]> = benign.iter().map(|u| u.as_slice()).collect();
         let mean = vecops::mean(&refs);
-        assert!(
-            vecops::l2_distance(&w_sum, &mean) <= vecops::l2_distance(&w_max, &mean) * 1.05
-        );
+        assert!(vecops::l2_distance(&w_sum, &mean) <= vecops::l2_distance(&w_max, &mean) * 1.05);
     }
 }

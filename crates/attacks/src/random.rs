@@ -31,7 +31,11 @@ impl Default for RandomWeights {
 }
 
 impl Attack for RandomWeights {
-    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+    fn craft(
+        &mut self,
+        ctx: &AttackContext<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f32>, AttackError> {
         let d = ctx.global.len();
         let mut w = Vec::with_capacity(d);
         while w.len() < d {

@@ -29,7 +29,11 @@ impl std::fmt::Debug for RealDataFlip {
 impl RealDataFlip {
     /// Creates the attack owning the adversary's real shard.
     pub fn new(data: Dataset, reg: DistanceReg) -> RealDataFlip {
-        RealDataFlip { data, reg, target: None }
+        RealDataFlip {
+            data,
+            reg,
+            target: None,
+        }
     }
 
     /// The flipped target class `Ỹ` (chosen uniformly on first use, then
@@ -40,12 +44,17 @@ impl RealDataFlip {
 }
 
 impl Attack for RealDataFlip {
-    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
+    fn craft(
+        &mut self,
+        ctx: &AttackContext<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f32>, AttackError> {
         if self.data.is_empty() {
             return Err(AttackError::NeedsRawData("RealDataFlip"));
         }
-        let target =
-            *self.target.get_or_insert_with(|| rng.gen_range(0..ctx.task.num_classes));
+        let target = *self
+            .target
+            .get_or_insert_with(|| rng.gen_range(0..ctx.task.num_classes));
         let mut model = (ctx.build_model)(rng);
         // Cap the set at |S| to match the ZKA attacks' budget.
         let n = self.data.len().min(ctx.task.synth_set_size.max(1));
@@ -156,6 +165,9 @@ mod tests {
             task: &task,
             build_model: &fashion_builder,
         };
-        assert!(matches!(attack.craft(&ctx, &mut rng), Err(AttackError::NeedsRawData(_))));
+        assert!(matches!(
+            attack.craft(&ctx, &mut rng),
+            Err(AttackError::NeedsRawData(_))
+        ));
     }
 }

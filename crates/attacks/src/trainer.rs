@@ -160,7 +160,9 @@ mod tests {
         let w = vec![1.0f32, 1.0]; // deviation √2 < 10
         assert!(reg.gradient(&w, &global, Some(&prev)).is_none());
         assert!(reg.gradient(&w, &global, None).is_none());
-        assert!(DistanceReg::disabled().gradient(&w, &global, Some(&prev)).is_none());
+        assert!(DistanceReg::disabled()
+            .gradient(&w, &global, Some(&prev))
+            .is_none());
     }
 
     #[test]
@@ -193,10 +195,9 @@ mod tests {
     fn regularizer_limits_deviation() {
         // Same training with and without the regularizer: the regularized
         // update must stay closer to the global model.
-        let images;
         let labels = vec![1usize; 16];
         let mut rng = StdRng::seed_from_u64(3);
-        images = Tensor::uniform(vec![16, 4], 0.0, 1.0, &mut rng);
+        let images = Tensor::uniform(vec![16, 4], 0.0, 1.0, &mut rng);
         let run = |reg: DistanceReg| -> f32 {
             let mut model = toy_model(7);
             let global = model.flat_params();
@@ -232,8 +233,16 @@ mod tests {
         let labels = vec![0usize; 2];
         assert!(matches!(
             train_adversarial_classifier(
-                &mut model, &global, None, &images, &labels, 1, 0.1, 2,
-                DistanceReg::disabled(), &mut rng
+                &mut model,
+                &global,
+                None,
+                &images,
+                &labels,
+                1,
+                0.1,
+                2,
+                DistanceReg::disabled(),
+                &mut rng
             ),
             Err(AttackError::BadContext(_))
         ));

@@ -89,7 +89,9 @@ pub fn finite_benign<'a>(
     let mut out = Vec::with_capacity(ctx.benign_updates.len());
     for u in ctx.benign_updates {
         if u.len() != ctx.global.len() {
-            return Err(AttackError::BadContext("benign update length mismatch".into()));
+            return Err(AttackError::BadContext(
+                "benign update length mismatch".into(),
+            ));
         }
         if u.iter().all(|v| v.is_finite()) {
             out.push(u.as_slice());
@@ -111,7 +113,8 @@ pub trait Attack: Send {
     ///
     /// Returns [`AttackError`] when a required capability is missing from
     /// the context or internal training fails.
-    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Vec<f32>, AttackError>;
+    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng)
+        -> Result<Vec<f32>, AttackError>;
 
     /// Short name for reports, e.g. `"LIE"`.
     fn name(&self) -> &'static str;

@@ -56,7 +56,9 @@ fn bench_zka_r_generation(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
             let mut global = TaskKind::Fashion.build_model(&mut rng);
-            let (s, _) = ZkaR::new(ZkaConfig::paper()).synthesize(&mut global, &task, &mut rng).unwrap();
+            let (s, _) = ZkaR::new(ZkaConfig::paper())
+                .synthesize(&mut global, &task, &mut rng)
+                .unwrap();
             black_box(s.len())
         })
     });
@@ -70,8 +72,9 @@ fn bench_zka_g_generation(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(4);
             let mut global = TaskKind::Fashion.build_model(&mut rng);
-            let (s, _) =
-                ZkaG::new(ZkaConfig::paper()).synthesize(&mut global, &task, 0, &mut rng).unwrap();
+            let (s, _) = ZkaG::new(ZkaConfig::paper())
+                .synthesize(&mut global, &task, 0, &mut rng)
+                .unwrap();
             black_box(s.len())
         })
     });
@@ -85,8 +88,9 @@ fn bench_defenses(c: &mut Criterion) {
         TaskKind::Fashion.build_model(&mut r)
     };
     let d = model.num_params();
-    let updates: Vec<Vec<f32>> =
-        (0..10).map(|_| (0..d).map(|_| rng.gen_range(-0.1..0.1)).collect()).collect();
+    let updates: Vec<Vec<f32>> = (0..10)
+        .map(|_| (0..d).map(|_| rng.gen_range(-0.1..0.1)).collect())
+        .collect();
     let weights = vec![20.0f32; 10];
     let rules: Vec<(&str, Box<dyn Defense>)> = vec![
         ("fedavg", Box::new(FedAvg::new())),
@@ -97,7 +101,7 @@ fn bench_defenses(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("aggregate_10x_fashion_model");
     for (name, rule) in &rules {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| black_box(rule.aggregate(&updates, &weights).unwrap().model.len()))
         });
     }

@@ -15,7 +15,10 @@ fn main() {
     let mut all = Vec::new();
     let mut rows = Vec::new();
     for (name, make) in [
-        ("ZKA-R", (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec),
+        (
+            "ZKA-R",
+            (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec,
+        ),
         ("ZKA-G", |cfg: ZkaConfig| AttackSpec::ZkaG { cfg }),
     ] {
         for s_size in [5usize, 20, 50] {
@@ -38,6 +41,9 @@ fn main() {
         }
     }
     println!("\nAblation — synthetic-set size |S| (Fashion-MNIST, mKrum)");
-    println!("{}", render_table(&["Attack", "Set size", "ASR %", "DPR %"], &rows));
+    println!(
+        "{}",
+        render_table(&["Attack", "Set size", "ASR %", "DPR %"], &rows)
+    );
     save_json(&opts.out_dir, "ablation_s.json", &all);
 }

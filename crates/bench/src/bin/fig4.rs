@@ -26,14 +26,21 @@ fn set_variance(s: &Tensor) -> f32 {
     let mut var_sum = 0.0f32;
     for j in 0..d {
         let mean: f32 = (0..n).map(|i| s.data()[i * d + j]).sum::<f32>() / n as f32;
-        var_sum += (0..n).map(|i| (s.data()[i * d + j] - mean).powi(2)).sum::<f32>() / n as f32;
+        var_sum += (0..n)
+            .map(|i| (s.data()[i * d + j] - mean).powi(2))
+            .sum::<f32>()
+            / n as f32;
     }
     var_sum / d as f32
 }
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let set_size = if matches!(opts.scale, fabflip_bench::Scale::Smoke) { 10 } else { 50 };
+    let set_size = if matches!(opts.scale, fabflip_bench::Scale::Smoke) {
+        10
+    } else {
+        50
+    };
     let mut rng = StdRng::seed_from_u64(4);
     let mut global = TaskKind::Fashion.build_model(&mut rng);
     let spec = TaskKind::Fashion.spec();
@@ -48,13 +55,21 @@ fn main() {
         local_epochs: 1,
     };
     let cfg = ZkaConfig::paper();
-    let (s_r, _) = ZkaR::new(cfg).synthesize(&mut global, &task, &mut rng).expect("zka-r");
-    let (s_g, _) = ZkaG::new(cfg).synthesize(&mut global, &task, 0, &mut rng).expect("zka-g");
+    let (s_r, _) = ZkaR::new(cfg)
+        .synthesize(&mut global, &task, &mut rng)
+        .expect("zka-r");
+    let (s_g, _) = ZkaG::new(cfg)
+        .synthesize(&mut global, &task, 0, &mut rng)
+        .expect("zka-g");
 
     // Joint PCA so both sets live in the same projection (as UMAP in Fig 4).
     let rows: Vec<Vec<f32>> = (0..2 * set_size)
         .map(|i| {
-            let (src, j) = if i < set_size { (&s_r, i) } else { (&s_g, i - set_size) };
+            let (src, j) = if i < set_size {
+                (&s_r, i)
+            } else {
+                (&s_g, i - set_size)
+            };
             let d: usize = src.shape()[1..].iter().product();
             src.data()[j * d..(j + 1) * d].to_vec()
         })
@@ -67,12 +82,21 @@ fn main() {
         zka_g_pixel_variance: set_variance(&s_g),
     };
     println!("Fig. 4 — synthetic-data diversity (|S| = {set_size}, Fashion-MNIST)");
-    println!("  ZKA-R mean per-pixel variance: {:.5}", out.zka_r_pixel_variance);
-    println!("  ZKA-G mean per-pixel variance: {:.5}", out.zka_g_pixel_variance);
+    println!(
+        "  ZKA-R mean per-pixel variance: {:.5}",
+        out.zka_r_pixel_variance
+    );
+    println!(
+        "  ZKA-G mean per-pixel variance: {:.5}",
+        out.zka_g_pixel_variance
+    );
     let spread = |pts: &[(f32, f32)]| -> f32 {
         let mx: f32 = pts.iter().map(|p| p.0).sum::<f32>() / pts.len() as f32;
         let my: f32 = pts.iter().map(|p| p.1).sum::<f32>() / pts.len() as f32;
-        pts.iter().map(|p| (p.0 - mx).powi(2) + (p.1 - my).powi(2)).sum::<f32>() / pts.len() as f32
+        pts.iter()
+            .map(|p| (p.0 - mx).powi(2) + (p.1 - my).powi(2))
+            .sum::<f32>()
+            / pts.len() as f32
     };
     println!("  ZKA-R projected spread: {:.4}", spread(&out.zka_r_points));
     println!("  ZKA-G projected spread: {:.4}", spread(&out.zka_g_points));

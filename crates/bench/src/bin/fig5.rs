@@ -15,7 +15,11 @@ fn main() {
             let mut row = vec![task.label().to_string(), defense.label().to_string()];
             for attack in AttackSpec::paper_grid() {
                 let cfg = opts.scale.shrink(
-                    FlConfig::builder(task).defense(defense).attack(attack.clone()).seed(1).build(),
+                    FlConfig::builder(task)
+                        .defense(defense)
+                        .attack(attack.clone())
+                        .seed(1)
+                        .build(),
                 );
                 let s = cache.run(&cfg, opts.repeats);
                 row.push(s.dpr_display());
@@ -27,7 +31,10 @@ fn main() {
     println!("\nFig. 5 — defense pass rate (DPR, %) on selection defenses");
     println!(
         "{}",
-        render_table(&["Dataset", "Defense", "Fang", "LIE", "Min-Max", "ZKA-R", "ZKA-G"], &rows)
+        render_table(
+            &["Dataset", "Defense", "Fang", "LIE", "Min-Max", "ZKA-R", "ZKA-G"],
+            &rows
+        )
     );
     save_json(&opts.out_dir, "fig5.json", &all);
 }

@@ -21,7 +21,11 @@ struct Fig6Output {
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let warmup_rounds = if matches!(opts.scale, Scale::Smoke) { 3 } else { 10 };
+    let warmup_rounds = if matches!(opts.scale, Scale::Smoke) {
+        3
+    } else {
+        10
+    };
     let epochs = 10usize;
     let mut out = Fig6Output {
         zka_r_loss_by_defense: BTreeMap::new(),
@@ -31,7 +35,11 @@ fn main() {
         // Warm up a clean global model under this defense, then trace the
         // attack-side generation losses against it.
         let cfg = opts.scale.shrink(
-            FlConfig::builder(TaskKind::Fashion).defense(defense).rounds(warmup_rounds).seed(2).build(),
+            FlConfig::builder(TaskKind::Fashion)
+                .defense(defense)
+                .rounds(warmup_rounds)
+                .seed(2)
+                .build(),
         );
         let spec = TaskKind::Fashion.spec();
         let task = TaskInfo {
@@ -49,16 +57,23 @@ fn main() {
         let warm = simulate(&cfg).expect("warmup sim");
         let mut rng = StdRng::seed_from_u64(7);
         let mut global = TaskKind::Fashion.build_model(&mut rng);
-        global.set_flat_params(&warm.final_model).expect("weights fit the architecture");
+        global
+            .set_flat_params(&warm.final_model)
+            .expect("weights fit the architecture");
         let mut zcfg = ZkaConfig::paper();
         zcfg.gen_epochs = epochs;
-        let (_, r_trace) = ZkaR::new(zcfg).synthesize(&mut global, &task, &mut rng).expect("zka-r");
-        let (_, g_trace) =
-            ZkaG::new(zcfg).synthesize(&mut global, &task, 0, &mut rng).expect("zka-g");
+        let (_, r_trace) = ZkaR::new(zcfg)
+            .synthesize(&mut global, &task, &mut rng)
+            .expect("zka-r");
+        let (_, g_trace) = ZkaG::new(zcfg)
+            .synthesize(&mut global, &task, 0, &mut rng)
+            .expect("zka-g");
         println!("{}: ZKA-R loss {:?}", defense.label(), r_trace);
         println!("{}: ZKA-G CE   {:?}", defense.label(), g_trace);
-        out.zka_r_loss_by_defense.insert(defense.label().to_string(), r_trace);
-        out.zka_g_loss_by_defense.insert(defense.label().to_string(), g_trace);
+        out.zka_r_loss_by_defense
+            .insert(defense.label().to_string(), r_trace);
+        out.zka_g_loss_by_defense
+            .insert(defense.label().to_string(), g_trace);
     }
     println!("(paper claim: both converge to a local optimum within a few epochs)");
     save_json(&opts.out_dir, "fig6.json", &out);

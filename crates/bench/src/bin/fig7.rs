@@ -13,15 +13,23 @@ fn main() {
     let mut rows = Vec::new();
     let attacks = [
         AttackSpec::RealData { lambda: 1.0 },
-        AttackSpec::ZkaR { cfg: ZkaConfig::paper() },
-        AttackSpec::ZkaG { cfg: ZkaConfig::paper() },
+        AttackSpec::ZkaR {
+            cfg: ZkaConfig::paper(),
+        },
+        AttackSpec::ZkaG {
+            cfg: ZkaConfig::paper(),
+        },
     ];
     for task in [TaskKind::Fashion, TaskKind::Cifar] {
         for defense in DefenseKind::paper_grid(2) {
             let mut row = vec![task.label().to_string(), defense.label().to_string()];
             for attack in &attacks {
                 let cfg = opts.scale.shrink(
-                    FlConfig::builder(task).defense(defense).attack(attack.clone()).seed(1).build(),
+                    FlConfig::builder(task)
+                        .defense(defense)
+                        .attack(attack.clone())
+                        .seed(1)
+                        .build(),
                 );
                 let s = cache.run(&cfg, opts.repeats);
                 row.push(format!("{:.2}", s.asr * 100.0));
@@ -33,7 +41,10 @@ fn main() {
     println!("\nFig. 7 — real vs synthetic data, ASR (%)");
     println!(
         "{}",
-        render_table(&["Dataset", "Defense", "Real-data", "ZKA-R", "ZKA-G"], &rows)
+        render_table(
+            &["Dataset", "Defense", "Real-data", "ZKA-R", "ZKA-G"],
+            &rows
+        )
     );
     save_json(&opts.out_dir, "fig7.json", &all);
 }

@@ -30,6 +30,9 @@ fn main() {
         }
     }
     println!("\nSec. IV-A — random-weight strawman (DPR %, ASR %)");
-    println!("{}", render_table(&["Dataset", "Defense", "DPR", "ASR"], &rows));
+    println!(
+        "{}",
+        render_table(&["Dataset", "Defense", "DPR", "ASR"], &rows)
+    );
     save_json(&opts.out_dir, "micro_random.json", &all);
 }

@@ -1,0 +1,189 @@
+//! Kernel/throughput benchmark: emits `BENCH_kernels.json` in the current
+//! directory with matmul GFLOP/s (new tiled kernels vs the seed's ikj
+//! kernel re-implemented below as the baseline), conv forward/backward
+//! throughput, per-rule aggregation timings at `n = 50, d = 100k`, and one
+//! full FL round.
+//!
+//! Run with `cargo run --release -p fabflip-bench --bin perf`. The thread
+//! budget follows `FABFLIP_THREADS` (see README).
+
+use fabflip_agg::{
+    Bulyan, Defense, FedAvg, FoolsGold, Krum, Median, MultiKrum, NormBound, TrimmedMean,
+};
+use fabflip_fl::{simulate, FlConfig, TaskKind};
+use fabflip_nn::{Conv2d, Layer};
+use fabflip_tensor::{matmul_into, par, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use std::time::Instant;
+
+/// The seed repository's matmul kernel (ikj order with the zero-skip
+/// branch), kept here verbatim as the performance baseline.
+fn seed_matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_matmul(sizes: &[usize]) -> (Vec<Value>, f64) {
+    let mut rows = Vec::new();
+    let mut speedup_1024 = 0.0f64;
+    for &s in sizes {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a: Vec<f32> = (0..s * s).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..s * s).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut c = vec![0.0f32; s * s];
+        let flops = 2.0 * (s as f64).powi(3);
+        let reps = if s >= 1024 { 3 } else { 5 };
+
+        let t_new = time_best(reps, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            matmul_into(&a, &b, &mut c, s, s, s);
+        });
+        let t_seed = time_best(reps.min(3), || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            seed_matmul_into(&a, &b, &mut c, s, s, s);
+        });
+        let speedup = t_seed / t_new;
+        if s == 1024 {
+            speedup_1024 = speedup;
+        }
+        println!(
+            "matmul {s}x{s}x{s}: new {:.2} GFLOP/s, seed {:.2} GFLOP/s, speedup {:.2}x",
+            flops / t_new / 1e9,
+            flops / t_seed / 1e9,
+            speedup
+        );
+        rows.push(serde_json::json!({
+            "size": s as u64,
+            "new_gflops": flops / t_new / 1e9,
+            "seed_gflops": flops / t_seed / 1e9,
+            "speedup": speedup,
+        }));
+    }
+    (rows, speedup_1024)
+}
+
+fn bench_conv() -> Value {
+    // Cifar-scale middle layer: batch 32, 8 -> 16 channels, 3x3 on 32x32.
+    let (batch, cin, cout, hw) = (32usize, 8usize, 16usize, 32usize);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut conv = Conv2d::new(cin, cout, 3, 1, 1, &mut rng);
+    let x = Tensor::uniform(vec![batch, cin, hw, hw], -1.0, 1.0, &mut rng);
+    let y = conv.forward(&x).expect("conv forward");
+    let g = Tensor::uniform(y.shape().to_vec(), -1.0, 1.0, &mut rng);
+
+    let t_fwd = time_best(5, || {
+        let _ = conv.forward(&x).expect("conv forward");
+    });
+    let t_bwd = time_best(5, || {
+        let _ = conv.backward(&g).expect("conv backward");
+    });
+    println!(
+        "conv fwd {:.1} samples/s, bwd {:.1} samples/s (batch {batch}, {cin}->{cout} ch, {hw}x{hw})",
+        batch as f64 / t_fwd,
+        batch as f64 / t_bwd
+    );
+    serde_json::json!({
+        "batch": batch as u64,
+        "in_channels": cin as u64,
+        "out_channels": cout as u64,
+        "spatial": hw as u64,
+        "forward_samples_per_s": batch as f64 / t_fwd,
+        "backward_samples_per_s": batch as f64 / t_bwd,
+    })
+}
+
+fn bench_aggregation(n: usize, d: usize) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let updates: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let weights = vec![1.0f32; n];
+    let rules: Vec<(&str, Box<dyn Defense>)> = vec![
+        ("FedAvg", Box::new(FedAvg::new())),
+        ("Krum", Box::new(Krum::new(10))),
+        ("mKrum", Box::new(MultiKrum::with_default_m(10))),
+        ("TRmean", Box::new(TrimmedMean::new(10))),
+        ("Median", Box::new(Median::new())),
+        ("Bulyan", Box::new(Bulyan::new(10))),
+        ("FoolsGold", Box::new(FoolsGold::new())),
+        ("NormBound", Box::new(NormBound::new(1.0))),
+    ];
+    let mut rows = Vec::new();
+    for (name, rule) in &rules {
+        let t = time_best(3, || {
+            let _ = rule.aggregate(&updates, &weights).expect("aggregate");
+        });
+        println!("agg {name}: {:.1} ms (n={n}, d={d})", t * 1e3);
+        rows.push(serde_json::json!({
+            "rule": *name,
+            "n": n as u64,
+            "d": d as u64,
+            "seconds": t,
+        }));
+    }
+    rows
+}
+
+fn bench_fl_round() -> Value {
+    let cfg = FlConfig::builder(TaskKind::Fashion)
+        .rounds(1)
+        .n_clients(12)
+        .clients_per_round(6)
+        .train_size(240)
+        .test_size(80)
+        .synth_set_size(6)
+        .seed(5)
+        .build();
+    let t = time_best(2, || {
+        let _ = simulate(&cfg).expect("fl round");
+    });
+    println!("fl round: {:.2} s (fashion, 6 clients)", t);
+    serde_json::json!({
+        "task": "fashion",
+        "clients_per_round": 6u64,
+        "seconds": t,
+    })
+}
+
+fn main() {
+    println!("threads: {}", par::max_threads());
+    let (matmul_rows, speedup_1024) = bench_matmul(&[256, 512, 1024]);
+    let conv = bench_conv();
+    let agg = bench_aggregation(50, 100_000);
+    let fl_round = bench_fl_round();
+    let out = serde_json::json!({
+        "threads": par::max_threads() as u64,
+        "matmul": matmul_rows,
+        "matmul_1024_speedup_vs_seed": speedup_1024,
+        "conv": conv,
+        "aggregation": agg,
+        "fl_round": fl_round,
+    });
+    let json = serde_json::to_string_pretty(&out).expect("serialize");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

@@ -34,7 +34,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Attack", "Benign updates", "Defenses known", "Defense-unknown", "Raw data", "Heterogeneity"],
+            &[
+                "Attack",
+                "Benign updates",
+                "Defenses known",
+                "Defense-unknown",
+                "Raw data",
+                "Heterogeneity"
+            ],
             &rows
         )
     );

@@ -15,7 +15,11 @@ fn main() {
             let mut row = vec![task.label().to_string(), defense.label().to_string()];
             for attack in AttackSpec::paper_grid() {
                 let cfg = opts.scale.shrink(
-                    FlConfig::builder(task).defense(defense).attack(attack.clone()).seed(1).build(),
+                    FlConfig::builder(task)
+                        .defense(defense)
+                        .attack(attack.clone())
+                        .seed(1)
+                        .build(),
                 );
                 let s = cache.run(&cfg, opts.repeats);
                 row.push(format!("{:.1}/{:.1}", s.acc_max * 100.0, s.asr * 100.0));
@@ -24,10 +28,17 @@ fn main() {
             rows.push(row);
         }
         let natk = all.last().map(|s| s.acc_natk).unwrap_or(0.0);
-        println!("\nTable II — {} (acc_natk = {:.1}); cells are acc/ASR in %", task.label(), natk * 100.0);
+        println!(
+            "\nTable II — {} (acc_natk = {:.1}); cells are acc/ASR in %",
+            task.label(),
+            natk * 100.0
+        );
         println!(
             "{}",
-            render_table(&["Dataset", "Defense", "Fang", "LIE", "Min-Max", "ZKA-R", "ZKA-G"], &rows)
+            render_table(
+                &["Dataset", "Defense", "Fang", "LIE", "Min-Max", "ZKA-R", "ZKA-G"],
+                &rows
+            )
         );
     }
     save_json(&opts.out_dir, "table2.json", &all);

@@ -32,7 +32,18 @@ fn main() {
     println!("\nTable III — ASR (%) vs heterogeneity (Bulyan defense)");
     println!(
         "{}",
-        render_table(&["Dataset", "Heterogeneity", "Fang", "LIE", "Min-Max", "ZKA-R", "ZKA-G"], &rows)
+        render_table(
+            &[
+                "Dataset",
+                "Heterogeneity",
+                "Fang",
+                "LIE",
+                "Min-Max",
+                "ZKA-R",
+                "ZKA-G"
+            ],
+            &rows
+        )
     );
     save_json(&opts.out_dir, "table3.json", &all);
 }

@@ -13,7 +13,10 @@ fn main() {
     let mut rows = Vec::new();
     for task in [TaskKind::Fashion, TaskKind::Cifar] {
         for (name, make) in [
-            ("ZKA-R", (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec),
+            (
+                "ZKA-R",
+                (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec,
+            ),
             ("ZKA-G", |cfg: ZkaConfig| AttackSpec::ZkaG { cfg }),
         ] {
             for defense in DefenseKind::paper_grid(2) {
@@ -42,7 +45,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Attack", "Defense", "Static ASR", "Static DPR", "Trained ASR", "Trained DPR"],
+            &[
+                "Attack",
+                "Defense",
+                "Static ASR",
+                "Static DPR",
+                "Trained ASR",
+                "Trained DPR"
+            ],
             &rows
         )
     );

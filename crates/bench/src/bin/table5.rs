@@ -12,7 +12,10 @@ fn main() {
     let mut all = Vec::new();
     let mut rows = Vec::new();
     for (name, make) in [
-        ("ZKA-R", (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec),
+        (
+            "ZKA-R",
+            (|cfg: ZkaConfig| AttackSpec::ZkaR { cfg }) as fn(ZkaConfig) -> AttackSpec,
+        ),
         ("ZKA-G", |cfg: ZkaConfig| AttackSpec::ZkaG { cfg }),
     ] {
         for defense in DefenseKind::paper_grid(2) {
@@ -37,7 +40,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Attack", "Defense", "no-reg ASR", "no-reg DPR", "reg ASR", "reg DPR"],
+            &[
+                "Attack",
+                "Defense",
+                "no-reg ASR",
+                "no-reg DPR",
+                "reg ASR",
+                "reg DPR"
+            ],
             &rows
         )
     );

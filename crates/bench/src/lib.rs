@@ -115,7 +115,11 @@ impl BenchOpts {
             i += 1;
         }
         let repeats = repeats.unwrap_or(scale.repeats());
-        BenchOpts { scale, repeats, out_dir }
+        BenchOpts {
+            scale,
+            repeats,
+            out_dir,
+        }
     }
 }
 
@@ -139,7 +143,10 @@ impl CellCache {
     }
 
     fn key(cfg: &FlConfig, repeats: usize) -> String {
-        format!("r{repeats}:{}", serde_json::to_string(cfg).expect("config serializes"))
+        format!(
+            "r{repeats}:{}",
+            serde_json::to_string(cfg).expect("config serializes")
+        )
     }
 
     /// Runs (or recalls) one cell; persists the cache after a miss.

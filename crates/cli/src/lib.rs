@@ -68,10 +68,18 @@ pub fn parse_attack(name: &str) -> Result<AttackSpec, ParseError> {
         "min-sum" | "minsum" => AttackSpec::MinSum,
         "random" | "random-weights" => AttackSpec::RandomWeights,
         "real-data" | "realdata" => AttackSpec::RealData { lambda: 1.0 },
-        "zka-r" | "zkar" => AttackSpec::ZkaR { cfg: ZkaConfig::paper() },
-        "zka-g" | "zkag" => AttackSpec::ZkaG { cfg: ZkaConfig::paper() },
-        "zka-r-static" => AttackSpec::ZkaR { cfg: ZkaConfig::static_variant() },
-        "zka-g-static" => AttackSpec::ZkaG { cfg: ZkaConfig::static_variant() },
+        "zka-r" | "zkar" => AttackSpec::ZkaR {
+            cfg: ZkaConfig::paper(),
+        },
+        "zka-g" | "zkag" => AttackSpec::ZkaG {
+            cfg: ZkaConfig::paper(),
+        },
+        "zka-r-static" => AttackSpec::ZkaR {
+            cfg: ZkaConfig::static_variant(),
+        },
+        "zka-g-static" => AttackSpec::ZkaG {
+            cfg: ZkaConfig::static_variant(),
+        },
         other => {
             return Err(ParseError(format!(
                 "unknown attack `{other}`; one of: none, lie, fang, min-max, min-sum, random, \
@@ -95,7 +103,9 @@ pub fn parse_defense(name: &str) -> Result<DefenseKind, ParseError> {
         "median" => DefenseKind::Median,
         "bulyan" => DefenseKind::Bulyan { f: 2 },
         "foolsgold" => DefenseKind::FoolsGold,
-        "normbound" | "norm-bound" => DefenseKind::NormBound { max_norm_milli: 500 },
+        "normbound" | "norm-bound" => DefenseKind::NormBound {
+            max_norm_milli: 500,
+        },
         other => {
             return Err(ParseError(format!(
                 "unknown defense `{other}`; one of: fedavg, krum, mkrum, trmean, median, bulyan, \
@@ -114,17 +124,19 @@ pub fn parse_task(name: &str) -> Result<TaskKind, ParseError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "fashion" | "fashion-mnist" => TaskKind::Fashion,
         "cifar" | "cifar-10" | "cifar10" => TaskKind::Cifar,
-        other => return Err(ParseError(format!("unknown task `{other}`; fashion or cifar"))),
+        other => {
+            return Err(ParseError(format!(
+                "unknown task `{other}`; fashion or cifar"
+            )))
+        }
     })
 }
 
-fn take_value<'a>(
-    args: &'a [String],
-    i: &mut usize,
-    flag: &str,
-) -> Result<&'a str, ParseError> {
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, ParseError> {
     *i += 1;
-    args.get(*i).map(String::as_str).ok_or_else(|| ParseError(format!("{flag} needs a value")))
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
 }
 
 /// Parses a full command line (without the program name).
@@ -151,9 +163,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 match args[i].as_str() {
                     "--task" => task = parse_task(take_value(args, &mut i, "--task")?)?,
                     "--attack" => attack = parse_attack(take_value(args, &mut i, "--attack")?)?,
-                    "--defense" => {
-                        defense = parse_defense(take_value(args, &mut i, "--defense")?)?
-                    }
+                    "--defense" => defense = parse_defense(take_value(args, &mut i, "--defense")?)?,
                     "--rounds" => {
                         rounds = Some(
                             take_value(args, &mut i, "--rounds")?
@@ -195,7 +205,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if let Some(b) = beta {
                 builder = builder.beta(b);
             }
-            Ok(Command::Run(RunArgs { config: builder.build(), live, json }))
+            Ok(Command::Run(RunArgs {
+                config: builder.build(),
+                live,
+                json,
+            }))
         }
         Some(other) => Err(ParseError(format!(
             "unknown subcommand `{other}`; try `list`, `run` or `help`"

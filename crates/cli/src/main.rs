@@ -3,7 +3,7 @@
 
 use fabflip::{ZkaConfig, ZkaG, ZkaR};
 use fabflip_attacks::{Attack, Fang, Lie, MinMax, MinSum, RandomWeights};
-use fabflip_cli::{parse, help_text, Command, RunArgs};
+use fabflip_cli::{help_text, parse, Command, RunArgs};
 use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate_observed};
 
 fn main() {
@@ -46,7 +46,10 @@ fn list() {
             c.works_defense_unknown
         );
     }
-    println!("  {:<14} (real images + flipped label; needs --attack real-data)", "Real-data");
+    println!(
+        "  {:<14} (real images + flipped label; needs --attack real-data)",
+        "Real-data"
+    );
     println!("\ndefenses: fedavg, krum, mkrum, trmean, median, bulyan, foolsgold, normbound");
     println!("tasks:    fashion (28x28x1, 2-conv CNN), cifar (32x32x3, 6-conv CNN)");
 }

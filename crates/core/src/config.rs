@@ -38,29 +38,40 @@ impl ZkaConfig {
             gen_lr: 0.05,
             filter_kernel: 3,
             z_dim: 32,
-            z_seed: 0xFAB_F11b,
+            z_seed: 0xFAB_F11B,
         }
     }
 
     /// A reduced profile (fewer epochs) for tests and examples.
     pub fn fast() -> ZkaConfig {
-        ZkaConfig { gen_epochs: 2, ..ZkaConfig::paper() }
+        ZkaConfig {
+            gen_epochs: 2,
+            ..ZkaConfig::paper()
+        }
     }
 
     /// The "Static" arm of Table IV: randomly initialized synthesizer,
     /// no training over rounds.
     pub fn static_variant() -> ZkaConfig {
-        ZkaConfig { trained: false, ..ZkaConfig::paper() }
+        ZkaConfig {
+            trained: false,
+            ..ZkaConfig::paper()
+        }
     }
 
     /// The "without regularization" arm of Table V.
     pub fn without_regularization() -> ZkaConfig {
-        ZkaConfig { reg_lambda: 0.0, ..ZkaConfig::paper() }
+        ZkaConfig {
+            reg_lambda: 0.0,
+            ..ZkaConfig::paper()
+        }
     }
 
     /// The regularizer implied by `reg_lambda`.
     pub fn reg(&self) -> DistanceReg {
-        DistanceReg { lambda: self.reg_lambda }
+        DistanceReg {
+            lambda: self.reg_lambda,
+        }
     }
 }
 

@@ -25,14 +25,21 @@ pub struct ZkaG {
 
 impl std::fmt::Debug for ZkaG {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ZkaG").field("cfg", &self.cfg).field("target", &self.target).finish()
+        f.debug_struct("ZkaG")
+            .field("cfg", &self.cfg)
+            .field("target", &self.target)
+            .finish()
     }
 }
 
 impl ZkaG {
     /// Creates the attack.
     pub fn new(cfg: ZkaConfig) -> ZkaG {
-        ZkaG { cfg, target: None, last_losses: Vec::new() }
+        ZkaG {
+            cfg,
+            target: None,
+            last_losses: Vec::new(),
+        }
     }
 
     /// The fabricated label `Ỹ` (chosen uniformly on first craft).
@@ -71,7 +78,8 @@ impl ZkaG {
         let z = self.fixed_noise(task.synth_set_size);
         // Fresh random generator every round (paper: "randomly initialized
         // before training"); consistency across rounds comes from Z.
-        let mut gen = models::tcnn_generator(self.cfg.z_dim, task.channels, task.height, task.width, rng);
+        let mut gen =
+            models::tcnn_generator(self.cfg.z_dim, task.channels, task.height, task.width, rng);
         let labels = vec![target; task.synth_set_size];
         let mut trace = Vec::new();
         if self.cfg.trained {
@@ -94,10 +102,18 @@ impl ZkaG {
 }
 
 impl Attack for ZkaG {
-    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
-        let target = *self.target.get_or_insert_with(|| rng.gen_range(0..ctx.task.num_classes));
+    fn craft(
+        &mut self,
+        ctx: &AttackContext<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f32>, AttackError> {
+        let target = *self
+            .target
+            .get_or_insert_with(|| rng.gen_range(0..ctx.task.num_classes));
         let mut global_model = (ctx.build_model)(rng);
-        global_model.set_flat_params(ctx.global).map_err(AttackError::Nn)?;
+        global_model
+            .set_flat_params(ctx.global)
+            .map_err(AttackError::Nn)?;
         let (s, trace) = self.synthesize(&mut global_model, ctx.task, target, rng)?;
         self.last_losses = trace;
         let mut local = (ctx.build_model)(rng);
@@ -167,7 +183,9 @@ mod tests {
         let attack = ZkaG::new(cfg);
         let t = task();
         let target = 3usize;
-        let (s, trace) = attack.synthesize(&mut global, &t, target, &mut rng).unwrap();
+        let (s, trace) = attack
+            .synthesize(&mut global, &t, target, &mut rng)
+            .unwrap();
         assert_eq!(s.shape(), &[6, 1, 28, 28]);
         assert!(
             trace.last().unwrap() >= trace.first().unwrap(),
@@ -179,7 +197,10 @@ mod tests {
         let l = t.num_classes;
         for i in 0..6 {
             let p_target = p.data()[i * l + target];
-            assert!(p_target < 0.3, "image {i} still predicted as Ỹ with p {p_target}");
+            assert!(
+                p_target < 0.3,
+                "image {i} still predicted as Ỹ with p {p_target}"
+            );
         }
     }
 
@@ -188,7 +209,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut global = models::fashion_cnn(&mut rng);
         let attack = ZkaG::new(ZkaConfig::static_variant());
-        let (s, trace) = attack.synthesize(&mut global, &task(), 0, &mut rng).unwrap();
+        let (s, trace) = attack
+            .synthesize(&mut global, &task(), 0, &mut rng)
+            .unwrap();
         assert!(trace.is_empty());
         assert_eq!(s.shape()[0], 6);
         assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -226,8 +249,12 @@ mod tests {
         let mut t = task();
         t.synth_set_size = 10;
         let cfg = ZkaConfig::fast();
-        let (s_r, _) = ZkaR::new(cfg).synthesize(&mut global, &t, &mut rng).unwrap();
-        let (s_g, _) = ZkaG::new(cfg).synthesize(&mut global, &t, 0, &mut rng).unwrap();
+        let (s_r, _) = ZkaR::new(cfg)
+            .synthesize(&mut global, &t, &mut rng)
+            .unwrap();
+        let (s_g, _) = ZkaG::new(cfg)
+            .synthesize(&mut global, &t, 0, &mut rng)
+            .unwrap();
         // Mean per-pixel variance across the set.
         let set_variance = |s: &Tensor| -> f32 {
             let n = s.shape()[0];

@@ -24,14 +24,21 @@ pub struct ZkaR {
 
 impl std::fmt::Debug for ZkaR {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ZkaR").field("cfg", &self.cfg).field("target", &self.target).finish()
+        f.debug_struct("ZkaR")
+            .field("cfg", &self.cfg)
+            .field("target", &self.target)
+            .finish()
     }
 }
 
 impl ZkaR {
     /// Creates the attack.
     pub fn new(cfg: ZkaConfig) -> ZkaR {
-        ZkaR { cfg, target: None, last_losses: Vec::new() }
+        ZkaR {
+            cfg,
+            target: None,
+            last_losses: Vec::new(),
+        }
     }
 
     /// The fabricated label `Ỹ` (chosen uniformly on first craft).
@@ -62,7 +69,14 @@ impl ZkaR {
         let l = task.num_classes;
         let uniform = Tensor::full(vec![1, l], 1.0 / l as f32);
         let mut images = Vec::with_capacity(task.synth_set_size);
-        let mut epoch_losses = vec![0.0f32; if self.cfg.trained { self.cfg.gen_epochs } else { 0 }];
+        let mut epoch_losses = vec![
+            0.0f32;
+            if self.cfg.trained {
+                self.cfg.gen_epochs
+            } else {
+                0
+            }
+        ];
         for _ in 0..task.synth_set_size {
             // Static random input A (fixed during filter training).
             let a = Tensor::uniform(
@@ -100,12 +114,20 @@ impl ZkaR {
 }
 
 impl Attack for ZkaR {
-    fn craft(&mut self, ctx: &AttackContext<'_>, rng: &mut StdRng) -> Result<Vec<f32>, AttackError> {
-        let target = *self.target.get_or_insert_with(|| rng.gen_range(0..ctx.task.num_classes));
+    fn craft(
+        &mut self,
+        ctx: &AttackContext<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f32>, AttackError> {
+        let target = *self
+            .target
+            .get_or_insert_with(|| rng.gen_range(0..ctx.task.num_classes));
         // Frozen global model (never stepped; its accumulated grads are
         // zeroed before every use).
         let mut global_model = (ctx.build_model)(rng);
-        global_model.set_flat_params(ctx.global).map_err(AttackError::Nn)?;
+        global_model
+            .set_flat_params(ctx.global)
+            .map_err(AttackError::Nn)?;
         let (s, losses) = self.synthesize(&mut global_model, ctx.task, rng)?;
         self.last_losses = losses;
         // Step 2: adversarial classifier training on (S, Ỹ) with L_d.
@@ -189,7 +211,10 @@ mod tests {
         let logits = global.forward(&s).unwrap();
         let p = softmax(&logits);
         let max_p = p.data().iter().fold(0.0f32, |a, &b| a.max(b));
-        assert!(max_p < 0.9, "trained images still confidently classified: {max_p}");
+        assert!(
+            max_p < 0.9,
+            "trained images still confidently classified: {max_p}"
+        );
     }
 
     #[test]
@@ -224,11 +249,17 @@ mod tests {
         let target = attack.target().unwrap();
         let _ = attack.craft(&ctx, &mut rng).unwrap();
         assert_eq!(attack.target().unwrap(), target, "Ỹ must stay fixed");
-        assert_eq!(attack.last_generation_losses().len(), ZkaConfig::fast().gen_epochs);
+        assert_eq!(
+            attack.last_generation_losses().len(),
+            ZkaConfig::fast().gen_epochs
+        );
     }
 
     #[test]
     fn zero_knowledge_capabilities() {
-        assert_eq!(ZkaR::new(ZkaConfig::paper()).capabilities(), Capabilities::zero_knowledge());
+        assert_eq!(
+            ZkaR::new(ZkaConfig::paper()).capabilities(),
+            Capabilities::zero_knowledge()
+        );
     }
 }

@@ -33,9 +33,20 @@ impl Dataset {
     /// Panics when the batch axis disagrees with `labels.len()` or a label
     /// is out of range.
     pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Dataset {
-        assert_eq!(images.shape()[0], labels.len(), "image/label count mismatch");
-        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
-        Dataset { images, labels, num_classes }
+        assert_eq!(
+            images.shape()[0],
+            labels.len(),
+            "image/label count mismatch"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Synthesizes `n` i.i.d. samples (labels uniform over classes) from a
@@ -52,10 +63,16 @@ impl Dataset {
     /// fixes the class prototypes), drawing instance noise from
     /// `sample_seed`. Train and test splits of the same task share
     /// `task_seed` and differ in `sample_seed`.
-    pub fn synthesize_split(spec: &SynthSpec, n: usize, task_seed: u64, sample_seed: u64) -> Dataset {
+    pub fn synthesize_split(
+        spec: &SynthSpec,
+        n: usize,
+        task_seed: u64,
+        sample_seed: u64,
+    ) -> Dataset {
         let mut rng = StdRng::seed_from_u64(sample_seed);
-        let protos: Vec<Vec<f32>> =
-            (0..spec.num_classes).map(|c| spec.prototype(c, task_seed)).collect();
+        let protos: Vec<Vec<f32>> = (0..spec.num_classes)
+            .map(|c| spec.prototype(c, task_seed))
+            .collect();
         let mut data = Vec::with_capacity(n * spec.image_len());
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
@@ -63,10 +80,13 @@ impl Dataset {
             data.extend_from_slice(&spec.instance(&protos[label], &mut rng));
             labels.push(label);
         }
-        let images =
-            Tensor::from_vec(vec![n, spec.channels, spec.height, spec.width], data)
-                .expect("internal geometry is consistent");
-        Dataset { images, labels, num_classes: spec.num_classes }
+        let images = Tensor::from_vec(vec![n, spec.channels, spec.height, spec.width], data)
+            .expect("internal geometry is consistent");
+        Dataset {
+            images,
+            labels,
+            num_classes: spec.num_classes,
+        }
     }
 
     /// Number of samples.
@@ -134,7 +154,10 @@ impl Dataset {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order = indices.to_vec();
         order.shuffle(rng);
-        order.chunks(batch_size).map(|chunk| self.gather(chunk)).collect()
+        order
+            .chunks(batch_size)
+            .map(|chunk| self.gather(chunk))
+            .collect()
     }
 
     /// Per-class sample counts (length = `num_classes`).

@@ -70,7 +70,11 @@ pub fn dirichlet_partition(
         let mut acc = 0.0f64;
         for (client, &p) in props.iter().enumerate() {
             acc += p;
-            let end = if client + 1 == num_clients { n } else { (acc * n as f64).round() as usize };
+            let end = if client + 1 == num_clients {
+                n
+            } else {
+                (acc * n as f64).round() as usize
+            };
             let end = end.clamp(start, n);
             shards[client].extend_from_slice(&members[start..end]);
             start = end;
@@ -143,7 +147,13 @@ mod tests {
     #[test]
     fn errors_on_degenerate_input() {
         let d = dataset(10);
-        assert_eq!(dirichlet_partition(&d, 0, 0.5, 0), Err(PartitionError::NoClients));
-        assert_eq!(dirichlet_partition(&d, 5, 0.0, 0), Err(PartitionError::NonPositiveBeta));
+        assert_eq!(
+            dirichlet_partition(&d, 0, 0.5, 0),
+            Err(PartitionError::NoClients)
+        );
+        assert_eq!(
+            dirichlet_partition(&d, 5, 0.0, 0),
+            Err(PartitionError::NonPositiveBeta)
+        );
     }
 }

@@ -17,7 +17,10 @@
 pub fn pca_2d(rows: &[Vec<f32>]) -> Vec<(f32, f32)> {
     assert!(!rows.is_empty(), "pca of zero rows");
     let dim = rows[0].len();
-    assert!(rows.iter().all(|r| r.len() == dim), "inconsistent row lengths");
+    assert!(
+        rows.iter().all(|r| r.len() == dim),
+        "inconsistent row lengths"
+    );
     let n = rows.len();
 
     // Mean-center.
@@ -53,7 +56,9 @@ pub fn pca_2d(rows: &[Vec<f32>]) -> Vec<(f32, f32)> {
 fn power_iterate(centered: &[Vec<f32>], deflate: Option<&[f32]>) -> Vec<f32> {
     let dim = centered[0].len();
     // Deterministic pseudo-random start.
-    let mut v: Vec<f32> = (0..dim).map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() - 0.5).collect();
+    let mut v: Vec<f32> = (0..dim)
+        .map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() - 0.5)
+        .collect();
     normalize(&mut v);
     for _ in 0..60 {
         if let Some(d) = deflate {
@@ -125,15 +130,25 @@ mod tests {
     fn projection_preserves_relative_spread() {
         // A wide cloud must project to higher total variance than a tight one.
         let wide: Vec<Vec<f32>> = (0..30)
-            .map(|i| vec![(i as f32 * 1.7).sin() * 10.0, (i as f32 * 0.9).cos() * 10.0, i as f32])
+            .map(|i| {
+                vec![
+                    (i as f32 * 1.7).sin() * 10.0,
+                    (i as f32 * 0.9).cos() * 10.0,
+                    i as f32,
+                ]
+            })
             .collect();
-        let tight: Vec<Vec<f32>> =
-            (0..30).map(|i| vec![(i as f32 * 1.7).sin() * 0.1, 0.0, 0.0]).collect();
+        let tight: Vec<Vec<f32>> = (0..30)
+            .map(|i| vec![(i as f32 * 1.7).sin() * 0.1, 0.0, 0.0])
+            .collect();
         let spread = |rows: &[Vec<f32>]| -> f32 {
             let p = pca_2d(rows);
             let mx: f32 = p.iter().map(|q| q.0).sum::<f32>() / p.len() as f32;
             let my: f32 = p.iter().map(|q| q.1).sum::<f32>() / p.len() as f32;
-            p.iter().map(|q| (q.0 - mx).powi(2) + (q.1 - my).powi(2)).sum::<f32>() / p.len() as f32
+            p.iter()
+                .map(|q| (q.0 - mx).powi(2) + (q.1 - my).powi(2))
+                .sum::<f32>()
+                / p.len() as f32
         };
         assert!(spread(&wide) > 10.0 * spread(&tight));
     }

@@ -77,7 +77,8 @@ impl SynthSpec {
     /// Panics when `label >= num_classes`.
     pub fn prototype(&self, label: usize, seed: u64) -> Vec<f32> {
         assert!(label < self.num_classes, "label {label} out of range");
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(label as u64 + 1)));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(label as u64 + 1)));
         let (c, h, w) = (self.channels, self.height, self.width);
         let mut img = vec![0.0f32; c * h * w];
         for ch in 0..c {

@@ -1,0 +1,24 @@
+//! Scratch probe: clean FL learnability at the test's tiny scale.
+//! `cargo run --release -p fabflip-fl --example probe -- <seed> <rounds>`
+
+use fabflip_fl::{simulate_observed, FlConfig, TaskKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let rounds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let cfg = FlConfig::builder(TaskKind::Fashion)
+        .rounds(rounds)
+        .n_clients(12)
+        .clients_per_round(6)
+        .train_size(240)
+        .test_size(80)
+        .synth_set_size(6)
+        .seed(seed)
+        .build();
+    let r = simulate_observed(&cfg, |rec| {
+        println!("round {:>2}: acc {:.4}", rec.round, rec.accuracy);
+    })
+    .unwrap();
+    println!("max acc: {:.4}", r.max_accuracy());
+}

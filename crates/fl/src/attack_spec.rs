@@ -53,9 +53,16 @@ impl AttackSpec {
             AttackSpec::RandomWeights => Some(Box::new(RandomWeights::new())),
             AttackSpec::RealData { lambda } => {
                 let data = adversary_data.unwrap_or_else(|| {
-                    Dataset::new(fabflip_tensor::Tensor::zeros(vec![0, 1, 1, 1]), Vec::new(), 1)
+                    Dataset::new(
+                        fabflip_tensor::Tensor::zeros(vec![0, 1, 1, 1]),
+                        Vec::new(),
+                        1,
+                    )
                 });
-                Some(Box::new(RealDataFlip::new(data, DistanceReg { lambda: *lambda })))
+                Some(Box::new(RealDataFlip::new(
+                    data,
+                    DistanceReg { lambda: *lambda },
+                )))
             }
             AttackSpec::ZkaR { cfg } => Some(Box::new(ZkaR::new(*cfg))),
             AttackSpec::ZkaG { cfg } => Some(Box::new(ZkaG::new(*cfg))),
@@ -98,8 +105,12 @@ impl AttackSpec {
             AttackSpec::Fang,
             AttackSpec::Lie,
             AttackSpec::MinMax,
-            AttackSpec::ZkaR { cfg: ZkaConfig::paper() },
-            AttackSpec::ZkaG { cfg: ZkaConfig::paper() },
+            AttackSpec::ZkaR {
+                cfg: ZkaConfig::paper(),
+            },
+            AttackSpec::ZkaG {
+                cfg: ZkaConfig::paper(),
+            },
         ]
     }
 }
@@ -118,8 +129,14 @@ mod tests {
         assert!(AttackSpec::Lie.uses_benign_oracle());
         assert!(AttackSpec::Fang.uses_benign_oracle());
         assert!(AttackSpec::MinMax.uses_benign_oracle());
-        assert!(!AttackSpec::ZkaR { cfg: ZkaConfig::paper() }.uses_benign_oracle());
-        assert!(!AttackSpec::ZkaG { cfg: ZkaConfig::paper() }.uses_benign_oracle());
+        assert!(!AttackSpec::ZkaR {
+            cfg: ZkaConfig::paper()
+        }
+        .uses_benign_oracle());
+        assert!(!AttackSpec::ZkaG {
+            cfg: ZkaConfig::paper()
+        }
+        .uses_benign_oracle());
         assert!(!AttackSpec::RandomWeights.uses_benign_oracle());
         assert!(AttackSpec::RealData { lambda: 1.0 }.needs_adversary_data());
     }
@@ -141,7 +158,9 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let spec = AttackSpec::ZkaG { cfg: ZkaConfig::paper() };
+        let spec = AttackSpec::ZkaG {
+            cfg: ZkaConfig::paper(),
+        };
         let s = serde_json::to_string(&spec).unwrap();
         let back: AttackSpec = serde_json::from_str(&s).unwrap();
         assert_eq!(spec, back);

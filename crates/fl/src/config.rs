@@ -138,7 +138,11 @@ impl FlConfig {
                 lr: task.default_lr(),
                 batch: 16,
                 train_size: 2000,
-                test_size: if matches!(task, TaskKind::Fashion) { 400 } else { 300 },
+                test_size: if matches!(task, TaskKind::Fashion) {
+                    400
+                } else {
+                    300
+                },
                 beta: 0.5,
                 synth_set_size: 20,
                 defense: DefenseKind::FedAvg,
@@ -328,7 +332,10 @@ mod tests {
         assert!(cfg.validate().is_err());
         let mut cfg = FlConfig::builder(TaskKind::Fashion).build();
         cfg.malicious_fraction = 0.7;
-        assert!(cfg.validate().is_err(), "threat model caps attackers at 50%");
+        assert!(
+            cfg.validate().is_err(),
+            "threat model caps attackers at 50%"
+        );
         let mut cfg = FlConfig::builder(TaskKind::Fashion).build();
         cfg.clients_per_round = 1000;
         assert!(cfg.validate().is_err());

@@ -71,7 +71,10 @@ impl RunResult {
     /// convergence-interference view of an untargeted attack (the paper's
     /// objective includes "even interfere with its convergence").
     pub fn rounds_to_reach(&self, threshold: f32) -> Option<usize> {
-        self.rounds.iter().find(|r| r.accuracy >= threshold).map(|r| r.round)
+        self.rounds
+            .iter()
+            .find(|r| r.accuracy >= threshold)
+            .map(|r| r.round)
     }
 }
 
@@ -103,12 +106,19 @@ mod tests {
     }
 
     fn result(rounds: Vec<RoundRecord>) -> RunResult {
-        RunResult { rounds, final_model: Vec::new() }
+        RunResult {
+            rounds,
+            final_model: Vec::new(),
+        }
     }
 
     #[test]
     fn max_and_final_accuracy() {
-        let r = result(vec![record(0, 0.3, 0, 0, true), record(1, 0.7, 0, 0, true), record(2, 0.5, 0, 0, true)]);
+        let r = result(vec![
+            record(0, 0.3, 0, 0, true),
+            record(1, 0.7, 0, 0, true),
+            record(2, 0.5, 0, 0, true),
+        ]);
         assert_eq!(r.max_accuracy(), 0.7);
         assert_eq!(r.final_accuracy(), 0.5);
         assert_eq!(r.accuracy_trace(), vec![0.3, 0.7, 0.5]);

@@ -104,7 +104,11 @@ pub fn run_cell(base: &FlConfig, repeats: usize) -> Result<CellSummary, FlError>
         acc_natk: natk_sum / n,
         acc_max: accmax_sum / n,
         asr: asr_sum / n,
-        dpr: if dpr_count > 0 { Some(dpr_sum / dpr_count as f32) } else { None },
+        dpr: if dpr_count > 0 {
+            Some(dpr_sum / dpr_count as f32)
+        } else {
+            None
+        },
         repeats,
     })
 }
@@ -116,6 +120,21 @@ pub fn run_cell(base: &FlConfig, repeats: usize) -> Result<CellSummary, FlError>
 ///
 /// Propagates the first failing cell.
 pub fn run_grid(cells: &[FlConfig], repeats: usize) -> Result<Vec<CellSummary>, FlError> {
+    // One FABFLIP_THREADS-controlled global pool drives the grid (the
+    // build is a no-op if a pool already exists). With several cells in
+    // flight the grid already saturates that pool, so the in-simulation
+    // kernels are pinned to one thread for the duration — two nested
+    // parallel levels would otherwise oversubscribe the machine.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(fabflip_tensor::par::max_threads())
+        .build_global();
+    if cells.len() > 1 && rayon::current_num_threads() > 1 {
+        let inner = fabflip_tensor::par::max_threads();
+        fabflip_tensor::par::set_max_threads(1);
+        let out = cells.par_iter().map(|cfg| run_cell(cfg, repeats)).collect();
+        fabflip_tensor::par::set_max_threads(inner);
+        return out;
+    }
     cells.par_iter().map(|cfg| run_cell(cfg, repeats)).collect()
 }
 

@@ -7,13 +7,18 @@ use fabflip_attacks::{AttackContext, TaskInfo};
 use fabflip_data::{dirichlet_partition, Dataset};
 use fabflip_nn::losses::{accuracy, softmax_cross_entropy_hard};
 use fabflip_nn::Sequential;
+use fabflip_tensor::par;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Fixed task seed: all runs (clean baseline and attacked) share the same
 /// class prototypes, so `acc_natk` and `acc_max` are comparable.
-const TASK_SEED: u64 = 0xDA7A_5E_ED;
+const TASK_SEED: u64 = 0xDA7A_5EED;
+
+/// Result of one benign client's local round: `None` when the client is
+/// malicious or offline, otherwise its flat update and sample weight.
+type ClientOutcome = Result<Option<(Vec<f32>, f32)>, FlError>;
 
 fn sub_seed(master: u64, stream: u64, a: u64, b: u64) -> u64 {
     // SplitMix-style mixing for independent deterministic streams.
@@ -33,7 +38,11 @@ fn sub_seed(master: u64, stream: u64, a: u64, b: u64) -> u64 {
 /// # Errors
 ///
 /// Propagates forward-pass failures.
-pub fn evaluate_model(model: &mut Sequential, test: &Dataset, batch: usize) -> Result<f32, FlError> {
+pub fn evaluate_model(
+    model: &mut Sequential,
+    test: &Dataset,
+    batch: usize,
+) -> Result<f32, FlError> {
     let n = test.len();
     if n == 0 {
         return Ok(0.0);
@@ -106,12 +115,8 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
         TASK_SEED,
         sub_seed(cfg.seed, 1, 0, 0),
     );
-    let test = Dataset::synthesize_split(
-        &spec,
-        cfg.test_size,
-        TASK_SEED,
-        sub_seed(cfg.seed, 2, 0, 0),
-    );
+    let test =
+        Dataset::synthesize_split(&spec, cfg.test_size, TASK_SEED, sub_seed(cfg.seed, 2, 0, 0));
     let shards = dirichlet_partition(&train, cfg.n_clients, cfg.beta, sub_seed(cfg.seed, 3, 0, 0))?;
 
     // Adversary-controlled clients: a uniformly random subset.
@@ -123,8 +128,10 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
 
     // The Fig. 7 real-data adversary pools its clients' Dirichlet shards.
     let adversary_data = if cfg.attack.needs_adversary_data() {
-        let mut pool: Vec<usize> =
-            malicious.iter().flat_map(|&c| shards[c].iter().copied()).collect();
+        let mut pool: Vec<usize> = malicious
+            .iter()
+            .flat_map(|&c| shards[c].iter().copied())
+            .collect();
         pool.sort_unstable();
         let b = train.gather(&pool);
         Some(Dataset::new(b.images, b.labels, train.num_classes()))
@@ -166,30 +173,43 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
         pool.shuffle(&mut round_rng);
         let selected = &pool[..cfg.clients_per_round];
 
-        // Benign local training.
-        let mut benign_updates: Vec<Vec<f32>> = Vec::new();
-        let mut benign_weights: Vec<f32> = Vec::new();
-        let mut malicious_selected = 0usize;
-        for &client in selected {
-            if malicious.contains(&client) {
-                malicious_selected += 1;
-                continue;
+        // Benign local training. Every client already draws from an
+        // independent RNG stream keyed by (seed, round, client), so clients
+        // train in parallel and their updates are merged in selection order
+        // — the transcript is bitwise identical to the sequential loop (see
+        // the determinism contract in `fabflip_tensor::par`).
+        let malicious_selected = selected.iter().filter(|c| malicious.contains(c)).count();
+        let train_ref = &train;
+        let shards_ref = &shards;
+        let global_ref = &global;
+        let malicious_ref = &malicious;
+        let outcomes: Vec<ClientOutcome> = par::map_collect(selected.len(), |s| {
+            let client = selected[s];
+            if malicious_ref.contains(&client) {
+                return Ok(None);
             }
-            let shard = &shards[client];
+            let shard = &shards_ref[client];
             if shard.is_empty() {
-                continue; // Client has no data: no update (offline).
+                return Ok(None); // Client has no data: no update (offline).
             }
             let mut crng =
                 StdRng::seed_from_u64(sub_seed(cfg.seed, 7, round as u64, client as u64));
-            let w = train_benign_client(cfg, &train, shard, &global, &mut crng)?;
+            let w = train_benign_client(cfg, train_ref, shard, global_ref, &mut crng)?;
             if w.iter().any(|v| !v.is_finite()) {
-                // Local training diverged (possible once the global model is
-                // poisoned): a real client would fail to submit. Skip it so
-                // non-finite values never reach attacks or defenses.
-                continue;
+                // Local training diverged (possible once the global model
+                // is poisoned): a real client would fail to submit. Skip
+                // it so non-finite values never reach attacks or defenses.
+                return Ok(None);
             }
-            benign_updates.push(w);
-            benign_weights.push(shard.len() as f32);
+            Ok(Some((w, shard.len() as f32)))
+        });
+        let mut benign_updates: Vec<Vec<f32>> = Vec::new();
+        let mut benign_weights: Vec<f32> = Vec::new();
+        for outcome in outcomes {
+            if let Some((w, weight)) = outcome? {
+                benign_updates.push(w);
+                benign_weights.push(weight);
+            }
         }
 
         // Adversarial crafting: one update for all malicious clients.
@@ -213,8 +233,7 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
                     task: &task_info,
                     build_model: &build_model,
                 };
-                let mut arng =
-                    StdRng::seed_from_u64(sub_seed(cfg.seed, 8, round as u64, 0));
+                let mut arng = StdRng::seed_from_u64(sub_seed(cfg.seed, 8, round as u64, 0));
                 match attack.craft(&ctx, &mut arng) {
                     Ok(w_mal) => {
                         for _ in 0..malicious_selected {
@@ -252,8 +271,7 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
             let aggregation = if let Some(root) = &fltrust_root {
                 // FLTrust: the server computes its own root update, then
                 // trust-scores the clients against it.
-                let mut srng =
-                    StdRng::seed_from_u64(sub_seed(cfg.seed, 10, round as u64, 0));
+                let mut srng = StdRng::seed_from_u64(sub_seed(cfg.seed, 10, round as u64, 0));
                 let all: Vec<usize> = (0..root.len()).collect();
                 let server_update = train_benign_client(cfg, root, &all, &global, &mut srng)?;
                 fabflip_agg::fltrust_aggregate(&updates, &global, &server_update)
@@ -264,8 +282,10 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
                 Ok(agg) => {
                     if let Selection::Chosen(ref kept) = agg.selection {
                         selection_available = true;
-                        malicious_passed =
-                            kept.iter().filter(|i| malicious_indices.contains(i)).count();
+                        malicious_passed = kept
+                            .iter()
+                            .filter(|i| malicious_indices.contains(i))
+                            .count();
                     }
                     prev_global = Some(global.clone());
                     global = agg.model;
@@ -290,7 +310,10 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
         observer(&record);
         rounds.push(record);
     }
-    Ok(RunResult { rounds, final_model: global })
+    Ok(RunResult {
+        rounds,
+        final_model: global,
+    })
 }
 
 #[cfg(test)]
@@ -313,11 +336,38 @@ mod tests {
 
     #[test]
     fn clean_run_learns() {
-        let cfg = tiny_cfg();
+        // At this tiny scale (20 samples/client, ~2 SGD steps per client
+        // per round) learning only clears chance after a dozen-odd rounds,
+        // so this test runs longer than the other sims here.
+        let mut cfg = tiny_cfg();
+        cfg.rounds = 16;
         let r = simulate(&cfg).unwrap();
-        assert_eq!(r.rounds.len(), 3);
-        // Accuracy after a few rounds must beat chance (10 classes).
+        assert_eq!(r.rounds.len(), 16);
+        // Accuracy must beat chance (10 classes).
         assert!(r.max_accuracy() > 0.15, "trace {:?}", r.accuracy_trace());
+    }
+
+    /// The parallelism/determinism contract end-to-end: a fixed-seed round
+    /// transcript (accuracies and final model, bitwise) must not depend on
+    /// the thread budget. Mirrors running once with `FABFLIP_THREADS=1` and
+    /// once with it unset on a multi-core host.
+    #[test]
+    fn transcript_is_thread_count_invariant() {
+        let cfg = tiny_cfg();
+        let prev = fabflip_tensor::par::max_threads();
+        fabflip_tensor::par::set_max_threads(1);
+        let serial = simulate(&cfg).unwrap();
+        fabflip_tensor::par::set_max_threads(4);
+        let parallel = simulate(&cfg).unwrap();
+        fabflip_tensor::par::set_max_threads(prev);
+        let acc_bits = |r: &crate::RunResult| -> Vec<u32> {
+            r.accuracy_trace().iter().map(|a| a.to_bits()).collect()
+        };
+        assert_eq!(acc_bits(&serial), acc_bits(&parallel));
+        let model_bits = |r: &crate::RunResult| -> Vec<u32> {
+            r.final_model.iter().map(|w| w.to_bits()).collect()
+        };
+        assert_eq!(model_bits(&serial), model_bits(&parallel));
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward("Relu"))?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Relu"))?;
         if mask.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 layer: "Relu",
@@ -69,7 +72,10 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward("LeakyRelu"))?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("LeakyRelu"))?;
         if mask.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 layer: "LeakyRelu",
@@ -111,7 +117,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let out = self.out.as_ref().ok_or(NnError::BackwardBeforeForward("Tanh"))?;
+        let out = self
+            .out
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Tanh"))?;
         if out.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 layer: "Tanh",
@@ -152,7 +161,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let out = self.out.as_ref().ok_or(NnError::BackwardBeforeForward("Sigmoid"))?;
+        let out = self
+            .out
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Sigmoid"))?;
         if out.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 layer: "Sigmoid",
@@ -226,6 +238,8 @@ mod tests {
         assert!(Relu::new().backward(&Tensor::zeros(vec![1])).is_err());
         assert!(Tanh::new().backward(&Tensor::zeros(vec![1])).is_err());
         assert!(Sigmoid::new().backward(&Tensor::zeros(vec![1])).is_err());
-        assert!(LeakyRelu::new(0.1).backward(&Tensor::zeros(vec![1])).is_err());
+        assert!(LeakyRelu::new(0.1)
+            .backward(&Tensor::zeros(vec![1]))
+            .is_err());
     }
 }

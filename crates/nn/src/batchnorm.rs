@@ -6,10 +6,11 @@ use fabflip_tensor::Tensor;
 ///
 /// In training mode, activations are normalized by the batch statistics of
 /// each channel and running averages are maintained; in evaluation mode
-/// the running averages are used. The affine parameters `γ` (scale, init
-/// 1) and `β` (shift, init 0) are learnable and travel through the flat
-/// parameter vector like every other weight, so batch-normalized models
-/// aggregate federatively without special casing.
+/// the running averages are used. The affine parameters `γ` (scale,
+/// initialized to one) and `β` (shift, initialized to zero) are learnable
+/// and travel through the flat parameter vector like every other weight,
+/// so batch-normalized models aggregate federatively without special
+/// casing.
 #[derive(Debug)]
 pub struct BatchNorm2d {
     gamma: Tensor,
@@ -51,7 +52,7 @@ impl BatchNorm2d {
             eps: 1e-5,
             momentum: 0.1,
             training: true,
-        cache: None,
+            cache: None,
         }
     }
 
@@ -79,13 +80,18 @@ impl Layer for BatchNorm2d {
                 ),
             });
         }
-        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
         let plane = h * w;
         let m = (n * plane) as f32;
         let mut out = input.clone();
         let mut x_hat = input.clone();
         let mut inv_std = vec![0.0f32; c];
-        for ch in 0..c {
+        for (ch, inv_std_ch) in inv_std.iter_mut().enumerate() {
             let (mean, var) = if self.training {
                 let mut sum = 0.0f32;
                 for ni in 0..n {
@@ -110,7 +116,7 @@ impl Layer for BatchNorm2d {
                 (self.running_mean[ch], self.running_var[ch])
             };
             let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std[ch] = istd;
+            *inv_std_ch = istd;
             let g = self.gamma.data()[ch];
             let b = self.beta.data()[ch];
             for ni in 0..n {
@@ -122,12 +128,19 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.cache = Some(Cache { x_hat, inv_std, in_shape: input.shape().to_vec() });
+        self.cache = Some(Cache {
+            x_hat,
+            inv_std,
+            in_shape: input.shape().to_vec(),
+        });
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward("BatchNorm2d"))?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("BatchNorm2d"))?;
         if grad_out.shape() != cache.in_shape.as_slice() {
             return Err(NnError::BadInput {
                 layer: "BatchNorm2d",
@@ -138,8 +151,12 @@ impl Layer for BatchNorm2d {
                 ),
             });
         }
-        let (n, c, h, w) =
-            (cache.in_shape[0], cache.in_shape[1], cache.in_shape[2], cache.in_shape[3]);
+        let (n, c, h, w) = (
+            cache.in_shape[0],
+            cache.in_shape[1],
+            cache.in_shape[2],
+            cache.in_shape[3],
+        );
         let plane = h * w;
         let m = (n * plane) as f32;
         let mut grad_in = Tensor::zeros(cache.in_shape.clone());
@@ -240,7 +257,11 @@ mod tests {
         // running stats (≈ (5 − 5)/2 = 0).
         let x = Tensor::full(vec![1, 1, 4, 4], 5.0);
         let y = bn.forward(&x).unwrap();
-        assert!(y.data().iter().all(|v| v.abs() < 0.2), "{:?}", &y.data()[..4]);
+        assert!(
+            y.data().iter().all(|v| v.abs() < 0.2),
+            "{:?}",
+            &y.data()[..4]
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn load_weights<P: AsRef<Path>>(model: &mut Sequential, path: P) -> io::Resu
     if body.len() != count * 4 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("expected {} bytes of weights, got {}", count * 4, body.len()),
+            format!(
+                "expected {} bytes of weights, got {}",
+                count * 4,
+                body.len()
+            ),
         ));
     }
     let params: Vec<f32> = body
@@ -65,7 +69,10 @@ pub fn load_weights<P: AsRef<Path>>(model: &mut Sequential, path: P) -> io::Resu
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
     model.set_flat_params(&params).map_err(|e: NnError| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint does not fit model: {e}"))
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint does not fit model: {e}"),
+        )
     })
 }
 

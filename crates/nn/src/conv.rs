@@ -1,5 +1,8 @@
 use crate::{Layer, NnError};
-use fabflip_tensor::{col2im, conv_out_dim, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, Tensor};
+use fabflip_tensor::{
+    col2im, conv_out_dim, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, par, Tensor,
+    PAR_FLOP_THRESHOLD,
+};
 use rand::Rng;
 
 /// A 2-D convolution layer over `[N, C, H, W]` batches.
@@ -45,7 +48,12 @@ impl Conv2d {
         let fan_in = (in_channels * kernel * kernel) as f32;
         let std = (2.0 / fan_in).sqrt();
         Conv2d {
-            weight: Tensor::normal(vec![out_channels, in_channels, kernel, kernel], 0.0, std, rng),
+            weight: Tensor::normal(
+                vec![out_channels, in_channels, kernel, kernel],
+                0.0,
+                std,
+                rng,
+            ),
             bias: Tensor::zeros(vec![out_channels]),
             grad_weight: Tensor::zeros(vec![out_channels, in_channels, kernel, kernel]),
             grad_bias: Tensor::zeros(vec![out_channels]),
@@ -80,37 +88,71 @@ impl Layer for Conv2d {
                 ),
             });
         }
-        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
         let oh = conv_out_dim(h, self.kernel, self.stride, self.pad)?;
         let ow = conv_out_dim(w, self.kernel, self.stride, self.pad)?;
         let ckk = c * self.kernel * self.kernel;
         let out_area = oh * ow;
         let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
-        let mut cols = Vec::with_capacity(n);
         let sample_len = c * h * w;
         let out_sample_len = self.out_channels * out_area;
-        for i in 0..n {
-            let img = &input.data()[i * sample_len..(i + 1) * sample_len];
+        let weight = self.weight.data();
+        let bias = self.bias.data();
+        let out_channels = self.out_channels;
+        let (kernel, stride, pad) = (self.kernel, self.stride, self.pad);
+        let input_data = input.data();
+        // Each sample writes a disjoint output slice and produces its own
+        // im2col matrix, so the batch dimension parallelizes trivially;
+        // results are merged in sample order (determinism contract in
+        // `fabflip_tensor::par`).
+        let per_sample = |i: usize, out_sample: &mut [f32]| {
+            let img = &input_data[i * sample_len..(i + 1) * sample_len];
             let mut col = vec![0.0f32; ckk * out_area];
-            im2col(img, &mut col, c, h, w, self.kernel, self.kernel, self.stride, self.pad);
-            let out_sample = &mut out.data_mut()[i * out_sample_len..(i + 1) * out_sample_len];
-            matmul_into(self.weight.data(), &col, out_sample, self.out_channels, ckk, out_area);
-            for oc in 0..self.out_channels {
-                let b = self.bias.data()[oc];
+            im2col(img, &mut col, c, h, w, kernel, kernel, stride, pad);
+            matmul_into(weight, &col, out_sample, out_channels, ckk, out_area);
+            for oc in 0..out_channels {
+                let b = bias[oc];
                 for v in &mut out_sample[oc * out_area..(oc + 1) * out_area] {
                     *v += b;
                 }
             }
-            cols.push(col);
-        }
-        self.cache = Some(ConvCache { cols, in_shape: input.shape().to_vec(), out_h: oh, out_w: ow });
+            col
+        };
+        let batch_flops = 2 * (n * out_channels * ckk * out_area) as u64;
+        let cols: Vec<Vec<f32>> = if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+            out.data_mut()
+                .chunks_mut(out_sample_len)
+                .enumerate()
+                .map(|(i, s)| per_sample(i, s))
+                .collect()
+        } else {
+            par::map_chunks_mut(out.data_mut(), out_sample_len, per_sample)
+        };
+        self.cache = Some(ConvCache {
+            cols,
+            in_shape: input.shape().to_vec(),
+            out_h: oh,
+            out_w: ow,
+        });
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
-        let (n, c, h, w) =
-            (cache.in_shape[0], cache.in_shape[1], cache.in_shape[2], cache.in_shape[3]);
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
+        let (n, c, h, w) = (
+            cache.in_shape[0],
+            cache.in_shape[1],
+            cache.in_shape[2],
+            cache.in_shape[3],
+        );
         let (oh, ow) = (cache.out_h, cache.out_w);
         let out_area = oh * ow;
         let ckk = c * self.kernel * self.kernel;
@@ -124,34 +166,51 @@ impl Layer for Conv2d {
         let mut grad_in = Tensor::zeros(cache.in_shape.clone());
         let sample_len = c * h * w;
         let out_sample_len = self.out_channels * out_area;
-        let mut grad_col = vec![0.0f32; ckk * out_area];
-        for i in 0..n {
-            let g = &grad_out.data()[i * out_sample_len..(i + 1) * out_sample_len];
-            // Bias gradient: sum over spatial positions.
-            for oc in 0..self.out_channels {
-                self.grad_bias.data_mut()[oc] += g[oc * out_area..(oc + 1) * out_area].iter().sum::<f32>();
+        let weight = self.weight.data();
+        let out_channels = self.out_channels;
+        let (kernel, stride, pad) = (self.kernel, self.stride, self.pad);
+        let grad_out_data = grad_out.data();
+        let cols = &cache.cols;
+        // Per-sample input gradients are disjoint; per-sample weight/bias
+        // contributions go into local buffers and are summed in ascending
+        // sample order afterwards, which reproduces the serial accumulation
+        // sequence bitwise (each matmul adds one complete dot product per
+        // element, so "accumulate in place" and "accumulate locally then
+        // merge in order" perform the identical chain of additions).
+        let per_sample = |i: usize, gi: &mut [f32]| {
+            let g = &grad_out_data[i * out_sample_len..(i + 1) * out_sample_len];
+            let mut gb = vec![0.0f32; out_channels];
+            for (oc, gb_v) in gb.iter_mut().enumerate() {
+                *gb_v = g[oc * out_area..(oc + 1) * out_area].iter().sum::<f32>();
             }
             // Weight gradient: g [OC, A] · colᵀ [A, CKK].
-            matmul_transpose_b(
-                g,
-                &cache.cols[i],
-                self.grad_weight.data_mut(),
-                self.out_channels,
-                out_area,
-                ckk,
-            );
+            let mut gw = vec![0.0f32; out_channels * ckk];
+            matmul_transpose_b(g, &cols[i], &mut gw, out_channels, out_area, ckk);
             // Input gradient: Wᵀ [CKK, OC] · g [OC, A], folded back with col2im.
-            grad_col.iter_mut().for_each(|v| *v = 0.0);
-            matmul_transpose_a(
-                self.weight.data(),
-                g,
-                &mut grad_col,
-                ckk,
-                self.out_channels,
-                out_area,
-            );
-            let gi = &mut grad_in.data_mut()[i * sample_len..(i + 1) * sample_len];
-            col2im(&grad_col, gi, c, h, w, self.kernel, self.kernel, self.stride, self.pad);
+            let mut grad_col = vec![0.0f32; ckk * out_area];
+            matmul_transpose_a(weight, g, &mut grad_col, ckk, out_channels, out_area);
+            col2im(&grad_col, gi, c, h, w, kernel, kernel, stride, pad);
+            (gw, gb)
+        };
+        let batch_flops = 4 * (n * out_channels * ckk * out_area) as u64;
+        let contribs: Vec<(Vec<f32>, Vec<f32>)> =
+            if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+                grad_in
+                    .data_mut()
+                    .chunks_mut(sample_len)
+                    .enumerate()
+                    .map(|(i, s)| per_sample(i, s))
+                    .collect()
+            } else {
+                par::map_chunks_mut(grad_in.data_mut(), sample_len, per_sample)
+            };
+        for (gw, gb) in &contribs {
+            for (dst, src) in self.grad_weight.data_mut().iter_mut().zip(gw) {
+                *dst += *src;
+            }
+            for (dst, src) in self.grad_bias.data_mut().iter_mut().zip(gb) {
+                *dst += *src;
+            }
         }
         Ok(grad_in)
     }
@@ -206,7 +265,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
         let g = Tensor::zeros(vec![1, 1, 8, 8]);
-        assert!(matches!(conv.backward(&g), Err(NnError::BackwardBeforeForward(_))));
+        assert!(matches!(
+            conv.backward(&g),
+            Err(NnError::BackwardBeforeForward(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,8 @@
 use crate::{Layer, NnError};
-use fabflip_tensor::{col2im, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, Tensor};
+use fabflip_tensor::{
+    col2im, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, par, Tensor,
+    PAR_FLOP_THRESHOLD,
+};
 use rand::Rng;
 
 /// A 2-D transposed convolution ("deconvolution") over `[N, C, H, W]`
@@ -48,7 +51,12 @@ impl ConvTranspose2d {
         let fan_in = (in_channels * kernel * kernel) as f32;
         let std = (2.0 / fan_in).sqrt();
         ConvTranspose2d {
-            weight: Tensor::normal(vec![in_channels, out_channels, kernel, kernel], 0.0, std, rng),
+            weight: Tensor::normal(
+                vec![in_channels, out_channels, kernel, kernel],
+                0.0,
+                std,
+                rng,
+            ),
             bias: Tensor::zeros(vec![out_channels]),
             grad_weight: Tensor::zeros(vec![in_channels, out_channels, kernel, kernel]),
             grad_bias: Tensor::zeros(vec![out_channels]),
@@ -91,7 +99,12 @@ impl Layer for ConvTranspose2d {
                 ),
             });
         }
-        let (n, _c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (n, _c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
         let oh = self.out_dim(h)?;
         let ow = self.out_dim(w)?;
         let area_in = h * w;
@@ -99,29 +112,54 @@ impl Layer for ConvTranspose2d {
         let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
         let in_sample = self.in_channels * area_in;
         let out_sample = self.out_channels * oh * ow;
-        let mut col = vec![0.0f32; okk * area_in];
-        for i in 0..n {
-            let x = &input.data()[i * in_sample..(i + 1) * in_sample];
+        let weight = self.weight.data();
+        let bias = self.bias.data();
+        let (in_channels, out_channels) = (self.in_channels, self.out_channels);
+        let (kernel, stride, pad) = (self.kernel, self.stride, self.pad);
+        let input_data = input.data();
+        // Batch-parallel: each sample owns a disjoint output slice (see the
+        // determinism contract in `fabflip_tensor::par`).
+        let per_sample = |i: usize, y: &mut [f32]| {
+            let x = &input_data[i * in_sample..(i + 1) * in_sample];
             // col = Wᵀ [OKK, IC] · x [IC, HW]; weight stored [IC, OKK].
-            col.iter_mut().for_each(|v| *v = 0.0);
-            matmul_transpose_a(self.weight.data(), x, &mut col, okk, self.in_channels, area_in);
-            let y = &mut out.data_mut()[i * out_sample..(i + 1) * out_sample];
-            col2im(&col, y, self.out_channels, oh, ow, self.kernel, self.kernel, self.stride, self.pad);
-            for oc in 0..self.out_channels {
-                let b = self.bias.data()[oc];
+            let mut col = vec![0.0f32; okk * area_in];
+            matmul_transpose_a(weight, x, &mut col, okk, in_channels, area_in);
+            col2im(&col, y, out_channels, oh, ow, kernel, kernel, stride, pad);
+            for oc in 0..out_channels {
+                let b = bias[oc];
                 for v in &mut y[oc * oh * ow..(oc + 1) * oh * ow] {
                     *v += b;
                 }
             }
+        };
+        let batch_flops = 2 * (n * okk * in_channels * area_in) as u64;
+        if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+            for (i, y) in out.data_mut().chunks_mut(out_sample).enumerate() {
+                per_sample(i, y);
+            }
+        } else {
+            par::for_each_chunk_mut(out.data_mut(), out_sample, per_sample);
         }
-        self.cache = Some(Cache { input: input.clone(), out_h: oh, out_w: ow });
+        self.cache = Some(Cache {
+            input: input.clone(),
+            out_h: oh,
+            out_w: ow,
+        });
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward("ConvTranspose2d"))?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("ConvTranspose2d"))?;
         let input = &cache.input;
-        let (n, _c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (n, _c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
         let (oh, ow) = (cache.out_h, cache.out_w);
         let expected = vec![n, self.out_channels, oh, ow];
         if grad_out.shape() != expected.as_slice() {
@@ -135,22 +173,60 @@ impl Layer for ConvTranspose2d {
         let in_sample = self.in_channels * area_in;
         let out_sample = self.out_channels * oh * ow;
         let mut grad_in = Tensor::zeros(input.shape().to_vec());
-        let mut col_g = vec![0.0f32; okk * area_in];
-        for i in 0..n {
-            let g = &grad_out.data()[i * out_sample..(i + 1) * out_sample];
-            // Bias gradient.
-            for oc in 0..self.out_channels {
-                self.grad_bias.data_mut()[oc] +=
-                    g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+        let weight = self.weight.data();
+        let (in_channels, out_channels) = (self.in_channels, self.out_channels);
+        let (kernel, stride, pad) = (self.kernel, self.stride, self.pad);
+        let grad_out_data = grad_out.data();
+        let input_data = input.data();
+        // Batch-parallel with per-sample weight/bias contributions merged in
+        // ascending sample order (bitwise-identical to the serial
+        // accumulation; see Conv2d::backward).
+        let per_sample = |i: usize, gx: &mut [f32]| {
+            let g = &grad_out_data[i * out_sample..(i + 1) * out_sample];
+            let mut gb = vec![0.0f32; out_channels];
+            for (oc, gb_v) in gb.iter_mut().enumerate() {
+                *gb_v = g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
             }
             // col_g = im2col(g): [OKK, HW] — the forward conv's lowering.
-            im2col(g, &mut col_g, self.out_channels, oh, ow, self.kernel, self.kernel, self.stride, self.pad);
+            let mut col_g = vec![0.0f32; okk * area_in];
+            im2col(
+                g,
+                &mut col_g,
+                out_channels,
+                oh,
+                ow,
+                kernel,
+                kernel,
+                stride,
+                pad,
+            );
             // grad_x = W [IC, OKK] · col_g [OKK, HW].
-            let gx = &mut grad_in.data_mut()[i * in_sample..(i + 1) * in_sample];
-            matmul_into(self.weight.data(), &col_g, gx, self.in_channels, okk, area_in);
-            // grad_W += x [IC, HW] · col_gᵀ [HW, OKK].
-            let x = &input.data()[i * in_sample..(i + 1) * in_sample];
-            matmul_transpose_b(x, &col_g, self.grad_weight.data_mut(), self.in_channels, area_in, okk);
+            matmul_into(weight, &col_g, gx, in_channels, okk, area_in);
+            // grad_W contribution: x [IC, HW] · col_gᵀ [HW, OKK].
+            let x = &input_data[i * in_sample..(i + 1) * in_sample];
+            let mut gw = vec![0.0f32; in_channels * okk];
+            matmul_transpose_b(x, &col_g, &mut gw, in_channels, area_in, okk);
+            (gw, gb)
+        };
+        let batch_flops = 4 * (n * in_channels * okk * area_in) as u64;
+        let contribs: Vec<(Vec<f32>, Vec<f32>)> =
+            if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+                grad_in
+                    .data_mut()
+                    .chunks_mut(in_sample)
+                    .enumerate()
+                    .map(|(i, s)| per_sample(i, s))
+                    .collect()
+            } else {
+                par::map_chunks_mut(grad_in.data_mut(), in_sample, per_sample)
+            };
+        for (gw, gb) in &contribs {
+            for (dst, src) in self.grad_weight.data_mut().iter_mut().zip(gw) {
+                *dst += *src;
+            }
+            for (dst, src) in self.grad_bias.data_mut().iter_mut().zip(gb) {
+                *dst += *src;
+            }
         }
         Ok(grad_in)
     }
@@ -234,6 +310,9 @@ mod tests {
         let conv_y = conv.forward(&y).unwrap();
         assert_eq!(conv_y.shape(), x.shape());
         let rhs: f32 = x.data().iter().zip(conv_y.data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 }

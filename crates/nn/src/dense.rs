@@ -37,7 +37,11 @@ impl Layer for Dense {
         if input.rank() != 2 || input.shape()[1] != self.in_features {
             return Err(NnError::BadInput {
                 layer: "Dense",
-                detail: format!("expected [N, {}], got {:?}", self.in_features, input.shape()),
+                detail: format!(
+                    "expected [N, {}], got {:?}",
+                    self.in_features,
+                    input.shape()
+                ),
             });
         }
         let n = input.shape()[0];
@@ -62,7 +66,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward("Dense"))?;
+        let input = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Dense"))?;
         let n = input.shape()[0];
         if grad_out.shape() != [n, self.out_features] {
             return Err(NnError::BadInput {

@@ -24,8 +24,16 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Dropout {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Dropout { p, training: true, rng: StdRng::seed_from_u64(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            training: true,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 
     /// Switches between training (dropping) and evaluation (identity) mode.
@@ -47,7 +55,9 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<bool> = (0..input.len()).map(|_| self.rng.gen::<f32>() < keep).collect();
+        let mask: Vec<bool> = (0..input.len())
+            .map(|_| self.rng.gen::<f32>() < keep)
+            .collect();
         let mut out = input.clone();
         for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
             *v = if m { *v * scale } else { 0.0 };
@@ -57,7 +67,10 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward("Dropout"))?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Dropout"))?;
         if mask.len() != grad_out.len() {
             return Err(NnError::BadInput {
                 layer: "Dropout",
@@ -108,7 +121,10 @@ mod tests {
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // Dropped positions are exactly zero; kept are scaled.
         let scale = 1.0 / 0.7;
-        assert!(y.data().iter().all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
+        assert!(y
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for NnError {
                 write!(f, "`{layer}` backward called before forward")
             }
             NnError::ParamLengthMismatch { expected, actual } => {
-                write!(f, "flat parameter buffer of length {actual}, model has {expected}")
+                write!(
+                    f,
+                    "flat parameter buffer of length {actual}, model has {expected}"
+                )
             }
         }
     }
@@ -64,7 +67,10 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        let e = NnError::Tensor(TensorError::LengthMismatch { expected: 2, actual: 1 });
+        let e = NnError::Tensor(TensorError::LengthMismatch {
+            expected: 2,
+            actual: 1,
+        });
         assert!(e.to_string().contains("tensor error"));
         assert!(e.source().is_some());
         let e = NnError::BackwardBeforeForward("Conv2d");

@@ -29,7 +29,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let shape = self.in_shape.clone().ok_or(NnError::BackwardBeforeForward("Flatten"))?;
+        let shape = self
+            .in_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward("Flatten"))?;
         Ok(grad_out.reshape(shape)?)
     }
 

@@ -40,9 +40,9 @@
 //! # Ok::<(), fabflip_nn::NnError>(())
 //! ```
 
-pub mod checkpoint;
 mod activations;
 mod batchnorm;
+pub mod checkpoint;
 mod conv;
 mod conv_transpose;
 mod dense;
@@ -62,10 +62,10 @@ pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use conv_transpose::ConvTranspose2d;
 pub use dense::Dense;
+pub use dropout::Dropout;
 pub use error::NnError;
 pub use flatten::{Flatten, Reshape};
 pub use layer::Layer;
-pub use dropout::Dropout;
 pub use pool::MaxPool2d;
 pub use pool_avg::AvgPool2d;
 pub use sequential::Sequential;

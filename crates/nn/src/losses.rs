@@ -31,7 +31,11 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     out
 }
 
-fn check_logits(logits: &Tensor, n_expected: usize, op: &'static str) -> Result<(usize, usize), NnError> {
+fn check_logits(
+    logits: &Tensor,
+    n_expected: usize,
+    op: &'static str,
+) -> Result<(usize, usize), NnError> {
     if logits.rank() != 2 {
         return Err(NnError::BadInput {
             layer: op,
@@ -107,7 +111,11 @@ pub fn softmax_cross_entropy_soft(
     if logits.shape() != targets.shape() {
         return Err(NnError::BadInput {
             layer: "cross_entropy_soft",
-            detail: format!("logits {:?} vs targets {:?}", logits.shape(), targets.shape()),
+            detail: format!(
+                "logits {:?} vs targets {:?}",
+                logits.shape(),
+                targets.shape()
+            ),
         });
     }
     let (n, _l) = check_logits(logits, logits.shape()[0], "cross_entropy_soft")?;
@@ -193,7 +201,8 @@ mod tests {
 
     #[test]
     fn hard_ce_gradient_sums_to_zero_per_row() {
-        let logits = Tensor::from_vec(vec![2, 4], vec![0.3, -0.2, 1.0, 0.5, 2.0, 0.0, -1.0, 0.1]).unwrap();
+        let logits =
+            Tensor::from_vec(vec![2, 4], vec![0.3, -0.2, 1.0, 0.5, 2.0, 0.0, -1.0, 0.1]).unwrap();
         let (_, g) = softmax_cross_entropy_hard(&logits, &[2, 0]).unwrap();
         for i in 0..2 {
             let s: f32 = g.data()[i * 4..(i + 1) * 4].iter().sum();
@@ -235,8 +244,7 @@ mod tests {
     #[test]
     fn soft_ce_matches_hard_for_onehot_targets() {
         let logits = Tensor::from_vec(vec![2, 3], vec![0.2, -1.0, 0.7, 1.5, 0.1, -0.4]).unwrap();
-        let onehot =
-            Tensor::from_vec(vec![2, 3], vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]).unwrap();
+        let onehot = Tensor::from_vec(vec![2, 3], vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]).unwrap();
         let (lh, gh) = softmax_cross_entropy_hard(&logits, &[2, 0]).unwrap();
         let (ls, gs) = softmax_cross_entropy_soft(&logits, &onehot).unwrap();
         assert!((lh - ls).abs() < 1e-6);
@@ -247,8 +255,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits =
-            Tensor::from_vec(vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        let logits = Tensor::from_vec(vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
         assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
     }

@@ -9,7 +9,9 @@
 //! * [`filter_layer`] — the single trainable convolution of ZKA-R that maps
 //!   the static random image `A` to the synthetic image `B`.
 
-use crate::{Conv2d, ConvTranspose2d, Dense, Flatten, MaxPool2d, Relu, Reshape, Sequential, Sigmoid};
+use crate::{
+    Conv2d, ConvTranspose2d, Dense, Flatten, MaxPool2d, Relu, Reshape, Sequential, Sigmoid,
+};
 use rand::Rng;
 
 /// The Fashion-MNIST-scale classifier of the paper: input `[N, 1, 28, 28]`,
@@ -77,7 +79,10 @@ pub fn tcnn_generator<R: Rng + ?Sized>(
     width: usize,
     rng: &mut R,
 ) -> Sequential {
-    assert!(height % 4 == 0 && width % 4 == 0, "generator needs H, W divisible by 4");
+    assert!(
+        height.is_multiple_of(4) && width.is_multiple_of(4),
+        "generator needs H, W divisible by 4"
+    );
     let (h0, w0) = (height / 4, width / 4);
     let stem = 32usize;
     let mut g = Sequential::new();
@@ -178,7 +183,9 @@ mod tests {
         let mut losses = Vec::new();
         for _ in 0..8 {
             let loss = m
-                .train_step(&x, 0.05, |logits| softmax_cross_entropy_hard(logits, &labels))
+                .train_step(&x, 0.05, |logits| {
+                    softmax_cross_entropy_hard(logits, &labels)
+                })
                 .unwrap();
             losses.push(loss);
         }

@@ -45,7 +45,12 @@ impl Sgd {
     /// Panics when `lr <= 0`.
     pub fn new(lr: f32) -> Sgd {
         assert!(lr > 0.0, "learning rate must be positive");
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Enables classical momentum `v ← μv + g`.
@@ -93,7 +98,9 @@ impl Sgd {
                 *p -= self.lr * g_eff;
             }
         }
-        model.set_flat_params(&params).expect("parameter count is unchanged");
+        model
+            .set_flat_params(&params)
+            .expect("parameter count is unchanged");
     }
 
     /// Clears the momentum state (e.g. when re-seeding a client from a new

@@ -21,7 +21,12 @@ impl MaxPool2d {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> MaxPool2d {
         assert!(k > 0, "pool window must be positive");
-        MaxPool2d { k, argmax: None, in_shape: None, out_len: 0 }
+        MaxPool2d {
+            k,
+            argmax: None,
+            in_shape: None,
+            out_len: 0,
+        }
     }
 }
 
@@ -33,7 +38,12 @@ impl Layer for MaxPool2d {
                 detail: format!("expected rank-4 input, got {:?}", input.shape()),
             });
         }
-        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
         let k = self.k;
         if h < k || w < k {
             return Err(NnError::BadInput {
@@ -76,8 +86,14 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let argmax = self.argmax.as_ref().ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
-        let in_shape = self.in_shape.clone().ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
+        let argmax = self
+            .argmax
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
+        let in_shape = self
+            .in_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
         if grad_out.len() != self.out_len {
             return Err(NnError::BadInput {
                 layer: "MaxPool2d",

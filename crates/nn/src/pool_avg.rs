@@ -29,7 +29,12 @@ impl Layer for AvgPool2d {
                 detail: format!("expected rank-4 input, got {:?}", input.shape()),
             });
         }
-        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
         let k = self.k;
         if h < k || w < k {
             return Err(NnError::BadInput {
@@ -64,14 +69,20 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let in_shape = self.in_shape.clone().ok_or(NnError::BackwardBeforeForward("AvgPool2d"))?;
+        let in_shape = self
+            .in_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward("AvgPool2d"))?;
         let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
         let k = self.k;
         let (oh, ow) = (h / k, w / k);
         if grad_out.shape() != [n, c, oh, ow] {
             return Err(NnError::BadInput {
                 layer: "AvgPool2d",
-                detail: format!("grad shape {:?}, expected [{n}, {c}, {oh}, {ow}]", grad_out.shape()),
+                detail: format!(
+                    "grad shape {:?}, expected [{n}, {c}, {oh}, {ow}]",
+                    grad_out.shape()
+                ),
             });
         }
         let inv = 1.0 / (k * k) as f32;

@@ -137,7 +137,10 @@ impl Sequential {
     pub fn set_flat_params(&mut self, flat: &[f32]) -> Result<(), NnError> {
         let expected = self.num_params();
         if flat.len() != expected {
-            return Err(NnError::ParamLengthMismatch { expected, actual: flat.len() });
+            return Err(NnError::ParamLengthMismatch {
+                expected,
+                actual: flat.len(),
+            });
         }
         let mut offset = 0usize;
         for layer in &mut self.layers {
@@ -160,7 +163,10 @@ impl Sequential {
     pub fn add_to_grads(&mut self, extra: &[f32]) -> Result<(), NnError> {
         let expected = self.num_params();
         if extra.len() != expected {
-            return Err(NnError::ParamLengthMismatch { expected, actual: extra.len() });
+            return Err(NnError::ParamLengthMismatch {
+                expected,
+                actual: extra.len(),
+            });
         }
         let mut offset = 0usize;
         for layer in &mut self.layers {

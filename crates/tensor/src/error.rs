@@ -43,10 +43,20 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape product {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape product {expected}"
+                )
             }
-            TensorError::RankMismatch { op, expected, actual } => {
-                write!(f, "`{op}` requires rank-{expected} tensor, got rank {actual}")
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "`{op}` requires rank-{expected} tensor, got rank {actual}"
+                )
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
         }
@@ -62,9 +72,20 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            TensorError::ShapeMismatch { op: "add", lhs: vec![2], rhs: vec![3] },
-            TensorError::LengthMismatch { expected: 4, actual: 3 },
-            TensorError::RankMismatch { op: "matmul", expected: 2, actual: 1 },
+            TensorError::ShapeMismatch {
+                op: "add",
+                lhs: vec![2],
+                rhs: vec![3],
+            },
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: 1,
+            },
             TensorError::InvalidGeometry("kernel 5 > input 3".into()),
         ];
         for e in errs {

@@ -15,9 +15,16 @@ use crate::TensorError;
 ///
 /// Returns [`TensorError::InvalidGeometry`] when the kernel does not fit the
 /// padded input or `stride == 0`.
-pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize, TensorError> {
+pub fn conv_out_dim(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<usize, TensorError> {
     if stride == 0 {
-        return Err(TensorError::InvalidGeometry("stride must be positive".into()));
+        return Err(TensorError::InvalidGeometry(
+            "stride must be positive".into(),
+        ));
     }
     let padded = input + 2 * pad;
     if kernel == 0 || kernel > padded {
@@ -72,7 +79,11 @@ pub fn im2col(
                     let src_row = &img_ch[iy as usize * w..(iy as usize + 1) * w];
                     for (ox, v) in dst.iter_mut().enumerate() {
                         let ix = (ox * stride + kx) as isize - pad as isize;
-                        *v = if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
+                        *v = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
                     }
                 }
             }

@@ -30,12 +30,16 @@
 mod error;
 mod im2col;
 mod matmul;
+pub mod par;
 mod tensor;
 pub mod vecops;
 
 pub use error::TensorError;
 pub use im2col::{col2im, conv_out_dim, im2col};
-pub use matmul::{matmul, matmul_into, matmul_transpose_a, matmul_transpose_b};
+pub use matmul::{
+    matmul, matmul_into, matmul_into_serial, matmul_transpose_a, matmul_transpose_a_serial,
+    matmul_transpose_b, matmul_transpose_b_serial, PAR_FLOP_THRESHOLD,
+};
 pub use tensor::Tensor;
 
 #[cfg(test)]

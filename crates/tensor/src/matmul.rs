@@ -1,13 +1,398 @@
 //! Matrix multiplication kernels.
 //!
 //! All matrices are dense row-major `f32` slices with explicit dimensions.
-//! The `ikj` loop order keeps the innermost loop streaming over contiguous
-//! memory of both the output row and the `b` row, which is the single most
-//! important optimization for the convolution-by-im2col path.
+//! Each operation exists in two forms sharing one per-row micro-kernel:
+//!
+//! * a `*_serial` reference that walks rows in order on the calling thread;
+//! * the public entry point, which row-parallelizes across the
+//!   [`crate::par`] thread budget once the FLOP count crosses
+//!   [`PAR_FLOP_THRESHOLD`].
+//!
+//! The micro-kernels fix each output element's floating-point operation
+//! sequence as a function of the element's position and the matrix
+//! dimensions alone: per `k`-panel the partial dot product accumulates in
+//! registers via an ascending-`p` FMA chain and is flushed into `c` with a
+//! single add. The `MR`-row block path and the single-row remainder path
+//! follow the exact same per-element sequence, and row partitioning never
+//! splits an element's accumulation, so the parallel results are bitwise
+//! identical to the serial reference at any thread count — see
+//! `crates/tensor/src/proptests.rs`.
+//!
+//! The kernels are cache-blocked: `k` is tiled in `KC` panels so a panel of
+//! `b` stays in L2 across an output row block, `n` is tiled in `NC` columns
+//! so the active output slices stay in L1, and rows are processed `MR` at a
+//! time so each loaded `b` row is reused `MR` times. Within a column tile,
+//! `WR`-wide stacks of accumulators stay in SIMD registers across the whole
+//! `k` panel, so `c` is touched once per panel instead of once per `p`. The
+//! dense path carries no `a_ip == 0.0` skip (the branch defeated
+//! vectorization and only helped on the mostly-zero one-hot matrices that
+//! no hot path multiplies today).
 
-use crate::{Tensor, TensorError};
+use crate::{par, Tensor, TensorError};
+
+/// `k`-panel height: one panel of `b` (`KC·NC` floats) stays L2-resident.
+const KC: usize = 256;
+/// Column-tile width: an `MR`-row output tile (`MR·NC` floats) fits in L1.
+const NC: usize = 1024;
+/// Rows processed together by the micro-kernels.
+const MR: usize = 4;
+/// Register-tile width: one `MR×WR` accumulator block lives in SIMD
+/// registers for the duration of a `k` panel.
+const WR: usize = 64;
+
+/// Minimum `2·m·k·n` FLOP count before the kernels fan out to threads.
+/// Below this the dispatch overhead outweighs the parallel win.
+pub const PAR_FLOP_THRESHOLD: u64 = 1 << 23;
+
+fn flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+/// Picks a row-chunk size that spreads `m` rows over the thread budget.
+fn rows_per_chunk(m: usize) -> usize {
+    let threads = par::max_threads();
+    // Aim for a few chunks per thread so uneven rows still balance.
+    m.div_ceil(threads * 4).max(1)
+}
+
+// ------------------------------------------------------------ micro-kernels
+
+/// One `R`-row × `WR`-column register-tile update for a single `k` panel:
+/// zeroed accumulators, an ascending-`p` FMA chain (`av(p)` yields the `R`
+/// broadcast values of `a` for step `p`), then one flush add into `c`. The
+/// remainder columns past the last full `WR` tile follow the exact same
+/// per-element sequence with scalar accumulators, so every output element's
+/// float-op order depends only on its position and the dimensions — never
+/// on `R`, the thread count, or whether `b` was packed.
+///
+/// The panel of `b` is addressed as `bp[b_base + (p - pb) * b_stride + j]`,
+/// which covers both the original row-major matrix (`b_base = pb·n + jb`,
+/// `b_stride = n`) and a packed contiguous panel (`b_base = 0`,
+/// `b_stride = width`).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn mr_block<const R: usize>(
+    av: impl Fn(usize) -> [f32; R],
+    bp: &[f32],
+    b_base: usize,
+    b_stride: usize,
+    pb: usize,
+    pe: usize,
+    width: usize,
+    c_rows: &mut [f32],
+    c_base: usize,
+    c_stride: usize,
+) {
+    let wr_end = width - width % WR;
+    let mut jw = 0;
+    while jw + WR <= width {
+        let mut acc = [[0.0f32; WR]; R];
+        for p in pb..pe {
+            let a_vals = av(p);
+            let off = b_base + (p - pb) * b_stride + jw;
+            let bv = &bp[off..off + WR];
+            for r in 0..R {
+                let ar = a_vals[r];
+                let accr = &mut acc[r];
+                for t in 0..WR {
+                    accr[t] = ar.mul_add(bv[t], accr[t]);
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let cr = &mut c_rows[c_base + r * c_stride + jw..c_base + r * c_stride + jw + WR];
+            for t in 0..WR {
+                cr[t] += accr[t];
+            }
+        }
+        jw += WR;
+    }
+    for t in wr_end..width {
+        let mut s = [0.0f32; R];
+        for p in pb..pe {
+            let a_vals = av(p);
+            let bv = bp[b_base + (p - pb) * b_stride + t];
+            for r in 0..R {
+                s[r] = a_vals[r].mul_add(bv, s[r]);
+            }
+        }
+        for (r, sr) in s.iter().enumerate() {
+            c_rows[c_base + r * c_stride + t] += sr;
+        }
+    }
+}
+
+/// Minimum row count before a `b` panel is copied into a contiguous
+/// scratch buffer. Packing costs one sweep over the panel and pays off
+/// through TLB-friendly streaming once enough `MR` blocks reuse it; below
+/// the threshold the kernels read `b` in place. Results are bitwise
+/// identical either way — packing changes layout, not operation order.
+const PACK_MIN_ROWS: usize = 16;
+
+/// Copies rows `pb..pe`, columns `jb..jb+width` of row-major `b` into the
+/// head of `scratch`, returning the packed panel.
+fn pack_panel<'s>(
+    b: &[f32],
+    n: usize,
+    jb: usize,
+    pb: usize,
+    pe: usize,
+    width: usize,
+    scratch: &'s mut [f32],
+) -> &'s [f32] {
+    let packed = &mut scratch[..(pe - pb) * width];
+    for (q, p) in (pb..pe).enumerate() {
+        packed[q * width..(q + 1) * width].copy_from_slice(&b[p * n + jb..p * n + jb + width]);
+    }
+    packed
+}
+
+/// Scratch sized for the largest panel a `k×n` problem can need.
+fn panel_scratch(k: usize, n: usize) -> Vec<f32> {
+    vec![0.0f32; KC.min(k) * NC.min(n)]
+}
+
+/// Computes `c_rows += a_rows · b` for `rows` output rows starting at
+/// global row `row0`. `a` and `b` are the full input matrices; `c_rows` is
+/// exactly `rows·n` long. Full `MR`-row blocks and leftover single rows run
+/// the same [`mr_block`] tile, so their per-element math is identical.
+fn kernel_into(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(c_rows.len(), rows * n);
+    let pack = rows >= PACK_MIN_ROWS;
+    let mut scratch = if pack {
+        panel_scratch(k, n)
+    } else {
+        Vec::new()
+    };
+    for jb in (0..n).step_by(NC) {
+        let je = (jb + NC).min(n);
+        let width = je - jb;
+        for pb in (0..k).step_by(KC) {
+            let pe = (pb + KC).min(k);
+            let (bp, b_base, b_stride): (&[f32], usize, usize) = if pack {
+                (pack_panel(b, n, jb, pb, pe, width, &mut scratch), 0, width)
+            } else {
+                (b, pb * n + jb, n)
+            };
+            let mut i = 0;
+            while i + MR <= rows {
+                let a_base = (row0 + i) * k;
+                mr_block::<MR>(
+                    |p| std::array::from_fn(|r| a[a_base + r * k + p]),
+                    bp,
+                    b_base,
+                    b_stride,
+                    pb,
+                    pe,
+                    width,
+                    c_rows,
+                    i * n + jb,
+                    n,
+                );
+                i += MR;
+            }
+            while i < rows {
+                let a_base = (row0 + i) * k;
+                mr_block::<1>(
+                    |p| [a[a_base + p]],
+                    bp,
+                    b_base,
+                    b_stride,
+                    pb,
+                    pe,
+                    width,
+                    c_rows,
+                    i * n + jb,
+                    n,
+                );
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Computes `c_rows += aᵀ · b` rows (`a` stored `k×m`): the transpose-A
+/// analogue of [`kernel_into`]. The `MR` per-row broadcasts read `MR`
+/// consecutive elements of each `a` row, so the strided access stays cheap.
+#[allow(clippy::too_many_arguments)]
+fn kernel_transpose_a(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(c_rows.len(), rows * n);
+    let pack = rows >= PACK_MIN_ROWS;
+    let mut scratch = if pack {
+        panel_scratch(k, n)
+    } else {
+        Vec::new()
+    };
+    for jb in (0..n).step_by(NC) {
+        let je = (jb + NC).min(n);
+        let width = je - jb;
+        for pb in (0..k).step_by(KC) {
+            let pe = (pb + KC).min(k);
+            let (bp, b_base, b_stride): (&[f32], usize, usize) = if pack {
+                (pack_panel(b, n, jb, pb, pe, width, &mut scratch), 0, width)
+            } else {
+                (b, pb * n + jb, n)
+            };
+            let mut i = 0;
+            while i + MR <= rows {
+                let col = row0 + i;
+                mr_block::<MR>(
+                    |p| std::array::from_fn(|r| a[p * m + col + r]),
+                    bp,
+                    b_base,
+                    b_stride,
+                    pb,
+                    pe,
+                    width,
+                    c_rows,
+                    i * n + jb,
+                    n,
+                );
+                i += MR;
+            }
+            while i < rows {
+                let col = row0 + i;
+                mr_block::<1>(
+                    |p| [a[p * m + col]],
+                    bp,
+                    b_base,
+                    b_stride,
+                    pb,
+                    pe,
+                    width,
+                    c_rows,
+                    i * n + jb,
+                    n,
+                );
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Number of independent accumulator lanes in [`dot_lanes`].
+const DOT_LANES: usize = 16;
+
+/// Dot product over `DOT_LANES` independent FMA lanes with a fixed binary
+/// reduction tree — identical at every call site (part of the determinism
+/// contract).
+#[inline]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    const L: usize = DOT_LANES;
+    let mut acc = [0.0f32; L];
+    let chunks = a.len() / L;
+    for q in 0..chunks {
+        let av = &a[q * L..q * L + L];
+        let bv = &b[q * L..q * L + L];
+        for t in 0..L {
+            acc[t] = av[t].mul_add(bv[t], acc[t]);
+        }
+    }
+    let mut w = L / 2;
+    while w > 0 {
+        for t in 0..w {
+            acc[t] += acc[t + w];
+        }
+        w /= 2;
+    }
+    let mut s = acc[0];
+    for t in chunks * L..a.len() {
+        s = a[t].mul_add(b[t], s);
+    }
+    s
+}
+
+/// Computes `c_rows += a_rows · bᵀ` (`b` stored `n×k`): row-against-row dot
+/// products. Both operands stream contiguously, so no `k`-tiling is needed;
+/// `j` is tiled to keep the active `b` rows L2-resident across the row
+/// block.
+fn kernel_transpose_b(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(c_rows.len(), rows * n);
+    let jc = (NC * KC / k.max(1)).max(8);
+    for jb in (0..n).step_by(jc) {
+        let je = (jb + jc).min(n);
+        for i in 0..rows {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let c_row = &mut c_rows[i * n + jb..i * n + je];
+            for (j, c_v) in (jb..je).zip(c_row.iter_mut()) {
+                *c_v += dot_lanes(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- serial reference
+
+/// Serial reference for [`matmul_into`]: same micro-kernel, no threads.
+pub fn matmul_into_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    kernel_into(a, b, c, 0, m, k, n);
+}
+
+/// Serial reference for [`matmul_transpose_a`].
+pub fn matmul_transpose_a_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    kernel_transpose_a(a, b, c, 0, m, m, k, n);
+}
+
+/// Serial reference for [`matmul_transpose_b`].
+pub fn matmul_transpose_b_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    kernel_transpose_b(a, b, c, 0, m, k, n);
+}
+
+// ------------------------------------------------------- public entry points
 
 /// Computes `c += a (m×k) · b (k×n)` into a caller-provided buffer.
+///
+/// Row-parallel above [`PAR_FLOP_THRESHOLD`]; bitwise identical to
+/// [`matmul_into_serial`] at any thread count.
 ///
 /// # Panics
 ///
@@ -16,19 +401,51 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_ip * b_v;
-            }
-        }
+    if flops(m, k, n) < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+        kernel_into(a, b, c, 0, m, k, n);
+        return;
     }
+    let rows = rows_per_chunk(m);
+    par::for_each_chunk_mut(c, rows * n, |chunk, c_rows| {
+        let row0 = chunk * rows;
+        kernel_into(a, b, c_rows, row0, c_rows.len() / n, k, n);
+    });
+}
+
+/// Computes `aᵀ (k×m)ᵀ · b (k×n) -> (m×n)` without materializing `aᵀ`.
+///
+/// `a` is stored as `k×m`. Used for weight gradients (`grad_w = δᵀ·x`).
+pub fn matmul_transpose_a(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if flops(m, k, n) < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+        kernel_transpose_a(a, b, c, 0, m, m, k, n);
+        return;
+    }
+    let rows = rows_per_chunk(m);
+    par::for_each_chunk_mut(c, rows * n, |chunk, c_rows| {
+        let row0 = chunk * rows;
+        kernel_transpose_a(a, b, c_rows, row0, c_rows.len() / n, m, k, n);
+    });
+}
+
+/// Computes `a (m×k) · bᵀ (n×k)ᵀ -> (m×n)` without materializing `bᵀ`.
+///
+/// `b` is stored as `n×k`. Used for input gradients of dense layers.
+pub fn matmul_transpose_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    if flops(m, k, n) < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+        kernel_transpose_b(a, b, c, 0, m, k, n);
+        return;
+    }
+    let rows = rows_per_chunk(m);
+    par::for_each_chunk_mut(c, rows * n, |chunk, c_rows| {
+        let row0 = chunk * rows;
+        kernel_transpose_b(a, b, c_rows, row0, c_rows.len() / n, k, n);
+    });
 }
 
 /// Multiplies two rank-2 tensors: `a (m×k) · b (k×n) -> (m×n)`.
@@ -47,10 +464,18 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: a.rank() });
+        return Err(TensorError::RankMismatch {
+            op: "matmul",
+            expected: 2,
+            actual: a.rank(),
+        });
     }
     if b.rank() != 2 {
-        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: b.rank() });
+        return Err(TensorError::RankMismatch {
+            op: "matmul",
+            expected: 2,
+            actual: b.rank(),
+        });
     }
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
@@ -64,49 +489,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut c = Tensor::zeros(vec![m, n]);
     matmul_into(a.data(), b.data(), c.data_mut(), m, k, n);
     Ok(c)
-}
-
-/// Computes `aᵀ (k×m)ᵀ · b (k×n) -> (m×n)` without materializing `aᵀ`.
-///
-/// `a` is stored as `k×m`. Used for weight gradients (`grad_w = δᵀ·x`).
-pub fn matmul_transpose_a(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_pi * b_v;
-            }
-        }
-    }
-}
-
-/// Computes `a (m×k) · bᵀ (n×k)ᵀ -> (m×n)` without materializing `bᵀ`.
-///
-/// `b` is stored as `n×k`. Used for input gradients of dense layers.
-pub fn matmul_transpose_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, c_v) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&a_v, &b_v) in a_row.iter().zip(b_row) {
-                acc += a_v * b_v;
-            }
-            *c_v += acc;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -130,9 +512,15 @@ mod tests {
     fn matmul_rejects_bad_shapes() {
         let a = t(&[2, 3], &[0.0; 6]);
         let b = t(&[2, 3], &[0.0; 6]);
-        assert!(matches!(matmul(&a, &b), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
         let v = t(&[3], &[0.0; 3]);
-        assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            matmul(&v, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -162,5 +550,33 @@ mod tests {
         let mut c = [10.0, 10.0, 10.0, 10.0];
         matmul_into(&a, &b, &mut c, 2, 2, 2);
         assert_eq!(c, [11.0, 12.0, 13.0, 14.0]);
+    }
+
+    /// Sizes straddling the MR/KC/NC tile boundaries against a textbook
+    /// triple loop (exact equality holds: small integer-valued inputs).
+    #[test]
+    fn tiled_kernels_match_naive_on_awkward_sizes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 4, 4),
+            (5, 7, 9),
+            (6, 3, 5),
+            (9, 2, 11),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|v| ((v % 7) as f32) - 3.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|v| ((v % 5) as f32) - 2.0).collect();
+            let mut naive = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    for p in 0..k {
+                        naive[i * n + j] += a[i * k + p] * b[p * n + j];
+                    }
+                }
+            }
+            let mut c = vec![0.0f32; m * n];
+            matmul_into(&a, &b, &mut c, m, k, n);
+            assert_eq!(c, naive, "matmul_into {m}x{k}x{n}");
+        }
     }
 }

@@ -1,0 +1,200 @@
+//! Deterministic parallel execution helpers shared by the whole stack.
+//!
+//! # Parallelism/determinism contract
+//!
+//! Every helper in this module partitions work into *fixed* units (rows,
+//! samples, or fixed-size coordinate chunks) whose boundaries do not depend
+//! on the number of worker threads. Each unit is computed independently and
+//! results are merged in unit order on the calling thread, so every f32
+//! produced under `FABFLIP_THREADS=1` is bitwise identical to the output at
+//! any other thread count.
+//!
+//! The thread budget is resolved once per process, in priority order:
+//! 1. [`set_max_threads`] (e.g. from a CLI flag),
+//! 2. the `FABFLIP_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Fixed coordinate-chunk length used by chunked reductions (`vecops`).
+/// Part of the determinism contract: changing it re-tiles the reductions
+/// but still cannot change results, because chunks never split a single
+/// coordinate's accumulation.
+pub const CHUNK: usize = 4096;
+
+/// Caps the worker threads used by all fabflip parallel helpers.
+///
+/// Call before any parallel work runs (the value is consulted on every
+/// dispatch, but in-flight dispatches keep the count they started with).
+/// `run_grid`-style outer loops set this to 1 in their workers so nested
+/// parallelism does not oversubscribe the machine.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current worker-thread budget (≥ 1).
+pub fn max_threads() -> usize {
+    let cached = MAX_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("FABFLIP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    MAX_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Runs `f(i)` for `i in 0..n` across the thread budget and returns results
+/// in index order. Work is split into one contiguous index block per
+/// worker; since each `f(i)` depends only on `i`, the output is identical
+/// to the serial `(0..n).map(f).collect()`.
+pub fn map_collect<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = max_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let block = n.div_ceil(threads);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * block;
+            let hi = ((t + 1) * block).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>()));
+        }
+        for handle in handles {
+            out.push(handle.join().expect("fabflip parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Splits `data` into consecutive `chunk_len`-sized pieces and runs
+/// `f(chunk_index, chunk)` on each, in parallel. Chunk boundaries depend
+/// only on `chunk_len`, so any per-chunk computation that is a pure
+/// function of `(chunk_index, chunk)` yields thread-count-independent
+/// results.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = max_threads().min(n_chunks.max(1));
+    if threads <= 1 {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of whole chunks.
+    let chunks_per_worker = n_chunks.div_ceil(threads);
+    let items_per_worker = chunks_per_worker * chunk_len;
+    std::thread::scope(|scope| {
+        for (w, span) in data.chunks_mut(items_per_worker).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, chunk) in span.chunks_mut(chunk_len).enumerate() {
+                    f(w * chunks_per_worker + i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Like [`for_each_chunk_mut`] but each chunk also produces a value;
+/// results are returned in chunk order.
+pub fn map_chunks_mut<T, R, F>(data: &mut [T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = max_threads().min(n_chunks.max(1));
+    if threads <= 1 {
+        return data
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(idx, chunk)| f(idx, chunk))
+            .collect();
+    }
+    let chunks_per_worker = n_chunks.div_ceil(threads);
+    let items_per_worker = chunks_per_worker * chunk_len;
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, span) in data.chunks_mut(items_per_worker).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                span.chunks_mut(chunk_len)
+                    .enumerate()
+                    .map(|(i, chunk)| f(w * chunks_per_worker + i, chunk))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for handle in handles {
+            out.push(handle.join().expect("fabflip parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let par = map_collect(1000, |i| i * i);
+        let ser: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_chunk_once() {
+        let mut data = vec![0u32; 10_000];
+        for_each_chunk_mut(&mut data, 33, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + idx as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (i / 33) as u32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_mut_returns_in_chunk_order() {
+        let mut data: Vec<usize> = (0..1000).collect();
+        let firsts = map_chunks_mut(&mut data, 64, |idx, chunk| (idx, chunk[0]));
+        for (i, (idx, first)) in firsts.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*first, i * 64);
+        }
+    }
+
+    #[test]
+    fn thread_budget_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -130,3 +130,141 @@ proptest! {
         prop_assert!((vecops::l2_norm(&u) - 1.0).abs() < 1e-3);
     }
 }
+
+/// Bitwise equivalence of the parallel kernels and their serial references.
+///
+/// The public entry points only fan out above their work thresholds, so
+/// these tests pin the thread budget to a value > 1 and use shapes big
+/// enough to cross the thresholds; a process-local lock keeps the budget
+/// stable while each case runs.
+mod parallel_equivalence {
+    use crate::{
+        matmul_into, matmul_into_serial, matmul_transpose_a, matmul_transpose_a_serial,
+        matmul_transpose_b, matmul_transpose_b_serial, par, vecops, PAR_FLOP_THRESHOLD,
+    };
+    use proptest::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that pin the global thread budget.
+    static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = par::max_threads();
+        par::set_max_threads(n);
+        let out = f();
+        par::set_max_threads(prev);
+        drop(guard);
+        out
+    }
+
+    /// Cheap deterministic fill in [-1, 1) (SplitMix64 mix).
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Smallest `n` that pushes `2·m·k·n` past the parallel threshold.
+    fn crossing_n(m: usize, k: usize) -> usize {
+        (PAR_FLOP_THRESHOLD as usize).div_ceil(2 * m * k) + 1
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn matmul_into_parallel_is_bitwise_serial(
+            m in 33usize..70, k in 30usize..90, seed in 0u64..1_000_000
+        ) {
+            let n = crossing_n(m, k);
+            let a = fill(seed, m * k);
+            let b = fill(seed ^ 0xABCD, k * n);
+            let c0 = fill(seed ^ 0x1234, m * n);
+            let mut c_par = c0.clone();
+            with_threads(4, || matmul_into(&a, &b, &mut c_par, m, k, n));
+            let mut c_ser = c0;
+            matmul_into_serial(&a, &b, &mut c_ser, m, k, n);
+            prop_assert_eq!(bits(&c_par), bits(&c_ser));
+        }
+
+        #[test]
+        fn matmul_transpose_a_parallel_is_bitwise_serial(
+            m in 33usize..70, k in 30usize..90, seed in 0u64..1_000_000
+        ) {
+            let n = crossing_n(m, k);
+            let a = fill(seed, k * m);
+            let b = fill(seed ^ 0xABCD, k * n);
+            let c0 = fill(seed ^ 0x1234, m * n);
+            let mut c_par = c0.clone();
+            with_threads(4, || matmul_transpose_a(&a, &b, &mut c_par, m, k, n));
+            let mut c_ser = c0;
+            matmul_transpose_a_serial(&a, &b, &mut c_ser, m, k, n);
+            prop_assert_eq!(bits(&c_par), bits(&c_ser));
+        }
+
+        #[test]
+        fn matmul_transpose_b_parallel_is_bitwise_serial(
+            m in 33usize..70, k in 30usize..90, seed in 0u64..1_000_000
+        ) {
+            let n = crossing_n(m, k);
+            let a = fill(seed, m * k);
+            let b = fill(seed ^ 0xABCD, n * k);
+            let c0 = fill(seed ^ 0x1234, m * n);
+            let mut c_par = c0.clone();
+            with_threads(4, || matmul_transpose_b(&a, &b, &mut c_par, m, k, n));
+            let mut c_ser = c0;
+            matmul_transpose_b_serial(&a, &b, &mut c_ser, m, k, n);
+            prop_assert_eq!(bits(&c_par), bits(&c_ser));
+        }
+
+        #[test]
+        fn vecops_reductions_parallel_are_bitwise_serial(
+            nv in 7usize..10, seed in 0u64..1_000_000
+        ) {
+            // nv · d must cross the vecops work threshold (1 << 20 floats).
+            let d = 160_000usize;
+            let data: Vec<Vec<f32>> = (0..nv).map(|i| fill(seed ^ i as u64, d)).collect();
+            let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+            let (mean_p, std_p, med_p, tm_p) = with_threads(4, || {
+                (
+                    vecops::mean(&refs),
+                    vecops::std_dev(&refs),
+                    vecops::median(&refs),
+                    vecops::trimmed_mean(&refs, 2),
+                )
+            });
+            prop_assert_eq!(bits(&mean_p), bits(&vecops::mean_serial(&refs)));
+            prop_assert_eq!(bits(&std_p), bits(&vecops::std_dev_serial(&refs)));
+            prop_assert_eq!(bits(&med_p), bits(&vecops::median_serial(&refs)));
+            prop_assert_eq!(bits(&tm_p), bits(&vecops::trimmed_mean_serial(&refs, 2)));
+        }
+
+        #[test]
+        fn pairwise_sq_distances_parallel_is_bitwise_serial(
+            nv in 11usize..14, seed in 0u64..1_000_000
+        ) {
+            // pairs · d must cross the work threshold: C(11,2)=55 pairs.
+            let d = 20_000usize;
+            let data: Vec<Vec<f32>> = (0..nv).map(|i| fill(seed ^ i as u64, d)).collect();
+            let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+            let par_d = with_threads(4, || vecops::pairwise_sq_distances(&refs));
+            let ser_d = vecops::pairwise_sq_distances_serial(&refs);
+            for (rp, rs) in par_d.iter().zip(&ser_d) {
+                prop_assert_eq!(bits(rp), bits(rs));
+            }
+        }
+    }
+}

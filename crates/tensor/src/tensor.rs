@@ -42,7 +42,10 @@ impl fmt::Debug for Tensor {
 
 impl Default for Tensor {
     fn default() -> Self {
-        Tensor { shape: vec![0], data: Vec::new() }
+        Tensor {
+            shape: vec![0],
+            data: Vec::new(),
+        }
     }
 }
 
@@ -56,13 +59,19 @@ impl Tensor {
     /// ```
     pub fn zeros(shape: Vec<usize>) -> Tensor {
         let n: usize = shape.iter().product();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Vec<usize>, value: f32) -> Tensor {
         let n: usize = shape.iter().product();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Creates a tensor from a flat buffer.
@@ -74,7 +83,10 @@ impl Tensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Tensor, TensorError> {
         let n: usize = shape.iter().product();
         if n != data.len() {
-            return Err(TensorError::LengthMismatch { expected: n, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -144,9 +156,15 @@ impl Tensor {
     pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor, TensorError> {
         let n: usize = shape.iter().product();
         if n != self.data.len() {
-            return Err(TensorError::LengthMismatch { expected: n, actual: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: self.data.len(),
+            });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Reshapes in place (no copy).
@@ -157,7 +175,10 @@ impl Tensor {
     pub fn reshape_in_place(&mut self, shape: Vec<usize>) -> Result<(), TensorError> {
         let n: usize = shape.iter().product();
         if n != self.data.len() {
-            return Err(TensorError::LengthMismatch { expected: n, actual: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: self.data.len(),
+            });
         }
         self.shape = shape;
         Ok(())
@@ -181,8 +202,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "add")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Element-wise subtraction (`self - other`).
@@ -192,8 +221,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "sub")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Element-wise multiplication.
@@ -203,8 +240,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "mul")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// In-place `self += alpha * other`.
@@ -223,7 +268,10 @@ impl Tensor {
     /// Returns a copy scaled by `alpha`.
     pub fn scale(&self, alpha: f32) -> Tensor {
         let data = self.data.iter().map(|a| a * alpha).collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Scales in place by `alpha`.
@@ -236,7 +284,10 @@ impl Tensor {
     /// Applies `f` element-wise, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Fills every element with zero (reuses the allocation).
@@ -310,7 +361,11 @@ impl Tensor {
     /// [`TensorError::InvalidGeometry`] if `i` is out of range.
     pub fn slice_batch(&self, i: usize) -> Result<Tensor, TensorError> {
         if self.shape.is_empty() {
-            return Err(TensorError::RankMismatch { op: "slice_batch", expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                op: "slice_batch",
+                expected: 1,
+                actual: 0,
+            });
         }
         let n = self.shape[0];
         if i >= n {
@@ -388,7 +443,13 @@ mod tests {
     fn from_vec_checks_length() {
         assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
         let err = Tensor::from_vec(vec![2, 2], vec![1.0; 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
     }
 
     #[test]

@@ -4,6 +4,19 @@
 //! model-poisoning attacks (LIE, Min-Max, the ZKA distance regularizer) are
 //! all defined on the flattened weight vector of a model. This module is the
 //! shared vocabulary for those computations.
+//!
+//! The set-reductions (`mean`, `std_dev`, `median`, `trimmed_mean`,
+//! `pairwise_sq_distances`) are chunk-parallel: coordinates are tiled into
+//! fixed [`par::CHUNK`]-sized blocks dispatched across the [`crate::par`]
+//! thread budget. Chunk boundaries never split a coordinate's reduction, so
+//! results are bitwise identical to the retained `*_serial` references at
+//! any thread count.
+
+use crate::par;
+
+/// Work threshold (total input floats) below which the set-reductions stay
+/// on the calling thread.
+const PAR_ELEMS: usize = 1 << 20;
 
 /// Dot product of two equally long slices.
 ///
@@ -22,12 +35,35 @@ pub fn l2_norm(a: &[f32]) -> f32 {
 
 /// Squared Euclidean distance between two vectors.
 ///
+/// Accumulates in four independent lanes combined as
+/// `((s0 + s1) + (s2 + s3)) + tail` — a fixed reduction tree that lets the
+/// compiler vectorize the hot Krum/Bulyan distance loops while staying
+/// deterministic across calls.
+///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn sq_distance(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "sq_distance: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for q in 0..chunks {
+        let t = q * 4;
+        let d0 = a[t] - b[t];
+        let d1 = a[t + 1] - b[t + 1];
+        let d2 = a[t + 2] - b[t + 2];
+        let d3 = a[t + 3] - b[t + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for t in chunks * 4..a.len() {
+        let d = a[t] - b[t];
+        tail += d * d;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
 }
 
 /// Euclidean distance between two vectors.
@@ -97,7 +133,92 @@ pub fn sign(a: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+/// Asserts every vector in `vs` has length `d`.
+fn check_lengths(vs: &[&[f32]], d: usize, op: &str) {
+    for v in vs {
+        assert_eq!(v.len(), d, "{op}: length mismatch");
+    }
+}
+
+/// Accumulation kernel shared by [`mean`] and [`mean_serial`]: fills
+/// `out[..]` (the coordinates starting at `lo`) with the vector-order sum
+/// scaled by `inv`.
+fn mean_chunk(vs: &[&[f32]], lo: usize, out: &mut [f32], inv: f32) {
+    out.fill(0.0);
+    let width = out.len();
+    for v in vs {
+        for (o, &x) in out.iter_mut().zip(&v[lo..lo + width]) {
+            *o += x;
+        }
+    }
+    for o in out {
+        *o *= inv;
+    }
+}
+
+/// Variance kernel shared by [`std_dev`] and [`std_dev_serial`];
+/// `m` is the already computed coordinate-wise mean.
+fn std_chunk(vs: &[&[f32]], lo: usize, out: &mut [f32], m: &[f32], inv: f32) {
+    out.fill(0.0);
+    for v in vs {
+        for (i, o) in out.iter_mut().enumerate() {
+            let diff = v[lo + i] - m[lo + i];
+            *o += diff * diff;
+        }
+    }
+    for o in out {
+        *o = (*o * inv).sqrt();
+    }
+}
+
+/// Sorted-column kernel shared by [`median`]/[`trimmed_mean`] and their
+/// serial references. For each coordinate of the chunk, gathers the column
+/// into `buf` (one scratch reused across the whole chunk), sorts it, and
+/// reduces via `pick`.
+fn sorted_column_chunk(
+    vs: &[&[f32]],
+    lo: usize,
+    out: &mut [f32],
+    buf: &mut Vec<f32>,
+    pick: impl Fn(&[f32]) -> f32,
+) {
+    buf.resize(vs.len(), 0.0);
+    for (i, o) in out.iter_mut().enumerate() {
+        for (slot, v) in buf.iter_mut().zip(vs) {
+            *slot = v[lo + i];
+        }
+        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+        *o = pick(buf);
+    }
+}
+
+fn median_of_sorted(buf: &[f32]) -> f32 {
+    let n = buf.len();
+    if n % 2 == 1 {
+        buf[n / 2]
+    } else {
+        0.5 * (buf[n / 2 - 1] + buf[n / 2])
+    }
+}
+
+/// Dispatches a per-chunk kernel over `out`, serially below the work
+/// threshold and chunk-parallel above it. `work` is the total number of
+/// input floats feeding the reduction.
+fn run_chunked(out: &mut [f32], work: usize, kernel: impl Fn(usize, &mut [f32]) + Sync) {
+    if work < PAR_ELEMS || par::max_threads() == 1 {
+        for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
+            kernel(idx * par::CHUNK, chunk);
+        }
+    } else {
+        par::for_each_chunk_mut(out, par::CHUNK, |idx, chunk| {
+            kernel(idx * par::CHUNK, chunk)
+        });
+    }
+}
+
 /// Coordinate-wise mean of a set of equally long vectors.
+///
+/// Chunk-parallel; bitwise identical to [`mean_serial`].
 ///
 /// # Panics
 ///
@@ -105,21 +226,31 @@ pub fn sign(a: &[f32]) -> Vec<f32> {
 pub fn mean(vs: &[&[f32]]) -> Vec<f32> {
     assert!(!vs.is_empty(), "mean of zero vectors");
     let d = vs[0].len();
-    let mut out = vec![0.0f32; d];
-    for v in vs {
-        assert_eq!(v.len(), d, "mean: length mismatch");
-        for (o, &x) in out.iter_mut().zip(*v) {
-            *o += x;
-        }
-    }
+    check_lengths(vs, d, "mean");
     let inv = 1.0 / vs.len() as f32;
-    for o in &mut out {
-        *o *= inv;
+    let mut out = vec![0.0f32; d];
+    run_chunked(&mut out, d * vs.len(), |lo, chunk| {
+        mean_chunk(vs, lo, chunk, inv)
+    });
+    out
+}
+
+/// Serial reference for [`mean`].
+pub fn mean_serial(vs: &[&[f32]]) -> Vec<f32> {
+    assert!(!vs.is_empty(), "mean of zero vectors");
+    let d = vs[0].len();
+    check_lengths(vs, d, "mean");
+    let inv = 1.0 / vs.len() as f32;
+    let mut out = vec![0.0f32; d];
+    for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
+        mean_chunk(vs, idx * par::CHUNK, chunk, inv);
     }
     out
 }
 
 /// Coordinate-wise (population) standard deviation of a set of vectors.
+///
+/// Chunk-parallel; bitwise identical to [`std_dev_serial`].
 ///
 /// # Panics
 ///
@@ -127,16 +258,22 @@ pub fn mean(vs: &[&[f32]]) -> Vec<f32> {
 pub fn std_dev(vs: &[&[f32]]) -> Vec<f32> {
     let m = mean(vs);
     let d = m.len();
-    let mut out = vec![0.0f32; d];
-    for v in vs {
-        for i in 0..d {
-            let diff = v[i] - m[i];
-            out[i] += diff * diff;
-        }
-    }
     let inv = 1.0 / vs.len() as f32;
-    for o in &mut out {
-        *o = (*o * inv).sqrt();
+    let mut out = vec![0.0f32; d];
+    run_chunked(&mut out, d * vs.len(), |lo, chunk| {
+        std_chunk(vs, lo, chunk, &m, inv)
+    });
+    out
+}
+
+/// Serial reference for [`std_dev`].
+pub fn std_dev_serial(vs: &[&[f32]]) -> Vec<f32> {
+    let m = mean_serial(vs);
+    let d = m.len();
+    let inv = 1.0 / vs.len() as f32;
+    let mut out = vec![0.0f32; d];
+    for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
+        std_chunk(vs, idx * par::CHUNK, chunk, &m, inv);
     }
     out
 }
@@ -145,7 +282,8 @@ pub fn std_dev(vs: &[&[f32]]) -> Vec<f32> {
 ///
 /// For an even count the lower-upper midpoint is used. NaN coordinates are
 /// sorted last and therefore never selected as median unless all values for
-/// the coordinate are NaN.
+/// the coordinate are NaN. Chunk-parallel with one sort scratch per chunk;
+/// bitwise identical to [`median_serial`].
 ///
 /// # Panics
 ///
@@ -153,22 +291,33 @@ pub fn std_dev(vs: &[&[f32]]) -> Vec<f32> {
 pub fn median(vs: &[&[f32]]) -> Vec<f32> {
     assert!(!vs.is_empty(), "median of zero vectors");
     let d = vs[0].len();
-    let n = vs.len();
-    let mut buf = vec![0.0f32; n];
+    check_lengths(vs, d, "median");
     let mut out = vec![0.0f32; d];
-    for (i, o) in out.iter_mut().enumerate() {
-        for (j, v) in vs.iter().enumerate() {
-            assert_eq!(v.len(), d, "median: length mismatch");
-            buf[j] = v[i];
-        }
-        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
-        *o = if n % 2 == 1 { buf[n / 2] } else { 0.5 * (buf[n / 2 - 1] + buf[n / 2]) };
+    run_chunked(&mut out, d * vs.len(), |lo, chunk| {
+        let mut buf = Vec::new();
+        sorted_column_chunk(vs, lo, chunk, &mut buf, median_of_sorted);
+    });
+    out
+}
+
+/// Serial reference for [`median`].
+pub fn median_serial(vs: &[&[f32]]) -> Vec<f32> {
+    assert!(!vs.is_empty(), "median of zero vectors");
+    let d = vs[0].len();
+    check_lengths(vs, d, "median");
+    let mut out = vec![0.0f32; d];
+    let mut buf = Vec::new();
+    for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
+        sorted_column_chunk(vs, idx * par::CHUNK, chunk, &mut buf, median_of_sorted);
     }
     out
 }
 
 /// Coordinate-wise trimmed mean: drops the `trim` smallest and `trim`
 /// largest values per coordinate, averaging the rest.
+///
+/// Chunk-parallel with one sort scratch per chunk; bitwise identical to
+/// [`trimmed_mean_serial`].
 ///
 /// # Panics
 ///
@@ -178,26 +327,72 @@ pub fn trimmed_mean(vs: &[&[f32]], trim: usize) -> Vec<f32> {
     let n = vs.len();
     assert!(2 * trim < n, "trim {trim} too large for {n} vectors");
     let d = vs[0].len();
-    let mut buf = vec![0.0f32; n];
-    let mut out = vec![0.0f32; d];
+    check_lengths(vs, d, "trimmed_mean");
     let keep = (n - 2 * trim) as f32;
-    for (i, o) in out.iter_mut().enumerate() {
-        for (j, v) in vs.iter().enumerate() {
-            assert_eq!(v.len(), d, "trimmed_mean: length mismatch");
-            buf[j] = v[i];
-        }
-        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
-        *o = buf[trim..n - trim].iter().sum::<f32>() / keep;
+    let mut out = vec![0.0f32; d];
+    run_chunked(&mut out, d * n, |lo, chunk| {
+        let mut buf = Vec::new();
+        sorted_column_chunk(vs, lo, chunk, &mut buf, |sorted| {
+            sorted[trim..n - trim].iter().sum::<f32>() / keep
+        });
+    });
+    out
+}
+
+/// Serial reference for [`trimmed_mean`].
+pub fn trimmed_mean_serial(vs: &[&[f32]], trim: usize) -> Vec<f32> {
+    assert!(!vs.is_empty(), "trimmed mean of zero vectors");
+    let n = vs.len();
+    assert!(2 * trim < n, "trim {trim} too large for {n} vectors");
+    let d = vs[0].len();
+    check_lengths(vs, d, "trimmed_mean");
+    let keep = (n - 2 * trim) as f32;
+    let mut out = vec![0.0f32; d];
+    let mut buf = Vec::new();
+    for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
+        sorted_column_chunk(vs, idx * par::CHUNK, chunk, &mut buf, |sorted| {
+            sorted[trim..n - trim].iter().sum::<f32>() / keep
+        });
     }
     out
 }
 
 /// Full pairwise squared-distance matrix (symmetric, zero diagonal).
 ///
+/// The `n·(n−1)/2` distinct pairs are computed in parallel; each entry is a
+/// pure function of its pair, so the matrix is bitwise identical to
+/// [`pairwise_sq_distances_serial`] at any thread count.
+///
 /// # Panics
 ///
 /// Panics if vector lengths differ.
 pub fn pairwise_sq_distances(vs: &[&[f32]]) -> Vec<Vec<f32>> {
+    let n = vs.len();
+    let d = vs.first().map_or(0, |v| v.len());
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let dists: Vec<f32> = if pairs.len() * d < PAR_ELEMS || par::max_threads() == 1 {
+        pairs
+            .iter()
+            .map(|&(i, j)| sq_distance(vs[i], vs[j]))
+            .collect()
+    } else {
+        par::map_collect(pairs.len(), |t| {
+            let (i, j) = pairs[t];
+            sq_distance(vs[i], vs[j])
+        })
+    };
+    let mut m = vec![vec![0.0f32; n]; n];
+    for (&(i, j), &dist) in pairs.iter().zip(&dists) {
+        m[i][j] = dist;
+        m[j][i] = dist;
+    }
+    m
+}
+
+/// Serial reference for [`pairwise_sq_distances`].
+pub fn pairwise_sq_distances_serial(vs: &[&[f32]]) -> Vec<Vec<f32>> {
     let n = vs.len();
     let mut m = vec![vec![0.0f32; n]; n];
     for i in 0..n {

@@ -8,7 +8,9 @@
 
 use fabflip::ZkaConfig;
 use fabflip_agg::DefenseKind;
-use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate, AttackSpec, FlConfig, TaskKind};
+use fabflip_fl::{
+    metrics::attack_success_rate, runner::acc_natk, simulate, AttackSpec, FlConfig, TaskKind,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let defenses = [
@@ -18,22 +20,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         DefenseKind::Bulyan { f: 2 },
         DefenseKind::Median,
     ];
-    println!("{:<8} {:>8} {:>8} {:>8}", "defense", "acc_max", "ASR%", "DPR%");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8}",
+        "defense", "acc_max", "ASR%", "DPR%"
+    );
     for defense in defenses {
         let cfg = FlConfig::builder(TaskKind::Fashion)
             .n_clients(40)
             .rounds(25)
-        .local_epochs(2)
+            .local_epochs(2)
             .train_size(1200)
             .test_size(300)
             .defense(defense)
-            .attack(AttackSpec::ZkaR { cfg: ZkaConfig::fast() })
+            .attack(AttackSpec::ZkaR {
+                cfg: ZkaConfig::fast(),
+            })
             .seed(7)
             .build();
         let r = simulate(&cfg)?;
         let natk = acc_natk(&cfg)?;
         let asr = attack_success_rate(natk, r.max_accuracy());
-        let dpr = r.dpr().map_or("NA".to_string(), |d| format!("{:.1}", d * 100.0));
+        let dpr = r
+            .dpr()
+            .map_or("NA".to_string(), |d| format!("{:.1}", d * 100.0));
         println!(
             "{:<8} {:>8.3} {:>8.1} {:>8}",
             defense.label(),

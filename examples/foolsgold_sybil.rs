@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .train_size(1200)
             .test_size(300)
             .defense(DefenseKind::FoolsGold)
-            .attack(AttackSpec::ZkaG { cfg: ZkaConfig::fast() })
+            .attack(AttackSpec::ZkaG {
+                cfg: ZkaConfig::fast(),
+            })
             .sybil_noise(noise)
             .seed(9)
             .build();

@@ -9,20 +9,27 @@
 
 use fabflip::ZkaConfig;
 use fabflip_agg::DefenseKind;
-use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate, AttackSpec, FlConfig, TaskKind};
+use fabflip_fl::{
+    metrics::attack_success_rate, runner::acc_natk, simulate, AttackSpec, FlConfig, TaskKind,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>6} {:>10} {:>8} {:>8}", "beta", "acc_natk", "acc_max", "ASR%");
+    println!(
+        "{:>6} {:>10} {:>8} {:>8}",
+        "beta", "acc_natk", "acc_max", "ASR%"
+    );
     for beta in [0.1, 0.5, 0.9] {
         let cfg = FlConfig::builder(TaskKind::Fashion)
             .n_clients(40)
             .rounds(25)
-        .local_epochs(2)
+            .local_epochs(2)
             .train_size(1200)
             .test_size(300)
             .beta(beta)
             .defense(DefenseKind::Bulyan { f: 2 })
-            .attack(AttackSpec::ZkaR { cfg: ZkaConfig::fast() })
+            .attack(AttackSpec::ZkaR {
+                cfg: ZkaConfig::fast(),
+            })
             .seed(3)
             .build();
         let r = simulate(&cfg)?;

@@ -1,0 +1,43 @@
+//! Scratch probe: central cifar-like training diagnostics.
+//! `cargo run --release --example probe_cifar -- <lr> <epochs>`
+
+use fabflip_data::{Dataset, SynthSpec};
+use fabflip_nn::losses::{accuracy, softmax_cross_entropy_hard};
+use fabflip_nn::models;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lr: f32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let epochs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let spec = SynthSpec::cifar_like();
+    let train = Dataset::synthesize_split(&spec, 1200, 1, 100);
+    let test = Dataset::synthesize_split(&spec, 400, 1, 200);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = models::cifar_cnn(&mut rng);
+    let mut srng = StdRng::seed_from_u64(3);
+    let all: Vec<usize> = (0..train.len()).collect();
+    for e in 0..epochs {
+        let mut loss_sum = 0.0f32;
+        let mut batches = 0usize;
+        for b in train.shuffled_batches(&all, 32, &mut srng) {
+            let loss = model
+                .train_step(&b.images, lr, |logits| {
+                    softmax_cross_entropy_hard(logits, &b.labels)
+                })
+                .expect("training step");
+            loss_sum += loss;
+            batches += 1;
+        }
+        let tb = test.gather(&(0..test.len()).collect::<Vec<_>>());
+        let logits = model.forward(&tb.images).expect("forward");
+        let acc = accuracy(&logits, &tb.labels);
+        let finite = model.flat_params().iter().all(|v| v.is_finite());
+        println!(
+            "epoch {e}: mean loss {:.4}, test acc {:.4}, params finite: {finite}",
+            loss_sum / batches.max(1) as f32,
+            acc
+        );
+    }
+}

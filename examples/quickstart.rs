@@ -7,7 +7,9 @@
 
 use fabflip::ZkaConfig;
 use fabflip_agg::DefenseKind;
-use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate, AttackSpec, FlConfig, TaskKind};
+use fabflip_fl::{
+    metrics::attack_success_rate, runner::acc_natk, simulate, AttackSpec, FlConfig, TaskKind,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A reduced Fashion-MNIST-like federation: 40 clients, 10 sampled per
@@ -20,7 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .train_size(1200)
         .test_size(300)
         .defense(DefenseKind::MKrum { f: 2 })
-        .attack(AttackSpec::ZkaG { cfg: ZkaConfig::fast() })
+        .attack(AttackSpec::ZkaG {
+            cfg: ZkaConfig::fast(),
+        })
         .seed(42)
         .build();
 
@@ -33,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{:>5}  {:.3}", r.round, r.accuracy);
     }
     println!("\nclean ceiling (no attack, no defense): {:.3}", natk);
-    println!("max accuracy under ZKA-G + mKrum:      {:.3}", attacked.max_accuracy());
+    println!(
+        "max accuracy under ZKA-G + mKrum:      {:.3}",
+        attacked.max_accuracy()
+    );
     println!(
         "attack success rate (Eq. 4):            {:.1}%",
         attack_success_rate(natk, attacked.max_accuracy()) * 100.0

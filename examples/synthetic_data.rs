@@ -33,7 +33,10 @@ fn set_variance(s: &Tensor) -> f32 {
     (0..d)
         .map(|j| {
             let mean: f32 = (0..n).map(|i| s.data()[i * d + j]).sum::<f32>() / n as f32;
-            (0..n).map(|i| (s.data()[i * d + j] - mean).powi(2)).sum::<f32>() / n as f32
+            (0..n)
+                .map(|i| (s.data()[i * d + j] - mean).powi(2))
+                .sum::<f32>()
+                / n as f32
         })
         .sum::<f32>()
         / d as f32
@@ -70,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsaved results/zka_r_sample.pgm and results/zka_g_sample.pgm");
     println!("\nset diversity (mean per-pixel variance):");
     println!("  ZKA-R: {:.5}", set_variance(&s_r));
-    println!("  ZKA-G: {:.5}   ← lower: shared generator + fixed noise", set_variance(&s_g));
+    println!(
+        "  ZKA-G: {:.5}   ← lower: shared generator + fixed noise",
+        set_variance(&s_g)
+    );
     Ok(())
 }

@@ -40,7 +40,9 @@ fn craft(attack: &mut dyn Attack, benign: &[Vec<f32>], global: &[f32]) -> Vec<f3
         build_model: &toy_builder,
     };
     let mut rng = StdRng::seed_from_u64(7);
-    attack.craft(&ctx, &mut rng).expect("craft succeeds on finite input")
+    attack
+        .craft(&ctx, &mut rng)
+        .expect("craft succeeds on finite input")
 }
 
 fn benign_strategy(d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {

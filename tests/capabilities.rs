@@ -10,7 +10,10 @@ fn table1_lie_row() {
     assert!(c.needs_benign_updates, "LIE eavesdrops on benign updates");
     assert!(c.works_defense_unknown);
     assert!(!c.needs_raw_data);
-    assert!(!c.handles_heterogeneity, "LIE was not evaluated under heterogeneity");
+    assert!(
+        !c.handles_heterogeneity,
+        "LIE was not evaluated under heterogeneity"
+    );
     assert!(c.defenses_known.contains(&"TRmean"));
     assert!(c.defenses_known.contains(&"Krum"));
 }
@@ -19,7 +22,10 @@ fn table1_lie_row() {
 fn table1_fang_row() {
     let c = Fang::new().capabilities();
     assert!(c.needs_benign_updates);
-    assert!(!c.works_defense_unknown, "Fang needs the deployed defense for stealth");
+    assert!(
+        !c.works_defense_unknown,
+        "Fang needs the deployed defense for stealth"
+    );
     assert!(c.handles_heterogeneity);
     assert!(c.defenses_known.contains(&"Median"));
 }

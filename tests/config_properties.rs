@@ -30,8 +30,12 @@ fn attack_strategy() -> impl Strategy<Value = AttackSpec> {
         Just(AttackSpec::MinSum),
         Just(AttackSpec::RandomWeights),
         (0.0f32..2.0).prop_map(|lambda| AttackSpec::RealData { lambda }),
-        Just(AttackSpec::ZkaR { cfg: fabflip::ZkaConfig::paper() }),
-        Just(AttackSpec::ZkaG { cfg: fabflip::ZkaConfig::fast() }),
+        Just(AttackSpec::ZkaR {
+            cfg: fabflip::ZkaConfig::paper()
+        }),
+        Just(AttackSpec::ZkaG {
+            cfg: fabflip::ZkaConfig::fast()
+        }),
     ]
 }
 

@@ -43,11 +43,17 @@ fn random_weights_destroy_fedavg_but_not_mkrum() {
         cfg
     };
     let clean = simulate(&grown(AttackSpec::None, DefenseKind::FedAvg)).unwrap();
-    assert!(clean.max_accuracy() > 0.25, "clean run failed to learn: {}", clean.max_accuracy());
-    let attacked_fedavg =
-        simulate(&grown(AttackSpec::RandomWeights, DefenseKind::FedAvg)).unwrap();
-    let attacked_mkrum =
-        simulate(&grown(AttackSpec::RandomWeights, DefenseKind::MKrum { f: 2 })).unwrap();
+    assert!(
+        clean.max_accuracy() > 0.25,
+        "clean run failed to learn: {}",
+        clean.max_accuracy()
+    );
+    let attacked_fedavg = simulate(&grown(AttackSpec::RandomWeights, DefenseKind::FedAvg)).unwrap();
+    let attacked_mkrum = simulate(&grown(
+        AttackSpec::RandomWeights,
+        DefenseKind::MKrum { f: 2 },
+    ))
+    .unwrap();
     assert!(
         attacked_fedavg.max_accuracy() < clean.max_accuracy(),
         "random weights should hurt FedAvg: {} vs clean {}",
@@ -59,7 +65,10 @@ fn random_weights_destroy_fedavg_but_not_mkrum() {
     // direct accuracy comparison with attacked FedAvg is too noisy at this
     // scale — early random noise can accidentally regularize.)
     let dpr = attacked_mkrum.dpr().expect("mKrum reports a selection");
-    assert!(dpr < 0.2, "mKrum let random weights through too often: {dpr}");
+    assert!(
+        dpr < 0.2,
+        "mKrum let random weights through too often: {dpr}"
+    );
     assert!(
         attacked_mkrum.max_accuracy() > 0.15,
         "mKrum-defended run collapsed: {}",
@@ -71,7 +80,11 @@ fn random_weights_destroy_fedavg_but_not_mkrum() {
 fn random_weights_rarely_pass_mkrum() {
     // Paper Sec. IV-A: random updates bypass mKrum in only a few percent of
     // cases. At this reduced scale we assert a loose upper bound.
-    let r = simulate(&small(AttackSpec::RandomWeights, DefenseKind::MKrum { f: 2 })).unwrap();
+    let r = simulate(&small(
+        AttackSpec::RandomWeights,
+        DefenseKind::MKrum { f: 2 },
+    ))
+    .unwrap();
     let dpr = r.dpr().expect("mKrum reports a selection");
     assert!(dpr < 0.35, "random weights passed mKrum too often: {dpr}");
 }
@@ -91,7 +104,9 @@ fn oracle_attacks_receive_benign_updates_and_zk_attacks_do_not_need_them() {
     assert_eq!(r.rounds.len(), 6);
     // ZKA-G runs with an empty oracle (zero-knowledge) — also fine.
     let r = simulate(&small(
-        AttackSpec::ZkaG { cfg: fabflip::ZkaConfig::fast() },
+        AttackSpec::ZkaG {
+            cfg: fabflip::ZkaConfig::fast(),
+        },
         DefenseKind::TrMean { trim: 2 },
     ))
     .unwrap();
@@ -117,8 +132,12 @@ fn all_attacks_run_against_all_defenses_one_round() {
         AttackSpec::MinMax,
         AttackSpec::RandomWeights,
         AttackSpec::RealData { lambda: 1.0 },
-        AttackSpec::ZkaR { cfg: fabflip::ZkaConfig::fast() },
-        AttackSpec::ZkaG { cfg: fabflip::ZkaConfig::fast() },
+        AttackSpec::ZkaR {
+            cfg: fabflip::ZkaConfig::fast(),
+        },
+        AttackSpec::ZkaG {
+            cfg: fabflip::ZkaConfig::fast(),
+        },
     ];
     let defenses = vec![
         DefenseKind::FedAvg,
@@ -131,8 +150,9 @@ fn all_attacks_run_against_all_defenses_one_round() {
         for defense in &defenses {
             let mut cfg = small(attack.clone(), *defense);
             cfg.rounds = 1;
-            let r = simulate(&cfg)
-                .unwrap_or_else(|e| panic!("{} vs {} failed: {e}", attack.label(), defense.label()));
+            let r = simulate(&cfg).unwrap_or_else(|e| {
+                panic!("{} vs {} failed: {e}", attack.label(), defense.label())
+            });
             assert_eq!(r.rounds.len(), 1);
             assert!(r.rounds[0].accuracy.is_finite());
         }
@@ -149,6 +169,7 @@ fn asr_uses_paired_clean_baseline() {
     // A clean "attacked" run has (near) zero ASR against its own baseline.
     let clean_cfg = small(AttackSpec::None, DefenseKind::FedAvg);
     let clean = simulate(&clean_cfg).unwrap();
-    let asr_clean = attack_success_rate(runner::acc_natk(&clean_cfg).unwrap(), clean.max_accuracy());
+    let asr_clean =
+        attack_success_rate(runner::acc_natk(&clean_cfg).unwrap(), clean.max_accuracy());
     assert!(asr_clean < 1e-6);
 }

@@ -25,7 +25,9 @@ fn cfg(attack: AttackSpec, defense: DefenseKind) -> FlConfig {
 fn zka_r_damages_undefended_training() {
     let clean = simulate(&cfg(AttackSpec::None, DefenseKind::FedAvg)).unwrap();
     let attacked = simulate(&cfg(
-        AttackSpec::ZkaR { cfg: ZkaConfig::fast() },
+        AttackSpec::ZkaR {
+            cfg: ZkaConfig::fast(),
+        },
         DefenseKind::FedAvg,
     ))
     .unwrap();
@@ -41,7 +43,9 @@ fn zka_r_damages_undefended_training() {
 fn zka_g_damages_undefended_training() {
     let clean = simulate(&cfg(AttackSpec::None, DefenseKind::FedAvg)).unwrap();
     let attacked = simulate(&cfg(
-        AttackSpec::ZkaG { cfg: ZkaConfig::fast() },
+        AttackSpec::ZkaG {
+            cfg: ZkaConfig::fast(),
+        },
         DefenseKind::FedAvg,
     ))
     .unwrap();
@@ -59,8 +63,13 @@ fn zka_is_stealthier_than_random_weights_under_mkrum() {
     // the selection defenses, while the fabricated-data updates do.
     let mkrum = DefenseKind::MKrum { f: 2 };
     let random = simulate(&cfg(AttackSpec::RandomWeights, mkrum)).unwrap();
-    let zka_g =
-        simulate(&cfg(AttackSpec::ZkaG { cfg: ZkaConfig::fast() }, mkrum)).unwrap();
+    let zka_g = simulate(&cfg(
+        AttackSpec::ZkaG {
+            cfg: ZkaConfig::fast(),
+        },
+        mkrum,
+    ))
+    .unwrap();
     let dpr_random = random.dpr().expect("selection defense");
     let dpr_zka = zka_g.dpr().expect("selection defense");
     assert!(
@@ -73,7 +82,12 @@ fn zka_is_stealthier_than_random_weights_under_mkrum() {
 fn zka_targets_stay_fixed_within_a_run_and_updates_vary_across_rounds() {
     // Indirect check through determinism: two identical runs give identical
     // traces (the fixed Ỹ and fixed Z make the attack reproducible).
-    let c = cfg(AttackSpec::ZkaG { cfg: ZkaConfig::fast() }, DefenseKind::Median);
+    let c = cfg(
+        AttackSpec::ZkaG {
+            cfg: ZkaConfig::fast(),
+        },
+        DefenseKind::Median,
+    );
     let a = simulate(&c).unwrap();
     let b = simulate(&c).unwrap();
     assert_eq!(a, b);
@@ -84,7 +98,12 @@ fn foolsgold_catches_identical_copies_and_noise_evades_it() {
     // Sec. III-A of the paper: Sybil defenses would flag the ZKA adversary
     // (all clients submit one crafted update) — unless small perturbation
     // noise is added, which is why the paper excludes them.
-    let base = cfg(AttackSpec::ZkaG { cfg: ZkaConfig::fast() }, DefenseKind::FoolsGold);
+    let base = cfg(
+        AttackSpec::ZkaG {
+            cfg: ZkaConfig::fast(),
+        },
+        DefenseKind::FoolsGold,
+    );
     let identical = simulate(&base).unwrap();
     let mut noisy_cfg = base.clone();
     noisy_cfg.sybil_noise = 0.02;
@@ -95,7 +114,10 @@ fn foolsgold_catches_identical_copies_and_noise_evades_it() {
         dpr_noisy > dpr_identical,
         "perturbation should raise DPR: identical {dpr_identical} vs noisy {dpr_noisy}"
     );
-    assert!(dpr_identical < 0.5, "identical sybils should mostly be caught: {dpr_identical}");
+    assert!(
+        dpr_identical < 0.5,
+        "identical sybils should mostly be caught: {dpr_identical}"
+    );
 }
 
 #[test]
