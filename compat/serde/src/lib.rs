@@ -354,6 +354,18 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("map", "BTreeMap", content)),
+        }
+    }
+}
+
 impl Deserialize for Content {
     fn from_content(content: &Content) -> Result<Self, DeError> {
         Ok(content.clone())

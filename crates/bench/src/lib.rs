@@ -27,7 +27,7 @@
 
 use fabflip_fl::runner::{run_cell, CellSummary};
 use fabflip_fl::FlConfig;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Experiment scale profiles.
@@ -124,10 +124,12 @@ impl BenchOpts {
 }
 
 /// A disk-backed memo of grid cells, so binaries sharing cells reuse them.
+// BTreeMap keeps `cache.json` key order (and therefore its diffs) stable
+// across runs regardless of cell completion order.
 #[derive(Debug)]
 pub struct CellCache {
     path: PathBuf,
-    map: HashMap<String, CellSummary>,
+    map: BTreeMap<String, CellSummary>,
 }
 
 impl CellCache {

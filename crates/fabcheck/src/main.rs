@@ -1,0 +1,12 @@
+//! The `fabcheck` binary: thin wrapper over [`fabcheck::run`].
+
+fn main() {
+    let opts = match fabcheck::Options::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(fabcheck::run(&opts));
+}

@@ -1,0 +1,637 @@
+//! The fabcheck rule set: project-specific invariants that protect the
+//! bitwise-determinism and panic-safety contracts (DESIGN.md § Static
+//! invariants).
+//!
+//! Rules come in two strengths:
+//!
+//! * **forbidden** — any hit fails CI (`nondeterministic-collection`,
+//!   `entropy-rng`, `wallclock-in-kernel`, `env-var-outside-config`,
+//!   `unsafe-without-safety-comment`);
+//! * **counted** — hits are tallied per `rule × file` and ratcheted
+//!   against `FABCHECK_BASELINE.json`: counts may shrink, never grow
+//!   (`unwrap-in-lib`, `todo-unimplemented`).
+//!
+//! Matching is whole-identifier over the [`crate::lexer`] token stream, so
+//! comments, strings, `Instantiates`, and `unwrap_or` never false-positive.
+
+use crate::lexer::{lex, Comment, Token};
+
+/// Crates whose float-accumulation order feeds the reproducibility
+/// contract: map/set iteration order, entropy, and wall-clock reads leak
+/// straight into results or JSON output here.
+pub const NUMERIC_CRATES: &[&str] = &["tensor", "nn", "aggregation", "attacks", "data", "fl"];
+
+/// Files allowed to read process environment variables: the two
+/// `FABFLIP_THREADS` budget modules (the tensor thread budget and the
+/// rayon-shim mirror of it). Everything else must take configuration as
+/// arguments so a run is a pure function of its config + seed.
+pub const BLESSED_ENV_FILES: &[&str] = &["crates/tensor/src/par.rs", "compat/rayon/src/lib.rs"];
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may end
+/// and still annotate it (allows attributes and a signature line between).
+const SAFETY_WINDOW_LINES: u32 = 5;
+
+/// A fabcheck rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in a numeric crate.
+    NondeterministicCollection,
+    /// `thread_rng`/`from_entropy`/`OsRng`/`getrandom` anywhere.
+    EntropyRng,
+    /// `Instant`/`SystemTime` in a numeric crate.
+    WallclockInKernel,
+    /// `env::var` outside the blessed thread-budget modules.
+    EnvVarOutsideConfig,
+    /// `unsafe` without a `// SAFETY:` comment just above (or beside) it.
+    UnsafeWithoutSafetyComment,
+    /// `.unwrap()` in non-test library code (counted).
+    UnwrapInLib,
+    /// `todo!`/`unimplemented!` in non-test code (counted).
+    TodoUnimplemented,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 7] = [
+        Rule::NondeterministicCollection,
+        Rule::EntropyRng,
+        Rule::WallclockInKernel,
+        Rule::EnvVarOutsideConfig,
+        Rule::UnsafeWithoutSafetyComment,
+        Rule::UnwrapInLib,
+        Rule::TodoUnimplemented,
+    ];
+
+    /// The kebab-case rule id used in diagnostics, JSON, and the baseline.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NondeterministicCollection => "nondeterministic-collection",
+            Rule::EntropyRng => "entropy-rng",
+            Rule::WallclockInKernel => "wallclock-in-kernel",
+            Rule::EnvVarOutsideConfig => "env-var-outside-config",
+            Rule::UnsafeWithoutSafetyComment => "unsafe-without-safety-comment",
+            Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::TodoUnimplemented => "todo-unimplemented",
+        }
+    }
+
+    /// Forbidden rules fail CI on any hit; counted rules only ratchet.
+    pub fn is_forbidden(self) -> bool {
+        !matches!(self, Rule::UnwrapInLib | Rule::TodoUnimplemented)
+    }
+}
+
+/// One rule hit at a source position.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Root-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation with the remedy.
+    pub message: String,
+}
+
+/// Where a file sits in the workspace — decides which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Root-relative path with `/` separators (diagnostic + baseline key).
+    pub rel: String,
+    /// `true` under `crates/`, `false` under `compat/`.
+    pub in_crates: bool,
+    /// The crate directory name (`tensor`, `fl`, …).
+    pub crate_name: String,
+    /// Under `tests/` or `benches/`, or a `#[cfg(test)] mod x;` target
+    /// file: all-test code, skipped by non-test-scoped rules.
+    pub is_test_file: bool,
+    /// Under `examples/`.
+    pub is_example: bool,
+    /// `src/main.rs` or under `src/bin/`: binary entry points may panic
+    /// freely, so counted panic-debt rules skip them.
+    pub is_bin: bool,
+}
+
+impl FileClass {
+    fn is_numeric(&self) -> bool {
+        self.in_crates && NUMERIC_CRATES.contains(&self.crate_name.as_str())
+    }
+}
+
+/// Whether a rule looks at this file, and at which part of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scope {
+    /// Rule does not apply to this file.
+    Off,
+    /// Rule applies outside `#[cfg(test)]` item spans.
+    NonTest,
+    /// Rule applies to every token, tests included.
+    All,
+}
+
+fn scope(rule: Rule, class: &FileClass) -> Scope {
+    match rule {
+        // Determinism of the numeric pipeline: product code only — tests
+        // may legitimately use a HashMap to assert order-independence.
+        Rule::NondeterministicCollection | Rule::WallclockInKernel => {
+            if class.is_numeric() && !class.is_test_file {
+                Scope::NonTest
+            } else {
+                Scope::Off
+            }
+        }
+        // Entropy anywhere (tests included) breaks fixed-seed replay.
+        Rule::EntropyRng => Scope::All,
+        Rule::EnvVarOutsideConfig => {
+            if BLESSED_ENV_FILES.contains(&class.rel.as_str()) {
+                Scope::Off
+            } else {
+                Scope::All
+            }
+        }
+        // Unsafe needs its invariant written down wherever it appears.
+        Rule::UnsafeWithoutSafetyComment => Scope::All,
+        Rule::UnwrapInLib => {
+            if class.in_crates && !class.is_test_file && !class.is_bin && !class.is_example {
+                Scope::NonTest
+            } else {
+                Scope::Off
+            }
+        }
+        Rule::TodoUnimplemented => {
+            if class.in_crates && !class.is_test_file {
+                Scope::NonTest
+            } else {
+                Scope::Off
+            }
+        }
+    }
+}
+
+/// Returns the names of modules declared `#[cfg(test)] mod name;`
+/// (out-of-line test modules): the walker marks `name.rs` / `name/mod.rs`
+/// next to the declaring file as all-test files.
+pub fn test_only_mods(src: &str) -> Vec<String> {
+    let lexed = lex(src);
+    let mut out = Vec::new();
+    for (_, end) in cfg_test_attr_ranges(&lexed.tokens) {
+        if let Some(ItemShape::OutOfLineMod(name)) = item_after_attrs(&lexed.tokens, end) {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Half-open token-index ranges covered by `#[cfg(test)]`-gated items
+/// (inline `mod tests { … }` blocks, gated fns, …).
+fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (_, attr_end) in cfg_test_attr_ranges(tokens) {
+        if let Some(ItemShape::Braced(open, close)) = item_after_attrs(tokens, attr_end) {
+            spans.push((open, close + 1));
+        }
+    }
+    spans
+}
+
+/// Finds every `#[cfg(test)]`-style attribute (any `cfg(...)` whose
+/// argument list mentions the `test` identifier, so `cfg(all(test, …))`
+/// also counts). Returns (start index of `#`, index one past `]`).
+fn cfg_test_attr_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 3 < tokens.len() {
+        if tokens[i].text == "#"
+            && !tokens[i].is_ident
+            && tokens[i + 1].text == "["
+            && tokens[i + 2].is_ident
+            && tokens[i + 2].text == "cfg"
+            && tokens[i + 3].text == "("
+        {
+            // Balanced parens from i+3; look for the ident `test` inside.
+            let mut depth = 0usize;
+            let mut j = i + 3;
+            let mut saw_test = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" if !tokens[j].is_ident => depth += 1,
+                    ")" if !tokens[j].is_ident => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" if tokens[j].is_ident && depth >= 1 => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Expect the closing `]` right after the paren group.
+            if saw_test && j + 1 < tokens.len() && tokens[j + 1].text == "]" {
+                out.push((i, j + 2));
+                i = j + 2;
+                continue;
+            }
+            i = j.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The shape of the item following an attribute: either a braced item
+/// (span of `{`..`}` token indices) or an out-of-line `mod name;`.
+enum ItemShape {
+    Braced(usize, usize),
+    OutOfLineMod(String),
+}
+
+/// Starting at `from` (just past an attribute's `]`), skips any further
+/// attributes, then finds the first top-level `;` or `{` and classifies
+/// the item.
+fn item_after_attrs(tokens: &[Token], mut from: usize) -> Option<ItemShape> {
+    // Skip subsequent attributes: `#[ … ]`.
+    while from + 1 < tokens.len() && tokens[from].text == "#" && tokens[from + 1].text == "[" {
+        let mut depth = 0usize;
+        let mut j = from + 1;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "[" if !tokens[j].is_ident => depth += 1,
+                "]" if !tokens[j].is_ident => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        from = j + 1;
+    }
+    let header_start = from;
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut j = from;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if !t.is_ident {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => {
+                    // `mod name;` → out-of-line module.
+                    let names: Vec<&Token> = tokens[header_start..j]
+                        .iter()
+                        .filter(|t| t.is_ident)
+                        .collect();
+                    if names.len() >= 2 && names[names.len() - 2].text == "mod" {
+                        return Some(ItemShape::OutOfLineMod(names[names.len() - 1].text.clone()));
+                    }
+                    return None;
+                }
+                "{" if paren == 0 && bracket == 0 => {
+                    let mut depth = 0usize;
+                    let mut k = j;
+                    while k < tokens.len() {
+                        match tokens[k].text.as_str() {
+                            "{" if !tokens[k].is_ident => depth += 1,
+                            "}" if !tokens[k].is_ident => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    return Some(ItemShape::Braced(j, k));
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    return Some(ItemShape::Braced(j, tokens.len().saturating_sub(1)));
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// A `// SAFETY:` (or `/* SAFETY: */`) comment annotates an `unsafe`
+/// token when it ends on the same line or at most [`SAFETY_WINDOW_LINES`]
+/// lines above it.
+fn has_safety_comment(comments: &[Comment], unsafe_line: u32) -> bool {
+    comments.iter().any(|c| {
+        c.text.contains("SAFETY:")
+            && c.line_end <= unsafe_line
+            && c.line_end + SAFETY_WINDOW_LINES >= unsafe_line
+    })
+}
+
+/// Runs every applicable rule over one file. `class.is_test_file` must
+/// already account for out-of-line `#[cfg(test)] mod x;` targets (see
+/// [`test_only_mods`]).
+pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
+    let enabled: Vec<(Rule, Scope)> = Rule::ALL
+        .iter()
+        .map(|&r| (r, scope(r, class)))
+        .filter(|(_, s)| *s != Scope::Off)
+        .collect();
+    if enabled.is_empty() {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let spans = test_spans(&lexed.tokens);
+    let in_test = |idx: usize| spans.iter().any(|&(a, b)| idx >= a && idx < b);
+    let on = |rule: Rule, idx: usize| {
+        enabled
+            .iter()
+            .any(|&(r, s)| r == rule && (s == Scope::All || !in_test(idx)))
+    };
+
+    let mut findings = Vec::new();
+    let mut push = |rule: Rule, t: &Token, message: String| {
+        findings.push(Finding {
+            rule,
+            file: class.rel.clone(),
+            line: t.line,
+            col: t.col,
+            message,
+        });
+    };
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if on(Rule::NondeterministicCollection, i) => push(
+                Rule::NondeterministicCollection,
+                t,
+                format!(
+                    "`{}` iteration order is nondeterministic; float accumulation and \
+                     JSON emission in numeric crates must use `BTreeMap`/`BTreeSet` \
+                     or sorted-key iteration",
+                    t.text
+                ),
+            ),
+            "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng" | "getrandom"
+                if on(Rule::EntropyRng, i) =>
+            {
+                push(
+                    Rule::EntropyRng,
+                    t,
+                    format!(
+                        "`{}` draws OS entropy, breaking fixed-seed replay; derive a \
+                         `StdRng` from the run seed via a SplitMix sub-stream instead",
+                        t.text
+                    ),
+                )
+            }
+            "Instant" | "SystemTime" if on(Rule::WallclockInKernel, i) => push(
+                Rule::WallclockInKernel,
+                t,
+                format!(
+                    "`{}` reads the wall clock inside a numeric crate; timing belongs \
+                     in `crates/bench`, not in kernels whose output must be a pure \
+                     function of inputs",
+                    t.text
+                ),
+            ),
+            "var"
+                if on(Rule::EnvVarOutsideConfig, i)
+                    && i >= 3
+                    && toks[i - 1].text == ":"
+                    && !toks[i - 1].is_ident
+                    && toks[i - 2].text == ":"
+                    && !toks[i - 2].is_ident
+                    && toks[i - 3].text == "env"
+                    && toks[i - 3].is_ident =>
+            {
+                push(
+                    Rule::EnvVarOutsideConfig,
+                    t,
+                    "`env::var` outside the FABFLIP_THREADS budget modules; pass \
+                     configuration through `FlConfig`/CLI flags so runs are pure \
+                     functions of their config"
+                        .to_string(),
+                )
+            }
+            "unsafe"
+                if on(Rule::UnsafeWithoutSafetyComment, i)
+                    && !has_safety_comment(&lexed.comments, t.line) =>
+            {
+                push(
+                    Rule::UnsafeWithoutSafetyComment,
+                    t,
+                    "`unsafe` without a `// SAFETY:` comment in the preceding \
+                     lines; document the invariant that makes this sound"
+                        .to_string(),
+                )
+            }
+            "unwrap" if on(Rule::UnwrapInLib, i) => {
+                let after_dot = i >= 1 && !toks[i - 1].is_ident && toks[i - 1].text == ".";
+                let called = i + 1 < toks.len() && toks[i + 1].text == "(";
+                if after_dot && called {
+                    push(
+                        Rule::UnwrapInLib,
+                        t,
+                        "`.unwrap()` in library code; use `expect(\"actionable \
+                         message\")` or propagate a `Result`"
+                            .to_string(),
+                    )
+                }
+            }
+            "todo" | "unimplemented"
+                if on(Rule::TodoUnimplemented, i)
+                    && i + 1 < toks.len()
+                    && toks[i + 1].text == "!" =>
+            {
+                push(
+                    Rule::TodoUnimplemented,
+                    t,
+                    format!("`{}!` in non-test code; tracked by the ratchet", t.text),
+                )
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(rel: &str) -> FileClass {
+        let mut parts = rel.split('/');
+        let top = parts.next().unwrap_or_default();
+        let krate = parts.next().unwrap_or_default().to_string();
+        FileClass {
+            rel: rel.to_string(),
+            in_crates: top == "crates",
+            crate_name: krate,
+            is_test_file: rel.contains("/tests/"),
+            is_example: rel.contains("/examples/"),
+            is_bin: rel.ends_with("src/main.rs") || rel.contains("/src/bin/"),
+        }
+    }
+
+    fn run(rel: &str, src: &str) -> Vec<String> {
+        check_file(&class(rel), src)
+            .into_iter()
+            .map(|f| f.rule.name().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_numeric_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(
+            run("crates/fl/src/runner.rs", src),
+            ["nondeterministic-collection"]
+        );
+        assert!(run("crates/bench/src/lib.rs", src).is_empty());
+        assert!(run("compat/serde/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_comment_string_or_test_mod_is_clean() {
+        assert!(run("crates/fl/src/a.rs", "// HashMap in prose").is_empty());
+        assert!(run("crates/fl/src/a.rs", r#"let s = "HashMap";"#).is_empty());
+        assert!(run(
+            "crates/fl/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n}"
+        )
+        .is_empty());
+        // Non-test code after the test mod is still checked.
+        assert_eq!(
+            run(
+                "crates/fl/src/a.rs",
+                "#[cfg(test)]\nmod tests { }\nuse std::collections::HashMap;"
+            ),
+            ["nondeterministic-collection"]
+        );
+    }
+
+    #[test]
+    fn entropy_rng_flagged_everywhere_even_tests() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { let r = thread_rng(); } }";
+        assert_eq!(run("crates/cli/src/lib.rs", src), ["entropy-rng"]);
+        assert_eq!(
+            run("compat/rand/src/lib.rs", "pub fn from_entropy() {}"),
+            ["entropy-rng"]
+        );
+    }
+
+    #[test]
+    fn wallclock_scoped_to_numeric_crates() {
+        let src = "let t = std::time::Instant::now();";
+        assert_eq!(
+            run("crates/tensor/src/matmul.rs", src),
+            ["wallclock-in-kernel"]
+        );
+        assert!(run("crates/bench/src/lib.rs", src).is_empty());
+        // Doc-comment prose like `/// Instantiates the rule.` is clean.
+        assert!(run(
+            "crates/aggregation/src/types.rs",
+            "/// Instantiates the rule."
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn env_var_blessed_only_in_budget_modules() {
+        let src = r#"let v = std::env::var("FABFLIP_THREADS");"#;
+        assert!(run("crates/tensor/src/par.rs", src).is_empty());
+        assert!(run("compat/rayon/src/lib.rs", src).is_empty());
+        assert_eq!(run("crates/fl/src/sim.rs", src), ["env-var-outside-config"]);
+        // env::args and env::temp_dir stay legal everywhere.
+        assert!(run("crates/cli/src/main.rs", "let a = std::env::args();").is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f(p: *const u8) { unsafe { p.read() }; }";
+        assert_eq!(
+            run("crates/tensor/src/matmul.rs", bad),
+            ["unsafe-without-safety-comment"]
+        );
+        let good = "// SAFETY: p is valid for reads per the caller contract.\n\
+                    fn f(p: *const u8) { unsafe { p.read() }; }";
+        assert!(run("crates/tensor/src/matmul.rs", good).is_empty());
+        // Attribute + doc-comment noise between the SAFETY line and the
+        // unsafe token stays within the window.
+        let noisy = "// SAFETY: index < len checked above.\n\
+                     #[allow(clippy::missing_docs_in_private_items)]\n\
+                     #[inline(always)]\n\
+                     fn g(s: &[u8]) { unsafe { s.get_unchecked(0) }; }";
+        assert!(run("crates/tensor/src/matmul.rs", noisy).is_empty());
+        // A SAFETY comment far above does not annotate.
+        let far = format!(
+            "// SAFETY: stale.\n{}\nfn f(p: *const u8) {{ unsafe {{ p.read() }}; }}",
+            "\n".repeat(8)
+        );
+        assert_eq!(
+            run("crates/tensor/src/x.rs", &far),
+            ["unsafe-without-safety-comment"]
+        );
+        // Trailing same-line comment counts.
+        let inline = "fn f(p: *const u8) { unsafe { p.read() }; } // SAFETY: valid ptr.";
+        assert!(run("crates/tensor/src/x.rs", inline).is_empty());
+        // The word SAFETY: inside a doc example string does not annotate
+        // and an `unsafe` inside a string is not a finding.
+        assert!(run("crates/nn/src/x.rs", r#"let s = "unsafe";"#).is_empty());
+    }
+
+    #[test]
+    fn unwrap_counted_in_lib_only() {
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(run("crates/nn/src/gradcheck.rs", src), ["unwrap-in-lib"]);
+        assert!(run("crates/nn/src/main.rs", src).is_empty());
+        assert!(run("crates/bench/src/bin/perf.rs", src).is_empty());
+        assert!(run("crates/fl/examples/probe.rs", src).is_empty());
+        assert!(run("compat/rand/src/lib.rs", src).is_empty());
+        // unwrap_or and a fn named unwrap don't count.
+        assert!(run("crates/nn/src/a.rs", "x.unwrap_or(0);").is_empty());
+        assert!(run("crates/nn/src/a.rs", "fn unwrap() {}").is_empty());
+        // Test-module unwraps don't count.
+        assert!(run(
+            "crates/nn/src/a.rs",
+            "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn todo_and_unimplemented_counted() {
+        assert_eq!(
+            run("crates/fl/src/a.rs", "fn f() { todo!() }"),
+            ["todo-unimplemented"]
+        );
+        assert_eq!(
+            run("crates/fl/src/a.rs", "fn f() { unimplemented!() }"),
+            ["todo-unimplemented"]
+        );
+        // The identifier alone (e.g. a variable named todo) is clean.
+        assert!(run("crates/fl/src/a.rs", "let todo = 3;").is_empty());
+    }
+
+    #[test]
+    fn cfg_all_test_gates_are_recognized() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod tests { fn t() { x.unwrap(); } }";
+        assert!(run("crates/nn/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_line_test_mods_are_reported() {
+        let src = "#[cfg(test)]\nmod proptests;\npub fn f() {}";
+        assert_eq!(test_only_mods(src), ["proptests"]);
+        assert!(test_only_mods("mod proptests;").is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Workspace walker: finds every `.rs` file under `crates/` and `compat/`,
+//! classifies it for the rule engine, and resolves out-of-line
+//! `#[cfg(test)] mod x;` targets in a first pass so `x.rs` / `x/mod.rs`
+//! count as all-test files.
+
+use crate::rules::{test_only_mods, FileClass};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS metadata, and
+/// fabcheck's own deliberately-bad fixture trees.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// A classified source file ready for [`crate::rules::check_file`].
+#[derive(Debug)]
+pub struct WorkspaceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Classification (includes the root-relative path).
+    pub class: FileClass,
+}
+
+/// Collects and classifies every checkable source file under
+/// `root/crates` and `root/compat`, sorted by relative path so output and
+/// baseline ordering are deterministic.
+///
+/// # Errors
+///
+/// Propagates directory-walk and file-read I/O errors.
+pub fn collect(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
+    let mut files: Vec<(PathBuf, String)> = Vec::new();
+    for top in ["crates", "compat"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_dir(&dir, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.1.cmp(&b.1));
+
+    // First pass: find files that are out-of-line #[cfg(test)] modules.
+    let mut test_files: BTreeSet<String> = BTreeSet::new();
+    for (path, rel) in &files {
+        let src = std::fs::read_to_string(path)?;
+        for name in test_only_mods(&src) {
+            let dir = match rel.rfind('/') {
+                Some(idx) => &rel[..idx],
+                None => "",
+            };
+            test_files.insert(format!("{dir}/{name}.rs"));
+            test_files.insert(format!("{dir}/{name}/mod.rs"));
+        }
+    }
+
+    Ok(files
+        .into_iter()
+        .map(|(path, rel)| {
+            let class = classify(&rel, test_files.contains(&rel));
+            WorkspaceFile { path, class }
+        })
+        .collect())
+}
+
+fn walk_dir(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk_dir(&path, root, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// Classifies a root-relative path (`crates/<name>/…` or `compat/<name>/…`).
+fn classify(rel: &str, is_cfg_test_mod_file: bool) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let in_crates = parts.first() == Some(&"crates");
+    let crate_name = parts.get(1).copied().unwrap_or("").to_string();
+    // Everything after crates/<name>/ decides the target kind.
+    let tail = &parts[2.min(parts.len())..];
+    let in_dir = |d: &str| tail.iter().rev().skip(1).any(|p| *p == d);
+    FileClass {
+        rel: rel.to_string(),
+        in_crates,
+        crate_name,
+        is_test_file: in_dir("tests") || in_dir("benches") || is_cfg_test_mod_file,
+        is_example: in_dir("examples"),
+        is_bin: rel.ends_with("/src/main.rs") || in_dir("bin"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_kinds() {
+        let c = classify("crates/tensor/src/matmul.rs", false);
+        assert!(c.in_crates && c.crate_name == "tensor");
+        assert!(!c.is_test_file && !c.is_bin && !c.is_example);
+
+        assert!(classify("crates/fabcheck/tests/integration.rs", false).is_test_file);
+        assert!(classify("crates/bench/benches/micro.rs", false).is_test_file);
+        assert!(classify("crates/bench/src/bin/perf.rs", false).is_bin);
+        assert!(classify("crates/cli/src/main.rs", false).is_bin);
+        assert!(classify("crates/fl/examples/probe.rs", false).is_example);
+        assert!(!classify("compat/rand/src/lib.rs", false).in_crates);
+        assert!(classify("crates/nn/src/proptests.rs", true).is_test_file);
+    }
+}

@@ -1,0 +1,13 @@
+//! Deliberately bad fixture: entropy, env-var, and hash-set violations in
+//! an "FL" crate. Never compiled — only scanned.
+use std::collections::HashSet;
+
+pub fn select(n: usize) -> HashSet<usize> {
+    let threads: usize = std::env::var("FABFLIP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut rng = rand::thread_rng();
+    let _ = (threads, &mut rng);
+    (0..n).collect()
+}

@@ -1,0 +1,11 @@
+//! Deliberately bad fixture: counted-rule debt above the committed
+//! baseline. Never compiled — only scanned.
+
+pub fn load(bytes: &[u8]) -> Vec<f32> {
+    let s = std::str::from_utf8(bytes).unwrap();
+    s.lines().map(|l| l.parse().unwrap()).collect()
+}
+
+pub fn backward() {
+    todo!()
+}

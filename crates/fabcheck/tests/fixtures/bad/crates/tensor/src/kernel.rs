@@ -1,0 +1,13 @@
+//! Deliberately bad fixture: numeric-crate determinism violations plus an
+//! undocumented unsafe block. Never compiled — only scanned by fabcheck's
+//! integration tests.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn kernel(cache: &mut HashMap<usize, f32>) -> f32 {
+    let t0 = Instant::now();
+    let sum: f32 = cache.values().sum();
+    let _ = t0.elapsed();
+    let p = &sum as *const f32;
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//! Clean fixture: the rayon-shim path is a blessed `FABFLIP_THREADS`
+//! budget module, so its `env::var` read is allowed.
+
+pub fn budget() -> usize {
+    std::env::var("FABFLIP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: a seeded, deterministic "simulation" — the blessed way
+//! to draw randomness.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn select(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,39 @@
+//! Clean fixture: needle-shaped content in every position the lexer must
+//! see through — comments, strings, char literals, raw strings, test
+//! modules — plus a properly documented unsafe block. fabcheck must report
+//! nothing here.
+
+/* block comment bait: HashMap /* nested: thread_rng */ Instant */
+
+/// Doc-comment prose bait: Instantiates a HashMap via thread_rng.
+pub fn lexer_bait() -> &'static str {
+    let _char_with_quote = '"';
+    let _raw = r#"HashMap thread_rng unsafe env::var"#;
+    let _raw_hashes = r##"quote-hash "# SystemTime inside"##;
+    let _byte = b"from_entropy";
+    "SystemTime Instant OsRng"
+}
+
+// SAFETY: `p` is derived from a live `&f32` by the only caller, so it is
+// valid, aligned, and initialized for the duration of the read.
+pub unsafe fn read(p: *const f32) -> f32 {
+    unsafe { *p }
+}
+
+/// `Instantiates` must not whole-ident-match `Instant`; `unwrap_or` must
+/// not match `unwrap`.
+pub fn instantiates(v: Option<usize>) -> usize {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn order_independent_check_may_use_hashmap() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

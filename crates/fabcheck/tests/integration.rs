@@ -1,0 +1,214 @@
+//! End-to-end tests: scan the known-bad and known-clean fixture
+//! workspaces under `tests/fixtures/`, through both the library API and
+//! the compiled binary (exit codes, `--json` output, `--bless`).
+
+use fabcheck::rules::Rule;
+use fabcheck::{check_workspace, ratchet};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Copies a fixture workspace into a fresh temp dir (for tests that
+/// mutate files or bless baselines).
+fn copy_fixture(name: &str, tag: &str) -> PathBuf {
+    let dst = std::env::temp_dir().join(format!("fabcheck-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    copy_tree(&fixture(name), &dst).expect("fixture copy");
+    dst
+}
+
+fn copy_tree(src: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to)?;
+        } else {
+            std::fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
+}
+
+fn run_binary(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fabcheck"))
+        .args(args)
+        .output()
+        .expect("spawn fabcheck binary");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn bad_fixture_reports_every_forbidden_rule() {
+    let report = check_workspace(&fixture("bad")).expect("scan");
+    let fired: Vec<&str> = report.findings.iter().map(|f| f.rule.name()).collect();
+    for rule in [
+        "nondeterministic-collection",
+        "entropy-rng",
+        "wallclock-in-kernel",
+        "env-var-outside-config",
+        "unsafe-without-safety-comment",
+    ] {
+        assert!(fired.contains(&rule), "missing {rule} in {fired:?}");
+    }
+    // Findings carry exact positions: the undocumented unsafe block.
+    let unsafe_hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::UnsafeWithoutSafetyComment)
+        .expect("unsafe finding");
+    assert_eq!(unsafe_hit.file, "crates/tensor/src/kernel.rs");
+    assert_eq!(unsafe_hit.line, 12);
+    // Counted debt: two unwraps and one todo!.
+    assert_eq!(
+        report.counts["unwrap-in-lib"]["crates/nn/src/lib.rs"], 2,
+        "counts: {:?}",
+        report.counts
+    );
+    assert_eq!(
+        report.counts["todo-unimplemented"]["crates/nn/src/lib.rs"],
+        1
+    );
+}
+
+#[test]
+fn bad_fixture_regresses_against_its_baseline() {
+    let report = check_workspace(&fixture("bad")).expect("scan");
+    let baseline = ratchet::load(&fixture("bad").join("FABCHECK_BASELINE.json")).expect("baseline");
+    let (regressions, _) = ratchet::compare(&baseline, &report.counts);
+    // unwrap-in-lib grew 1 → 2 and todo-unimplemented appeared 0 → 1.
+    assert_eq!(regressions.len(), 2, "{regressions:?}");
+    assert!(regressions
+        .iter()
+        .any(|r| r.rule == "unwrap-in-lib" && r.baseline == 1 && r.actual == 2));
+    assert!(regressions
+        .iter()
+        .any(|r| r.rule == "todo-unimplemented" && r.baseline == 0));
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let report = check_workspace(&fixture("clean")).expect("scan");
+    assert!(
+        report.findings.is_empty(),
+        "false positives: {:?}",
+        report.findings
+    );
+    assert!(report.counted.is_empty(), "{:?}", report.counted);
+    assert_eq!(report.files_checked, 3);
+}
+
+#[test]
+fn binary_ci_mode_exit_codes() {
+    let bad = fixture("bad");
+    let (code, _, _) = run_binary(&["--ci", "--root", bad.to_str().expect("utf8 path")]);
+    assert_eq!(code, 1);
+
+    let clean = fixture("clean");
+    let (code, stdout, stderr) =
+        run_binary(&["--ci", "--root", clean.to_str().expect("utf8 path")]);
+    assert_eq!(code, 0, "stdout: {stdout} stderr: {stderr}");
+    assert!(stdout.contains("0 forbidden finding(s)"));
+}
+
+#[test]
+fn binary_json_output_is_machine_readable() {
+    let bad = fixture("bad");
+    let (code, stdout, _) = run_binary(&["--json", "--root", bad.to_str().expect("utf8 path")]);
+    assert_eq!(code, 1);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let map = v.as_map().expect("object");
+    let findings = map
+        .iter()
+        .find(|(k, _)| k == "findings")
+        .and_then(|(_, v)| match v {
+            serde_json::Value::Seq(items) => Some(items.len()),
+            _ => None,
+        })
+        .expect("findings array");
+    assert!(findings >= 5, "expected >=5 findings, got {findings}");
+}
+
+#[test]
+fn corrupting_a_clean_tree_flips_exit_to_nonzero() {
+    let dir = copy_fixture("clean", "corrupt");
+    let root = dir.to_str().expect("utf8 path");
+    let (code, _, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 0);
+    // Introduce one entropy call.
+    let target = dir.join("crates/fl/src/sim.rs");
+    let mut src = std::fs::read_to_string(&target).expect("read fixture");
+    src.push_str("\npub fn corrupted() {\n    let _ = rand::thread_rng();\n}\n");
+    std::fs::write(&target, src).expect("write fixture");
+    let (code, stdout, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(stdout.contains("entropy-rng"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bless_rewrites_baseline_and_future_runs_pass() {
+    let dir = copy_fixture("bad", "bless");
+    let root = dir.to_str().expect("utf8 path");
+    // Counted debt exceeds the baseline: fails before blessing…
+    let (code, _, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 1);
+    // …and still fails after, because forbidden findings are never
+    // blessed away.
+    let (code, _, _) = run_binary(&["--bless", "--root", root]);
+    assert_eq!(code, 1);
+    let blessed = ratchet::load(&dir.join("FABCHECK_BASELINE.json")).expect("blessed baseline");
+    assert_eq!(blessed["unwrap-in-lib"]["crates/nn/src/lib.rs"], 2);
+    assert_eq!(blessed["todo-unimplemented"]["crates/nn/src/lib.rs"], 1);
+    // With the counted debt blessed, only the forbidden findings remain.
+    let report = check_workspace(&dir).expect("scan");
+    let (regressions, _) = ratchet::compare(&blessed, &report.counts);
+    assert!(regressions.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_baseline_fails_closed_on_counted_debt() {
+    let dir = copy_fixture("bad", "nobase");
+    std::fs::remove_file(dir.join("FABCHECK_BASELINE.json")).expect("remove baseline");
+    let report = check_workspace(&dir).expect("scan");
+    let baseline = ratchet::load(&dir.join("FABCHECK_BASELINE.json")).expect("empty baseline");
+    let (regressions, _) = ratchet::compare(&baseline, &report.counts);
+    assert!(
+        !regressions.is_empty(),
+        "counted debt must regress against an absent baseline"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The real workspace must stay clean: this is the same check CI runs,
+/// kept as a test so `cargo test` alone catches contract violations.
+#[test]
+fn real_workspace_has_no_forbidden_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = check_workspace(root).expect("scan");
+    assert!(
+        report.findings.is_empty(),
+        "forbidden findings in the real tree: {:#?}",
+        report.findings
+    );
+    let baseline = ratchet::load(&root.join(fabcheck::BASELINE_FILE)).expect("baseline");
+    let (regressions, _) = ratchet::compare(&baseline, &report.counts);
+    assert!(
+        regressions.is_empty(),
+        "ratchet regressions: {regressions:#?}"
+    );
+}

@@ -6,7 +6,7 @@ use crate::{simulate, AttackSpec, FlConfig, FlError};
 use fabflip_agg::DefenseKind;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 /// Mean/summary of one experiment-grid cell over `repeats` paired runs
@@ -43,9 +43,12 @@ impl CellSummary {
     }
 }
 
-fn clean_cache() -> &'static Mutex<HashMap<String, f32>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, f32>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+// BTreeMap, not HashMap: the fabcheck `nondeterministic-collection` rule
+// keeps hash-iteration order out of the numeric crates wholesale, even
+// where (as here) the map is only ever probed by key.
+fn clean_cache() -> &'static Mutex<BTreeMap<String, f32>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, f32>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// The clean-run ceiling `acc_natk` for the given configuration: the same

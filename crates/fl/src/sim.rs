@@ -119,12 +119,16 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
         Dataset::synthesize_split(&spec, cfg.test_size, TASK_SEED, sub_seed(cfg.seed, 2, 0, 0));
     let shards = dirichlet_partition(&train, cfg.n_clients, cfg.beta, sub_seed(cfg.seed, 3, 0, 0))?;
 
-    // Adversary-controlled clients: a uniformly random subset.
+    // Adversary-controlled clients: a uniformly random subset, kept as a
+    // sorted vector (membership via binary search) so every iteration over
+    // it is deterministic — a HashSet here leaks hash order into the
+    // adversary's data pool (fabcheck: nondeterministic-collection).
     let mut setup_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 4, 0, 0));
     let mut ids: Vec<usize> = (0..cfg.n_clients).collect();
     ids.shuffle(&mut setup_rng);
-    let malicious: std::collections::HashSet<usize> =
-        ids[..cfg.n_malicious()].iter().copied().collect();
+    let mut malicious: Vec<usize> = ids[..cfg.n_malicious()].to_vec();
+    malicious.sort_unstable();
+    let is_malicious = |c: usize| malicious.binary_search(&c).is_ok();
 
     // The Fig. 7 real-data adversary pools its clients' Dirichlet shards.
     let adversary_data = if cfg.attack.needs_adversary_data() {
@@ -178,14 +182,14 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
         // train in parallel and their updates are merged in selection order
         // — the transcript is bitwise identical to the sequential loop (see
         // the determinism contract in `fabflip_tensor::par`).
-        let malicious_selected = selected.iter().filter(|c| malicious.contains(c)).count();
+        let malicious_selected = selected.iter().filter(|&&c| is_malicious(c)).count();
         let train_ref = &train;
         let shards_ref = &shards;
         let global_ref = &global;
-        let malicious_ref = &malicious;
+        let is_malicious_ref = &is_malicious;
         let outcomes: Vec<ClientOutcome> = par::map_collect(selected.len(), |s| {
             let client = selected[s];
-            if malicious_ref.contains(&client) {
+            if is_malicious_ref(client) {
                 return Ok(None);
             }
             let shard = &shards_ref[client];

@@ -15,21 +15,28 @@ use rand::SeedableRng;
 /// Loss = Σ c_i y_i; returns (loss, dL/dy = c).
 fn weighted_sum_loss(y: &Tensor, coeffs: &[f32]) -> (f32, Tensor) {
     let loss: f32 = y.data().iter().zip(coeffs).map(|(a, b)| a * b).sum();
-    let grad = Tensor::from_vec(y.shape().to_vec(), coeffs.to_vec()).unwrap();
+    let grad = Tensor::from_vec(y.shape().to_vec(), coeffs.to_vec())
+        .expect("loss-gradient tensor must match the output shape");
     (loss, grad)
 }
 
 /// Checks parameter and input gradients of `model` at input `x`.
 fn check_model(model: &mut Sequential, x: &Tensor, tol: f32) {
     let mut rng = StdRng::seed_from_u64(99);
-    let y0 = model.forward(x).unwrap();
+    let y0 = model
+        .forward(x)
+        .expect("forward pass failed during gradient check");
     let coeffs: Vec<f32> = Tensor::uniform(vec![y0.len()], -1.0, 1.0, &mut rng).into_vec();
 
     // Analytic gradients.
     model.zero_grads();
-    let y = model.forward(x).unwrap();
+    let y = model
+        .forward(x)
+        .expect("forward pass failed during gradient check");
     let (_, gy) = weighted_sum_loss(&y, &coeffs);
-    let gx = model.backward(&gy).unwrap();
+    let gx = model
+        .backward(&gy)
+        .expect("backward pass failed during gradient check");
     let analytic_pg = model.flat_grads();
     let w0 = model.flat_params();
 
@@ -40,13 +47,21 @@ fn check_model(model: &mut Sequential, x: &Tensor, tol: f32) {
     for i in (0..n).step_by(stride) {
         let mut wp = w0.clone();
         wp[i] += eps;
-        model.set_flat_params(&wp).unwrap();
-        let yp = model.forward(x).unwrap();
+        model
+            .set_flat_params(&wp)
+            .expect("flat param vector must round-trip through the model");
+        let yp = model
+            .forward(x)
+            .expect("forward pass failed at perturbed parameters");
         let lp: f32 = yp.data().iter().zip(&coeffs).map(|(a, b)| a * b).sum();
         let mut wm = w0.clone();
         wm[i] -= eps;
-        model.set_flat_params(&wm).unwrap();
-        let ym = model.forward(x).unwrap();
+        model
+            .set_flat_params(&wm)
+            .expect("flat param vector must round-trip through the model");
+        let ym = model
+            .forward(x)
+            .expect("forward pass failed at perturbed parameters");
         let lm: f32 = ym.data().iter().zip(&coeffs).map(|(a, b)| a * b).sum();
         let numeric = (lp - lm) / (2.0 * eps);
         let analytic = analytic_pg[i];
@@ -55,7 +70,9 @@ fn check_model(model: &mut Sequential, x: &Tensor, tol: f32) {
             "param grad {i}: numeric {numeric} vs analytic {analytic}"
         );
     }
-    model.set_flat_params(&w0).unwrap();
+    model
+        .set_flat_params(&w0)
+        .expect("restoring the original parameters must succeed");
 
     // Input gradients: probe a subset of pixels.
     let m = x.len();
@@ -63,11 +80,15 @@ fn check_model(model: &mut Sequential, x: &Tensor, tol: f32) {
     for i in (0..m).step_by(stride) {
         let mut xp = x.clone();
         xp.data_mut()[i] += eps;
-        let yp = model.forward(&xp).unwrap();
+        let yp = model
+            .forward(&xp)
+            .expect("forward pass failed at perturbed input");
         let lp: f32 = yp.data().iter().zip(&coeffs).map(|(a, b)| a * b).sum();
         let mut xm = x.clone();
         xm.data_mut()[i] -= eps;
-        let ym = model.forward(&xm).unwrap();
+        let ym = model
+            .forward(&xm)
+            .expect("forward pass failed at perturbed input");
         let lm: f32 = ym.data().iter().zip(&coeffs).map(|(a, b)| a * b).sum();
         let numeric = (lp - lm) / (2.0 * eps);
         let analytic = gx.data()[i];
@@ -152,9 +173,13 @@ fn gradcheck_cross_entropy_hard() {
     let labels = [1usize, 2];
 
     m.zero_grads();
-    let logits = m.forward(&x).unwrap();
-    let (_, g) = softmax_cross_entropy_hard(&logits, &labels).unwrap();
-    m.backward(&g).unwrap();
+    let logits = m
+        .forward(&x)
+        .expect("forward pass failed during gradient check");
+    let (_, g) = softmax_cross_entropy_hard(&logits, &labels)
+        .expect("hard-label cross-entropy rejected well-shaped logits");
+    m.backward(&g)
+        .expect("backward pass failed during gradient check");
     let analytic = m.flat_grads();
     let w0 = m.flat_params();
 
@@ -162,12 +187,22 @@ fn gradcheck_cross_entropy_hard() {
     for i in 0..w0.len() {
         let mut wp = w0.clone();
         wp[i] += eps;
-        m.set_flat_params(&wp).unwrap();
-        let (lp, _) = softmax_cross_entropy_hard(&m.forward(&x).unwrap(), &labels).unwrap();
+        m.set_flat_params(&wp)
+            .expect("flat param vector must round-trip through the model");
+        let fwd = m
+            .forward(&x)
+            .expect("forward pass failed at perturbed parameters");
+        let (lp, _) = softmax_cross_entropy_hard(&fwd, &labels)
+            .expect("hard-label cross-entropy rejected well-shaped logits");
         let mut wm = w0.clone();
         wm[i] -= eps;
-        m.set_flat_params(&wm).unwrap();
-        let (lm, _) = softmax_cross_entropy_hard(&m.forward(&x).unwrap(), &labels).unwrap();
+        m.set_flat_params(&wm)
+            .expect("flat param vector must round-trip through the model");
+        let fwd = m
+            .forward(&x)
+            .expect("forward pass failed at perturbed parameters");
+        let (lm, _) = softmax_cross_entropy_hard(&fwd, &labels)
+            .expect("hard-label cross-entropy rejected well-shaped logits");
         let numeric = (lp - lm) / (2.0 * eps);
         assert!(
             (numeric - analytic[i]).abs() < 2e-2 * (1.0 + numeric.abs()),
@@ -187,9 +222,13 @@ fn gradcheck_cross_entropy_soft_uniform_target() {
     let target = Tensor::full(vec![2, 5], 0.2);
 
     m.zero_grads();
-    let logits = m.forward(&x).unwrap();
-    let (_, g) = softmax_cross_entropy_soft(&logits, &target).unwrap();
-    m.backward(&g).unwrap();
+    let logits = m
+        .forward(&x)
+        .expect("forward pass failed during gradient check");
+    let (_, g) = softmax_cross_entropy_soft(&logits, &target)
+        .expect("soft-target cross-entropy rejected well-shaped logits");
+    m.backward(&g)
+        .expect("backward pass failed during gradient check");
     let analytic = m.flat_grads();
     let w0 = m.flat_params();
 
@@ -197,12 +236,22 @@ fn gradcheck_cross_entropy_soft_uniform_target() {
     for i in (0..w0.len()).step_by(3) {
         let mut wp = w0.clone();
         wp[i] += eps;
-        m.set_flat_params(&wp).unwrap();
-        let (lp, _) = softmax_cross_entropy_soft(&m.forward(&x).unwrap(), &target).unwrap();
+        m.set_flat_params(&wp)
+            .expect("flat param vector must round-trip through the model");
+        let fwd = m
+            .forward(&x)
+            .expect("forward pass failed at perturbed parameters");
+        let (lp, _) = softmax_cross_entropy_soft(&fwd, &target)
+            .expect("soft-target cross-entropy rejected well-shaped logits");
         let mut wm = w0.clone();
         wm[i] -= eps;
-        m.set_flat_params(&wm).unwrap();
-        let (lm, _) = softmax_cross_entropy_soft(&m.forward(&x).unwrap(), &target).unwrap();
+        m.set_flat_params(&wm)
+            .expect("flat param vector must round-trip through the model");
+        let fwd = m
+            .forward(&x)
+            .expect("forward pass failed at perturbed parameters");
+        let (lm, _) = softmax_cross_entropy_soft(&fwd, &target)
+            .expect("soft-target cross-entropy rejected well-shaped logits");
         let numeric = (lp - lm) / (2.0 * eps);
         assert!(
             (numeric - analytic[i]).abs() < 2e-2 * (1.0 + numeric.abs()),
