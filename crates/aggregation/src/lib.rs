@@ -57,7 +57,7 @@ pub use bulyan::Bulyan;
 pub use error::AggError;
 pub use fedavg::FedAvg;
 pub use fltrust::{fltrust_aggregate, FLTRUST_SELECT_CUTOFF};
-pub use foolsgold::FoolsGold;
+pub use foolsgold::{FoolsGold, FoolsGoldHistory};
 pub use krum::{krum_scores, krum_scores_from_dists, Krum, MultiKrum};
 pub use normbound::NormBound;
 pub use statistic::{Median, TrimmedMean};

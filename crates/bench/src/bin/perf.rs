@@ -1,18 +1,30 @@
 //! Kernel/throughput benchmark: emits `BENCH_kernels.json` in the current
 //! directory with matmul GFLOP/s (new tiled kernels vs the seed's ikj
 //! kernel re-implemented below as the baseline), conv forward/backward
-//! throughput, per-rule aggregation timings at `n = 50, d = 100k`, and one
-//! full FL round.
+//! throughput, per-rule aggregation timings at `n = 50, d = 100k`, one
+//! full FL round, the worker-pool dispatch-overhead microbench (persistent
+//! pool vs per-dispatch `thread::scope`), and the Sec. IV-E complexity
+//! claims (ZKA crafting cost vs a benign client's local epoch).
 //!
 //! Run with `cargo run --release -p fabflip-bench --bin perf`. The thread
-//! budget follows `FABFLIP_THREADS` (see README).
+//! budget follows `FABFLIP_THREADS` (see README); the dispatch microbench
+//! pins the budget to 4 so it exercises the pool even on small runners.
+//!
+//! `--smoke` runs only the dispatch microbench with a reduced dispatch
+//! count, does not write `BENCH_kernels.json`, and exits non-zero when the
+//! pool is not measurably faster than per-dispatch spawning — CI uses this
+//! as a cheap dispatch-overhead regression gate.
 
+use fabflip::{ZkaConfig, ZkaG, ZkaR};
 use fabflip_agg::{
     Bulyan, Defense, FedAvg, FoolsGold, Krum, Median, MultiKrum, NormBound, TrimmedMean,
 };
+use fabflip_attacks::TaskInfo;
+use fabflip_data::{Dataset, SynthSpec};
 use fabflip_fl::{simulate, FlConfig, TaskKind};
+use fabflip_nn::losses::softmax_cross_entropy_hard;
 use fabflip_nn::{Conv2d, Layer};
-use fabflip_tensor::{matmul_into, par, Tensor};
+use fabflip_tensor::{matmul_into, matmul_into_serial, par, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
@@ -148,6 +160,156 @@ fn bench_aggregation(n: usize, d: usize) -> Vec<Value> {
     rows
 }
 
+/// Dispatch-overhead microbench: many small parallel jobs, where per-job
+/// fixed cost (thread hand-off) dominates the arithmetic. Compares the
+/// persistent worker pool against [`par::spawn_reference`] — the pre-pool
+/// per-dispatch `thread::scope` implementation kept verbatim as the
+/// baseline. Pins the thread budget to 4 (restored afterwards) so both
+/// sides actually hand work to helpers; each dispatch is a 32x32x32 matmul
+/// split into four row blocks.
+fn bench_dispatch(smoke: bool) -> (Value, f64) {
+    const S: usize = 32;
+    const ROWS_PER_BLOCK: usize = 8;
+    let dispatches = if smoke { 1_000 } else { 10_000 };
+    let reps = if smoke { 2 } else { 3 };
+    let threads = 4usize;
+    let prev_budget = par::max_threads();
+    par::set_max_threads(threads);
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let a: Vec<f32> = (0..S * S).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let b: Vec<f32> = (0..S * S).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut c = vec![0.0f32; S * S];
+    let block = |lo_block: usize, chunk: &mut [f32]| {
+        chunk.fill(0.0);
+        let lo = lo_block * ROWS_PER_BLOCK;
+        let rows = chunk.len() / S;
+        matmul_into_serial(&a[lo * S..(lo + rows) * S], &b, chunk, rows, S, S);
+    };
+
+    // Both dispatch paths must agree bitwise with the serial kernel before
+    // their timings mean anything.
+    let mut c_serial = vec![0.0f32; S * S];
+    matmul_into_serial(&a, &b, &mut c_serial, S, S, S);
+    par::for_each_chunk_mut(&mut c, ROWS_PER_BLOCK * S, block);
+    assert!(
+        c.iter()
+            .zip(&c_serial)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "pool dispatch diverged from serial"
+    );
+    c.fill(1.0);
+    par::spawn_reference::for_each_chunk_mut(&mut c, ROWS_PER_BLOCK * S, block);
+    assert!(
+        c.iter()
+            .zip(&c_serial)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "spawn-reference dispatch diverged from serial"
+    );
+
+    let t_pool = time_best(reps, || {
+        for _ in 0..dispatches {
+            par::for_each_chunk_mut(&mut c, ROWS_PER_BLOCK * S, block);
+        }
+    });
+    let t_spawn = time_best(reps, || {
+        for _ in 0..dispatches {
+            par::spawn_reference::for_each_chunk_mut(&mut c, ROWS_PER_BLOCK * S, block);
+        }
+    });
+    par::set_max_threads(prev_budget);
+
+    let speedup = t_spawn / t_pool;
+    println!(
+        "dispatch ({dispatches} x {S}x{S}x{S} matmul, {threads} threads): \
+         pool {:.2} us/dispatch, spawn {:.2} us/dispatch, speedup {:.2}x",
+        t_pool / dispatches as f64 * 1e6,
+        t_spawn / dispatches as f64 * 1e6,
+        speedup
+    );
+    let row = serde_json::json!({
+        "dispatches": dispatches as u64,
+        "threads": threads as u64,
+        "matmul_size": S as u64,
+        "pool_seconds": t_pool,
+        "spawn_seconds": t_spawn,
+        "pool_us_per_dispatch": t_pool / dispatches as f64 * 1e6,
+        "spawn_us_per_dispatch": t_spawn / dispatches as f64 * 1e6,
+        "speedup_vs_spawn": speedup,
+    });
+    (row, speedup)
+}
+
+fn fashion_task(set_size: usize) -> TaskInfo {
+    let spec = SynthSpec::fashion_like();
+    TaskInfo {
+        channels: spec.channels,
+        height: spec.height,
+        width: spec.width,
+        num_classes: spec.num_classes,
+        synth_set_size: set_size,
+        local_lr: 0.08,
+        local_batch: 16,
+        local_epochs: 1,
+    }
+}
+
+/// The paper's Sec. IV-E complexity claims, measured: the adversary's
+/// per-round synthetic-set crafting (ZKA-R's O(|S| J² Q I²), ZKA-G's
+/// O(|S| (P + Q) I²)) stays within a small factor of a benign client's
+/// local epoch. Formerly a criterion bench (`benches/micro.rs`), folded
+/// into this JSON so the numbers land next to the kernel timings.
+fn bench_complexity() -> Value {
+    let set_size = 20usize;
+    let spec = SynthSpec::fashion_like();
+    let data = Dataset::synthesize(&spec, set_size, 1);
+    let idx: Vec<usize> = (0..set_size).collect();
+    let t_benign = time_best(3, || {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = TaskKind::Fashion.build_model(&mut rng);
+        for batch in data.shuffled_batches(&idx, 16, &mut rng) {
+            model
+                .train_step(&batch.images, 0.08, |lg| {
+                    softmax_cross_entropy_hard(lg, &batch.labels)
+                })
+                .expect("train step");
+        }
+    });
+
+    let task = fashion_task(set_size);
+    let t_zka_r = time_best(2, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut global = TaskKind::Fashion.build_model(&mut rng);
+        let _ = ZkaR::new(ZkaConfig::paper())
+            .synthesize(&mut global, &task, &mut rng)
+            .expect("zka-r synthesize");
+    });
+    let t_zka_g = time_best(2, || {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut global = TaskKind::Fashion.build_model(&mut rng);
+        let _ = ZkaG::new(ZkaConfig::paper())
+            .synthesize(&mut global, &task, 0, &mut rng)
+            .expect("zka-g synthesize");
+    });
+    println!(
+        "complexity (|S|={set_size}, fashion): benign epoch {:.3} s, \
+         zka-r {:.3} s ({:.1}x), zka-g {:.3} s ({:.1}x)",
+        t_benign,
+        t_zka_r,
+        t_zka_r / t_benign,
+        t_zka_g,
+        t_zka_g / t_benign
+    );
+    serde_json::json!({
+        "set_size": set_size as u64,
+        "benign_local_epoch_s": t_benign,
+        "zka_r_synthesize_s": t_zka_r,
+        "zka_g_synthesize_s": t_zka_g,
+        "zka_r_over_benign": t_zka_r / t_benign,
+        "zka_g_over_benign": t_zka_g / t_benign,
+    })
+}
+
 fn bench_fl_round() -> Value {
     let cfg = FlConfig::builder(TaskKind::Fashion)
         .rounds(1)
@@ -170,11 +332,24 @@ fn bench_fl_round() -> Value {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // CI regression gate: dispatch overhead only, no JSON rewrite.
+        let (_, speedup) = bench_dispatch(true);
+        if speedup < 1.3 {
+            eprintln!("FAIL: pool dispatch speedup {speedup:.2}x < 1.3x vs per-dispatch spawn");
+            std::process::exit(1);
+        }
+        println!("smoke ok: pool dispatch {speedup:.2}x vs per-dispatch spawn");
+        return;
+    }
     println!("threads: {}", par::max_threads());
     let (matmul_rows, speedup_1024) = bench_matmul(&[256, 512, 1024]);
     let conv = bench_conv();
     let agg = bench_aggregation(50, 100_000);
     let fl_round = bench_fl_round();
+    let (dispatch, dispatch_speedup) = bench_dispatch(false);
+    let complexity = bench_complexity();
     let out = serde_json::json!({
         "threads": par::max_threads() as u64,
         "matmul": matmul_rows,
@@ -182,8 +357,10 @@ fn main() {
         "conv": conv,
         "aggregation": agg,
         "fl_round": fl_round,
+        "dispatch": dispatch,
+        "complexity": complexity,
     });
     let json = serde_json::to_string_pretty(&out).expect("serialize");
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    println!("wrote BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json (dispatch speedup {dispatch_speedup:.2}x)");
 }

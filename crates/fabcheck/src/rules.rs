@@ -6,7 +6,7 @@
 //!
 //! * **forbidden** — any hit fails CI (`nondeterministic-collection`,
 //!   `entropy-rng`, `wallclock-in-kernel`, `env-var-outside-config`,
-//!   `unsafe-without-safety-comment`);
+//!   `unsafe-without-safety-comment`, `thread-spawn-outside-par`);
 //! * **counted** — hits are tallied per `rule × file` and ratcheted
 //!   against `FABCHECK_BASELINE.json`: counts may shrink, never grow
 //!   (`unwrap-in-lib`, `todo-unimplemented`).
@@ -27,6 +27,12 @@ pub const NUMERIC_CRATES: &[&str] = &["tensor", "nn", "aggregation", "attacks", 
 /// arguments so a run is a pure function of its config + seed.
 pub const BLESSED_ENV_FILES: &[&str] = &["crates/tensor/src/par.rs", "compat/rayon/src/lib.rs"];
 
+/// The single file allowed to create threads: the persistent worker pool.
+/// All other crate code must go through `fabflip_tensor::par` so thread
+/// count, block shape, and merge order stay under the §4b determinism
+/// contract (and the pool's parked workers are actually reused).
+pub const BLESSED_THREAD_FILE: &str = "crates/tensor/src/par.rs";
+
 /// How many lines above an `unsafe` token a `// SAFETY:` comment may end
 /// and still annotate it (allows attributes and a signature line between).
 const SAFETY_WINDOW_LINES: u32 = 5;
@@ -44,6 +50,9 @@ pub enum Rule {
     EnvVarOutsideConfig,
     /// `unsafe` without a `// SAFETY:` comment just above (or beside) it.
     UnsafeWithoutSafetyComment,
+    /// `thread::spawn`/`thread::scope`/`thread::Builder` in `crates/`
+    /// outside the worker pool (`crates/tensor/src/par.rs`).
+    ThreadSpawnOutsidePar,
     /// `.unwrap()` in non-test library code (counted).
     UnwrapInLib,
     /// `todo!`/`unimplemented!` in non-test code (counted).
@@ -52,12 +61,13 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NondeterministicCollection,
         Rule::EntropyRng,
         Rule::WallclockInKernel,
         Rule::EnvVarOutsideConfig,
         Rule::UnsafeWithoutSafetyComment,
+        Rule::ThreadSpawnOutsidePar,
         Rule::UnwrapInLib,
         Rule::TodoUnimplemented,
     ];
@@ -70,6 +80,7 @@ impl Rule {
             Rule::WallclockInKernel => "wallclock-in-kernel",
             Rule::EnvVarOutsideConfig => "env-var-outside-config",
             Rule::UnsafeWithoutSafetyComment => "unsafe-without-safety-comment",
+            Rule::ThreadSpawnOutsidePar => "thread-spawn-outside-par",
             Rule::UnwrapInLib => "unwrap-in-lib",
             Rule::TodoUnimplemented => "todo-unimplemented",
         }
@@ -154,6 +165,17 @@ fn scope(rule: Rule, class: &FileClass) -> Scope {
         }
         // Unsafe needs its invariant written down wherever it appears.
         Rule::UnsafeWithoutSafetyComment => Scope::All,
+        // Thread creation is the pool's monopoly: ad-hoc spawns bypass the
+        // budget cap and the fixed-block determinism argument. Tests too —
+        // a scoped spawn in a test still races the pool's parked workers.
+        // The compat shims are exempt (the rayon shim delegates to `par`).
+        Rule::ThreadSpawnOutsidePar => {
+            if class.in_crates && class.rel != BLESSED_THREAD_FILE {
+                Scope::All
+            } else {
+                Scope::Off
+            }
+        }
         Rule::UnwrapInLib => {
             if class.in_crates && !class.is_test_file && !class.is_bin && !class.is_example {
                 Scope::NonTest
@@ -434,6 +456,27 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                         .to_string(),
                 )
             }
+            "spawn" | "scope" | "Builder"
+                if on(Rule::ThreadSpawnOutsidePar, i)
+                    && i >= 3
+                    && toks[i - 1].text == ":"
+                    && !toks[i - 1].is_ident
+                    && toks[i - 2].text == ":"
+                    && !toks[i - 2].is_ident
+                    && toks[i - 3].text == "thread"
+                    && toks[i - 3].is_ident =>
+            {
+                push(
+                    Rule::ThreadSpawnOutsidePar,
+                    t,
+                    format!(
+                        "`thread::{}` outside `crates/tensor/src/par.rs`; route \
+                         parallel work through the `fabflip_tensor::par` worker \
+                         pool so the thread budget and §4b block determinism hold",
+                        t.text
+                    ),
+                )
+            }
             "unwrap" if on(Rule::UnwrapInLib, i) => {
                 let after_dot = i >= 1 && !toks[i - 1].is_ident && toks[i - 1].text == ".";
                 let called = i + 1 < toks.len() && toks[i + 1].text == "(";
@@ -587,6 +630,43 @@ mod tests {
         // The word SAFETY: inside a doc example string does not annotate
         // and an `unsafe` inside a string is not a finding.
         assert!(run("crates/nn/src/x.rs", r#"let s = "unsafe";"#).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_par() {
+        let spawn = "std::thread::spawn(|| {});";
+        assert_eq!(
+            run("crates/fl/src/runner.rs", spawn),
+            ["thread-spawn-outside-par"]
+        );
+        // The worker pool itself and the compat shims are exempt.
+        assert!(run("crates/tensor/src/par.rs", spawn).is_empty());
+        assert!(run("compat/rayon/src/lib.rs", spawn).is_empty());
+        // `thread::scope` and `thread::Builder` count too.
+        assert_eq!(
+            run(
+                "crates/nn/src/x.rs",
+                "thread::scope(|s| { s.spawn(|| {}); });"
+            ),
+            ["thread-spawn-outside-par"]
+        );
+        assert_eq!(
+            run("crates/fl/src/x.rs", "thread::Builder::new();"),
+            ["thread-spawn-outside-par"]
+        );
+        // Test code is NOT exempt: scoped threads in tests still race the
+        // pool's parked workers.
+        assert_eq!(
+            run(
+                "crates/nn/src/x.rs",
+                "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }"
+            ),
+            ["thread-spawn-outside-par"]
+        );
+        // A method call `cmd.spawn()` (e.g. std::process::Command) and the
+        // bare words in prose are clean.
+        assert!(run("crates/fl/src/x.rs", "cmd.spawn();").is_empty());
+        assert!(run("crates/fl/src/x.rs", "// thread::spawn in prose").is_empty());
     }
 
     #[test]

@@ -11,3 +11,8 @@ pub fn kernel(cache: &mut HashMap<usize, f32>) -> f32 {
     let p = &sum as *const f32;
     unsafe { *p }
 }
+
+pub fn ad_hoc_parallelism() {
+    let h = std::thread::spawn(|| 0u32);
+    let _ = h.join();
+}

@@ -58,6 +58,7 @@ fn bad_fixture_reports_every_forbidden_rule() {
         "wallclock-in-kernel",
         "env-var-outside-config",
         "unsafe-without-safety-comment",
+        "thread-spawn-outside-par",
     ] {
         assert!(fired.contains(&rule), "missing {rule} in {fired:?}");
     }

@@ -1,4 +1,5 @@
 use crate::{Layer, NnError};
+use fabflip_tensor::scratch::{scratch_zeroed, Purpose};
 use fabflip_tensor::{
     col2im, conv_out_dim, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, par, Tensor,
     PAR_FLOP_THRESHOLD,
@@ -22,13 +23,19 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     pad: usize,
-    /// Cached per-sample im2col matrices + input geometry from the last forward.
+    /// Input geometry from the last forward.
     cache: Option<ConvCache>,
+    /// Per-sample im2col matrices from the last forward, one flat
+    /// `[N, CKK·OH·OW]` buffer reused (grow-only) across rounds. `im2col`
+    /// fully overwrites each sample's stripe before anything reads it.
+    cols: Vec<f32>,
+    /// Per-sample weight+bias gradient stripes `[N, OC·CKK + OC]`, zeroed
+    /// and reused each backward, merged in ascending sample order.
+    gwb: Vec<f32>,
 }
 
 #[derive(Debug)]
 struct ConvCache {
-    cols: Vec<Vec<f32>>,
     in_shape: Vec<usize>,
     out_h: usize,
     out_w: usize,
@@ -63,6 +70,8 @@ impl Conv2d {
             stride,
             pad,
             cache: None,
+            cols: Vec::new(),
+            gwb: Vec::new(),
         }
     }
 
@@ -106,35 +115,39 @@ impl Layer for Conv2d {
         let out_channels = self.out_channels;
         let (kernel, stride, pad) = (self.kernel, self.stride, self.pad);
         let input_data = input.data();
-        // Each sample writes a disjoint output slice and produces its own
-        // im2col matrix, so the batch dimension parallelizes trivially;
-        // results are merged in sample order (determinism contract in
-        // `fabflip_tensor::par`).
-        let per_sample = |i: usize, out_sample: &mut [f32]| {
+        // Each sample writes a disjoint output slice and its own stripe of
+        // the flat im2col buffer, so the batch dimension parallelizes
+        // trivially; results are merged in sample order (determinism
+        // contract in `fabflip_tensor::par`). The buffer is layer-owned and
+        // grow-only: steady-state rounds allocate nothing here.
+        let col_len = ckk * out_area;
+        self.cols.resize(n * col_len, 0.0);
+        let cols = &mut self.cols;
+        let per_sample = |i: usize, out_sample: &mut [f32], col: &mut [f32]| {
             let img = &input_data[i * sample_len..(i + 1) * sample_len];
-            let mut col = vec![0.0f32; ckk * out_area];
-            im2col(img, &mut col, c, h, w, kernel, kernel, stride, pad);
-            matmul_into(weight, &col, out_sample, out_channels, ckk, out_area);
+            im2col(img, col, c, h, w, kernel, kernel, stride, pad);
+            matmul_into(weight, col, out_sample, out_channels, ckk, out_area);
             for oc in 0..out_channels {
                 let b = bias[oc];
                 for v in &mut out_sample[oc * out_area..(oc + 1) * out_area] {
                     *v += b;
                 }
             }
-            col
         };
         let batch_flops = 2 * (n * out_channels * ckk * out_area) as u64;
-        let cols: Vec<Vec<f32>> = if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
-            out.data_mut()
+        if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+            for (i, (s, col)) in out
+                .data_mut()
                 .chunks_mut(out_sample_len)
+                .zip(cols.chunks_mut(col_len))
                 .enumerate()
-                .map(|(i, s)| per_sample(i, s))
-                .collect()
+            {
+                per_sample(i, s, col);
+            }
         } else {
-            par::map_chunks_mut(out.data_mut(), out_sample_len, per_sample)
-        };
+            par::for_each_chunk_pair_mut(out.data_mut(), out_sample_len, cols, col_len, per_sample);
+        }
         self.cache = Some(ConvCache {
-            cols,
             in_shape: input.shape().to_vec(),
             out_h: oh,
             out_w: ow,
@@ -170,45 +183,66 @@ impl Layer for Conv2d {
         let out_channels = self.out_channels;
         let (kernel, stride, pad) = (self.kernel, self.stride, self.pad);
         let grad_out_data = grad_out.data();
-        let cols = &cache.cols;
+        let col_len = ckk * out_area;
+        let cols = &self.cols;
+        debug_assert_eq!(cols.len(), n * col_len, "cols stale relative to cache");
         // Per-sample input gradients are disjoint; per-sample weight/bias
-        // contributions go into local buffers and are summed in ascending
-        // sample order afterwards, which reproduces the serial accumulation
-        // sequence bitwise (each matmul adds one complete dot product per
-        // element, so "accumulate in place" and "accumulate locally then
-        // merge in order" perform the identical chain of additions).
-        let per_sample = |i: usize, gi: &mut [f32]| {
+        // contributions go into per-sample stripes of one flat reusable
+        // buffer and are summed in ascending sample order afterwards, which
+        // reproduces the serial accumulation sequence bitwise (each matmul
+        // adds one complete dot product per element, so "accumulate in
+        // place" and "accumulate locally then merge in order" perform the
+        // identical chain of additions).
+        let gw_len = out_channels * ckk;
+        let gwb_len = gw_len + out_channels;
+        self.gwb.clear();
+        self.gwb.resize(n * gwb_len, 0.0);
+        let per_sample = |i: usize, gi: &mut [f32], gwb: &mut [f32]| {
             let g = &grad_out_data[i * out_sample_len..(i + 1) * out_sample_len];
-            let mut gb = vec![0.0f32; out_channels];
+            // Weight gradient: g [OC, A] · colᵀ [A, CKK]; bias gradient:
+            // per-channel sums. Both land in this sample's gwb stripe.
+            let (gw, gb) = gwb.split_at_mut(gw_len);
             for (oc, gb_v) in gb.iter_mut().enumerate() {
                 *gb_v = g[oc * out_area..(oc + 1) * out_area].iter().sum::<f32>();
             }
-            // Weight gradient: g [OC, A] · colᵀ [A, CKK].
-            let mut gw = vec![0.0f32; out_channels * ckk];
-            matmul_transpose_b(g, &cols[i], &mut gw, out_channels, out_area, ckk);
-            // Input gradient: Wᵀ [CKK, OC] · g [OC, A], folded back with col2im.
-            let mut grad_col = vec![0.0f32; ckk * out_area];
+            matmul_transpose_b(
+                g,
+                &cols[i * col_len..(i + 1) * col_len],
+                gw,
+                out_channels,
+                out_area,
+                ckk,
+            );
+            // Input gradient: Wᵀ [CKK, OC] · g [OC, A], folded back with
+            // col2im. Zeroed thread-local scratch: the matmul accumulates.
+            let mut grad_col = scratch_zeroed(Purpose::GradCol, col_len);
             matmul_transpose_a(weight, g, &mut grad_col, ckk, out_channels, out_area);
             col2im(&grad_col, gi, c, h, w, kernel, kernel, stride, pad);
-            (gw, gb)
         };
         let batch_flops = 4 * (n * out_channels * ckk * out_area) as u64;
-        let contribs: Vec<(Vec<f32>, Vec<f32>)> =
-            if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
-                grad_in
-                    .data_mut()
-                    .chunks_mut(sample_len)
-                    .enumerate()
-                    .map(|(i, s)| per_sample(i, s))
-                    .collect()
-            } else {
-                par::map_chunks_mut(grad_in.data_mut(), sample_len, per_sample)
-            };
-        for (gw, gb) in &contribs {
-            for (dst, src) in self.grad_weight.data_mut().iter_mut().zip(gw) {
+        if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+            for (i, (s, gwb)) in grad_in
+                .data_mut()
+                .chunks_mut(sample_len)
+                .zip(self.gwb.chunks_mut(gwb_len))
+                .enumerate()
+            {
+                per_sample(i, s, gwb);
+            }
+        } else {
+            par::for_each_chunk_pair_mut(
+                grad_in.data_mut(),
+                sample_len,
+                &mut self.gwb,
+                gwb_len,
+                per_sample,
+            );
+        }
+        for gwb in self.gwb.chunks(gwb_len) {
+            for (dst, src) in self.grad_weight.data_mut().iter_mut().zip(&gwb[..gw_len]) {
                 *dst += *src;
             }
-            for (dst, src) in self.grad_bias.data_mut().iter_mut().zip(gb) {
+            for (dst, src) in self.grad_bias.data_mut().iter_mut().zip(&gwb[gw_len..]) {
                 *dst += *src;
             }
         }

@@ -1,4 +1,5 @@
 use crate::{Layer, NnError};
+use fabflip_tensor::scratch::{scratch_f32, scratch_zeroed, Purpose};
 use fabflip_tensor::{
     col2im, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, par, Tensor,
     PAR_FLOP_THRESHOLD,
@@ -29,6 +30,9 @@ pub struct ConvTranspose2d {
     stride: usize,
     pad: usize,
     cache: Option<Cache>,
+    /// Per-sample weight+bias gradient stripes `[N, IC·OKK + OC]`, zeroed
+    /// and reused each backward, merged in ascending sample order.
+    gwb: Vec<f32>,
 }
 
 #[derive(Debug)]
@@ -66,6 +70,7 @@ impl ConvTranspose2d {
             stride,
             pad,
             cache: None,
+            gwb: Vec::new(),
         }
     }
 
@@ -122,7 +127,8 @@ impl Layer for ConvTranspose2d {
         let per_sample = |i: usize, y: &mut [f32]| {
             let x = &input_data[i * in_sample..(i + 1) * in_sample];
             // col = Wᵀ [OKK, IC] · x [IC, HW]; weight stored [IC, OKK].
-            let mut col = vec![0.0f32; okk * area_in];
+            // Zeroed thread-local scratch: the matmul accumulates.
+            let mut col = scratch_zeroed(Purpose::ConvCol, okk * area_in);
             matmul_transpose_a(weight, x, &mut col, okk, in_channels, area_in);
             col2im(&col, y, out_channels, oh, ow, kernel, kernel, stride, pad);
             for oc in 0..out_channels {
@@ -178,17 +184,24 @@ impl Layer for ConvTranspose2d {
         let (kernel, stride, pad) = (self.kernel, self.stride, self.pad);
         let grad_out_data = grad_out.data();
         let input_data = input.data();
-        // Batch-parallel with per-sample weight/bias contributions merged in
+        // Batch-parallel with per-sample weight/bias contributions written
+        // into per-sample stripes of one flat reusable buffer and merged in
         // ascending sample order (bitwise-identical to the serial
         // accumulation; see Conv2d::backward).
-        let per_sample = |i: usize, gx: &mut [f32]| {
+        let gw_len = in_channels * okk;
+        let gwb_len = gw_len + out_channels;
+        self.gwb.clear();
+        self.gwb.resize(n * gwb_len, 0.0);
+        let per_sample = |i: usize, gx: &mut [f32], gwb: &mut [f32]| {
             let g = &grad_out_data[i * out_sample..(i + 1) * out_sample];
-            let mut gb = vec![0.0f32; out_channels];
+            let (gw, gb) = gwb.split_at_mut(gw_len);
             for (oc, gb_v) in gb.iter_mut().enumerate() {
                 *gb_v = g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
             }
             // col_g = im2col(g): [OKK, HW] — the forward conv's lowering.
-            let mut col_g = vec![0.0f32; okk * area_in];
+            // Unspecified-contents scratch is fine: im2col writes every
+            // element (padding included) before anything reads it.
+            let mut col_g = scratch_f32(Purpose::Im2col, okk * area_in);
             im2col(
                 g,
                 &mut col_g,
@@ -204,27 +217,32 @@ impl Layer for ConvTranspose2d {
             matmul_into(weight, &col_g, gx, in_channels, okk, area_in);
             // grad_W contribution: x [IC, HW] · col_gᵀ [HW, OKK].
             let x = &input_data[i * in_sample..(i + 1) * in_sample];
-            let mut gw = vec![0.0f32; in_channels * okk];
-            matmul_transpose_b(x, &col_g, &mut gw, in_channels, area_in, okk);
-            (gw, gb)
+            matmul_transpose_b(x, &col_g, gw, in_channels, area_in, okk);
         };
         let batch_flops = 4 * (n * in_channels * okk * area_in) as u64;
-        let contribs: Vec<(Vec<f32>, Vec<f32>)> =
-            if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
-                grad_in
-                    .data_mut()
-                    .chunks_mut(in_sample)
-                    .enumerate()
-                    .map(|(i, s)| per_sample(i, s))
-                    .collect()
-            } else {
-                par::map_chunks_mut(grad_in.data_mut(), in_sample, per_sample)
-            };
-        for (gw, gb) in &contribs {
-            for (dst, src) in self.grad_weight.data_mut().iter_mut().zip(gw) {
+        if batch_flops < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
+            for (i, (s, gwb)) in grad_in
+                .data_mut()
+                .chunks_mut(in_sample)
+                .zip(self.gwb.chunks_mut(gwb_len))
+                .enumerate()
+            {
+                per_sample(i, s, gwb);
+            }
+        } else {
+            par::for_each_chunk_pair_mut(
+                grad_in.data_mut(),
+                in_sample,
+                &mut self.gwb,
+                gwb_len,
+                per_sample,
+            );
+        }
+        for gwb in self.gwb.chunks(gwb_len) {
+            for (dst, src) in self.grad_weight.data_mut().iter_mut().zip(&gwb[..gw_len]) {
                 *dst += *src;
             }
-            for (dst, src) in self.grad_bias.data_mut().iter_mut().zip(gb) {
+            for (dst, src) in self.grad_bias.data_mut().iter_mut().zip(&gwb[gw_len..]) {
                 *dst += *src;
             }
         }

@@ -28,6 +28,7 @@
 //! vectorization and only helped on the mostly-zero one-hot matrices that
 //! no hot path multiplies today).
 
+use crate::scratch::{scratch_f32, Purpose, ScratchBuf};
 use crate::{par, Tensor, TensorError};
 
 /// `k`-panel height: one panel of `b` (`KC·NC` floats) stays L2-resident.
@@ -147,9 +148,11 @@ fn pack_panel<'s>(
     packed
 }
 
-/// Scratch sized for the largest panel a `k×n` problem can need.
-fn panel_scratch(k: usize, n: usize) -> Vec<f32> {
-    vec![0.0f32; KC.min(k) * NC.min(n)]
+/// Checks out a thread-local scratch buffer sized for the largest panel a
+/// `k×n` problem can need. Contents are unspecified — `pack_panel` fully
+/// overwrites the region the micro-kernels read.
+fn panel_scratch(k: usize, n: usize) -> ScratchBuf {
+    scratch_f32(Purpose::PackedPanel, KC.min(k) * NC.min(n))
 }
 
 /// Computes `c_rows += a_rows · b` for `rows` output rows starting at
@@ -166,21 +169,15 @@ fn kernel_into(
     n: usize,
 ) {
     debug_assert_eq!(c_rows.len(), rows * n);
-    let pack = rows >= PACK_MIN_ROWS;
-    let mut scratch = if pack {
-        panel_scratch(k, n)
-    } else {
-        Vec::new()
-    };
+    let mut scratch = (rows >= PACK_MIN_ROWS).then(|| panel_scratch(k, n));
     for jb in (0..n).step_by(NC) {
         let je = (jb + NC).min(n);
         let width = je - jb;
         for pb in (0..k).step_by(KC) {
             let pe = (pb + KC).min(k);
-            let (bp, b_base, b_stride): (&[f32], usize, usize) = if pack {
-                (pack_panel(b, n, jb, pb, pe, width, &mut scratch), 0, width)
-            } else {
-                (b, pb * n + jb, n)
+            let (bp, b_base, b_stride): (&[f32], usize, usize) = match scratch.as_mut() {
+                Some(s) => (pack_panel(b, n, jb, pb, pe, width, s), 0, width),
+                None => (b, pb * n + jb, n),
             };
             let mut i = 0;
             while i + MR <= rows {
@@ -234,21 +231,15 @@ fn kernel_transpose_a(
     n: usize,
 ) {
     debug_assert_eq!(c_rows.len(), rows * n);
-    let pack = rows >= PACK_MIN_ROWS;
-    let mut scratch = if pack {
-        panel_scratch(k, n)
-    } else {
-        Vec::new()
-    };
+    let mut scratch = (rows >= PACK_MIN_ROWS).then(|| panel_scratch(k, n));
     for jb in (0..n).step_by(NC) {
         let je = (jb + NC).min(n);
         let width = je - jb;
         for pb in (0..k).step_by(KC) {
             let pe = (pb + KC).min(k);
-            let (bp, b_base, b_stride): (&[f32], usize, usize) = if pack {
-                (pack_panel(b, n, jb, pb, pe, width, &mut scratch), 0, width)
-            } else {
-                (b, pb * n + jb, n)
+            let (bp, b_base, b_stride): (&[f32], usize, usize) = match scratch.as_mut() {
+                Some(s) => (pack_panel(b, n, jb, pb, pe, width, s), 0, width),
+                None => (b, pb * n + jb, n),
             };
             let mut i = 0;
             while i + MR <= rows {

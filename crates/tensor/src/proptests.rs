@@ -252,6 +252,81 @@ mod parallel_equivalence {
             prop_assert_eq!(bits(&tm_p), bits(&vecops::trimmed_mean_serial(&refs, 2)));
         }
 
+        /// The persistent pool must give bitwise-serial results at every
+        /// thread count, including odd ones that split the rows unevenly.
+        #[test]
+        fn pool_is_bitwise_serial_across_thread_counts(
+            m in 33usize..70, k in 30usize..90, seed in 0u64..1_000_000
+        ) {
+            let n = crossing_n(m, k);
+            let a = fill(seed, m * k);
+            let b = fill(seed ^ 0xABCD, k * n);
+            let c0 = fill(seed ^ 0x1234, m * n);
+            let mut c_ser = c0.clone();
+            matmul_into_serial(&a, &b, &mut c_ser, m, k, n);
+            for threads in [1usize, 2, 7] {
+                let mut c_par = c0.clone();
+                with_threads(threads, || matmul_into(&a, &b, &mut c_par, m, k, n));
+                prop_assert_eq!(bits(&c_par), bits(&c_ser), "threads={}", threads);
+            }
+        }
+
+        /// Resizing the budget between dispatches parks or wakes workers
+        /// but never changes results — the block boundaries each dispatch
+        /// hands out depend only on the budget it started with.
+        #[test]
+        fn pool_is_bitwise_serial_after_mid_run_resize(
+            m in 33usize..70, k in 30usize..90, seed in 0u64..1_000_000
+        ) {
+            let n = crossing_n(m, k);
+            let a = fill(seed, m * k);
+            let b = fill(seed ^ 0xABCD, k * n);
+            let c0 = fill(seed ^ 0x1234, m * n);
+            let mut c_ser = c0.clone();
+            matmul_into_serial(&a, &b, &mut c_ser, m, k, n);
+            let (c_wide, c_narrow) = with_threads(7, || {
+                let mut c_wide = c0.clone();
+                matmul_into(&a, &b, &mut c_wide, m, k, n);
+                // Shrink the pool mid-run: surplus workers park, results
+                // stay bitwise-identical.
+                par::set_max_threads(2);
+                let mut c_narrow = c0.clone();
+                matmul_into(&a, &b, &mut c_narrow, m, k, n);
+                (c_wide, c_narrow)
+            });
+            prop_assert_eq!(bits(&c_wide), bits(&c_ser));
+            prop_assert_eq!(bits(&c_narrow), bits(&c_ser));
+        }
+
+        /// A panic in any block propagates to the dispatching caller, and
+        /// the pool keeps serving bitwise-correct dispatches afterwards
+        /// (workers survive the panic).
+        #[test]
+        fn pool_recovers_after_worker_panic(
+            m in 33usize..70, k in 30usize..90, seed in 0u64..1_000_000
+        ) {
+            let n = crossing_n(m, k);
+            let a = fill(seed, m * k);
+            let b = fill(seed ^ 0xABCD, k * n);
+            let c0 = fill(seed ^ 0x1234, m * n);
+            let mut c_ser = c0.clone();
+            matmul_into_serial(&a, &b, &mut c_ser, m, k, n);
+            let (panicked, c_par) = with_threads(4, || {
+                let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut sink = vec![0u8; 4096];
+                    par::for_each_chunk_mut(&mut sink, 512, |idx, _| {
+                        assert!(idx != 5, "injected test panic");
+                    });
+                }))
+                .is_err();
+                let mut c_par = c0.clone();
+                matmul_into(&a, &b, &mut c_par, m, k, n);
+                (panicked, c_par)
+            });
+            prop_assert!(panicked, "panic must propagate to the caller");
+            prop_assert_eq!(bits(&c_par), bits(&c_ser));
+        }
+
         #[test]
         fn pairwise_sq_distances_parallel_is_bitwise_serial(
             nv in 11usize..14, seed in 0u64..1_000_000
