@@ -1,10 +1,60 @@
-use crate::krum::krum_scores_from_dists;
+use crate::krum::krum_scores_into;
 use crate::types::finite_updates;
 use crate::{AggError, Aggregation, Defense, Selection};
+use fabflip_tensor::scratch::{scratch_f32, Purpose};
 use fabflip_tensor::{par, vecops};
 
 /// Minimum `coordinates × selected` work before stage 2 goes parallel.
 const PAR_STAGE2_WORK: usize = 1 << 20;
+
+/// Bulyan's stage-2 coordinate kernel, allocation-free: for each
+/// coordinate of `out` (coordinates `lo..lo + out.len()` of the model),
+/// averages the `beta` values among `selected` closest to the
+/// coordinate-wise median. `cols` is a `3 × selected.len()` workspace
+/// (gather column, median sort, closeness sort).
+///
+/// Closeness ties break on the value itself — the sort key is the
+/// lexicographic pair `(|v − median|, v)` — so the result is a pure
+/// function of the column's *values*, independent of sort stability and
+/// of the order updates arrived in.
+///
+/// # Panics
+///
+/// Panics when `cols.len() != 3 * selected.len()`, `beta` exceeds the
+/// column length, or a coordinate index falls outside a selected update.
+pub fn bulyan_coordinate_chunk(
+    selected: &[&[f32]],
+    lo: usize,
+    out: &mut [f32],
+    beta: usize,
+    cols: &mut [f32],
+) {
+    let theta = selected.len();
+    assert_eq!(cols.len(), 3 * theta, "bulyan: cols workspace is 3·θ");
+    let (column, rest) = cols.split_at_mut(theta);
+    let (sorted, by_closeness) = rest.split_at_mut(theta);
+    for (i, out_v) in out.iter_mut().enumerate() {
+        let coord = lo + i;
+        for (slot, r) in column.iter_mut().zip(selected) {
+            *slot = r[coord];
+        }
+        sorted.copy_from_slice(column);
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let med = if theta % 2 == 1 {
+            sorted[theta / 2]
+        } else {
+            0.5 * (sorted[theta / 2 - 1] + sorted[theta / 2])
+        };
+        // β values closest to the median, value tie-broken.
+        by_closeness.copy_from_slice(column);
+        by_closeness.sort_unstable_by(|a, b| {
+            ((a - med).abs(), *a)
+                .partial_cmp(&((b - med).abs(), *b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        *out_v = by_closeness[..beta].iter().sum::<f32>() / beta as f32;
+    }
+}
 
 /// Bulyan (El Mhamdi et al., 2018): two-stage robust aggregation.
 ///
@@ -53,15 +103,21 @@ impl Defense for Bulyan {
             });
         }
 
-        // Stage 1: iterative Krum selection. The pairwise distance matrix
-        // is computed once (parallel over pairs inside `vecops`) and each
-        // selection round re-scores the shrinking pool from it, instead of
-        // recomputing all O(n²·d) distances per round.
-        let dists = vecops::pairwise_sq_distances(&refs);
+        // Stage 1: iterative Krum selection. The flat pairwise distance
+        // matrix is computed once (parallel over rows inside `vecops`) and
+        // each selection round re-scores the shrinking pool from it with
+        // buffers reused across rounds, instead of recomputing all
+        // O(n²·d) distances (and reallocating) per round.
+        let mut dists = vec![0.0f32; n * n];
+        vecops::pairwise_sq_distances_into(&refs, &mut dists);
         let mut pool: Vec<usize> = (0..n).collect(); // local indices
         let mut selected: Vec<usize> = Vec::with_capacity(theta);
+        let mut scores_buf = vec![0.0f32; n];
+        let mut row_buf = vec![0.0f32; n - 1];
         while selected.len() < theta {
-            let scores = krum_scores_from_dists(&dists, &pool, f)?;
+            let m = pool.len();
+            let scores = &mut scores_buf[..m];
+            krum_scores_into(&dists, n, &pool, f, scores, &mut row_buf[..m - 1])?;
             let best_pos = scores
                 .iter()
                 .enumerate()
@@ -73,39 +129,15 @@ impl Defense for Bulyan {
 
         // Stage 2: per-coordinate trimmed mean around the median, in fixed
         // coordinate chunks (parallel above PAR_STAGE2_WORK) with the
-        // column/sort scratch reused across each chunk's coordinates. Every
-        // coordinate is an independent pure function of the selected
-        // column, so chunking cannot change results.
+        // column/sort workspace drawn from the executing thread's scratch
+        // arena. Every coordinate is an independent pure function of the
+        // selected column, so chunking cannot change results.
         let d = refs[0].len();
         let mut model = vec![0.0f32; d];
         let selected_refs: Vec<&[f32]> = selected.iter().map(|&i| refs[i]).collect();
         let stage2 = |chunk_idx: usize, out: &mut [f32]| {
-            let lo = chunk_idx * par::CHUNK;
-            let mut column = vec![0.0f32; theta];
-            let mut sorted = vec![0.0f32; theta];
-            let mut by_closeness = vec![0.0f32; theta];
-            for (i, out_v) in out.iter_mut().enumerate() {
-                let coord = lo + i;
-                for (slot, r) in column.iter_mut().zip(&selected_refs) {
-                    *slot = r[coord];
-                }
-                sorted.copy_from_slice(&column);
-                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                let med = if theta % 2 == 1 {
-                    sorted[theta / 2]
-                } else {
-                    0.5 * (sorted[theta / 2 - 1] + sorted[theta / 2])
-                };
-                // β values closest to the median.
-                by_closeness.copy_from_slice(&column);
-                by_closeness.sort_by(|a, b| {
-                    (a - med)
-                        .abs()
-                        .partial_cmp(&(b - med).abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                *out_v = by_closeness[..beta].iter().sum::<f32>() / beta as f32;
-            }
+            let mut cols = scratch_f32(Purpose::BulyanCols, 3 * theta);
+            bulyan_coordinate_chunk(&selected_refs, chunk_idx * par::CHUNK, out, beta, &mut cols);
         };
         if d.saturating_mul(theta) < PAR_STAGE2_WORK || par::max_threads() == 1 {
             for (ci, chunk) in model.chunks_mut(par::CHUNK).enumerate() {

@@ -1,5 +1,6 @@
 use crate::types::finite_updates;
 use crate::{AggError, Aggregation, Defense, Selection};
+use fabflip_tensor::scratch::{scratch_f32, Purpose};
 use fabflip_tensor::vecops;
 
 /// Computes Krum scores (Blanchard et al., 2017): for each update, the sum
@@ -18,25 +19,30 @@ pub fn krum_scores(refs: &[&[f32]], f: usize) -> Result<Vec<f32>, AggError> {
             got: n,
         });
     }
-    let dists = vecops::pairwise_sq_distances(refs);
+    let mut dists = vec![0.0f32; n * n];
+    vecops::pairwise_sq_distances_into(refs, &mut dists);
     let pool: Vec<usize> = (0..n).collect();
-    krum_scores_from_dists(&dists, &pool, f)
+    krum_scores_from_dists(&dists, n, &pool, f)
 }
 
-/// Krum scores for a `pool` of row/column indices into a precomputed
-/// pairwise squared-distance matrix (as produced by
-/// [`vecops::pairwise_sq_distances`]). Returns one score per pool entry, in
-/// pool order, bitwise identical to [`krum_scores`] on the pool's vectors.
+/// Krum scores for a `pool` of row/column indices into a precomputed flat
+/// row-major `n_total × n_total` pairwise squared-distance matrix (as
+/// filled by [`vecops::pairwise_sq_distances_into`]). Returns one score per
+/// pool entry, in pool order, bitwise identical to [`krum_scores`] on the
+/// pool's vectors. The sort row lives in a [`Purpose::KrumRow`] scratch
+/// arena; allocation is limited to the returned `Vec`.
 ///
-/// Bulyan's iterative selection calls this with a shrinking pool so the
-/// O(n²·d) distance pass runs once instead of once per selection round.
+/// Bulyan's iterative selection uses the `*_into` form below with a
+/// shrinking pool so the O(n²·d) distance pass runs once instead of once
+/// per selection round.
 ///
 /// # Errors
 ///
 /// Returns [`AggError::TooFewUpdates`] when the pool has fewer than `f + 3`
 /// entries.
 pub fn krum_scores_from_dists(
-    dists: &[Vec<f32>],
+    dists: &[f32],
+    n_total: usize,
     pool: &[usize],
     f: usize,
 ) -> Result<Vec<f32>, AggError> {
@@ -48,16 +54,60 @@ pub fn krum_scores_from_dists(
             got: n,
         });
     }
-    let k = n - f - 2;
-    let mut scores = Vec::with_capacity(n);
-    let mut row: Vec<f32> = Vec::with_capacity(n - 1);
-    for &i in pool {
-        row.clear();
-        row.extend(pool.iter().filter(|&&j| j != i).map(|&j| dists[i][j]));
-        row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        scores.push(row[..k].iter().sum());
-    }
+    let mut scores = vec![0.0f32; n];
+    let mut row = scratch_f32(Purpose::KrumRow, n - 1);
+    krum_scores_into(dists, n_total, pool, f, &mut scores, &mut row)?;
     Ok(scores)
+}
+
+/// Allocation-free Krum scoring kernel: writes one score per `pool` entry
+/// into `scores` using `row` (length exactly `pool.len() − 1`) as the
+/// nearest-neighbour sort workspace. `dists` is the flat row-major
+/// `n_total × n_total` squared-distance matrix the pool indexes into. The
+/// neighbour sort is `sort_unstable_by` — in-place, allocation-free, and
+/// value-identical for equal `f32` keys, so scores match the stable-sorted
+/// history bit for bit.
+///
+/// # Errors
+///
+/// Returns [`AggError::TooFewUpdates`] when the pool has fewer than `f + 3`
+/// entries.
+///
+/// # Panics
+///
+/// Panics when `scores.len() != pool.len()`, `row.len() != pool.len() − 1`,
+/// or a pool index falls outside the matrix.
+pub fn krum_scores_into(
+    dists: &[f32],
+    n_total: usize,
+    pool: &[usize],
+    f: usize,
+    scores: &mut [f32],
+    row: &mut [f32],
+) -> Result<(), AggError> {
+    let n = pool.len();
+    if n < f + 3 {
+        return Err(AggError::TooFewUpdates {
+            rule: "krum",
+            needed: f + 3,
+            got: n,
+        });
+    }
+    assert_eq!(scores.len(), n, "krum: one score slot per pool entry");
+    assert_eq!(row.len(), n - 1, "krum: row workspace must hold n-1 dists");
+    let k = n - f - 2;
+    for (s, &i) in scores.iter_mut().zip(pool) {
+        let mut w = 0;
+        for &j in pool {
+            if j != i {
+                row[w] = dists[i * n_total + j];
+                w += 1;
+            }
+        }
+        row.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        *s = row[..k].iter().sum();
+    }
+    Ok(())
 }
 
 /// Classic Krum: selects the single update with the lowest score.

@@ -53,12 +53,12 @@ mod normbound;
 mod statistic;
 mod types;
 
-pub use bulyan::Bulyan;
+pub use bulyan::{bulyan_coordinate_chunk, Bulyan};
 pub use error::AggError;
 pub use fedavg::FedAvg;
 pub use fltrust::{fltrust_aggregate, FLTRUST_SELECT_CUTOFF};
 pub use foolsgold::{FoolsGold, FoolsGoldHistory};
-pub use krum::{krum_scores, krum_scores_from_dists, Krum, MultiKrum};
+pub use krum::{krum_scores, krum_scores_from_dists, krum_scores_into, Krum, MultiKrum};
 pub use normbound::NormBound;
 pub use statistic::{Median, TrimmedMean};
 pub use types::{Aggregation, Defense, DefenseKind, Selection};

@@ -2,6 +2,7 @@
 //! output. Both are deterministic — findings arrive sorted by file, line,
 //! column from the checker and maps are `BTreeMap`s.
 
+use crate::graph::HotSummary;
 use crate::ratchet::{json_string, Counts, Regression};
 use crate::rules::Finding;
 
@@ -38,11 +39,14 @@ pub fn render_regression(r: &Regression) -> String {
 }
 
 /// The complete machine-readable report for `--json`: forbidden findings,
-/// counted tallies, and ratchet regressions.
+/// counted tallies, ratchet regressions, and the hot-path call graph
+/// (each hot function with the entry chain that makes it hot — the CI
+/// artifact answers *why* a path is hot, not just that it is).
 pub fn render_json(
     findings: &[Finding],
     counts: &Counts,
     regressions: &[Regression],
+    hot: &HotSummary,
     files_checked: usize,
 ) -> String {
     let mut out = String::from("{\n  \"findings\": [");
@@ -90,7 +94,29 @@ pub fn render_json(
     if !regressions.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str(&format!("],\n  \"files_checked\": {files_checked}\n}}\n"));
+    out.push_str("],\n  \"callgraph\": {\n    \"entries\": [");
+    for (i, e) in hot.entries.iter().enumerate() {
+        out.push_str(if i == 0 { "" } else { ", " });
+        out.push_str(&json_string(e));
+    }
+    out.push_str("],\n    \"hot\": [");
+    for (i, h) in hot.hot.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let via: Vec<String> = h.via.iter().map(|v| json_string(v)).collect();
+        out.push_str(&format!(
+            "      {{\"fn\": {}, \"file\": {}, \"line\": {}, \"via\": [{}]}}",
+            json_string(&h.fqn),
+            json_string(&h.file),
+            h.line,
+            via.join(", ")
+        ));
+    }
+    if !hot.hot.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str(&format!(
+        "]\n  }},\n  \"files_checked\": {files_checked}\n}}\n"
+    ));
     out
 }
 
@@ -134,16 +160,38 @@ mod tests {
             baseline: 2,
             actual: 3,
         }];
-        let text = render_json(&[finding()], &counts, &regs, 90);
+        let hot = HotSummary {
+            entries: vec!["tensor::matmul::matmul_into".into()],
+            hot: vec![crate::graph::HotNode {
+                fqn: "tensor::matmul::kernel_into".into(),
+                file: "crates/tensor/src/matmul.rs".into(),
+                line: 7,
+                via: vec![
+                    "tensor::matmul::matmul_into".into(),
+                    "tensor::matmul::kernel_into".into(),
+                ],
+            }],
+        };
+        let text = render_json(&[finding()], &counts, &regs, &hot, 90);
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         let map = v.as_map().expect("object");
         let keys: Vec<&str> = map.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(keys, ["findings", "counts", "regressions", "files_checked"]);
+        assert_eq!(
+            keys,
+            [
+                "findings",
+                "counts",
+                "regressions",
+                "callgraph",
+                "files_checked"
+            ]
+        );
+        assert!(text.contains("\"via\": [\"tensor::matmul::matmul_into\""));
     }
 
     #[test]
     fn empty_report_is_valid_json() {
-        let text = render_json(&[], &Counts::new(), &[], 0);
+        let text = render_json(&[], &Counts::new(), &[], &HotSummary::default(), 0);
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert!(v.as_map().is_some());
     }

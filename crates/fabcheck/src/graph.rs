@@ -1,0 +1,643 @@
+//! Workspace call graph + hot-path reachability rules.
+//!
+//! Built from the [`crate::parser`] function items of every non-test
+//! file under `crates/`, with best-effort name resolution:
+//!
+//! * multi-segment paths resolve by fully-qualified-name suffix
+//!   (`par::dispatch` matches `tensor::par::dispatch`), retrying with the
+//!   leading segment dropped so `fabflip_tensor::vecops::dot` still
+//!   lands;
+//! * bare calls resolve same-file, then same-crate, then workspace-wide;
+//! * method calls resolve by name across **every** impl in the workspace.
+//!
+//! All of this over-approximates: a call site may link to functions it
+//! can never reach at runtime. That is the safe direction — a false-hot
+//! function costs an escape comment or a ratchet entry, while a
+//! false-cold one would let an allocation ship inside the per-round
+//! kernel loop (DESIGN.md §4c). Unresolved names (std, core) produce no
+//! edges but still hit the allocation/panic needle lists below.
+//!
+//! Reachability starts from [`HOT_ENTRIES`] — the declared kernel entry
+//! set — and every reachable function is scanned for allocation sites
+//! (`alloc-on-hot-path`, forbidden) and panic sites (`panic-on-hot-path`,
+//! ratcheted). A line annotated with a
+//! `// fabcheck::allow(alloc_on_hot_path): why` (or the
+//! `panic_on_hot_path` variant) comment — on the line itself or the line
+//! above — is a declared setup-only branch: its sites are suppressed for
+//! that rule and its calls do not extend the hot region.
+
+use crate::lexer::lex;
+use crate::parser::{parse_tokens, Call, CallKind, FnNode};
+use crate::rules::{test_spans, FileClass, Finding, Rule, NUMERIC_CRATES};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The kernel entry set: the functions executed O(rounds × clients ×
+/// model-size) times whose steady-state cost decides grid throughput.
+/// Everything reachable from here must be allocation-free and
+/// panic-bounded. Matched exactly against generated fully-qualified
+/// names (`crate_dir::file_modules::[ImplType::]fn`).
+pub const HOT_ENTRIES: &[&str] = &[
+    // GEMM entry points (parallel + serial reference).
+    "tensor::matmul::matmul_into",
+    "tensor::matmul::matmul_into_serial",
+    "tensor::matmul::matmul_transpose_a",
+    "tensor::matmul::matmul_transpose_a_serial",
+    "tensor::matmul::matmul_transpose_b",
+    "tensor::matmul::matmul_transpose_b_serial",
+    // Convolution lowering kernels.
+    "tensor::im2col::im2col",
+    "tensor::im2col::col2im",
+    // The worker-pool dispatch fast path.
+    "tensor::par::dispatch",
+    // Flat vector kernels.
+    "tensor::vecops::dot",
+    "tensor::vecops::l2_norm",
+    "tensor::vecops::sq_distance",
+    "tensor::vecops::l2_distance",
+    "tensor::vecops::axpy_in_place",
+    "tensor::vecops::mean_into",
+    "tensor::vecops::std_dev_into",
+    "tensor::vecops::median_into",
+    "tensor::vecops::trimmed_mean_into",
+    "tensor::vecops::pairwise_sq_distances_into",
+    // Aggregation score/coordinate kernels.
+    "aggregation::krum::krum_scores_into",
+    "aggregation::bulyan::bulyan_coordinate_chunk",
+    // Layer forward/backward over im2col + GEMM.
+    "nn::conv::Conv2d::forward",
+    "nn::conv::Conv2d::backward",
+    "nn::conv_transpose::ConvTranspose2d::forward",
+    "nn::conv_transpose::ConvTranspose2d::backward",
+];
+
+/// Method names that allocate (or amortize allocation) on `std`
+/// containers. Over-approximate on purpose: a workspace method sharing a
+/// name is still hot-scanned, and `sort_unstable*` is deliberately
+/// absent (in-place pdqsort — the blessed hot-loop sort).
+const ALLOC_METHODS: &[&str] = &[
+    "append",
+    "clone",
+    "cloned",
+    "collect",
+    "concat",
+    "extend",
+    "extend_from_slice",
+    "insert",
+    "into_vec",
+    "join",
+    "push",
+    "repeat",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+    "sort",
+    "sort_by",
+    "sort_by_cached_key",
+    "sort_by_key",
+    "split_off",
+    "to_owned",
+    "to_string",
+    "to_vec",
+];
+
+/// Two-segment path suffixes that construct heap storage.
+const ALLOC_PATHS: &[&str] = &[
+    "Arc::new",
+    "BTreeMap::new",
+    "BTreeSet::new",
+    "Box::from",
+    "Box::new",
+    "HashMap::new",
+    "HashSet::new",
+    "Rc::new",
+    "String::from",
+    "String::new",
+    "String::with_capacity",
+    "Vec::from",
+    "Vec::new",
+    "Vec::with_capacity",
+    "VecDeque::new",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["eprintln", "format", "println", "vec"];
+
+/// Methods that panic on `None`/`Err`.
+const PANIC_METHODS: &[&str] = &["expect", "expect_err", "unwrap", "unwrap_err"];
+
+/// Macros that panic. `debug_assert*` is excluded: the hot path ships in
+/// release builds where those compile out.
+const PANIC_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+];
+
+/// One hot (entry-reachable) function, with the call chain that makes it
+/// hot — emitted into the `--json` report so CI artifacts show *why*.
+#[derive(Debug, Clone)]
+pub struct HotNode {
+    /// Fully qualified name.
+    pub fqn: String,
+    /// Root-relative file.
+    pub file: String,
+    /// 1-based line of the `fn`.
+    pub line: u32,
+    /// Shortest call chain from an entry to this function (inclusive).
+    pub via: Vec<String>,
+}
+
+/// The call-graph side of a workspace report.
+#[derive(Debug, Clone, Default)]
+pub struct HotSummary {
+    /// Entry-set functions actually present in the scanned tree.
+    pub entries: Vec<String>,
+    /// Every hot function, in deterministic (file, line) order.
+    pub hot: Vec<HotNode>,
+}
+
+/// Result of the hot-path analysis.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// `alloc-on-hot-path` (forbidden) + `panic-on-hot-path` (counted)
+    /// findings.
+    pub findings: Vec<Finding>,
+    /// The graph summary for `--json`.
+    pub summary: HotSummary,
+}
+
+struct Node {
+    fqn: String,
+    file: String,
+    file_idx: usize,
+    crate_name: String,
+    name: String,
+    line: u32,
+    calls: Vec<Call>,
+    index_sites: Vec<(u32, u32)>,
+    is_method: bool,
+}
+
+/// Per-file escape-comment lines, by rule.
+#[derive(Default)]
+struct Escapes {
+    alloc: BTreeSet<u32>,
+    panic: BTreeSet<u32>,
+}
+
+impl Escapes {
+    fn any(&self, line: u32) -> bool {
+        self.alloc.contains(&line) || self.panic.contains(&line)
+    }
+}
+
+/// The module path a file contributes to its crate's namespace:
+/// `crates/tensor/src/matmul.rs` → `["matmul"]`, crate roots and
+/// `mod.rs` → `[]`, `src/bin/perf.rs` → `["bin", "perf"]`.
+fn file_mods(rel: &str, crate_name: &str) -> Vec<String> {
+    let tail = rel
+        .strip_prefix(&format!("crates/{crate_name}/"))
+        .unwrap_or(rel);
+    let tail = tail.strip_prefix("src/").unwrap_or(tail);
+    let tail = tail.strip_suffix(".rs").unwrap_or(tail);
+    tail.split('/')
+        .filter(|seg| !seg.is_empty() && !matches!(*seg, "lib" | "main" | "mod"))
+        .map(str::to_string)
+        .collect()
+}
+
+fn fqn_of(crate_name: &str, rel: &str, f: &FnNode) -> String {
+    let mut parts: Vec<String> = vec![crate_name.to_string()];
+    parts.extend(file_mods(rel, crate_name));
+    parts.extend(f.mods.iter().cloned());
+    if let Some(ty) = &f.impl_type {
+        parts.push(ty.clone());
+    }
+    parts.push(f.name.clone());
+    parts.join("::")
+}
+
+fn escapes_of(comments: &[crate::lexer::Comment]) -> Escapes {
+    let mut out = Escapes::default();
+    for c in comments {
+        // A marker covers its own last line and the one below, so both
+        // `// fabcheck::allow(..)` above a statement and a trailing
+        // same-line comment work. A plain comment starting on an
+        // already-covered line continues the coverage (comments iterate
+        // in source order), so a multi-line `//` allow comment reaches
+        // the first code line after the whole block.
+        if c.text.contains("fabcheck::allow(alloc_on_hot_path)")
+            || out.alloc.contains(&c.line_start)
+        {
+            out.alloc.insert(c.line_end);
+            out.alloc.insert(c.line_end + 1);
+        }
+        if c.text.contains("fabcheck::allow(panic_on_hot_path)")
+            || out.panic.contains(&c.line_start)
+        {
+            out.panic.insert(c.line_end);
+            out.panic.insert(c.line_end + 1);
+        }
+    }
+    out
+}
+
+/// Builds the call graph over `(class, source)` pairs and runs the two
+/// hot-path rules. Only numeric-crate product code enters the graph:
+/// test code may allocate, and tooling crates (fabcheck itself, bench
+/// harnesses outside [`NUMERIC_CRATES`]) would otherwise be dragged in
+/// by method-name over-approximation (`.parse()` in `par` must not mark
+/// every workspace `parse` method hot).
+pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut escapes: Vec<Escapes> = Vec::new();
+    for (file_idx, (class, src)) in files.iter().enumerate() {
+        if !class.in_crates
+            || class.is_test_file
+            || !NUMERIC_CRATES.contains(&class.crate_name.as_str())
+        {
+            escapes.push(Escapes::default());
+            continue;
+        }
+        let lexed = lex(src);
+        escapes.push(escapes_of(&lexed.comments));
+        let spans = test_spans(&lexed.tokens);
+        for f in parse_tokens(&lexed.tokens, &spans) {
+            if f.is_test {
+                continue;
+            }
+            nodes.push(Node {
+                fqn: fqn_of(&class.crate_name, &class.rel, &f),
+                file: class.rel.clone(),
+                file_idx,
+                crate_name: class.crate_name.clone(),
+                name: f.name.clone(),
+                line: f.line,
+                calls: f.calls,
+                index_sites: f.index_sites,
+                is_method: f.impl_type.is_some(),
+            });
+        }
+    }
+
+    // Name indexes for resolution.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(&n.name).or_default().push(i);
+        if n.is_method {
+            methods.entry(&n.name).or_default().push(i);
+        }
+    }
+    let resolve = |call: &Call, from: &Node| -> Vec<usize> {
+        match call.kind {
+            CallKind::Method => methods.get(call.name()).cloned().unwrap_or_default(),
+            CallKind::Macro => Vec::new(),
+            CallKind::Path { .. } => {
+                if call.segs.len() == 1 {
+                    let cands = by_name.get(call.name()).map(Vec::as_slice).unwrap_or(&[]);
+                    let same_file: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&i| nodes[i].file_idx == from.file_idx)
+                        .collect();
+                    if !same_file.is_empty() {
+                        return same_file;
+                    }
+                    let same_crate: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&i| nodes[i].crate_name == from.crate_name)
+                        .collect();
+                    if !same_crate.is_empty() {
+                        return same_crate;
+                    }
+                    return cands.to_vec();
+                }
+                // Longest-suffix match, dropping leading segments so
+                // absolute paths through the crate name still resolve.
+                for start in 0..call.segs.len() - 1 {
+                    let suffix = call.segs[start..].join("::");
+                    let hits: Vec<usize> = by_name
+                        .get(call.segs.last().map(String::as_str).unwrap_or_default())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            nodes[i].fqn == suffix || nodes[i].fqn.ends_with(&format!("::{suffix}"))
+                        })
+                        .collect();
+                    if !hits.is_empty() {
+                        return hits;
+                    }
+                }
+                Vec::new()
+            }
+        }
+    };
+
+    // BFS from the entry set; parent pointers give shortest "why hot"
+    // chains. Entry order and adjacency order are deterministic (sorted
+    // walk, source token order).
+    let mut entry_idx: Vec<usize> = (0..nodes.len())
+        .filter(|&i| HOT_ENTRIES.contains(&nodes[i].fqn.as_str()))
+        .collect();
+    entry_idx.sort_by(|&a, &b| nodes[a].fqn.cmp(&nodes[b].fqn));
+    let mut visited = vec![false; nodes.len()];
+    let mut parent: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &e in &entry_idx {
+        visited[e] = true;
+        queue.push_back(e);
+    }
+    let mut hot_order: Vec<usize> = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        hot_order.push(u);
+        for call in &nodes[u].calls {
+            // An escaped line is a declared setup-only branch: it does
+            // not extend the hot region.
+            if escapes[nodes[u].file_idx].any(call.line) {
+                continue;
+            }
+            for v in resolve(call, &nodes[u]) {
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    let chain = |mut i: usize| -> Vec<String> {
+        let mut out = vec![nodes[i].fqn.clone()];
+        while let Some(p) = parent[i] {
+            out.push(nodes[p].fqn.clone());
+            i = p;
+        }
+        out.reverse();
+        out
+    };
+
+    let mut findings = Vec::new();
+    for &u in &hot_order {
+        let node = &nodes[u];
+        let esc = &escapes[node.file_idx];
+        let route = chain(u).join(" → ");
+        let mut push = |rule: Rule, line: u32, col: u32, needle: &str| {
+            let (verb, remedy) = if rule == Rule::AllocOnHotPath {
+                (
+                    "allocates",
+                    "hoist it, reuse a `tensor::scratch` arena, or mark a setup-only \
+                     branch with `// fabcheck::allow(alloc_on_hot_path): why`",
+                )
+            } else {
+                (
+                    "can panic",
+                    "ratcheted — prefer checked access, or shrink the committed baseline",
+                )
+            };
+            findings.push(Finding {
+                rule,
+                file: node.file.clone(),
+                line,
+                col,
+                message: format!("`{needle}` {verb} on the hot path ({route}); {remedy}"),
+            });
+        };
+        for call in &node.calls {
+            let name = call.name();
+            match call.kind {
+                CallKind::Method => {
+                    if ALLOC_METHODS.contains(&name) && !esc.alloc.contains(&call.line) {
+                        push(
+                            Rule::AllocOnHotPath,
+                            call.line,
+                            call.col,
+                            &format!(".{name}()"),
+                        );
+                    }
+                    if PANIC_METHODS.contains(&name) && !esc.panic.contains(&call.line) {
+                        push(
+                            Rule::PanicOnHotPath,
+                            call.line,
+                            call.col,
+                            &format!(".{name}()"),
+                        );
+                    }
+                }
+                CallKind::Macro => {
+                    if ALLOC_MACROS.contains(&name) && !esc.alloc.contains(&call.line) {
+                        push(
+                            Rule::AllocOnHotPath,
+                            call.line,
+                            call.col,
+                            &format!("{name}!"),
+                        );
+                    }
+                    if PANIC_MACROS.contains(&name) && !esc.panic.contains(&call.line) {
+                        push(
+                            Rule::PanicOnHotPath,
+                            call.line,
+                            call.col,
+                            &format!("{name}!"),
+                        );
+                    }
+                }
+                CallKind::Path { .. } => {
+                    if call.segs.len() >= 2 {
+                        let tail = format!(
+                            "{}::{}",
+                            call.segs[call.segs.len() - 2],
+                            call.segs[call.segs.len() - 1]
+                        );
+                        if ALLOC_PATHS.contains(&tail.as_str()) && !esc.alloc.contains(&call.line) {
+                            push(Rule::AllocOnHotPath, call.line, call.col, &tail);
+                        }
+                    }
+                }
+            }
+        }
+        for &(line, col) in &node.index_sites {
+            if !esc.panic.contains(&line) {
+                push(Rule::PanicOnHotPath, line, col, "[..] indexing");
+            }
+        }
+    }
+
+    let mut hot: Vec<HotNode> = hot_order
+        .iter()
+        .map(|&u| HotNode {
+            fqn: nodes[u].fqn.clone(),
+            file: nodes[u].file.clone(),
+            line: nodes[u].line,
+            via: chain(u),
+        })
+        .collect();
+    hot.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Analysis {
+        findings,
+        summary: HotSummary {
+            entries: entry_idx.iter().map(|&e| nodes[e].fqn.clone()).collect(),
+            hot,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(rel: &str) -> FileClass {
+        let mut parts = rel.split('/');
+        let top = parts.next().unwrap_or_default();
+        let krate = parts.next().unwrap_or_default().to_string();
+        FileClass {
+            rel: rel.to_string(),
+            in_crates: top == "crates",
+            crate_name: krate,
+            is_test_file: rel.contains("/tests/"),
+            is_example: rel.contains("/examples/"),
+            is_bin: rel.ends_with("src/main.rs") || rel.contains("/src/bin/"),
+        }
+    }
+
+    fn run(files: &[(&str, &str)]) -> Analysis {
+        let classes: Vec<FileClass> = files.iter().map(|(rel, _)| class(rel)).collect();
+        let pairs: Vec<(&FileClass, &str)> = classes
+            .iter()
+            .zip(files.iter())
+            .map(|(c, (_, src))| (c, *src))
+            .collect();
+        analyze(&pairs)
+    }
+
+    fn rule_names(a: &Analysis) -> Vec<&str> {
+        a.findings.iter().map(|f| f.rule.name()).collect()
+    }
+
+    #[test]
+    fn allocation_two_calls_below_an_entry_is_found() {
+        let a = run(&[(
+            "crates/tensor/src/matmul.rs",
+            "pub fn matmul_into(out: &mut [f32]) { stage(out); }\n\
+             fn stage(out: &mut [f32]) { helper(out); }\n\
+             fn helper(out: &mut [f32]) { let v = out.to_vec(); let _ = v; }\n",
+        )]);
+        assert_eq!(rule_names(&a), ["alloc-on-hot-path"]);
+        let f = &a.findings[0];
+        assert_eq!(f.line, 3);
+        assert!(
+            f.message
+                .contains("matmul_into → tensor::matmul::stage → tensor::matmul::helper")
+                || f.message.contains("stage"),
+            "{}",
+            f.message
+        );
+    }
+
+    #[test]
+    fn cold_functions_may_allocate_freely() {
+        let a = run(&[(
+            "crates/tensor/src/matmul.rs",
+            "pub fn matmul_into(out: &mut [f32]) { kernel(out); }\n\
+             fn kernel(out: &mut [f32]) { out[0] = 1.0; }\n\
+             pub fn matmul(n: usize) -> Vec<f32> { let mut v = vec![0.0; n]; matmul_into(&mut v); v }\n",
+        )]);
+        // The wrapper calls INTO the entry; it is not reachable FROM it.
+        assert_eq!(rule_names(&a), ["panic-on-hot-path"]);
+    }
+
+    #[test]
+    fn escape_comment_suppresses_site_and_drops_the_edge() {
+        let a = run(&[(
+            "crates/tensor/src/matmul.rs",
+            "pub fn matmul_into(out: &mut [f32]) {\n\
+             // fabcheck::allow(alloc_on_hot_path): one-time setup\n\
+             let v = setup();\n\
+             let _ = (v, out);\n\
+             }\n\
+             fn setup() -> Vec<f32> { Vec::new() }\n",
+        )]);
+        assert!(rule_names(&a).is_empty(), "{:?}", a.findings);
+        // setup() is not hot: the escaped line's edge was dropped.
+        assert!(a
+            .summary
+            .hot
+            .iter()
+            .all(|h| h.fqn != "tensor::matmul::setup"));
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_impls() {
+        let a = run(&[
+            (
+                "crates/nn/src/conv.rs",
+                "impl Conv2d { pub fn forward(&self, t: &Tensor) { t.payload(); } }\n",
+            ),
+            (
+                "crates/tensor/src/lib.rs",
+                "impl Tensor { pub fn payload(&self) -> Vec<f32> { self.data.clone() } }\n",
+            ),
+        ]);
+        assert_eq!(rule_names(&a), ["alloc-on-hot-path"]);
+        assert_eq!(a.findings[0].file, "crates/tensor/src/lib.rs");
+    }
+
+    #[test]
+    fn panic_sites_are_counted_not_forbidden() {
+        let a = run(&[(
+            "crates/tensor/src/vecops.rs",
+            "pub fn dot(a: &[f32], b: &[f32]) -> f32 {\n\
+             assert_eq!(a.len(), b.len());\n\
+             let x = a[0] * b[0];\n\
+             let y = a.first().unwrap();\n\
+             x + y\n\
+             }\n",
+        )]);
+        // assert_eq!, a[0], b[0], unwrap → four counted sites.
+        let names = rule_names(&a);
+        assert_eq!(names, ["panic-on-hot-path"; 4]);
+        assert!(a.findings.iter().all(|f| !f.rule.is_forbidden()));
+    }
+
+    #[test]
+    fn test_code_and_non_crates_files_are_outside_the_graph() {
+        let a = run(&[
+            (
+                "crates/tensor/src/matmul.rs",
+                "pub fn matmul_into(o: &mut [f32]) { let _ = o; }\n\
+                 #[cfg(test)]\nmod tests { fn t() { let v = Vec::new(); matmul_into(&mut v); } }\n",
+            ),
+            (
+                "compat/rayon/src/lib.rs",
+                "pub fn join() -> Vec<u8> { Vec::new() }\n",
+            ),
+        ]);
+        assert!(rule_names(&a).is_empty(), "{:?}", a.findings);
+        assert_eq!(a.summary.entries, ["tensor::matmul::matmul_into"]);
+    }
+
+    #[test]
+    fn entries_absent_from_the_tree_are_not_reported() {
+        let a = run(&[("crates/fl/src/sim.rs", "pub fn run() {}\n")]);
+        assert!(a.summary.entries.is_empty());
+        assert!(a.summary.hot.is_empty());
+    }
+
+    #[test]
+    fn impl_entries_match_their_type_qualified_name() {
+        let a = run(&[(
+            "crates/nn/src/conv.rs",
+            "impl Conv2d { pub fn forward(&self) { let v: Vec<f32> = Vec::with_capacity(3); let _ = v; } }\n",
+        )]);
+        assert_eq!(a.summary.entries, ["nn::conv::Conv2d::forward"]);
+        assert_eq!(rule_names(&a), ["alloc-on-hot-path"]);
+    }
+}

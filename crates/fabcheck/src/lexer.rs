@@ -106,6 +106,17 @@ fn is_ident_continue(c: char) -> bool {
 pub fn lex(src: &str) -> Lexed {
     let mut cur = Cursor::new(src);
     let mut out = Lexed::default();
+    // A leading shebang (`#!/usr/bin/env …`) is not an inner attribute:
+    // rustc skips the whole first line, and so do we. `#![…]` stays an
+    // attribute (the `[` disambiguates, exactly as in the reference lexer).
+    if cur.peek(0) == Some('#') && cur.peek(1) == Some('!') && cur.peek(2) != Some('[') {
+        while let Some(c) = cur.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            cur.bump();
+        }
+    }
     while let Some(c) = cur.peek(0) {
         let (line, col) = (cur.line, cur.col);
         match c {
@@ -320,6 +331,36 @@ fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32)
             _ => {}
         }
     }
+    // Rust 1.77 C-string literals: c"…" and cr"…" / cr#"…"# (no bare
+    // `c'…'` form exists). Without this arm, `c"thread_rng"` would lex as
+    // the ident `c` followed by an ordinary string — harmless — but
+    // `cr#"…"#` would lex `cr` then treat `#"…"#` as punctuation + a
+    // *plain* string ending at the first interior `"`, misclassifying
+    // everything after it.
+    if cur.peek(0) == Some('c') {
+        match cur.peek(1) {
+            Some('"') => {
+                cur.bump();
+                cur.bump();
+                skip_quoted(cur, '"');
+                return;
+            }
+            Some('r') => {
+                let mut h = 2;
+                while cur.peek(h) == Some('#') {
+                    h += 1;
+                }
+                if cur.peek(h) == Some('"') {
+                    for _ in 0..=h {
+                        cur.bump();
+                    }
+                    skip_raw_string(cur, h - 2);
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
     // Plain identifier / keyword.
     let mut text = String::new();
     while let Some(c) = cur.peek(0) {
@@ -477,6 +518,48 @@ mod tests {
             ["Instantiates"]
         );
         assert_eq!(idents("x.unwrap_or(0)"), ["x", "unwrap_or"]);
+    }
+
+    #[test]
+    fn c_string_literals() {
+        // Plain C strings hide their contents like ordinary strings.
+        assert_eq!(idents(r#"let s = c"HashMap"; t"#), ["let", "s", "t"]);
+        // Raw C strings at any hash arity; interior quotes stay inside.
+        assert_eq!(idents(r##"let s = cr"HashMap"; t"##), ["let", "s", "t"]);
+        assert_eq!(
+            idents(r###"let s = cr#"quote " inside thread_rng"#; t"###),
+            ["let", "s", "t"]
+        );
+        // Tokens after the literal are classified normally (the bug this
+        // guards against: `cr#"…"#` swallowing the rest of the line).
+        assert_eq!(
+            idents("let s = cr#\"x\"#; let y = HashMap::new();"),
+            ["let", "s", "let", "y", "HashMap", "new"]
+        );
+        // An identifier merely starting with c/cr is still an identifier.
+        assert_eq!(
+            idents("let crate_name = c; cr"),
+            ["let", "crate_name", "c", "cr"]
+        );
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        assert_eq!(
+            idents("#!/usr/bin/env run-cargo-script\nlet x = 1;"),
+            ["let", "x"]
+        );
+        // Position bookkeeping survives the skip: first token is line 2.
+        let l = lex("#!/usr/bin/env rust\nident");
+        assert_eq!(l.tokens[0].line, 2);
+        // An inner attribute is NOT a shebang.
+        assert_eq!(
+            idents("#![allow(dead_code)]\nx"),
+            ["allow", "dead_code", "x"]
+        );
+        // A shebang only counts at the very start of the file.
+        let mid = lex("let a = 1;\n#!/not/a/shebang");
+        assert!(mid.tokens.iter().any(|t| t.text == "#"));
     }
 
     #[test]

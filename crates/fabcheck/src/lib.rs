@@ -15,7 +15,9 @@
 //! ```
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod ratchet;
 pub mod rules;
 pub mod walk;
@@ -31,37 +33,64 @@ pub const BASELINE_FILE: &str = "FABCHECK_BASELINE.json";
 #[derive(Debug)]
 pub struct Report {
     /// Forbidden-rule hits (any of these fails the run), sorted by
-    /// file/line/column.
+    /// file/line/column/rule.
     pub findings: Vec<Finding>,
     /// Counted-rule hits (ratcheted, not forbidden), same order.
     pub counted: Vec<Finding>,
     /// Counted tallies per `rule × file`. Always contains an entry for
     /// every counted rule so a blessed baseline pins zeros explicitly.
     pub counts: Counts,
+    /// The hot-path call graph: kernel entries found and every function
+    /// reachable from them (see [`graph::HOT_ENTRIES`]).
+    pub hot: graph::HotSummary,
     /// Number of files scanned.
     pub files_checked: usize,
 }
 
-/// Scans every `.rs` file under `root/crates` and `root/compat`.
+/// Scans every `.rs` file under `root/crates` and `root/compat`: the
+/// per-file rules, then the workspace call-graph rules over the same
+/// sources.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures from the walk.
 pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
     let files = walk::collect(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for file in &files {
+        sources.push(std::fs::read_to_string(&file.path)?);
+    }
+    let files_checked = files.len();
+
     let mut findings = Vec::new();
     let mut counted = Vec::new();
-    let files_checked = files.len();
-    for file in &files {
-        let src = std::fs::read_to_string(&file.path)?;
-        for finding in rules::check_file(&file.class, &src) {
-            if finding.rule.is_forbidden() {
-                findings.push(finding);
-            } else {
-                counted.push(finding);
-            }
+    let mut take = |finding: Finding| {
+        if finding.rule.is_forbidden() {
+            findings.push(finding);
+        } else {
+            counted.push(finding);
+        }
+    };
+    for (file, src) in files.iter().zip(&sources) {
+        for finding in rules::check_file(&file.class, src) {
+            take(finding);
         }
     }
+    let pairs: Vec<(&rules::FileClass, &str)> = files
+        .iter()
+        .zip(&sources)
+        .map(|(f, s)| (&f.class, s.as_str()))
+        .collect();
+    let analysis = graph::analyze(&pairs);
+    for finding in analysis.findings {
+        take(finding);
+    }
+
+    // Deterministic diagnostics regardless of rule evaluation order.
+    let key = |f: &Finding| (f.file.clone(), f.line, f.col, f.rule.name());
+    findings.sort_by_key(key);
+    counted.sort_by_key(key);
+
     let mut counts = Counts::new();
     for rule in rules::Rule::ALL.iter().filter(|r| !r.is_forbidden()) {
         counts.insert(rule.name().to_string(), Default::default());
@@ -77,6 +106,7 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
         findings,
         counted,
         counts,
+        hot: analysis.summary,
         files_checked,
     })
 }
@@ -214,6 +244,7 @@ pub fn run(opts: &Options) -> i32 {
                 &report.findings,
                 &report.counts,
                 &regressions,
+                &report.hot,
                 report.files_checked
             )
         );

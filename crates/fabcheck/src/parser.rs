@@ -1,0 +1,532 @@
+//! A lightweight recursive-descent pass over the [`crate::lexer`] token
+//! stream that extracts the item structure the call-graph rules need:
+//! every `fn` with its module path, surrounding `impl` type, and the
+//! call / method-call / macro / index-expression sites inside its body.
+//!
+//! This is deliberately not a full AST. The hot-path rules only need to
+//! know *which function* a site belongs to and *what name* it invokes, so
+//! the parser is a single forward scan with an explicit scope stack
+//! (`mod` / `impl` / `fn` / plain block). Everything it cannot classify
+//! it skips — unparseable constructs degrade to missed edges on cold
+//! code, never to crashes (and the hot-path rules over-approximate on the
+//! edges that matter; see DESIGN.md §4c).
+
+use crate::lexer::Token;
+
+/// Reserved words that can never start a call path or be an indexing
+/// receiver. `self`/`Self`/`crate`/`super` are handled separately because
+/// they *can* begin paths.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "dyn", "else", "enum", "extern", "false",
+    "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "true", "type", "union", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// How a call site invokes its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `a::b::c(..)` or a bare `f(..)`; `called` is false for a path
+    /// mention without parens (e.g. a function passed by value), which
+    /// still creates a call-graph edge — over-approximation is safe.
+    Path {
+        /// Whether the path is directly followed by `(`.
+        called: bool,
+    },
+    /// `.name(..)` — resolved by name across every impl in the workspace.
+    Method,
+    /// `name!(..)` / `name![..]` / `name!{..}`.
+    Macro,
+}
+
+/// One call/method/macro site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Path segments (`["Vec", "new"]`), a single method or macro name.
+    /// `Self` is already substituted with the surrounding impl type and
+    /// leading `crate`/`self`/`super` segments are stripped.
+    pub segs: Vec<String>,
+    /// Call shape.
+    pub kind: CallKind,
+    /// 1-based line of the first segment.
+    pub line: u32,
+    /// 1-based column of the first segment.
+    pub col: u32,
+}
+
+impl Call {
+    /// Last path segment — the invoked name.
+    pub fn name(&self) -> &str {
+        self.segs.last().map(String::as_str).unwrap_or_default()
+    }
+}
+
+/// One function item and every site of interest in its body.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Function name.
+    pub name: String,
+    /// Inline `mod` path inside the file (outermost first).
+    pub mods: Vec<String>,
+    /// Self type of the surrounding `impl`, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `true` when the `fn` sits inside a `#[cfg(test)]`-gated span.
+    pub is_test: bool,
+    /// Call, method, and macro sites in body order.
+    pub calls: Vec<Call>,
+    /// `expr[..]` indexing sites (line, col of the `[`).
+    pub index_sites: Vec<(u32, u32)>,
+}
+
+/// What a `{` opened.
+enum ScopeKind {
+    Mod,
+    Impl,
+    Fn,
+    Other,
+}
+
+/// An item header seen but whose body `{` has not arrived yet.
+enum Pending {
+    Mod(String),
+    Impl(Option<String>),
+    Fn {
+        name: String,
+        line: u32,
+        is_test: bool,
+    },
+}
+
+/// Parses a token stream (with `#[cfg(test)]` spans precomputed by
+/// [`crate::rules::test_spans`]) into its function items.
+pub fn parse_tokens(toks: &[Token], test_spans: &[(usize, usize)]) -> Vec<FnNode> {
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx < b);
+    let mut fns: Vec<FnNode> = Vec::new();
+    let mut scopes: Vec<ScopeKind> = Vec::new();
+    let mut mod_stack: Vec<String> = Vec::new();
+    let mut impl_stack: Vec<Option<String>> = Vec::new();
+    let mut fn_stack: Vec<usize> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    // Global paren/bracket depth: used to tell a signature-ending `;`
+    // (depth 0) from one inside `[f32; 4]`.
+    let mut depth = 0i64;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident {
+            let next_ident = toks.get(i + 1).map(|n| (n.is_ident, n.text.as_str()));
+            match t.text.as_str() {
+                "mod" if pending.is_none() && matches!(next_ident, Some((true, _))) => {
+                    // Only inline `mod name {` opens a module scope; the
+                    // out-of-line `mod name;` form has no body here.
+                    if toks
+                        .get(i + 2)
+                        .is_some_and(|n| !n.is_ident && n.text == "{")
+                    {
+                        pending = Some(Pending::Mod(toks[i + 1].text.clone()));
+                    }
+                    i += 2;
+                    continue;
+                }
+                "impl" if pending.is_none() => {
+                    let (ty, header_end) = impl_header(toks, i);
+                    pending = Some(Pending::Impl(ty));
+                    i = header_end;
+                    continue;
+                }
+                "fn" if pending.is_none() && matches!(next_ident, Some((true, _))) => {
+                    pending = Some(Pending::Fn {
+                        name: toks[i + 1].text.clone(),
+                        line: t.line,
+                        is_test: in_test(i),
+                    });
+                    i += 2;
+                    continue;
+                }
+                _ => {
+                    if pending.is_none() {
+                        if let Some(&fi) = fn_stack.last() {
+                            i = scan_site(toks, i, &mut fns[fi], impl_stack.last());
+                            continue;
+                        }
+                    }
+                }
+            }
+        } else {
+            match t.text.as_str() {
+                "(" | "[" => {
+                    if t.text == "["
+                        && pending.is_none()
+                        && !fn_stack.is_empty()
+                        && is_index_receiver(toks, i)
+                    {
+                        if let Some(&fi) = fn_stack.last() {
+                            fns[fi].index_sites.push((t.line, t.col));
+                        }
+                    }
+                    depth += 1;
+                }
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => {
+                    // A bodyless item (`fn f();` in a trait) never opens
+                    // a scope; drop the pending header.
+                    pending = None;
+                }
+                "{" => {
+                    let kind = match pending.take() {
+                        Some(Pending::Mod(name)) => {
+                            mod_stack.push(name);
+                            ScopeKind::Mod
+                        }
+                        Some(Pending::Impl(ty)) => {
+                            impl_stack.push(ty);
+                            ScopeKind::Impl
+                        }
+                        Some(Pending::Fn {
+                            name,
+                            line,
+                            is_test,
+                        }) => {
+                            fns.push(FnNode {
+                                name,
+                                mods: mod_stack.clone(),
+                                impl_type: impl_stack.last().cloned().flatten(),
+                                line,
+                                is_test,
+                                calls: Vec::new(),
+                                index_sites: Vec::new(),
+                            });
+                            fn_stack.push(fns.len() - 1);
+                            ScopeKind::Fn
+                        }
+                        None => ScopeKind::Other,
+                    };
+                    scopes.push(kind);
+                }
+                "}" => match scopes.pop() {
+                    Some(ScopeKind::Mod) => {
+                        mod_stack.pop();
+                    }
+                    Some(ScopeKind::Impl) => {
+                        impl_stack.pop();
+                    }
+                    Some(ScopeKind::Fn) => {
+                        fn_stack.pop();
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parses an `impl` header starting at the `impl` token; returns the self
+/// type (best effort) and the index of the body `{` (or terminating `;`).
+///
+/// The self type is the first non-keyword identifier at angle-bracket
+/// depth 0 — after `for` when present (`impl Trait for Type`), otherwise
+/// after the generic parameter list (`impl<T> Type<T>`).
+fn impl_header(toks: &[Token], start: usize) -> (Option<String>, usize) {
+    let mut angle = 0i64;
+    let mut ty: Option<String> = None;
+    let mut stopped = false;
+    let mut j = start + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_ident {
+            match t.text.as_str() {
+                "for" if angle == 0 => {
+                    ty = None;
+                    stopped = false;
+                }
+                "where" if angle == 0 => stopped = true,
+                name if angle == 0 && !stopped && ty.is_none() && !is_keyword(name) => {
+                    ty = Some(name.to_string());
+                }
+                _ => {}
+            }
+        } else {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" if angle > 0 => angle -= 1,
+                "{" | ";" if angle == 0 => return (ty, j),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    (ty, j)
+}
+
+/// Whether the token before `[` at `open` ends an indexable expression:
+/// a non-keyword identifier, `)`, or `]`. Types (`&[f32]`), array
+/// literals (`= [0; 4]`), and attributes (`#[...]`) all fail this test.
+fn is_index_receiver(toks: &[Token], open: usize) -> bool {
+    let Some(prev) = open.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return false;
+    };
+    if prev.is_ident {
+        !is_keyword(&prev.text) && prev.text != "Self"
+    } else {
+        prev.text == ")" || prev.text == "]"
+    }
+}
+
+/// Skips a turbofish (`::<...>`) starting at `j`, returning the index one
+/// past the closing `>` (or `j` unchanged when there is none).
+fn skip_turbofish(toks: &[Token], j: usize) -> usize {
+    let is_p = |k: usize, s: &str| toks.get(k).is_some_and(|t| !t.is_ident && t.text == s);
+    if !(is_p(j, ":") && is_p(j + 1, ":") && is_p(j + 2, "<")) {
+        return j;
+    }
+    let mut angle = 0i64;
+    let mut k = j + 2;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "<" if !toks[k].is_ident => angle += 1,
+            ">" if !toks[k].is_ident => {
+                angle -= 1;
+                if angle == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Classifies the identifier at `i` inside fn body `node`: a method call
+/// (after `.`), a macro, or a (possibly multi-segment) path. Returns the
+/// index to resume scanning at.
+fn scan_site(
+    toks: &[Token],
+    i: usize,
+    node: &mut FnNode,
+    impl_type: Option<&Option<String>>,
+) -> usize {
+    let t = &toks[i];
+    let is_p = |k: usize, s: &str| toks.get(k).is_some_and(|x| !x.is_ident && x.text == s);
+
+    // A path continuation (`a::b`) was already consumed with its head.
+    if i >= 2 && is_p(i - 1, ":") && is_p(i - 2, ":") {
+        return i + 1;
+    }
+    // Method call: `. name (` or `. name ::<..> (`.
+    if i >= 1 && is_p(i - 1, ".") {
+        if !is_keyword(&t.text) {
+            let after = skip_turbofish(toks, i + 1);
+            if is_p(after, "(") {
+                node.calls.push(Call {
+                    segs: vec![t.text.clone()],
+                    kind: CallKind::Method,
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+        return i + 1;
+    }
+    if is_keyword(&t.text) {
+        return i + 1;
+    }
+    // Macro: `name ! (` / `name ! [` / `name ! {` (excludes `a != b`).
+    if is_p(i + 1, "!")
+        && toks
+            .get(i + 2)
+            .is_some_and(|n| !n.is_ident && matches!(n.text.as_str(), "(" | "[" | "{"))
+    {
+        node.calls.push(Call {
+            segs: vec![t.text.clone()],
+            kind: CallKind::Macro,
+            line: t.line,
+            col: t.col,
+        });
+        return i + 2;
+    }
+    // Path: `seg (:: seg)*`, optional turbofish, optional `(`.
+    let mut segs = vec![t.text.clone()];
+    let mut j = i + 1;
+    while is_p(j, ":")
+        && is_p(j + 1, ":")
+        && toks
+            .get(j + 2)
+            .is_some_and(|n| n.is_ident && !is_keyword(&n.text))
+    {
+        segs.push(toks[j + 2].text.clone());
+        j += 3;
+    }
+    let after = skip_turbofish(toks, j);
+    let called = is_p(after, "(");
+    if segs.len() >= 2 || called {
+        if segs[0] == "Self" {
+            if let Some(Some(ty)) = impl_type {
+                segs[0] = ty.clone();
+            }
+        }
+        while segs.len() > 1 && matches!(segs[0].as_str(), "crate" | "super" | "self") {
+            segs.remove(0);
+        }
+        let trivial = segs.len() == 1 && matches!(segs[0].as_str(), "self" | "Self");
+        if !trivial {
+            node.calls.push(Call {
+                segs,
+                kind: CallKind::Path { called },
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<FnNode> {
+        let lexed = lex(src);
+        let spans = crate::rules::test_spans(&lexed.tokens);
+        parse_tokens(&lexed.tokens, &spans)
+    }
+
+    fn call_names(f: &FnNode) -> Vec<&str> {
+        f.calls.iter().map(Call::name).collect()
+    }
+
+    #[test]
+    fn fn_paths_carry_mods_and_impl_type() {
+        let src = "mod inner {\n  pub struct Foo;\n  impl Foo {\n    pub fn go(&self) { helper(); }\n  }\n  fn helper() {}\n}";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "go");
+        assert_eq!(fns[0].mods, ["inner"]);
+        assert_eq!(fns[0].impl_type.as_deref(), Some("Foo"));
+        assert_eq!(call_names(&fns[0]), ["helper"]);
+        assert_eq!(fns[1].name, "helper");
+        assert!(fns[1].impl_type.is_none());
+    }
+
+    #[test]
+    fn trait_impl_takes_the_for_type() {
+        let src = "impl Defense for Krum {\n  fn aggregate(&self) { self.score(); }\n}";
+        let fns = parse(src);
+        assert_eq!(fns[0].impl_type.as_deref(), Some("Krum"));
+        assert_eq!(fns[0].calls[0].kind, CallKind::Method);
+        assert_eq!(call_names(&fns[0]), ["score"]);
+    }
+
+    #[test]
+    fn generic_impl_header_finds_the_type() {
+        let src = "impl<T: Clone> Wrapper<T> {\n  fn get(&self) {}\n}";
+        assert_eq!(parse(src)[0].impl_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn paths_methods_macros_and_indexes_are_separated() {
+        let src = "fn hot(a: &[f32], out: &mut Vec<f32>) {\n\
+                   let v = Vec::with_capacity(4);\n\
+                   let s = a.to_vec();\n\
+                   let m = vec![0.0; 4];\n\
+                   out[0] = a[1];\n\
+                   crate::par::dispatch(1, 0, &|_| {});\n\
+                   }";
+        let fns = parse(src);
+        let f = &fns[0];
+        let paths: Vec<String> = f
+            .calls
+            .iter()
+            .filter(|c| matches!(c.kind, CallKind::Path { .. }))
+            .map(|c| c.segs.join("::"))
+            .collect();
+        assert!(
+            paths.contains(&"Vec::with_capacity".to_string()),
+            "{paths:?}"
+        );
+        assert!(
+            paths.contains(&"par::dispatch".to_string()),
+            "crate:: stripped: {paths:?}"
+        );
+        let methods: Vec<&str> = f
+            .calls
+            .iter()
+            .filter(|c| c.kind == CallKind::Method)
+            .map(Call::name)
+            .collect();
+        assert_eq!(methods, ["to_vec"]);
+        let macros: Vec<&str> = f
+            .calls
+            .iter()
+            .filter(|c| c.kind == CallKind::Macro)
+            .map(Call::name)
+            .collect();
+        assert_eq!(macros, ["vec"]);
+        assert_eq!(f.index_sites.len(), 2, "{:?}", f.index_sites);
+        // `&mut Vec<f32>` and `&[f32]` in the signature are not sites.
+    }
+
+    #[test]
+    fn self_prefix_resolves_to_impl_type() {
+        let src = "impl Conv2d {\n  fn forward(&self) { Self::check(); }\n}";
+        let fns = parse(src);
+        assert_eq!(fns[0].calls[0].segs, ["Conv2d", "check"]);
+    }
+
+    #[test]
+    fn turbofish_method_is_still_a_call() {
+        let src = "fn f(it: I) { let v = it.collect::<Vec<f32>>(); }";
+        let fns = parse(src);
+        let methods: Vec<&str> = fns[0]
+            .calls
+            .iter()
+            .filter(|c| c.kind == CallKind::Method)
+            .map(Call::name)
+            .collect();
+        assert_eq!(methods, ["collect"]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { prod(); }\n}";
+        let fns = parse(src);
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test, "{fns:#?}");
+    }
+
+    #[test]
+    fn field_access_and_comparisons_are_not_calls() {
+        let src = "fn f(s: &S) { let a = s.field; let b = a != 3; if a { } }";
+        assert!(parse(src)[0].calls.is_empty(), "{:?}", parse(src)[0].calls);
+    }
+
+    #[test]
+    fn trait_decl_without_body_does_not_leak_scope() {
+        let src = "trait T {\n  fn sig(&self);\n  fn with_default(&self) { x.clone(); }\n}\nfn after() { y.to_vec(); }";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "with_default");
+        assert_eq!(call_names(&fns[0]), ["clone"]);
+        assert_eq!(fns[1].name, "after");
+        assert_eq!(call_names(&fns[1]), ["to_vec"]);
+    }
+
+    #[test]
+    fn struct_literal_is_not_a_call_but_array_index_is() {
+        let src = "fn f() { let p = Point { x: 1 }; let q = arr[0]; }";
+        let f = &parse(src)[0];
+        assert!(f.calls.is_empty(), "{:?}", f.calls);
+        assert_eq!(f.index_sites.len(), 1);
+    }
+}

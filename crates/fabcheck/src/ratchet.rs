@@ -9,6 +9,13 @@ use std::path::Path;
 /// `rule name → file → count`, ordered so serialization is deterministic.
 pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
 
+/// Baseline file schema version written by `--bless`. v1 was a bare
+/// `rule → file → count` map; v2 wraps it as
+/// `{"schema_version": 2, "counts": {…}}` so future rule additions can
+/// migrate old baselines instead of silently invalidating them. Both
+/// versions parse.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// One cell whose count exceeds the committed baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Regression {
@@ -39,7 +46,32 @@ pub fn load(path: &Path) -> Result<Counts, String> {
 
 fn parse(text: &str) -> Result<Counts, String> {
     let value: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("{e:?}"))?;
-    let rules = value.as_map().ok_or("expected a top-level object")?;
+    let top = value.as_map().ok_or("expected a top-level object")?;
+    // v2 wraps the rule map under "counts"; a baseline without a
+    // "schema_version" key is the v1 bare map (migration read path).
+    let rules_value = match top.iter().find(|(k, _)| k == "schema_version") {
+        Some((_, ver)) => {
+            let ver = ver
+                .as_f64()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .ok_or("schema_version: expected a non-negative integer")?
+                as u64;
+            if ver > SCHEMA_VERSION {
+                return Err(format!(
+                    "schema_version {ver} is newer than this fabcheck (v{SCHEMA_VERSION}); \
+                     update the tool or re-bless"
+                ));
+            }
+            &top.iter()
+                .find(|(k, _)| k == "counts")
+                .ok_or("schema v2 baseline is missing the \"counts\" object")?
+                .1
+        }
+        None => &value,
+    };
+    let rules = rules_value
+        .as_map()
+        .ok_or("expected an object of rule counts")?;
     let mut out = Counts::new();
     for (rule, files) in rules {
         let files = files
@@ -58,30 +90,37 @@ fn parse(text: &str) -> Result<Counts, String> {
     Ok(out)
 }
 
-/// Serializes counts as stable, diff-friendly pretty JSON.
+/// Serializes counts as stable, diff-friendly pretty JSON (always the
+/// current [`SCHEMA_VERSION`] shape).
 pub fn render(counts: &Counts) -> String {
-    let mut out = String::from("{\n");
-    for (ri, (rule, files)) in counts.iter().enumerate() {
-        out.push_str(&format!("  {}: {{", json_string(rule)));
-        if files.is_empty() {
-            out.push('}');
-        } else {
-            out.push('\n');
-            for (fi, (file, count)) in files.iter().enumerate() {
-                out.push_str(&format!("    {}: {count}", json_string(file)));
-                if fi + 1 < files.len() {
-                    out.push(',');
-                }
-                out.push('\n');
-            }
-            out.push_str("  }");
-        }
-        if ri + 1 < counts.len() {
-            out.push(',');
-        }
+    let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"counts\": {{");
+    if counts.is_empty() {
+        out.push('}');
+    } else {
         out.push('\n');
+        for (ri, (rule, files)) in counts.iter().enumerate() {
+            out.push_str(&format!("    {}: {{", json_string(rule)));
+            if files.is_empty() {
+                out.push('}');
+            } else {
+                out.push('\n');
+                for (fi, (file, count)) in files.iter().enumerate() {
+                    out.push_str(&format!("      {}: {count}", json_string(file)));
+                    if fi + 1 < files.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str("    }");
+            }
+            if ri + 1 < counts.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  }");
     }
-    out.push_str("}\n");
+    out.push_str("\n}\n");
     out
 }
 
@@ -170,9 +209,31 @@ mod tests {
         ]);
         let text = render(&c);
         assert_eq!(parse(&text).expect("roundtrip"), c);
-        // Deterministic: rules and files are sorted.
-        let first_rule = text.lines().nth(1).expect("rule line");
-        assert!(first_rule.contains("todo-unimplemented"));
+        // v2 envelope plus deterministic ordering: rules and files sorted.
+        assert!(text.starts_with("{\n  \"schema_version\": 2,\n  \"counts\": {"));
+        let first_rule = text.lines().nth(3).expect("rule line");
+        assert!(first_rule.contains("todo-unimplemented"), "{text}");
+    }
+
+    #[test]
+    fn v1_bare_map_baselines_still_parse() {
+        let v1 = "{\n  \"unwrap-in-lib\": {\n    \"crates/nn/src/a.rs\": 2\n  }\n}\n";
+        let c = parse(v1).expect("v1 migration");
+        assert_eq!(c["unwrap-in-lib"]["crates/nn/src/a.rs"], 2);
+        // Re-rendering upgrades to the current schema.
+        assert!(render(&c).contains("\"schema_version\": 2"));
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected() {
+        let v99 = "{\"schema_version\": 99, \"counts\": {}}";
+        let err = parse(v99).expect_err("future schema");
+        assert!(err.contains("newer"), "{err}");
+        assert!(parse("{\"schema_version\": 2, \"counts\": {}}")
+            .expect("v2 empty")
+            .is_empty());
+        assert!(parse("{\"schema_version\": 2}").is_err());
+        assert!(parse("{\"schema_version\": -1, \"counts\": {}}").is_err());
     }
 
     #[test]

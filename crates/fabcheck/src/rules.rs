@@ -6,13 +6,17 @@
 //!
 //! * **forbidden** — any hit fails CI (`nondeterministic-collection`,
 //!   `entropy-rng`, `wallclock-in-kernel`, `env-var-outside-config`,
-//!   `unsafe-without-safety-comment`, `thread-spawn-outside-par`);
+//!   `unsafe-without-safety-comment`, `thread-spawn-outside-par`,
+//!   `raw-pointer-outside-par`, `alloc-on-hot-path`);
 //! * **counted** — hits are tallied per `rule × file` and ratcheted
 //!   against `FABCHECK_BASELINE.json`: counts may shrink, never grow
-//!   (`unwrap-in-lib`, `todo-unimplemented`).
+//!   (`unwrap-in-lib`, `todo-unimplemented`, `panic-on-hot-path`).
 //!
 //! Matching is whole-identifier over the [`crate::lexer`] token stream, so
 //! comments, strings, `Instantiates`, and `unwrap_or` never false-positive.
+//! The two hot-path rules are interprocedural and live in [`crate::graph`]
+//! (reachability from the kernel entry set); this module hosts their
+//! [`Rule`] identities plus every single-file rule.
 
 use crate::lexer::{lex, Comment, Token};
 
@@ -53,6 +57,18 @@ pub enum Rule {
     /// `thread::spawn`/`thread::scope`/`thread::Builder` in `crates/`
     /// outside the worker pool (`crates/tensor/src/par.rs`).
     ThreadSpawnOutsidePar,
+    /// Raw-pointer types (`*const T`/`*mut T`) in `crates/` product code
+    /// outside the worker pool: lifetime-erased pointers are the pool's
+    /// monopoly, everything else uses slices.
+    RawPointerOutsidePar,
+    /// A heap allocation reachable from the kernel entry set
+    /// ([`crate::graph::HOT_ENTRIES`]). Forbidden: the steady-state
+    /// per-round loop must not touch the allocator.
+    AllocOnHotPath,
+    /// A panic site (indexing, `assert!`, `unwrap`/`expect`, panic
+    /// macros) reachable from the kernel entry set (counted — indexing
+    /// is pervasive in kernels, so this ratchets shrink-only).
+    PanicOnHotPath,
     /// `.unwrap()` in non-test library code (counted).
     UnwrapInLib,
     /// `todo!`/`unimplemented!` in non-test code (counted).
@@ -61,13 +77,16 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::NondeterministicCollection,
         Rule::EntropyRng,
         Rule::WallclockInKernel,
         Rule::EnvVarOutsideConfig,
         Rule::UnsafeWithoutSafetyComment,
         Rule::ThreadSpawnOutsidePar,
+        Rule::RawPointerOutsidePar,
+        Rule::AllocOnHotPath,
+        Rule::PanicOnHotPath,
         Rule::UnwrapInLib,
         Rule::TodoUnimplemented,
     ];
@@ -81,6 +100,9 @@ impl Rule {
             Rule::EnvVarOutsideConfig => "env-var-outside-config",
             Rule::UnsafeWithoutSafetyComment => "unsafe-without-safety-comment",
             Rule::ThreadSpawnOutsidePar => "thread-spawn-outside-par",
+            Rule::RawPointerOutsidePar => "raw-pointer-outside-par",
+            Rule::AllocOnHotPath => "alloc-on-hot-path",
+            Rule::PanicOnHotPath => "panic-on-hot-path",
             Rule::UnwrapInLib => "unwrap-in-lib",
             Rule::TodoUnimplemented => "todo-unimplemented",
         }
@@ -88,7 +110,10 @@ impl Rule {
 
     /// Forbidden rules fail CI on any hit; counted rules only ratchet.
     pub fn is_forbidden(self) -> bool {
-        !matches!(self, Rule::UnwrapInLib | Rule::TodoUnimplemented)
+        !matches!(
+            self,
+            Rule::UnwrapInLib | Rule::TodoUnimplemented | Rule::PanicOnHotPath
+        )
     }
 }
 
@@ -176,6 +201,19 @@ fn scope(rule: Rule, class: &FileClass) -> Scope {
                 Scope::Off
             }
         }
+        // Raw-pointer types are the pool's monopoly in product code.
+        // Test code (incl. the alloc_guard allocator harness) may use
+        // them — tests never ship in the hot path.
+        Rule::RawPointerOutsidePar => {
+            if class.in_crates && class.rel != BLESSED_THREAD_FILE && !class.is_test_file {
+                Scope::NonTest
+            } else {
+                Scope::Off
+            }
+        }
+        // Interprocedural rules: evaluated by `crate::graph`, never by
+        // the single-file scan.
+        Rule::AllocOnHotPath | Rule::PanicOnHotPath => Scope::Off,
         Rule::UnwrapInLib => {
             if class.in_crates && !class.is_test_file && !class.is_bin && !class.is_example {
                 Scope::NonTest
@@ -208,8 +246,9 @@ pub fn test_only_mods(src: &str) -> Vec<String> {
 }
 
 /// Half-open token-index ranges covered by `#[cfg(test)]`-gated items
-/// (inline `mod tests { … }` blocks, gated fns, …).
-fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+/// (inline `mod tests { … }` blocks, gated fns, …). Shared with the
+/// call-graph builder so test fns stay out of the hot graph.
+pub(crate) fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     for (_, attr_end) in cfg_test_attr_ranges(tokens) {
         if let Some(ItemShape::Braced(open, close)) = item_after_attrs(tokens, attr_end) {
@@ -346,13 +385,29 @@ fn item_after_attrs(tokens: &[Token], mut from: usize) -> Option<ItemShape> {
 
 /// A `// SAFETY:` (or `/* SAFETY: */`) comment annotates an `unsafe`
 /// token when it ends on the same line or at most [`SAFETY_WINDOW_LINES`]
-/// lines above it.
-fn has_safety_comment(comments: &[Comment], unsafe_line: u32) -> bool {
-    comments.iter().any(|c| {
-        c.text.contains("SAFETY:")
-            && c.line_end <= unsafe_line
-            && c.line_end + SAFETY_WINDOW_LINES >= unsafe_line
-    })
+/// lines above it — and each comment annotates exactly **one** `unsafe`.
+/// Claims the nearest eligible unclaimed comment; `claimed` is indexed
+/// parallel to `comments`. Two unsafe blocks can no longer share a
+/// single SAFETY comment: every block documents its own invariant.
+fn claim_safety_comment(comments: &[Comment], claimed: &mut [bool], unsafe_line: u32) -> bool {
+    let best = comments
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| {
+            !claimed[*i]
+                && c.text.contains("SAFETY:")
+                && c.line_end <= unsafe_line
+                && c.line_end + SAFETY_WINDOW_LINES >= unsafe_line
+        })
+        .max_by_key(|(_, c)| c.line_end)
+        .map(|(i, _)| i);
+    match best {
+        Some(i) => {
+            claimed[i] = true;
+            true
+        }
+        None => false,
+    }
 }
 
 /// Runs every applicable rule over one file. `class.is_test_file` must
@@ -387,8 +442,29 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
         });
     };
     let toks = &lexed.tokens;
+    let mut claimed = vec![false; lexed.comments.len()];
     for (i, t) in toks.iter().enumerate() {
         if !t.is_ident {
+            // `*` immediately before `const`/`mut` is a raw-pointer type
+            // (`*const T` / `*mut T`); a deref or multiplication is
+            // always followed by a non-keyword operand.
+            if t.text == "*"
+                && on(Rule::RawPointerOutsidePar, i)
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_ident && matches!(n.text.as_str(), "const" | "mut"))
+            {
+                push(
+                    Rule::RawPointerOutsidePar,
+                    t,
+                    format!(
+                        "raw-pointer type `*{}` outside `crates/tensor/src/par.rs`; \
+                         product code passes slices — lifetime-erased pointers are \
+                         the worker pool's monopoly",
+                        toks[i + 1].text
+                    ),
+                );
+            }
             continue;
         }
         match t.text.as_str() {
@@ -446,13 +522,14 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
             }
             "unsafe"
                 if on(Rule::UnsafeWithoutSafetyComment, i)
-                    && !has_safety_comment(&lexed.comments, t.line) =>
+                    && !claim_safety_comment(&lexed.comments, &mut claimed, t.line) =>
             {
                 push(
                     Rule::UnsafeWithoutSafetyComment,
                     t,
-                    "`unsafe` without a `// SAFETY:` comment in the preceding \
-                     lines; document the invariant that makes this sound"
+                    "`unsafe` without its own `// SAFETY:` comment in the preceding \
+                     lines (each unsafe block claims exactly one); document the \
+                     invariant that makes this sound"
                         .to_string(),
                 )
             }
@@ -600,36 +677,73 @@ mod tests {
 
     #[test]
     fn unsafe_requires_safety_comment() {
+        // Snippets live at the par.rs path: raw-pointer types are legal
+        // there, so only the unsafe-comment rule is under test.
         let bad = "fn f(p: *const u8) { unsafe { p.read() }; }";
         assert_eq!(
-            run("crates/tensor/src/matmul.rs", bad),
+            run("crates/tensor/src/par.rs", bad),
             ["unsafe-without-safety-comment"]
         );
         let good = "// SAFETY: p is valid for reads per the caller contract.\n\
                     fn f(p: *const u8) { unsafe { p.read() }; }";
-        assert!(run("crates/tensor/src/matmul.rs", good).is_empty());
+        assert!(run("crates/tensor/src/par.rs", good).is_empty());
         // Attribute + doc-comment noise between the SAFETY line and the
         // unsafe token stays within the window.
         let noisy = "// SAFETY: index < len checked above.\n\
                      #[allow(clippy::missing_docs_in_private_items)]\n\
                      #[inline(always)]\n\
                      fn g(s: &[u8]) { unsafe { s.get_unchecked(0) }; }";
-        assert!(run("crates/tensor/src/matmul.rs", noisy).is_empty());
+        assert!(run("crates/tensor/src/par.rs", noisy).is_empty());
         // A SAFETY comment far above does not annotate.
         let far = format!(
             "// SAFETY: stale.\n{}\nfn f(p: *const u8) {{ unsafe {{ p.read() }}; }}",
             "\n".repeat(8)
         );
         assert_eq!(
-            run("crates/tensor/src/x.rs", &far),
+            run("crates/tensor/src/par.rs", &far),
             ["unsafe-without-safety-comment"]
         );
         // Trailing same-line comment counts.
         let inline = "fn f(p: *const u8) { unsafe { p.read() }; } // SAFETY: valid ptr.";
-        assert!(run("crates/tensor/src/x.rs", inline).is_empty());
+        assert!(run("crates/tensor/src/par.rs", inline).is_empty());
         // The word SAFETY: inside a doc example string does not annotate
         // and an `unsafe` inside a string is not a finding.
         assert!(run("crates/nn/src/x.rs", r#"let s = "unsafe";"#).is_empty());
+    }
+
+    #[test]
+    fn each_unsafe_claims_its_own_safety_comment() {
+        // Two unsafe blocks, one comment: the second block is naked.
+        let shared = "// SAFETY: covers only one block.\n\
+                      fn f(s: &[u8]) { unsafe { s.get_unchecked(0) }; unsafe { s.get_unchecked(1) }; }";
+        assert_eq!(
+            run("crates/tensor/src/par.rs", shared),
+            ["unsafe-without-safety-comment"]
+        );
+        // Two comments, two blocks: both annotated.
+        let paired = "// SAFETY: first index in bounds.\n\
+                      // SAFETY: second index in bounds.\n\
+                      fn f(s: &[u8]) { unsafe { s.get_unchecked(0) }; unsafe { s.get_unchecked(1) }; }";
+        assert!(run("crates/tensor/src/par.rs", paired).is_empty());
+    }
+
+    #[test]
+    fn raw_pointer_types_confined_to_par() {
+        let ty = "fn f(p: *const f32, q: *mut f32) {}";
+        assert_eq!(
+            run("crates/tensor/src/matmul.rs", ty),
+            ["raw-pointer-outside-par", "raw-pointer-outside-par"]
+        );
+        assert!(run("crates/tensor/src/par.rs", ty).is_empty());
+        // Multiplication and deref are not raw-pointer types.
+        assert!(run("crates/tensor/src/matmul.rs", "let y = a * b; let z = *r;").is_empty());
+        // Test files (e.g. the alloc_guard allocator) are exempt.
+        assert!(run("crates/tensor/tests/alloc_guard.rs", ty).is_empty());
+        assert!(run(
+            "crates/nn/src/conv.rs",
+            "#[cfg(test)]\nmod tests { fn t(p: *const u8) {} }"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! Deliberately bad fixture: an allocation reachable from a declared
+//! kernel entry (`matmul_into` → `pack` → `.to_vec()`), plus indexing
+//! panic sites on the hot path. Never compiled — only scanned.
+
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let scratch = pack(a);
+    for i in 0..m * n {
+        c[i] = scratch[i % scratch.len()] + b[0] * k as f32;
+    }
+}
+
+fn pack(a: &[f32]) -> Vec<f32> {
+    a.to_vec()
+}

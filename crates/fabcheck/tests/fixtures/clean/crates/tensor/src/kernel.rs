@@ -11,13 +11,15 @@ pub fn lexer_bait() -> &'static str {
     let _raw = r#"HashMap thread_rng unsafe env::var"#;
     let _raw_hashes = r##"quote-hash "# SystemTime inside"##;
     let _byte = b"from_entropy";
-    "SystemTime Instant OsRng"
+    "SystemTime Instant OsRng *const bait"
 }
 
-// SAFETY: `p` is derived from a live `&f32` by the only caller, so it is
-// valid, aligned, and initialized for the duration of the read.
-pub unsafe fn read(p: *const f32) -> f32 {
-    unsafe { *p }
+/// Slice-based (no raw pointers — those are `par.rs`'s monopoly) with one
+/// unsafe block claiming one SAFETY comment.
+pub fn first(v: &[f32]) -> f32 {
+    assert!(!v.is_empty(), "first: empty slice");
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
 }
 
 /// `Instantiates` must not whole-ident-match `Instant`; `unwrap_or` must

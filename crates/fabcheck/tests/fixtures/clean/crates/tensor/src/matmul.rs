@@ -1,0 +1,23 @@
+//! Clean fixture: an allocation-free kernel entry. `matmul_into` is in
+//! fabcheck's declared hot-entry set, so everything reachable from here is
+//! scanned by the `alloc-on-hot-path` and `panic-on-hot-path` rules — this
+//! file must produce neither, including through its callee and its one
+//! escaped setup branch.
+
+/// Kernel entry: elementwise-ish stand-in shaped like the real signature.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if c.len() != m * n {
+        // fabcheck::allow(panic_on_hot_path): geometry misuse is a caller
+        // bug; fail fast before touching any output.
+        panic!("matmul_into: output is {} not {m}x{n}", c.len());
+    }
+    let bias = scale(k);
+    for ((out, x), y) in c.iter_mut().zip(a.iter().cycle()).zip(b.iter().cycle()) {
+        *out = x * y + bias;
+    }
+}
+
+/// Reachable from the entry: must also be allocation- and panic-free.
+fn scale(k: usize) -> f32 {
+    (k as f32).sqrt()
+}

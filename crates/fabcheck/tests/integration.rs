@@ -59,6 +59,8 @@ fn bad_fixture_reports_every_forbidden_rule() {
         "env-var-outside-config",
         "unsafe-without-safety-comment",
         "thread-spawn-outside-par",
+        "raw-pointer-outside-par",
+        "alloc-on-hot-path",
     ] {
         assert!(fired.contains(&rule), "missing {rule} in {fired:?}");
     }
@@ -70,7 +72,21 @@ fn bad_fixture_reports_every_forbidden_rule() {
         .expect("unsafe finding");
     assert_eq!(unsafe_hit.file, "crates/tensor/src/kernel.rs");
     assert_eq!(unsafe_hit.line, 12);
-    // Counted debt: two unwraps and one todo!.
+    // The reachability finding names the route that makes the site hot.
+    let alloc_hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::AllocOnHotPath)
+        .expect("alloc finding");
+    assert_eq!(alloc_hit.file, "crates/tensor/src/matmul.rs");
+    assert!(
+        alloc_hit
+            .message
+            .contains("tensor::matmul::matmul_into → tensor::matmul::pack"),
+        "route missing: {}",
+        alloc_hit.message
+    );
+    // Counted debt: two unwraps, one todo!, three hot-path panic sites.
     assert_eq!(
         report.counts["unwrap-in-lib"]["crates/nn/src/lib.rs"], 2,
         "counts: {:?}",
@@ -80,21 +96,31 @@ fn bad_fixture_reports_every_forbidden_rule() {
         report.counts["todo-unimplemented"]["crates/nn/src/lib.rs"],
         1
     );
+    assert_eq!(
+        report.counts["panic-on-hot-path"]["crates/tensor/src/matmul.rs"],
+        3
+    );
 }
 
 #[test]
 fn bad_fixture_regresses_against_its_baseline() {
     let report = check_workspace(&fixture("bad")).expect("scan");
+    // The bad baseline is deliberately kept in the v1 bare-map format, so
+    // this test also exercises the schema migration read path.
     let baseline = ratchet::load(&fixture("bad").join("FABCHECK_BASELINE.json")).expect("baseline");
     let (regressions, _) = ratchet::compare(&baseline, &report.counts);
-    // unwrap-in-lib grew 1 → 2 and todo-unimplemented appeared 0 → 1.
-    assert_eq!(regressions.len(), 2, "{regressions:?}");
+    // unwrap-in-lib grew 1 → 2, todo-unimplemented appeared 0 → 1, and
+    // panic-on-hot-path appeared 0 → 3 (v1 baselines lack the rule).
+    assert_eq!(regressions.len(), 3, "{regressions:?}");
     assert!(regressions
         .iter()
         .any(|r| r.rule == "unwrap-in-lib" && r.baseline == 1 && r.actual == 2));
     assert!(regressions
         .iter()
         .any(|r| r.rule == "todo-unimplemented" && r.baseline == 0));
+    assert!(regressions
+        .iter()
+        .any(|r| r.rule == "panic-on-hot-path" && r.baseline == 0 && r.actual == 3));
 }
 
 #[test]
@@ -106,7 +132,7 @@ fn clean_fixture_is_silent() {
         report.findings
     );
     assert!(report.counted.is_empty(), "{:?}", report.counted);
-    assert_eq!(report.files_checked, 3);
+    assert_eq!(report.files_checked, 4);
 }
 
 #[test]
@@ -168,9 +194,17 @@ fn bless_rewrites_baseline_and_future_runs_pass() {
     // blessed away.
     let (code, _, _) = run_binary(&["--bless", "--root", root]);
     assert_eq!(code, 1);
-    let blessed = ratchet::load(&dir.join("FABCHECK_BASELINE.json")).expect("blessed baseline");
+    let baseline_path = dir.join("FABCHECK_BASELINE.json");
+    let blessed = ratchet::load(&baseline_path).expect("blessed baseline");
     assert_eq!(blessed["unwrap-in-lib"]["crates/nn/src/lib.rs"], 2);
     assert_eq!(blessed["todo-unimplemented"]["crates/nn/src/lib.rs"], 1);
+    assert_eq!(
+        blessed["panic-on-hot-path"]["crates/tensor/src/matmul.rs"],
+        3
+    );
+    // Blessing a v1 baseline rewrites it in the v2 envelope.
+    let raw = std::fs::read_to_string(&baseline_path).expect("read blessed");
+    assert!(raw.contains("\"schema_version\": 2"), "{raw}");
     // With the counted debt blessed, only the forbidden findings remain.
     let report = check_workspace(&dir).expect("scan");
     let (regressions, _) = ratchet::compare(&blessed, &report.counts);
@@ -190,6 +224,30 @@ fn missing_baseline_fails_closed_on_counted_debt() {
         "counted debt must regress against an absent baseline"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Diagnostics are a deterministic function of the tree: two runs emit
+/// byte-identical `--json` reports, pinned against a committed golden
+/// file (regenerate with
+/// `cargo run -p fabcheck -- --json --root crates/fabcheck/tests/fixtures/bad`).
+#[test]
+fn json_output_matches_golden_file() {
+    let bad = fixture("bad");
+    let root = bad.to_str().expect("utf8 path");
+    let (_, first, _) = run_binary(&["--json", "--root", root]);
+    let (_, second, _) = run_binary(&["--json", "--root", root]);
+    assert_eq!(first, second, "two runs diverged");
+    let golden = std::fs::read_to_string(bad.join("expected.json")).expect("golden file");
+    assert_eq!(first, golden, "regenerate the golden file if intentional");
+    // The report explains WHY a site is hot: the callgraph section lists
+    // each hot function with its entry route.
+    let v: serde_json::Value = serde_json::from_str(&first).expect("valid JSON");
+    let callgraph = v
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "callgraph"))
+        .map(|(_, v)| format!("{v:?}"))
+        .expect("callgraph section");
+    assert!(callgraph.contains("tensor::matmul::pack"), "{callgraph}");
 }
 
 /// The real workspace must stay clean: this is the same check CI runs,

@@ -36,7 +36,7 @@ pub struct Conv2d {
 
 #[derive(Debug)]
 struct ConvCache {
-    in_shape: Vec<usize>,
+    in_shape: [usize; 4],
     out_h: usize,
     out_w: usize,
 }
@@ -90,6 +90,7 @@ impl Layer for Conv2d {
         if input.rank() != 4 || input.shape()[1] != self.in_channels {
             return Err(NnError::BadInput {
                 layer: "Conv2d",
+                // fabcheck::allow(alloc_on_hot_path): error branch only.
                 detail: format!(
                     "expected [N, {}, H, W], got {:?}",
                     self.in_channels,
@@ -107,6 +108,8 @@ impl Layer for Conv2d {
         let ow = conv_out_dim(w, self.kernel, self.stride, self.pad)?;
         let ckk = c * self.kernel * self.kernel;
         let out_area = oh * ow;
+        // fabcheck::allow(alloc_on_hot_path): the Layer API returns a fresh
+        // output tensor — one allocation per call, not O(model) per round.
         let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
         let sample_len = c * h * w;
         let out_sample_len = self.out_channels * out_area;
@@ -121,6 +124,7 @@ impl Layer for Conv2d {
         // contract in `fabflip_tensor::par`). The buffer is layer-owned and
         // grow-only: steady-state rounds allocate nothing here.
         let col_len = ckk * out_area;
+        // fabcheck::allow(alloc_on_hot_path): grow-only layer-owned buffer.
         self.cols.resize(n * col_len, 0.0);
         let cols = &mut self.cols;
         let per_sample = |i: usize, out_sample: &mut [f32], col: &mut [f32]| {
@@ -148,7 +152,7 @@ impl Layer for Conv2d {
             par::for_each_chunk_pair_mut(out.data_mut(), out_sample_len, cols, col_len, per_sample);
         }
         self.cache = Some(ConvCache {
-            in_shape: input.shape().to_vec(),
+            in_shape: [n, c, h, w],
             out_h: oh,
             out_w: ow,
         });
@@ -169,14 +173,17 @@ impl Layer for Conv2d {
         let (oh, ow) = (cache.out_h, cache.out_w);
         let out_area = oh * ow;
         let ckk = c * self.kernel * self.kernel;
-        let expected = vec![n, self.out_channels, oh, ow];
-        if grad_out.shape() != expected.as_slice() {
+        let expected = [n, self.out_channels, oh, ow];
+        if grad_out.shape() != expected {
             return Err(NnError::BadInput {
                 layer: "Conv2d",
+                // fabcheck::allow(alloc_on_hot_path): error branch only.
                 detail: format!("grad shape {:?}, expected {:?}", grad_out.shape(), expected),
             });
         }
-        let mut grad_in = Tensor::zeros(cache.in_shape.clone());
+        // fabcheck::allow(alloc_on_hot_path): fresh gradient tensor — the
+        // Layer API hands ownership to the caller.
+        let mut grad_in = Tensor::zeros(cache.in_shape.to_vec());
         let sample_len = c * h * w;
         let out_sample_len = self.out_channels * out_area;
         let weight = self.weight.data();
@@ -196,6 +203,7 @@ impl Layer for Conv2d {
         let gw_len = out_channels * ckk;
         let gwb_len = gw_len + out_channels;
         self.gwb.clear();
+        // fabcheck::allow(alloc_on_hot_path): grow-only layer-owned buffer.
         self.gwb.resize(n * gwb_len, 0.0);
         let per_sample = |i: usize, gi: &mut [f32], gwb: &mut [f32]| {
             let g = &grad_out_data[i * out_sample_len..(i + 1) * out_sample_len];

@@ -85,6 +85,7 @@ impl ConvTranspose2d {
         if grown < 2 * self.pad + 1 {
             return Err(NnError::BadInput {
                 layer: "ConvTranspose2d",
+                // fabcheck::allow(alloc_on_hot_path): error branch only.
                 detail: format!("padding {} too large for input {input}", self.pad),
             });
         }
@@ -97,6 +98,7 @@ impl Layer for ConvTranspose2d {
         if input.rank() != 4 || input.shape()[1] != self.in_channels {
             return Err(NnError::BadInput {
                 layer: "ConvTranspose2d",
+                // fabcheck::allow(alloc_on_hot_path): error branch only.
                 detail: format!(
                     "expected [N, {}, H, W], got {:?}",
                     self.in_channels,
@@ -114,6 +116,8 @@ impl Layer for ConvTranspose2d {
         let ow = self.out_dim(w)?;
         let area_in = h * w;
         let okk = self.out_channels * self.kernel * self.kernel;
+        // fabcheck::allow(alloc_on_hot_path): the Layer API returns a fresh
+        // output tensor — one allocation per call, not O(model) per round.
         let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
         let in_sample = self.in_channels * area_in;
         let out_sample = self.out_channels * oh * ow;
@@ -147,6 +151,8 @@ impl Layer for ConvTranspose2d {
             par::for_each_chunk_mut(out.data_mut(), out_sample, per_sample);
         }
         self.cache = Some(Cache {
+            // fabcheck::allow(alloc_on_hot_path): backward's weight gradient
+            // needs the forward input — one cached clone per forward call.
             input: input.clone(),
             out_h: oh,
             out_w: ow,
@@ -167,10 +173,11 @@ impl Layer for ConvTranspose2d {
             input.shape()[3],
         );
         let (oh, ow) = (cache.out_h, cache.out_w);
-        let expected = vec![n, self.out_channels, oh, ow];
-        if grad_out.shape() != expected.as_slice() {
+        let expected = [n, self.out_channels, oh, ow];
+        if grad_out.shape() != expected {
             return Err(NnError::BadInput {
                 layer: "ConvTranspose2d",
+                // fabcheck::allow(alloc_on_hot_path): error branch only.
                 detail: format!("grad shape {:?}, expected {:?}", grad_out.shape(), expected),
             });
         }
@@ -178,6 +185,8 @@ impl Layer for ConvTranspose2d {
         let okk = self.out_channels * self.kernel * self.kernel;
         let in_sample = self.in_channels * area_in;
         let out_sample = self.out_channels * oh * ow;
+        // fabcheck::allow(alloc_on_hot_path): fresh gradient tensor — the
+        // Layer API hands ownership to the caller.
         let mut grad_in = Tensor::zeros(input.shape().to_vec());
         let weight = self.weight.data();
         let (in_channels, out_channels) = (self.in_channels, self.out_channels);
@@ -191,6 +200,7 @@ impl Layer for ConvTranspose2d {
         let gw_len = in_channels * okk;
         let gwb_len = gw_len + out_channels;
         self.gwb.clear();
+        // fabcheck::allow(alloc_on_hot_path): grow-only layer-owned buffer.
         self.gwb.resize(n * gwb_len, 0.0);
         let per_sample = |i: usize, gx: &mut [f32], gwb: &mut [f32]| {
             let g = &grad_out_data[i * out_sample..(i + 1) * out_sample];

@@ -28,6 +28,7 @@ pub fn conv_out_dim(
     }
     let padded = input + 2 * pad;
     if kernel == 0 || kernel > padded {
+        // fabcheck::allow(alloc_on_hot_path): error branch only.
         return Err(TensorError::InvalidGeometry(format!(
             "kernel {kernel} does not fit padded input {padded}"
         )));

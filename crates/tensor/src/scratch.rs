@@ -41,9 +41,18 @@ pub enum Purpose {
     /// conv-transpose forward column accumulator (zeroed: col2im
     /// accumulates the result into the output image).
     ConvCol = 3,
+    /// Per-coordinate sort column for `vecops::median_into` /
+    /// `vecops::trimmed_mean_into` (one client value per slot).
+    SortColumn = 4,
+    /// Coordinate-wise mean staging for `vecops::std_dev_into`.
+    CoordMean = 5,
+    /// Per-client squared-distance row for `aggregation` Krum scoring.
+    KrumRow = 6,
+    /// Bulyan stage-2 column workspace (gather + sort + closeness).
+    BulyanCols = 7,
 }
 
-const PURPOSES: usize = 4;
+const PURPOSES: usize = 8;
 
 thread_local! {
     static ARENA: RefCell<[Vec<f32>; PURPOSES]> = RefCell::new(Default::default());
@@ -98,6 +107,8 @@ impl Drop for ScratchBuf {
 pub fn scratch_f32(purpose: Purpose, len: usize) -> ScratchBuf {
     let mut buf = take(purpose);
     if buf.len() < len {
+        // fabcheck::allow(alloc_on_hot_path): grow-only arena fill — zero
+        // steady-state allocations, witnessed by tensor/tests/alloc_guard.rs.
         buf.resize(len, 0.0);
     }
     ScratchBuf { purpose, buf, len }
@@ -108,6 +119,8 @@ pub fn scratch_f32(purpose: Purpose, len: usize) -> ScratchBuf {
 pub fn scratch_zeroed(purpose: Purpose, len: usize) -> ScratchBuf {
     let mut buf = take(purpose);
     buf.clear();
+    // fabcheck::allow(alloc_on_hot_path): grow-only arena fill — the clear
+    // keeps capacity, so a warm arena re-zeroes without allocating.
     buf.resize(len, 0.0);
     ScratchBuf { purpose, buf, len }
 }

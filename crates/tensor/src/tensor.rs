@@ -282,9 +282,15 @@ impl Tensor {
     }
 
     /// Applies `f` element-wise, returning a new tensor.
+    ///
+    /// Not a hot-path kernel: fabcheck's call graph only reaches it through
+    /// the iterator adapter `.map(...)` inside real kernels (a method-name
+    /// over-approximation), hence the allow markers below.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        // fabcheck::allow(alloc_on_hot_path): returns a fresh tensor by design.
         let data = self.data.iter().map(|&a| f(a)).collect();
         Tensor {
+            // fabcheck::allow(alloc_on_hot_path): fresh tensor's shape copy.
             shape: self.shape.clone(),
             data,
         }

@@ -11,8 +11,15 @@
 //! thread budget. Chunk boundaries never split a coordinate's reduction, so
 //! results are bitwise identical to the retained `*_serial` references at
 //! any thread count.
+//!
+//! Each reduction has an allocation-free `*_into` entry writing into a
+//! caller-provided output slice (temporaries come from [`crate::scratch`]
+//! arenas); the `Vec`-returning names are thin wrappers that allocate the
+//! output once and delegate. The `*_into` family is the fabcheck hot-path
+//! entry set — everything reachable from it must stay allocation-free.
 
 use crate::par;
+use crate::scratch::{scratch_f32, Purpose};
 
 /// Work threshold (total input floats) below which the set-reductions stay
 /// on the calling thread.
@@ -171,23 +178,26 @@ fn std_chunk(vs: &[&[f32]], lo: usize, out: &mut [f32], m: &[f32], inv: f32) {
     }
 }
 
-/// Sorted-column kernel shared by [`median`]/[`trimmed_mean`] and their
-/// serial references. For each coordinate of the chunk, gathers the column
-/// into `buf` (one scratch reused across the whole chunk), sorts it, and
-/// reduces via `pick`.
+/// Sorted-column kernel shared by [`median_into`]/[`trimmed_mean_into`]
+/// and the serial references. For each coordinate of the chunk, gathers
+/// the column into `buf` (exactly `vs.len()` long, reused across the whole
+/// chunk), sorts it in place, and reduces via `pick`. The sort is
+/// `sort_unstable_by`: in-place pdqsort, no allocation, and for `f32` keys
+/// stability is unobservable (equal floats are bitwise interchangeable),
+/// so serial and parallel columns stay bitwise identical.
 fn sorted_column_chunk(
     vs: &[&[f32]],
     lo: usize,
     out: &mut [f32],
-    buf: &mut Vec<f32>,
+    buf: &mut [f32],
     pick: impl Fn(&[f32]) -> f32,
 ) {
-    buf.resize(vs.len(), 0.0);
+    debug_assert_eq!(buf.len(), vs.len());
     for (i, o) in out.iter_mut().enumerate() {
         for (slot, v) in buf.iter_mut().zip(vs) {
             *slot = v[lo + i];
         }
-        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+        buf.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
         *o = pick(buf);
     }
 }
@@ -216,22 +226,34 @@ fn run_chunked(out: &mut [f32], work: usize, kernel: impl Fn(usize, &mut [f32]) 
     }
 }
 
-/// Coordinate-wise mean of a set of equally long vectors.
+/// Coordinate-wise mean of `vs`, written into `out` (allocation-free).
 ///
 /// Chunk-parallel; bitwise identical to [`mean_serial`].
+///
+/// # Panics
+///
+/// Panics when `vs` is empty or any length differs from `out.len()`.
+pub fn mean_into(vs: &[&[f32]], out: &mut [f32]) {
+    assert!(!vs.is_empty(), "mean of zero vectors");
+    let d = out.len();
+    check_lengths(vs, d, "mean");
+    let inv = 1.0 / vs.len() as f32;
+    run_chunked(out, d * vs.len(), |lo, chunk| {
+        mean_chunk(vs, lo, chunk, inv)
+    });
+}
+
+/// Coordinate-wise mean of a set of equally long vectors.
+///
+/// Allocates the output then delegates to [`mean_into`].
 ///
 /// # Panics
 ///
 /// Panics when `vs` is empty or lengths differ.
 pub fn mean(vs: &[&[f32]]) -> Vec<f32> {
     assert!(!vs.is_empty(), "mean of zero vectors");
-    let d = vs[0].len();
-    check_lengths(vs, d, "mean");
-    let inv = 1.0 / vs.len() as f32;
-    let mut out = vec![0.0f32; d];
-    run_chunked(&mut out, d * vs.len(), |lo, chunk| {
-        mean_chunk(vs, lo, chunk, inv)
-    });
+    let mut out = vec![0.0f32; vs[0].len()];
+    mean_into(vs, &mut out);
     out
 }
 
@@ -248,21 +270,41 @@ pub fn mean_serial(vs: &[&[f32]]) -> Vec<f32> {
     out
 }
 
-/// Coordinate-wise (population) standard deviation of a set of vectors.
+/// Coordinate-wise (population) standard deviation of `vs`, written into
+/// `out`. The intermediate mean lives in a [`Purpose::CoordMean`] scratch
+/// arena, so the steady state is allocation-free.
 ///
 /// Chunk-parallel; bitwise identical to [`std_dev_serial`].
 ///
 /// # Panics
 ///
+/// Panics when `vs` is empty or any length differs from `out.len()`.
+pub fn std_dev_into(vs: &[&[f32]], out: &mut [f32]) {
+    assert!(!vs.is_empty(), "std_dev of zero vectors");
+    let d = out.len();
+    check_lengths(vs, d, "std_dev");
+    let inv = 1.0 / vs.len() as f32;
+    let mut m = scratch_f32(Purpose::CoordMean, d);
+    run_chunked(&mut m, d * vs.len(), |lo, chunk| {
+        mean_chunk(vs, lo, chunk, inv)
+    });
+    let m = &*m;
+    run_chunked(out, d * vs.len(), |lo, chunk| {
+        std_chunk(vs, lo, chunk, m, inv)
+    });
+}
+
+/// Coordinate-wise (population) standard deviation of a set of vectors.
+///
+/// Allocates the output then delegates to [`std_dev_into`].
+///
+/// # Panics
+///
 /// Panics when `vs` is empty or lengths differ.
 pub fn std_dev(vs: &[&[f32]]) -> Vec<f32> {
-    let m = mean(vs);
-    let d = m.len();
-    let inv = 1.0 / vs.len() as f32;
-    let mut out = vec![0.0f32; d];
-    run_chunked(&mut out, d * vs.len(), |lo, chunk| {
-        std_chunk(vs, lo, chunk, &m, inv)
-    });
+    assert!(!vs.is_empty(), "std_dev of zero vectors");
+    let mut out = vec![0.0f32; vs[0].len()];
+    std_dev_into(vs, &mut out);
     out
 }
 
@@ -290,14 +332,28 @@ pub fn std_dev_serial(vs: &[&[f32]]) -> Vec<f32> {
 /// Panics when `vs` is empty or lengths differ.
 pub fn median(vs: &[&[f32]]) -> Vec<f32> {
     assert!(!vs.is_empty(), "median of zero vectors");
-    let d = vs[0].len();
+    let mut out = vec![0.0f32; vs[0].len()];
+    median_into(vs, &mut out);
+    out
+}
+
+/// Coordinate-wise median of `vs`, written into `out`. Per-chunk sort
+/// columns come from the executing thread's [`Purpose::SortColumn`]
+/// arena, so warm steady-state calls never allocate.
+///
+/// Chunk-parallel; bitwise identical to [`median_serial`].
+///
+/// # Panics
+///
+/// Panics when `vs` is empty or any length differs from `out.len()`.
+pub fn median_into(vs: &[&[f32]], out: &mut [f32]) {
+    assert!(!vs.is_empty(), "median of zero vectors");
+    let d = out.len();
     check_lengths(vs, d, "median");
-    let mut out = vec![0.0f32; d];
-    run_chunked(&mut out, d * vs.len(), |lo, chunk| {
-        let mut buf = Vec::new();
+    run_chunked(out, d * vs.len(), |lo, chunk| {
+        let mut buf = scratch_f32(Purpose::SortColumn, vs.len());
         sorted_column_chunk(vs, lo, chunk, &mut buf, median_of_sorted);
     });
-    out
 }
 
 /// Serial reference for [`median`].
@@ -306,7 +362,7 @@ pub fn median_serial(vs: &[&[f32]]) -> Vec<f32> {
     let d = vs[0].len();
     check_lengths(vs, d, "median");
     let mut out = vec![0.0f32; d];
-    let mut buf = Vec::new();
+    let mut buf = vec![0.0f32; vs.len()];
     for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
         sorted_column_chunk(vs, idx * par::CHUNK, chunk, &mut buf, median_of_sorted);
     }
@@ -324,19 +380,33 @@ pub fn median_serial(vs: &[&[f32]]) -> Vec<f32> {
 /// Panics when `vs` is empty, lengths differ, or `2·trim >= vs.len()`.
 pub fn trimmed_mean(vs: &[&[f32]], trim: usize) -> Vec<f32> {
     assert!(!vs.is_empty(), "trimmed mean of zero vectors");
+    let mut out = vec![0.0f32; vs[0].len()];
+    trimmed_mean_into(vs, trim, &mut out);
+    out
+}
+
+/// Coordinate-wise trimmed mean of `vs`, written into `out`. Sort columns
+/// come from the executing thread's [`Purpose::SortColumn`] arena.
+///
+/// Chunk-parallel; bitwise identical to [`trimmed_mean_serial`].
+///
+/// # Panics
+///
+/// Panics when `vs` is empty, any length differs from `out.len()`, or
+/// `2·trim >= vs.len()`.
+pub fn trimmed_mean_into(vs: &[&[f32]], trim: usize, out: &mut [f32]) {
+    assert!(!vs.is_empty(), "trimmed mean of zero vectors");
     let n = vs.len();
     assert!(2 * trim < n, "trim {trim} too large for {n} vectors");
-    let d = vs[0].len();
+    let d = out.len();
     check_lengths(vs, d, "trimmed_mean");
     let keep = (n - 2 * trim) as f32;
-    let mut out = vec![0.0f32; d];
-    run_chunked(&mut out, d * n, |lo, chunk| {
-        let mut buf = Vec::new();
+    run_chunked(out, d * n, |lo, chunk| {
+        let mut buf = scratch_f32(Purpose::SortColumn, n);
         sorted_column_chunk(vs, lo, chunk, &mut buf, |sorted| {
             sorted[trim..n - trim].iter().sum::<f32>() / keep
         });
     });
-    out
 }
 
 /// Serial reference for [`trimmed_mean`].
@@ -348,7 +418,7 @@ pub fn trimmed_mean_serial(vs: &[&[f32]], trim: usize) -> Vec<f32> {
     check_lengths(vs, d, "trimmed_mean");
     let keep = (n - 2 * trim) as f32;
     let mut out = vec![0.0f32; d];
-    let mut buf = Vec::new();
+    let mut buf = vec![0.0f32; n];
     for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
         sorted_column_chunk(vs, idx * par::CHUNK, chunk, &mut buf, |sorted| {
             sorted[trim..n - trim].iter().sum::<f32>() / keep
@@ -357,38 +427,60 @@ pub fn trimmed_mean_serial(vs: &[&[f32]], trim: usize) -> Vec<f32> {
     out
 }
 
+/// Full pairwise squared-distance matrix, written into `out` as a flat
+/// row-major `n × n` slice (symmetric, zero diagonal), allocation-free.
+///
+/// Rows are dispatched in parallel over the strict upper triangle, then
+/// mirrored serially; each entry is a pure function of its pair, so the
+/// matrix is bitwise identical to [`pairwise_sq_distances_serial`] at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if `out.len() != vs.len()²` or vector lengths differ.
+pub fn pairwise_sq_distances_into(vs: &[&[f32]], out: &mut [f32]) {
+    let n = vs.len();
+    assert_eq!(out.len(), n * n, "pairwise_sq_distances: out must be n*n");
+    let d = vs.first().map_or(0, |v| v.len());
+    check_lengths(vs, d, "pairwise_sq_distances");
+    if n == 0 {
+        return;
+    }
+    let fill_row = |i: usize, row: &mut [f32]| {
+        row[..=i].fill(0.0);
+        for j in (i + 1)..n {
+            row[j] = sq_distance(vs[i], vs[j]);
+        }
+    };
+    let work = n * (n.saturating_sub(1)) / 2 * d;
+    if work < PAR_ELEMS || par::max_threads() == 1 {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            fill_row(i, row);
+        }
+    } else {
+        par::for_each_chunk_mut(out, n, |i, row| fill_row(i, row));
+    }
+    // Serial mirror of the upper triangle into the lower.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out[j * n + i] = out[i * n + j];
+        }
+    }
+}
+
 /// Full pairwise squared-distance matrix (symmetric, zero diagonal).
 ///
-/// The `n·(n−1)/2` distinct pairs are computed in parallel; each entry is a
-/// pure function of its pair, so the matrix is bitwise identical to
-/// [`pairwise_sq_distances_serial`] at any thread count.
+/// Allocates the nested output then delegates to
+/// [`pairwise_sq_distances_into`].
 ///
 /// # Panics
 ///
 /// Panics if vector lengths differ.
 pub fn pairwise_sq_distances(vs: &[&[f32]]) -> Vec<Vec<f32>> {
     let n = vs.len();
-    let d = vs.first().map_or(0, |v| v.len());
-    let pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-        .collect();
-    let dists: Vec<f32> = if pairs.len() * d < PAR_ELEMS || par::max_threads() == 1 {
-        pairs
-            .iter()
-            .map(|&(i, j)| sq_distance(vs[i], vs[j]))
-            .collect()
-    } else {
-        par::map_collect(pairs.len(), |t| {
-            let (i, j) = pairs[t];
-            sq_distance(vs[i], vs[j])
-        })
-    };
-    let mut m = vec![vec![0.0f32; n]; n];
-    for (&(i, j), &dist) in pairs.iter().zip(&dists) {
-        m[i][j] = dist;
-        m[j][i] = dist;
-    }
-    m
+    let mut flat = vec![0.0f32; n * n];
+    pairwise_sq_distances_into(vs, &mut flat);
+    flat.chunks(n.max(1)).map(<[f32]>::to_vec).collect()
 }
 
 /// Serial reference for [`pairwise_sq_distances`].

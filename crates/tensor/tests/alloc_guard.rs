@@ -1,0 +1,202 @@
+//! Dynamic witness for fabcheck's `alloc-on-hot-path` rule: a counting
+//! global allocator proves the kernel-entry set performs **zero**
+//! steady-state allocations once scratch arenas are warm.
+//!
+//! The static rule (crates/fabcheck/src/graph.rs) over-approximates
+//! reachability and relies on `fabcheck::allow(alloc_on_hot_path)` escape
+//! comments for grow-only arenas; this test is the other half of the
+//! argument — it runs the real kernels and checks the allocator was never
+//! called on the second (warm) pass.
+//!
+//! One `#[test]` on purpose: the counter is process-global and
+//! `par::set_max_threads` is too, so concurrent tests would race.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fabflip_tensor::vecops::{
+    mean_into, median_into, pairwise_sq_distances_into, std_dev_into, trimmed_mean_into,
+};
+use fabflip_tensor::{
+    col2im, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, par, Tensor,
+};
+
+/// Counts `alloc` + `realloc` calls (frees are irrelevant: a kernel that
+/// frees without allocating cannot have allocated on the hot path).
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the added counter bump has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`, to which this forwards.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    // SAFETY: same contract as `System::dealloc`, to which this forwards.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    // SAFETY: same contract as `System::realloc`, to which this forwards.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations observed while running `f`.
+fn allocs_during<F: FnMut()>(mut f: F) -> usize {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Warm pass (arenas grow), then a measured pass that must not allocate.
+fn assert_steady_state_alloc_free(name: &str, mut kernel: impl FnMut()) {
+    kernel();
+    let delta = allocs_during(&mut kernel);
+    assert_eq!(delta, 0, "{name}: {delta} steady-state allocation(s)");
+}
+
+#[test]
+fn hot_kernels_are_allocation_free_once_warm() {
+    // ---- Phase A: serial. Every kernel entry must hit zero exactly. ----
+    par::set_max_threads(1);
+
+    let (m, k, n) = (24, 32, 40);
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+    let bt: Vec<f32> = (0..n * k).map(|i| (i as f32 * 0.11).cos()).collect();
+    let at: Vec<f32> = (0..k * m).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut c = vec![0.0f32; m * n];
+    assert_steady_state_alloc_free("matmul_into", || {
+        matmul_into(&a, &b, &mut c, m, k, n);
+    });
+    assert_steady_state_alloc_free("matmul_transpose_a", || {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        matmul_transpose_a(&at, &b, &mut c, m, k, n);
+    });
+    assert_steady_state_alloc_free("matmul_transpose_b", || {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        matmul_transpose_b(&a, &bt, &mut c, m, k, n);
+    });
+
+    let (ch, h, w, kk, stride, pad) = (3usize, 9usize, 9usize, 3usize, 1usize, 1usize);
+    let img: Vec<f32> = (0..ch * h * w).map(|i| i as f32 * 0.01).collect();
+    let mut col = vec![0.0f32; ch * kk * kk * h * w];
+    let mut back = vec![0.0f32; ch * h * w];
+    assert_steady_state_alloc_free("im2col/col2im", || {
+        im2col(&img, &mut col, ch, h, w, kk, kk, stride, pad);
+        back.iter_mut().for_each(|v| *v = 0.0);
+        col2im(&col, &mut back, ch, h, w, kk, kk, stride, pad);
+    });
+
+    let d = 257;
+    let n_up = 9;
+    let updates: Vec<Vec<f32>> = (0..n_up)
+        .map(|u| (0..d).map(|i| ((u * d + i) as f32 * 0.13).sin()).collect())
+        .collect();
+    let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+    let mut out = vec![0.0f32; d];
+    assert_steady_state_alloc_free("mean_into", || mean_into(&refs, &mut out));
+    assert_steady_state_alloc_free("std_dev_into", || std_dev_into(&refs, &mut out));
+    assert_steady_state_alloc_free("median_into", || median_into(&refs, &mut out));
+    assert_steady_state_alloc_free("trimmed_mean_into", || {
+        trimmed_mean_into(&refs, 2, &mut out);
+    });
+    let mut dists = vec![0.0f32; n_up * n_up];
+    assert_steady_state_alloc_free("pairwise_sq_distances_into", || {
+        pairwise_sq_distances_into(&refs, &mut dists);
+    });
+
+    let f_byz = 2;
+    let pool: Vec<usize> = (0..n_up).collect();
+    let mut scores = vec![0.0f32; n_up];
+    let mut row = vec![0.0f32; n_up - 1];
+    assert_steady_state_alloc_free("krum_scores_into", || {
+        fabflip_agg::krum_scores_into(&dists, n_up, &pool, f_byz, &mut scores, &mut row)
+            .expect("geometry valid");
+    });
+
+    let theta = n_up - 2 * f_byz;
+    let beta = theta - 2 * f_byz;
+    let sel: Vec<&[f32]> = refs[..theta].to_vec();
+    let mut agg_out = vec![0.0f32; d];
+    let mut cols3 = vec![0.0f32; 3 * theta];
+    assert_steady_state_alloc_free("bulyan_coordinate_chunk", || {
+        fabflip_agg::bulyan_coordinate_chunk(&sel, 0, &mut agg_out, beta, &mut cols3);
+    });
+
+    // Layers return fresh output tensors (escaped sites): their per-call
+    // cost must stay O(1) allocations, independent of batch and model.
+    use fabflip_nn::{Conv2d, ConvTranspose2d, Layer};
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+    let x = Tensor::uniform(vec![2, 3, 8, 8], -1.0, 1.0, &mut rng);
+    let y = conv.forward(&x).expect("forward");
+    let g = Tensor::uniform(y.shape().to_vec(), -1.0, 1.0, &mut rng);
+    conv.backward(&g).expect("backward");
+    let conv_delta = allocs_during(|| {
+        conv.forward(&x).expect("forward");
+        conv.backward(&g).expect("backward");
+    });
+    assert!(
+        conv_delta <= 8,
+        "Conv2d fwd+bwd: {conv_delta} allocations (want O(1) output tensors only)"
+    );
+    let mut up = ConvTranspose2d::new(3, 2, 4, 2, 1, &mut rng);
+    let yu = up.forward(&x).expect("forward");
+    let gu = Tensor::uniform(yu.shape().to_vec(), -1.0, 1.0, &mut rng);
+    up.backward(&gu).expect("backward");
+    let up_delta = allocs_during(|| {
+        up.forward(&x).expect("forward");
+        up.backward(&gu).expect("backward");
+    });
+    assert!(
+        up_delta <= 8,
+        "ConvTranspose2d fwd+bwd: {up_delta} allocations (want O(1) output tensors only)"
+    );
+
+    // ---- Phase B: parallel. Pool workers warm their own thread-local ----
+    // arenas lazily and block claiming is dynamic, so warmth converges
+    // instead of arriving in one pass: iterate until a full measured pass
+    // allocates nothing (bounded; each worker grows each arena at most
+    // once per size).
+    par::set_max_threads(4);
+    // Sizes chosen to clear PAR_FLOP_THRESHOLD (matmul) and the vecops
+    // element threshold, so the measured passes really run parallel.
+    let (pm, pk, pn) = (128, 256, 256);
+    let pa: Vec<f32> = (0..pm * pk).map(|i| (i as f32 * 0.05).sin()).collect();
+    let pb: Vec<f32> = (0..pk * pn).map(|i| (i as f32 * 0.07).cos()).collect();
+    let mut pc = vec![0.0f32; pm * pn];
+    let pd = 1 << 17;
+    let par_updates: Vec<Vec<f32>> = (0..8)
+        .map(|u| (0..pd).map(|i| ((u + i) as f32 * 0.003).sin()).collect())
+        .collect();
+    let par_refs: Vec<&[f32]> = par_updates.iter().map(Vec::as_slice).collect();
+    let mut par_out = vec![0.0f32; pd];
+    let mut converged = false;
+    for _ in 0..64 {
+        let delta = allocs_during(|| {
+            matmul_into(&pa, &pb, &mut pc, pm, pk, pn);
+            mean_into(&par_refs, &mut par_out);
+            std_dev_into(&par_refs, &mut par_out);
+        });
+        if delta == 0 {
+            converged = true;
+            break;
+        }
+    }
+    assert!(
+        converged,
+        "parallel kernels kept allocating after 64 warm passes"
+    );
+    par::set_max_threads(1);
+}
