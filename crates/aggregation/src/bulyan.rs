@@ -81,7 +81,8 @@ impl Bulyan {
 
 impl Defense for Bulyan {
     fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
-        let (idx, refs) = finite_updates(updates)?;
+        let v = finite_updates(updates)?;
+        let (idx, refs) = (v.idx, v.refs);
         let n = refs.len();
         let f = self.f;
         // Need θ = n − 2f ≥ 1 and the Krum precondition on the *last*
@@ -149,11 +150,11 @@ impl Defense for Bulyan {
 
         let mut chosen: Vec<usize> = selected.iter().map(|&i| idx[i]).collect();
         chosen.sort_unstable();
-        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
         Ok(Aggregation {
             model,
             selection: Selection::Chosen(chosen),
-            rejected_non_finite: rejected,
+            rejected_non_finite: v.rejected_non_finite,
+            rejected_malformed: v.rejected_malformed,
         })
     }
 

@@ -22,27 +22,27 @@ impl Defense for FedAvg {
                 actual: weights.len(),
             });
         }
-        let (idx, refs) = finite_updates(updates)?;
-        let kept_weights: Vec<f32> = idx.iter().map(|&i| weights[i]).collect();
+        let v = finite_updates(updates)?;
+        let kept_weights: Vec<f32> = v.idx.iter().map(|&i| weights[i]).collect();
         let total: f32 = kept_weights.iter().sum();
         if total <= 0.0 {
             return Err(AggError::InvalidParameter(
                 "total client weight is zero".into(),
             ));
         }
-        let d = refs[0].len();
+        let d = v.refs[0].len();
         let mut model = vec![0.0f32; d];
-        for (r, &w) in refs.iter().zip(&kept_weights) {
+        for (r, &w) in v.refs.iter().zip(&kept_weights) {
             let alpha = w / total;
-            for (m, &v) in model.iter_mut().zip(*r) {
-                *m += alpha * v;
+            for (m, &val) in model.iter_mut().zip(*r) {
+                *m += alpha * val;
             }
         }
-        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
         Ok(Aggregation {
             model,
-            selection: Selection::Chosen(idx),
-            rejected_non_finite: rejected,
+            selection: Selection::Chosen(v.idx),
+            rejected_non_finite: v.rejected_non_finite,
+            rejected_malformed: v.rejected_malformed,
         })
     }
 

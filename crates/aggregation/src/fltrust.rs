@@ -33,7 +33,8 @@ pub fn fltrust_aggregate(
     global: &[f32],
     server_update: &[f32],
 ) -> Result<Aggregation, AggError> {
-    let (idx, refs) = finite_updates(updates)?;
+    let v = finite_updates(updates)?;
+    let (idx, refs) = (v.idx, v.refs);
     let d = refs[0].len();
     if global.len() != d {
         return Err(AggError::LengthMismatch {
@@ -55,7 +56,8 @@ pub fn fltrust_aggregate(
         return Ok(Aggregation {
             model: global.to_vec(),
             selection: Selection::Chosen(Vec::new()),
-            rejected_non_finite: (0..updates.len()).filter(|i| !idx.contains(i)).collect(),
+            rejected_non_finite: v.rejected_non_finite,
+            rejected_malformed: v.rejected_malformed,
         });
     }
 
@@ -97,7 +99,8 @@ pub fn fltrust_aggregate(
     Ok(Aggregation {
         model,
         selection: Selection::Chosen(chosen),
-        rejected_non_finite: (0..updates.len()).filter(|i| !idx.contains(i)).collect(),
+        rejected_non_finite: v.rejected_non_finite,
+        rejected_malformed: v.rejected_malformed,
     })
 }
 

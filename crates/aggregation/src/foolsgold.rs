@@ -46,8 +46,8 @@ impl FoolsGold {
     ///
     /// Same conditions as [`FoolsGold::aggregate`].
     pub fn weights(&self, deltas: &[Vec<f32>]) -> Result<Vec<f32>, AggError> {
-        let (_, refs) = finite_updates(deltas)?;
-        Ok(foolsgold_weights(&refs))
+        let v = finite_updates(deltas)?;
+        Ok(foolsgold_weights(&v.refs))
     }
 }
 
@@ -125,13 +125,15 @@ fn centered_deltas(refs: &[&[f32]], reference: Option<&[f32]>) -> Vec<Vec<f32>> 
 }
 
 /// Weighted-mean aggregation + selection bookkeeping shared by the
-/// memoryless and stateful paths. `idx`/`refs` are the finite survivors,
-/// `w` their FoolsGold weights, `n_updates` the original update count.
+/// memoryless and stateful paths. `idx`/`refs` are the valid survivors,
+/// `w` their FoolsGold weights; the rejection lists come straight from
+/// the input validator.
 fn weighted_aggregation(
     idx: &[usize],
     refs: &[&[f32]],
     w: &[f32],
-    n_updates: usize,
+    rejected_non_finite: Vec<usize>,
+    rejected_malformed: Vec<usize>,
 ) -> Aggregation {
     let total: f32 = w.iter().sum();
     let d = refs[0].len();
@@ -151,11 +153,11 @@ fn weighted_aggregation(
         .filter(|(_, &wi)| wi >= FoolsGold::CUTOFF)
         .map(|(&i, _)| i)
         .collect();
-    let rejected = (0..n_updates).filter(|i| !idx.contains(i)).collect();
     Aggregation {
         model,
         selection: Selection::Chosen(chosen),
-        rejected_non_finite: rejected,
+        rejected_non_finite,
+        rejected_malformed,
     }
 }
 
@@ -165,20 +167,26 @@ impl FoolsGold {
         updates: &[Vec<f32>],
         reference: Option<&[f32]>,
     ) -> Result<Aggregation, AggError> {
-        let (idx, refs) = finite_updates(updates)?;
+        let v = finite_updates(updates)?;
         if let Some(r) = reference {
-            if r.len() != refs[0].len() {
+            if r.len() != v.refs[0].len() {
                 return Err(AggError::LengthMismatch {
-                    expected: refs[0].len(),
+                    expected: v.refs[0].len(),
                     actual: r.len(),
                 });
             }
         }
         // Similarities on deltas w_i − w(t) (or raw inputs when no ref).
-        let deltas = centered_deltas(&refs, reference);
+        let deltas = centered_deltas(&v.refs, reference);
         let delta_refs: Vec<&[f32]> = deltas.iter().map(|d| d.as_slice()).collect();
         let w = foolsgold_weights(&delta_refs);
-        Ok(weighted_aggregation(&idx, &refs, &w, updates.len()))
+        Ok(weighted_aggregation(
+            &v.idx,
+            &v.refs,
+            &w,
+            v.rejected_non_finite,
+            v.rejected_malformed,
+        ))
     }
 
     /// Stateful aggregation — the original FoolsGold formulation, with
@@ -205,20 +213,26 @@ impl FoolsGold {
                 actual: clients.len(),
             });
         }
-        let (idx, refs) = finite_updates(updates)?;
+        let v = finite_updates(updates)?;
         if let Some(r) = reference {
-            if r.len() != refs[0].len() {
+            if r.len() != v.refs[0].len() {
                 return Err(AggError::LengthMismatch {
-                    expected: refs[0].len(),
+                    expected: v.refs[0].len(),
                     actual: r.len(),
                 });
             }
         }
-        let deltas = centered_deltas(&refs, reference);
-        let kept_clients: Vec<usize> = idx.iter().map(|&i| clients[i]).collect();
+        let deltas = centered_deltas(&v.refs, reference);
+        let kept_clients: Vec<usize> = v.idx.iter().map(|&i| clients[i]).collect();
         history.observe_round(&kept_clients, &deltas);
         let w = history.weights(&kept_clients);
-        Ok(weighted_aggregation(&idx, &refs, &w, updates.len()))
+        Ok(weighted_aggregation(
+            &v.idx,
+            &v.refs,
+            &w,
+            v.rejected_non_finite,
+            v.rejected_malformed,
+        ))
     }
 }
 

@@ -125,19 +125,19 @@ impl Krum {
 
 impl Defense for Krum {
     fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
-        let (idx, refs) = finite_updates(updates)?;
-        let scores = krum_scores(&refs, self.f)?;
+        let v = finite_updates(updates)?;
+        let scores = krum_scores(&v.refs, self.f)?;
         let best = scores
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
             .expect("scores nonempty");
-        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
         Ok(Aggregation {
-            model: refs[best].to_vec(),
-            selection: Selection::Chosen(vec![idx[best]]),
-            rejected_non_finite: rejected,
+            model: v.refs[best].to_vec(),
+            selection: Selection::Chosen(vec![v.idx[best]]),
+            rejected_non_finite: v.rejected_non_finite,
+            rejected_malformed: v.rejected_malformed,
         })
     }
 
@@ -178,9 +178,9 @@ impl MultiKrum {
 
 impl Defense for MultiKrum {
     fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
-        let (idx, refs) = finite_updates(updates)?;
-        let n = refs.len();
-        let scores = krum_scores(&refs, self.f)?;
+        let v = finite_updates(updates)?;
+        let n = v.refs.len();
+        let scores = krum_scores(&v.refs, self.f)?;
         let m = self.m.unwrap_or_else(|| (n - self.f - 2).max(1)).min(n);
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
@@ -189,15 +189,15 @@ impl Defense for MultiKrum {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let chosen_local = &order[..m];
-        let chosen_refs: Vec<&[f32]> = chosen_local.iter().map(|&i| refs[i]).collect();
+        let chosen_refs: Vec<&[f32]> = chosen_local.iter().map(|&i| v.refs[i]).collect();
         let model = vecops::mean(&chosen_refs);
-        let mut chosen: Vec<usize> = chosen_local.iter().map(|&i| idx[i]).collect();
+        let mut chosen: Vec<usize> = chosen_local.iter().map(|&i| v.idx[i]).collect();
         chosen.sort_unstable();
-        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
         Ok(Aggregation {
             model,
             selection: Selection::Chosen(chosen),
-            rejected_non_finite: rejected,
+            rejected_non_finite: v.rejected_non_finite,
+            rejected_malformed: v.rejected_malformed,
         })
     }
 

@@ -35,12 +35,7 @@ impl NormBound {
         NormBound { max_norm }
     }
 
-    fn clip(
-        &self,
-        updates: &[Vec<f32>],
-        reference: Option<&[f32]>,
-    ) -> Result<Vec<Vec<f32>>, AggError> {
-        let (_, refs) = finite_updates(updates)?;
+    fn clip(&self, refs: &[&[f32]], reference: Option<&[f32]>) -> Result<Vec<Vec<f32>>, AggError> {
         if let Some(r) = reference {
             if r.len() != refs[0].len() {
                 return Err(AggError::LengthMismatch {
@@ -82,16 +77,20 @@ impl Defense for NormBound {
         weights: &[f32],
         reference: Option<&[f32]>,
     ) -> Result<Aggregation, AggError> {
-        let (idx, _) = finite_updates(updates)?;
-        let kept_weights: Vec<f32> = idx
+        let v = finite_updates(updates)?;
+        let kept_weights: Vec<f32> = v
+            .idx
             .iter()
             .map(|&i| weights.get(i).copied().unwrap_or(1.0))
             .collect();
-        let clipped = self.clip(updates, reference)?;
+        let clipped = self.clip(&v.refs, reference)?;
         let mut agg = FedAvg::new().aggregate(&clipped, &kept_weights)?;
-        // Clipping is per-coordinate-style smoothing, not selection.
+        // Clipping is per-coordinate-style smoothing, not selection. The
+        // inner FedAvg only ever saw the survivors, so the rejection lists
+        // come from this rule's own validation pass.
         agg.selection = Selection::PerCoordinate;
-        agg.rejected_non_finite = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        agg.rejected_non_finite = v.rejected_non_finite;
+        agg.rejected_malformed = v.rejected_malformed;
         Ok(agg)
     }
 

@@ -19,8 +19,8 @@ impl TrimmedMean {
 
 impl Defense for TrimmedMean {
     fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
-        let (idx, refs) = finite_updates(updates)?;
-        let n = refs.len();
+        let v = finite_updates(updates)?;
+        let n = v.refs.len();
         if n <= 2 * self.trim {
             return Err(AggError::TooFewUpdates {
                 rule: "trimmed-mean",
@@ -28,12 +28,12 @@ impl Defense for TrimmedMean {
                 got: n,
             });
         }
-        let model = vecops::trimmed_mean(&refs, self.trim);
-        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        let model = vecops::trimmed_mean(&v.refs, self.trim);
         Ok(Aggregation {
             model,
             selection: Selection::PerCoordinate,
-            rejected_non_finite: rejected,
+            rejected_non_finite: v.rejected_non_finite,
+            rejected_malformed: v.rejected_malformed,
         })
     }
 
@@ -56,13 +56,13 @@ impl Median {
 
 impl Defense for Median {
     fn aggregate(&self, updates: &[Vec<f32>], _weights: &[f32]) -> Result<Aggregation, AggError> {
-        let (idx, refs) = finite_updates(updates)?;
-        let model = vecops::median(&refs);
-        let rejected = (0..updates.len()).filter(|i| !idx.contains(i)).collect();
+        let v = finite_updates(updates)?;
+        let model = vecops::median(&v.refs);
         Ok(Aggregation {
             model,
             selection: Selection::PerCoordinate,
-            rejected_non_finite: rejected,
+            rejected_non_finite: v.rejected_non_finite,
+            rejected_malformed: v.rejected_malformed,
         })
     }
 

@@ -28,6 +28,11 @@ pub struct Aggregation {
     pub selection: Selection,
     /// Indices of updates discarded up front for containing NaN/∞.
     pub rejected_non_finite: Vec<usize>,
+    /// Indices of updates discarded up front for having the wrong length
+    /// (truncated or padded payloads). Like the non-finite filter, a
+    /// malformed update must never panic an aggregator or corrupt the
+    /// model — it is rejected and reported.
+    pub rejected_malformed: Vec<usize>,
 }
 
 /// A Byzantine-robust aggregation rule.
@@ -147,6 +152,55 @@ impl DefenseKind {
         })
     }
 
+    /// Degrades the rule's parameters to what a surviving cohort of `n`
+    /// updates supports — the dynamic-quorum half of the fault model
+    /// (DESIGN.md §4d). Returns the effective kind to build for this
+    /// round, or `None` when no sound instantiation exists and the round
+    /// must be skipped (global model carried forward).
+    ///
+    /// The tolerated-Byzantine bound is only ever *capped*, never raised:
+    /// the configured `f` is the server's standing assumption, and a
+    /// shrunken cohort can only lower what the rule's precondition
+    /// admits.
+    ///
+    /// * Krum / mKrum need `n ≥ f + 3` → `f_dyn = min(f, n − 3)`,
+    ///   requiring `n ≥ 3`.
+    /// * TRmean needs `n ≥ 2·trim + 1` → `trim_dyn = min(trim, (n−1)/2)`.
+    /// * Bulyan needs `θ = n − 2f ≥ 1` *and* `n ≥ θ + f + 2`, which
+    ///   together force `f ≥ 2` and `n ≥ 2f + 1` → `f_dyn = min(f,
+    ///   (n−1)/2)`, skipping whenever `f_dyn < 2` (i.e. `n < 5`).
+    /// * FedAvg / Median / FoolsGold / NormBound accept any `n ≥ 1`.
+    pub fn for_cohort(&self, n: usize) -> Option<DefenseKind> {
+        if n == 0 {
+            return None;
+        }
+        Some(match *self {
+            DefenseKind::Krum { f } => {
+                if n < 3 {
+                    return None;
+                }
+                DefenseKind::Krum { f: f.min(n - 3) }
+            }
+            DefenseKind::MKrum { f } => {
+                if n < 3 {
+                    return None;
+                }
+                DefenseKind::MKrum { f: f.min(n - 3) }
+            }
+            DefenseKind::TrMean { trim } => DefenseKind::TrMean {
+                trim: trim.min((n - 1) / 2),
+            },
+            DefenseKind::Bulyan { f } => {
+                let f_dyn = f.min((n - 1) / 2);
+                if f_dyn < 2 {
+                    return None;
+                }
+                DefenseKind::Bulyan { f: f_dyn }
+            }
+            other => other,
+        })
+    }
+
     /// Stable display name matching the paper's tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -162,37 +216,76 @@ impl DefenseKind {
     }
 }
 
-/// Filters out non-finite updates, returning `(kept_indices, kept_refs)`.
+/// The survivors of the shared up-front update validation, plus the
+/// rejection bookkeeping every [`Aggregation`] reports.
+pub(crate) struct ValidUpdates<'a> {
+    /// Indices (into the submitted list) of the kept updates.
+    pub idx: Vec<usize>,
+    /// The kept updates, in submission order.
+    pub refs: Vec<&'a [f32]>,
+    /// Indices rejected for NaN/∞.
+    pub rejected_non_finite: Vec<usize>,
+    /// Indices rejected for wrong length.
+    pub rejected_malformed: Vec<usize>,
+}
+
+/// The modal update length: what the cohort agrees the model dimension
+/// is. Ties break toward the smaller length (deterministically). With a
+/// benign majority this is always the true dimension; a lone truncated or
+/// padded payload can never redefine it.
+fn expected_len(updates: &[Vec<f32>]) -> usize {
+    let mut lens: Vec<usize> = updates.iter().map(Vec::len).collect();
+    lens.sort_unstable();
+    let (mut best, mut best_count) = (lens[0], 0usize);
+    let mut i = 0;
+    while i < lens.len() {
+        let mut j = i;
+        while j < lens.len() && lens[j] == lens[i] {
+            j += 1;
+        }
+        if j - i > best_count {
+            best = lens[i];
+            best_count = j - i;
+        }
+        i = j;
+    }
+    best
+}
+
+/// Validates submitted updates, filtering out (never erroring on, and
+/// never panicking over) malformed ones: wrong-length payloads are
+/// rejected against the cohort's modal length, non-finite payloads
+/// against IEEE sanity. Every aggregation rule runs this first, so one
+/// corrupt buffer cannot crash a round.
 ///
 /// # Errors
 ///
-/// Returns [`AggError::NoUpdates`] when nothing remains and
-/// [`AggError::LengthMismatch`] on ragged input.
-pub(crate) fn finite_updates(updates: &[Vec<f32>]) -> Result<(Vec<usize>, Vec<&[f32]>), AggError> {
+/// Returns [`AggError::NoUpdates`] when no valid update remains.
+pub(crate) fn finite_updates(updates: &[Vec<f32>]) -> Result<ValidUpdates<'_>, AggError> {
     if updates.is_empty() {
         return Err(AggError::NoUpdates);
     }
-    let d = updates[0].len();
-    for u in updates {
-        if u.len() != d {
-            return Err(AggError::LengthMismatch {
-                expected: d,
-                actual: u.len(),
-            });
-        }
-    }
-    let mut idx = Vec::new();
-    let mut refs = Vec::new();
+    let d = expected_len(updates);
+    let mut v = ValidUpdates {
+        idx: Vec::new(),
+        refs: Vec::new(),
+        rejected_non_finite: Vec::new(),
+        rejected_malformed: Vec::new(),
+    };
     for (i, u) in updates.iter().enumerate() {
-        if u.iter().all(|v| v.is_finite()) {
-            idx.push(i);
-            refs.push(u.as_slice());
+        if u.len() != d {
+            v.rejected_malformed.push(i);
+        } else if u.iter().all(|x| x.is_finite()) {
+            v.idx.push(i);
+            v.refs.push(u.as_slice());
+        } else {
+            v.rejected_non_finite.push(i);
         }
     }
-    if refs.is_empty() {
+    if v.refs.is_empty() {
         return Err(AggError::NoUpdates);
     }
-    Ok((idx, refs))
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -244,16 +337,74 @@ mod tests {
     #[test]
     fn finite_filter_drops_nan_updates() {
         let ups = vec![vec![1.0, 2.0], vec![f32::NAN, 0.0], vec![3.0, 4.0]];
-        let (idx, refs) = finite_updates(&ups).unwrap();
-        assert_eq!(idx, vec![0, 2]);
-        assert_eq!(refs.len(), 2);
+        let v = finite_updates(&ups).unwrap();
+        assert_eq!(v.idx, vec![0, 2]);
+        assert_eq!(v.refs.len(), 2);
+        assert_eq!(v.rejected_non_finite, vec![1]);
+        assert!(v.rejected_malformed.is_empty());
         let all_bad = vec![vec![f32::INFINITY]];
-        assert_eq!(finite_updates(&all_bad), Err(AggError::NoUpdates));
-        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
-        assert!(matches!(
-            finite_updates(&ragged),
-            Err(AggError::LengthMismatch { .. })
-        ));
+        assert!(matches!(finite_updates(&all_bad), Err(AggError::NoUpdates)));
+        assert!(matches!(finite_updates(&[]), Err(AggError::NoUpdates)));
+    }
+
+    #[test]
+    fn wrong_length_updates_are_filtered_not_fatal() {
+        // The 2-element majority defines the model dimension; the
+        // truncated and the padded payload are quarantined.
+        let ups = vec![vec![1.0, 2.0], vec![9.0], vec![3.0, 4.0], vec![0.0; 5]];
+        let v = finite_updates(&ups).unwrap();
+        assert_eq!(v.idx, vec![0, 2]);
+        assert_eq!(v.rejected_malformed, vec![1, 3]);
+        assert!(v.rejected_non_finite.is_empty());
+        // Length ties break toward the smaller length, deterministically.
+        let tie = vec![vec![1.0], vec![1.0, 2.0]];
+        let v = finite_updates(&tie).unwrap();
+        assert_eq!(v.idx, vec![0]);
+        assert_eq!(v.rejected_malformed, vec![1]);
+    }
+
+    #[test]
+    fn for_cohort_caps_f_and_skips_impossible_rounds() {
+        let krum = DefenseKind::Krum { f: 2 };
+        assert_eq!(krum.for_cohort(10), Some(krum));
+        assert_eq!(krum.for_cohort(4), Some(DefenseKind::Krum { f: 1 }));
+        assert_eq!(krum.for_cohort(3), Some(DefenseKind::Krum { f: 0 }));
+        assert_eq!(krum.for_cohort(2), None);
+        let mkrum = DefenseKind::MKrum { f: 2 };
+        assert_eq!(mkrum.for_cohort(5), Some(mkrum));
+        assert_eq!(mkrum.for_cohort(4), Some(DefenseKind::MKrum { f: 1 }));
+        let tr = DefenseKind::TrMean { trim: 2 };
+        assert_eq!(tr.for_cohort(5), Some(tr));
+        assert_eq!(tr.for_cohort(3), Some(DefenseKind::TrMean { trim: 1 }));
+        assert_eq!(tr.for_cohort(1), Some(DefenseKind::TrMean { trim: 0 }));
+        let bul = DefenseKind::Bulyan { f: 2 };
+        assert_eq!(bul.for_cohort(10), Some(bul));
+        assert_eq!(bul.for_cohort(5), Some(bul));
+        assert_eq!(bul.for_cohort(4), None);
+        // Degraded parameters must satisfy the rule they will instantiate:
+        // every Some(kind) builds and aggregates a cohort of that size.
+        for kind in [
+            krum,
+            mkrum,
+            tr,
+            bul,
+            DefenseKind::FedAvg,
+            DefenseKind::Median,
+        ] {
+            for n in 1..=10usize {
+                if let Some(k) = kind.for_cohort(n) {
+                    let ups: Vec<Vec<f32>> = (0..n)
+                        .map(|i| vec![i as f32 * 0.1, 1.0 - i as f32])
+                        .collect();
+                    let rule = k.build().unwrap();
+                    assert!(
+                        rule.aggregate(&ups, &vec![1.0; n]).is_ok(),
+                        "{kind:?} degraded to {k:?} must aggregate n = {n}"
+                    );
+                }
+            }
+            assert_eq!(kind.for_cohort(0), None);
+        }
     }
 
     #[test]

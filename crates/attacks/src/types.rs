@@ -121,6 +121,23 @@ pub trait Attack: Send {
 
     /// The attack's assumption profile (Table I).
     fn capabilities(&self) -> Capabilities;
+
+    /// Serializes the attack's *transcript-relevant* mutable state for
+    /// checkpointing, as an opaque word list. Stateless attacks (most of
+    /// them: LIE, Fang, MinMax/MinSum, random weights) return the empty
+    /// default; an attack whose crafting depends on choices made in
+    /// earlier rounds (e.g. ZKA's lazily chosen flip target) must encode
+    /// them here, or a resumed run would re-choose and diverge.
+    fn checkpoint_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state produced by [`Attack::checkpoint_state`]. Must
+    /// accept the empty slice (fresh start) and its own encoding;
+    /// unrecognized payloads are ignored rather than errors, since a
+    /// checkpoint that validated its checksum can only carry a
+    /// same-version encoding.
+    fn restore_state(&mut self, _state: &[u64]) {}
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 
 use fabflip::ZkaConfig;
 use fabflip_agg::DefenseKind;
-use fabflip_fl::{AttackSpec, FlConfig, TaskKind};
+use fabflip_fl::{AttackSpec, CheckpointSpec, FaultPlan, FlConfig, StragglerPolicy, TaskKind};
 
 /// A parsed `run` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +29,8 @@ pub struct RunArgs {
     pub live: bool,
     /// Emit the summary as JSON instead of text.
     pub json: bool,
+    /// Crash-safe checkpointing (`--checkpoint-dir`), if requested.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 /// Top-level parsed command.
@@ -36,8 +38,8 @@ pub struct RunArgs {
 pub enum Command {
     /// `list`
     List,
-    /// `run …`
-    Run(RunArgs),
+    /// `run …` (boxed: the config dwarfs the other variants).
+    Run(Box<RunArgs>),
     /// `help` or `--help`
     Help,
 }
@@ -158,6 +160,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut sybil_noise: f32 = 0.0;
             let mut live = true;
             let mut json = false;
+            let mut faults = FaultPlan::default();
+            let mut stale_policy = false;
+            let mut stale_discount: f32 = 1.0;
+            let mut checkpoint_dir: Option<String> = None;
+            let mut checkpoint_every: usize = 5;
             let mut i = 1usize;
             while i < args.len() {
                 match args[i].as_str() {
@@ -188,28 +195,82 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .parse()
                             .map_err(|_| ParseError("--sybil-noise needs a number".into()))?
                     }
+                    "--dropout" => {
+                        faults.dropout = take_value(args, &mut i, "--dropout")?
+                            .parse()
+                            .map_err(|_| ParseError("--dropout needs a rate in [0,1]".into()))?
+                    }
+                    "--stragglers" => {
+                        faults.straggler = take_value(args, &mut i, "--stragglers")?
+                            .parse()
+                            .map_err(|_| ParseError("--stragglers needs a rate in [0,1]".into()))?
+                    }
+                    "--malformed" => {
+                        faults.malformed = take_value(args, &mut i, "--malformed")?
+                            .parse()
+                            .map_err(|_| ParseError("--malformed needs a rate in [0,1]".into()))?
+                    }
+                    "--straggler-policy" => match take_value(args, &mut i, "--straggler-policy")? {
+                        "drop" => stale_policy = false,
+                        "stale" => stale_policy = true,
+                        other => {
+                            return Err(ParseError(format!(
+                                "unknown straggler policy `{other}`; drop or stale"
+                            )))
+                        }
+                    },
+                    "--stale-discount" => {
+                        stale_discount = take_value(args, &mut i, "--stale-discount")?
+                            .parse()
+                            .map_err(|_| {
+                                ParseError("--stale-discount needs a factor in [0,1]".into())
+                            })?
+                    }
+                    "--checkpoint-dir" => {
+                        checkpoint_dir =
+                            Some(take_value(args, &mut i, "--checkpoint-dir")?.to_string())
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = take_value(args, &mut i, "--checkpoint-every")?
+                            .parse()
+                            .map_err(|_| {
+                            ParseError("--checkpoint-every needs an integer".into())
+                        })?
+                    }
                     "--quiet" => live = false,
                     "--json" => json = true,
                     other => return Err(ParseError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
+            if !(0.0..=1.0).contains(&stale_discount) {
+                return Err(ParseError(
+                    "--stale-discount needs a factor in [0,1]".into(),
+                ));
+            }
+            if stale_policy {
+                faults.straggler_policy = StragglerPolicy::Stale {
+                    discount_milli: (stale_discount * 1000.0).round() as u32,
+                };
+            }
             let mut builder = FlConfig::builder(task)
                 .attack(attack)
                 .defense(defense)
                 .seed(seed)
-                .sybil_noise(sybil_noise);
+                .sybil_noise(sybil_noise)
+                .faults(faults);
             if let Some(r) = rounds {
                 builder = builder.rounds(r);
             }
             if let Some(b) = beta {
                 builder = builder.beta(b);
             }
-            Ok(Command::Run(RunArgs {
+            Ok(Command::Run(Box::new(RunArgs {
                 config: builder.build(),
                 live,
                 json,
-            }))
+                checkpoint: checkpoint_dir.map(|d| CheckpointSpec::new(d, checkpoint_every)),
+            })))
         }
         Some(other) => Err(ParseError(format!(
             "unknown subcommand `{other}`; try `list`, `run` or `help`"
@@ -225,11 +286,28 @@ USAGE:
     fabflip-cli list
     fabflip-cli run [--task fashion|cifar] [--attack NAME] [--defense NAME]
                     [--rounds N] [--beta B] [--seed S] [--sybil-noise X]
+                    [--dropout R] [--stragglers R] [--straggler-policy drop|stale]
+                    [--stale-discount F] [--malformed R]
+                    [--checkpoint-dir PATH] [--checkpoint-every N]
                     [--quiet] [--json]
+
+FAULTS (deterministic per seed/round/client; rates in [0,1], sum ≤ 1):
+    --dropout R            clients unreachable before local compute
+    --stragglers R         submissions late; `drop` loses them, `stale`
+                           delivers next round weighted by --stale-discount
+    --malformed R          submissions corrupted in transit (NaN/truncated/
+                           overlong/zeroed) and quarantined by the server
+
+CHECKPOINTING:
+    --checkpoint-dir PATH  save crash-safe state there; an interrupted run
+                           with the same config resumes automatically
+    --checkpoint-every N   rounds between saves (default 5)
 
 EXAMPLES:
     fabflip-cli run --task fashion --attack zka-g --defense mkrum --rounds 20
     fabflip-cli run --task cifar --attack min-max --defense bulyan --beta 0.1
+    fabflip-cli run --attack random --defense krum --dropout 0.2 --malformed 0.05
+    fabflip-cli run --rounds 50 --checkpoint-dir ckpts --checkpoint-every 10
     fabflip-cli list
 "
 }
@@ -297,6 +375,61 @@ mod tests {
         assert!(parse(&argv("run --rounds x")).is_err());
         assert!(parse(&argv("run --whatever")).is_err());
         assert!(!help_text().is_empty());
+    }
+
+    #[test]
+    fn fault_flags_reach_the_config() {
+        let cmd = parse(&argv(
+            "run --dropout 0.2 --stragglers 0.1 --straggler-policy stale --stale-discount 0.5 \
+             --malformed 0.05",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                let f = &r.config.faults;
+                assert!((f.dropout - 0.2).abs() < 1e-6);
+                assert!((f.straggler - 0.1).abs() < 1e-6);
+                assert!((f.malformed - 0.05).abs() < 1e-6);
+                assert_eq!(
+                    f.straggler_policy,
+                    StragglerPolicy::Stale {
+                        discount_milli: 500
+                    }
+                );
+                assert!(r.checkpoint.is_none());
+            }
+            _ => panic!(),
+        }
+        // Default policy stays Drop; the discount flag alone changes nothing.
+        match parse(&argv("run --stragglers 0.1 --stale-discount 0.3")).unwrap() {
+            Command::Run(r) => {
+                assert_eq!(r.config.faults.straggler_policy, StragglerPolicy::Drop)
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("run --dropout x")).is_err());
+        assert!(parse(&argv("run --straggler-policy eventually")).is_err());
+        assert!(parse(&argv("run --stale-discount 1.5")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_build_a_spec() {
+        match parse(&argv("run --checkpoint-dir ckpts --checkpoint-every 10")).unwrap() {
+            Command::Run(r) => {
+                assert_eq!(r.checkpoint, Some(CheckpointSpec::new("ckpts", 10)));
+            }
+            _ => panic!(),
+        }
+        // --checkpoint-every defaults to 5 and is inert without a dir.
+        match parse(&argv("run --checkpoint-dir out")).unwrap() {
+            Command::Run(r) => assert_eq!(r.checkpoint, Some(CheckpointSpec::new("out", 5))),
+            _ => panic!(),
+        }
+        match parse(&argv("run --checkpoint-every 3")).unwrap() {
+            Command::Run(r) => assert!(r.checkpoint.is_none()),
+            _ => panic!(),
+        }
+        assert!(parse(&argv("run --checkpoint-every x")).is_err());
     }
 
     #[test]

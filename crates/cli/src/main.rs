@@ -4,7 +4,7 @@
 use fabflip::{ZkaConfig, ZkaG, ZkaR};
 use fabflip_attacks::{Attack, Fang, Lie, MinMax, MinSum, RandomWeights};
 use fabflip_cli::{help_text, parse, Command, RunArgs};
-use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate_observed};
+use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate_with};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,7 +12,7 @@ fn main() {
         Ok(Command::Help) => print!("{}", help_text()),
         Ok(Command::List) => list(),
         Ok(Command::Run(run_args)) => {
-            if let Err(e) = run(run_args) {
+            if let Err(e) = run(*run_args) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
@@ -67,16 +67,39 @@ fn run(args: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
             cfg.seed
         );
     }
-    let result = simulate_observed(&cfg, |r| {
+    let result = simulate_with(&cfg, args.checkpoint.as_ref(), |r| {
         if args.live && !args.json {
-            eprintln!(
+            let mut line = format!(
                 "round {:>3}: accuracy {:.3}  (malicious submitted {}, passed {})",
                 r.round, r.accuracy, r.malicious_selected, r.malicious_passed
             );
+            let faulted = r.dropped + r.straggling + r.quarantined + r.stale_quarantined;
+            if faulted > 0 || r.stale > 0 {
+                line.push_str(&format!(
+                    "  [delivered {} (stale {}), dropped {}, straggling {}, quarantined {}]",
+                    r.delivered,
+                    r.stale,
+                    r.dropped,
+                    r.straggling,
+                    r.quarantined + r.stale_quarantined
+                ));
+            }
+            if r.skipped {
+                line.push_str("  — no quorum, round skipped");
+            }
+            eprintln!("{line}");
         }
     })?;
     let natk = acc_natk(&cfg)?;
     let asr = attack_success_rate(natk, result.max_accuracy());
+    let skipped = result.skipped_rounds();
+    let dropped: usize = result.rounds.iter().map(|r| r.dropped).sum();
+    let straggling: usize = result.rounds.iter().map(|r| r.straggling).sum();
+    let quarantined: usize = result
+        .rounds
+        .iter()
+        .map(|r| r.quarantined + r.stale_quarantined)
+        .sum();
     if args.json {
         let summary = serde_json::json!({
             "task": cfg.task.label(),
@@ -89,6 +112,10 @@ fn run(args: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
             "acc_final": result.final_accuracy(),
             "asr": asr,
             "dpr": result.dpr(),
+            "skipped_rounds": skipped,
+            "dropped": dropped,
+            "straggling": straggling,
+            "quarantined": quarantined,
             "accuracy_trace": result.accuracy_trace(),
         });
         println!("{}", serde_json::to_string_pretty(&summary)?);
@@ -99,6 +126,12 @@ fn run(args: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
         match result.dpr() {
             Some(d) => println!("defense pass rate:         {:.1}%", d * 100.0),
             None => println!("defense pass rate:         NA"),
+        }
+        if cfg.faults.is_active() {
+            println!(
+                "faults:                    {dropped} dropped, {straggling} straggling, \
+                 {quarantined} quarantined, {skipped} rounds skipped"
+            );
         }
     }
     Ok(())

@@ -139,6 +139,18 @@ impl Attack for ZkaG {
     fn capabilities(&self) -> Capabilities {
         Capabilities::zero_knowledge()
     }
+
+    fn checkpoint_state(&self) -> Vec<u64> {
+        // The flip target Ỹ is chosen lazily on the first craft and must
+        // survive a resume; `last_losses` is diagnostic only.
+        self.target.map(|t| vec![1, t as u64]).unwrap_or_default()
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        if state.len() == 2 && state[0] == 1 {
+            self.target = Some(state[1] as usize);
+        }
+    }
 }
 
 #[cfg(test)]

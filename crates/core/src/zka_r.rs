@@ -154,6 +154,18 @@ impl Attack for ZkaR {
     fn capabilities(&self) -> Capabilities {
         Capabilities::zero_knowledge()
     }
+
+    fn checkpoint_state(&self) -> Vec<u64> {
+        // The flip target Ỹ is chosen lazily on the first craft and must
+        // survive a resume; `last_losses` is diagnostic only.
+        self.target.map(|t| vec![1, t as u64]).unwrap_or_default()
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        if state.len() == 2 && state[0] == 1 {
+            self.target = Some(state[1] as usize);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -261,5 +273,24 @@ mod tests {
             ZkaR::new(ZkaConfig::paper()).capabilities(),
             Capabilities::zero_knowledge()
         );
+    }
+
+    #[test]
+    fn checkpoint_state_roundtrips_the_lazy_target() {
+        let mut fresh = ZkaR::new(ZkaConfig::fast());
+        assert!(fresh.checkpoint_state().is_empty(), "no target chosen yet");
+        fresh.restore_state(&[]); // fresh start must be a no-op
+        assert_eq!(fresh.target(), None);
+
+        let mut chosen = ZkaR::new(ZkaConfig::fast());
+        chosen.restore_state(&[1, 7]);
+        assert_eq!(chosen.target(), Some(7));
+        assert_eq!(chosen.checkpoint_state(), vec![1, 7]);
+
+        let mut g = crate::ZkaG::new(ZkaConfig::fast());
+        g.restore_state(&g.checkpoint_state());
+        assert_eq!(g.target(), None);
+        g.restore_state(&[1, 3]);
+        assert_eq!(g.checkpoint_state(), vec![1, 3]);
     }
 }

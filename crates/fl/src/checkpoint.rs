@@ -1,0 +1,411 @@
+//! Crash-safe checkpoint/resume for FL simulations (DESIGN.md §4d).
+//!
+//! Every K rounds the simulator serializes its complete cross-round state
+//! — the global model, the previous global model, the per-round records so
+//! far, pending stale deliveries and the adversary's cross-round state —
+//! to one JSON file per config fingerprint. Everything *else* a round
+//! reads is a pure function of the config (datasets, partition, malicious
+//! set, per-round RNG streams), so a resumed run replays the remaining
+//! rounds bitwise identically to an uninterrupted one (the resume-
+//! equivalence proptest in `tests/robustness.rs` pins this).
+//!
+//! Model parameters are stored as `f32::to_bits` words, not floats: the
+//! JSON layer formats non-finite floats as `null`, and bit-exactness is
+//! the whole point. Writes are atomic (temp file + rename) and the
+//! previous checkpoint is retained as `*.prev.json`, so a crash mid-write
+//! can never leave the *only* copy torn. Loading verifies a version tag,
+//! the config fingerprint and an FNV-1a checksum; a corrupt latest file
+//! falls back to the previous one, then to a fresh start from round 0.
+
+use crate::metrics::RoundRecord;
+use crate::{FlConfig, FlError};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Bump when the checkpoint schema changes; mismatched files are ignored
+/// (the run restarts from round 0) rather than misread.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Where and how often [`crate::simulate_with`] checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Directory holding one checkpoint file per config fingerprint.
+    pub dir: PathBuf,
+    /// Save every `every` completed rounds (0 = only at completion). The
+    /// final round is always saved so finished runs resume instantly.
+    pub every: usize,
+}
+
+impl CheckpointSpec {
+    /// Creates a spec.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> CheckpointSpec {
+        CheckpointSpec {
+            dir: dir.into(),
+            every,
+        }
+    }
+
+    /// Whether a checkpoint is due after `completed` of `total` rounds.
+    pub(crate) fn due(&self, completed: usize, total: usize) -> bool {
+        completed == total || (self.every > 0 && completed.is_multiple_of(self.every))
+    }
+}
+
+/// A straggler update held over for delivery in the next round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingStale {
+    /// Submitting client id.
+    pub client: usize,
+    /// Whether the submission is the adversary's.
+    pub malicious: bool,
+    /// Aggregation weight (bits; the staleness discount is applied at
+    /// delivery, from the plan, so the stored entry is the raw submission).
+    pub weight_bits: u32,
+    /// Payload (bits).
+    pub payload_bits: Vec<u32>,
+}
+
+/// One simulation's complete resumable state after `next_round` rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Canonical serialization of the config *minus the round budget* —
+    /// every per-round stream keys on the round index alone, so a run
+    /// checkpointed under `rounds = r` is a bitwise prefix of the same
+    /// config with a larger budget (this is what makes kill/resume
+    /// testable, and lets a grid extend `rounds` without recomputing).
+    pub fingerprint: String,
+    /// The next round to execute (`rounds.len()` rounds are recorded).
+    pub next_round: usize,
+    /// Global model parameters (bits).
+    pub global_bits: Vec<u32>,
+    /// Previous global model (bits), if any round aggregated yet.
+    pub prev_global_bits: Option<Vec<u32>>,
+    /// Per-round records completed so far.
+    pub rounds: Vec<RoundRecord>,
+    /// Stale updates awaiting delivery in `next_round`.
+    pub pending: Vec<PendingStale>,
+    /// Opaque adversary state (`Attack::checkpoint_state`).
+    pub attack_state: Vec<u64>,
+    /// FNV-1a over every field above; detects torn/corrupt files that
+    /// still parse as JSON.
+    pub checksum: u64,
+}
+
+/// Incremental FNV-1a (64-bit).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn bytes(&mut self, s: &[u8]) {
+        for &b in s {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+impl Checkpoint {
+    /// The checksum of every payload field, in a fixed field order.
+    pub fn body_checksum(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.version as u64);
+        h.bytes(self.fingerprint.as_bytes());
+        h.u64(self.next_round as u64);
+        h.u64(self.global_bits.len() as u64);
+        for &b in &self.global_bits {
+            h.u64(b as u64);
+        }
+        match &self.prev_global_bits {
+            None => h.u64(0),
+            Some(bits) => {
+                h.u64(1 + bits.len() as u64);
+                for &b in bits {
+                    h.u64(b as u64);
+                }
+            }
+        }
+        h.u64(self.rounds.len() as u64);
+        for r in &self.rounds {
+            h.u64(r.round as u64);
+            h.u64(r.accuracy.to_bits() as u64);
+            for c in [
+                r.malicious_selected,
+                r.malicious_passed,
+                r.delivered,
+                r.stale,
+                r.dropped,
+                r.straggling,
+                r.quarantined,
+                r.stale_quarantined,
+                r.offline,
+                r.diverged,
+                r.silent,
+            ] {
+                h.u64(c as u64);
+            }
+            h.byte(r.selection_available as u8);
+            h.byte(r.skipped as u8);
+        }
+        h.u64(self.pending.len() as u64);
+        for p in &self.pending {
+            h.u64(p.client as u64);
+            h.byte(p.malicious as u8);
+            h.u64(p.weight_bits as u64);
+            h.u64(p.payload_bits.len() as u64);
+            for &b in &p.payload_bits {
+                h.u64(b as u64);
+            }
+        }
+        h.u64(self.attack_state.len() as u64);
+        for &w in &self.attack_state {
+            h.u64(w);
+        }
+        h.0
+    }
+
+    /// Stamps `checksum` from the current payload fields.
+    pub fn seal(mut self) -> Checkpoint {
+        self.checksum = self.body_checksum();
+        self
+    }
+}
+
+/// The canonical config fingerprint: the config's JSON with the round
+/// budget pinned to zero (see [`Checkpoint::fingerprint`]).
+pub fn fingerprint(cfg: &FlConfig) -> String {
+    let mut canon = cfg.clone();
+    canon.rounds = 0;
+    serde_json::to_string(&canon).expect("config serializes")
+}
+
+/// The checkpoint path for a fingerprint: `ckpt-<fnv64(fingerprint)>.json`.
+pub fn path_for(dir: &Path, fp: &str) -> PathBuf {
+    let mut h = Fnv::new();
+    h.bytes(fp.as_bytes());
+    dir.join(format!("ckpt-{:016x}.json", h.0))
+}
+
+fn prev_path(path: &Path) -> PathBuf {
+    path.with_extension("prev.json")
+}
+
+/// Atomically writes `ckpt`, keeping the previously current file as
+/// `*.prev.json`. The data path is `write temp → rename current to prev →
+/// rename temp to current`: at every instant an intact checkpoint exists
+/// on disk under one of the two names.
+///
+/// # Errors
+///
+/// Returns [`FlError::Checkpoint`] on any filesystem failure.
+pub fn save(dir: &Path, ckpt: &Checkpoint) -> Result<(), FlError> {
+    let io = |what: &str, e: std::io::Error| FlError::Checkpoint(format!("{what}: {e}"));
+    std::fs::create_dir_all(dir).map_err(|e| io("create checkpoint dir", e))?;
+    let path = path_for(dir, &ckpt.fingerprint);
+    let tmp = path.with_extension("json.tmp");
+    let json = serde_json::to_string(ckpt).expect("checkpoint serializes");
+    std::fs::write(&tmp, json).map_err(|e| io("write checkpoint temp", e))?;
+    if path.exists() {
+        std::fs::rename(&path, prev_path(&path)).map_err(|e| io("rotate checkpoint", e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| io("publish checkpoint", e))
+}
+
+fn try_load(path: &Path, fp: &str, max_rounds: usize) -> Option<Checkpoint> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let c: Checkpoint = serde_json::from_str(&text).ok()?;
+    let intact = c.version == CHECKPOINT_VERSION
+        && c.fingerprint == fp
+        && c.checksum == c.body_checksum()
+        && c.rounds.len() == c.next_round
+        && c.next_round <= max_rounds
+        && !c.global_bits.is_empty();
+    intact.then_some(c)
+}
+
+/// Loads the most recent intact checkpoint for `cfg`: the current file if
+/// it verifies, else the `*.prev.json` fallback, else `None` (start from
+/// round 0). Never errors — a corrupt checkpoint degrades to recomputing,
+/// not to garbage state.
+pub fn load(dir: &Path, cfg: &FlConfig) -> Option<Checkpoint> {
+    let fp = fingerprint(cfg);
+    let path = path_for(dir, &fp);
+    try_load(&path, &fp, cfg.rounds).or_else(|| try_load(&prev_path(&path), &fp, cfg.rounds))
+}
+
+/// Bit-packs a float slice for checkpoint storage.
+pub(crate) fn to_bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Unpacks checkpoint bit storage back to floats.
+pub(crate) fn from_bits(v: &[u32]) -> Vec<f32> {
+    v.iter().map(|&x| f32::from_bits(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskKind;
+
+    fn cfg() -> FlConfig {
+        FlConfig::builder(TaskKind::Fashion)
+            .rounds(4)
+            .n_clients(10)
+            .clients_per_round(5)
+            .train_size(100)
+            .test_size(40)
+            .seed(3)
+            .build()
+    }
+
+    fn ckpt(fp: String) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: fp,
+            next_round: 2,
+            global_bits: vec![1.5f32.to_bits(), f32::NAN.to_bits()],
+            prev_global_bits: Some(vec![0.25f32.to_bits(), 0]),
+            rounds: vec![
+                RoundRecord {
+                    round: 0,
+                    accuracy: 0.125,
+                    ..RoundRecord::default()
+                },
+                RoundRecord {
+                    round: 1,
+                    accuracy: 0.25,
+                    ..RoundRecord::default()
+                },
+            ],
+            pending: vec![PendingStale {
+                client: 7,
+                malicious: true,
+                weight_bits: 3.0f32.to_bits(),
+                payload_bits: vec![9, 8],
+            }],
+            attack_state: vec![1, 4],
+            checksum: 0,
+        }
+        .seal()
+    }
+
+    #[test]
+    fn fingerprint_ignores_round_budget() {
+        let a = cfg();
+        let mut b = cfg();
+        b.rounds = 99;
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let mut c = cfg();
+        c.seed = 4;
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn roundtrip_preserves_non_finite_params_bitwise() {
+        let dir = crate::test_dir("ckpt-roundtrip");
+        let c = ckpt(fingerprint(&cfg()));
+        save(&dir, &c).unwrap();
+        let back = load(&dir, &cfg()).expect("intact checkpoint loads");
+        assert_eq!(back, c);
+        assert!(f32::from_bits(back.global_bits[1]).is_nan());
+        // No temp litter after a successful save.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_current_falls_back_to_prev_then_none() {
+        let dir = crate::test_dir("ckpt-fallback");
+        let fp = fingerprint(&cfg());
+        let mut first = ckpt(fp.clone());
+        first.next_round = 1;
+        first.rounds.truncate(1);
+        let first = first.seal();
+        let second = ckpt(fp.clone());
+        save(&dir, &first).unwrap();
+        save(&dir, &second).unwrap();
+        assert_eq!(load(&dir, &cfg()).unwrap().next_round, 2);
+
+        // Truncate the current file: detected, prev wins.
+        let path = path_for(&dir, &fp);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(load(&dir, &cfg()).unwrap(), first);
+
+        // Flip a payload digit so the JSON still parses but the checksum
+        // does not match: also rejected.
+        let prev = prev_path(&path);
+        let text = std::fs::read_to_string(&prev).unwrap();
+        let tampered = text.replace("\"next_round\":1", "\"next_round\":0");
+        assert_ne!(text, tampered);
+        std::fs::write(&prev, tampered).unwrap();
+        assert!(load(&dir, &cfg()).is_none(), "checksum catches tampering");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_fingerprint_version_or_overlong_are_rejected() {
+        let dir = crate::test_dir("ckpt-reject");
+        let fp = fingerprint(&cfg());
+        save(&dir, &ckpt(fp.clone()).seal()).unwrap();
+        let mut other = cfg();
+        other.seed = 99;
+        assert!(load(&dir, &other).is_none(), "fingerprint mismatch");
+        let mut short = cfg();
+        short.rounds = 1;
+        assert!(
+            load(&dir, &short).is_none(),
+            "a checkpoint past the round budget is unusable"
+        );
+
+        let mut c = ckpt(fp);
+        c.version = CHECKPOINT_VERSION + 1;
+        let c = c.seal();
+        save(&dir, &c).unwrap();
+        // Both slots now hold the bad version (current) and the good one
+        // (prev): fallback still works.
+        assert_eq!(load(&dir, &cfg()).unwrap().version, CHECKPOINT_VERSION);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_covers_every_field() {
+        let base = ckpt(fingerprint(&cfg()));
+        let mut c = base.clone();
+        c.attack_state[0] = 2;
+        assert_ne!(c.body_checksum(), base.checksum);
+        let mut c = base.clone();
+        c.rounds[0].quarantined = 5;
+        assert_ne!(c.body_checksum(), base.checksum);
+        let mut c = base.clone();
+        c.pending[0].malicious = false;
+        assert_ne!(c.body_checksum(), base.checksum);
+    }
+
+    #[test]
+    fn bit_packing_roundtrips() {
+        let v = vec![0.0, -0.0, 1.5, f32::NAN, f32::NEG_INFINITY];
+        let back = from_bits(&to_bits(&v));
+        for (a, b) in v.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

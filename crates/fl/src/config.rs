@@ -1,3 +1,4 @@
+use crate::faults::FaultPlan;
 use crate::AttackSpec;
 use fabflip_agg::DefenseKind;
 use fabflip_data::SynthSpec;
@@ -118,8 +119,14 @@ pub struct FlConfig {
     /// stability.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub fltrust_root_size: Option<usize>,
+    /// Deterministic transport-fault rates (DESIGN.md §4d). The default
+    /// plan is inactive — no faults, and the field is skipped in
+    /// serialization so result-cache keys of fault-free configs stay
+    /// stable.
+    #[serde(default, skip_serializing_if = "FaultPlan::is_inactive")]
+    pub faults: FaultPlan,
     /// Master seed: fixes the task prototypes, the partition, client
-    /// sampling, model init and all attack randomness.
+    /// sampling, model init, all attack randomness and the fault plan.
     pub seed: u64,
 }
 
@@ -149,6 +156,7 @@ impl FlConfig {
                 attack: AttackSpec::None,
                 sybil_noise: 0.0,
                 fltrust_root_size: None,
+                faults: FaultPlan::default(),
                 seed: 0,
             },
         }
@@ -189,6 +197,7 @@ impl FlConfig {
         if self.fltrust_root_size == Some(0) {
             return Err("fltrust root dataset must be non-empty".into());
         }
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -291,6 +300,12 @@ impl FlConfigBuilder {
         self
     }
 
+    /// Sets the deterministic transport-fault plan (DESIGN.md §4d).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -355,6 +370,31 @@ mod tests {
         let mut rng = rand::SeedableRng::seed_from_u64(0);
         let mut m = TaskKind::Fashion.build_model(&mut rng);
         assert!(m.num_params() > 1000);
+    }
+
+    #[test]
+    fn inactive_fault_plan_keeps_cache_keys_stable() {
+        let cfg = FlConfig::builder(TaskKind::Fashion).build();
+        let s = serde_json::to_string(&cfg).unwrap();
+        assert!(
+            !s.contains("faults"),
+            "fault-free configs must serialize exactly as before the fault model: {s}"
+        );
+        let active = FlConfig::builder(TaskKind::Fashion)
+            .faults(FaultPlan::dropout_only(0.2))
+            .build();
+        let s = serde_json::to_string(&active).unwrap();
+        assert!(s.contains("faults"));
+        let back: FlConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(active, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FlConfig")]
+    fn builder_rejects_bad_fault_rates() {
+        let _ = FlConfig::builder(TaskKind::Fashion)
+            .faults(FaultPlan::dropout_only(1.5))
+            .build();
     }
 
     #[test]

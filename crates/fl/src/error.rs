@@ -17,6 +17,9 @@ pub enum FlError {
     Attack(AttackError),
     /// The configuration was inconsistent.
     BadConfig(String),
+    /// Writing a checkpoint failed (reading never errors: corrupt
+    /// checkpoints degrade to recomputation, see `checkpoint::load`).
+    Checkpoint(String),
 }
 
 impl fmt::Display for FlError {
@@ -27,6 +30,7 @@ impl fmt::Display for FlError {
             FlError::Agg(e) => write!(f, "aggregation error: {e}"),
             FlError::Attack(e) => write!(f, "attack error: {e}"),
             FlError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            FlError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -38,7 +42,7 @@ impl std::error::Error for FlError {
             FlError::Nn(e) => Some(e),
             FlError::Agg(e) => Some(e),
             FlError::Attack(e) => Some(e),
-            FlError::BadConfig(_) => None,
+            FlError::BadConfig(_) | FlError::Checkpoint(_) => None,
         }
     }
 }

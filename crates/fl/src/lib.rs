@@ -32,14 +32,34 @@
 //! ```
 
 mod attack_spec;
+pub mod checkpoint;
 mod config;
 mod error;
+pub mod faults;
 pub mod metrics;
 pub mod runner;
 mod sim;
 
 pub use attack_spec::AttackSpec;
+pub use checkpoint::CheckpointSpec;
 pub use config::{FlConfig, FlConfigBuilder, TaskKind};
 pub use error::FlError;
+pub use faults::{FaultPlan, StragglerPolicy};
 pub use metrics::{RoundRecord, RunResult};
-pub use sim::{simulate, simulate_observed};
+pub use sim::{simulate, simulate_observed, simulate_with};
+
+/// Unique per-test scratch directory under the system temp dir (pid +
+/// counter, no wall clock: fabcheck's determinism rules hold even in
+/// tests we control).
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "fabflip-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).expect("test dir");
+    d
+}

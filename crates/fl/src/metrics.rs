@@ -3,19 +3,83 @@
 use serde::{Deserialize, Serialize};
 
 /// Per-round bookkeeping of one simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Beyond the paper's ASR/DPR inputs, every round accounts for the fate
+/// of each of the `K` sampled clients (DESIGN.md §4d): the degradation
+/// counters below reconcile exactly to `clients_per_round` —
+/// [`RoundRecord::reconciles`] states the identity — so partial
+/// participation is observable, never silent. All counter fields default
+/// to zero on deserialization, keeping records written before the fault
+/// model readable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Round index `t`.
     pub round: usize,
     /// Global test accuracy after aggregation.
     pub accuracy: f32,
-    /// Malicious clients among the sampled `K` this round.
+    /// Malicious updates delivered to the defense this round (the DPR
+    /// denominator: submissions, not merely sampled clients).
     pub malicious_selected: usize,
     /// Malicious updates the defense included (only meaningful for
     /// selection defenses; 0 otherwise).
     pub malicious_passed: usize,
     /// Whether the defense reported a per-update selection this round.
     pub selection_available: bool,
+    /// Updates handed to the aggregator (fresh + stale deliveries).
+    #[serde(default)]
+    pub delivered: usize,
+    /// Stale (previous-round straggler) entries among `delivered`.
+    #[serde(default)]
+    pub stale: usize,
+    /// Submissions lost in transit (dropout faults, plus stragglers under
+    /// the `Drop` policy).
+    #[serde(default)]
+    pub dropped: usize,
+    /// Submissions that missed the deadline and were held for delivery
+    /// next round (`Stale` straggler policy).
+    #[serde(default)]
+    pub straggling: usize,
+    /// Fresh submissions the server's validator quarantined (malformed or
+    /// non-finite payloads).
+    #[serde(default)]
+    pub quarantined: usize,
+    /// Stale deliveries quarantined on arrival.
+    #[serde(default)]
+    pub stale_quarantined: usize,
+    /// Sampled clients with no local data: they never submit.
+    #[serde(default)]
+    pub offline: usize,
+    /// Sampled clients whose local training produced non-finite weights:
+    /// they fail to submit.
+    #[serde(default)]
+    pub diverged: usize,
+    /// Sampled malicious clients that submitted nothing (no attack
+    /// configured, or an oracle-dependent attack starved of its oracle).
+    #[serde(default)]
+    pub silent: usize,
+    /// The round produced no new global model: no deliveries, the
+    /// surviving cohort fell below the defense's dynamic quorum, or the
+    /// rule's precondition failed. The previous model is carried forward.
+    #[serde(default)]
+    pub skipped: bool,
+}
+
+impl RoundRecord {
+    /// The degradation-accounting identity: every one of the `k` sampled
+    /// clients is delivered fresh, dropped, held stale, quarantined,
+    /// offline, diverged, or silent — exactly once. (`delivered − stale`
+    /// is the *fresh* delivery count; stale entries were accounted as
+    /// `straggling` by the round that sampled them.)
+    pub fn reconciles(&self, k: usize) -> bool {
+        (self.delivered - self.stale)
+            + self.dropped
+            + self.straggling
+            + self.quarantined
+            + self.offline
+            + self.diverged
+            + self.silent
+            == k
+    }
 }
 
 /// The outcome of one FL simulation.
@@ -67,6 +131,11 @@ impl RunResult {
         self.rounds.iter().map(|r| r.accuracy).collect()
     }
 
+    /// Rounds that produced no new global model (no quorum after faults).
+    pub fn skipped_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.skipped).count()
+    }
+
     /// First round whose accuracy reaches `threshold`, or `None` — the
     /// convergence-interference view of an untargeted attack (the paper's
     /// objective includes "even interfere with its convergence").
@@ -102,6 +171,7 @@ mod tests {
             malicious_selected: sel,
             malicious_passed: pass,
             selection_available: avail,
+            ..RoundRecord::default()
         }
     }
 
@@ -161,6 +231,51 @@ mod tests {
         assert_eq!(r.rounds_to_reach(0.5), Some(1));
         assert_eq!(r.rounds_to_reach(0.55), Some(3));
         assert_eq!(r.rounds_to_reach(0.9), None);
+    }
+
+    #[test]
+    fn reconciliation_identity_counts_every_sampled_client() {
+        // 6 sampled: 2 fresh-delivered, 1 dropped, 1 held stale, 1
+        // quarantined, 1 offline — plus one stale delivery from the
+        // previous round (not part of this round's 6).
+        let r = RoundRecord {
+            round: 0,
+            delivered: 3,
+            stale: 1,
+            dropped: 1,
+            straggling: 1,
+            quarantined: 1,
+            offline: 1,
+            ..RoundRecord::default()
+        };
+        assert!(r.reconciles(6));
+        assert!(!r.reconciles(7));
+        // A fault-free full round.
+        let r = RoundRecord {
+            round: 0,
+            delivered: 6,
+            ..RoundRecord::default()
+        };
+        assert!(r.reconciles(6));
+    }
+
+    #[test]
+    fn skipped_round_counter() {
+        let mut a = record(0, 0.1, 0, 0, false);
+        a.skipped = true;
+        let r = result(vec![a, record(1, 0.2, 0, 0, false)]);
+        assert_eq!(r.skipped_rounds(), 1);
+    }
+
+    #[test]
+    fn old_records_deserialize_with_zero_fault_counters() {
+        let legacy = r#"{"round":3,"accuracy":0.5,"malicious_selected":2,
+            "malicious_passed":1,"selection_available":true}"#;
+        let r: RoundRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(r.round, 3);
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.quarantined, 0);
+        assert!(!r.skipped);
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! The federated-learning simulation loop (paper Sec. II-A, V-A).
+//! The federated-learning simulation loop (paper Sec. II-A, V-A), plus
+//! the deterministic fault-injection transport and graceful server-side
+//! degradation of DESIGN.md §4d.
 
+use crate::checkpoint::{self, Checkpoint, CheckpointSpec, PendingStale};
+use crate::faults::{corrupt_payload, sub_seed, ClientFault, StragglerPolicy};
 use crate::metrics::{RoundRecord, RunResult};
 use crate::{FlConfig, FlError};
-use fabflip_agg::{AggError, Selection};
+use fabflip_agg::{AggError, Aggregation, Selection};
 use fabflip_attacks::{AttackContext, TaskInfo};
 use fabflip_data::{dirichlet_partition, Dataset};
 use fabflip_nn::losses::{accuracy, softmax_cross_entropy_hard};
@@ -16,21 +20,48 @@ use rand::SeedableRng;
 /// class prototypes, so `acc_natk` and `acc_max` are comparable.
 const TASK_SEED: u64 = 0xDA7A_5EED;
 
-/// Result of one benign client's local round: `None` when the client is
-/// malicious or offline, otherwise its flat update and sample weight.
-type ClientOutcome = Result<Option<(Vec<f32>, f32)>, FlError>;
+/// Result of one selected client's local phase.
+enum LocalOutcome {
+    /// Adversary-controlled: its update is crafted centrally, not here.
+    Malicious,
+    /// No local data: the client never submits.
+    Offline,
+    /// Local training produced non-finite weights: fails to submit.
+    Diverged,
+    /// Dropout fault: the client is unreachable before it computes.
+    Dropped,
+    /// A finished benign update and its sample weight.
+    Trained(Vec<f32>, f32),
+}
 
-fn sub_seed(master: u64, stream: u64, a: u64, b: u64) -> u64 {
-    // SplitMix-style mixing for independent deterministic streams.
-    let mut x = master
-        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ a.wrapping_mul(0xBF58_476D_1CE4_E5B9)
-        ^ b.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+type ClientOutcome = Result<LocalOutcome, FlError>;
+
+/// A submission staged for this round's transport, tagged with the fault
+/// (if any) that strikes it in transit.
+struct Staged {
+    fault: Option<ClientFault>,
+    client: usize,
+    malicious: bool,
+    weight: f32,
+    payload: Vec<f32>,
+}
+
+/// A straggler submission held in memory for next-round delivery (the
+/// checkpointable form is [`PendingStale`]).
+struct Pending {
+    client: usize,
+    malicious: bool,
+    weight: f32,
+    payload: Vec<f32>,
+}
+
+/// The server's per-submission validator, active only under a live fault
+/// plan: a payload is accepted when it has the model dimension, every
+/// coordinate is finite, and it is not the all-zero dead-buffer sentinel.
+/// Quarantining here is *degradation accounting*; the aggregation rules
+/// additionally filter malformed input themselves (defense in depth).
+fn server_accepts(payload: &[f32], d: usize) -> bool {
+    payload.len() == d && payload.iter().all(|v| v.is_finite()) && payload.iter().any(|&v| v != 0.0)
 }
 
 /// Evaluates `model` on `test`, batching to bound peak memory.
@@ -94,7 +125,7 @@ fn train_benign_client(
 /// failures. Aggregation "too few updates" is tolerated per round; all
 /// other aggregation errors abort.
 pub fn simulate(cfg: &FlConfig) -> Result<RunResult, FlError> {
-    simulate_observed(cfg, |_| {})
+    simulate_with(cfg, None, |_| {})
 }
 
 /// Like [`simulate`], invoking `observer` with each round's record as soon
@@ -105,6 +136,32 @@ pub fn simulate(cfg: &FlConfig) -> Result<RunResult, FlError> {
 /// Same conditions as [`simulate`].
 pub fn simulate_observed<F: FnMut(&RoundRecord)>(
     cfg: &FlConfig,
+    observer: F,
+) -> Result<RunResult, FlError> {
+    simulate_with(cfg, None, observer)
+}
+
+/// The full simulation entry point: [`simulate_observed`] plus an optional
+/// crash-safe checkpoint sink.
+///
+/// With a [`CheckpointSpec`], the run first tries to resume from the
+/// latest intact checkpoint for this config (restored rounds are **not**
+/// replayed through `observer`), then saves its complete cross-round state
+/// every `spec.every` completed rounds and at completion. Everything a
+/// round reads beyond that state is a pure function of `(cfg, round)` —
+/// per-round RNG streams, the fault schedule, datasets, the partition —
+/// so a resumed run's remaining transcript is bitwise identical to an
+/// uninterrupted one (pinned by the resume-equivalence proptest in
+/// `tests/robustness.rs`).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`], plus [`FlError::Checkpoint`] when a
+/// checkpoint cannot be *written* (corrupt checkpoints on read degrade to
+/// recomputation instead).
+pub fn simulate_with<F: FnMut(&RoundRecord)>(
+    cfg: &FlConfig,
+    ckpt: Option<&CheckpointSpec>,
     mut observer: F,
 ) -> Result<RunResult, FlError> {
     cfg.validate().map_err(FlError::BadConfig)?;
@@ -164,62 +221,138 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
         let task = cfg.task;
         move |rng: &mut StdRng| task.build_model(rng)
     };
+    // The degradation layer (validator + dynamic quorum) switches on only
+    // under a live fault plan, so fault-free configs take the exact
+    // historical code path, bit for bit.
+    let faults_active = cfg.faults.is_active();
+    let fingerprint = ckpt.map(|_| checkpoint::fingerprint(cfg));
 
     let mut init_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 5, 0, 0));
     let mut global_model = cfg.task.build_model(&mut init_rng);
     let mut global = global_model.flat_params();
     let mut prev_global: Option<Vec<f32>> = None;
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut rounds: Vec<RoundRecord> = Vec::with_capacity(cfg.rounds);
+    let mut start_round = 0usize;
 
-    let mut rounds = Vec::with_capacity(cfg.rounds);
-    for round in 0..cfg.rounds {
-        let mut round_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 6, round as u64, 0));
+    if let Some(spec) = ckpt {
+        if let Some(c) = checkpoint::load(&spec.dir, cfg) {
+            if c.global_bits.len() == global.len() {
+                global = checkpoint::from_bits(&c.global_bits);
+                prev_global = c.prev_global_bits.as_deref().map(checkpoint::from_bits);
+                global_model.set_flat_params(&global)?;
+                pending = c
+                    .pending
+                    .iter()
+                    .map(|p| Pending {
+                        client: p.client,
+                        malicious: p.malicious,
+                        weight: f32::from_bits(p.weight_bits),
+                        payload: checkpoint::from_bits(&p.payload_bits),
+                    })
+                    .collect();
+                if let Some(a) = attack.as_mut() {
+                    a.restore_state(&c.attack_state);
+                }
+                start_round = c.next_round;
+                rounds = c.rounds;
+            }
+        }
+    }
+
+    for round in start_round..cfg.rounds {
+        let round_u64 = round as u64;
+        let mut round_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 6, round_u64, 0));
         let mut pool: Vec<usize> = (0..cfg.n_clients).collect();
         pool.shuffle(&mut round_rng);
         let selected = &pool[..cfg.clients_per_round];
+
+        // The round's fault schedule — pure per (seed, round, client), so
+        // it is thread-count invariant and recomputed identically after a
+        // resume (no fault state is checkpointed beyond pending stales).
+        let faults: Vec<Option<ClientFault>> = selected
+            .iter()
+            .map(|&c| cfg.faults.fault_for(cfg.seed, round_u64, c as u64))
+            .collect();
+        let malicious_sel: Vec<(usize, usize)> = selected
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| is_malicious(c))
+            .map(|(s, &c)| (s, c))
+            .collect();
 
         // Benign local training. Every client already draws from an
         // independent RNG stream keyed by (seed, round, client), so clients
         // train in parallel and their updates are merged in selection order
         // — the transcript is bitwise identical to the sequential loop (see
         // the determinism contract in `fabflip_tensor::par`).
-        let malicious_selected = selected.iter().filter(|&&c| is_malicious(c)).count();
         let train_ref = &train;
         let shards_ref = &shards;
         let global_ref = &global;
         let is_malicious_ref = &is_malicious;
+        let faults_ref = &faults;
         let outcomes: Vec<ClientOutcome> = par::map_collect(selected.len(), |s| {
             let client = selected[s];
             if is_malicious_ref(client) {
-                return Ok(None);
+                return Ok(LocalOutcome::Malicious);
             }
             let shard = &shards_ref[client];
             if shard.is_empty() {
-                return Ok(None); // Client has no data: no update (offline).
+                return Ok(LocalOutcome::Offline);
             }
-            let mut crng =
-                StdRng::seed_from_u64(sub_seed(cfg.seed, 7, round as u64, client as u64));
+            if faults_ref[s] == Some(ClientFault::Dropout) {
+                // Dropout strikes before local compute: nothing to train.
+                return Ok(LocalOutcome::Dropped);
+            }
+            let mut crng = StdRng::seed_from_u64(sub_seed(cfg.seed, 7, round_u64, client as u64));
             let w = train_benign_client(cfg, train_ref, shard, global_ref, &mut crng)?;
             if w.iter().any(|v| !v.is_finite()) {
                 // Local training diverged (possible once the global model
                 // is poisoned): a real client would fail to submit. Skip
                 // it so non-finite values never reach attacks or defenses.
-                return Ok(None);
+                return Ok(LocalOutcome::Diverged);
             }
-            Ok(Some((w, shard.len() as f32)))
+            Ok(LocalOutcome::Trained(w, shard.len() as f32))
         });
+
+        let mut offline = 0usize;
+        let mut diverged = 0usize;
+        let mut dropped = 0usize;
+        let mut straggling = 0usize;
+        let mut quarantined = 0usize;
+        let mut stale_quarantined = 0usize;
+        let mut stale_delivered = 0usize;
+        let mut silent = 0usize;
+        // The adversary's oracle is the benign updates as *computed* —
+        // its white-box client-level view, before transport faults strike
+        // (dropout happens pre-compute, so dropped clients are absent).
         let mut benign_updates: Vec<Vec<f32>> = Vec::new();
-        let mut benign_weights: Vec<f32> = Vec::new();
-        for outcome in outcomes {
-            if let Some((w, weight)) = outcome? {
-                benign_updates.push(w);
-                benign_weights.push(weight);
+        let mut staged: Vec<Staged> = Vec::new();
+        for (s, outcome) in outcomes.into_iter().enumerate() {
+            match outcome? {
+                LocalOutcome::Malicious => {}
+                LocalOutcome::Offline => offline += 1,
+                LocalOutcome::Diverged => diverged += 1,
+                LocalOutcome::Dropped => dropped += 1,
+                LocalOutcome::Trained(w, weight) => {
+                    benign_updates.push(w.clone());
+                    staged.push(Staged {
+                        fault: faults[s],
+                        client: selected[s],
+                        malicious: false,
+                        weight,
+                        payload: w,
+                    });
+                }
             }
         }
 
-        // Adversarial crafting: one update for all malicious clients.
-        let mut updates = benign_updates.clone();
-        let mut weights = benign_weights.clone();
-        let mut malicious_indices: Vec<usize> = Vec::new();
+        // Adversarial crafting: one update for all malicious clients,
+        // staged pre-transport (the adversary does not know the fault
+        // schedule; per-copy Sybil noise is drawn in selection order for
+        // every copy, faulted or not, so the draw sequence matches the
+        // fault-free transcript).
+        let malicious_selected = malicious_sel.len();
         if malicious_selected > 0 {
             if let Some(attack) = attack.as_mut() {
                 let empty: Vec<Vec<f32>> = Vec::new();
@@ -237,10 +370,10 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
                     task: &task_info,
                     build_model: &build_model,
                 };
-                let mut arng = StdRng::seed_from_u64(sub_seed(cfg.seed, 8, round as u64, 0));
+                let mut arng = StdRng::seed_from_u64(sub_seed(cfg.seed, 8, round_u64, 0));
                 match attack.craft(&ctx, &mut arng) {
                     Ok(w_mal) => {
-                        for _ in 0..malicious_selected {
+                        for &(s, client) in &malicious_sel {
                             let mut copy = w_mal.clone();
                             if cfg.sybil_noise > 0.0 {
                                 // Sec. III-A: independent per-copy noise to
@@ -254,65 +387,209 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
                                     *v += cfg.sybil_noise * n;
                                 }
                             }
-                            malicious_indices.push(updates.len());
-                            updates.push(copy);
-                            weights.push(cfg.synth_set_size.max(1) as f32);
+                            staged.push(Staged {
+                                fault: faults[s],
+                                client,
+                                malicious: true,
+                                weight: cfg.synth_set_size.max(1) as f32,
+                                payload: copy,
+                            });
                         }
                     }
                     // An oracle-dependent attack cannot act in a round whose
                     // oracle is empty or unusable: malicious clients stay
                     // silent.
-                    Err(fabflip_attacks::AttackError::NeedsBenignUpdates(_)) => {}
+                    Err(fabflip_attacks::AttackError::NeedsBenignUpdates(_)) => {
+                        silent += malicious_selected;
+                    }
                     Err(e) => return Err(e.into()),
                 }
+            } else {
+                // No attack configured: sampled malicious clients submit
+                // nothing (the clean-baseline behaviour, now accounted).
+                silent += malicious_selected;
             }
         }
 
-        // Server-side aggregation.
+        // Transport + delivery. Stale entries land first — they were
+        // submitted a round earlier — then this round's staged submissions
+        // pass through the fault plan.
+        let d = global.len();
+        let mut updates: Vec<Vec<f32>> = Vec::new();
+        let mut weights: Vec<f32> = Vec::new();
+        let mut malicious_indices: Vec<usize> = Vec::new();
+        let mut pending_next: Vec<Pending> = Vec::new();
+        for p in pending.drain(..) {
+            if server_accepts(&p.payload, d) {
+                if p.malicious {
+                    malicious_indices.push(updates.len());
+                }
+                updates.push(p.payload);
+                weights.push(p.weight * cfg.faults.straggler_policy.discount());
+                stale_delivered += 1;
+            } else {
+                stale_quarantined += 1;
+            }
+        }
+        for entry in staged {
+            match entry.fault {
+                None => {
+                    // Fault-free transport. Without a live plan this is an
+                    // unconditional pass-through (the historical path);
+                    // with one, the server validator quarantines malformed
+                    // or non-finite submissions before the defense runs.
+                    if !faults_active || server_accepts(&entry.payload, d) {
+                        if entry.malicious {
+                            malicious_indices.push(updates.len());
+                        }
+                        updates.push(entry.payload);
+                        weights.push(entry.weight);
+                    } else {
+                        quarantined += 1;
+                    }
+                }
+                Some(ClientFault::Dropout) => dropped += 1,
+                Some(ClientFault::Straggler) => match cfg.faults.straggler_policy {
+                    StragglerPolicy::Drop => dropped += 1,
+                    StragglerPolicy::Stale { .. } => {
+                        straggling += 1;
+                        pending_next.push(Pending {
+                            client: entry.client,
+                            malicious: entry.malicious,
+                            weight: entry.weight,
+                            payload: entry.payload,
+                        });
+                    }
+                },
+                Some(ClientFault::Malformed(kind)) => {
+                    let mut payload = entry.payload;
+                    corrupt_payload(
+                        kind,
+                        &mut payload,
+                        sub_seed(cfg.seed, 11, round_u64, entry.client as u64),
+                    );
+                    if server_accepts(&payload, d) {
+                        if entry.malicious {
+                            malicious_indices.push(updates.len());
+                        }
+                        updates.push(payload);
+                        weights.push(entry.weight);
+                    } else {
+                        quarantined += 1;
+                    }
+                }
+            }
+        }
+        pending = pending_next;
+
+        // Server-side aggregation with graceful degradation: under a live
+        // fault plan the defense's parameters are recomputed for the
+        // surviving cohort (`DefenseKind::for_cohort`); an impossible
+        // quorum skips the round and carries the global model forward.
         let mut malicious_passed = 0usize;
         let mut selection_available = false;
-        if !updates.is_empty() {
-            let aggregation = if let Some(root) = &fltrust_root {
-                // FLTrust: the server computes its own root update, then
-                // trust-scores the clients against it.
-                let mut srng = StdRng::seed_from_u64(sub_seed(cfg.seed, 10, round as u64, 0));
-                let all: Vec<usize> = (0..root.len()).collect();
-                let server_update = train_benign_client(cfg, root, &all, &global, &mut srng)?;
-                fabflip_agg::fltrust_aggregate(&updates, &global, &server_update)
+        let mut skipped = false;
+        let outcome: Option<Result<Aggregation, AggError>> = if updates.is_empty() {
+            None
+        } else if let Some(root) = &fltrust_root {
+            // FLTrust: the server computes its own root update, then
+            // trust-scores the clients against it (any cohort n ≥ 1).
+            let mut srng = StdRng::seed_from_u64(sub_seed(cfg.seed, 10, round_u64, 0));
+            let all: Vec<usize> = (0..root.len()).collect();
+            let server_update = train_benign_client(cfg, root, &all, &global, &mut srng)?;
+            Some(fabflip_agg::fltrust_aggregate(
+                &updates,
+                &global,
+                &server_update,
+            ))
+        } else {
+            let effective = if faults_active {
+                cfg.defense.for_cohort(updates.len())
             } else {
-                defense.aggregate_with_reference(&updates, &weights, Some(&global))
+                Some(cfg.defense)
             };
-            match aggregation {
-                Ok(agg) => {
-                    if let Selection::Chosen(ref kept) = agg.selection {
-                        selection_available = true;
-                        malicious_passed = kept
-                            .iter()
-                            .filter(|i| malicious_indices.contains(i))
-                            .count();
-                    }
-                    prev_global = Some(global.clone());
-                    global = agg.model;
-                    global_model.set_flat_params(&global)?;
+            match effective {
+                None => None,
+                Some(kind) if kind == cfg.defense => {
+                    Some(defense.aggregate_with_reference(&updates, &weights, Some(&global)))
                 }
-                Err(AggError::TooFewUpdates { .. }) | Err(AggError::NoUpdates) => {
-                    // No quorum this round: global model unchanged.
-                }
-                Err(e) => return Err(e.into()),
+                Some(kind) => Some(kind.build()?.aggregate_with_reference(
+                    &updates,
+                    &weights,
+                    Some(&global),
+                )),
             }
+        };
+        match outcome {
+            Some(Ok(agg)) => {
+                if let Selection::Chosen(ref kept) = agg.selection {
+                    selection_available = true;
+                    malicious_passed = kept
+                        .iter()
+                        .filter(|i| malicious_indices.contains(i))
+                        .count();
+                }
+                prev_global = Some(global.clone());
+                global = agg.model;
+                global_model.set_flat_params(&global)?;
+            }
+            Some(Err(AggError::TooFewUpdates { .. })) | Some(Err(AggError::NoUpdates)) => {
+                // No quorum this round: global model carried forward.
+                skipped = true;
+            }
+            Some(Err(e)) => return Err(e.into()),
+            None => skipped = true,
         }
 
         let acc = evaluate_model(&mut global_model, &test, 100)?;
         let record = RoundRecord {
             round,
             accuracy: acc,
-            // DPR denominator: malicious clients that actually submitted.
+            // DPR denominator: malicious submissions actually delivered.
             malicious_selected: malicious_indices.len(),
             malicious_passed,
             selection_available,
+            delivered: updates.len(),
+            stale: stale_delivered,
+            dropped,
+            straggling,
+            quarantined,
+            stale_quarantined,
+            offline,
+            diverged,
+            silent,
+            skipped,
         };
         observer(&record);
         rounds.push(record);
+
+        if let Some(spec) = ckpt {
+            if spec.due(round + 1, cfg.rounds) {
+                let c = Checkpoint {
+                    version: checkpoint::CHECKPOINT_VERSION,
+                    fingerprint: fingerprint.clone().expect("fingerprint set with spec"),
+                    next_round: round + 1,
+                    global_bits: checkpoint::to_bits(&global),
+                    prev_global_bits: prev_global.as_deref().map(checkpoint::to_bits),
+                    rounds: rounds.clone(),
+                    pending: pending
+                        .iter()
+                        .map(|p| PendingStale {
+                            client: p.client,
+                            malicious: p.malicious,
+                            weight_bits: p.weight.to_bits(),
+                            payload_bits: checkpoint::to_bits(&p.payload),
+                        })
+                        .collect(),
+                    attack_state: attack
+                        .as_ref()
+                        .map_or_else(Vec::new, |a| a.checkpoint_state()),
+                    checksum: 0,
+                }
+                .seal();
+                checkpoint::save(&spec.dir, &c)?;
+            }
+        }
     }
     Ok(RunResult {
         rounds,
@@ -323,6 +600,7 @@ pub fn simulate_observed<F: FnMut(&RoundRecord)>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use crate::{AttackSpec, TaskKind};
     use fabflip_agg::DefenseKind;
 
@@ -428,5 +706,65 @@ mod tests {
         let mut cfg = tiny_cfg();
         cfg.rounds = 0;
         assert!(matches!(simulate(&cfg), Err(FlError::BadConfig(_))));
+    }
+
+    #[test]
+    fn fault_free_records_reconcile_and_are_never_skipped_here() {
+        let cfg = tiny_cfg();
+        let r = simulate(&cfg).unwrap();
+        for rec in &r.rounds {
+            assert!(rec.reconciles(cfg.clients_per_round), "{rec:?}");
+            assert!(!rec.skipped, "{rec:?}");
+            assert_eq!(rec.dropped + rec.straggling + rec.quarantined, 0);
+        }
+    }
+
+    #[test]
+    fn dropout_faults_are_deterministic_and_accounted() {
+        let mut cfg = tiny_cfg();
+        cfg.faults = FaultPlan::dropout_only(0.4);
+        let a = simulate(&cfg).unwrap();
+        let b = simulate(&cfg).unwrap();
+        assert_eq!(a, b, "fault schedule must be a pure function of cfg");
+        assert!(
+            a.rounds.iter().any(|rec| rec.dropped > 0),
+            "0.4 dropout over {} slots never fired: {:?}",
+            cfg.rounds * cfg.clients_per_round,
+            a.rounds
+        );
+        for rec in &a.rounds {
+            assert!(rec.reconciles(cfg.clients_per_round), "{rec:?}");
+        }
+        // And the fault schedule actually changes the transcript.
+        let clean = simulate(&tiny_cfg()).unwrap();
+        assert_ne!(clean.accuracy_trace(), a.accuracy_trace());
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_and_matches_uninterrupted() {
+        let dir = crate::test_dir("sim-resume");
+        let spec = CheckpointSpec::new(&dir, 1);
+        let full = simulate(&tiny_cfg()).unwrap();
+
+        // Interrupted run: a truncated round budget with the same
+        // fingerprint (the fingerprint excludes `rounds`).
+        let mut short = tiny_cfg();
+        short.rounds = 2;
+        let partial = simulate_with(&short, Some(&spec), |_| {}).unwrap();
+        assert_eq!(partial.rounds.len(), 2);
+
+        // Resume to the full budget: only round 2 runs, and the observer
+        // confirms restored rounds are not replayed.
+        let mut seen = Vec::new();
+        let resumed = simulate_with(&tiny_cfg(), Some(&spec), |rec| seen.push(rec.round)).unwrap();
+        assert_eq!(seen, vec![2]);
+        assert_eq!(resumed, full, "resumed transcript must match bitwise");
+
+        // A second resume finds the completed checkpoint: zero new rounds.
+        let mut seen = Vec::new();
+        let again = simulate_with(&tiny_cfg(), Some(&spec), |rec| seen.push(rec.round)).unwrap();
+        assert!(seen.is_empty());
+        assert_eq!(again, full);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
