@@ -1,4 +1,4 @@
-use crate::krum::krum_scores_into;
+use crate::krum::{krum_scores, krum_scores_into};
 use crate::types::finite_updates;
 use crate::{AggError, Aggregation, Defense, Selection};
 use fabflip_tensor::scratch::{scratch_f32, Purpose};
@@ -6,6 +6,13 @@ use fabflip_tensor::{par, vecops};
 
 /// Minimum `coordinates × selected` work before stage 2 goes parallel.
 const PAR_STAGE2_WORK: usize = 1 << 20;
+
+/// Largest pool the exact iterative stage-1 selection handles. Up to this
+/// size Bulyan materializes the dense `n × n` distance matrix and re-runs
+/// Krum per selection round — the historical, bitwise-stable path. Above
+/// it, stage 1 degrades to a single blocked Krum ranking (see
+/// [`select_ranked`] and DESIGN.md §4e) so memory stays O(B·n).
+pub const BULYAN_DENSE_MAX: usize = 512;
 
 /// Bulyan's stage-2 coordinate kernel, allocation-free: for each
 /// coordinate of `out` (coordinates `lo..lo + out.len()` of the model),
@@ -56,11 +63,61 @@ pub fn bulyan_coordinate_chunk(
     }
 }
 
+/// Exact stage-1 selection (pools of at most [`BULYAN_DENSE_MAX`]): the
+/// flat pairwise distance matrix is computed once (parallel over rows
+/// inside `vecops`) and each selection round re-scores the shrinking pool
+/// from it with buffers reused across rounds, instead of recomputing all
+/// O(n²·d) distances (and reallocating) per round. Returns `theta` local
+/// indices in selection order.
+fn select_iterative(refs: &[&[f32]], f: usize, theta: usize) -> Result<Vec<usize>, AggError> {
+    let n = refs.len();
+    let mut dists = vec![0.0f32; n * n];
+    vecops::pairwise_sq_distances_into(refs, &mut dists);
+    let mut pool: Vec<usize> = (0..n).collect(); // local indices
+    let mut selected: Vec<usize> = Vec::with_capacity(theta);
+    let mut scores_buf = vec![0.0f32; n];
+    let mut row_buf = vec![0.0f32; n - 1];
+    while selected.len() < theta {
+        let m = pool.len();
+        let scores = &mut scores_buf[..m];
+        krum_scores_into(&dists, n, &pool, f, scores, &mut row_buf[..m - 1])?;
+        let best_pos = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .expect("pool nonempty");
+        selected.push(pool.remove(best_pos));
+    }
+    Ok(selected)
+}
+
+/// Large-pool stage-1 degradation (DESIGN.md §4e): one blocked Krum
+/// scoring pass over the full pool, then the θ lowest-score updates by the
+/// deterministic key `(score, index)`. This keeps resident memory at
+/// O(B·n) — the iterative rule needs the dense O(n²) matrix *and* θ ≈ n
+/// re-scoring rounds, both quadratic at million-client scale. The
+/// selection set can differ from the iterative rule's (which re-scores
+/// after each removal); stage 2 is unchanged and exact either way.
+fn select_ranked(refs: &[&[f32]], f: usize, theta: usize) -> Result<Vec<usize>, AggError> {
+    let scores = krum_scores(refs, f)?;
+    let mut order: Vec<usize> = (0..refs.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        (scores[a], a)
+            .partial_cmp(&(scores[b], b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order.truncate(theta);
+    Ok(order)
+}
+
 /// Bulyan (El Mhamdi et al., 2018): two-stage robust aggregation.
 ///
 /// 1. **Selection** — iteratively run Krum, each time moving the
 ///    lowest-score update into the selection set `S` and removing it from
-///    the pool, until `|S| = θ = n − 2f`.
+///    the pool, until `|S| = θ = n − 2f`. Pools above [`BULYAN_DENSE_MAX`]
+///    switch to a single blocked Krum ranking (DESIGN.md §4e) so stage 1
+///    never materializes the dense distance matrix.
 /// 2. **Aggregation** — per coordinate, average the `β = θ − 2f` values of
 ///    `S` closest to the coordinate-wise median.
 ///
@@ -104,29 +161,14 @@ impl Defense for Bulyan {
             });
         }
 
-        // Stage 1: iterative Krum selection. The flat pairwise distance
-        // matrix is computed once (parallel over rows inside `vecops`) and
-        // each selection round re-scores the shrinking pool from it with
-        // buffers reused across rounds, instead of recomputing all
-        // O(n²·d) distances (and reallocating) per round.
-        let mut dists = vec![0.0f32; n * n];
-        vecops::pairwise_sq_distances_into(&refs, &mut dists);
-        let mut pool: Vec<usize> = (0..n).collect(); // local indices
-        let mut selected: Vec<usize> = Vec::with_capacity(theta);
-        let mut scores_buf = vec![0.0f32; n];
-        let mut row_buf = vec![0.0f32; n - 1];
-        while selected.len() < theta {
-            let m = pool.len();
-            let scores = &mut scores_buf[..m];
-            krum_scores_into(&dists, n, &pool, f, scores, &mut row_buf[..m - 1])?;
-            let best_pos = scores
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .expect("pool nonempty");
-            selected.push(pool.remove(best_pos));
-        }
+        // Stage 1: pick θ most-central updates. Small pools use the exact
+        // iterative selection on a dense distance matrix; large pools use
+        // one blocked ranking pass so nothing O(n²) is ever resident.
+        let selected = if n <= BULYAN_DENSE_MAX {
+            select_iterative(&refs, f, theta)?
+        } else {
+            select_ranked(&refs, f, theta)?
+        };
 
         // Stage 2: per-coordinate trimmed mean around the median, in fixed
         // coordinate chunks (parallel above PAR_STAGE2_WORK) with the
@@ -214,6 +256,39 @@ mod tests {
                 .fold(f32::NEG_INFINITY, f32::max);
             assert!(agg.model[coord] >= lo && agg.model[coord] <= hi);
         }
+    }
+
+    #[test]
+    fn large_pool_ranked_selection_excludes_outliers() {
+        // n > BULYAN_DENSE_MAX exercises the single-pass ranked stage 1.
+        let f = 6;
+        let n = BULYAN_DENSE_MAX + 10;
+        let mut ups = benign_cluster(n - f);
+        for i in 0..f {
+            let s = if i % 2 == 0 { 200.0 } else { -200.0 };
+            ups.push(vec![s, s, s]);
+        }
+        let agg = Bulyan::new(f).aggregate(&ups, &vec![1.0; n]).unwrap();
+        match agg.selection {
+            Selection::Chosen(ref c) => {
+                assert_eq!(c.len(), n - 2 * f);
+                for outlier in (n - f)..n {
+                    assert!(!c.contains(&outlier), "outlier {outlier} selected");
+                }
+            }
+            _ => panic!(),
+        }
+        assert!((agg.model[0] - 1.0).abs() < 0.2, "{:?}", &agg.model[..3]);
+    }
+
+    #[test]
+    fn ranked_selection_breaks_score_ties_by_index() {
+        // Identical updates share a score; the (score, index) key must
+        // order them by index deterministically.
+        let ups: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0, -1.0, 0.5]).collect();
+        let refs: Vec<&[f32]> = ups.iter().map(|u| u.as_slice()).collect();
+        let sel = select_ranked(&refs, 1, 4).unwrap();
+        assert_eq!(sel, vec![0, 1, 2, 3]);
     }
 
     #[test]

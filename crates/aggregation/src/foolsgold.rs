@@ -1,5 +1,6 @@
 use crate::types::finite_updates;
 use crate::{AggError, Aggregation, Defense, Selection};
+use fabflip_tensor::scratch::{scratch_f32, Purpose};
 use fabflip_tensor::vecops;
 use std::collections::BTreeMap;
 
@@ -47,25 +48,149 @@ impl FoolsGold {
     /// Same conditions as [`FoolsGold::aggregate`].
     pub fn weights(&self, deltas: &[Vec<f32>]) -> Result<Vec<f32>, AggError> {
         let v = finite_updates(deltas)?;
-        Ok(foolsgold_weights(&v.refs))
+        Ok(foolsgold_weights(&v.refs, None))
     }
 }
 
-fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = vecops::l2_norm(a);
-    let nb = vecops::l2_norm(b);
-    if na < 1e-12 || nb < 1e-12 {
-        return 0.0;
-    }
-    (vecops::dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
-}
+/// Tile edge for the blocked similarity passes: at most `FG_TILE²`
+/// similarity entries are resident at once (DESIGN.md §4e).
+const FG_TILE: usize = 128;
 
-fn foolsgold_weights(refs: &[&[f32]]) -> Vec<f32> {
+/// FoolsGold weights, evaluated in `FG_TILE × FG_TILE` tiles of the
+/// (never materialized) pairwise cosine matrix. When `reference` is set,
+/// similarities are taken between the deltas `w_i − w(t)` without
+/// materializing those either ([`vecops::dot_delta`] /
+/// [`vecops::l2_norm_delta`]), so resident memory is O(n + B²) on top of
+/// the inputs.
+///
+/// Bitwise identical to the dense formulation (pinned by
+/// `tiled_weights_match_dense_bitwise`): cosine entries are pure
+/// per-pair functions (`dot(a,b) == dot(b,a)` exactly — IEEE
+/// multiplication commutes and the sum order is shared), and both row
+/// folds visit `j` ascending exactly as the dense loops did, so tiling
+/// only changes *when* entries are computed, never their values or the
+/// fold order.
+pub fn foolsgold_weights(refs: &[&[f32]], reference: Option<&[f32]>) -> Vec<f32> {
     let n = refs.len();
     if n == 1 {
         return vec![1.0];
     }
-    // Pairwise cosine similarity (diagonal ignored).
+    let d = refs[0].len();
+    // Delta norms once per update; each tile entry then costs one dot.
+    // Norm checks happen *before* the dot (as in the historical scalar
+    // `cosine`), so zero-norm or length-0 rows never reach `dot`.
+    let norms: Vec<f32> = refs
+        .iter()
+        .map(|u| match reference {
+            Some(r) => vecops::l2_norm_delta(u, r),
+            None => vecops::l2_norm(u),
+        })
+        .collect();
+    let entry = |i: usize, j: usize| -> f32 {
+        let (na, nb) = (norms[i], norms[j]);
+        if na < 1e-12 || nb < 1e-12 {
+            return 0.0;
+        }
+        let dp = match reference {
+            Some(r) => vecops::dot_delta(refs[i], refs[j], r),
+            None => vecops::dot(refs[i], refs[j]),
+        };
+        (dp / (na * nb)).clamp(-1.0, 1.0)
+    };
+    let b = FG_TILE.min(n);
+    let mut tile = scratch_f32(Purpose::DistTile, b * b);
+
+    // Pass 1: per-row maxima of the similarity matrix. Column tiles are
+    // swept in ascending j, so each row's `f32::max` fold runs in exactly
+    // the dense order.
+    let mut maxes = vec![f32::NEG_INFINITY; n];
+    let mut row_lo = 0;
+    while row_lo < n {
+        let rows = b.min(n - row_lo);
+        let mut col_lo = 0;
+        while col_lo < n {
+            let cols = b.min(n - col_lo);
+            let t = &mut tile[..rows * cols];
+            vecops::pairwise_tile_into(row_lo, col_lo, cols, d, t, entry);
+            for (r, row) in t.chunks(cols).enumerate() {
+                let i = row_lo + r;
+                let m = &mut maxes[i];
+                for (c, &cs) in row.iter().enumerate() {
+                    if col_lo + c != i {
+                        *m = m.max(cs);
+                    }
+                }
+            }
+            col_lo += cols;
+        }
+        row_lo += rows;
+    }
+
+    // Pass 2: pardoning — honest clients that merely resemble a popular
+    // direction are rescaled relative to the more-suspicious party. The
+    // tiles are recomputed (compute is the cheap axis here; memory is the
+    // scarce one) and each row folds its pardoned maximum in ascending j.
+    let mut max_cs = vec![f32::NEG_INFINITY; n];
+    let mut row_lo = 0;
+    while row_lo < n {
+        let rows = b.min(n - row_lo);
+        let mut col_lo = 0;
+        while col_lo < n {
+            let cols = b.min(n - col_lo);
+            let t = &mut tile[..rows * cols];
+            vecops::pairwise_tile_into(row_lo, col_lo, cols, d, t, entry);
+            for (r, row) in t.chunks(cols).enumerate() {
+                let i = row_lo + r;
+                let m = &mut max_cs[i];
+                for (c, &cs) in row.iter().enumerate() {
+                    let j = col_lo + c;
+                    if j == i {
+                        continue;
+                    }
+                    let mut v = cs;
+                    if maxes[j] > maxes[i] && maxes[i] > 0.0 {
+                        v *= maxes[i] / maxes[j];
+                    }
+                    *m = m.max(v);
+                }
+            }
+            col_lo += cols;
+        }
+        row_lo += rows;
+    }
+
+    let mut w: Vec<f32> = max_cs.iter().map(|&m| 1.0 - m).collect();
+    // Normalize to [0, 1] by the maximum weight.
+    let wmax = w.iter().fold(0.0f32, |a, &b| a.max(b));
+    if wmax > 0.0 {
+        for v in &mut w {
+            *v = (*v / wmax).clamp(0.0, 1.0);
+        }
+    }
+    // Logit squash, clipped into [0, 1] (as in the original).
+    for v in &mut w {
+        let x = v.clamp(1e-5, 1.0 - 1e-5);
+        *v = ((x / (1.0 - x)).ln() * 0.5 + 0.5).clamp(0.0, 1.0);
+    }
+    w
+}
+
+/// The historical dense formulation, kept as the bitwise reference for
+/// the tiled rewrite above.
+#[cfg(test)]
+fn foolsgold_weights_dense(refs: &[&[f32]]) -> Vec<f32> {
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let na = vecops::l2_norm(a);
+        let nb = vecops::l2_norm(b);
+        if na < 1e-12 || nb < 1e-12 {
+            return 0.0;
+        }
+        (vecops::dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    }
+    let n = refs.len();
+    if n == 1 {
+        return vec![1.0];
+    }
     let mut cs = vec![vec![0.0f32; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
@@ -82,8 +207,6 @@ fn foolsgold_weights(refs: &[&[f32]]) -> Vec<f32> {
                 .fold(f32::NEG_INFINITY, f32::max)
         })
         .collect();
-    // Pardoning: honest clients that merely resemble a popular direction
-    // are rescaled relative to the more-suspicious party.
     let mut w = vec![0.0f32; n];
     for i in 0..n {
         let mut max_cs = f32::NEG_INFINITY;
@@ -99,14 +222,12 @@ fn foolsgold_weights(refs: &[&[f32]]) -> Vec<f32> {
         }
         w[i] = 1.0 - max_cs;
     }
-    // Normalize to [0, 1] by the maximum weight.
     let wmax = w.iter().fold(0.0f32, |a, &b| a.max(b));
     if wmax > 0.0 {
         for v in &mut w {
             *v = (*v / wmax).clamp(0.0, 1.0);
         }
     }
-    // Logit squash, clipped into [0, 1] (as in the original).
     for v in &mut w {
         let x = v.clamp(1e-5, 1.0 - 1e-5);
         *v = ((x / (1.0 - x)).ln() * 0.5 + 0.5).clamp(0.0, 1.0);
@@ -176,10 +297,9 @@ impl FoolsGold {
                 });
             }
         }
-        // Similarities on deltas w_i − w(t) (or raw inputs when no ref).
-        let deltas = centered_deltas(&v.refs, reference);
-        let delta_refs: Vec<&[f32]> = deltas.iter().map(|d| d.as_slice()).collect();
-        let w = foolsgold_weights(&delta_refs);
+        // Similarities on deltas w_i − w(t) (or raw inputs when no ref),
+        // evaluated tile-by-tile without materializing the deltas.
+        let w = foolsgold_weights(&v.refs, reference);
         Ok(weighted_aggregation(
             &v.idx,
             &v.refs,
@@ -335,7 +455,7 @@ impl FoolsGoldHistory {
                     .map_or(&EMPTY[..], |h| h.aggregate.as_slice())
             })
             .collect();
-        foolsgold_weights(&refs)
+        foolsgold_weights(&refs, None)
     }
 
     /// Number of clients currently tracked (≤ `max_clients`).
@@ -473,6 +593,40 @@ mod tests {
             _ => panic!(),
         }
         assert!(agg.model.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tiled_weights_match_dense_bitwise() {
+        // n > FG_TILE so the tile sweep crosses block boundaries in both
+        // passes; include a Sybil pair and a zero-norm row so every branch
+        // of the entry kernel (skip, pardon, clamp) is exercised.
+        let n = FG_TILE + 21;
+        let mut ups: Vec<Vec<f32>> = (0..n - 3)
+            .map(|u| {
+                (0..9)
+                    .map(|i| ((u * 9 + i) as f32 * 2.399 + 0.7).sin())
+                    .collect()
+            })
+            .collect();
+        let sybil: Vec<f32> = (0..9).map(|j| (j as f32 * 1.1).cos()).collect();
+        ups.push(sybil.clone());
+        ups.push(sybil);
+        ups.push(vec![0.0; 9]);
+        let refs: Vec<&[f32]> = ups.iter().map(|u| u.as_slice()).collect();
+        let tiled = foolsgold_weights(&refs, None);
+        let dense = foolsgold_weights_dense(&refs);
+        for (t, d) in tiled.iter().zip(&dense) {
+            assert_eq!(t.to_bits(), d.to_bits());
+        }
+        // The referenced path equals dense-on-materialized-deltas bitwise.
+        let global: Vec<f32> = (0..9).map(|j| 10.0 + (j as f32 * 0.3).sin()).collect();
+        let tiled_ref = foolsgold_weights(&refs, Some(&global));
+        let deltas = centered_deltas(&refs, Some(&global));
+        let delta_refs: Vec<&[f32]> = deltas.iter().map(|d| d.as_slice()).collect();
+        let dense_ref = foolsgold_weights_dense(&delta_refs);
+        for (t, d) in tiled_ref.iter().zip(&dense_ref) {
+            assert_eq!(t.to_bits(), d.to_bits());
+        }
     }
 
     #[test]

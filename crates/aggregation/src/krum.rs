@@ -3,9 +3,22 @@ use crate::{AggError, Aggregation, Defense, Selection};
 use fabflip_tensor::scratch::{scratch_f32, Purpose};
 use fabflip_tensor::vecops;
 
+/// Row-block height for the blocked Krum scorer: at most this many
+/// distance rows are resident at once (DESIGN.md §4e).
+pub const KRUM_ROW_BLOCK: usize = 128;
+
 /// Computes Krum scores (Blanchard et al., 2017): for each update, the sum
 /// of squared L2 distances to its `n − f − 2` nearest other updates. Lower
 /// is "more central".
+///
+/// Evaluated in row blocks of [`KRUM_ROW_BLOCK`] through a
+/// [`Purpose::DistTile`] scratch tile, so resident memory is O(B·n)
+/// instead of the dense O(n²). Bitwise identical to scoring against the
+/// dense matrix: `sq_distance(a, b) == sq_distance(b, a)` exactly (each
+/// lane negates, and IEEE negation and multiplication are exact/
+/// commutative), so computing full rows directly equals the historical
+/// upper-triangle-plus-mirror fill, and the per-row gather → sort → sum
+/// sequence is the same code path as [`krum_scores_into`].
 ///
 /// # Errors
 ///
@@ -19,10 +32,34 @@ pub fn krum_scores(refs: &[&[f32]], f: usize) -> Result<Vec<f32>, AggError> {
             got: n,
         });
     }
-    let mut dists = vec![0.0f32; n * n];
-    vecops::pairwise_sq_distances_into(refs, &mut dists);
-    let pool: Vec<usize> = (0..n).collect();
-    krum_scores_from_dists(&dists, n, &pool, f)
+    let d = refs[0].len();
+    let k = n - f - 2;
+    let block = KRUM_ROW_BLOCK.min(n);
+    let mut scores = vec![0.0f32; n];
+    let mut tile = scratch_f32(Purpose::DistTile, block * n);
+    let mut row = scratch_f32(Purpose::KrumRow, n - 1);
+    let mut lo = 0;
+    while lo < n {
+        let rows = block.min(n - lo);
+        let tile = &mut tile[..rows * n];
+        vecops::pairwise_tile_into(lo, 0, n, d, tile, |i, j| {
+            vecops::sq_distance(refs[i], refs[j])
+        });
+        for (r, drow) in tile.chunks(n).enumerate() {
+            let i = lo + r;
+            let mut w = 0;
+            for (j, &dist) in drow.iter().enumerate() {
+                if j != i {
+                    row[w] = dist;
+                    w += 1;
+                }
+            }
+            row.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            scores[i] = row[..k].iter().sum();
+        }
+        lo += rows;
+    }
+    Ok(scores)
 }
 
 /// Krum scores for a `pool` of row/column indices into a precomputed flat
@@ -292,6 +329,28 @@ mod tests {
     #[test]
     fn mkrum_rejects_zero_m() {
         assert!(MultiKrum::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn blocked_scores_match_dense_matrix_bitwise() {
+        // n > KRUM_ROW_BLOCK so the tile loop takes more than one block.
+        let n = KRUM_ROW_BLOCK + 29;
+        let ups: Vec<Vec<f32>> = (0..n)
+            .map(|u| {
+                (0..17)
+                    .map(|i| ((u * 17 + i) as f32 * 0.13).sin())
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = ups.iter().map(|u| u.as_slice()).collect();
+        let blocked = krum_scores(&refs, 7).unwrap();
+        let mut dists = vec![0.0f32; n * n];
+        vecops::pairwise_sq_distances_into(&refs, &mut dists);
+        let pool: Vec<usize> = (0..n).collect();
+        let dense = krum_scores_from_dists(&dists, n, &pool, 7).unwrap();
+        for (b, d) in blocked.iter().zip(&dense) {
+            assert_eq!(b.to_bits(), d.to_bits());
+        }
     }
 
     #[test]

@@ -51,16 +51,20 @@ mod foolsgold;
 mod krum;
 mod normbound;
 mod statistic;
+mod streaming;
 mod types;
 
-pub use bulyan::{bulyan_coordinate_chunk, Bulyan};
+pub use bulyan::{bulyan_coordinate_chunk, Bulyan, BULYAN_DENSE_MAX};
 pub use error::AggError;
 pub use fedavg::FedAvg;
 pub use fltrust::{fltrust_aggregate, FLTRUST_SELECT_CUTOFF};
-pub use foolsgold::{FoolsGold, FoolsGoldHistory};
-pub use krum::{krum_scores, krum_scores_from_dists, krum_scores_into, Krum, MultiKrum};
+pub use foolsgold::{foolsgold_weights, FoolsGold, FoolsGoldHistory};
+pub use krum::{
+    krum_scores, krum_scores_from_dists, krum_scores_into, Krum, MultiKrum, KRUM_ROW_BLOCK,
+};
 pub use normbound::NormBound;
 pub use statistic::{Median, TrimmedMean};
+pub use streaming::{StreamingAggregator, StreamingConfig};
 pub use types::{Aggregation, Defense, DefenseKind, Selection};
 
 #[cfg(test)]

@@ -10,21 +10,31 @@
 //! budget follows `FABFLIP_THREADS` (see README); the dispatch microbench
 //! pins the budget to 4 so it exercises the pool even on small runners.
 //!
-//! `--smoke` runs only the dispatch microbench with a reduced dispatch
-//! count, does not write `BENCH_kernels.json`, and exits non-zero when the
-//! pool is not measurably faster than per-dispatch spawning — CI uses this
-//! as a cheap dispatch-overhead regression gate.
+//! The million-client n-sweep (DESIGN.md §4e) times every aggregation
+//! rule as the cohort grows at fixed `d`: the mean family streams through
+//! a [`StreamingServer`] (per-rule seconds plus the actual O(shards·d)
+//! resident aggregation state), FedAvg additionally at the f16/i8 wire
+//! codecs, and the quadratic selection family runs the blocked O(B·n)-
+//! resident kernels.
+//!
+//! `--smoke` runs the dispatch microbench with a reduced dispatch count
+//! plus a reduced n-sweep (n = 50/500), does not write
+//! `BENCH_kernels.json`, and exits non-zero when the pool is not
+//! measurably faster than per-dispatch spawning or the streaming path
+//! diverges from batch FedAvg — CI uses this as a cheap perf/correctness
+//! regression gate.
 
 use fabflip::{ZkaConfig, ZkaG, ZkaR};
 use fabflip_agg::{
-    Bulyan, Defense, FedAvg, FoolsGold, Krum, Median, MultiKrum, NormBound, TrimmedMean,
+    Bulyan, Defense, DefenseKind, FedAvg, FoolsGold, Krum, Median, MultiKrum, NormBound,
+    StreamingConfig, TrimmedMean, KRUM_ROW_BLOCK,
 };
 use fabflip_attacks::TaskInfo;
 use fabflip_data::{Dataset, SynthSpec};
-use fabflip_fl::{simulate, FlConfig, TaskKind};
+use fabflip_fl::{simulate, Codec, FlConfig, StreamingServer, TaskKind};
 use fabflip_nn::losses::softmax_cross_entropy_hard;
 use fabflip_nn::{Conv2d, Layer};
-use fabflip_tensor::{matmul_into, matmul_into_serial, par, Tensor};
+use fabflip_tensor::{matmul_into, matmul_into_serial, par, quant, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
@@ -98,6 +108,44 @@ fn bench_matmul(sizes: &[usize]) -> (Vec<Value>, f64) {
     (rows, speedup_1024)
 }
 
+/// Multi-threaded GEMM scaling: the same `matmul_into` at explicit thread
+/// budgets, so the JSON reports parallel throughput instead of only the
+/// ambient (often 1-thread CI) budget.
+fn bench_matmul_threads() -> Vec<Value> {
+    const S: usize = 512;
+    let mut rng = StdRng::seed_from_u64(42);
+    let a: Vec<f32> = (0..S * S).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let b: Vec<f32> = (0..S * S).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut c = vec![0.0f32; S * S];
+    let flops = 2.0 * (S as f64).powi(3);
+    let prev = par::max_threads();
+    let mut rows = Vec::new();
+    let mut t_one = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        par::set_max_threads(threads);
+        let t = time_best(3, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            matmul_into(&a, &b, &mut c, S, S, S);
+        });
+        if threads == 1 {
+            t_one = t;
+        }
+        println!(
+            "matmul {S}x{S}x{S} @ {threads} threads: {:.2} GFLOP/s, speedup {:.2}x vs 1 thread",
+            flops / t / 1e9,
+            t_one / t
+        );
+        rows.push(serde_json::json!({
+            "size": S as u64,
+            "threads": threads as u64,
+            "gflops": flops / t / 1e9,
+            "speedup_vs_one_thread": t_one / t,
+        }));
+    }
+    par::set_max_threads(prev);
+    rows
+}
+
 fn bench_conv() -> Value {
     // Cifar-scale middle layer: batch 32, 8 -> 16 channels, 3x3 on 32x32.
     let (batch, cin, cout, hw) = (32usize, 8usize, 16usize, 32usize);
@@ -156,6 +204,189 @@ fn bench_aggregation(n: usize, d: usize) -> Vec<Value> {
             "d": d as u64,
             "seconds": t,
         }));
+    }
+    rows
+}
+
+/// Deterministic per-client update for the n-sweep, generated on the fly
+/// so the streaming benches never hold an O(n·d) cohort.
+fn gen_update(buf: &mut [f32], client: usize) {
+    let mut rng = StdRng::seed_from_u64(0xBEEF ^ client as u64);
+    for v in buf.iter_mut() {
+        *v = rng.gen_range(-1.0f32..1.0);
+    }
+}
+
+/// Correctness gate for the streaming path, run before its timings mean
+/// anything: streaming FedAvg must match batch FedAvg to rounding and be
+/// bitwise reproducible across replays.
+fn streaming_gate(d: usize) -> bool {
+    let n = 500usize;
+    let mut buf = vec![0.0f32; d];
+    let updates: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            gen_update(&mut buf, i);
+            buf.clone()
+        })
+        .collect();
+    let batch = FedAvg::new()
+        .aggregate(&updates, &vec![1.0; n])
+        .expect("batch fedavg");
+    let run = || {
+        let mut srv =
+            StreamingServer::new(DefenseKind::FedAvg, d, StreamingConfig::default(), None)
+                .expect("streaming server");
+        for u in &updates {
+            srv.submit_f32(u, 1.0);
+        }
+        srv.finalize().expect("streaming finalize").model
+    };
+    let (a, b) = (run(), run());
+    let bitwise = a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits());
+    let close = a
+        .iter()
+        .zip(&batch.model)
+        .all(|(x, y)| (x - y).abs() <= 1e-4 * y.abs().max(1.0));
+    if !bitwise {
+        eprintln!("FAIL: streaming FedAvg is not bitwise reproducible across replays");
+    }
+    if !close {
+        eprintln!("FAIL: streaming FedAvg diverged from batch FedAvg beyond rounding");
+    }
+    bitwise && close
+}
+
+/// The §4e n-sweep: per-rule seconds and resident aggregation bytes as
+/// the cohort grows at fixed `d`. The mean family streams (resident
+/// O(shards·d), measured from the live server); the quadratic selection
+/// family runs the blocked kernels over a materialized cohort (resident
+/// O(B·n + B²), analytic, excluding the inherent n·d input).
+fn bench_n_sweep(smoke: bool) -> Vec<Value> {
+    const D: usize = 256;
+    const TILE: usize = 128; // FoolsGold FG_TILE (crate-private)
+    let stream_ns: &[usize] = if smoke {
+        &[50, 500]
+    } else {
+        &[50, 5_000, 50_000]
+    };
+    let quad_ns: &[usize] = if smoke { &[50] } else { &[50, 1_000, 5_000] };
+    let mut rows = Vec::new();
+    let scfg = StreamingConfig::default();
+
+    let stream_cases: &[(&str, DefenseKind, Codec)] = &[
+        ("FedAvg", DefenseKind::FedAvg, Codec::F32),
+        ("FedAvg", DefenseKind::FedAvg, Codec::F16),
+        ("FedAvg", DefenseKind::FedAvg, Codec::I8),
+        ("TRmean", DefenseKind::TrMean { trim: 2 }, Codec::F32),
+        ("Median", DefenseKind::Median, Codec::F32),
+        (
+            "NormBound",
+            DefenseKind::NormBound {
+                max_norm_milli: 1000,
+            },
+            Codec::F32,
+        ),
+    ];
+    let reference = vec![0.1f32; D];
+    let mut buf = vec![0.0f32; D];
+    // The mean family's server state is O(shards·d): residency must be
+    // byte-identical at every n, or streaming has silently re-grown with
+    // the cohort.
+    let mut mean_resident: Option<usize> = None;
+    for &n in stream_ns {
+        for &(label, kind, codec) in stream_cases {
+            let reps = if n >= 5_000 { 1 } else { 2 };
+            let mut resident = 0usize;
+            let t = time_best(reps, || {
+                let r = matches!(kind, DefenseKind::NormBound { .. }).then(|| reference.clone());
+                let mut srv = StreamingServer::new(kind, D, scfg, r).expect("streaming server");
+                for i in 0..n {
+                    gen_update(&mut buf, i);
+                    if codec.is_f32() {
+                        srv.submit_f32(&buf, 1.0);
+                    } else {
+                        let enc = quant::encode(codec, &buf);
+                        srv.submit(&enc, 1.0);
+                    }
+                }
+                resident = srv.resident_bytes();
+                let _ = srv.finalize().expect("streaming finalize");
+            });
+            if !matches!(kind, DefenseKind::TrMean { .. } | DefenseKind::Median) {
+                let expect = *mean_resident.get_or_insert(resident);
+                assert_eq!(
+                    resident, expect,
+                    "mean-family aggregation residency grew with n (n={n})"
+                );
+            }
+            println!(
+                "n-sweep stream {label}/{}: n={n} d={D} {:.1} ms, resident {} B",
+                codec.label(),
+                t * 1e3,
+                resident
+            );
+            rows.push(serde_json::json!({
+                "family": "stream",
+                "rule": label,
+                "codec": codec.label(),
+                "n": n as u64,
+                "d": D as u64,
+                "seconds": t,
+                "resident_bytes": resident as u64,
+            }));
+        }
+    }
+
+    for &n in quad_ns {
+        let updates: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                gen_update(&mut buf, i);
+                buf.clone()
+            })
+            .collect();
+        let weights = vec![1.0f32; n];
+        let f = 10usize.min(n.saturating_sub(3));
+        let block = KRUM_ROW_BLOCK.min(n);
+        let krum_resident = (block * n + 2 * n) * 4;
+        let fg_tile = TILE.min(n);
+        let fg_resident = (fg_tile * fg_tile + 4 * n) * 4;
+        let theta = n - 2 * f;
+        let bulyan_resident = if n <= 512 {
+            (n * n + 2 * n + 3 * theta) * 4
+        } else {
+            (block * n + 2 * n + 3 * theta) * 4
+        };
+        let rules: Vec<(&str, Box<dyn Defense>, usize)> = vec![
+            ("Krum", Box::new(Krum::new(f)), krum_resident),
+            (
+                "mKrum",
+                Box::new(MultiKrum::with_default_m(f)),
+                krum_resident,
+            ),
+            ("FoolsGold", Box::new(FoolsGold::new()), fg_resident),
+            ("Bulyan", Box::new(Bulyan::new(f)), bulyan_resident),
+        ];
+        for (name, rule, resident) in &rules {
+            let reps = if n >= 1_000 { 1 } else { 2 };
+            let t = time_best(reps, || {
+                let _ = rule.aggregate(&updates, &weights).expect("aggregate");
+            });
+            println!(
+                "n-sweep blocked {name}: n={n} d={D} {:.1} ms, resident {} B (+ {} B input)",
+                t * 1e3,
+                resident,
+                n * D * 4
+            );
+            rows.push(serde_json::json!({
+                "family": "blocked",
+                "rule": *name,
+                "n": n as u64,
+                "d": D as u64,
+                "seconds": t,
+                "resident_bytes": *resident as u64,
+                "input_bytes": (n * D * 4) as u64,
+            }));
+        }
     }
     rows
 }
@@ -334,19 +565,29 @@ fn bench_fl_round() -> Value {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
-        // CI regression gate: dispatch overhead only, no JSON rewrite.
+        // CI regression gate: dispatch overhead + reduced n-sweep with
+        // the streaming correctness checks, no JSON rewrite.
         let (_, speedup) = bench_dispatch(true);
         if speedup < 1.3 {
             eprintln!("FAIL: pool dispatch speedup {speedup:.2}x < 1.3x vs per-dispatch spawn");
             std::process::exit(1);
         }
-        println!("smoke ok: pool dispatch {speedup:.2}x vs per-dispatch spawn");
+        if !streaming_gate(256) {
+            std::process::exit(1);
+        }
+        let _ = bench_n_sweep(true);
+        println!("smoke ok: pool dispatch {speedup:.2}x vs per-dispatch spawn, n-sweep ran");
         return;
     }
     println!("threads: {}", par::max_threads());
+    if !streaming_gate(256) {
+        std::process::exit(1);
+    }
     let (matmul_rows, speedup_1024) = bench_matmul(&[256, 512, 1024]);
+    let matmul_threads = bench_matmul_threads();
     let conv = bench_conv();
     let agg = bench_aggregation(50, 100_000);
+    let n_sweep = bench_n_sweep(false);
     let fl_round = bench_fl_round();
     let (dispatch, dispatch_speedup) = bench_dispatch(false);
     let complexity = bench_complexity();
@@ -354,8 +595,10 @@ fn main() {
         "threads": par::max_threads() as u64,
         "matmul": matmul_rows,
         "matmul_1024_speedup_vs_seed": speedup_1024,
+        "matmul_threads": matmul_threads,
         "conv": conv,
         "aggregation": agg,
+        "n_sweep": n_sweep,
         "fl_round": fl_round,
         "dispatch": dispatch,
         "complexity": complexity,

@@ -60,9 +60,21 @@ pub const HOT_ENTRIES: &[&str] = &[
     "tensor::vecops::median_into",
     "tensor::vecops::trimmed_mean_into",
     "tensor::vecops::pairwise_sq_distances_into",
+    // Blocked/tiled O(n²) kernel driver (§4e).
+    "tensor::vecops::pairwise_tile_into",
+    // Quantized-transport wire kernels: encode runs per client per round,
+    // decode per submission on the server ingest path.
+    "tensor::quant::f16_encode_into",
+    "tensor::quant::f16_decode_into",
+    "tensor::quant::i8_encode_into",
+    "tensor::quant::i8_decode_into",
+    "tensor::quant::decode_into",
     // Aggregation score/coordinate kernels.
     "aggregation::krum::krum_scores_into",
     "aggregation::bulyan::bulyan_coordinate_chunk",
+    // Streaming ingest: one call per submitted update (§4e).
+    "aggregation::streaming::StreamingAggregator::ingest",
+    "fl::stream::StreamingServer::submit",
     // Layer forward/backward over im2col + GEMM.
     "nn::conv::Conv2d::forward",
     "nn::conv::Conv2d::backward",

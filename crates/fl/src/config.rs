@@ -3,6 +3,7 @@ use crate::AttackSpec;
 use fabflip_agg::DefenseKind;
 use fabflip_data::SynthSpec;
 use fabflip_nn::{models, Sequential};
+use fabflip_tensor::quant::Codec;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +126,14 @@ pub struct FlConfig {
     /// stable.
     #[serde(default, skip_serializing_if = "FaultPlan::is_inactive")]
     pub faults: FaultPlan,
+    /// Client→server update encoding (DESIGN.md §4e). The default `F32`
+    /// is lossless and adds zero code to the round path, so fault-free
+    /// f32 transcripts stay bitwise identical to pre-quantization runs;
+    /// `F16`/`I8` apply the deterministic encode→decode roundtrip to
+    /// every staged payload before the server sees it. Skipped in
+    /// serialization when `F32` for cache-key stability.
+    #[serde(default, skip_serializing_if = "Codec::is_f32")]
+    pub transport: Codec,
     /// Master seed: fixes the task prototypes, the partition, client
     /// sampling, model init, all attack randomness and the fault plan.
     pub seed: u64,
@@ -157,6 +166,7 @@ impl FlConfig {
                 sybil_noise: 0.0,
                 fltrust_root_size: None,
                 faults: FaultPlan::default(),
+                transport: Codec::F32,
                 seed: 0,
             },
         }
@@ -306,6 +316,12 @@ impl FlConfigBuilder {
         self
     }
 
+    /// Sets the client→server update encoding (DESIGN.md §4e).
+    pub fn transport(mut self, codec: Codec) -> Self {
+        self.cfg.transport = codec;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -395,6 +411,23 @@ mod tests {
         let _ = FlConfig::builder(TaskKind::Fashion)
             .faults(FaultPlan::dropout_only(1.5))
             .build();
+    }
+
+    #[test]
+    fn f32_transport_keeps_cache_keys_stable() {
+        let cfg = FlConfig::builder(TaskKind::Fashion).build();
+        let s = serde_json::to_string(&cfg).unwrap();
+        assert!(
+            !s.contains("transport"),
+            "f32 configs must serialize exactly as before quantized transport: {s}"
+        );
+        let quant = FlConfig::builder(TaskKind::Fashion)
+            .transport(Codec::I8)
+            .build();
+        let s = serde_json::to_string(&quant).unwrap();
+        assert!(s.contains("transport"));
+        let back: FlConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(quant, back);
     }
 
     #[test]

@@ -39,14 +39,17 @@ pub mod faults;
 pub mod metrics;
 pub mod runner;
 mod sim;
+pub mod stream;
 
 pub use attack_spec::AttackSpec;
 pub use checkpoint::CheckpointSpec;
 pub use config::{FlConfig, FlConfigBuilder, TaskKind};
 pub use error::FlError;
+pub use fabflip_tensor::quant::Codec;
 pub use faults::{FaultPlan, StragglerPolicy};
 pub use metrics::{RoundRecord, RunResult};
 pub use sim::{simulate, simulate_observed, simulate_with};
+pub use stream::{StreamingServer, Submit};
 
 /// Unique per-test scratch directory under the system temp dir (pid +
 /// counter, no wall clock: fabcheck's determinism rules hold even in

@@ -11,7 +11,7 @@ use fabflip_attacks::{AttackContext, TaskInfo};
 use fabflip_data::{dirichlet_partition, Dataset};
 use fabflip_nn::losses::{accuracy, softmax_cross_entropy_hard};
 use fabflip_nn::Sequential;
-use fabflip_tensor::par;
+use fabflip_tensor::{par, quant};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -60,7 +60,7 @@ struct Pending {
 /// coordinate is finite, and it is not the all-zero dead-buffer sentinel.
 /// Quarantining here is *degradation accounting*; the aggregation rules
 /// additionally filter malformed input themselves (defense in depth).
-fn server_accepts(payload: &[f32], d: usize) -> bool {
+pub(crate) fn server_accepts(payload: &[f32], d: usize) -> bool {
     payload.len() == d && payload.iter().all(|v| v.is_finite()) && payload.iter().any(|&v| v != 0.0)
 }
 
@@ -408,6 +408,18 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                 // No attack configured: sampled malicious clients submit
                 // nothing (the clean-baseline behaviour, now accounted).
                 silent += malicious_selected;
+            }
+        }
+
+        // Quantized transport (DESIGN.md §4e): every staged payload
+        // crosses the wire through the configured codec before faults or
+        // the server validator see it. `F32` is the identity and skips
+        // the loop entirely, so fault-free f32 transcripts stay bitwise
+        // identical to pre-quantization runs. Stale deliveries were
+        // staged (and thus encoded) in their submission round.
+        if !cfg.transport.is_f32() {
+            for entry in &mut staged {
+                quant::roundtrip_in_place(cfg.transport, &mut entry.payload);
             }
         }
 

@@ -1,0 +1,222 @@
+//! Streaming server ingest (DESIGN.md §4e): one-at-a-time update
+//! delivery through the server validator into bounded
+//! [`StreamingAggregator`] state.
+//!
+//! The batch simulator materializes every accepted payload before the
+//! defense runs — O(n·d) server memory. At million-client scale the
+//! server instead runs one [`StreamingServer`] per round: each arriving
+//! update (optionally quantized for the wire) is decoded into a scratch
+//! buffer, validated exactly like the batch transport path
+//! (`sim::server_accepts`: dimension, all-finite, not the all-zero dead
+//! buffer), and either folded into O(shards·d + reservoir·d) aggregation
+//! state or quarantined. Nothing per-client is retained.
+
+use crate::FlError;
+use fabflip_agg::{Aggregation, DefenseKind, StreamingAggregator, StreamingConfig};
+use fabflip_tensor::quant::{self, Encoded};
+use fabflip_tensor::scratch::{scratch_f32, Purpose};
+
+/// The fate of one submitted update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// Validated and folded into the aggregation state.
+    Accepted,
+    /// Rejected by the server validator (wrong dimension, non-finite, or
+    /// the all-zero dead-buffer sentinel); not folded.
+    Quarantined,
+}
+
+/// Per-round streaming ingest: validator + quarantine accounting in
+/// front of a [`StreamingAggregator`].
+#[derive(Debug)]
+pub struct StreamingServer {
+    agg: StreamingAggregator,
+    d: usize,
+    accepted: usize,
+    quarantined: usize,
+}
+
+impl StreamingServer {
+    /// Opens a round of streaming ingest for `kind` over `d`-dimension
+    /// updates. `reference` is the current global model (required by
+    /// NormBound, ignored otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamingAggregator::new`] errors (rule has no
+    /// streaming form, degenerate sizes).
+    pub fn new(
+        kind: DefenseKind,
+        d: usize,
+        cfg: StreamingConfig,
+        reference: Option<Vec<f32>>,
+    ) -> Result<StreamingServer, FlError> {
+        Ok(StreamingServer {
+            agg: StreamingAggregator::new(kind, d, cfg, reference)?,
+            d,
+            accepted: 0,
+            quarantined: 0,
+        })
+    }
+
+    /// Submits one wire-encoded update. The payload is dequantized into a
+    /// thread-local scratch buffer (no per-client allocation), validated,
+    /// and folded or quarantined.
+    pub fn submit(&mut self, enc: &Encoded, weight: f32) -> Submit {
+        if enc.len() != self.d {
+            self.quarantined += 1;
+            return Submit::Quarantined;
+        }
+        let mut buf = scratch_f32(Purpose::QuantDecode, self.d);
+        quant::decode_into(enc, &mut buf);
+        self.submit_validated(&buf, weight)
+    }
+
+    /// Submits one already-decoded f32 update (the uncompressed wire
+    /// format, and the benchmark entry point).
+    pub fn submit_f32(&mut self, payload: &[f32], weight: f32) -> Submit {
+        self.submit_validated(payload, weight)
+    }
+
+    fn submit_validated(&mut self, payload: &[f32], weight: f32) -> Submit {
+        if crate::sim::server_accepts(payload, self.d) {
+            self.agg.ingest(payload, weight);
+            self.accepted += 1;
+            Submit::Accepted
+        } else {
+            self.quarantined += 1;
+            Submit::Quarantined
+        }
+    }
+
+    /// Updates folded into the aggregation state so far.
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// Updates rejected by the validator so far.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Bytes of f32 aggregation state currently resident (see
+    /// [`StreamingAggregator::resident_bytes`]); independent of how many
+    /// updates were submitted.
+    pub fn resident_bytes(&self) -> usize {
+        self.agg.resident_bytes()
+    }
+
+    /// Closes the round and produces the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamingAggregator::finalize`] errors — in
+    /// particular [`fabflip_agg::AggError::NoUpdates`] when every
+    /// submission was quarantined.
+    pub fn finalize(self) -> Result<Aggregation, FlError> {
+        Ok(self.agg.finalize()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabflip_agg::{Defense, FedAvg, Selection};
+    use fabflip_tensor::quant::Codec;
+
+    fn synth(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|u| {
+                (0..d)
+                    .map(|i| 0.1 + ((u * d + i) as f32 * 0.29).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_round_matches_batch_fedavg() {
+        let ups = synth(25, 13);
+        let mut srv =
+            StreamingServer::new(DefenseKind::FedAvg, 13, StreamingConfig::default(), None)
+                .unwrap();
+        for u in &ups {
+            assert_eq!(srv.submit_f32(u, 1.0), Submit::Accepted);
+        }
+        assert_eq!(srv.accepted(), 25);
+        assert_eq!(srv.quarantined(), 0);
+        let agg = srv.finalize().unwrap();
+        let batch = FedAvg::new().aggregate(&ups, &[1.0; 25]).unwrap();
+        for (a, b) in agg.model.iter().zip(&batch.model) {
+            assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn validator_quarantines_without_poisoning_state() {
+        let d = 6;
+        let mut srv =
+            StreamingServer::new(DefenseKind::Median, d, StreamingConfig::default(), None).unwrap();
+        assert_eq!(srv.submit_f32(&vec![1.0; d], 1.0), Submit::Accepted);
+        assert_eq!(srv.submit_f32(&vec![1.0; d + 1], 1.0), Submit::Quarantined);
+        assert_eq!(srv.submit_f32(&vec![f32::NAN; d], 1.0), Submit::Quarantined);
+        assert_eq!(srv.submit_f32(&vec![0.0; d], 1.0), Submit::Quarantined);
+        assert_eq!(srv.submit_f32(&vec![3.0; d], 1.0), Submit::Accepted);
+        assert_eq!((srv.accepted(), srv.quarantined()), (2, 3));
+        let agg = srv.finalize().unwrap();
+        assert!(agg.model.iter().all(|&m| (1.0..=3.0).contains(&m)));
+        assert_eq!(agg.selection, Selection::PerCoordinate);
+    }
+
+    #[test]
+    fn quantized_submission_equals_roundtripped_f32_bitwise() {
+        let ups = synth(10, 9);
+        for codec in [Codec::F32, Codec::F16, Codec::I8] {
+            let mut wire =
+                StreamingServer::new(DefenseKind::FedAvg, 9, StreamingConfig::default(), None)
+                    .unwrap();
+            let mut local =
+                StreamingServer::new(DefenseKind::FedAvg, 9, StreamingConfig::default(), None)
+                    .unwrap();
+            for u in &ups {
+                let enc = quant::encode(codec, u);
+                assert_eq!(wire.submit(&enc, 2.0), Submit::Accepted);
+                let mut rt = u.clone();
+                quant::roundtrip_in_place(codec, &mut rt);
+                assert_eq!(local.submit_f32(&rt, 2.0), Submit::Accepted);
+            }
+            let a = wire.finalize().unwrap();
+            let b = local.finalize().unwrap();
+            for (x, y) in a.model.iter().zip(&b.model) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{codec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_length_encoded_payload_is_quarantined() {
+        let mut srv =
+            StreamingServer::new(DefenseKind::FedAvg, 4, StreamingConfig::default(), None).unwrap();
+        let enc = quant::encode(Codec::I8, &[1.0, 2.0]);
+        assert_eq!(srv.submit(&enc, 1.0), Submit::Quarantined);
+        assert!(matches!(
+            srv.finalize(),
+            Err(FlError::Agg(fabflip_agg::AggError::NoUpdates))
+        ));
+    }
+
+    #[test]
+    fn resident_state_is_bounded_while_n_grows() {
+        let d = 64;
+        let mut srv =
+            StreamingServer::new(DefenseKind::FedAvg, d, StreamingConfig::default(), None).unwrap();
+        let u = vec![0.5f32; d];
+        srv.submit_f32(&u, 1.0);
+        let bytes = srv.resident_bytes();
+        for _ in 0..5000 {
+            srv.submit_f32(&u, 1.0);
+        }
+        assert_eq!(srv.resident_bytes(), bytes);
+        assert_eq!(srv.accepted(), 5001);
+    }
+}

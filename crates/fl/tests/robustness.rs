@@ -6,7 +6,7 @@
 use fabflip_agg::DefenseKind;
 use fabflip_fl::checkpoint::{fingerprint, path_for};
 use fabflip_fl::{
-    simulate, simulate_with, AttackSpec, CheckpointSpec, FaultPlan, FlConfig, RunResult,
+    simulate, simulate_with, AttackSpec, CheckpointSpec, Codec, FaultPlan, FlConfig, RunResult,
     StragglerPolicy, TaskKind,
 };
 use proptest::prelude::*;
@@ -211,6 +211,50 @@ proptest! {
         prop_assert_eq!(acc_bits(&resumed), acc_bits(&full));
         prop_assert_eq!(model_bits(&resumed), model_bits(&full));
         prop_assert_eq!(&resumed, &full);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Quantized transport (DESIGN.md §4e): with F16 or I8 on the wire,
+    /// the full faulted transcript (accuracies and final model, bitwise)
+    /// is invariant under thread counts 1/2/7, and a kill/resume at any
+    /// round boundary reproduces it exactly — the encode→decode
+    /// roundtrip is a pure per-payload function, so it composes with the
+    /// §4b/§4d determinism contracts unchanged.
+    #[test]
+    fn quantized_transcript_is_thread_invariant_and_resumable(
+        codec_idx in 0usize..2,
+        kill_round in 1usize..3,
+    ) {
+        let codec = [Codec::F16, Codec::I8][codec_idx];
+        let mut cfg = faulted_cfg(DefenseKind::TrMean { trim: 2 });
+        cfg.transport = codec;
+        let _guard = thread_lock().lock().unwrap_or_else(|e| e.into_inner());
+        let prev = fabflip_tensor::par::max_threads();
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 7] {
+            fabflip_tensor::par::set_max_threads(threads);
+            results.push(simulate(&cfg).unwrap());
+        }
+
+        // Kill at the round boundary and resume (still at 7 threads).
+        let dir = test_dir("quant-resume");
+        let spec = CheckpointSpec::new(&dir, 1);
+        let mut short = cfg.clone();
+        short.rounds = kill_round;
+        simulate_with(&short, Some(&spec), |_| {}).unwrap();
+        let resumed = simulate_with(&cfg, Some(&spec), |_| {}).unwrap();
+        fabflip_tensor::par::set_max_threads(prev);
+
+        prop_assert_eq!(acc_bits(&results[0]), acc_bits(&results[1]));
+        prop_assert_eq!(acc_bits(&results[0]), acc_bits(&results[2]));
+        prop_assert_eq!(model_bits(&results[0]), model_bits(&results[1]));
+        prop_assert_eq!(model_bits(&results[0]), model_bits(&results[2]));
+        prop_assert_eq!(model_bits(&resumed), model_bits(&results[0]));
+        prop_assert_eq!(&resumed, &results[0]);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

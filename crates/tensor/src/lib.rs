@@ -31,6 +31,7 @@ mod error;
 mod im2col;
 mod matmul;
 pub mod par;
+pub mod quant;
 pub mod scratch;
 mod tensor;
 pub mod vecops;

@@ -1,6 +1,6 @@
 //! Property-based tests for the tensor substrate.
 
-use crate::{col2im, conv_out_dim, im2col, matmul, vecops, Tensor};
+use crate::{col2im, conv_out_dim, im2col, matmul, quant, vecops, Tensor};
 use proptest::prelude::*;
 
 fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -9,6 +9,55 @@ fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The f16 roundtrip is a pure element-wise function with bounded
+    /// relative error (2^-11 for normal halves) and is idempotent: a
+    /// transported value re-transports to itself bitwise.
+    #[test]
+    fn f16_roundtrip_error_is_bounded_and_idempotent(data in vec_strategy(64)) {
+        let mut once = data.clone();
+        quant::roundtrip_in_place(quant::Codec::F16, &mut once);
+        for (&x, &y) in data.iter().zip(&once) {
+            // Inputs are in ±10, far from the subnormal/overflow edges.
+            prop_assert!((x - y).abs() <= x.abs() * 4.9e-4 + 1e-7, "{x} -> {y}");
+        }
+        let mut twice = once.clone();
+        quant::roundtrip_in_place(quant::Codec::F16, &mut twice);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The i8 roundtrip error is bounded by half a quantization step
+    /// (scale/2) per coordinate, and encode is deterministic: the same
+    /// input always yields the same wire payload.
+    #[test]
+    fn i8_roundtrip_error_is_bounded_and_deterministic(data in vec_strategy(64)) {
+        let enc1 = quant::encode(quant::Codec::I8, &data);
+        let enc2 = quant::encode(quant::Codec::I8, &data);
+        prop_assert_eq!(&enc1, &enc2);
+        let back = quant::decode(&enc1);
+        let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        let step = max_abs / 127.0;
+        for (&x, &y) in data.iter().zip(&back) {
+            prop_assert!((x - y).abs() <= 0.5 * step + 1e-6, "{x} -> {y} (step {step})");
+        }
+    }
+
+    /// Every f16 bit pattern decodes to an f32 that encodes back to the
+    /// same bits (decode is a right inverse of encode), modulo NaN
+    /// payload quieting.
+    #[test]
+    fn f16_decode_then_encode_is_identity(h in 0i32..0x10000) {
+        let h = h as u16;
+        let x = quant::f16_bits_to_f32(h);
+        let back = quant::f32_to_f16_bits(x);
+        if x.is_nan() {
+            prop_assert!(quant::f16_bits_to_f32(back).is_nan());
+        } else {
+            prop_assert_eq!(back, h, "h={h:#06x} x={x}");
+        }
+    }
 
     #[test]
     fn add_commutes(data in vec_strategy(16), data2 in vec_strategy(16)) {

@@ -19,11 +19,19 @@
 //! entry set — everything reachable from it must stay allocation-free.
 
 use crate::par;
-use crate::scratch::{scratch_f32, Purpose};
+use crate::scratch::{scratch_f32, Element, Purpose};
 
 /// Work threshold (total input floats) below which the set-reductions stay
 /// on the calling thread.
 const PAR_ELEMS: usize = 1 << 20;
+
+/// Dot product of two equally long slices of any [`Element`] type, widened
+/// to `f32` per element. For `T = f32` the widening is the identity, so
+/// [`dot`] monomorphizes to the historical float-op sequence bitwise.
+pub fn dot_t<T: Element>(a: &[T], b: &[T]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x.to_f32() * y.to_f32()).sum()
+}
 
 /// Dot product of two equally long slices.
 ///
@@ -32,12 +40,50 @@ const PAR_ELEMS: usize = 1 << 20;
 /// Panics if the lengths differ.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    dot_t(a, b)
+}
+
+/// Euclidean norm of a slice of any [`Element`] type (widened per element;
+/// identity for `f32`, so [`l2_norm`] stays bitwise-identical).
+pub fn l2_norm_t<T: Element>(a: &[T]) -> f32 {
+    a.iter()
+        .map(|x| {
+            let v = x.to_f32();
+            v * v
+        })
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Euclidean norm.
 pub fn l2_norm(a: &[f32]) -> f32 {
-    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+    l2_norm_t(a)
+}
+
+/// Squared Euclidean distance between two equally long slices of any
+/// [`Element`] type, widened to `f32` per element. Same fixed four-lane
+/// reduction tree as [`sq_distance`], which is its `f32` monomorphization.
+pub fn sq_distance_t<T: Element>(a: &[T], b: &[T]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "sq_distance: length mismatch");
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for q in 0..chunks {
+        let t = q * 4;
+        let d0 = a[t].to_f32() - b[t].to_f32();
+        let d1 = a[t + 1].to_f32() - b[t + 1].to_f32();
+        let d2 = a[t + 2].to_f32() - b[t + 2].to_f32();
+        let d3 = a[t + 3].to_f32() - b[t + 3].to_f32();
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for t in chunks * 4..a.len() {
+        let d = a[t].to_f32() - b[t].to_f32();
+        tail += d * d;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
 }
 
 /// Squared Euclidean distance between two vectors.
@@ -52,25 +98,35 @@ pub fn l2_norm(a: &[f32]) -> f32 {
 /// Panics if the lengths differ.
 pub fn sq_distance(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "sq_distance: length mismatch");
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for q in 0..chunks {
-        let t = q * 4;
-        let d0 = a[t] - b[t];
-        let d1 = a[t + 1] - b[t + 1];
-        let d2 = a[t + 2] - b[t + 2];
-        let d3 = a[t + 3] - b[t + 3];
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
-    }
-    let mut tail = 0.0f32;
-    for t in chunks * 4..a.len() {
-        let d = a[t] - b[t];
-        tail += d * d;
-    }
-    ((s0 + s1) + (s2 + s3)) + tail
+    sq_distance_t(a, b)
+}
+
+/// `Σᵢ (aᵢ−rᵢ)·(bᵢ−rᵢ)` without materializing the deltas — bitwise
+/// identical to `dot(&sub(a, r), &sub(b, r))` (same single-accumulator
+/// sum order), but O(1) resident. The per-entry kernel of the tiled
+/// FoolsGold cosine pass.
+pub fn dot_delta(a: &[f32], b: &[f32], r: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_delta: length mismatch");
+    debug_assert_eq!(a.len(), r.len(), "dot_delta: reference length mismatch");
+    a.iter()
+        .zip(b)
+        .zip(r)
+        .map(|((x, y), c)| (x - c) * (y - c))
+        .sum()
+}
+
+/// `‖a − r‖₂` without materializing the delta — bitwise identical to
+/// `l2_norm(&sub(a, r))`.
+pub fn l2_norm_delta(a: &[f32], r: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), r.len(), "l2_norm_delta: length mismatch");
+    a.iter()
+        .zip(r)
+        .map(|(x, c)| {
+            let d = x - c;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Euclidean distance between two vectors.
@@ -497,6 +553,47 @@ pub fn pairwise_sq_distances_serial(vs: &[&[f32]]) -> Vec<Vec<f32>> {
     m
 }
 
+/// Fills one tile of an `n × n` pairwise matrix into `tile` (row-major,
+/// `tile.len()/cols` rows × `cols` columns): tile entry `(r, c)` receives
+/// `entry(row_lo + r, col_lo + c)`, with `0.0` on the global diagonal.
+/// Allocation-free — the blocked Krum/FoolsGold kernels stream tiles
+/// through a [`Purpose::DistTile`] scratch so only O(tile) floats of the
+/// matrix are ever resident (DESIGN.md §4e).
+///
+/// Rows are dispatched in parallel above the work threshold (`elem_work`
+/// is the per-entry input size). Each entry is a pure function of its
+/// global index pair, so the tile is bitwise identical to the
+/// corresponding slice of the dense matrix at any thread count.
+pub fn pairwise_tile_into(
+    row_lo: usize,
+    col_lo: usize,
+    cols: usize,
+    elem_work: usize,
+    tile: &mut [f32],
+    entry: impl Fn(usize, usize) -> f32 + Sync,
+) {
+    if cols == 0 || tile.is_empty() {
+        return;
+    }
+    debug_assert_eq!(tile.len() % cols, 0, "pairwise_tile: ragged tile");
+    let rows = tile.len() / cols;
+    let fill_row = |r: usize, row: &mut [f32]| {
+        let i = row_lo + r;
+        for (c, slot) in row.iter_mut().enumerate() {
+            let j = col_lo + c;
+            *slot = if i == j { 0.0 } else { entry(i, j) };
+        }
+    };
+    let work = rows * cols * elem_work;
+    if work < PAR_ELEMS || par::max_threads() == 1 {
+        for (r, row) in tile.chunks_mut(cols).enumerate() {
+            fill_row(r, row);
+        }
+    } else {
+        par::for_each_chunk_mut(tile, cols, fill_row);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,5 +674,54 @@ mod tests {
         assert_eq!(m[1][0], 25.0);
         assert_eq!(m[0][2], 100.0);
         assert_eq!(m[1][1], 0.0);
+    }
+
+    #[test]
+    fn generic_kernels_match_f32_entries_bitwise() {
+        let a: Vec<f32> = (0..131).map(|i| ((i as f32) * 0.31).sin() * 2.0).collect();
+        let b: Vec<f32> = (0..131).map(|i| ((i as f32) * 0.17).cos() * 3.0).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot_t::<f32>(&a, &b).to_bits());
+        assert_eq!(l2_norm(&a).to_bits(), l2_norm_t::<f32>(&a).to_bits());
+        assert_eq!(
+            sq_distance(&a, &b).to_bits(),
+            sq_distance_t::<f32>(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn delta_kernels_match_materialized_path_bitwise() {
+        let a: Vec<f32> = (0..97).map(|i| ((i as f32) * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..97).map(|i| ((i as f32) * 0.9).cos()).collect();
+        let r: Vec<f32> = (0..97).map(|i| (i as f32) * 0.001).collect();
+        let da = sub(&a, &r);
+        let db = sub(&b, &r);
+        assert_eq!(dot_delta(&a, &b, &r).to_bits(), dot(&da, &db).to_bits());
+        assert_eq!(l2_norm_delta(&a, &r).to_bits(), l2_norm(&da).to_bits());
+    }
+
+    #[test]
+    fn tile_matches_dense_matrix_slice() {
+        let vs: Vec<Vec<f32>> = (0..7)
+            .map(|u| (0..13).map(|i| ((u * 13 + i) as f32 * 0.2).sin()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let n = refs.len();
+        let mut dense = vec![0.0f32; n * n];
+        pairwise_sq_distances_into(&refs, &mut dense);
+        // Sweep every (row_lo, col_lo) block origin of a 3×4 tile.
+        for row_lo in 0..n - 2 {
+            for col_lo in 0..n - 3 {
+                let mut tile = vec![f32::NAN; 3 * 4];
+                pairwise_tile_into(row_lo, col_lo, 4, 13, &mut tile, |i, j| {
+                    sq_distance(refs[i], refs[j])
+                });
+                for r in 0..3 {
+                    for c in 0..4 {
+                        let want = dense[(row_lo + r) * n + (col_lo + c)];
+                        assert_eq!(tile[r * 4 + c].to_bits(), want.to_bits());
+                    }
+                }
+            }
+        }
     }
 }

@@ -15,10 +15,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use fabflip_tensor::vecops::{
-    mean_into, median_into, pairwise_sq_distances_into, std_dev_into, trimmed_mean_into,
+    mean_into, median_into, pairwise_sq_distances_into, pairwise_tile_into, std_dev_into,
+    trimmed_mean_into,
 };
 use fabflip_tensor::{
-    col2im, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, par, Tensor,
+    col2im, im2col, matmul_into, matmul_transpose_a, matmul_transpose_b, par, quant, Tensor,
 };
 
 /// Counts `alloc` + `realloc` calls (frees are irrelevant: a kernel that
@@ -115,6 +116,23 @@ fn hot_kernels_are_allocation_free_once_warm() {
         pairwise_sq_distances_into(&refs, &mut dists);
     });
 
+    let mut tile = vec![0.0f32; 4 * n_up];
+    assert_steady_state_alloc_free("pairwise_tile_into", || {
+        pairwise_tile_into(2, 0, n_up, d, &mut tile, |i, j| {
+            fabflip_tensor::vecops::sq_distance(refs[i], refs[j])
+        });
+    });
+
+    let mut f16_buf = vec![quant::F16(0); d];
+    let mut i8_buf = vec![0i8; d];
+    let mut dec = vec![0.0f32; d];
+    assert_steady_state_alloc_free("quant f16/i8 encode+decode", || {
+        quant::f16_encode_into(refs[0], &mut f16_buf);
+        quant::f16_decode_into(&f16_buf, &mut dec);
+        let scale = quant::i8_encode_into(refs[0], &mut i8_buf);
+        quant::i8_decode_into(&i8_buf, scale, &mut dec);
+    });
+
     let f_byz = 2;
     let pool: Vec<usize> = (0..n_up).collect();
     let mut scores = vec![0.0f32; n_up];
@@ -131,6 +149,29 @@ fn hot_kernels_are_allocation_free_once_warm() {
     let mut cols3 = vec![0.0f32; 3 * theta];
     assert_steady_state_alloc_free("bulyan_coordinate_chunk", || {
         fabflip_agg::bulyan_coordinate_chunk(&sel, 0, &mut agg_out, beta, &mut cols3);
+    });
+
+    // Streaming ingest: per-update server work must be allocation-free in
+    // steady state. Mean-family folds never allocate; the rank-family
+    // reservoir allocates only while filling to capacity (warm pass).
+    use fabflip_agg::{DefenseKind, StreamingAggregator, StreamingConfig};
+    let scfg = StreamingConfig {
+        shards: 4,
+        reservoir: 3,
+        seed: 0x5EED,
+    };
+    let mut mean_agg =
+        StreamingAggregator::new(DefenseKind::FedAvg, d, scfg, None).expect("streaming fedavg");
+    assert_steady_state_alloc_free("StreamingAggregator::ingest (mean)", || {
+        mean_agg.ingest(refs[0], 1.0);
+    });
+    let mut rank_agg =
+        StreamingAggregator::new(DefenseKind::Median, d, scfg, None).expect("streaming median");
+    for r in &refs {
+        rank_agg.ingest(r, 1.0); // fill past capacity
+    }
+    assert_steady_state_alloc_free("StreamingAggregator::ingest (reservoir)", || {
+        rank_agg.ingest(refs[1], 1.0);
     });
 
     // Layers return fresh output tensors (escaped sites): their per-call
