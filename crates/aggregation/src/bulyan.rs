@@ -59,6 +59,7 @@ pub fn bulyan_coordinate_chunk(
                 .partial_cmp(&((b - med).abs(), *b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        // fabcheck::allow(unordered_float_reduction): serial sum over the value-sorted prefix; iteration order is the sorted order, fixed
         *out_v = by_closeness[..beta].iter().sum::<f32>() / beta as f32;
     }
 }

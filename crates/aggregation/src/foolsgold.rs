@@ -161,6 +161,7 @@ pub fn foolsgold_weights(refs: &[&[f32]], reference: Option<&[f32]>) -> Vec<f32>
 
     let mut w: Vec<f32> = max_cs.iter().map(|&m| 1.0 - m).collect();
     // Normalize to [0, 1] by the maximum weight.
+    // fabcheck::allow(unordered_float_reduction): running max, serial left-to-right over the weight slice
     let wmax = w.iter().fold(0.0f32, |a, &b| a.max(b));
     if wmax > 0.0 {
         for v in &mut w {

@@ -134,15 +134,20 @@ pub fn krum_scores_into(
     assert_eq!(row.len(), n - 1, "krum: row workspace must hold n-1 dists");
     let k = n - f - 2;
     for (s, &i) in scores.iter_mut().zip(pool) {
-        let mut w = 0;
-        for &j in pool {
-            if j != i {
-                row[w] = dists[i * n_total + j];
-                w += 1;
-            }
+        // Checked gather of i's distances to the rest of the pool: a miss
+        // is impossible (`dists` is the full n_total² matrix) and maps to
+        // +inf so misuse would surface in the scores, not a panic.
+        let others = pool.iter().filter(|&&j| j != i).map(|&j| {
+            dists
+                .get(i * n_total + j)
+                .copied()
+                .unwrap_or(f32::INFINITY)
+        });
+        for (slot, dist) in row.iter_mut().zip(others) {
+            *slot = dist;
         }
         row.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        *s = row[..k].iter().sum();
+        *s = row.iter().take(k).sum();
     }
     Ok(())
 }
@@ -220,9 +225,11 @@ impl Defense for MultiKrum {
         let scores = krum_scores(&v.refs, self.f)?;
         let m = self.m.unwrap_or_else(|| (n - self.f - 2).max(1)).min(n);
         let mut order: Vec<usize> = (0..n).collect();
+        // Index tie-break: equal scores must order deterministically or
+        // the selected cohort depends on the (unstable) sort's whims.
         order.sort_by(|&a, &b| {
-            scores[a]
-                .partial_cmp(&scores[b])
+            (scores[a], a)
+                .partial_cmp(&(scores[b], b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let chosen_local = &order[..m];

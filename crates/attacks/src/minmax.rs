@@ -79,6 +79,7 @@ impl Attack for MinMax {
         }
         // Stealthiness budget: the maximum benign pairwise distance.
         let dists = vecops::pairwise_sq_distances(&refs);
+        // fabcheck::allow(unordered_float_reduction): running max, serial left-to-right over the distance matrix
         let budget = dists.iter().flatten().fold(0.0f32, |a, &b| a.max(b)).sqrt();
         let fits = |gamma: f32| -> bool {
             let mut w = mean.clone();

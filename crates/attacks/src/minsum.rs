@@ -63,11 +63,14 @@ impl Attack for MinSum {
         let dists = vecops::pairwise_sq_distances(&refs);
         let budget = dists
             .iter()
+            // fabcheck::allow(unordered_float_reduction): serial row sums then a running max, both left-to-right over slices
             .map(|row| row.iter().sum::<f32>())
+            // fabcheck::allow(unordered_float_reduction): see above; f32::max fold is the same fixed-order pass
             .fold(0.0f32, f32::max);
         let fits = |gamma: f32| -> bool {
             let mut w = mean.clone();
             vecops::axpy_in_place(&mut w, gamma, &dp);
+            // fabcheck::allow(unordered_float_reduction): serial sum over `refs` in slice order
             refs.iter().map(|r| vecops::sq_distance(&w, r)).sum::<f32>() <= budget
         };
         let (mut lo, mut hi) = (0.0f32, self.gamma_init);

@@ -75,6 +75,7 @@ fn power_iterate(centered: &[Vec<f32>], deflate: Option<&[f32]>) -> Vec<f32> {
         if let Some(d) = deflate {
             project_out(&mut w, d);
         }
+        // fabcheck::allow(unordered_float_reduction): serial squared-norm accumulation in slice order
         let norm: f32 = w.iter().map(|x| x * x).sum::<f32>().sqrt();
         if norm < 1e-12 {
             break; // Degenerate direction (e.g. all rows identical).
@@ -87,6 +88,7 @@ fn power_iterate(centered: &[Vec<f32>], deflate: Option<&[f32]>) -> Vec<f32> {
 }
 
 fn normalize(v: &mut [f32]) {
+    // fabcheck::allow(unordered_float_reduction): serial squared-norm accumulation in slice order
     let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
     if n > 1e-12 {
         for x in v.iter_mut() {

@@ -1,34 +1,48 @@
-//! Workspace call graph + hot-path reachability rules.
+//! Workspace-wide call graph + hot-path reachability rules.
 //!
 //! Built from the [`crate::parser`] function items of every non-test
-//! file under `crates/`, with best-effort name resolution:
+//! file under `crates/`, with cross-crate name resolution:
 //!
-//! * multi-segment paths resolve by fully-qualified-name suffix
-//!   (`par::dispatch` matches `tensor::par::dispatch`), retrying with the
-//!   leading segment dropped so `fabflip_tensor::vecops::dot` still
-//!   lands;
+//! * each file's `use` declarations become an alias map, so a path call
+//!   expands through its import (`vecops::l2_norm_delta` after
+//!   `use fabflip_tensor::vecops;` becomes
+//!   `fabflip_tensor::vecops::l2_norm_delta`), and extern package names
+//!   normalize to crate directories ([`CRATE_ALIASES`]:
+//!   `fabflip_agg` → `aggregation`) — this is what lets a hot entry in
+//!   `fl` prove edges down through `aggregation` into `tensor`;
+//! * the expanded path then resolves by fully-qualified-name suffix
+//!   (exact match first — `start == 0` in the suffix loop — then
+//!   retrying with leading segments dropped, so a partially-qualified
+//!   `par::dispatch` still matches `tensor::par::dispatch`);
 //! * bare calls resolve same-file, then same-crate, then workspace-wide;
-//! * method calls resolve by name across **every** impl in the workspace.
+//! * method calls resolve by *name* across **every** impl in the
+//!   workspace — a deliberate over-approximation kept from v2, because
+//!   receiver types are invisible to a token-level parser.
 //!
 //! All of this over-approximates: a call site may link to functions it
 //! can never reach at runtime. That is the safe direction — a false-hot
 //! function costs an escape comment or a ratchet entry, while a
 //! false-cold one would let an allocation ship inside the per-round
 //! kernel loop (DESIGN.md §4c). Unresolved names (std, core) produce no
-//! edges but still hit the allocation/panic needle lists below.
+//! edges but still hit the allocation/panic/io needle lists below.
 //!
 //! Reachability starts from [`HOT_ENTRIES`] — the declared kernel entry
 //! set — and every reachable function is scanned for allocation sites
-//! (`alloc-on-hot-path`, forbidden) and panic sites (`panic-on-hot-path`,
-//! ratcheted). A line annotated with a
-//! `// fabcheck::allow(alloc_on_hot_path): why` (or the
-//! `panic_on_hot_path` variant) comment — on the line itself or the line
-//! above — is a declared setup-only branch: its sites are suppressed for
-//! that rule and its calls do not extend the hot region.
+//! (`alloc-on-hot-path`, forbidden), panic sites (`panic-on-hot-path`,
+//! ratcheted), and I/O or blocking synchronization (`io-on-hot-path`,
+//! forbidden outside the worker pool — the purity boundary a serving
+//! shell sits on). A line annotated with a
+//! `// fabcheck::allow(alloc_on_hot_path): why` comment (or the
+//! `panic_on_hot_path` / `io_on_hot_path` variants) — on the line itself
+//! or the line above — is a declared setup-only branch: its sites are
+//! suppressed for that rule, and alloc/panic escapes also drop the
+//! line's call edges so they do not extend the hot region.
 
-use crate::lexer::lex;
-use crate::parser::{parse_tokens, Call, CallKind, FnNode};
-use crate::rules::{test_spans, FileClass, Finding, Rule, NUMERIC_CRATES};
+use crate::lexer::{lex, Lexed};
+use crate::parser::{parse_tokens, parse_uses, Call, CallKind, FnNode};
+use crate::rules::{
+    allow_lines, test_spans, FileClass, Finding, Rule, BLESSED_THREAD_FILE, NUMERIC_CRATES,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// The kernel entry set: the functions executed O(rounds × clients ×
@@ -72,8 +86,11 @@ pub const HOT_ENTRIES: &[&str] = &[
     // Aggregation score/coordinate kernels.
     "aggregation::krum::krum_scores_into",
     "aggregation::bulyan::bulyan_coordinate_chunk",
-    // Streaming ingest: one call per submitted update (§4e).
-    "aggregation::streaming::StreamingAggregator::ingest",
+    // Streaming ingest: one call per submitted update (§4e). The fl-side
+    // server entry is the root; `StreamingAggregator::ingest` is NOT
+    // listed — it must be proven hot *through* the cross-crate chain
+    // `submit → submit_validated → ingest`, which is exactly the edge a
+    // per-crate graph would miss.
     "fl::stream::StreamingServer::submit",
     // Layer forward/backward over im2col + GEMM.
     "nn::conv::Conv2d::forward",
@@ -134,6 +151,30 @@ const ALLOC_PATHS: &[&str] = &[
 
 /// Macros that allocate.
 const ALLOC_MACROS: &[&str] = &["eprintln", "format", "println", "vec"];
+
+/// Extern package name → crate directory, for the workspace's own
+/// numeric crates (`Cargo.toml` package names differ from directory
+/// names). Paths entering through `use fabflip_agg::…` or written
+/// `fabflip_agg::…` inline normalize to the `aggregation::…` namespace
+/// the node FQNs use.
+const CRATE_ALIASES: &[(&str, &str)] = &[
+    ("fabflip_agg", "aggregation"),
+    ("fabflip_attacks", "attacks"),
+    ("fabflip_data", "data"),
+    ("fabflip_fl", "fl"),
+    ("fabflip_nn", "nn"),
+    ("fabflip_tensor", "tensor"),
+];
+
+/// Macros that write to stdout/stderr.
+const IO_MACROS: &[&str] = &["eprint", "eprintln", "print", "println"];
+
+/// Methods that acquire blocking synchronization primitives.
+const IO_BLOCKING_METHODS: &[&str] = &["lock", "wait", "wait_timeout", "wait_while"];
+
+/// Path segments that mark filesystem/network/console I/O or blocking
+/// primitives (`std::fs::read`, `io::stdout`, `Mutex::new`, …).
+const IO_PATH_SEGS: &[&str] = &["Condvar", "Mutex", "fs", "io", "net"];
 
 /// Methods that panic on `None`/`Err`.
 const PANIC_METHODS: &[&str] = &["expect", "expect_err", "unwrap", "unwrap_err"];
@@ -200,10 +241,15 @@ struct Node {
 struct Escapes {
     alloc: BTreeSet<u32>,
     panic: BTreeSet<u32>,
+    io: BTreeSet<u32>,
 }
 
 impl Escapes {
-    fn any(&self, line: u32) -> bool {
+    /// Whether an alloc or panic escape covers `line` — these drop call
+    /// edges (a declared setup-only branch does not extend the hot
+    /// region). An io escape only suppresses io findings: the code it
+    /// blesses still runs hot.
+    fn drops_edges(&self, line: u32) -> bool {
         self.alloc.contains(&line) || self.panic.contains(&line)
     }
 }
@@ -234,29 +280,15 @@ fn fqn_of(crate_name: &str, rel: &str, f: &FnNode) -> String {
     parts.join("::")
 }
 
-fn escapes_of(comments: &[crate::lexer::Comment]) -> Escapes {
-    let mut out = Escapes::default();
-    for c in comments {
-        // A marker covers its own last line and the one below, so both
-        // `// fabcheck::allow(..)` above a statement and a trailing
-        // same-line comment work. A plain comment starting on an
-        // already-covered line continues the coverage (comments iterate
-        // in source order), so a multi-line `//` allow comment reaches
-        // the first code line after the whole block.
-        if c.text.contains("fabcheck::allow(alloc_on_hot_path)")
-            || out.alloc.contains(&c.line_start)
-        {
-            out.alloc.insert(c.line_end);
-            out.alloc.insert(c.line_end + 1);
-        }
-        if c.text.contains("fabcheck::allow(panic_on_hot_path)")
-            || out.panic.contains(&c.line_start)
-        {
-            out.panic.insert(c.line_end);
-            out.panic.insert(c.line_end + 1);
-        }
+/// Escape-comment coverage per rule; see [`allow_lines`] for the
+/// coverage/continuation semantics (full-line comment chains continue, a
+/// blank line or a trailing comment on a code line ends the chain).
+fn escapes_of(lexed: &Lexed) -> Escapes {
+    Escapes {
+        alloc: allow_lines(&lexed.comments, &lexed.tokens, "alloc_on_hot_path"),
+        panic: allow_lines(&lexed.comments, &lexed.tokens, "panic_on_hot_path"),
+        io: allow_lines(&lexed.comments, &lexed.tokens, "io_on_hot_path"),
     }
-    out
 }
 
 /// Builds the call graph over `(class, source)` pairs and runs the two
@@ -268,16 +300,34 @@ fn escapes_of(comments: &[crate::lexer::Comment]) -> Escapes {
 pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
     let mut nodes: Vec<Node> = Vec::new();
     let mut escapes: Vec<Escapes> = Vec::new();
+    // Per-file import alias map: in-scope name → expanded path segments
+    // with extern package names already normalized to crate directories.
+    let mut use_maps: Vec<BTreeMap<String, Vec<String>>> = Vec::new();
+    let crate_dir = |seg: &str| -> String {
+        CRATE_ALIASES
+            .iter()
+            .find(|(pkg, _)| *pkg == seg)
+            .map(|(_, dir)| (*dir).to_string())
+            .unwrap_or_else(|| seg.to_string())
+    };
     for (file_idx, (class, src)) in files.iter().enumerate() {
         if !class.in_crates
             || class.is_test_file
             || !NUMERIC_CRATES.contains(&class.crate_name.as_str())
         {
             escapes.push(Escapes::default());
+            use_maps.push(BTreeMap::new());
             continue;
         }
         let lexed = lex(src);
-        escapes.push(escapes_of(&lexed.comments));
+        escapes.push(escapes_of(&lexed));
+        let mut aliases = BTreeMap::new();
+        for u in parse_uses(&lexed.tokens) {
+            let mut segs = u.segs;
+            segs[0] = crate_dir(&segs[0]);
+            aliases.insert(u.alias, segs);
+        }
+        use_maps.push(aliases);
         let spans = test_spans(&lexed.tokens);
         for f in parse_tokens(&lexed.tokens, &spans) {
             if f.is_test {
@@ -311,7 +361,18 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
             CallKind::Method => methods.get(call.name()).cloned().unwrap_or_default(),
             CallKind::Macro => Vec::new(),
             CallKind::Path { .. } => {
-                if call.segs.len() == 1 {
+                // Cross-crate expansion: rewrite the leading segment
+                // through the file's `use` aliases (`vecops::x` →
+                // `tensor::vecops::x` after `use fabflip_tensor::vecops`),
+                // then normalize an extern package name written inline.
+                let mut segs: Vec<String> = call.segs.clone();
+                if let Some(mapped) = use_maps[from.file_idx].get(&segs[0]) {
+                    let mut expanded = mapped.clone();
+                    expanded.extend(segs[1..].iter().cloned());
+                    segs = expanded;
+                }
+                segs[0] = crate_dir(&segs[0]);
+                if segs.len() == 1 {
                     let cands = by_name.get(call.name()).map(Vec::as_slice).unwrap_or(&[]);
                     let same_file: Vec<usize> = cands
                         .iter()
@@ -331,12 +392,14 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
                     }
                     return cands.to_vec();
                 }
-                // Longest-suffix match, dropping leading segments so
-                // absolute paths through the crate name still resolve.
-                for start in 0..call.segs.len() - 1 {
-                    let suffix = call.segs[start..].join("::");
+                // Longest-suffix match: `start == 0` is the exact
+                // fully-qualified name after expansion; later starts drop
+                // leading segments so partially-qualified paths (written
+                // without an importing `use`) still resolve.
+                for start in 0..segs.len() - 1 {
+                    let suffix = segs[start..].join("::");
                     let hits: Vec<usize> = by_name
-                        .get(call.segs.last().map(String::as_str).unwrap_or_default())
+                        .get(segs.last().map(String::as_str).unwrap_or_default())
                         .map(Vec::as_slice)
                         .unwrap_or(&[])
                         .iter()
@@ -374,7 +437,7 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
         for call in &nodes[u].calls {
             // An escaped line is a declared setup-only branch: it does
             // not extend the hot region.
-            if escapes[nodes[u].file_idx].any(call.line) {
+            if escapes[nodes[u].file_idx].drops_edges(call.line) {
                 continue;
             }
             for v in resolve(call, &nodes[u]) {
@@ -402,18 +465,27 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
         let node = &nodes[u];
         let esc = &escapes[node.file_idx];
         let route = chain(u).join(" → ");
+        // The worker pool is the one blessed home for blocking
+        // synchronization (park/unpark handshakes); everything else hot
+        // must stay pure.
+        let io_applies = node.file != BLESSED_THREAD_FILE;
         let mut push = |rule: Rule, line: u32, col: u32, needle: &str| {
-            let (verb, remedy) = if rule == Rule::AllocOnHotPath {
-                (
+            let (verb, remedy) = match rule {
+                Rule::AllocOnHotPath => (
                     "allocates",
                     "hoist it, reuse a `tensor::scratch` arena, or mark a setup-only \
                      branch with `// fabcheck::allow(alloc_on_hot_path): why`",
-                )
-            } else {
-                (
+                ),
+                Rule::IoOnHotPath => (
+                    "performs I/O or blocking synchronization",
+                    "the deterministic core stays pure so a serving shell can wrap \
+                     it — move this behind the wire layer, or mark a setup-only \
+                     branch with `// fabcheck::allow(io_on_hot_path): why`",
+                ),
+                _ => (
                     "can panic",
                     "ratcheted — prefer checked access, or shrink the committed baseline",
-                )
+                ),
             };
             findings.push(Finding {
                 rule,
@@ -443,6 +515,17 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
                             &format!(".{name}()"),
                         );
                     }
+                    if io_applies
+                        && IO_BLOCKING_METHODS.contains(&name)
+                        && !esc.io.contains(&call.line)
+                    {
+                        push(
+                            Rule::IoOnHotPath,
+                            call.line,
+                            call.col,
+                            &format!(".{name}()"),
+                        );
+                    }
                 }
                 CallKind::Macro => {
                     if ALLOC_MACROS.contains(&name) && !esc.alloc.contains(&call.line) {
@@ -461,6 +544,14 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
                             &format!("{name}!"),
                         );
                     }
+                    if io_applies && IO_MACROS.contains(&name) && !esc.io.contains(&call.line) {
+                        push(
+                            Rule::IoOnHotPath,
+                            call.line,
+                            call.col,
+                            &format!("{name}!"),
+                        );
+                    }
                 }
                 CallKind::Path { .. } => {
                     if call.segs.len() >= 2 {
@@ -471,6 +562,12 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
                         );
                         if ALLOC_PATHS.contains(&tail.as_str()) && !esc.alloc.contains(&call.line) {
                             push(Rule::AllocOnHotPath, call.line, call.col, &tail);
+                        }
+                        if io_applies
+                            && call.segs.iter().any(|s| IO_PATH_SEGS.contains(&s.as_str()))
+                            && !esc.io.contains(&call.line)
+                        {
+                            push(Rule::IoOnHotPath, call.line, call.col, &call.segs.join("::"));
                         }
                     }
                 }

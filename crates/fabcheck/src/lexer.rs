@@ -14,14 +14,20 @@
 //! * char literals (including `'\''`, `'\\'`, `'\u{…}'`, `'"'`)
 //!   disambiguated from lifetimes (`'static`) and loop labels;
 //! * raw identifiers (`r#mod` lexes as the identifier `mod`);
-//! * numeric literals, skimmed so `0..n` still yields the ident `n`.
+//! * numeric literals, emitted as non-identifier tokens carrying the
+//!   literal text (the seed-stream and float-fold rules need the
+//!   values), scanned so `0..n` still yields the ident `n`.
 //!
 //! Whole-identifier matching means `Instantiates` never matches the
 //! `Instant` needle and `unwrap_or` never matches `unwrap`.
 
-/// One significant token: an identifier/keyword or a single punctuation
-/// character. Multi-character operators (`::`, `->`) appear as consecutive
-/// punctuation tokens; rules match sequences.
+/// One significant token: an identifier/keyword, a numeric literal, or a
+/// single punctuation character. Multi-character operators (`::`, `->`)
+/// appear as consecutive punctuation tokens; rules match sequences. A
+/// numeric literal is one token with `is_ident == false` and the full
+/// literal text (`0xFF_u8`, `1.5e3f32`) — no punctuation string is ever
+/// longer than one character, so rules matching punctuation by text are
+/// unaffected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Identifier text, or the punctuation character as a string.
@@ -130,7 +136,7 @@ pub fn lex(src: &str) -> Lexed {
                 skip_quoted(&mut cur, '"');
             }
             '\'' => lex_quote(&mut cur),
-            c if c.is_ascii_digit() => lex_number(&mut cur),
+            c if c.is_ascii_digit() => lex_number(&mut cur, &mut out, line, col),
             c if is_ident_start(c) => lex_ident_or_prefixed(&mut cur, &mut out, line, col),
             _ => {
                 cur.bump();
@@ -247,10 +253,12 @@ fn lex_quote(cur: &mut Cursor) {
     }
 }
 
-/// Skims a numeric literal: digits, `_`, letters (hex digits, exponent
+/// Scans a numeric literal: digits, `_`, letters (hex digits, exponent
 /// markers, type suffixes), and `.` only when followed by a digit — so
-/// `0..n` leaves the range dots and the identifier `n` intact.
-fn lex_number(cur: &mut Cursor) {
+/// `0..n` leaves the range dots and the identifier `n` intact. The full
+/// literal text is emitted as a non-identifier token.
+fn lex_number(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    let mut text = String::new();
     while let Some(c) = cur.peek(0) {
         let continues = c.is_ascii_alphanumeric()
             || c == '_'
@@ -258,8 +266,15 @@ fn lex_number(cur: &mut Cursor) {
         if !continues {
             break;
         }
+        text.push(c);
         cur.bump();
     }
+    out.tokens.push(Token {
+        text,
+        is_ident: false,
+        line,
+        col,
+    });
 }
 
 /// Identifier, or one of the prefixed literal forms that *start* like an
@@ -508,6 +523,27 @@ mod tests {
         assert_eq!(idents("for i in 0..n {}"), ["for", "i", "in", "n"]);
         assert_eq!(idents("let x = 1.5e3f32; y"), ["let", "x", "y"]);
         assert_eq!(idents("let x = 0xFF_u8; y"), ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn numeric_literals_are_tokens_with_text() {
+        let l = lex("sub_seed(seed, 11, r, c)");
+        let nums: Vec<(&str, u32)> = l
+            .tokens
+            .iter()
+            .filter(|t| !t.is_ident && t.text.starts_with(|c: char| c.is_ascii_digit()))
+            .map(|t| (t.text.as_str(), t.col))
+            .collect();
+        assert!(nums.contains(&("11", 16)), "{nums:?}");
+        // Suffixed and float forms keep their full text.
+        let l = lex("let x = 1.5e3f32; let y = 0xFF_u8;");
+        let texts: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| !t.is_ident && t.text.len() > 1)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(texts, ["1.5e3f32", "0xFF_u8"]);
     }
 
     #[test]

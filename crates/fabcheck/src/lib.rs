@@ -81,6 +81,9 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
         .zip(&sources)
         .map(|(f, s)| (&f.class, s.as_str()))
         .collect();
+    for finding in rules::check_seed_streams(&pairs) {
+        take(finding);
+    }
     let analysis = graph::analyze(&pairs);
     for finding in analysis.findings {
         take(finding);

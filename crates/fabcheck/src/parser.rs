@@ -84,6 +84,106 @@ pub struct FnNode {
     pub index_sites: Vec<(u32, u32)>,
 }
 
+/// One name introduced by a `use` declaration: `alias` is the name in
+/// scope inside the file, `segs` the full imported path with group braces
+/// expanded, `as` renames applied, and leading `crate`/`self`/`super`
+/// stripped (matching the normalization [`parse_tokens`] applies to call
+/// paths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// In-scope name (the last path segment, or the `as` rename).
+    pub alias: String,
+    /// Imported path segments, outermost first.
+    pub segs: Vec<String>,
+}
+
+/// Extracts every `use` declaration from a token stream, expanding brace
+/// groups (`use a::{b, c as d, self}`) into one [`UseDecl`] per imported
+/// name. Glob imports (`use x::*`) introduce no nameable alias and are
+/// skipped — the call graph's suffix-match fallback still resolves names
+/// they bring in.
+pub fn parse_uses(toks: &[Token]) -> Vec<UseDecl> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident && toks[i].text == "use" {
+            i = parse_use_tree(toks, i + 1, &[], &mut out);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses one use-tree (a path that may end in a brace group, a glob, or
+/// an `as` rename) starting at `j` with `prefix` already consumed.
+/// Records the names it introduces and returns the index of the token
+/// after the tree (its `,`/`}`/`;` terminator is left unconsumed).
+fn parse_use_tree(toks: &[Token], mut j: usize, prefix: &[String], out: &mut Vec<UseDecl>) -> usize {
+    let is_p = |k: usize, s: &str| toks.get(k).is_some_and(|t: &Token| !t.is_ident && t.text == s);
+    let mut segs: Vec<String> = prefix.to_vec();
+    loop {
+        if is_p(j, "{") {
+            j += 1;
+            while j < toks.len() && !is_p(j, "}") {
+                if is_p(j, ",") {
+                    j += 1;
+                } else {
+                    j = parse_use_tree(toks, j, &segs, out);
+                }
+            }
+            return j + 1;
+        }
+        if is_p(j, "*") {
+            return j + 1;
+        }
+        let Some(t) = toks.get(j) else { return j };
+        if !t.is_ident {
+            return j;
+        }
+        match t.text.as_str() {
+            "as" => {
+                if let Some(a) = toks.get(j + 1).filter(|a| a.is_ident) {
+                    record_use(out, a.text.clone(), &segs);
+                    return j + 2;
+                }
+                return j + 1;
+            }
+            // `use a::b::{self, c}` — `self` imports `b` itself. When an
+            // `as` rename follows, let the `as` arm record the alias.
+            "self" if !segs.is_empty() => {
+                if !toks.get(j + 1).is_some_and(|n| n.is_ident && n.text == "as") {
+                    record_use(out, segs[segs.len() - 1].clone(), &segs);
+                }
+                j += 1;
+            }
+            _ => {
+                segs.push(t.text.clone());
+                j += 1;
+            }
+        }
+        if is_p(j, ":") && is_p(j + 1, ":") {
+            j += 2;
+            continue;
+        }
+        if toks.get(j).is_some_and(|n| n.is_ident && n.text == "as") {
+            continue;
+        }
+        if segs.len() > prefix.len() {
+            record_use(out, segs[segs.len() - 1].clone(), &segs);
+        }
+        return j;
+    }
+}
+
+fn record_use(out: &mut Vec<UseDecl>, alias: String, segs: &[String]) {
+    let mut segs = segs.to_vec();
+    while segs.len() > 1 && matches!(segs[0].as_str(), "crate" | "super" | "self") {
+        segs.remove(0);
+    }
+    out.push(UseDecl { alias, segs });
+}
+
 /// What a `{` opened.
 enum ScopeKind {
     Mod,
@@ -528,5 +628,61 @@ mod tests {
         let f = &parse(src)[0];
         assert!(f.calls.is_empty(), "{:?}", f.calls);
         assert_eq!(f.index_sites.len(), 1);
+    }
+
+    fn uses(src: &str) -> Vec<(String, String)> {
+        parse_uses(&lex(src).tokens)
+            .into_iter()
+            .map(|u| (u.alias, u.segs.join("::")))
+            .collect()
+    }
+
+    #[test]
+    fn plain_use_binds_last_segment() {
+        assert_eq!(
+            uses("use fabflip_tensor::vecops;"),
+            [("vecops".into(), "fabflip_tensor::vecops".into())]
+        );
+        assert_eq!(
+            uses("use crate::faults::sub_seed;"),
+            [("sub_seed".into(), "faults::sub_seed".into())]
+        );
+    }
+
+    #[test]
+    fn brace_groups_expand_with_renames_and_self() {
+        assert_eq!(
+            uses("use fabflip_agg::{Aggregation, krum as k, streaming::{self, StreamingAggregator}};"),
+            [
+                ("Aggregation".into(), "fabflip_agg::Aggregation".into()),
+                ("k".into(), "fabflip_agg::krum".into()),
+                ("streaming".into(), "fabflip_agg::streaming".into()),
+                (
+                    "StreamingAggregator".into(),
+                    "fabflip_agg::streaming::StreamingAggregator".into()
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn glob_imports_bind_nothing() {
+        assert_eq!(uses("use super::*;"), []);
+        assert_eq!(
+            uses("use a::*; use b::c;"),
+            [("c".into(), "b::c".into())]
+        );
+    }
+
+    #[test]
+    fn top_level_rename_and_nested_self_rename() {
+        assert_eq!(
+            uses("use fabflip_tensor::quant as q;"),
+            [("q".into(), "fabflip_tensor::quant".into())]
+        );
+        assert_eq!(
+            uses("use a::b::{self as bee};"),
+            [("bee".into(), "a::b".into())]
+        );
     }
 }

@@ -10,11 +10,13 @@ use std::path::Path;
 pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
 
 /// Baseline file schema version written by `--bless`. v1 was a bare
-/// `rule → file → count` map; v2 wraps it as
-/// `{"schema_version": 2, "counts": {…}}` so future rule additions can
-/// migrate old baselines instead of silently invalidating them. Both
-/// versions parse.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `rule → file → count` map; v2 wrapped it as
+/// `{"schema_version": 2, "counts": {…}}`; v3 adds a `"rules"` roster
+/// array naming the counted rules the baseline was blessed under, so a
+/// reviewer (and the CI delta summary) can tell "rule added since the
+/// bless" apart from "rule was clean at bless time" without replaying
+/// history. All three versions parse; `--bless` always writes v3.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One cell whose count exceeds the committed baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +49,7 @@ pub fn load(path: &Path) -> Result<Counts, String> {
 fn parse(text: &str) -> Result<Counts, String> {
     let value: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("{e:?}"))?;
     let top = value.as_map().ok_or("expected a top-level object")?;
-    // v2 wraps the rule map under "counts"; a baseline without a
+    // v2/v3 wrap the rule map under "counts"; a baseline without a
     // "schema_version" key is the v1 bare map (migration read path).
     let rules_value = match top.iter().find(|(k, _)| k == "schema_version") {
         Some((_, ver)) => {
@@ -62,9 +64,23 @@ fn parse(text: &str) -> Result<Counts, String> {
                      update the tool or re-bless"
                 ));
             }
+            // The v3 roster is advisory (counts carry explicit zeros for
+            // every counted rule), but a malformed one is still a
+            // malformed baseline; v2 has no roster.
+            match top.iter().find(|(k, _)| k == "rules") {
+                Some((_, serde_json::Value::Seq(entries)))
+                    if entries.iter().all(|e| e.as_str().is_some()) => {}
+                Some(_) => {
+                    return Err("rules: expected an array of rule names".into());
+                }
+                None if ver >= 3 => {
+                    return Err("schema v3 baseline is missing the \"rules\" roster".into());
+                }
+                None => {}
+            }
             &top.iter()
                 .find(|(k, _)| k == "counts")
-                .ok_or("schema v2 baseline is missing the \"counts\" object")?
+                .ok_or("schema v2+ baseline is missing the \"counts\" object")?
                 .1
         }
         None => &value,
@@ -93,7 +109,17 @@ fn parse(text: &str) -> Result<Counts, String> {
 /// Serializes counts as stable, diff-friendly pretty JSON (always the
 /// current [`SCHEMA_VERSION`] shape).
 pub fn render(counts: &Counts) -> String {
-    let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"counts\": {{");
+    // v3 roster: the counted rules this baseline was blessed under.
+    // `check_workspace` seeds every counted rule with an explicit (possibly
+    // empty) cell, so the counts' key set *is* the roster at bless time.
+    let roster = counts
+        .keys()
+        .map(|r| json_string(r))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"rules\": [{roster}],\n  \"counts\": {{"
+    );
     if counts.is_empty() {
         out.push('}');
     } else {
@@ -209,10 +235,37 @@ mod tests {
         ]);
         let text = render(&c);
         assert_eq!(parse(&text).expect("roundtrip"), c);
-        // v2 envelope plus deterministic ordering: rules and files sorted.
-        assert!(text.starts_with("{\n  \"schema_version\": 2,\n  \"counts\": {"));
-        let first_rule = text.lines().nth(3).expect("rule line");
+        // v3 envelope plus deterministic ordering: rules and files sorted.
+        assert!(text.starts_with(
+            "{\n  \"schema_version\": 3,\n  \"rules\": [\"todo-unimplemented\", \"unwrap-in-lib\"],"
+        ));
+        let first_rule = text.lines().nth(4).expect("rule line");
         assert!(first_rule.contains("todo-unimplemented"), "{text}");
+    }
+
+    #[test]
+    fn v2_envelope_migrates_and_rerenders_as_v3() {
+        let v2 = "{\n  \"schema_version\": 2,\n  \"counts\": {\n    \"unwrap-in-lib\": {\n      \
+                  \"crates/nn/src/a.rs\": 2\n    }\n  }\n}\n";
+        let c = parse(v2).expect("v2 migration");
+        assert_eq!(c["unwrap-in-lib"]["crates/nn/src/a.rs"], 2);
+        let v3 = render(&c);
+        assert!(v3.contains("\"schema_version\": 3"), "{v3}");
+        assert!(v3.contains("\"rules\": [\"unwrap-in-lib\"]"), "{v3}");
+        // And the upgraded text roundtrips to the same counts.
+        assert_eq!(parse(&v3).expect("v3 roundtrip"), c);
+    }
+
+    #[test]
+    fn v3_roster_is_validated() {
+        assert!(parse("{\"schema_version\": 3, \"counts\": {}}")
+            .expect_err("missing roster")
+            .contains("roster"));
+        assert!(parse("{\"schema_version\": 3, \"rules\": [1], \"counts\": {}}").is_err());
+        assert!(parse("{\"schema_version\": 3, \"rules\": \"x\", \"counts\": {}}").is_err());
+        assert!(parse("{\"schema_version\": 3, \"rules\": [], \"counts\": {}}")
+            .expect("empty roster is fine")
+            .is_empty());
     }
 
     #[test]
@@ -221,7 +274,7 @@ mod tests {
         let c = parse(v1).expect("v1 migration");
         assert_eq!(c["unwrap-in-lib"]["crates/nn/src/a.rs"], 2);
         // Re-rendering upgrades to the current schema.
-        assert!(render(&c).contains("\"schema_version\": 2"));
+        assert!(render(&c).contains("\"schema_version\": 3"));
     }
 
     #[test]

@@ -7,18 +7,23 @@
 //! * **forbidden** — any hit fails CI (`nondeterministic-collection`,
 //!   `entropy-rng`, `wallclock-in-kernel`, `env-var-outside-config`,
 //!   `unsafe-without-safety-comment`, `thread-spawn-outside-par`,
-//!   `raw-pointer-outside-par`, `alloc-on-hot-path`);
+//!   `raw-pointer-outside-par`, `alloc-on-hot-path`, `io-on-hot-path`,
+//!   `seed-stream-registry`, `unordered-float-reduction`,
+//!   `unclaimed-raw-span`);
 //! * **counted** — hits are tallied per `rule × file` and ratcheted
 //!   against `FABCHECK_BASELINE.json`: counts may shrink, never grow
 //!   (`unwrap-in-lib`, `todo-unimplemented`, `panic-on-hot-path`).
 //!
 //! Matching is whole-identifier over the [`crate::lexer`] token stream, so
 //! comments, strings, `Instantiates`, and `unwrap_or` never false-positive.
-//! The two hot-path rules are interprocedural and live in [`crate::graph`]
-//! (reachability from the kernel entry set); this module hosts their
+//! The hot-path rules are interprocedural and live in [`crate::graph`]
+//! (reachability from the kernel entry set); `seed-stream-registry` is a
+//! workspace-level pass ([`check_seed_streams`]) because the registry and
+//! its call sites live in different files. This module hosts their
 //! [`Rule`] identities plus every single-file rule.
 
 use crate::lexer::{lex, Comment, Token};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose float-accumulation order feeds the reproducibility
 /// contract: map/set iteration order, entropy, and wall-clock reads leak
@@ -69,6 +74,27 @@ pub enum Rule {
     /// macros) reachable from the kernel entry set (counted — indexing
     /// is pervasive in kernels, so this ratchets shrink-only).
     PanicOnHotPath,
+    /// I/O or blocking synchronization (`std::{fs,net,io}` paths,
+    /// `println!`/`eprintln!`, `Mutex`/`Condvar` acquisition) reachable
+    /// from the kernel entry set, outside the worker pool. Forbidden:
+    /// the deterministic core stays pure so a wire shell can wrap it.
+    IoOnHotPath,
+    /// A `sub_seed(seed, STREAM, …)` call whose stream argument is a
+    /// numeric literal or a name not declared in the `fl::faults::streams`
+    /// registry — or two registry constants sharing one id. Forbidden:
+    /// a stream collision silently correlates "independent" randomness.
+    SeedStreamRegistry,
+    /// An order-sensitive float reduction (`.sum::<f32>()`, `.fold(…)`
+    /// seeded with a float literal, a `partial_cmp` sort over a derived
+    /// float key without a value tie-break) in a numeric crate, outside
+    /// kernels blessed with
+    /// `// fabcheck::allow(unordered_float_reduction): why`.
+    UnorderedFloatReduction,
+    /// A `from_raw_parts_mut` span not covered by a
+    /// `// fabcheck::claim(disjoint): …` annotation naming one of the
+    /// call's arguments — the partition argument whose disjointness
+    /// makes the aliasing sound.
+    UnclaimedRawSpan,
     /// `.unwrap()` in non-test library code (counted).
     UnwrapInLib,
     /// `todo!`/`unimplemented!` in non-test code (counted).
@@ -77,7 +103,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 15] = [
         Rule::NondeterministicCollection,
         Rule::EntropyRng,
         Rule::WallclockInKernel,
@@ -87,6 +113,10 @@ impl Rule {
         Rule::RawPointerOutsidePar,
         Rule::AllocOnHotPath,
         Rule::PanicOnHotPath,
+        Rule::IoOnHotPath,
+        Rule::SeedStreamRegistry,
+        Rule::UnorderedFloatReduction,
+        Rule::UnclaimedRawSpan,
         Rule::UnwrapInLib,
         Rule::TodoUnimplemented,
     ];
@@ -103,6 +133,10 @@ impl Rule {
             Rule::RawPointerOutsidePar => "raw-pointer-outside-par",
             Rule::AllocOnHotPath => "alloc-on-hot-path",
             Rule::PanicOnHotPath => "panic-on-hot-path",
+            Rule::IoOnHotPath => "io-on-hot-path",
+            Rule::SeedStreamRegistry => "seed-stream-registry",
+            Rule::UnorderedFloatReduction => "unordered-float-reduction",
+            Rule::UnclaimedRawSpan => "unclaimed-raw-span",
             Rule::UnwrapInLib => "unwrap-in-lib",
             Rule::TodoUnimplemented => "todo-unimplemented",
         }
@@ -212,8 +246,29 @@ fn scope(rule: Rule, class: &FileClass) -> Scope {
             }
         }
         // Interprocedural rules: evaluated by `crate::graph`, never by
-        // the single-file scan.
-        Rule::AllocOnHotPath | Rule::PanicOnHotPath => Scope::Off,
+        // the single-file scan. `seed-stream-registry` is likewise
+        // cross-file, evaluated by [`check_seed_streams`].
+        Rule::AllocOnHotPath | Rule::PanicOnHotPath | Rule::IoOnHotPath => Scope::Off,
+        Rule::SeedStreamRegistry => Scope::Off,
+        // Float-reduction order feeds the §4b bitwise contract exactly
+        // where HashMap order does: the numeric crates' product code.
+        Rule::UnorderedFloatReduction => {
+            if class.is_numeric() && !class.is_test_file {
+                Scope::NonTest
+            } else {
+                Scope::Off
+            }
+        }
+        // Every raw span in product code must claim its disjointness
+        // argument; raw-pointer confinement already limits this to the
+        // worker pool, so in practice the rule audits `par.rs`.
+        Rule::UnclaimedRawSpan => {
+            if class.in_crates && !class.is_test_file {
+                Scope::NonTest
+            } else {
+                Scope::Off
+            }
+        }
         Rule::UnwrapInLib => {
             if class.in_crates && !class.is_test_file && !class.is_bin && !class.is_example {
                 Scope::NonTest
@@ -383,6 +438,47 @@ fn item_after_attrs(tokens: &[Token], mut from: usize) -> Option<ItemShape> {
     None
 }
 
+/// Lines covered by `// fabcheck::allow(<marker>): why` comments: a
+/// marker comment covers its own last line and the line below it, so
+/// both a comment-above and a trailing same-line marker work. A
+/// **full-line** comment starting on an already-covered line continues
+/// the coverage (so a multi-line `//` allow block reaches the first code
+/// line after it) — but a *trailing* comment on a covered code line does
+/// not re-extend coverage downward, and a blank line always ends the
+/// chain. Coverage never tunnels past code or blank lines to a later
+/// statement.
+pub(crate) fn allow_lines(comments: &[Comment], tokens: &[Token], marker: &str) -> BTreeSet<u32> {
+    let needle = format!("fabcheck::allow({marker})");
+    let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
+    let mut out = BTreeSet::new();
+    for c in comments {
+        let continues = out.contains(&c.line_start) && !code_lines.contains(&c.line_start);
+        if c.text.contains(&needle) || continues {
+            out.insert(c.line_end);
+            out.insert(c.line_end + 1);
+        }
+    }
+    out
+}
+
+/// Whether `text` mentions `ident` as a whole word (identifier-boundary
+/// match, so a claim naming `lo` does not satisfy an argument `slot`).
+fn mentions_ident(text: &str, ident: &str) -> bool {
+    let is_word = |c: char| c == '_' || c.is_alphanumeric();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(ident) {
+        let start = from + pos;
+        let end = start + ident.len();
+        let before_ok = text[..start].chars().next_back().is_none_or(|c| !is_word(c));
+        let after_ok = text[end..].chars().next().is_none_or(|c| !is_word(c));
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
 /// A `// SAFETY:` (or `/* SAFETY: */`) comment annotates an `unsafe`
 /// token when it ends on the same line or at most [`SAFETY_WINDOW_LINES`]
 /// lines above it — and each comment annotates exactly **one** `unsafe`.
@@ -408,6 +504,65 @@ fn claim_safety_comment(comments: &[Comment], claimed: &mut [bool], unsafe_line:
         }
         None => false,
     }
+}
+
+/// Token index of the `)` matching the `(` at `open` (or the last token
+/// when unbalanced — robustness over validation, as everywhere here).
+fn matching_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        if !toks[j].is_ident {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Splits the arguments of a call whose `(` sits at `open` into
+/// half-open token-index ranges, one per top-level comma-separated
+/// argument.
+fn arg_ranges(toks: &[Token], open: usize) -> Vec<(usize, usize)> {
+    let close = matching_paren(toks, open);
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = open + 1;
+    for j in open + 1..close {
+        if toks[j].is_ident {
+            continue;
+        }
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                out.push((start, j));
+                start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < close {
+        out.push((start, close));
+    }
+    out
+}
+
+/// A numeric-literal token that is a float: has a decimal point or an
+/// `f32`/`f64` suffix (hex literals can end in `f32` by coincidence of
+/// digits, so those are excluded).
+fn is_float_literal(text: &str) -> bool {
+    !text.starts_with("0x")
+        && (text.contains('.') || text.ends_with("f32") || text.ends_with("f64"))
 }
 
 /// Runs every applicable rule over one file. `class.is_test_file` must
@@ -443,6 +598,8 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
     };
     let toks = &lexed.tokens;
     let mut claimed = vec![false; lexed.comments.len()];
+    let mut claim_claimed = vec![false; lexed.comments.len()];
+    let float_allow = allow_lines(&lexed.comments, toks, "unordered_float_reduction");
     for (i, t) in toks.iter().enumerate() {
         if !t.is_ident {
             // `*` immediately before `const`/`mut` is a raw-pointer type
@@ -578,7 +735,353 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                     format!("`{}!` in non-test code; tracked by the ratchet", t.text),
                 )
             }
+            // `.sum::<f32>()` / `.sum::<f64>()`: the turbofish names the
+            // float type, so this is lexically certain to be a float
+            // reduction whose result depends on accumulation order.
+            "sum" | "product"
+                if on(Rule::UnorderedFloatReduction, i)
+                    && !float_allow.contains(&t.line)
+                    && i >= 1
+                    && !toks[i - 1].is_ident
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|x| !x.is_ident && x.text == ":")
+                    && toks.get(i + 2).is_some_and(|x| !x.is_ident && x.text == ":")
+                    && toks.get(i + 3).is_some_and(|x| !x.is_ident && x.text == "<")
+                    && toks
+                        .get(i + 4)
+                        .is_some_and(|x| x.is_ident && matches!(x.text.as_str(), "f32" | "f64")) =>
+            {
+                push(
+                    Rule::UnorderedFloatReduction,
+                    t,
+                    format!(
+                        "`.{}::<{}>()` is an order-sensitive float reduction; route it \
+                         through a fixed-order serial kernel (`tensor::vecops`), or \
+                         bless this site with \
+                         `// fabcheck::allow(unordered_float_reduction): why` stating \
+                         the fixed-order argument",
+                        t.text,
+                        toks[i + 4].text
+                    ),
+                )
+            }
+            // `.fold(0.0, …)`: a float-literal accumulator seed marks a
+            // float fold whose result is accumulation-order dependent.
+            "fold"
+                if on(Rule::UnorderedFloatReduction, i)
+                    && !float_allow.contains(&t.line)
+                    && i >= 1
+                    && !toks[i - 1].is_ident
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|x| !x.is_ident && x.text == "(")
+                    && arg_ranges(toks, i + 1).first().is_some_and(|&(a, b)| {
+                        toks[a..b].iter().any(|x| {
+                            !x.is_ident
+                                && x.text.starts_with(|c: char| c.is_ascii_digit())
+                                && is_float_literal(&x.text)
+                        })
+                    }) =>
+            {
+                push(
+                    Rule::UnorderedFloatReduction,
+                    t,
+                    "float-seeded `.fold(…)` is an order-sensitive reduction; use a \
+                     fixed-order serial kernel, or bless this site with \
+                     `// fabcheck::allow(unordered_float_reduction): why` stating the \
+                     fixed-order argument"
+                        .to_string(),
+                )
+            }
+            // `sort_by`/`sort_unstable_by` comparing through `partial_cmp`
+            // on a *derived* key (indexing/expression, not a bare closure
+            // parameter) with no tuple tie-break: equal keys order by the
+            // input permutation, which thread count can change.
+            "sort_by" | "sort_unstable_by"
+                if on(Rule::UnorderedFloatReduction, i)
+                    && !float_allow.contains(&t.line)
+                    && i >= 1
+                    && !toks[i - 1].is_ident
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|x| !x.is_ident && x.text == "(") =>
+            {
+                let close = matching_paren(toks, i + 1);
+                let mut bars = (i + 2..close).filter(|&j| !toks[j].is_ident && toks[j].text == "|");
+                let params: Vec<&str> = match (bars.next(), bars.next()) {
+                    (Some(a), Some(b)) => toks[a + 1..b]
+                        .iter()
+                        .filter(|x| x.is_ident && x.text != "mut")
+                        .map(|x| x.text.as_str())
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                for j in i + 2..close {
+                    if !(toks[j].is_ident
+                        && toks[j].text == "partial_cmp"
+                        && j >= 2
+                        && !toks[j - 1].is_ident
+                        && toks[j - 1].text == ".")
+                    {
+                        continue;
+                    }
+                    let recv = &toks[j - 2];
+                    if recv.is_ident && params.contains(&recv.text.as_str()) {
+                        // `|a, b| a.partial_cmp(b)`: a direct value sort —
+                        // equal floats are interchangeable.
+                        continue;
+                    }
+                    let tie_broken = toks
+                        .get(j + 1)
+                        .is_some_and(|x| !x.is_ident && x.text == "(")
+                        && (j + 2..matching_paren(toks, j + 1))
+                            .any(|k| !toks[k].is_ident && toks[k].text == ",");
+                    if !tie_broken {
+                        push(
+                            Rule::UnorderedFloatReduction,
+                            t,
+                            "`partial_cmp` sort over a derived float key without a \
+                             value tie-break; sort `(key, index)` tuples so equal keys \
+                             order deterministically, or bless with \
+                             `// fabcheck::allow(unordered_float_reduction): why`"
+                                .to_string(),
+                        );
+                        break;
+                    }
+                }
+            }
+            // Every raw mutable span must claim the partition argument
+            // that makes its aliasing sound.
+            "from_raw_parts_mut"
+                if on(Rule::UnclaimedRawSpan, i)
+                    && toks.get(i + 1).is_some_and(|x| !x.is_ident && x.text == "(") =>
+            {
+                let close = matching_paren(toks, i + 1);
+                let args: Vec<&str> = toks[i + 2..close]
+                    .iter()
+                    .filter(|x| x.is_ident)
+                    .map(|x| x.text.as_str())
+                    .collect();
+                let best = lexed
+                    .comments
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, c)| {
+                        !claim_claimed[*k]
+                            && c.text.contains("fabcheck::claim(disjoint)")
+                            && c.line_end <= t.line
+                            && c.line_end + SAFETY_WINDOW_LINES >= t.line
+                    })
+                    .max_by_key(|(_, c)| c.line_end)
+                    .map(|(k, _)| k);
+                match best {
+                    None => push(
+                        Rule::UnclaimedRawSpan,
+                        t,
+                        "`from_raw_parts_mut` without its own \
+                         `// fabcheck::claim(disjoint): …` annotation in the preceding \
+                         lines (each span claims exactly one); state which argument \
+                         partitions the spans disjointly"
+                            .to_string(),
+                    ),
+                    Some(k) => {
+                        claim_claimed[k] = true;
+                        if !args.iter().any(|a| mentions_ident(&lexed.comments[k].text, a)) {
+                            push(
+                                Rule::UnclaimedRawSpan,
+                                t,
+                                "the `fabcheck::claim(disjoint)` annotation names none \
+                                 of this `from_raw_parts_mut` call's arguments; name \
+                                 the partition argument on the claim line itself"
+                                    .to_string(),
+                            )
+                        }
+                    }
+                }
+            }
             _ => {}
+        }
+    }
+    findings
+}
+
+/// Parses the integer value of a numeric-literal token (decimal or hex,
+/// `_` separators and type suffixes tolerated).
+fn int_value(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        let digits: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        u64::from_str_radix(&digits, 16).ok()
+    } else {
+        let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+        digits.parse().ok()
+    }
+}
+
+/// The workspace-level `seed-stream-registry` pass (cross-file, so it
+/// cannot run inside [`check_file`]).
+///
+/// Pass 1 collects the registry: every `pub const NAME: u64 = <id>;`
+/// inside a `mod streams { … }` block in crate `fl`, flagging duplicate
+/// ids (two streams sharing an id silently correlate their
+/// "independent" randomness) and a second registry module. Pass 2 audits
+/// every non-test `sub_seed(seed, STREAM, …)` call site in `crates/`:
+/// the stream argument must be a path ending in a registered constant —
+/// numeric literals and unregistered names are findings.
+pub fn check_seed_streams(files: &[(&FileClass, &str)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut registry: BTreeSet<String> = BTreeSet::new();
+    let mut by_id: BTreeMap<u64, String> = BTreeMap::new();
+    let mut registry_file: Option<String> = None;
+
+    for (class, src) in files {
+        if !class.in_crates || class.crate_name != "fl" || class.is_test_file {
+            continue;
+        }
+        let lexed = lex(src);
+        let toks = &lexed.tokens;
+        let mut i = 0;
+        while i + 2 < toks.len() {
+            if !(toks[i].is_ident
+                && toks[i].text == "mod"
+                && toks[i + 1].is_ident
+                && toks[i + 1].text == "streams"
+                && !toks[i + 2].is_ident
+                && toks[i + 2].text == "{")
+            {
+                i += 1;
+                continue;
+            }
+            match &registry_file {
+                None => registry_file = Some(class.rel.clone()),
+                Some(first) => findings.push(Finding {
+                    rule: Rule::SeedStreamRegistry,
+                    file: class.rel.clone(),
+                    line: toks[i].line,
+                    col: toks[i].col,
+                    message: format!(
+                        "second `mod streams` registry (first in `{first}`); the \
+                         seed-stream registry must be a single module in `fl::faults`"
+                    ),
+                }),
+            }
+            // Walk the registry block, collecting `const NAME … = <id> ;`.
+            let mut depth = 0i64;
+            let mut j = i + 2;
+            while j < toks.len() {
+                let t = &toks[j];
+                if !t.is_ident {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                    continue;
+                }
+                if t.text == "const" && toks.get(j + 1).is_some_and(|n| n.is_ident) {
+                    let name = &toks[j + 1];
+                    let mut k = j + 2;
+                    while k < toks.len() && toks[k].text != "=" && toks[k].text != ";" {
+                        k += 1;
+                    }
+                    let value = toks
+                        .get(k + 1)
+                        .filter(|v| {
+                            toks[k].text == "="
+                                && !v.is_ident
+                                && v.text.starts_with(|c: char| c.is_ascii_digit())
+                        })
+                        .and_then(|v| int_value(&v.text));
+                    registry.insert(name.text.clone());
+                    if let Some(v) = value {
+                        if let Some(first) = by_id.get(&v) {
+                            findings.push(Finding {
+                                rule: Rule::SeedStreamRegistry,
+                                file: class.rel.clone(),
+                                line: name.line,
+                                col: name.col,
+                                message: format!(
+                                    "stream id {v} is declared twice in the registry \
+                                     (`{first}` and `{}`); two streams sharing an id \
+                                     derive identical sub-seeds",
+                                    name.text
+                                ),
+                            });
+                        } else {
+                            by_id.insert(v, name.text.clone());
+                        }
+                    }
+                    j = k;
+                    continue;
+                }
+                j += 1;
+            }
+            i = j.max(i + 1);
+        }
+    }
+
+    for (class, src) in files {
+        if !class.in_crates || class.is_test_file {
+            continue;
+        }
+        let lexed = lex(src);
+        let toks = &lexed.tokens;
+        let spans = test_spans(toks);
+        let in_test = |idx: usize| spans.iter().any(|&(a, b)| idx >= a && idx < b);
+        for (i, t) in toks.iter().enumerate() {
+            if !(t.is_ident
+                && t.text == "sub_seed"
+                && toks.get(i + 1).is_some_and(|n| !n.is_ident && n.text == "(")
+                && !in_test(i)
+                // Skip the definition itself (`fn sub_seed(master, …)`).
+                && !(i >= 1 && toks[i - 1].is_ident && toks[i - 1].text == "fn"))
+            {
+                continue;
+            }
+            let args = arg_ranges(toks, i + 1);
+            let Some(&(a, b)) = args.get(1) else {
+                continue;
+            };
+            let stream = &toks[a..b];
+            if let Some(lit) = stream
+                .iter()
+                .find(|x| !x.is_ident && x.text.starts_with(|c: char| c.is_ascii_digit()))
+            {
+                findings.push(Finding {
+                    rule: Rule::SeedStreamRegistry,
+                    file: class.rel.clone(),
+                    line: lit.line,
+                    col: lit.col,
+                    message: format!(
+                        "`sub_seed` stream id is the magic number `{}`; declare it as \
+                         a named constant in the `fl::faults::streams` registry and \
+                         reference it, so stream collisions are visible in one place",
+                        lit.text
+                    ),
+                });
+                continue;
+            }
+            let Some(name) = stream.iter().rev().find(|x| x.is_ident) else {
+                continue;
+            };
+            if !registry.contains(&name.text) {
+                findings.push(Finding {
+                    rule: Rule::SeedStreamRegistry,
+                    file: class.rel.clone(),
+                    line: name.line,
+                    col: name.col,
+                    message: format!(
+                        "`sub_seed` stream id `{}` is not declared in the \
+                         `fl::faults::streams` registry; every stream id lives there \
+                         so collisions are impossible to miss",
+                        name.text
+                    ),
+                });
+            }
         }
     }
     findings

@@ -1,0 +1,22 @@
+//! Deliberately bad fixture for `seed-stream-registry`: a registry with a
+//! duplicate stream id, plus call sites using an unregistered constant.
+//! Never compiled — only scanned.
+
+pub mod streams {
+    pub const TRAIN_DATA: u64 = 1;
+    pub const TEST_DATA: u64 = 2;
+    /// Collision: same id as `TRAIN_DATA` — correlated "randomness".
+    pub const ATTACK: u64 = 1;
+}
+
+/// A constant declared OUTSIDE the registry module: call sites using it
+/// must be flagged as unregistered.
+pub const ROGUE_STREAM: u64 = 7;
+
+pub fn sub_seed(master: u64, stream: u64, a: u64, b: u64) -> u64 {
+    master ^ stream ^ a ^ b
+}
+
+pub fn derive(seed: u64) -> u64 {
+    sub_seed(seed, ROGUE_STREAM, 0, 0)
+}

@@ -11,3 +11,8 @@ pub fn select(n: usize) -> HashSet<usize> {
     let _ = (threads, &mut rng);
     (0..n).collect()
 }
+
+/// `seed-stream-registry`: a magic-number stream id at the call site.
+pub fn derive(seed: u64) -> u64 {
+    crate::faults::sub_seed(seed, 3, 0, 0)
+}

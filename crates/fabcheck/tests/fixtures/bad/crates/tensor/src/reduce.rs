@@ -1,0 +1,39 @@
+//! Deliberately bad fixture for `unordered-float-reduction`, including
+//! the allow-comment scoping cases: an allow separated from its site by a
+//! blank line must NOT suppress, and an allow consumed by one line must
+//! not leak past a trailing comment to the next. Never compiled — only
+//! scanned.
+
+pub fn naked_sum(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>()
+}
+
+pub fn float_seeded_fold(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |acc, &x| acc + x)
+}
+
+pub fn sort_without_tie_break(scores: &[f32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = scores.get(a).copied().unwrap_or(0.0);
+        let kb = scores.get(b).copied().unwrap_or(0.0);
+        ka.abs()
+            .partial_cmp(&kb.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+pub fn allow_separated_by_blank_line(xs: &[f32]) -> f32 {
+    // fabcheck::allow(unordered_float_reduction): stale — a blank line
+    // separates this comment from the site, so it must NOT suppress.
+
+    xs.iter().map(|x| x + 1.0).sum::<f32>()
+}
+
+pub fn allow_must_not_leak_past_trailing_comment(xs: &[f32]) -> (f32, f32) {
+    // fabcheck::allow(unordered_float_reduction): covers only the next line
+    let a = xs.iter().map(|x| x * x).sum::<f32>(); // trailing note
+    let b = xs.iter().map(|x| x - 1.0).sum::<f32>();
+    (a, b)
+}

@@ -1,0 +1,26 @@
+//! Clean fixture: the blessed seed-stream shape — one `streams` registry
+//! module with unique ids, and every `sub_seed` call site referencing a
+//! registry constant. fabcheck must report nothing here.
+
+/// The one registry module (`seed-stream-registry` requires exactly one
+/// per workspace, in the `fl` crate).
+pub mod streams {
+    /// Training-data synthesis stream.
+    pub const TRAIN_DATA: u64 = 1;
+    /// Client-sampling stream.
+    pub const CLIENT_SAMPLING: u64 = 6;
+}
+
+/// SplitMix-style mixing stand-in (the definition itself is not a call
+/// site; the rule must not flag the parameter list).
+pub fn sub_seed(master: u64, stream: u64, a: u64, b: u64) -> u64 {
+    master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ a ^ b
+}
+
+/// Registered call sites: named constants, never bare literals.
+pub fn derive(seed: u64, round: u64) -> (u64, u64) {
+    (
+        sub_seed(seed, streams::TRAIN_DATA, 0, 0),
+        sub_seed(seed, streams::CLIENT_SAMPLING, round, 0),
+    )
+}

@@ -1,0 +1,30 @@
+//! Clean fixture: the thread layer's monopolies, all properly used.
+//! `dispatch` is a declared hot entry, and this file is the one blessed
+//! location for blocking synchronization (`io-on-hot-path` exempts it)
+//! and raw spans — provided each `from_raw_parts_mut` carries its own
+//! `fabcheck::claim(disjoint)` annotation. Nothing may fire here.
+
+use std::sync::Mutex;
+
+/// Worker wake-up flag (blocking primitives are this file's monopoly).
+pub static GATE: Mutex<usize> = Mutex::new(0);
+
+/// Hot entry: hands each worker a disjoint span of `data`.
+pub fn dispatch(data: &mut [f32], workers: usize) {
+    if let Ok(mut g) = GATE.lock() {
+        *g += 1;
+    }
+    let len = data.len();
+    let per = len.div_ceil(workers.max(1));
+    let base = data.as_mut_ptr();
+    for w in 0..workers {
+        let lo = (w * per).min(len);
+        let hi = ((w + 1) * per).min(len);
+        // SAFETY: `[lo, hi)` lies inside `data`, which outlives the loop;
+        // spans for distinct `w` never overlap.
+        // fabcheck::claim(disjoint): `lo` strides by whole `per`-sized
+        // blocks, so workers' `[lo, hi)` ranges partition `data`.
+        let span = unsafe { std::slice::from_raw_parts_mut(base.wrapping_add(lo), hi - lo) };
+        span.fill(0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Clean fixture for `unordered-float-reduction`: the three blessed
+//! shapes — an allow-annotated fixed-order kernel, a direct value sort,
+//! and a derived-key sort with a value tie-break. No findings here.
+
+/// A blessed fixed-order reduction: the allow comment states the
+/// fixed-order argument, so the `.sum::<f32>()` needle is escaped.
+pub fn norm_sq(a: &[f32]) -> f32 {
+    // fabcheck::allow(unordered_float_reduction): serial left-to-right
+    // slice iteration; this IS the fixed-order kernel.
+    a.iter().map(|x| x * x).sum::<f32>()
+}
+
+/// Sorting *values* by `partial_cmp` needs no tie-break: equal floats are
+/// bitwise interchangeable, so stability is unobservable.
+pub fn sort_values(v: &mut [f32]) {
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+}
+
+/// Sorting by a *derived* key with a value tie-break: equal keys order by
+/// the tuple's second component, so the permutation is deterministic.
+pub fn order_by_distance(xs: &[f32], med: f32) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = xs.get(a).copied().unwrap_or(0.0);
+        let kb = xs.get(b).copied().unwrap_or(0.0);
+        ((ka - med).abs(), a)
+            .partial_cmp(&((kb - med).abs(), b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}

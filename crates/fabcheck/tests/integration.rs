@@ -61,6 +61,10 @@ fn bad_fixture_reports_every_forbidden_rule() {
         "thread-spawn-outside-par",
         "raw-pointer-outside-par",
         "alloc-on-hot-path",
+        "seed-stream-registry",
+        "unordered-float-reduction",
+        "io-on-hot-path",
+        "unclaimed-raw-span",
     ] {
         assert!(fired.contains(&rule), "missing {rule} in {fired:?}");
     }
@@ -132,7 +136,7 @@ fn clean_fixture_is_silent() {
         report.findings
     );
     assert!(report.counted.is_empty(), "{:?}", report.counted);
-    assert_eq!(report.files_checked, 4);
+    assert_eq!(report.files_checked, 7);
 }
 
 #[test]
@@ -202,9 +206,11 @@ fn bless_rewrites_baseline_and_future_runs_pass() {
         blessed["panic-on-hot-path"]["crates/tensor/src/matmul.rs"],
         3
     );
-    // Blessing a v1 baseline rewrites it in the v2 envelope.
+    // Blessing a v1 baseline rewrites it in the v3 envelope, roster
+    // included.
     let raw = std::fs::read_to_string(&baseline_path).expect("read blessed");
-    assert!(raw.contains("\"schema_version\": 2"), "{raw}");
+    assert!(raw.contains("\"schema_version\": 3"), "{raw}");
+    assert!(raw.contains("\"rules\": ["), "{raw}");
     // With the counted debt blessed, only the forbidden findings remain.
     let report = check_workspace(&dir).expect("scan");
     let (regressions, _) = ratchet::compare(&blessed, &report.counts);
@@ -248,6 +254,155 @@ fn json_output_matches_golden_file() {
         .map(|(_, v)| format!("{v:?}"))
         .expect("callgraph section");
     assert!(callgraph.contains("tensor::matmul::pack"), "{callgraph}");
+}
+
+/// The allow-comment scoping bugfix, pinned against the fixture: an
+/// allow separated from its site by a blank line must NOT suppress, and
+/// coverage consumed by one line must not chain through a *trailing*
+/// comment onto the next line. Only full-line comments continue a block.
+#[test]
+fn allow_comments_do_not_chain_past_blank_lines_or_trailing_comments() {
+    let report = check_workspace(&fixture("bad")).expect("scan");
+    let reduce_lines: Vec<u32> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            f.rule == Rule::UnorderedFloatReduction && f.file == "crates/tensor/src/reduce.rs"
+        })
+        .map(|f| f.line)
+        .collect();
+    // Line 31: the site below the blank-line-separated allow still fires.
+    assert!(reduce_lines.contains(&31), "{reduce_lines:?}");
+    // Line 36 is covered by its allow; line 37 (after the trailing
+    // comment on 36) must NOT inherit that coverage.
+    assert!(!reduce_lines.contains(&36), "{reduce_lines:?}");
+    assert!(reduce_lines.contains(&37), "{reduce_lines:?}");
+}
+
+/// The duplicate-stream-id fixture: both the collision and the
+/// unregistered call sites are reported with exact positions.
+#[test]
+fn seed_stream_registry_findings_are_position_exact() {
+    let report = check_workspace(&fixture("bad")).expect("scan");
+    let streams: Vec<(&str, u32)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::SeedStreamRegistry)
+        .map(|f| (f.file.as_str(), f.line))
+        .collect();
+    assert!(
+        streams.contains(&("crates/fl/src/faults.rs", 9)),
+        "duplicate id missing: {streams:?}"
+    );
+    assert!(
+        streams.contains(&("crates/fl/src/faults.rs", 21)),
+        "unregistered constant missing: {streams:?}"
+    );
+    assert!(
+        streams.contains(&("crates/fl/src/sim.rs", 17)),
+        "magic literal missing: {streams:?}"
+    );
+}
+
+/// v2 → v3 baseline migration, end to end through the binary: a clean
+/// tree with a v2-envelope baseline passes as-is, `--bless` rewrites it
+/// in the v3 envelope (roster included), and the tree still passes.
+#[test]
+fn v2_baseline_migrates_to_v3_roundtrip() {
+    let dir = copy_fixture("clean", "migrate");
+    let root = dir.to_str().expect("utf8 path");
+    let before = std::fs::read_to_string(dir.join("FABCHECK_BASELINE.json")).expect("read");
+    assert!(before.contains("\"schema_version\": 2"), "{before}");
+    let (code, _, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 0, "v2 baseline must parse");
+    let (code, _, _) = run_binary(&["--bless", "--root", root]);
+    assert_eq!(code, 0);
+    let after = std::fs::read_to_string(dir.join("FABCHECK_BASELINE.json")).expect("read");
+    assert!(after.contains("\"schema_version\": 3"), "{after}");
+    assert!(after.contains("\"rules\": ["), "{after}");
+    let (code, _, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 0, "v3 baseline must pass unchanged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Workspace root for tests that scan the real tree.
+fn real_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+/// The PR-6 cross-crate edge, pinned: the `--json` callgraph proves
+/// `fl::stream::StreamingServer::submit` reaches `tensor::vecops` through
+/// `aggregation::streaming::StreamingAggregator::ingest` — the chain the
+/// per-crate v2 graph could not see.
+#[test]
+fn cross_crate_hot_chain_appears_in_json_callgraph() {
+    let root = real_root().to_str().expect("utf8 path");
+    let (_, stdout, _) = run_binary(&["--json", "--root", root]);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let hot = v
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "callgraph"))
+        .and_then(|(_, cg)| cg.as_map())
+        .and_then(|m| m.iter().find(|(k, _)| k == "hot"))
+        .map(|(_, h)| format!("{h:?}"))
+        .expect("hot section");
+    for link in [
+        "fl::stream::StreamingServer::submit",
+        "aggregation::streaming::StreamingAggregator::ingest",
+        "tensor::vecops::l2_norm_delta",
+    ] {
+        assert!(hot.contains(link), "chain link {link} missing");
+    }
+    // The via chain itself crosses all three crates in entry order.
+    let chain = hot
+        .split("l2_norm_delta")
+        .find(|seg| seg.contains("via"))
+        .map(|seg| seg.to_string());
+    assert!(chain.is_some(), "no via chain ends at l2_norm_delta");
+}
+
+/// Planting an allocation in `StreamingAggregator::ingest` must flip
+/// `--ci` to failure with a route from the `fl` entry — the cross-crate
+/// false negative this release closes.
+#[test]
+fn vec_in_ingest_flips_ci_from_fl_entry() {
+    let src = real_root();
+    let dir = std::env::temp_dir().join(format!("fabcheck-xcrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(&src.join("crates"), &dir.join("crates")).expect("copy crates");
+    copy_tree(&src.join("compat"), &dir.join("compat")).expect("copy compat");
+    std::fs::copy(src.join("Cargo.toml"), dir.join("Cargo.toml")).expect("copy manifest");
+    std::fs::copy(
+        src.join(fabcheck::BASELINE_FILE),
+        dir.join(fabcheck::BASELINE_FILE),
+    )
+    .expect("copy baseline");
+    let root = dir.to_str().expect("utf8 path");
+    let (code, stdout, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 0, "copied tree must start clean: {stdout}");
+
+    let target = dir.join("crates/aggregation/src/streaming.rs");
+    let text = std::fs::read_to_string(&target).expect("read streaming.rs");
+    let needle = "pub fn ingest(&mut self, update: &[f32], weight: f32) {";
+    let planted = text.replace(
+        needle,
+        "pub fn ingest(&mut self, update: &[f32], weight: f32) {\n        \
+         let _grow = vec![0.0f32; update.len()];",
+    );
+    assert_ne!(planted, text, "ingest signature moved; update the test");
+    std::fs::write(&target, planted).expect("write streaming.rs");
+
+    let (code, stdout, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 1, "planted alloc must fail CI: {stdout}");
+    assert!(stdout.contains("alloc-on-hot-path"), "{stdout}");
+    assert!(
+        stdout.contains("fl::stream::StreamingServer::submit"),
+        "route must start at the fl entry: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// The real workspace must stay clean: this is the same check CI runs,

@@ -17,10 +17,40 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Stream id of the fault plan in the [`sub_seed`] scheme (streams 1–10
-/// are taken by data, partition, init, sampling, client/attack/server
-/// RNGs — see the derivation table in DESIGN.md §4b).
-const FAULT_STREAM: u64 = 11;
+/// The seed-stream registry: every independent random stream derived
+/// from the master seed via [`sub_seed`] is named here, and **only**
+/// here (DESIGN.md §4d). fabcheck's `seed-stream-registry` rule rejects
+/// `sub_seed` call sites whose stream argument is a bare literal or a
+/// constant declared anywhere else, and rejects two constants in this
+/// module sharing an id — so a stream collision (two "independent" RNGs
+/// drawing correlated values) is a compile-adjacent error, not a silent
+/// statistics bug.
+pub mod streams {
+    /// Training-set synthesis (`Dataset::synthesize_split`, train half).
+    pub const TRAIN_DATA: u64 = 1;
+    /// Held-out test-set synthesis (same task spec, independent draw).
+    pub const TEST_DATA: u64 = 2;
+    /// Dirichlet non-IID shard assignment over the training set.
+    pub const PARTITION: u64 = 3;
+    /// Uniform choice of the adversary-controlled client subset.
+    pub const MALICIOUS_SET: u64 = 4;
+    /// Global model parameter initialisation.
+    pub const MODEL_INIT: u64 = 5;
+    /// Per-round client-sampling shuffle.
+    pub const CLIENT_SAMPLING: u64 = 6;
+    /// Per-(round, client) benign local-training RNG.
+    pub const CLIENT_TRAIN: u64 = 7;
+    /// Per-round adversarial update crafting.
+    pub const ATTACK: u64 = 8;
+    /// FLTrust server root-dataset synthesis.
+    pub const FLTRUST_ROOT: u64 = 9;
+    /// FLTrust server-side root-update training RNG.
+    pub const FLTRUST_SERVER: u64 = 10;
+    /// Transport fault plan: dropout/straggler/malformed resolution and
+    /// payload corruption (shared by [`super::FaultPlan::fault_for`] and
+    /// `sim.rs`, which must draw the *same* word per (round, client)).
+    pub const FAULTS: u64 = 11;
+}
 
 /// SplitMix-style mixing for independent deterministic sub-streams of one
 /// master seed. Every RNG in the simulator is seeded through this
@@ -185,7 +215,7 @@ impl FaultPlan {
         if !self.is_active() {
             return None;
         }
-        let x = sub_seed(seed, FAULT_STREAM, round, client);
+        let x = sub_seed(seed, streams::FAULTS, round, client);
         let u = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         let mut edge = self.dropout as f64;
         if u < edge {

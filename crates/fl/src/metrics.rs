@@ -97,6 +97,7 @@ impl RunResult {
     /// Maximum global accuracy over the run — the paper's `acc_max`
     /// (for clean FedAvg runs, `acc_natk`).
     pub fn max_accuracy(&self) -> f32 {
+        // fabcheck::allow(unordered_float_reduction): running max over rounds in recorded order
         self.rounds.iter().map(|r| r.accuracy).fold(0.0, f32::max)
     }
 

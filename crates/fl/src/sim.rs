@@ -3,7 +3,7 @@
 //! degradation of DESIGN.md §4d.
 
 use crate::checkpoint::{self, Checkpoint, CheckpointSpec, PendingStale};
-use crate::faults::{corrupt_payload, sub_seed, ClientFault, StragglerPolicy};
+use crate::faults::{corrupt_payload, streams, sub_seed, ClientFault, StragglerPolicy};
 use crate::metrics::{RoundRecord, RunResult};
 use crate::{FlConfig, FlError};
 use fabflip_agg::{AggError, Aggregation, Selection};
@@ -170,17 +170,17 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
         &spec,
         cfg.train_size,
         TASK_SEED,
-        sub_seed(cfg.seed, 1, 0, 0),
+        sub_seed(cfg.seed, streams::TRAIN_DATA, 0, 0),
     );
     let test =
-        Dataset::synthesize_split(&spec, cfg.test_size, TASK_SEED, sub_seed(cfg.seed, 2, 0, 0));
-    let shards = dirichlet_partition(&train, cfg.n_clients, cfg.beta, sub_seed(cfg.seed, 3, 0, 0))?;
+        Dataset::synthesize_split(&spec, cfg.test_size, TASK_SEED, sub_seed(cfg.seed, streams::TEST_DATA, 0, 0));
+    let shards = dirichlet_partition(&train, cfg.n_clients, cfg.beta, sub_seed(cfg.seed, streams::PARTITION, 0, 0))?;
 
     // Adversary-controlled clients: a uniformly random subset, kept as a
     // sorted vector (membership via binary search) so every iteration over
     // it is deterministic — a HashSet here leaks hash order into the
     // adversary's data pool (fabcheck: nondeterministic-collection).
-    let mut setup_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 4, 0, 0));
+    let mut setup_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::MALICIOUS_SET, 0, 0));
     let mut ids: Vec<usize> = (0..cfg.n_clients).collect();
     ids.shuffle(&mut setup_rng);
     let mut malicious: Vec<usize> = ids[..cfg.n_malicious()].to_vec();
@@ -216,7 +216,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
     // independent sample stream).
     let fltrust_root = cfg
         .fltrust_root_size
-        .map(|n| Dataset::synthesize_split(&spec, n, TASK_SEED, sub_seed(cfg.seed, 9, 0, 0)));
+        .map(|n| Dataset::synthesize_split(&spec, n, TASK_SEED, sub_seed(cfg.seed, streams::FLTRUST_ROOT, 0, 0)));
     let build_model = {
         let task = cfg.task;
         move |rng: &mut StdRng| task.build_model(rng)
@@ -227,7 +227,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
     let faults_active = cfg.faults.is_active();
     let fingerprint = ckpt.map(|_| checkpoint::fingerprint(cfg));
 
-    let mut init_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 5, 0, 0));
+    let mut init_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::MODEL_INIT, 0, 0));
     let mut global_model = cfg.task.build_model(&mut init_rng);
     let mut global = global_model.flat_params();
     let mut prev_global: Option<Vec<f32>> = None;
@@ -262,7 +262,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
 
     for round in start_round..cfg.rounds {
         let round_u64 = round as u64;
-        let mut round_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, 6, round_u64, 0));
+        let mut round_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::CLIENT_SAMPLING, round_u64, 0));
         let mut pool: Vec<usize> = (0..cfg.n_clients).collect();
         pool.shuffle(&mut round_rng);
         let selected = &pool[..cfg.clients_per_round];
@@ -304,7 +304,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                 // Dropout strikes before local compute: nothing to train.
                 return Ok(LocalOutcome::Dropped);
             }
-            let mut crng = StdRng::seed_from_u64(sub_seed(cfg.seed, 7, round_u64, client as u64));
+            let mut crng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::CLIENT_TRAIN, round_u64, client as u64));
             let w = train_benign_client(cfg, train_ref, shard, global_ref, &mut crng)?;
             if w.iter().any(|v| !v.is_finite()) {
                 // Local training diverged (possible once the global model
@@ -370,7 +370,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                     task: &task_info,
                     build_model: &build_model,
                 };
-                let mut arng = StdRng::seed_from_u64(sub_seed(cfg.seed, 8, round_u64, 0));
+                let mut arng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::ATTACK, round_u64, 0));
                 match attack.craft(&ctx, &mut arng) {
                     Ok(w_mal) => {
                         for &(s, client) in &malicious_sel {
@@ -478,7 +478,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                     corrupt_payload(
                         kind,
                         &mut payload,
-                        sub_seed(cfg.seed, 11, round_u64, entry.client as u64),
+                        sub_seed(cfg.seed, streams::FAULTS, round_u64, entry.client as u64),
                     );
                     if server_accepts(&payload, d) {
                         if entry.malicious {
@@ -506,7 +506,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
         } else if let Some(root) = &fltrust_root {
             // FLTrust: the server computes its own root update, then
             // trust-scores the clients against it (any cohort n ≥ 1).
-            let mut srng = StdRng::seed_from_u64(sub_seed(cfg.seed, 10, round_u64, 0));
+            let mut srng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::FLTRUST_SERVER, round_u64, 0));
             let all: Vec<usize> = (0..root.len()).collect();
             let server_update = train_benign_client(cfg, root, &all, &global, &mut srng)?;
             Some(fabflip_agg::fltrust_aggregate(

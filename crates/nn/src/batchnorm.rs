@@ -96,6 +96,7 @@ impl Layer for BatchNorm2d {
                 let mut sum = 0.0f32;
                 for ni in 0..n {
                     let base = (ni * c + ch) * plane;
+                    // fabcheck::allow(unordered_float_reduction): serial per-plane sum in memory order
                     sum += input.data()[base..base + plane].iter().sum::<f32>();
                 }
                 let mean = sum / m;

