@@ -137,12 +137,10 @@ pub fn krum_scores_into(
         // Checked gather of i's distances to the rest of the pool: a miss
         // is impossible (`dists` is the full n_total² matrix) and maps to
         // +inf so misuse would surface in the scores, not a panic.
-        let others = pool.iter().filter(|&&j| j != i).map(|&j| {
-            dists
-                .get(i * n_total + j)
-                .copied()
-                .unwrap_or(f32::INFINITY)
-        });
+        let others = pool
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| dists.get(i * n_total + j).copied().unwrap_or(f32::INFINITY));
         for (slot, dist) in row.iter_mut().zip(others) {
             *slot = dist;
         }

@@ -17,12 +17,18 @@
 //! codecs, and the quadratic selection family runs the blocked O(B·n)-
 //! resident kernels.
 //!
+//! The full run also reports the per-backend GEMM section (every
+//! supported `fabflip_tensor::backend` at 256/1024), backend × thread
+//! GEMM scaling, and the per-backend `vecops` reduction microbench at
+//! d = 256/4096/65536 (DESIGN.md §4f).
+//!
 //! `--smoke` runs the dispatch microbench with a reduced dispatch count
 //! plus a reduced n-sweep (n = 50/500), does not write
 //! `BENCH_kernels.json`, and exits non-zero when the pool is not
-//! measurably faster than per-dispatch spawning or the streaming path
-//! diverges from batch FedAvg — CI uses this as a cheap perf/correctness
-//! regression gate.
+//! measurably faster than per-dispatch spawning, the streaming path
+//! diverges from batch FedAvg, or (on SIMD-capable hosts) the detected
+//! backend's 1024³ GEMM falls below the committed autovectorized
+//! baseline — CI uses this as a cheap perf/correctness regression gate.
 
 use fabflip::{ZkaConfig, ZkaG, ZkaR};
 use fabflip_agg::{
@@ -34,7 +40,8 @@ use fabflip_data::{Dataset, SynthSpec};
 use fabflip_fl::{simulate, Codec, FlConfig, StreamingServer, TaskKind};
 use fabflip_nn::losses::softmax_cross_entropy_hard;
 use fabflip_nn::{Conv2d, Layer};
-use fabflip_tensor::{matmul_into, matmul_into_serial, par, quant, Tensor};
+use fabflip_tensor::backend::{self, Kind, ALL_KINDS};
+use fabflip_tensor::{matmul_into, matmul_into_serial, par, quant, vecops, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
@@ -57,6 +64,12 @@ fn seed_matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
         }
     }
 }
+
+/// 1024³ GEMM GFLOP/s of the pre-backend autovectorized
+/// `target-cpu=native` build (committed BENCH_kernels.json baseline).
+/// The detected-SIMD runtime backend must beat it — runtime dispatch is
+/// only worth shipping if it recovers at least what static codegen gave.
+const COMMITTED_AUTOVEC_1024_GFLOPS: f64 = 66.038;
 
 /// Best-of-`reps` wall-clock seconds for `f`.
 fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -108,8 +121,54 @@ fn bench_matmul(sizes: &[usize]) -> (Vec<Value>, f64) {
     (rows, speedup_1024)
 }
 
-/// Multi-threaded GEMM scaling: the same `matmul_into` at explicit thread
-/// budgets, so the JSON reports parallel throughput instead of only the
+/// Per-backend serial GEMM throughput (DESIGN.md §4f): every supported
+/// backend at each size, forced via `backend::force` (safe here — the
+/// bench harness is single-threaded). Returns the rows plus the
+/// auto-detected backend's 1024³ GFLOP/s for the smoke gate.
+fn bench_matmul_backends(sizes: &[usize]) -> (Vec<Value>, f64) {
+    let detected = backend::active_kind();
+    let mut rows = Vec::new();
+    let mut detected_1024 = 0.0f64;
+    for &s in sizes {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a: Vec<f32> = (0..s * s).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..s * s).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut c = vec![0.0f32; s * s];
+        let flops = 2.0 * (s as f64).powi(3);
+        let reps = if s >= 1024 { 5 } else { 7 };
+        for kind in ALL_KINDS {
+            if !kind.supported() {
+                continue;
+            }
+            backend::force(Some(kind));
+            let t = time_best(reps, || {
+                c.iter_mut().for_each(|v| *v = 0.0);
+                matmul_into_serial(&a, &b, &mut c, s, s, s);
+            });
+            backend::force(None);
+            let gflops = flops / t / 1e9;
+            if s == 1024 && kind == detected {
+                detected_1024 = gflops;
+            }
+            println!(
+                "matmul {s}x{s}x{s} [{}]: {gflops:.2} GFLOP/s{}",
+                kind.name(),
+                if kind == detected { " (detected)" } else { "" }
+            );
+            rows.push(serde_json::json!({
+                "backend": kind.name(),
+                "detected": kind == detected,
+                "size": s as u64,
+                "gflops": gflops,
+            }));
+        }
+    }
+    (rows, detected_1024)
+}
+
+/// GEMM scaling across backend × thread budget: the same `matmul_into`
+/// under every supported backend at explicit thread counts, so the JSON
+/// reports how SIMD width and parallelism compose instead of only the
 /// ambient (often 1-thread CI) budget.
 fn bench_matmul_threads() -> Vec<Value> {
     const S: usize = 512;
@@ -120,29 +179,101 @@ fn bench_matmul_threads() -> Vec<Value> {
     let flops = 2.0 * (S as f64).powi(3);
     let prev = par::max_threads();
     let mut rows = Vec::new();
-    let mut t_one = 0.0f64;
-    for threads in [1usize, 2, 4] {
-        par::set_max_threads(threads);
-        let t = time_best(3, || {
-            c.iter_mut().for_each(|v| *v = 0.0);
-            matmul_into(&a, &b, &mut c, S, S, S);
-        });
-        if threads == 1 {
-            t_one = t;
+    for kind in ALL_KINDS {
+        if !kind.supported() {
+            continue;
         }
-        println!(
-            "matmul {S}x{S}x{S} @ {threads} threads: {:.2} GFLOP/s, speedup {:.2}x vs 1 thread",
-            flops / t / 1e9,
-            t_one / t
-        );
-        rows.push(serde_json::json!({
-            "size": S as u64,
-            "threads": threads as u64,
-            "gflops": flops / t / 1e9,
-            "speedup_vs_one_thread": t_one / t,
-        }));
+        backend::force(Some(kind));
+        let mut t_one = 0.0f64;
+        for threads in [1usize, 2, 4] {
+            par::set_max_threads(threads);
+            let t = time_best(3, || {
+                c.iter_mut().for_each(|v| *v = 0.0);
+                matmul_into(&a, &b, &mut c, S, S, S);
+            });
+            if threads == 1 {
+                t_one = t;
+            }
+            println!(
+                "matmul {S}x{S}x{S} [{}] @ {threads} threads: {:.2} GFLOP/s, speedup {:.2}x vs 1 thread",
+                kind.name(),
+                flops / t / 1e9,
+                t_one / t
+            );
+            rows.push(serde_json::json!({
+                "backend": kind.name(),
+                "size": S as u64,
+                "threads": threads as u64,
+                "gflops": flops / t / 1e9,
+                "speedup_vs_one_thread": t_one / t,
+            }));
+        }
+        backend::force(None);
     }
     par::set_max_threads(prev);
+    rows
+}
+
+/// Reduction microbench: `dot`/`l2_norm` and their fused delta forms per
+/// backend at paper-relevant vector lengths (a conv layer's filter bank,
+/// a small model, a Cifar-scale model slice).
+fn bench_vecops_reduce() -> Vec<Value> {
+    let mut rows = Vec::new();
+    for &d in &[256usize, 4_096, 65_536] {
+        let mut rng = StdRng::seed_from_u64(9 + d as u64);
+        let x: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let y: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let r: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // Repeat each timed call enough to rise above timer noise.
+        let inner = (1 << 22) / d.max(1);
+        let mut sink = 0.0f32;
+        for kind in ALL_KINDS {
+            if !kind.supported() {
+                continue;
+            }
+            backend::force(Some(kind));
+            let t_dot = time_best(3, || {
+                for _ in 0..inner {
+                    sink += vecops::dot(&x, &y);
+                }
+            }) / inner as f64;
+            let t_l2 = time_best(3, || {
+                for _ in 0..inner {
+                    sink += vecops::l2_norm(&x);
+                }
+            }) / inner as f64;
+            let t_dotd = time_best(3, || {
+                for _ in 0..inner {
+                    sink += vecops::dot_delta(&x, &y, &r);
+                }
+            }) / inner as f64;
+            let t_l2d = time_best(3, || {
+                for _ in 0..inner {
+                    sink += vecops::l2_norm_delta(&x, &r);
+                }
+            }) / inner as f64;
+            backend::force(None);
+            // dot reads 2 vectors: 8 bytes per element per pass.
+            let gbps = |t: f64, vecs: f64| (d as f64) * 4.0 * vecs / t / 1e9;
+            println!(
+                "vecops d={d} [{}]: dot {:.2} GB/s, l2 {:.2} GB/s, dot_delta {:.2} GB/s, l2_delta {:.2} GB/s",
+                kind.name(),
+                gbps(t_dot, 2.0),
+                gbps(t_l2, 1.0),
+                gbps(t_dotd, 3.0),
+                gbps(t_l2d, 2.0),
+            );
+            rows.push(serde_json::json!({
+                "backend": kind.name(),
+                "d": d as u64,
+                "dot_gbps": gbps(t_dot, 2.0),
+                "l2_norm_gbps": gbps(t_l2, 1.0),
+                "dot_delta_gbps": gbps(t_dotd, 3.0),
+                "l2_norm_delta_gbps": gbps(t_l2d, 2.0),
+            }));
+        }
+        assert!(sink.is_finite());
+    }
     rows
 }
 
@@ -576,15 +707,44 @@ fn main() {
             std::process::exit(1);
         }
         let _ = bench_n_sweep(true);
+        // SIMD-dispatch gate (DESIGN.md §4f): on hosts where CPUID finds
+        // a SIMD backend, its 1024³ GEMM must beat the committed
+        // autovectorized `target-cpu=native` number — runtime dispatch
+        // must not cost throughput vs the old static build. Scalar-only
+        // hosts skip the gate (there the portable build is the baseline).
+        let detected = backend::active_kind();
+        if detected == Kind::Scalar {
+            println!("smoke: scalar-only host, skipping SIMD GEMM gate");
+        } else {
+            let (_, detected_1024) = bench_matmul_backends(&[1024]);
+            if detected_1024 < COMMITTED_AUTOVEC_1024_GFLOPS {
+                eprintln!(
+                    "FAIL: detected backend {} 1024^3 GEMM {detected_1024:.2} GFLOP/s \
+                     < committed autovectorized {COMMITTED_AUTOVEC_1024_GFLOPS} GFLOP/s",
+                    detected.name()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "smoke: {} 1024^3 GEMM {detected_1024:.2} GFLOP/s >= committed {COMMITTED_AUTOVEC_1024_GFLOPS}",
+                detected.name()
+            );
+        }
         println!("smoke ok: pool dispatch {speedup:.2}x vs per-dispatch spawn, n-sweep ran");
         return;
     }
+    println!("backend: {} (detected)", backend::active().name());
     println!("threads: {}", par::max_threads());
     if !streaming_gate(256) {
         std::process::exit(1);
     }
+    // Backend comparison first: the committed per-backend GFLOP/s (and
+    // the committed gate number they are read against) are captured on a
+    // cold package, before the longer sections below pull the clock down.
+    let (matmul_backends, _) = bench_matmul_backends(&[256, 1024]);
     let (matmul_rows, speedup_1024) = bench_matmul(&[256, 512, 1024]);
     let matmul_threads = bench_matmul_threads();
+    let vecops_reduce = bench_vecops_reduce();
     let conv = bench_conv();
     let agg = bench_aggregation(50, 100_000);
     let n_sweep = bench_n_sweep(false);
@@ -593,9 +753,12 @@ fn main() {
     let complexity = bench_complexity();
     let out = serde_json::json!({
         "threads": par::max_threads() as u64,
+        "backend_detected": backend::active().name(),
         "matmul": matmul_rows,
         "matmul_1024_speedup_vs_seed": speedup_1024,
+        "matmul_backends": matmul_backends,
         "matmul_threads": matmul_threads,
+        "vecops_reduce": vecops_reduce,
         "conv": conv,
         "aggregation": agg,
         "n_sweep": n_sweep,

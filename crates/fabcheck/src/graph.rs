@@ -545,12 +545,7 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
                         );
                     }
                     if io_applies && IO_MACROS.contains(&name) && !esc.io.contains(&call.line) {
-                        push(
-                            Rule::IoOnHotPath,
-                            call.line,
-                            call.col,
-                            &format!("{name}!"),
-                        );
+                        push(Rule::IoOnHotPath, call.line, call.col, &format!("{name}!"));
                     }
                 }
                 CallKind::Path { .. } => {
@@ -567,7 +562,12 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
                             && call.segs.iter().any(|s| IO_PATH_SEGS.contains(&s.as_str()))
                             && !esc.io.contains(&call.line)
                         {
-                            push(Rule::IoOnHotPath, call.line, call.col, &call.segs.join("::"));
+                            push(
+                                Rule::IoOnHotPath,
+                                call.line,
+                                call.col,
+                                &call.segs.join("::"),
+                            );
                         }
                     }
                 }

@@ -119,8 +119,16 @@ pub fn parse_uses(toks: &[Token]) -> Vec<UseDecl> {
 /// an `as` rename) starting at `j` with `prefix` already consumed.
 /// Records the names it introduces and returns the index of the token
 /// after the tree (its `,`/`}`/`;` terminator is left unconsumed).
-fn parse_use_tree(toks: &[Token], mut j: usize, prefix: &[String], out: &mut Vec<UseDecl>) -> usize {
-    let is_p = |k: usize, s: &str| toks.get(k).is_some_and(|t: &Token| !t.is_ident && t.text == s);
+fn parse_use_tree(
+    toks: &[Token],
+    mut j: usize,
+    prefix: &[String],
+    out: &mut Vec<UseDecl>,
+) -> usize {
+    let is_p = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t: &Token| !t.is_ident && t.text == s)
+    };
     let mut segs: Vec<String> = prefix.to_vec();
     loop {
         if is_p(j, "{") {
@@ -152,7 +160,10 @@ fn parse_use_tree(toks: &[Token], mut j: usize, prefix: &[String], out: &mut Vec
             // `use a::b::{self, c}` — `self` imports `b` itself. When an
             // `as` rename follows, let the `as` arm record the alias.
             "self" if !segs.is_empty() => {
-                if !toks.get(j + 1).is_some_and(|n| n.is_ident && n.text == "as") {
+                if !toks
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_ident && n.text == "as")
+                {
                     record_use(out, segs[segs.len() - 1].clone(), &segs);
                 }
                 j += 1;
@@ -668,10 +679,7 @@ mod tests {
     #[test]
     fn glob_imports_bind_nothing() {
         assert_eq!(uses("use super::*;"), []);
-        assert_eq!(
-            uses("use a::*; use b::c;"),
-            [("c".into(), "b::c".into())]
-        );
+        assert_eq!(uses("use a::*; use b::c;"), [("c".into(), "b::c".into())]);
     }
 
     #[test]

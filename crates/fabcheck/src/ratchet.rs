@@ -263,9 +263,11 @@ mod tests {
             .contains("roster"));
         assert!(parse("{\"schema_version\": 3, \"rules\": [1], \"counts\": {}}").is_err());
         assert!(parse("{\"schema_version\": 3, \"rules\": \"x\", \"counts\": {}}").is_err());
-        assert!(parse("{\"schema_version\": 3, \"rules\": [], \"counts\": {}}")
-            .expect("empty roster is fine")
-            .is_empty());
+        assert!(
+            parse("{\"schema_version\": 3, \"rules\": [], \"counts\": {}}")
+                .expect("empty roster is fine")
+                .is_empty()
+        );
     }
 
     #[test]

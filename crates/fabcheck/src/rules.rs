@@ -32,9 +32,23 @@ pub const NUMERIC_CRATES: &[&str] = &["tensor", "nn", "aggregation", "attacks", 
 
 /// Files allowed to read process environment variables: the two
 /// `FABFLIP_THREADS` budget modules (the tensor thread budget and the
-/// rayon-shim mirror of it). Everything else must take configuration as
-/// arguments so a run is a pure function of its config + seed.
-pub const BLESSED_ENV_FILES: &[&str] = &["crates/tensor/src/par.rs", "compat/rayon/src/lib.rs"];
+/// rayon-shim mirror of it) plus the CPU-backend dispatcher, which reads
+/// `FABFLIP_BACKEND` once at startup. Everything else must take
+/// configuration as arguments so a run is a pure function of its config
+/// + seed.
+pub const BLESSED_ENV_FILES: &[&str] = &[
+    "compat/rayon/src/lib.rs",
+    "crates/tensor/src/backend/mod.rs",
+    "crates/tensor/src/par.rs",
+];
+
+/// The directory holding the runtime-dispatched SIMD microkernels. Raw
+/// pointers are allowed here alongside the worker pool: intrinsic
+/// loads/stores are inherently pointer-based, and every unsafe block in
+/// these files carries its own `// SAFETY:` comment claiming the
+/// lane-width/bounds invariant (DESIGN.md §4f). Intrinsics or raw
+/// pointers anywhere else in product code still fail `--ci`.
+pub const BLESSED_SIMD_DIR: &str = "crates/tensor/src/backend/";
 
 /// The single file allowed to create threads: the persistent worker pool.
 /// All other crate code must go through `fabflip_tensor::par` so thread
@@ -63,7 +77,8 @@ pub enum Rule {
     /// outside the worker pool (`crates/tensor/src/par.rs`).
     ThreadSpawnOutsidePar,
     /// Raw-pointer types (`*const T`/`*mut T`) in `crates/` product code
-    /// outside the worker pool: lifetime-erased pointers are the pool's
+    /// outside the worker pool and the SIMD backend microkernels
+    /// ([`BLESSED_SIMD_DIR`]): lifetime-erased pointers are their
     /// monopoly, everything else uses slices.
     RawPointerOutsidePar,
     /// A heap allocation reachable from the kernel entry set
@@ -235,11 +250,17 @@ fn scope(rule: Rule, class: &FileClass) -> Scope {
                 Scope::Off
             }
         }
-        // Raw-pointer types are the pool's monopoly in product code.
+        // Raw-pointer types are the pool's monopoly in product code,
+        // shared only with the SIMD backend microkernels (whose unsafe
+        // blocks are audited per-site by `unsafe-without-safety-comment`).
         // Test code (incl. the alloc_guard allocator harness) may use
         // them — tests never ship in the hot path.
         Rule::RawPointerOutsidePar => {
-            if class.in_crates && class.rel != BLESSED_THREAD_FILE && !class.is_test_file {
+            if class.in_crates
+                && class.rel != BLESSED_THREAD_FILE
+                && !class.rel.starts_with(BLESSED_SIMD_DIR)
+                && !class.is_test_file
+            {
                 Scope::NonTest
             } else {
                 Scope::Off
@@ -469,7 +490,10 @@ fn mentions_ident(text: &str, ident: &str) -> bool {
     while let Some(pos) = text[from..].find(ident) {
         let start = from + pos;
         let end = start + ident.len();
-        let before_ok = text[..start].chars().next_back().is_none_or(|c| !is_word(c));
+        let before_ok = text[..start]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_word(c));
         let after_ok = text[end..].chars().next().is_none_or(|c| !is_word(c));
         if before_ok && after_ok {
             return true;
@@ -537,11 +561,11 @@ fn arg_ranges(toks: &[Token], open: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut depth = 0i64;
     let mut start = open + 1;
-    for j in open + 1..close {
-        if toks[j].is_ident {
+    for (j, tok) in toks.iter().enumerate().take(close).skip(open + 1) {
+        if tok.is_ident {
             continue;
         }
-        match toks[j].text.as_str() {
+        match tok.text.as_str() {
             "(" | "[" | "{" => depth += 1,
             ")" | "]" | "}" => depth -= 1,
             "," if depth == 0 => {
@@ -615,9 +639,10 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                     Rule::RawPointerOutsidePar,
                     t,
                     format!(
-                        "raw-pointer type `*{}` outside `crates/tensor/src/par.rs`; \
-                         product code passes slices — lifetime-erased pointers are \
-                         the worker pool's monopoly",
+                        "raw-pointer type `*{}` outside `crates/tensor/src/par.rs` \
+                         and `crates/tensor/src/backend/`; product code passes \
+                         slices — lifetime-erased pointers are the worker pool's \
+                         and the SIMD microkernels' monopoly",
                         toks[i + 1].text
                     ),
                 );
@@ -744,12 +769,18 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                     && i >= 1
                     && !toks[i - 1].is_ident
                     && toks[i - 1].text == "."
-                    && toks.get(i + 1).is_some_and(|x| !x.is_ident && x.text == ":")
-                    && toks.get(i + 2).is_some_and(|x| !x.is_ident && x.text == ":")
-                    && toks.get(i + 3).is_some_and(|x| !x.is_ident && x.text == "<")
                     && toks
-                        .get(i + 4)
-                        .is_some_and(|x| x.is_ident && matches!(x.text.as_str(), "f32" | "f64")) =>
+                        .get(i + 1)
+                        .is_some_and(|x| !x.is_ident && x.text == ":")
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|x| !x.is_ident && x.text == ":")
+                    && toks
+                        .get(i + 3)
+                        .is_some_and(|x| !x.is_ident && x.text == "<")
+                    && toks.get(i + 4).is_some_and(|x| {
+                        x.is_ident && matches!(x.text.as_str(), "f32" | "f64")
+                    }) =>
             {
                 push(
                     Rule::UnorderedFloatReduction,
@@ -773,7 +804,9 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                     && i >= 1
                     && !toks[i - 1].is_ident
                     && toks[i - 1].text == "."
-                    && toks.get(i + 1).is_some_and(|x| !x.is_ident && x.text == "(")
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|x| !x.is_ident && x.text == "(")
                     && arg_ranges(toks, i + 1).first().is_some_and(|&(a, b)| {
                         toks[a..b].iter().any(|x| {
                             !x.is_ident
@@ -802,7 +835,9 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                     && i >= 1
                     && !toks[i - 1].is_ident
                     && toks[i - 1].text == "."
-                    && toks.get(i + 1).is_some_and(|x| !x.is_ident && x.text == "(") =>
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|x| !x.is_ident && x.text == "(") =>
             {
                 let close = matching_paren(toks, i + 1);
                 let mut bars = (i + 2..close).filter(|&j| !toks[j].is_ident && toks[j].text == "|");
@@ -852,7 +887,9 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
             // that makes its aliasing sound.
             "from_raw_parts_mut"
                 if on(Rule::UnclaimedRawSpan, i)
-                    && toks.get(i + 1).is_some_and(|x| !x.is_ident && x.text == "(") =>
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|x| !x.is_ident && x.text == "(") =>
             {
                 let close = matching_paren(toks, i + 1);
                 let args: Vec<&str> = toks[i + 2..close]
@@ -884,7 +921,10 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                     ),
                     Some(k) => {
                         claim_claimed[k] = true;
-                        if !args.iter().any(|a| mentions_ident(&lexed.comments[k].text, a)) {
+                        if !args
+                            .iter()
+                            .any(|a| mentions_ident(&lexed.comments[k].text, a))
+                        {
                             push(
                                 Rule::UnclaimedRawSpan,
                                 t,

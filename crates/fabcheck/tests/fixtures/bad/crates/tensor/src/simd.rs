@@ -1,0 +1,11 @@
+//! Deliberately bad fixture: SIMD-style raw-pointer code outside the
+//! blessed `crates/tensor/src/backend/` home. The backend-dir blessing
+//! must not leak — lifetime-erased pointers anywhere else in product
+//! code still fail `--ci`, even with a dutiful SAFETY comment.
+
+pub fn stray_lane_load(v: &[f32]) -> f32 {
+    let p: *const f32 = v.as_ptr();
+    // SAFETY: `v` is non-empty in every caller, so the midpoint offset
+    // stays in bounds of the borrow.
+    unsafe { *p.wrapping_add(v.len() / 2) }
+}

@@ -1,0 +1,14 @@
+//! Clean fixture: the CPU-backend dispatcher reads `FABFLIP_BACKEND`
+//! once at startup — `env::var` here is blessed (`BLESSED_ENV_FILES`),
+//! mirroring the real tree's `crates/tensor/src/backend/mod.rs`.
+
+use std::sync::OnceLock;
+
+static KIND: OnceLock<&'static str> = OnceLock::new();
+
+pub fn active_name() -> &'static str {
+    KIND.get_or_init(|| match std::env::var("FABFLIP_BACKEND") {
+        Ok(v) if v == "scalar" => "scalar",
+        _ => "auto",
+    })
+}

@@ -136,7 +136,7 @@ fn clean_fixture_is_silent() {
         report.findings
     );
     assert!(report.counted.is_empty(), "{:?}", report.counted);
-    assert_eq!(report.files_checked, 7);
+    assert_eq!(report.files_checked, 9);
 }
 
 #[test]

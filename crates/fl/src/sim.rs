@@ -172,9 +172,18 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
         TASK_SEED,
         sub_seed(cfg.seed, streams::TRAIN_DATA, 0, 0),
     );
-    let test =
-        Dataset::synthesize_split(&spec, cfg.test_size, TASK_SEED, sub_seed(cfg.seed, streams::TEST_DATA, 0, 0));
-    let shards = dirichlet_partition(&train, cfg.n_clients, cfg.beta, sub_seed(cfg.seed, streams::PARTITION, 0, 0))?;
+    let test = Dataset::synthesize_split(
+        &spec,
+        cfg.test_size,
+        TASK_SEED,
+        sub_seed(cfg.seed, streams::TEST_DATA, 0, 0),
+    );
+    let shards = dirichlet_partition(
+        &train,
+        cfg.n_clients,
+        cfg.beta,
+        sub_seed(cfg.seed, streams::PARTITION, 0, 0),
+    )?;
 
     // Adversary-controlled clients: a uniformly random subset, kept as a
     // sorted vector (membership via binary search) so every iteration over
@@ -214,9 +223,14 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
     let defense = cfg.defense.build()?;
     // FLTrust extension: the server's clean root dataset (same task,
     // independent sample stream).
-    let fltrust_root = cfg
-        .fltrust_root_size
-        .map(|n| Dataset::synthesize_split(&spec, n, TASK_SEED, sub_seed(cfg.seed, streams::FLTRUST_ROOT, 0, 0)));
+    let fltrust_root = cfg.fltrust_root_size.map(|n| {
+        Dataset::synthesize_split(
+            &spec,
+            n,
+            TASK_SEED,
+            sub_seed(cfg.seed, streams::FLTRUST_ROOT, 0, 0),
+        )
+    });
     let build_model = {
         let task = cfg.task;
         move |rng: &mut StdRng| task.build_model(rng)
@@ -262,7 +276,8 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
 
     for round in start_round..cfg.rounds {
         let round_u64 = round as u64;
-        let mut round_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::CLIENT_SAMPLING, round_u64, 0));
+        let mut round_rng =
+            StdRng::seed_from_u64(sub_seed(cfg.seed, streams::CLIENT_SAMPLING, round_u64, 0));
         let mut pool: Vec<usize> = (0..cfg.n_clients).collect();
         pool.shuffle(&mut round_rng);
         let selected = &pool[..cfg.clients_per_round];
@@ -304,7 +319,12 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                 // Dropout strikes before local compute: nothing to train.
                 return Ok(LocalOutcome::Dropped);
             }
-            let mut crng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::CLIENT_TRAIN, round_u64, client as u64));
+            let mut crng = StdRng::seed_from_u64(sub_seed(
+                cfg.seed,
+                streams::CLIENT_TRAIN,
+                round_u64,
+                client as u64,
+            ));
             let w = train_benign_client(cfg, train_ref, shard, global_ref, &mut crng)?;
             if w.iter().any(|v| !v.is_finite()) {
                 // Local training diverged (possible once the global model
@@ -370,7 +390,8 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                     task: &task_info,
                     build_model: &build_model,
                 };
-                let mut arng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::ATTACK, round_u64, 0));
+                let mut arng =
+                    StdRng::seed_from_u64(sub_seed(cfg.seed, streams::ATTACK, round_u64, 0));
                 match attack.craft(&ctx, &mut arng) {
                     Ok(w_mal) => {
                         for &(s, client) in &malicious_sel {
@@ -506,7 +527,8 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
         } else if let Some(root) = &fltrust_root {
             // FLTrust: the server computes its own root update, then
             // trust-scores the clients against it (any cohort n ≥ 1).
-            let mut srng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::FLTRUST_SERVER, round_u64, 0));
+            let mut srng =
+                StdRng::seed_from_u64(sub_seed(cfg.seed, streams::FLTRUST_SERVER, round_u64, 0));
             let all: Vec<usize> = (0..root.len()).collect();
             let server_update = train_benign_client(cfg, root, &all, &global, &mut srng)?;
             Some(fabflip_agg::fltrust_aggregate(

@@ -1,0 +1,573 @@
+//! AVX2 + FMA backend (256-bit lanes).
+//!
+//! Only constructed by the dispatcher after
+//! `is_x86_feature_detected!("avx2")` and `("fma")` both succeed, so every
+//! `#[target_feature]` kernel below is reachable only on hosts that
+//! execute it legally.
+//!
+//! Determinism: the GEMM tile and `dot_lanes` reproduce the scalar
+//! backend's per-element operation chains exactly (see the module docs in
+//! `backend/mod.rs`); the serial reductions (`dot`, `sq_norm`, `*_delta`)
+//! use a fixed four-register lane layout folded by a fixed tree —
+//! deterministic for this backend, ≈1 ULP-scaled from scalar. Element-wise
+//! primitives use separate mul/add (no fused contraction), matching scalar
+//! rounding bitwise.
+
+use std::arch::x86_64::{
+    __m256, _mm256_add_ps, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_fmadd_ps,
+    _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_sqrt_ps,
+    _mm256_storeu_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32, _mm_movehl_ps,
+    _mm_shuffle_ps,
+};
+
+use super::{CpuBackend, MR};
+
+/// The AVX2 + FMA backend (unit struct; dispatched as `&'static dyn`).
+pub(super) struct Avx2;
+
+/// Horizontal sum of one 8-lane register with the fixed halving tree
+/// `acc[t] += acc[t+w]` for `w = 4, 2, 1` — the same tree the scalar
+/// `dot_lanes` applies to lanes 0..8, so the two backends agree bitwise.
+#[target_feature(enable = "avx2")]
+fn hsum8(v: __m256) -> f32 {
+    let q = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+    let h = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    let s = _mm_add_ss(h, _mm_shuffle_ps(h, h, 1));
+    _mm_cvtss_f32(s)
+}
+
+/// One `R`-row GEMM register tile for a single `k` panel: 16-column
+/// sub-tiles (two 8-lane accumulators per row, `2R + 1` live registers),
+/// then 8-column sub-tiles, then scalar remainder columns. Every output
+/// element keeps the scalar chain — zeroed accumulator, ascending-`p`
+/// correctly-rounded FMA, one flush add — so results are bitwise equal to
+/// the scalar backend.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+fn tile<const R: usize>(
+    a: &[f32],
+    a_base: usize,
+    ars: usize,
+    aps: usize,
+    kc: usize,
+    bp: &[f32],
+    b_base: usize,
+    b_stride: usize,
+    width: usize,
+    c: &mut [f32],
+    c_base: usize,
+    c_stride: usize,
+) {
+    let ap = a.as_ptr();
+    let bpp = bp.as_ptr();
+    let mut jw = 0;
+    while jw + 16 <= width {
+        let mut acc = [[_mm256_setzero_ps(); 2]; R];
+        for p in 0..kc {
+            let boff = b_base + p * b_stride + jw;
+            // SAFETY: the caller's panel contract puts `b_base + p*b_stride
+            // + width` in-bounds for every p < kc, and jw + 16 <= width, so
+            // both 8-lane loads read inside `bp`.
+            let (b0, b1) = unsafe {
+                (
+                    _mm256_loadu_ps(bpp.wrapping_add(boff)),
+                    _mm256_loadu_ps(bpp.wrapping_add(boff + 8)),
+                )
+            };
+            for (r, accr) in acc.iter_mut().enumerate() {
+                // SAFETY: a_base + r*ars + p*aps addresses row r (r < R),
+                // step p (p < kc) of `a` per the caller's tile contract.
+                let av = _mm256_set1_ps(unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) });
+                accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            // SAFETY: c_base + r*c_stride + jw + 16 <= c.len() for every
+            // r < R (caller's output-tile contract), so the two 8-lane
+            // read-modify-write pairs stay inside `c`.
+            unsafe {
+                let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + jw);
+                _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), accr[0]));
+                _mm256_storeu_ps(
+                    cp.wrapping_add(8),
+                    _mm256_add_ps(_mm256_loadu_ps(cp.wrapping_add(8)), accr[1]),
+                );
+            }
+        }
+        jw += 16;
+    }
+    while jw + 8 <= width {
+        let mut acc = [_mm256_setzero_ps(); R];
+        for p in 0..kc {
+            let boff = b_base + p * b_stride + jw;
+            // SAFETY: jw + 8 <= width keeps this 8-lane load inside the
+            // caller-guaranteed `bp` panel row for p < kc.
+            let b0 = unsafe { _mm256_loadu_ps(bpp.wrapping_add(boff)) };
+            for (r, accr) in acc.iter_mut().enumerate() {
+                // SAFETY: in-bounds `a` element for r < R, p < kc per the
+                // caller's tile contract.
+                let av = _mm256_set1_ps(unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) });
+                *accr = _mm256_fmadd_ps(av, b0, *accr);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            // SAFETY: c_base + r*c_stride + jw + 8 <= c.len() for r < R
+            // (caller's output-tile contract).
+            unsafe {
+                let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + jw);
+                _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), *accr));
+            }
+        }
+        jw += 8;
+    }
+    for t in jw..width {
+        let mut s = [0.0f32; R];
+        for p in 0..kc {
+            // SAFETY: t < width keeps the panel read in-bounds for p < kc.
+            let bv = unsafe { *bpp.wrapping_add(b_base + p * b_stride + t) };
+            for (r, sr) in s.iter_mut().enumerate() {
+                // SAFETY: in-bounds `a` element for r < R, p < kc per the
+                // caller's tile contract.
+                let av = unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) };
+                *sr = av.mul_add(bv, *sr);
+            }
+        }
+        for (r, sr) in s.iter().enumerate() {
+            // SAFETY: c_base + r*c_stride + t < c.len() for r < R, t <
+            // width (caller's output-tile contract).
+            unsafe {
+                let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + t);
+                *cp += sr;
+            }
+        }
+    }
+}
+
+/// 16-lane dot kernel: two 8-lane FMA accumulators are exactly the scalar
+/// `dot_lanes` array `acc[0..16]`; `acc0 + acc1` is its `w = 8` halving
+/// step and [`hsum8`] the rest of the tree — bitwise equal to scalar.
+#[target_feature(enable = "avx2,fma")]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / 16;
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    for q in 0..chunks {
+        // SAFETY: q*16 + 16 <= a.len() == b.len() (q < len/16), so all
+        // four 8-lane loads are in-bounds.
+        unsafe {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.wrapping_add(q * 16)),
+                _mm256_loadu_ps(bp.wrapping_add(q * 16)),
+                acc0,
+            );
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.wrapping_add(q * 16 + 8)),
+                _mm256_loadu_ps(bp.wrapping_add(q * 16 + 8)),
+                acc1,
+            );
+        }
+    }
+    let mut s = hsum8(_mm256_add_ps(acc0, acc1));
+    for (x, y) in a.iter().skip(chunks * 16).zip(b.iter().skip(chunks * 16)) {
+        s = x.mul_add(*y, s);
+    }
+    s
+}
+
+/// Serial-reduction layout shared by `dot`/`sq_norm`/`*_delta`: four
+/// 8-lane FMA accumulators striped over 8-element blocks (`block q →
+/// acc[q & 3]`), folded `(0+1) + (2+3)` then [`hsum8`], scalar FMA tail.
+/// Fixed order for this backend; reassociated relative to scalar.
+#[target_feature(enable = "avx2,fma")]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let blocks = a.len() / 8;
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc = [_mm256_setzero_ps(); 4];
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= a.len() == b.len() (q < len/8), so both
+        // 8-lane loads are in-bounds.
+        let (av, bv) = unsafe {
+            (
+                _mm256_loadu_ps(ap.wrapping_add(q * 8)),
+                _mm256_loadu_ps(bp.wrapping_add(q * 8)),
+            )
+        };
+        acc[q & 3] = _mm256_fmadd_ps(av, bv, acc[q & 3]);
+    }
+    let v = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+    let mut s = hsum8(v);
+    for (x, y) in a.iter().skip(blocks * 8).zip(b.iter().skip(blocks * 8)) {
+        s = x.mul_add(*y, s);
+    }
+    s
+}
+
+/// Same lane layout as [`dot`] with `x·x` terms.
+#[target_feature(enable = "avx2,fma")]
+fn sq_norm(a: &[f32]) -> f32 {
+    let blocks = a.len() / 8;
+    let ap = a.as_ptr();
+    let mut acc = [_mm256_setzero_ps(); 4];
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= a.len() (q < len/8), so the 8-lane load is
+        // in-bounds.
+        let av = unsafe { _mm256_loadu_ps(ap.wrapping_add(q * 8)) };
+        acc[q & 3] = _mm256_fmadd_ps(av, av, acc[q & 3]);
+    }
+    let v = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+    let mut s = hsum8(v);
+    for x in a.iter().skip(blocks * 8) {
+        s = x.mul_add(*x, s);
+    }
+    s
+}
+
+/// [`dot`]'s exact structure on on-the-fly deltas — each `xᵢ−rᵢ` rounds
+/// identically whether or not it is materialized, so this is bitwise
+/// `dot(a−r, b−r)` for this backend.
+#[target_feature(enable = "avx2,fma")]
+fn dot_delta(a: &[f32], b: &[f32], r: &[f32]) -> f32 {
+    let blocks = a.len() / 8;
+    let (ap, bp, rp) = (a.as_ptr(), b.as_ptr(), r.as_ptr());
+    let mut acc = [_mm256_setzero_ps(); 4];
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= a.len() == b.len() == r.len() (q < len/8),
+        // so all three 8-lane loads are in-bounds.
+        let (av, bv, rv) = unsafe {
+            (
+                _mm256_loadu_ps(ap.wrapping_add(q * 8)),
+                _mm256_loadu_ps(bp.wrapping_add(q * 8)),
+                _mm256_loadu_ps(rp.wrapping_add(q * 8)),
+            )
+        };
+        acc[q & 3] = _mm256_fmadd_ps(_mm256_sub_ps(av, rv), _mm256_sub_ps(bv, rv), acc[q & 3]);
+    }
+    let v = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+    let mut s = hsum8(v);
+    let tail = blocks * 8;
+    for ((x, y), cv) in a
+        .iter()
+        .skip(tail)
+        .zip(b.iter().skip(tail))
+        .zip(r.iter().skip(tail))
+    {
+        s = (x - cv).mul_add(y - cv, s);
+    }
+    s
+}
+
+/// [`sq_norm`]'s exact structure on on-the-fly deltas — bitwise
+/// `sq_norm(a−r)` for this backend.
+#[target_feature(enable = "avx2,fma")]
+fn sq_norm_delta(a: &[f32], r: &[f32]) -> f32 {
+    let blocks = a.len() / 8;
+    let (ap, rp) = (a.as_ptr(), r.as_ptr());
+    let mut acc = [_mm256_setzero_ps(); 4];
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= a.len() == r.len() (q < len/8), so both
+        // 8-lane loads are in-bounds.
+        let (av, rv) = unsafe {
+            (
+                _mm256_loadu_ps(ap.wrapping_add(q * 8)),
+                _mm256_loadu_ps(rp.wrapping_add(q * 8)),
+            )
+        };
+        let d = _mm256_sub_ps(av, rv);
+        acc[q & 3] = _mm256_fmadd_ps(d, d, acc[q & 3]);
+    }
+    let v = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+    let mut s = hsum8(v);
+    for (x, cv) in a.iter().skip(blocks * 8).zip(r.iter().skip(blocks * 8)) {
+        let d = x - cv;
+        s = d.mul_add(d, s);
+    }
+    s
+}
+
+/// `out[i] += src[i]`, 8 lanes at a time — independent per-coordinate
+/// adds, bitwise equal to scalar.
+#[target_feature(enable = "avx2")]
+fn add_assign(out: &mut [f32], src: &[f32]) {
+    let blocks = out.len() / 8;
+    let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= out.len() == src.len() (q < len/8), so the
+        // 8-lane load/store pair stays in-bounds.
+        unsafe {
+            let o = _mm256_loadu_ps(op.wrapping_add(q * 8));
+            _mm256_storeu_ps(
+                op.wrapping_add(q * 8),
+                _mm256_add_ps(o, _mm256_loadu_ps(sp.wrapping_add(q * 8))),
+            );
+        }
+    }
+    for (o, x) in out
+        .iter_mut()
+        .skip(blocks * 8)
+        .zip(src.iter().skip(blocks * 8))
+    {
+        *o += x;
+    }
+}
+
+/// `out[i] *= alpha` — bitwise equal to scalar.
+#[target_feature(enable = "avx2")]
+fn scale_assign(out: &mut [f32], alpha: f32) {
+    let blocks = out.len() / 8;
+    let av = _mm256_set1_ps(alpha);
+    let op = out.as_mut_ptr();
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= out.len() (q < len/8), so the 8-lane
+        // load/store pair stays in-bounds.
+        unsafe {
+            _mm256_storeu_ps(
+                op.wrapping_add(q * 8),
+                _mm256_mul_ps(_mm256_loadu_ps(op.wrapping_add(q * 8)), av),
+            );
+        }
+    }
+    for o in out.iter_mut().skip(blocks * 8) {
+        *o *= alpha;
+    }
+}
+
+/// `out[i] += (v[i] − m[i])²` via separate sub/mul/add — the scalar
+/// variance-accumulate rounding, bitwise equal to scalar.
+#[target_feature(enable = "avx2")]
+fn sq_dev_assign(out: &mut [f32], v: &[f32], m: &[f32]) {
+    let blocks = out.len() / 8;
+    let (op, vp, mp) = (out.as_mut_ptr(), v.as_ptr(), m.as_ptr());
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= out.len() == v.len() == m.len() (q < len/8),
+        // so every 8-lane access stays in-bounds.
+        unsafe {
+            let d = _mm256_sub_ps(
+                _mm256_loadu_ps(vp.wrapping_add(q * 8)),
+                _mm256_loadu_ps(mp.wrapping_add(q * 8)),
+            );
+            let o = _mm256_loadu_ps(op.wrapping_add(q * 8));
+            _mm256_storeu_ps(
+                op.wrapping_add(q * 8),
+                _mm256_add_ps(o, _mm256_mul_ps(d, d)),
+            );
+        }
+    }
+    let tail = blocks * 8;
+    for (o, (x, mv)) in out
+        .iter_mut()
+        .skip(tail)
+        .zip(v.iter().skip(tail).zip(m.iter().skip(tail)))
+    {
+        let diff = x - mv;
+        *o += diff * diff;
+    }
+}
+
+/// `out[i] = sqrt(out[i] * alpha)` — `sqrt` is correctly rounded, bitwise
+/// equal to scalar.
+#[target_feature(enable = "avx2")]
+fn scale_sqrt_assign(out: &mut [f32], alpha: f32) {
+    let blocks = out.len() / 8;
+    let av = _mm256_set1_ps(alpha);
+    let op = out.as_mut_ptr();
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= out.len() (q < len/8), so the 8-lane
+        // load/store pair stays in-bounds.
+        unsafe {
+            let o = _mm256_loadu_ps(op.wrapping_add(q * 8));
+            _mm256_storeu_ps(op.wrapping_add(q * 8), _mm256_sqrt_ps(_mm256_mul_ps(o, av)));
+        }
+    }
+    for o in out.iter_mut().skip(blocks * 8) {
+        *o = (*o * alpha).sqrt();
+    }
+}
+
+/// `out[i] += alpha * src[i]` via separate mul/add — bitwise equal to
+/// scalar `axpy_in_place`.
+#[target_feature(enable = "avx2")]
+fn axpy_assign(out: &mut [f32], alpha: f32, src: &[f32]) {
+    let blocks = out.len() / 8;
+    let av = _mm256_set1_ps(alpha);
+    let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
+    for q in 0..blocks {
+        // SAFETY: q*8 + 8 <= out.len() == src.len() (q < len/8), so the
+        // 8-lane load/store pair stays in-bounds.
+        unsafe {
+            let o = _mm256_loadu_ps(op.wrapping_add(q * 8));
+            _mm256_storeu_ps(
+                op.wrapping_add(q * 8),
+                _mm256_add_ps(
+                    o,
+                    _mm256_mul_ps(av, _mm256_loadu_ps(sp.wrapping_add(q * 8))),
+                ),
+            );
+        }
+    }
+    for (o, y) in out
+        .iter_mut()
+        .skip(blocks * 8)
+        .zip(src.iter().skip(blocks * 8))
+    {
+        *o += alpha * y;
+    }
+}
+
+impl CpuBackend for Avx2 {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn gemm_tile(
+        &self,
+        a: &[f32],
+        a_base: usize,
+        a_row_stride: usize,
+        a_p_stride: usize,
+        rows: usize,
+        kc: usize,
+        bp: &[f32],
+        b_base: usize,
+        b_stride: usize,
+        width: usize,
+        c: &mut [f32],
+        c_base: usize,
+        c_stride: usize,
+    ) {
+        debug_assert!((1..=MR).contains(&rows), "gemm_tile: rows {rows}");
+        // SAFETY: `Avx2` is only instantiated after the dispatcher
+        // detected avx2+fma, so the target-feature kernels are executable
+        // on this host.
+        unsafe {
+            match rows {
+                4 => tile::<4>(
+                    a,
+                    a_base,
+                    a_row_stride,
+                    a_p_stride,
+                    kc,
+                    bp,
+                    b_base,
+                    b_stride,
+                    width,
+                    c,
+                    c_base,
+                    c_stride,
+                ),
+                3 => tile::<3>(
+                    a,
+                    a_base,
+                    a_row_stride,
+                    a_p_stride,
+                    kc,
+                    bp,
+                    b_base,
+                    b_stride,
+                    width,
+                    c,
+                    c_base,
+                    c_stride,
+                ),
+                2 => tile::<2>(
+                    a,
+                    a_base,
+                    a_row_stride,
+                    a_p_stride,
+                    kc,
+                    bp,
+                    b_base,
+                    b_stride,
+                    width,
+                    c,
+                    c_base,
+                    c_stride,
+                ),
+                _ => tile::<1>(
+                    a,
+                    a_base,
+                    a_row_stride,
+                    a_p_stride,
+                    kc,
+                    bp,
+                    b_base,
+                    b_stride,
+                    width,
+                    c,
+                    c_base,
+                    c_stride,
+                ),
+            }
+        }
+    }
+
+    fn dot_lanes(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: avx2+fma were detected before this backend was handed
+        // out (dispatcher invariant).
+        unsafe { dot_lanes(a, b) }
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: avx2+fma were detected before this backend was handed
+        // out (dispatcher invariant).
+        unsafe { dot(a, b) }
+    }
+
+    fn sq_norm(&self, a: &[f32]) -> f32 {
+        // SAFETY: avx2+fma were detected before this backend was handed
+        // out (dispatcher invariant).
+        unsafe { sq_norm(a) }
+    }
+
+    fn dot_delta(&self, a: &[f32], b: &[f32], r: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), r.len());
+        // SAFETY: avx2+fma were detected before this backend was handed
+        // out (dispatcher invariant).
+        unsafe { dot_delta(a, b, r) }
+    }
+
+    fn sq_norm_delta(&self, a: &[f32], r: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), r.len());
+        // SAFETY: avx2+fma were detected before this backend was handed
+        // out (dispatcher invariant).
+        unsafe { sq_norm_delta(a, r) }
+    }
+
+    fn add_assign(&self, out: &mut [f32], src: &[f32]) {
+        debug_assert_eq!(out.len(), src.len());
+        // SAFETY: avx2 was detected before this backend was handed out
+        // (dispatcher invariant).
+        unsafe { add_assign(out, src) }
+    }
+
+    fn scale_assign(&self, out: &mut [f32], alpha: f32) {
+        // SAFETY: avx2 was detected before this backend was handed out
+        // (dispatcher invariant).
+        unsafe { scale_assign(out, alpha) }
+    }
+
+    fn sq_dev_assign(&self, out: &mut [f32], v: &[f32], m: &[f32]) {
+        debug_assert_eq!(out.len(), v.len());
+        debug_assert_eq!(out.len(), m.len());
+        // SAFETY: avx2 was detected before this backend was handed out
+        // (dispatcher invariant).
+        unsafe { sq_dev_assign(out, v, m) }
+    }
+
+    fn scale_sqrt_assign(&self, out: &mut [f32], alpha: f32) {
+        // SAFETY: avx2 was detected before this backend was handed out
+        // (dispatcher invariant).
+        unsafe { scale_sqrt_assign(out, alpha) }
+    }
+
+    fn axpy_assign(&self, out: &mut [f32], alpha: f32, src: &[f32]) {
+        debug_assert_eq!(out.len(), src.len());
+        // SAFETY: avx2 was detected before this backend was handed out
+        // (dispatcher invariant).
+        unsafe { axpy_assign(out, alpha, src) }
+    }
+}

@@ -1,0 +1,351 @@
+//! Runtime-dispatched CPU microkernel backends (DESIGN.md §4f).
+//!
+//! The hot inner loops of [`crate::matmul`] and [`crate::vecops`] — the
+//! GEMM register tile, the 16-lane dot kernel, the serial reductions and
+//! the element-wise chunk primitives — live behind the [`CpuBackend`]
+//! trait with three implementations:
+//!
+//! * **scalar** — the portable kernels, extracted verbatim from the
+//!   pre-backend `matmul.rs`/`vecops.rs` code. Bitwise identical to the
+//!   historical results on every host.
+//! * **avx2** — AVX2 + FMA `std::arch` intrinsics (256-bit lanes).
+//! * **avx512** — AVX-512F intrinsics (512-bit lanes).
+//!
+//! The active backend is chosen once, on first use, by
+//! `is_x86_feature_detected!` and cached in a [`OnceLock`]. The
+//! `FABFLIP_BACKEND` environment variable (`scalar` | `avx2` | `avx512`)
+//! overrides detection, but a request for an ISA the host does not support
+//! (or an unrecognized value) falls back to the detected best — the
+//! override selects among safe options, it can never make the process
+//! execute unsupported instructions. On non-x86-64 targets only the scalar
+//! backend exists.
+//!
+//! # Determinism contract (§4b restated per backend)
+//!
+//! Within one backend every kernel fixes its floating-point operation
+//! order as a function of input positions and dimensions alone, so all the
+//! §4b guarantees (serial ≡ parallel bitwise, replay stability) hold
+//! unchanged under any backend. Across backends the kernels split in two
+//! classes:
+//!
+//! * **Bitwise-invariant across backends** — [`CpuBackend::gemm_tile`]
+//!   (each output element is an independent zero-initialized ascending-`p`
+//!   correctly-rounded FMA chain plus one flush add; lane regrouping never
+//!   reorders a per-element chain), [`CpuBackend::dot_lanes`] (the
+//!   [`DOT_LANES`]-lane accumulator array and its binary combining tree
+//!   map exactly onto one 512-bit or two 256-bit registers), and every
+//!   element-wise primitive (`add_assign`, `scale_assign`,
+//!   `sq_dev_assign`, `scale_sqrt_assign`, `axpy_assign` — independent
+//!   per-coordinate op chains; the SIMD impls use separate mul/add, never
+//!   a fused contraction, and `sqrt` is correctly rounded).
+//! * **Per-backend order** — the serial single-accumulator reductions
+//!   ([`CpuBackend::dot`], [`CpuBackend::sq_norm`] and their `_delta`
+//!   forms) genuinely reassociate under SIMD: the wide backends accumulate
+//!   in a fixed array of vector lanes folded by a fixed tree. Results are
+//!   deterministic for a given backend but differ from scalar by rounding
+//!   (≈1 ULP-scaled); goldens for these are keyed by backend.
+//!
+//! Within each backend `dot_delta(a, b, r)` runs the exact accumulation
+//! structure of `dot` on the on-the-fly deltas, so the §4e identity
+//! `dot_delta(a, b, r) ≡ dot(a−r, b−r)` stays *bitwise* under every
+//! backend (a subtraction rounds identically whether or not the result is
+//! materialized), and likewise `sq_norm_delta ≡ sq_norm ∘ sub`.
+//!
+//! # fabcheck blessing
+//!
+//! `crates/tensor/src/backend/` is the one blessed home for SIMD
+//! intrinsics and raw-pointer loads in product code
+//! (`raw-pointer-outside-par`); every `unsafe` block carries its own
+//! `// SAFETY:` comment claiming the lane-width and bounds invariant it
+//! relies on, enforced by `unsafe-without-safety-comment`. This file is
+//! additionally blessed for `env-var-outside-config` (the single
+//! `FABFLIP_BACKEND` read below).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+mod scalar;
+
+/// Rows processed together by the GEMM micro-kernels (register-tile
+/// height). Shared by every backend so row partitioning — and therefore
+/// the §4b fixed-work-unit argument — is backend-independent.
+pub const MR: usize = 4;
+
+/// Register-tile width of the scalar GEMM kernel: one `MR×WR` accumulator
+/// block stays in SIMD registers for a whole `k` panel. The wide backends
+/// sub-tile `WR` to fit their register files; per-element op order is
+/// unaffected (each output element keeps its own accumulator chain).
+pub const WR: usize = 64;
+
+/// Number of independent accumulator lanes in [`CpuBackend::dot_lanes`].
+/// Exactly one 512-bit register (or two 256-bit registers), which is what
+/// makes the lane structure — and the results — identical across
+/// backends.
+pub const DOT_LANES: usize = 16;
+
+/// One CPU microkernel implementation. All methods are safe to call on
+/// any host *through the handles this module hands out* — an instance for
+/// an ISA is only ever constructed after feature detection succeeds.
+///
+/// Implementations are zero-sized; the dispatcher returns `&'static dyn
+/// CpuBackend`, so selection costs one vtable indirection per kernel
+/// entry, never per inner-loop iteration.
+pub trait CpuBackend: Send + Sync {
+    /// Static name for logs, benches and golden keys: `"scalar"`,
+    /// `"avx2"` or `"avx512"`.
+    fn name(&self) -> &'static str;
+
+    /// One `rows × width` GEMM register-tile update for a single `k`
+    /// panel: `c[c_base + r*c_stride + j] += Σ_p a(r, p) · b(p, j)` with
+    /// `a(r, p) = a[a_base + r*a_row_stride + p*a_p_stride]`,
+    /// `b(p, j) = bp[b_base + p*b_stride + j]`, `p ∈ 0..kc`,
+    /// `j ∈ 0..width`, `r ∈ 0..rows` (`rows ≤ MR`).
+    ///
+    /// Per output element: zeroed accumulator, ascending-`p` fused
+    /// multiply-add chain, one flush add into `c` — bitwise identical
+    /// across backends.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_tile(
+        &self,
+        a: &[f32],
+        a_base: usize,
+        a_row_stride: usize,
+        a_p_stride: usize,
+        rows: usize,
+        kc: usize,
+        bp: &[f32],
+        b_base: usize,
+        b_stride: usize,
+        width: usize,
+        c: &mut [f32],
+        c_base: usize,
+        c_stride: usize,
+    );
+
+    /// Dot product over [`DOT_LANES`] independent FMA lanes with a fixed
+    /// binary halving tree and a scalar FMA tail — bitwise identical
+    /// across backends (the row-dot kernel of `matmul_transpose_b`).
+    fn dot_lanes(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Dot product. Scalar: the historical serial single-accumulator
+    /// `Σ xᵢ·yᵢ`. Wide backends: fixed vector-lane accumulation —
+    /// per-backend op order.
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Squared Euclidean norm `Σ xᵢ²`; same accumulation structure as
+    /// [`CpuBackend::dot`] — per-backend op order.
+    fn sq_norm(&self, a: &[f32]) -> f32;
+
+    /// `Σ (aᵢ−rᵢ)·(bᵢ−rᵢ)` without materializing the deltas; bitwise
+    /// equal to `self.dot(a−r, b−r)` within any single backend.
+    fn dot_delta(&self, a: &[f32], b: &[f32], r: &[f32]) -> f32;
+
+    /// `Σ (aᵢ−rᵢ)²`; bitwise equal to `self.sq_norm(a−r)` within any
+    /// single backend.
+    fn sq_norm_delta(&self, a: &[f32], r: &[f32]) -> f32;
+
+    /// `out[i] += src[i]` (mean-accumulate chunk primitive). Bitwise
+    /// across backends.
+    fn add_assign(&self, out: &mut [f32], src: &[f32]);
+
+    /// `out[i] *= alpha`. Bitwise across backends.
+    fn scale_assign(&self, out: &mut [f32], alpha: f32);
+
+    /// `out[i] += (v[i] − m[i])²` via separate sub/mul/add (the variance
+    /// accumulate; no fused contraction so rounding matches scalar).
+    /// Bitwise across backends.
+    fn sq_dev_assign(&self, out: &mut [f32], v: &[f32], m: &[f32]);
+
+    /// `out[i] = sqrt(out[i] * alpha)` (variance → std-dev finish; `sqrt`
+    /// is correctly rounded). Bitwise across backends.
+    fn scale_sqrt_assign(&self, out: &mut [f32], alpha: f32);
+
+    /// `out[i] += alpha * src[i]` via separate mul/add (matches the
+    /// historical `axpy_in_place` rounding). Bitwise across backends.
+    fn axpy_assign(&self, out: &mut [f32], alpha: f32, src: &[f32]);
+}
+
+/// Identifies one backend implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Portable scalar kernels (every host).
+    Scalar,
+    /// AVX2 + FMA (x86-64 with both features).
+    Avx2,
+    /// AVX-512F (x86-64 with the feature).
+    Avx512,
+}
+
+impl Kind {
+    /// Name as accepted by `FABFLIP_BACKEND` and reported by
+    /// [`CpuBackend::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Scalar => "scalar",
+            Kind::Avx2 => "avx2",
+            Kind::Avx512 => "avx512",
+        }
+    }
+
+    /// Whether the running host can execute this backend.
+    pub fn supported(self) -> bool {
+        match self {
+            Kind::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Kind::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kind::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// All backend kinds, best-first. Test helper for "run this proptest
+/// against every backend the host supports".
+pub const ALL_KINDS: [Kind; 3] = [Kind::Avx512, Kind::Avx2, Kind::Scalar];
+
+/// Returns the backend instance for `kind`.
+///
+/// # Panics
+///
+/// Panics if the host does not support `kind` — constructing a handle for
+/// an undetected ISA would make every later method call undefined
+/// behavior, so this is checked eagerly. Gate calls with
+/// [`Kind::supported`].
+pub fn instance(kind: Kind) -> &'static dyn CpuBackend {
+    assert!(
+        kind.supported(),
+        "backend {} not supported on this host",
+        kind.name()
+    );
+    instance_unchecked(kind)
+}
+
+/// `kind` → static instance; caller has already established support.
+fn instance_unchecked(kind: Kind) -> &'static dyn CpuBackend {
+    match kind {
+        Kind::Scalar => &scalar::Scalar,
+        #[cfg(target_arch = "x86_64")]
+        Kind::Avx2 => &avx2::Avx2,
+        #[cfg(target_arch = "x86_64")]
+        Kind::Avx512 => &avx512::Avx512,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => &scalar::Scalar,
+    }
+}
+
+/// Best backend the host supports, by feature detection alone.
+fn detected() -> Kind {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return Kind::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Kind::Avx2;
+        }
+    }
+    Kind::Scalar
+}
+
+/// Parses `FABFLIP_BACKEND`. Unset, unrecognized, or unsupported values
+/// yield `None` (→ fall back to [`detected`]).
+fn env_override() -> Option<Kind> {
+    let v = std::env::var("FABFLIP_BACKEND").ok()?;
+    let kind = if v.eq_ignore_ascii_case("scalar") {
+        Kind::Scalar
+    } else if v.eq_ignore_ascii_case("avx2") {
+        Kind::Avx2
+    } else if v.eq_ignore_ascii_case("avx512") {
+        Kind::Avx512
+    } else {
+        return None;
+    };
+    kind.supported().then_some(kind)
+}
+
+/// Startup choice, resolved once and cached for the process lifetime.
+static STARTUP: OnceLock<Kind> = OnceLock::new();
+
+/// Test/bench-only override; `0` = none, else `Kind as u8 + 1`. An atomic
+/// (not a lock) because [`active`] sits on every kernel entry path.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The backend kind [`active`] currently resolves to.
+pub fn active_kind() -> Kind {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => Kind::Scalar,
+        2 => Kind::Avx2,
+        3 => Kind::Avx512,
+        _ => *STARTUP.get_or_init(|| env_override().unwrap_or_else(detected)),
+    }
+}
+
+/// The active [`CpuBackend`]: the forced override if set, else the cached
+/// startup choice (`FABFLIP_BACKEND`, falling back to detection).
+pub fn active() -> &'static dyn CpuBackend {
+    instance_unchecked(active_kind())
+}
+
+/// Forces the active backend for this process (benches and per-backend
+/// test sweeps; production code never calls this). `None` restores the
+/// startup choice. Takes effect on the *next* kernel entry — callers that
+/// need a consistent backend across a region must not race this with
+/// concurrent kernel calls (the in-tree users are single-threaded benches
+/// and lock-guarded tests).
+///
+/// # Panics
+///
+/// Panics if `Some(kind)` is not supported on this host.
+pub fn force(kind: Option<Kind>) {
+    let code = match kind {
+        None => 0,
+        Some(k) => {
+            assert!(
+                k.supported(),
+                "cannot force unsupported backend {}",
+                k.name()
+            );
+            match k {
+                Kind::Scalar => 1,
+                Kind::Avx2 => 2,
+                Kind::Avx512 => 3,
+            }
+        }
+    };
+    FORCED.store(code, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_supported() {
+        assert!(Kind::Scalar.supported());
+        assert_eq!(instance(Kind::Scalar).name(), "scalar");
+    }
+
+    #[test]
+    fn active_matches_reported_kind() {
+        assert_eq!(active().name(), active_kind().name());
+    }
+
+    #[test]
+    fn supported_kinds_instantiate_with_matching_names() {
+        for kind in ALL_KINDS {
+            if kind.supported() {
+                assert_eq!(instance(kind).name(), kind.name());
+            }
+        }
+    }
+}

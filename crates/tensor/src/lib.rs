@@ -27,6 +27,7 @@
 //! # Ok::<(), fabflip_tensor::TensorError>(())
 //! ```
 
+pub mod backend;
 mod error;
 mod im2col;
 mod matmul;

@@ -18,6 +18,13 @@
 //! identical to the serial reference at any thread count — see
 //! `crates/tensor/src/proptests.rs`.
 //!
+//! The register tile itself ([`CpuBackend::gemm_tile`]) and the row-dot
+//! kernel ([`CpuBackend::dot_lanes`]) are provided by the active
+//! [`crate::backend`]; because each output element's chain is independent
+//! and every backend uses correctly-rounded FMAs in the same ascending-`p`
+//! order, GEMM results are bitwise identical across scalar, AVX2, and
+//! AVX-512 backends (DESIGN.md §4f).
+//!
 //! The kernels are cache-blocked: `k` is tiled in `KC` panels so a panel of
 //! `b` stays in L2 across an output row block, `n` is tiled in `NC` columns
 //! so the active output slices stay in L1, and rows are processed `MR` at a
@@ -28,6 +35,7 @@
 //! vectorization and only helped on the mostly-zero one-hot matrices that
 //! no hot path multiplies today).
 
+use crate::backend::{self, CpuBackend, MR};
 use crate::scratch::{scratch_f32, Purpose, ScratchBuf};
 use crate::{par, Tensor, TensorError};
 
@@ -35,11 +43,6 @@ use crate::{par, Tensor, TensorError};
 const KC: usize = 256;
 /// Column-tile width: an `MR`-row output tile (`MR·NC` floats) fits in L1.
 const NC: usize = 1024;
-/// Rows processed together by the micro-kernels.
-const MR: usize = 4;
-/// Register-tile width: one `MR×WR` accumulator block lives in SIMD
-/// registers for the duration of a `k` panel.
-const WR: usize = 64;
 
 /// Minimum `2·m·k·n` FLOP count before the kernels fan out to threads.
 /// Below this the dispatch overhead outweighs the parallel win.
@@ -57,71 +60,6 @@ fn rows_per_chunk(m: usize) -> usize {
 }
 
 // ------------------------------------------------------------ micro-kernels
-
-/// One `R`-row × `WR`-column register-tile update for a single `k` panel:
-/// zeroed accumulators, an ascending-`p` FMA chain (`av(p)` yields the `R`
-/// broadcast values of `a` for step `p`), then one flush add into `c`. The
-/// remainder columns past the last full `WR` tile follow the exact same
-/// per-element sequence with scalar accumulators, so every output element's
-/// float-op order depends only on its position and the dimensions — never
-/// on `R`, the thread count, or whether `b` was packed.
-///
-/// The panel of `b` is addressed as `bp[b_base + (p - pb) * b_stride + j]`,
-/// which covers both the original row-major matrix (`b_base = pb·n + jb`,
-/// `b_stride = n`) and a packed contiguous panel (`b_base = 0`,
-/// `b_stride = width`).
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn mr_block<const R: usize>(
-    av: impl Fn(usize) -> [f32; R],
-    bp: &[f32],
-    b_base: usize,
-    b_stride: usize,
-    pb: usize,
-    pe: usize,
-    width: usize,
-    c_rows: &mut [f32],
-    c_base: usize,
-    c_stride: usize,
-) {
-    let wr_end = width - width % WR;
-    let mut jw = 0;
-    while jw + WR <= width {
-        let mut acc = [[0.0f32; WR]; R];
-        for p in pb..pe {
-            let a_vals = av(p);
-            let off = b_base + (p - pb) * b_stride + jw;
-            let bv = &bp[off..off + WR];
-            for r in 0..R {
-                let ar = a_vals[r];
-                let accr = &mut acc[r];
-                for t in 0..WR {
-                    accr[t] = ar.mul_add(bv[t], accr[t]);
-                }
-            }
-        }
-        for (r, accr) in acc.iter().enumerate() {
-            let cr = &mut c_rows[c_base + r * c_stride + jw..c_base + r * c_stride + jw + WR];
-            for t in 0..WR {
-                cr[t] += accr[t];
-            }
-        }
-        jw += WR;
-    }
-    for t in wr_end..width {
-        let mut s = [0.0f32; R];
-        for p in pb..pe {
-            let a_vals = av(p);
-            let bv = bp[b_base + (p - pb) * b_stride + t];
-            for r in 0..R {
-                s[r] = a_vals[r].mul_add(bv, s[r]);
-            }
-        }
-        for (r, sr) in s.iter().enumerate() {
-            c_rows[c_base + r * c_stride + t] += sr;
-        }
-    }
-}
 
 /// Minimum row count before a `b` panel is copied into a contiguous
 /// scratch buffer. Packing costs one sweep over the panel and pays off
@@ -158,8 +96,11 @@ fn panel_scratch(k: usize, n: usize) -> ScratchBuf {
 /// Computes `c_rows += a_rows · b` for `rows` output rows starting at
 /// global row `row0`. `a` and `b` are the full input matrices; `c_rows` is
 /// exactly `rows·n` long. Full `MR`-row blocks and leftover single rows run
-/// the same [`mr_block`] tile, so their per-element math is identical.
+/// the same [`CpuBackend::gemm_tile`], so their per-element math is
+/// identical.
+#[allow(clippy::too_many_arguments)]
 fn kernel_into(
+    be: &dyn CpuBackend,
     a: &[f32],
     b: &[f32],
     c_rows: &mut [f32],
@@ -181,14 +122,18 @@ fn kernel_into(
             };
             let mut i = 0;
             while i + MR <= rows {
-                let a_base = (row0 + i) * k;
-                mr_block::<MR>(
-                    |p| std::array::from_fn(|r| a[a_base + r * k + p]),
+                // A(r, p) = a[(row0+i+r)·k + pb + p]: row stride k, p
+                // stride 1.
+                be.gemm_tile(
+                    a,
+                    (row0 + i) * k + pb,
+                    k,
+                    1,
+                    MR,
+                    pe - pb,
                     bp,
                     b_base,
                     b_stride,
-                    pb,
-                    pe,
                     width,
                     c_rows,
                     i * n + jb,
@@ -197,14 +142,16 @@ fn kernel_into(
                 i += MR;
             }
             while i < rows {
-                let a_base = (row0 + i) * k;
-                mr_block::<1>(
-                    |p| [a[a_base + p]],
+                be.gemm_tile(
+                    a,
+                    (row0 + i) * k + pb,
+                    k,
+                    1,
+                    1,
+                    pe - pb,
                     bp,
                     b_base,
                     b_stride,
-                    pb,
-                    pe,
                     width,
                     c_rows,
                     i * n + jb,
@@ -221,6 +168,7 @@ fn kernel_into(
 /// consecutive elements of each `a` row, so the strided access stays cheap.
 #[allow(clippy::too_many_arguments)]
 fn kernel_transpose_a(
+    be: &dyn CpuBackend,
     a: &[f32],
     b: &[f32],
     c_rows: &mut [f32],
@@ -243,14 +191,18 @@ fn kernel_transpose_a(
             };
             let mut i = 0;
             while i + MR <= rows {
-                let col = row0 + i;
-                mr_block::<MR>(
-                    |p| std::array::from_fn(|r| a[p * m + col + r]),
+                // A(r, p) = a[(pb+p)·m + row0 + i + r]: row stride 1, p
+                // stride m (the transpose walk).
+                be.gemm_tile(
+                    a,
+                    pb * m + row0 + i,
+                    1,
+                    m,
+                    MR,
+                    pe - pb,
                     bp,
                     b_base,
                     b_stride,
-                    pb,
-                    pe,
                     width,
                     c_rows,
                     i * n + jb,
@@ -259,14 +211,16 @@ fn kernel_transpose_a(
                 i += MR;
             }
             while i < rows {
-                let col = row0 + i;
-                mr_block::<1>(
-                    |p| [a[p * m + col]],
+                be.gemm_tile(
+                    a,
+                    pb * m + row0 + i,
+                    1,
+                    m,
+                    1,
+                    pe - pb,
                     bp,
                     b_base,
                     b_stride,
-                    pb,
-                    pe,
                     width,
                     c_rows,
                     i * n + jb,
@@ -278,44 +232,14 @@ fn kernel_transpose_a(
     }
 }
 
-/// Number of independent accumulator lanes in [`dot_lanes`].
-const DOT_LANES: usize = 16;
-
-/// Dot product over `DOT_LANES` independent FMA lanes with a fixed binary
-/// reduction tree — identical at every call site (part of the determinism
-/// contract).
-#[inline]
-fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    const L: usize = DOT_LANES;
-    let mut acc = [0.0f32; L];
-    let chunks = a.len() / L;
-    for q in 0..chunks {
-        let av = &a[q * L..q * L + L];
-        let bv = &b[q * L..q * L + L];
-        for t in 0..L {
-            acc[t] = av[t].mul_add(bv[t], acc[t]);
-        }
-    }
-    let mut w = L / 2;
-    while w > 0 {
-        for t in 0..w {
-            acc[t] += acc[t + w];
-        }
-        w /= 2;
-    }
-    let mut s = acc[0];
-    for t in chunks * L..a.len() {
-        s = a[t].mul_add(b[t], s);
-    }
-    s
-}
-
 /// Computes `c_rows += a_rows · bᵀ` (`b` stored `n×k`): row-against-row dot
-/// products. Both operands stream contiguously, so no `k`-tiling is needed;
-/// `j` is tiled to keep the active `b` rows L2-resident across the row
-/// block.
+/// products via [`CpuBackend::dot_lanes`] (the fixed 16-lane reduction
+/// tree — identical across backends). Both operands stream contiguously,
+/// so no `k`-tiling is needed; `j` is tiled to keep the active `b` rows
+/// L2-resident across the row block.
+#[allow(clippy::too_many_arguments)]
 fn kernel_transpose_b(
+    be: &dyn CpuBackend,
     a: &[f32],
     b: &[f32],
     c_rows: &mut [f32],
@@ -332,7 +256,7 @@ fn kernel_transpose_b(
             let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
             let c_row = &mut c_rows[i * n + jb..i * n + je];
             for (j, c_v) in (jb..je).zip(c_row.iter_mut()) {
-                *c_v += dot_lanes(a_row, &b[j * k..(j + 1) * k]);
+                *c_v += be.dot_lanes(a_row, &b[j * k..(j + 1) * k]);
             }
         }
     }
@@ -345,7 +269,7 @@ pub fn matmul_into_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    kernel_into(a, b, c, 0, m, k, n);
+    kernel_into(backend::active(), a, b, c, 0, m, k, n);
 }
 
 /// Serial reference for [`matmul_transpose_a`].
@@ -360,7 +284,7 @@ pub fn matmul_transpose_a_serial(
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    kernel_transpose_a(a, b, c, 0, m, m, k, n);
+    kernel_transpose_a(backend::active(), a, b, c, 0, m, m, k, n);
 }
 
 /// Serial reference for [`matmul_transpose_b`].
@@ -375,7 +299,7 @@ pub fn matmul_transpose_b_serial(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    kernel_transpose_b(a, b, c, 0, m, k, n);
+    kernel_transpose_b(backend::active(), a, b, c, 0, m, k, n);
 }
 
 // ------------------------------------------------------- public entry points
@@ -392,14 +316,15 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let be = backend::active();
     if flops(m, k, n) < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
-        kernel_into(a, b, c, 0, m, k, n);
+        kernel_into(be, a, b, c, 0, m, k, n);
         return;
     }
     let rows = rows_per_chunk(m);
     par::for_each_chunk_mut(c, rows * n, |chunk, c_rows| {
         let row0 = chunk * rows;
-        kernel_into(a, b, c_rows, row0, c_rows.len() / n, k, n);
+        kernel_into(be, a, b, c_rows, row0, c_rows.len() / n, k, n);
     });
 }
 
@@ -410,14 +335,15 @@ pub fn matmul_transpose_a(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let be = backend::active();
     if flops(m, k, n) < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
-        kernel_transpose_a(a, b, c, 0, m, m, k, n);
+        kernel_transpose_a(be, a, b, c, 0, m, m, k, n);
         return;
     }
     let rows = rows_per_chunk(m);
     par::for_each_chunk_mut(c, rows * n, |chunk, c_rows| {
         let row0 = chunk * rows;
-        kernel_transpose_a(a, b, c_rows, row0, c_rows.len() / n, m, k, n);
+        kernel_transpose_a(be, a, b, c_rows, row0, c_rows.len() / n, m, k, n);
     });
 }
 
@@ -428,14 +354,15 @@ pub fn matmul_transpose_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    let be = backend::active();
     if flops(m, k, n) < PAR_FLOP_THRESHOLD || par::max_threads() == 1 {
-        kernel_transpose_b(a, b, c, 0, m, k, n);
+        kernel_transpose_b(be, a, b, c, 0, m, k, n);
         return;
     }
     let rows = rows_per_chunk(m);
     par::for_each_chunk_mut(c, rows * n, |chunk, c_rows| {
         let row0 = chunk * rows;
-        kernel_transpose_b(a, b, c_rows, row0, c_rows.len() / n, k, n);
+        kernel_transpose_b(be, a, b, c_rows, row0, c_rows.len() / n, k, n);
     });
 }
 

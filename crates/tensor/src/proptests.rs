@@ -377,6 +377,120 @@ mod parallel_equivalence {
         }
 
         #[test]
+        fn backend_gemm_tile_is_bitwise_identical_across_backends(
+            rows in 1usize..5, k in 1usize..40, n in 1usize..90, seed in 0u64..1_000_000
+        ) {
+            // The "packed" panel is B itself (b_base = 0, b_stride = n):
+            // layout-identical to a pack_panel copy of the full width.
+            use crate::backend::{self, Kind, ALL_KINDS};
+            let a = fill(seed, rows * k);
+            let b = fill(seed ^ 0x5EED, k * n);
+            let scalar = backend::instance(Kind::Scalar);
+            let mut want = vec![0.0f32; rows * n];
+            scalar.gemm_tile(&a, 0, k, 1, rows, k, &b, 0, n, n, &mut want, 0, n);
+            for kind in ALL_KINDS {
+                if !kind.supported() {
+                    continue;
+                }
+                let be = backend::instance(kind);
+                let mut got = vec![0.0f32; rows * n];
+                be.gemm_tile(&a, 0, k, 1, rows, k, &b, 0, n, n, &mut got, 0, n);
+                prop_assert_eq!(bits(&got), bits(&want), "backend {}", be.name());
+            }
+        }
+
+        #[test]
+        fn backend_elementwise_primitives_are_bitwise_identical(
+            d in 1usize..70, seed in 0u64..1_000_000, alpha in -2.0f32..2.0
+        ) {
+            use crate::backend::{self, CpuBackend, Kind, ALL_KINDS};
+            let x = fill(seed, d);
+            let y = fill(seed ^ 0xF00D, d);
+            let mvs = fill(seed ^ 0x1DEA, d);
+            let scalar = backend::instance(Kind::Scalar);
+            // (add, scale, sq_dev, scale_sqrt, axpy) under the scalar
+            // reference, then every supported backend must match bitwise.
+            let run = |be: &dyn CpuBackend| {
+                let mut add = x.clone();
+                be.add_assign(&mut add, &y);
+                let mut scale = x.clone();
+                be.scale_assign(&mut scale, alpha);
+                let mut sq = x.clone();
+                be.sq_dev_assign(&mut sq, &y, &mvs);
+                let mut ss: Vec<f32> = x.iter().map(|v| v.abs() + 0.25).collect();
+                be.scale_sqrt_assign(&mut ss, alpha.abs() + 0.5);
+                let mut ax = x.clone();
+                be.axpy_assign(&mut ax, alpha, &y);
+                [add, scale, sq, ss, ax]
+            };
+            let want = run(scalar);
+            for kind in ALL_KINDS {
+                if !kind.supported() {
+                    continue;
+                }
+                let got = run(backend::instance(kind));
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(bits(g), bits(w), "backend {}", kind.name());
+                }
+            }
+        }
+
+        /// Within each backend, the fused delta reductions are bitwise
+        /// identical to materializing the difference first; across
+        /// backends the serial reductions stay within a ULP budget of
+        /// the scalar order.
+        #[test]
+        fn backend_reductions_delta_identity_and_cross_backend_tolerance(
+            d in 1usize..600, seed in 0u64..1_000_000
+        ) {
+            use crate::backend::{self, Kind, ALL_KINDS};
+            let x = fill(seed, d);
+            let y = fill(seed ^ 0xBEEF, d);
+            let r = fill(seed ^ 0xCAFE, d);
+            let diff_xr: Vec<f32> = x.iter().zip(&r).map(|(a, b)| a - b).collect();
+            let diff_yr: Vec<f32> = y.iter().zip(&r).map(|(a, b)| a - b).collect();
+            let scalar = backend::instance(Kind::Scalar);
+            for kind in ALL_KINDS {
+                if !kind.supported() {
+                    continue;
+                }
+                let be = backend::instance(kind);
+                prop_assert_eq!(
+                    be.dot_delta(&x, &y, &r).to_bits(),
+                    be.dot(&diff_xr, &diff_yr).to_bits(),
+                    "dot_delta identity, backend {}", be.name()
+                );
+                prop_assert_eq!(
+                    be.sq_norm_delta(&x, &r).to_bits(),
+                    be.sq_norm(&diff_xr).to_bits(),
+                    "sq_norm_delta identity, backend {}", be.name()
+                );
+                // dot_lanes is bitwise cross-backend; dot/sq_norm within budget.
+                prop_assert_eq!(
+                    be.dot_lanes(&x, &y).to_bits(),
+                    scalar.dot_lanes(&x, &y).to_bits(),
+                    "dot_lanes, backend {}", be.name()
+                );
+                // Reassociation error scales with the magnitude of the
+                // summed terms (Σ|tᵢ|), not the (possibly cancelled)
+                // result — bound the absolute drift accordingly.
+                let sum_abs_dot: f32 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+                let sum_abs_sq: f32 = x.iter().map(|a| a * a).sum();
+                for (name, got, want, sum_abs) in [
+                    ("dot", be.dot(&x, &y), scalar.dot(&x, &y), sum_abs_dot),
+                    ("sq_norm", be.sq_norm(&x), scalar.sq_norm(&x), sum_abs_sq),
+                ] {
+                    let tol = f32::EPSILON * sum_abs * (d as f32).sqrt().max(4.0);
+                    prop_assert!(
+                        (got - want).abs() <= tol,
+                        "{} d={} backend {}: {:?} vs scalar {:?} (tol {})",
+                        name, d, be.name(), got, want, tol
+                    );
+                }
+            }
+        }
+
+        #[test]
         fn pairwise_sq_distances_parallel_is_bitwise_serial(
             nv in 11usize..14, seed in 0u64..1_000_000
         ) {

@@ -17,7 +17,16 @@
 //! arenas); the `Vec`-returning names are thin wrappers that allocate the
 //! output once and delegate. The `*_into` family is the fabcheck hot-path
 //! entry set — everything reachable from it must stay allocation-free.
+//!
+//! The hot primitives — [`dot`], [`l2_norm`], the `*_delta` forms, and the
+//! mean/variance chunk kernels — execute on the active [`crate::backend`]
+//! (DESIGN.md §4f). The element-wise chunk kernels are bitwise identical
+//! across backends; the serial single-accumulator reductions carry a
+//! per-backend fixed op order (scalar keeps the historical order bitwise),
+//! and within any one backend `dot_delta`/`l2_norm_delta` stay bitwise
+//! equal to their materialized `dot`/`l2_norm` counterparts.
 
+use crate::backend::{self, CpuBackend};
 use crate::par;
 use crate::scratch::{scratch_f32, Element, Purpose};
 
@@ -26,25 +35,29 @@ use crate::scratch::{scratch_f32, Element, Purpose};
 const PAR_ELEMS: usize = 1 << 20;
 
 /// Dot product of two equally long slices of any [`Element`] type, widened
-/// to `f32` per element. For `T = f32` the widening is the identity, so
-/// [`dot`] monomorphizes to the historical float-op sequence bitwise.
+/// to `f32` per element — the serial single-accumulator reference order.
+/// The scalar backend's [`dot`] is bitwise identical to the `f32`
+/// monomorphization of this.
 pub fn dot_t<T: Element>(a: &[T], b: &[T]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
     a.iter().zip(b).map(|(x, y)| x.to_f32() * y.to_f32()).sum()
 }
 
-/// Dot product of two equally long slices.
+/// Dot product of two equally long slices, on the active backend
+/// (per-backend fixed accumulation order; scalar ≡ [`dot_t`] bitwise).
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    dot_t(a, b)
+    backend::active().dot(a, b)
 }
 
-/// Euclidean norm of a slice of any [`Element`] type (widened per element;
-/// identity for `f32`, so [`l2_norm`] stays bitwise-identical).
+/// Euclidean norm of a slice of any [`Element`] type (widened per
+/// element) — the serial single-accumulator reference order. The scalar
+/// backend's [`l2_norm`] is bitwise identical to the `f32`
+/// monomorphization of this.
 pub fn l2_norm_t<T: Element>(a: &[T]) -> f32 {
     a.iter()
         .map(|x| {
@@ -56,9 +69,10 @@ pub fn l2_norm_t<T: Element>(a: &[T]) -> f32 {
         .sqrt()
 }
 
-/// Euclidean norm.
+/// Euclidean norm, on the active backend (per-backend fixed accumulation
+/// order; scalar ≡ [`l2_norm_t`] bitwise).
 pub fn l2_norm(a: &[f32]) -> f32 {
-    l2_norm_t(a)
+    backend::active().sq_norm(a).sqrt()
 }
 
 /// Squared Euclidean distance between two equally long slices of any
@@ -107,32 +121,21 @@ pub fn sq_distance(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// `Σᵢ (aᵢ−rᵢ)·(bᵢ−rᵢ)` without materializing the deltas — bitwise
-/// identical to `dot(&sub(a, r), &sub(b, r))` (same single-accumulator
-/// sum order), but O(1) resident. The per-entry kernel of the tiled
+/// identical to `dot(&sub(a, r), &sub(b, r))` under every backend (each
+/// backend runs its [`dot`] accumulation structure on the on-the-fly
+/// deltas), but O(1) resident. The per-entry kernel of the tiled
 /// FoolsGold cosine pass.
 pub fn dot_delta(a: &[f32], b: &[f32], r: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dot_delta: length mismatch");
     debug_assert_eq!(a.len(), r.len(), "dot_delta: reference length mismatch");
-    a.iter()
-        .zip(b)
-        .zip(r)
-        .map(|((x, y), c)| (x - c) * (y - c))
-        .sum()
+    backend::active().dot_delta(a, b, r)
 }
 
 /// `‖a − r‖₂` without materializing the delta — bitwise identical to
-/// `l2_norm(&sub(a, r))`.
+/// `l2_norm(&sub(a, r))` under every backend.
 pub fn l2_norm_delta(a: &[f32], r: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), r.len(), "l2_norm_delta: length mismatch");
-    a.iter()
-        .zip(r)
-        .map(|(x, c)| {
-            let d = x - c;
-            d * d
-        })
-        // fabcheck::allow(unordered_float_reduction): this is the blessed fixed-order serial kernel itself
-        .sum::<f32>()
-        .sqrt()
+    backend::active().sq_norm_delta(a, r).sqrt()
 }
 
 /// Euclidean distance between two vectors.
@@ -165,16 +168,15 @@ pub fn scale(a: &[f32], alpha: f32) -> Vec<f32> {
     a.iter().map(|x| x * alpha).collect()
 }
 
-/// In-place `a += alpha * b`.
+/// In-place `a += alpha * b` (element-wise on the active backend; bitwise
+/// identical across backends — separate mul/add per coordinate).
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn axpy_in_place(a: &mut [f32], alpha: f32, b: &[f32]) {
     assert_eq!(a.len(), b.len(), "axpy: length mismatch");
-    for (x, y) in a.iter_mut().zip(b) {
-        *x += alpha * y;
-    }
+    backend::active().axpy_assign(a, alpha, b);
 }
 
 /// Returns the unit vector `a / ‖a‖₂`, or a zero vector when `‖a‖₂ == 0`.
@@ -211,33 +213,38 @@ fn check_lengths(vs: &[&[f32]], d: usize, op: &str) {
 
 /// Accumulation kernel shared by [`mean`] and [`mean_serial`]: fills
 /// `out[..]` (the coordinates starting at `lo`) with the vector-order sum
-/// scaled by `inv`.
-fn mean_chunk(vs: &[&[f32]], lo: usize, out: &mut [f32], inv: f32) {
+/// scaled by `inv`. Element-wise on the active backend — per-coordinate
+/// op chains, bitwise identical across backends.
+fn mean_chunk(be: &dyn CpuBackend, vs: &[&[f32]], lo: usize, out: &mut [f32], inv: f32) {
     out.fill(0.0);
     for v in vs {
-        for (o, x) in out.iter_mut().zip(v.iter().skip(lo)) {
-            *o += x;
-        }
+        // Entry validation (`check_lengths`) makes the miss arm
+        // unreachable; checked slicing keeps the hot path panic-free.
+        let Some(src) = v.get(lo..lo + out.len()) else {
+            continue;
+        };
+        be.add_assign(out, src);
     }
-    for o in out {
-        *o *= inv;
-    }
+    be.scale_assign(out, inv);
 }
 
 /// Variance kernel shared by [`std_dev`] and [`std_dev_serial`];
-/// `m` is the already computed coordinate-wise mean.
-fn std_chunk(vs: &[&[f32]], lo: usize, out: &mut [f32], m: &[f32], inv: f32) {
+/// `m` is the already computed coordinate-wise mean. Element-wise on the
+/// active backend — bitwise identical across backends.
+fn std_chunk(be: &dyn CpuBackend, vs: &[&[f32]], lo: usize, out: &mut [f32], m: &[f32], inv: f32) {
     out.fill(0.0);
+    let Some(ms) = m.get(lo..lo + out.len()) else {
+        return;
+    };
     for v in vs {
-        let cols = v.iter().skip(lo).zip(m.iter().skip(lo));
-        for (o, (x, mv)) in out.iter_mut().zip(cols) {
-            let diff = x - mv;
-            *o += diff * diff;
-        }
+        // Entry validation (`check_lengths`) makes the miss arm
+        // unreachable; checked slicing keeps the hot path panic-free.
+        let Some(src) = v.get(lo..lo + out.len()) else {
+            continue;
+        };
+        be.sq_dev_assign(out, src, ms);
     }
-    for o in out {
-        *o = (*o * inv).sqrt();
-    }
+    be.scale_sqrt_assign(out, inv);
 }
 
 /// Sorted-column kernel shared by [`median_into`]/[`trimmed_mean_into`]
@@ -302,8 +309,9 @@ pub fn mean_into(vs: &[&[f32]], out: &mut [f32]) {
     let d = out.len();
     check_lengths(vs, d, "mean");
     let inv = 1.0 / vs.len() as f32;
+    let be = backend::active();
     run_chunked(out, d * vs.len(), |lo, chunk| {
-        mean_chunk(vs, lo, chunk, inv)
+        mean_chunk(be, vs, lo, chunk, inv)
     });
 }
 
@@ -327,9 +335,10 @@ pub fn mean_serial(vs: &[&[f32]]) -> Vec<f32> {
     let d = vs[0].len();
     check_lengths(vs, d, "mean");
     let inv = 1.0 / vs.len() as f32;
+    let be = backend::active();
     let mut out = vec![0.0f32; d];
     for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
-        mean_chunk(vs, idx * par::CHUNK, chunk, inv);
+        mean_chunk(be, vs, idx * par::CHUNK, chunk, inv);
     }
     out
 }
@@ -348,13 +357,14 @@ pub fn std_dev_into(vs: &[&[f32]], out: &mut [f32]) {
     let d = out.len();
     check_lengths(vs, d, "std_dev");
     let inv = 1.0 / vs.len() as f32;
+    let be = backend::active();
     let mut m = scratch_f32(Purpose::CoordMean, d);
     run_chunked(&mut m, d * vs.len(), |lo, chunk| {
-        mean_chunk(vs, lo, chunk, inv)
+        mean_chunk(be, vs, lo, chunk, inv)
     });
     let m = &*m;
     run_chunked(out, d * vs.len(), |lo, chunk| {
-        std_chunk(vs, lo, chunk, m, inv)
+        std_chunk(be, vs, lo, chunk, m, inv)
     });
 }
 
@@ -377,9 +387,10 @@ pub fn std_dev_serial(vs: &[&[f32]]) -> Vec<f32> {
     let m = mean_serial(vs);
     let d = m.len();
     let inv = 1.0 / vs.len() as f32;
+    let be = backend::active();
     let mut out = vec![0.0f32; d];
     for (idx, chunk) in out.chunks_mut(par::CHUNK).enumerate() {
-        std_chunk(vs, idx * par::CHUNK, chunk, &m, inv);
+        std_chunk(be, vs, idx * par::CHUNK, chunk, &m, inv);
     }
     out
 }
@@ -691,11 +702,19 @@ mod tests {
     }
 
     #[test]
-    fn generic_kernels_match_f32_entries_bitwise() {
+    fn generic_kernels_match_serial_reference_bitwise() {
         let a: Vec<f32> = (0..131).map(|i| ((i as f32) * 0.31).sin() * 2.0).collect();
         let b: Vec<f32> = (0..131).map(|i| ((i as f32) * 0.17).cos() * 3.0).collect();
-        assert_eq!(dot(&a, &b).to_bits(), dot_t::<f32>(&a, &b).to_bits());
-        assert_eq!(l2_norm(&a).to_bits(), l2_norm_t::<f32>(&a).to_bits());
+        // The generic kernels are the serial reference order — the scalar
+        // backend reproduces them bitwise (the public entries run on the
+        // active backend, which may reassociate).
+        let serial_dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let serial_sq: f32 = a.iter().map(|x| x * x).sum();
+        assert_eq!(dot_t::<f32>(&a, &b).to_bits(), serial_dot.to_bits());
+        assert_eq!(l2_norm_t::<f32>(&a).to_bits(), serial_sq.sqrt().to_bits());
+        let scalar = backend::instance(backend::Kind::Scalar);
+        assert_eq!(scalar.dot(&a, &b).to_bits(), serial_dot.to_bits());
+        assert_eq!(scalar.sq_norm(&a).to_bits(), serial_sq.to_bits());
         assert_eq!(
             sq_distance(&a, &b).to_bits(),
             sq_distance_t::<f32>(&a, &b).to_bits()
@@ -709,8 +728,30 @@ mod tests {
         let r: Vec<f32> = (0..97).map(|i| (i as f32) * 0.001).collect();
         let da = sub(&a, &r);
         let db = sub(&b, &r);
+        // The identity holds through the public entries (whatever backend
+        // is active)...
         assert_eq!(dot_delta(&a, &b, &r).to_bits(), dot(&da, &db).to_bits());
         assert_eq!(l2_norm_delta(&a, &r).to_bits(), l2_norm(&da).to_bits());
+        // ...and on every backend this host supports, checked directly on
+        // the instances so concurrent tests cannot race a global override.
+        for kind in backend::ALL_KINDS {
+            if !kind.supported() {
+                continue;
+            }
+            let be = backend::instance(kind);
+            assert_eq!(
+                be.dot_delta(&a, &b, &r).to_bits(),
+                be.dot(&da, &db).to_bits(),
+                "dot_delta != dot∘sub on {}",
+                kind.name()
+            );
+            assert_eq!(
+                be.sq_norm_delta(&a, &r).to_bits(),
+                be.sq_norm(&da).to_bits(),
+                "sq_norm_delta != sq_norm∘sub on {}",
+                kind.name()
+            );
+        }
     }
 
     #[test]

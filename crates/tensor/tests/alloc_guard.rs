@@ -58,11 +58,27 @@ fn allocs_during<F: FnMut()>(mut f: F) -> usize {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
-/// Warm pass (arenas grow), then a measured pass that must not allocate.
+/// Warm pass (arenas grow), then measured passes that must not allocate.
+///
+/// A kernel that allocates on the hot path does so deterministically on
+/// *every* warm repeat (fixed inputs, warmed arenas), so the claim is
+/// refuted only when every measured pass allocates. The counter is
+/// process-global on purpose — Phase B must see pool-worker allocations —
+/// which means rare ambient allocations elsewhere in the process
+/// (test-harness machinery, lazy std initialization) can land inside one
+/// measured window; retrying distinguishes that noise from a real
+/// hot-path allocation.
 fn assert_steady_state_alloc_free(name: &str, mut kernel: impl FnMut()) {
     kernel();
-    let delta = allocs_during(&mut kernel);
-    assert_eq!(delta, 0, "{name}: {delta} steady-state allocation(s)");
+    let mut deltas = Vec::new();
+    for _ in 0..3 {
+        let delta = allocs_during(&mut kernel);
+        if delta == 0 {
+            return;
+        }
+        deltas.push(delta);
+    }
+    panic!("{name}: steady-state allocation(s) in every measured pass: {deltas:?}");
 }
 
 #[test]
@@ -111,6 +127,24 @@ fn hot_kernels_are_allocation_free_once_warm() {
     assert_steady_state_alloc_free("trimmed_mean_into", || {
         trimmed_mean_into(&refs, 2, &mut out);
     });
+    // Backend-dispatched reductions: the first call initializes the
+    // dispatch `OnceLock` (env read + detection — warm pass absorbs it);
+    // steady-state calls must never touch the allocator on any backend.
+    let mut red_sink = 0.0f32;
+    assert_steady_state_alloc_free("vecops::dot/l2_norm", || {
+        red_sink += fabflip_tensor::vecops::dot(&refs[0][..d], &refs[1][..d]);
+        red_sink += fabflip_tensor::vecops::l2_norm(&refs[0][..d]);
+    });
+    assert_steady_state_alloc_free("vecops::dot_delta/l2_norm_delta", || {
+        red_sink += fabflip_tensor::vecops::dot_delta(refs[0], refs[1], refs[2]);
+        red_sink += fabflip_tensor::vecops::l2_norm_delta(refs[0], refs[2]);
+    });
+    assert_steady_state_alloc_free("vecops::axpy_in_place", || {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        fabflip_tensor::vecops::axpy_in_place(&mut out, 0.37, refs[0]);
+    });
+    assert!(red_sink.is_finite());
+
     let mut dists = vec![0.0f32; n_up * n_up];
     assert_steady_state_alloc_free("pairwise_sq_distances_into", || {
         pairwise_sq_distances_into(&refs, &mut dists);

@@ -1,0 +1,258 @@
+//! Per-backend golden tests for the CPU backend trait (DESIGN.md §4f).
+//!
+//! The `GOLD_*` constants below are the exact bits produced by the
+//! pre-backend (autovectorized scalar) kernels on the unmodified tree,
+//! captured before the `tensor::backend` refactor landed. They pin two
+//! contracts:
+//!
+//! * **Scalar ≡ pre-refactor, bitwise.** The extracted scalar backend
+//!   must reproduce every golden bit-for-bit — the refactor is not
+//!   allowed to move a single ULP on the portable path.
+//! * **GEMM and elementwise ops are bitwise identical across backends.**
+//!   Each output element's FLOP chain is independent and identically
+//!   ordered in the scalar, AVX2, and AVX-512 microkernels, so the GEMM
+//!   and mean/std/axpy goldens must hold under *any* active backend
+//!   (CI runs this suite under `FABFLIP_BACKEND=scalar` and under
+//!   auto-detection).
+//!
+//! Serial reductions (`dot`, `l2_norm`, and their delta forms) have a
+//! per-backend fixed accumulation order: scalar matches the goldens
+//! bitwise, SIMD backends must land within a ULP budget that scales
+//! with the reduction length.
+//!
+//! All per-backend assertions go through `backend::instance(kind)`
+//! directly — never the global `force()` — so this suite is safe under
+//! the parallel test harness.
+
+use fabflip_tensor::backend::{self, Kind, ALL_KINDS};
+use fabflip_tensor::vecops;
+use fabflip_tensor::{matmul_into, matmul_transpose_a, matmul_transpose_b};
+
+// Pre-refactor golden bits (captured on the unmodified tree; inputs are
+// the SplitMix64 streams below, flag-invariant under RUSTFLAGS="" and
+// target-cpu=native).
+const GOLD_MATMUL_FOLD: u32 = 0x728afd31;
+const GOLD_MATMUL_FIRST: u32 = 0xc0b9c63e;
+const GOLD_MATMUL_MID: u32 = 0xc017a959;
+const GOLD_MATMUL_LAST: u32 = 0x3fe4e24b;
+const GOLD_TRANSPOSE_A_FOLD: u32 = 0x9b08a9ff;
+const GOLD_TRANSPOSE_B_FOLD: u32 = 0x353cd5c1;
+const GOLD_MEAN_FOLD: u32 = 0x95a69f2e;
+const GOLD_STD_FOLD: u32 = 0x9da5254e;
+const GOLD_AXPY_FOLD: u32 = 0x5b258491;
+
+/// (d, dot, l2_norm, dot_delta, l2_norm_delta) golden bits at
+/// tail-exercising reduction lengths.
+const GOLD_REDUCTIONS: [(usize, u32, u32, u32, u32); 3] = [
+    (3, 0x3ded46dc, 0x3f30c5a6, 0x3ff4f196, 0x3fbac2a0),
+    (16, 0x3f63d3c7, 0x401359b5, 0x406a0e0c, 0x403e2f3b),
+    (4099, 0x4102125f, 0x421342eb, 0x44b301c6, 0x425406a1),
+];
+
+/// Deterministic SplitMix64 stream mapped to [-1, 1) — the exact input
+/// generator the goldens were captured with.
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed;
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Order-sensitive bit fold: any single-ULP drift anywhere flips it.
+fn fold(v: &[f32]) -> u32 {
+    v.iter().fold(0u32, |h, x| h.rotate_left(5) ^ x.to_bits())
+}
+
+/// ULP distance between two finite same-sign floats.
+fn ulps(a: f32, b: f32) -> u32 {
+    (a.to_bits() as i64 - b.to_bits() as i64).unsigned_abs() as u32
+}
+
+/// GEMM golden bits hold under whichever backend is active: every
+/// backend's register tile evaluates each C element with the identical
+/// per-element FLOP chain, so the fold is backend-invariant.
+#[test]
+fn gemm_goldens_bitwise_under_active_backend() {
+    // Sizes straddle the KC=256, NC=1024, WR=64, MR=4 boundaries so the
+    // full-tile, sub-tile, and remainder paths all execute.
+    let (m, k, n) = (37, 300, 1100);
+    let a = fill(1, m * k);
+    let b = fill(2, k * n);
+    let mut c = vec![0.0f32; m * n];
+    matmul_into(&a, &b, &mut c, m, k, n);
+    assert_eq!(
+        fold(&c),
+        GOLD_MATMUL_FOLD,
+        "backend {}",
+        backend::active().name()
+    );
+    assert_eq!(c[0].to_bits(), GOLD_MATMUL_FIRST);
+    assert_eq!(c[m * n / 2].to_bits(), GOLD_MATMUL_MID);
+    assert_eq!(c[m * n - 1].to_bits(), GOLD_MATMUL_LAST);
+
+    let at = fill(3, k * m); // stored k×m
+    let mut c2 = vec![0.0f32; m * n];
+    matmul_transpose_a(&at, &b, &mut c2, m, k, n);
+    assert_eq!(fold(&c2), GOLD_TRANSPOSE_A_FOLD);
+
+    let bt = fill(4, n * k); // stored n×k
+    let mut c3 = vec![0.0f32; m * n];
+    matmul_transpose_b(&a, &bt, &mut c3, m, k, n);
+    assert_eq!(fold(&c3), GOLD_TRANSPOSE_B_FOLD);
+}
+
+/// mean/std/axpy are elementwise over independent coordinates (separate
+/// mul/add, no fused reassociation), so their goldens are also
+/// backend-invariant.
+#[test]
+fn elementwise_goldens_bitwise_under_active_backend() {
+    let d = 2069;
+    let vs: Vec<Vec<f32>> = (0..5).map(|u| fill(100 + u, d)).collect();
+    let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+    assert_eq!(fold(&vecops::mean(&refs)), GOLD_MEAN_FOLD);
+    assert_eq!(fold(&vecops::std_dev(&refs)), GOLD_STD_FOLD);
+
+    let mut ax = fill(200, d);
+    vecops::axpy_in_place(&mut ax, 0.37, &vs[0]);
+    assert_eq!(fold(&ax), GOLD_AXPY_FOLD);
+}
+
+/// The scalar backend instance reproduces the pre-refactor serial
+/// reduction bits exactly — the portable path did not move.
+#[test]
+fn scalar_reductions_match_pre_refactor_goldens_bitwise() {
+    let be = backend::instance(Kind::Scalar);
+    for &(d, g_dot, g_l2, g_dotd, g_l2d) in &GOLD_REDUCTIONS {
+        let x = fill(10 + d as u64, d);
+        let y = fill(20 + d as u64, d);
+        let r = fill(30 + d as u64, d);
+        assert_eq!(be.dot(&x, &y).to_bits(), g_dot, "dot d={d}");
+        assert_eq!(be.sq_norm(&x).sqrt().to_bits(), g_l2, "l2 d={d}");
+        assert_eq!(be.dot_delta(&x, &y, &r).to_bits(), g_dotd, "dotd d={d}");
+        assert_eq!(
+            be.sq_norm_delta(&x, &r).sqrt().to_bits(),
+            g_l2d,
+            "l2d d={d}"
+        );
+    }
+}
+
+/// SIMD serial reductions use a fixed per-backend order (striped vector
+/// accumulators + a fixed horizontal-sum tree); they may differ from the
+/// scalar order only within a ULP budget that grows with the number of
+/// reassociated terms.
+#[test]
+fn simd_reductions_within_ulp_budget_of_scalar() {
+    let scalar = backend::instance(Kind::Scalar);
+    for kind in ALL_KINDS {
+        if !kind.supported() || kind == Kind::Scalar {
+            continue;
+        }
+        let be = backend::instance(kind);
+        for &(d, ..) in &GOLD_REDUCTIONS {
+            let budget = 4 + (d as u32) / 32;
+            let x = fill(10 + d as u64, d);
+            let y = fill(20 + d as u64, d);
+            let r = fill(30 + d as u64, d);
+            for (name, got, want) in [
+                ("dot", be.dot(&x, &y), scalar.dot(&x, &y)),
+                ("sq_norm", be.sq_norm(&x), scalar.sq_norm(&x)),
+                (
+                    "dot_delta",
+                    be.dot_delta(&x, &y, &r),
+                    scalar.dot_delta(&x, &y, &r),
+                ),
+                (
+                    "sq_norm_delta",
+                    be.sq_norm_delta(&x, &r),
+                    scalar.sq_norm_delta(&x, &r),
+                ),
+            ] {
+                assert!(
+                    ulps(got, want) <= budget,
+                    "{name} d={d} backend {}: {got:?} vs scalar {want:?} ({} ulps > {budget})",
+                    be.name(),
+                    ulps(got, want),
+                );
+            }
+        }
+    }
+}
+
+/// `dot_lanes` (the transpose-B / row-dot microkernel) is bitwise
+/// identical across backends: its 16-lane partial-sum structure maps to
+/// one zmm register (AVX-512) or two ymm registers (AVX2), and the
+/// horizontal fold mirrors the scalar halving tree exactly.
+#[test]
+fn dot_lanes_bitwise_identical_across_backends() {
+    let scalar = backend::instance(Kind::Scalar);
+    for d in [0usize, 1, 3, 15, 16, 17, 31, 32, 300, 4099] {
+        let x = fill(40 + d as u64, d);
+        let y = fill(50 + d as u64, d);
+        let want = scalar.dot_lanes(&x, &y).to_bits();
+        for kind in ALL_KINDS {
+            if !kind.supported() {
+                continue;
+            }
+            let be = backend::instance(kind);
+            assert_eq!(
+                be.dot_lanes(&x, &y).to_bits(),
+                want,
+                "dot_lanes d={d} backend {}",
+                be.name()
+            );
+        }
+    }
+}
+
+/// The GEMM register tile itself is bitwise identical across backends,
+/// exercised directly through `gemm_tile` so the 64/16/8-column
+/// sub-tile and masked-remainder paths are all covered. The "packed"
+/// panel is the B matrix itself (`b_base = 0`, `b_stride = n`), which
+/// is layout-identical to a `pack_panel` copy of the full width.
+#[test]
+fn gemm_tile_bitwise_identical_across_backends() {
+    let scalar = backend::instance(Kind::Scalar);
+    // Widths cover: masked tail (3, 9, 15), one 16-lane block (16),
+    // 8-col sub-tile (24), 64-col block + remainders (64, 77, 200).
+    for &(rows, k, n) in &[
+        (4usize, 31usize, 3usize),
+        (1, 31, 9),
+        (2, 7, 15),
+        (3, 12, 16),
+        (4, 5, 24),
+        (4, 9, 64),
+        (3, 20, 77),
+        (4, 16, 200),
+    ] {
+        let a = fill(60 + (rows * k * n) as u64, rows * k);
+        let b = fill(70 + (rows + k + n) as u64, k * n);
+        let mut want = vec![0.0f32; rows * n];
+        // A is row-major rows×k: element (r, p) at r*k + p.
+        scalar.gemm_tile(&a, 0, k, 1, rows, k, &b, 0, n, n, &mut want, 0, n);
+        for kind in ALL_KINDS {
+            if !kind.supported() {
+                continue;
+            }
+            let be = backend::instance(kind);
+            let mut got = vec![0.0f32; rows * n];
+            be.gemm_tile(&a, 0, k, 1, rows, k, &b, 0, n, n, &mut got, 0, n);
+            let same = got
+                .iter()
+                .zip(want.iter())
+                .all(|(g, w)| g.to_bits() == w.to_bits());
+            assert!(
+                same,
+                "gemm_tile rows={rows} k={k} n={n} backend {} diverges from scalar",
+                be.name()
+            );
+        }
+    }
+}
