@@ -3,7 +3,7 @@
 //! column from the checker and maps are `BTreeMap`s.
 
 use crate::graph::HotSummary;
-use crate::ratchet::{json_string, Counts, Regression};
+use crate::ratchet::{json_string, Counts, Regression, UnsafeAudit};
 use crate::rules::Finding;
 
 /// Renders one finding like a rustc diagnostic:
@@ -39,14 +39,16 @@ pub fn render_regression(r: &Regression) -> String {
 }
 
 /// The complete machine-readable report for `--json`: forbidden findings,
-/// counted tallies, ratchet regressions, and the hot-path call graph
+/// counted tallies, ratchet regressions, the hot-path call graph
 /// (each hot function with the entry chain that makes it hot — the CI
-/// artifact answers *why* a path is hot, not just that it is).
+/// artifact answers *why* a path is hot, not just that it is), and the
+/// unsafe-site coverage map the CI job summary tabulates.
 pub fn render_json(
     findings: &[Finding],
     counts: &Counts,
     regressions: &[Regression],
     hot: &HotSummary,
+    unsafe_audit: &UnsafeAudit,
     files_checked: usize,
 ) -> String {
     let mut out = String::from("{\n  \"findings\": [");
@@ -114,9 +116,18 @@ pub fn render_json(
     if !hot.hot.is_empty() {
         out.push_str("\n    ");
     }
-    out.push_str(&format!(
-        "]\n  }},\n  \"files_checked\": {files_checked}\n}}\n"
-    ));
+    out.push_str("]\n  },\n  \"unsafe_audit\": {");
+    for (i, (file, (claimed, total))) in unsafe_audit.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {}: {{\"claimed\": {claimed}, \"total\": {total}}}",
+            json_string(file)
+        ));
+    }
+    if !unsafe_audit.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("}},\n  \"files_checked\": {files_checked}\n}}\n"));
     out
 }
 
@@ -172,7 +183,9 @@ mod tests {
                 ],
             }],
         };
-        let text = render_json(&[finding()], &counts, &regs, &hot, 90);
+        let mut audit = UnsafeAudit::new();
+        audit.insert("crates/tensor/src/par.rs".into(), (7, 7));
+        let text = render_json(&[finding()], &counts, &regs, &hot, &audit, 90);
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         let map = v.as_map().expect("object");
         let keys: Vec<&str> = map.iter().map(|(k, _)| k.as_str()).collect();
@@ -183,15 +196,27 @@ mod tests {
                 "counts",
                 "regressions",
                 "callgraph",
+                "unsafe_audit",
                 "files_checked"
             ]
         );
         assert!(text.contains("\"via\": [\"tensor::matmul::matmul_into\""));
+        assert!(
+            text.contains("\"crates/tensor/src/par.rs\": {\"claimed\": 7, \"total\": 7}"),
+            "{text}"
+        );
     }
 
     #[test]
     fn empty_report_is_valid_json() {
-        let text = render_json(&[], &Counts::new(), &[], &HotSummary::default(), 0);
+        let text = render_json(
+            &[],
+            &Counts::new(),
+            &[],
+            &HotSummary::default(),
+            &UnsafeAudit::new(),
+            0,
+        );
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert!(v.as_map().is_some());
     }

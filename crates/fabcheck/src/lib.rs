@@ -22,7 +22,7 @@ pub mod ratchet;
 pub mod rules;
 pub mod walk;
 
-use ratchet::{Counts, Regression};
+use ratchet::{Counts, Regression, UnsafeAudit};
 use rules::Finding;
 use std::path::{Path, PathBuf};
 
@@ -43,6 +43,9 @@ pub struct Report {
     /// The hot-path call graph: kernel entries found and every function
     /// reachable from them (see [`graph::HOT_ENTRIES`]).
     pub hot: graph::HotSummary,
+    /// Unsafe-site coverage per non-test file with at least one `unsafe`
+    /// site: how many carry a SAFETY claim, out of how many exist.
+    pub unsafe_audit: UnsafeAudit,
     /// Number of files scanned.
     pub files_checked: usize,
 }
@@ -84,9 +87,22 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
     for finding in rules::check_seed_streams(&pairs) {
         take(finding);
     }
+    for finding in rules::check_backend_parity(&pairs) {
+        take(finding);
+    }
     let analysis = graph::analyze(&pairs);
     for finding in analysis.findings {
         take(finding);
+    }
+    let mut unsafe_audit = UnsafeAudit::new();
+    for (class, src) in &pairs {
+        if class.is_test_file {
+            continue;
+        }
+        let (claimed, total) = rules::unsafe_site_audit(src);
+        if total > 0 {
+            unsafe_audit.insert(class.rel.clone(), (claimed, total));
+        }
     }
 
     // Deterministic diagnostics regardless of rule evaluation order.
@@ -110,6 +126,7 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
         counted,
         counts,
         hot: analysis.summary,
+        unsafe_audit,
         files_checked,
     })
 }
@@ -127,6 +144,8 @@ pub struct Options {
     pub bless: bool,
     /// CI mode: identical checks, but says so in the summary line.
     pub ci: bool,
+    /// Print one rule's contract (and an example claim) and exit.
+    pub explain: Option<String>,
 }
 
 impl Options {
@@ -149,6 +168,9 @@ impl Options {
                 "--baseline" => {
                     opts.baseline =
                         Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+                }
+                "--explain" => {
+                    opts.explain = Some(it.next().ok_or("--explain needs a rule name")?);
                 }
                 "--help" | "-h" => {
                     return Err(USAGE.to_string());
@@ -173,6 +195,8 @@ FLAGS:
   --bless           rewrite FABCHECK_BASELINE.json at the current counts
                     (use after driving a counted rule down; never silences
                     forbidden rules)
+  --explain RULE    print the rule's contract and an example claim, then
+                    exit (no scan)
   --root DIR        workspace root (default: discovered from the cwd)
   --baseline PATH   baseline file (default: <root>/FABCHECK_BASELINE.json)";
 
@@ -195,6 +219,22 @@ pub fn discover_root(start: &Path) -> Option<PathBuf> {
 /// Returns the process exit code: `0` clean, `1` findings or regressions,
 /// `2` usage or I/O errors.
 pub fn run(opts: &Options) -> i32 {
+    if let Some(rule) = &opts.explain {
+        return match rules::explain(rule) {
+            Some(text) => {
+                println!("{text}");
+                0
+            }
+            None => {
+                let known: Vec<&str> = rules::Rule::ALL.iter().map(|r| r.name()).collect();
+                eprintln!(
+                    "fabcheck: unknown rule {rule:?}; known rules:\n  {}",
+                    known.join("\n  ")
+                );
+                2
+            }
+        };
+    }
     let root = match &opts.root {
         Some(r) => r.clone(),
         None => {
@@ -230,10 +270,10 @@ pub fn run(opts: &Options) -> i32 {
             return 2;
         }
     };
-    let (regressions, improved) = ratchet::compare(&baseline, &report.counts);
+    let (regressions, improved) = ratchet::compare(&baseline.counts, &report.counts);
 
     if opts.bless {
-        if let Err(e) = ratchet::bless(&baseline_path, &report.counts) {
+        if let Err(e) = ratchet::bless(&baseline_path, &report.counts, &report.unsafe_audit) {
             eprintln!("fabcheck: {e}");
             return 2;
         }
@@ -248,6 +288,7 @@ pub fn run(opts: &Options) -> i32 {
                 &report.counts,
                 &regressions,
                 &report.hot,
+                &report.unsafe_audit,
                 report.files_checked
             )
         );

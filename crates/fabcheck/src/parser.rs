@@ -195,6 +195,130 @@ fn record_use(out: &mut Vec<UseDecl>, alias: String, segs: &[String]) {
     out.push(UseDecl { alias, segs });
 }
 
+/// A `#[target_feature(enable = "…")]` function item: the declared ISA
+/// features plus enough position data for the rules that consume it — the
+/// `fn` line (joins against [`FnNode::line`] in the call graph) and the
+/// token span of the body (classifies `unsafe` blocks as kernel-interior
+/// for the claim-grammar rule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetFeatureFn {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword (matches [`FnNode::line`]).
+    pub line: u32,
+    /// Features named by `enable = "…"`, split on `,`.
+    pub features: Vec<String>,
+    /// Token indices of the body delimiters: `(index of `{`, index of the
+    /// matching `}`)`. A token at index `k` is inside the body iff
+    /// `body.0 < k && k < body.1`.
+    pub body: (usize, usize),
+}
+
+/// Index one past the delimiter matching the opener at `open` (which must
+/// hold the `op` token); saturates at the end of the stream when
+/// unbalanced.
+fn skip_delimited(toks: &[Token], open: usize, op: &str, cl: &str) -> usize {
+    let mut depth = 0i64;
+    let mut k = open;
+    while k < toks.len() {
+        if !toks[k].is_ident {
+            if toks[k].text == op {
+                depth += 1;
+            } else if toks[k].text == cl {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Extracts every `#[target_feature(enable = "…")]` fn item.
+///
+/// The lexer drops string-literal contents entirely, so the attribute
+/// lexes as `# [ target_feature ( enable = ) ]` — the feature list is
+/// recovered from the **raw source text** of the line carrying the `=`
+/// token (its first `"…"` quoted run). After the attribute, remaining
+/// attributes and qualifiers (`#[inline]`, `pub(super)`, `unsafe`) are
+/// skipped to reach the `fn` name and brace-matched body.
+pub fn target_feature_fns(toks: &[Token], src: &str) -> Vec<TargetFeatureFn> {
+    let lines: Vec<&str> = src.lines().collect();
+    let is_p = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t: &Token| !t.is_ident && t.text == s)
+    };
+    let is_i = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t: &Token| t.is_ident && t.text == s)
+    };
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(is_p(i, "#")
+            && is_p(i + 1, "[")
+            && is_i(i + 2, "target_feature")
+            && is_p(i + 3, "(")
+            && is_i(i + 4, "enable")
+            && is_p(i + 5, "=")
+            && is_p(i + 6, ")")
+            && is_p(i + 7, "]"))
+        {
+            i += 1;
+            continue;
+        }
+        let features: Vec<String> = lines
+            .get(toks[i + 5].line as usize - 1)
+            .and_then(|l| {
+                let a = l.find('"')? + 1;
+                let b = a + l[a..].find('"')?;
+                Some(
+                    l[a..b]
+                        .split(',')
+                        .map(|f| f.trim().to_string())
+                        .filter(|f| !f.is_empty())
+                        .collect(),
+                )
+            })
+            .unwrap_or_default();
+        // Skip any further attributes and fn qualifiers up to `fn`.
+        let mut j = i + 8;
+        loop {
+            if is_p(j, "#") && is_p(j + 1, "[") {
+                j = skip_delimited(toks, j + 1, "[", "]");
+            } else if toks.get(j).is_some_and(|t| {
+                t.is_ident && matches!(t.text.as_str(), "pub" | "unsafe" | "const" | "extern")
+            }) {
+                j += 1;
+            } else if is_p(j, "(") {
+                // `pub(crate)` / `pub(super)` visibility scope.
+                j = skip_delimited(toks, j, "(", ")");
+            } else {
+                break;
+            }
+        }
+        if !is_i(j, "fn") || !toks.get(j + 1).is_some_and(|t| t.is_ident) {
+            i += 8;
+            continue;
+        }
+        let mut open = j + 2;
+        while open < toks.len() && (toks[open].is_ident || toks[open].text != "{") {
+            open += 1;
+        }
+        let close = skip_delimited(toks, open, "{", "}").saturating_sub(1);
+        out.push(TargetFeatureFn {
+            name: toks[j + 1].text.clone(),
+            line: toks[j].line,
+            features,
+            body: (open, close),
+        });
+        i = close.max(i + 8);
+    }
+    out
+}
+
 /// What a `{` opened.
 enum ScopeKind {
     Mod,
@@ -639,6 +763,54 @@ mod tests {
         let f = &parse(src)[0];
         assert!(f.calls.is_empty(), "{:?}", f.calls);
         assert_eq!(f.index_sites.len(), 1);
+    }
+
+    #[test]
+    fn target_feature_fns_recover_features_from_source() {
+        let src = "#[target_feature(enable = \"avx2,fma\")]\n\
+                   #[inline]\n\
+                   pub(super) fn dot8(a: &[f32]) -> f32 {\n\
+                       unsafe { kernel(a) }\n\
+                   }\n\
+                   fn plain() {}";
+        let lexed = lex(src);
+        let tfs = target_feature_fns(&lexed.tokens, src);
+        assert_eq!(tfs.len(), 1, "{tfs:?}");
+        assert_eq!(tfs[0].name, "dot8");
+        assert_eq!(tfs[0].features, ["avx2", "fma"]);
+        assert_eq!(tfs[0].line, 3);
+        // The body span covers the `unsafe` token and nothing outside.
+        let unsafe_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "unsafe")
+            .expect("unsafe token");
+        let (open, close) = tfs[0].body;
+        assert!(open < unsafe_idx && unsafe_idx < close, "{:?}", tfs[0].body);
+        let plain_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "plain")
+            .expect("plain token");
+        assert!(plain_idx > close);
+    }
+
+    #[test]
+    fn target_feature_generics_and_single_feature() {
+        let src = "#[target_feature(enable = \"avx512f\")]\n\
+                   unsafe fn tile<const R: usize>(c: &mut [f32]) {\n\
+                       c[0] = 1.0;\n\
+                   }";
+        let tfs = target_feature_fns(&lex(src).tokens, src);
+        assert_eq!(tfs.len(), 1);
+        assert_eq!(tfs[0].name, "tile");
+        assert_eq!(tfs[0].features, ["avx512f"]);
+    }
+
+    #[test]
+    fn non_target_feature_attrs_yield_nothing() {
+        let src = "#[inline(always)]\nfn f() {}\n#[cfg(test)]\nfn g() {}";
+        assert!(target_feature_fns(&lex(src).tokens, src).is_empty());
     }
 
     fn uses(src: &str) -> Vec<(String, String)> {

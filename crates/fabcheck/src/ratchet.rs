@@ -9,14 +9,33 @@ use std::path::Path;
 /// `rule name → file → count`, ordered so serialization is deterministic.
 pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
 
+/// `file → (claimed, total)` unsafe-site coverage: how many `unsafe`
+/// sites in the file carry a machine-parsed SAFETY claim, out of all of
+/// them. Pinned at bless time so the CI job summary can show coverage
+/// drift alongside the per-rule deltas.
+pub type UnsafeAudit = BTreeMap<String, (u64, u64)>;
+
 /// Baseline file schema version written by `--bless`. v1 was a bare
 /// `rule → file → count` map; v2 wrapped it as
 /// `{"schema_version": 2, "counts": {…}}`; v3 adds a `"rules"` roster
 /// array naming the counted rules the baseline was blessed under, so a
 /// reviewer (and the CI delta summary) can tell "rule added since the
 /// bless" apart from "rule was clean at bless time" without replaying
-/// history. All three versions parse; `--bless` always writes v3.
-pub const SCHEMA_VERSION: u64 = 3;
+/// history; v4 adds the `"unsafe_audit"` coverage map
+/// (`file → {"claimed", "total"}`) snapshotting how much of the unsafe
+/// surface carried machine-parsed claims when the baseline was blessed.
+/// All four versions parse; `--bless` always writes v4.
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// A parsed baseline: the ratcheted counts plus the unsafe-audit
+/// coverage snapshot pinned at bless time (empty for pre-v4 baselines).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Committed counted-rule tallies the ratchet compares against.
+    pub counts: Counts,
+    /// Committed unsafe-site coverage (informational, not ratcheted).
+    pub unsafe_audit: UnsafeAudit,
+}
 
 /// One cell whose count exceeds the committed baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,27 +56,32 @@ pub struct Regression {
 /// # Errors
 ///
 /// Returns a message for unreadable files or malformed JSON.
-pub fn load(path: &Path) -> Result<Counts, String> {
+pub fn load(path: &Path) -> Result<Baseline, String> {
     if !path.exists() {
-        return Ok(Counts::new());
+        return Ok(Baseline::default());
     }
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
     parse(&text).map_err(|e| format!("malformed baseline {}: {e}", path.display()))
 }
 
-fn parse(text: &str) -> Result<Counts, String> {
+/// Reads a non-negative integer out of a JSON value.
+fn as_u64(v: &serde_json::Value, what: &str) -> Result<u64, String> {
+    v.as_f64()
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("{what}: expected a non-negative integer"))
+}
+
+fn parse(text: &str) -> Result<Baseline, String> {
     let value: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("{e:?}"))?;
     let top = value.as_map().ok_or("expected a top-level object")?;
-    // v2/v3 wrap the rule map under "counts"; a baseline without a
+    // v2+ wrap the rule map under "counts"; a baseline without a
     // "schema_version" key is the v1 bare map (migration read path).
+    let mut unsafe_audit = UnsafeAudit::new();
     let rules_value = match top.iter().find(|(k, _)| k == "schema_version") {
         Some((_, ver)) => {
-            let ver = ver
-                .as_f64()
-                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
-                .ok_or("schema_version: expected a non-negative integer")?
-                as u64;
+            let ver = as_u64(ver, "schema_version")?;
             if ver > SCHEMA_VERSION {
                 return Err(format!(
                     "schema_version {ver} is newer than this fabcheck (v{SCHEMA_VERSION}); \
@@ -78,6 +102,35 @@ fn parse(text: &str) -> Result<Counts, String> {
                 }
                 None => {}
             }
+            // v4 pins the unsafe-site coverage map; earlier schemas
+            // migrate with an empty one (next bless fills it in).
+            match top.iter().find(|(k, _)| k == "unsafe_audit") {
+                Some((_, audit)) => {
+                    let files = audit
+                        .as_map()
+                        .ok_or("unsafe_audit: expected an object of file coverage")?;
+                    for (file, cell) in files {
+                        let cell = cell.as_map().ok_or_else(|| {
+                            format!("unsafe_audit/{file:?}: expected {{claimed, total}}")
+                        })?;
+                        let field = |name: &str| -> Result<u64, String> {
+                            cell.iter()
+                                .find(|(k, _)| k == name)
+                                .ok_or_else(|| format!("unsafe_audit/{file:?}: missing {name:?}"))
+                                .and_then(|(_, v)| {
+                                    as_u64(v, &format!("unsafe_audit/{file:?}/{name}"))
+                                })
+                        };
+                        unsafe_audit.insert(file.clone(), (field("claimed")?, field("total")?));
+                    }
+                }
+                None if ver >= 4 => {
+                    return Err(
+                        "schema v4 baseline is missing the \"unsafe_audit\" coverage map".into(),
+                    );
+                }
+                None => {}
+            }
             &top.iter()
                 .find(|(k, _)| k == "counts")
                 .ok_or("schema v2+ baseline is missing the \"counts\" object")?
@@ -88,27 +141,26 @@ fn parse(text: &str) -> Result<Counts, String> {
     let rules = rules_value
         .as_map()
         .ok_or("expected an object of rule counts")?;
-    let mut out = Counts::new();
+    let mut counts = Counts::new();
     for (rule, files) in rules {
         let files = files
             .as_map()
             .ok_or_else(|| format!("rule {rule:?}: expected an object of file counts"))?;
         let mut per_file = BTreeMap::new();
         for (file, count) in files {
-            let count = count
-                .as_f64()
-                .filter(|c| *c >= 0.0 && c.fract() == 0.0)
-                .ok_or_else(|| format!("{rule:?}/{file:?}: expected a non-negative integer"))?;
-            per_file.insert(file.clone(), count as u64);
+            per_file.insert(file.clone(), as_u64(count, &format!("{rule:?}/{file:?}"))?);
         }
-        out.insert(rule.clone(), per_file);
+        counts.insert(rule.clone(), per_file);
     }
-    Ok(out)
+    Ok(Baseline {
+        counts,
+        unsafe_audit,
+    })
 }
 
-/// Serializes counts as stable, diff-friendly pretty JSON (always the
-/// current [`SCHEMA_VERSION`] shape).
-pub fn render(counts: &Counts) -> String {
+/// Serializes counts + unsafe-audit coverage as stable, diff-friendly
+/// pretty JSON (always the current [`SCHEMA_VERSION`] shape).
+pub fn render(counts: &Counts, unsafe_audit: &UnsafeAudit) -> String {
     // v3 roster: the counted rules this baseline was blessed under.
     // `check_workspace` seeds every counted rule with an explicit (possibly
     // empty) cell, so the counts' key set *is* the roster at bless time.
@@ -146,6 +198,23 @@ pub fn render(counts: &Counts) -> String {
         }
         out.push_str("  }");
     }
+    out.push_str(",\n  \"unsafe_audit\": {");
+    if unsafe_audit.is_empty() {
+        out.push('}');
+    } else {
+        out.push('\n');
+        for (fi, (file, (claimed, total))) in unsafe_audit.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}: {{\"claimed\": {claimed}, \"total\": {total}}}",
+                json_string(file)
+            ));
+            if fi + 1 < unsafe_audit.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  }");
+    }
     out.push_str("\n}\n");
     out
 }
@@ -155,8 +224,8 @@ pub fn render(counts: &Counts) -> String {
 /// # Errors
 ///
 /// Propagates file-write failures as a message.
-pub fn bless(path: &Path, counts: &Counts) -> Result<(), String> {
-    std::fs::write(path, render(counts))
+pub fn bless(path: &Path, counts: &Counts, unsafe_audit: &UnsafeAudit) -> Result<(), String> {
+    std::fs::write(path, render(counts, unsafe_audit))
         .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))
 }
 
@@ -233,27 +302,64 @@ mod tests {
             ("unwrap-in-lib", "crates/fl/src/sim.rs", 2),
             ("todo-unimplemented", "crates/core/src/lib.rs", 1),
         ]);
-        let text = render(&c);
-        assert_eq!(parse(&text).expect("roundtrip"), c);
-        // v3 envelope plus deterministic ordering: rules and files sorted.
+        let text = render(&c, &UnsafeAudit::new());
+        assert_eq!(parse(&text).expect("roundtrip").counts, c);
+        // v4 envelope plus deterministic ordering: rules and files sorted.
         assert!(text.starts_with(
-            "{\n  \"schema_version\": 3,\n  \"rules\": [\"todo-unimplemented\", \"unwrap-in-lib\"],"
+            "{\n  \"schema_version\": 4,\n  \"rules\": [\"todo-unimplemented\", \"unwrap-in-lib\"],"
         ));
         let first_rule = text.lines().nth(4).expect("rule line");
         assert!(first_rule.contains("todo-unimplemented"), "{text}");
     }
 
     #[test]
-    fn v2_envelope_migrates_and_rerenders_as_v3() {
+    fn v4_audit_roundtrips_and_is_required() {
+        let mut audit = UnsafeAudit::new();
+        audit.insert("crates/tensor/src/par.rs".into(), (7, 7));
+        audit.insert("crates/tensor/src/backend/avx2.rs".into(), (29, 30));
+        let text = render(&counts(&[("unwrap-in-lib", "a.rs", 1)]), &audit);
+        let b = parse(&text).expect("v4 roundtrip");
+        assert_eq!(b.unsafe_audit, audit);
+        assert!(text.contains("\"unsafe_audit\": {"), "{text}");
+        assert!(
+            text.contains("\"crates/tensor/src/par.rs\": {\"claimed\": 7, \"total\": 7}"),
+            "{text}"
+        );
+        // A v4 envelope without the coverage map is malformed…
+        let err = parse("{\"schema_version\": 4, \"rules\": [], \"counts\": {}}")
+            .expect_err("missing audit");
+        assert!(err.contains("unsafe_audit"), "{err}");
+        // …and so is a coverage cell missing a field.
+        assert!(parse(
+            "{\"schema_version\": 4, \"rules\": [], \"counts\": {}, \
+             \"unsafe_audit\": {\"a.rs\": {\"claimed\": 1}}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn v2_envelope_migrates_and_rerenders_as_v4() {
         let v2 = "{\n  \"schema_version\": 2,\n  \"counts\": {\n    \"unwrap-in-lib\": {\n      \
                   \"crates/nn/src/a.rs\": 2\n    }\n  }\n}\n";
-        let c = parse(v2).expect("v2 migration");
-        assert_eq!(c["unwrap-in-lib"]["crates/nn/src/a.rs"], 2);
-        let v3 = render(&c);
-        assert!(v3.contains("\"schema_version\": 3"), "{v3}");
-        assert!(v3.contains("\"rules\": [\"unwrap-in-lib\"]"), "{v3}");
-        // And the upgraded text roundtrips to the same counts.
-        assert_eq!(parse(&v3).expect("v3 roundtrip"), c);
+        let b = parse(v2).expect("v2 migration");
+        assert_eq!(b.counts["unwrap-in-lib"]["crates/nn/src/a.rs"], 2);
+        assert!(b.unsafe_audit.is_empty());
+        let v4 = render(&b.counts, &b.unsafe_audit);
+        assert!(v4.contains("\"schema_version\": 4"), "{v4}");
+        assert!(v4.contains("\"rules\": [\"unwrap-in-lib\"]"), "{v4}");
+        assert!(v4.contains("\"unsafe_audit\": {}"), "{v4}");
+        // And the upgraded text roundtrips to the same baseline.
+        assert_eq!(parse(&v4).expect("v4 roundtrip"), b);
+    }
+
+    #[test]
+    fn v3_baselines_migrate_with_an_empty_audit() {
+        let v3 = "{\n  \"schema_version\": 3,\n  \"rules\": [\"unwrap-in-lib\"],\n  \
+                  \"counts\": {\n    \"unwrap-in-lib\": {\n      \"a.rs\": 1\n    }\n  }\n}\n";
+        let b = parse(v3).expect("v3 migration");
+        assert_eq!(b.counts["unwrap-in-lib"]["a.rs"], 1);
+        assert!(b.unsafe_audit.is_empty());
+        assert!(render(&b.counts, &b.unsafe_audit).contains("\"schema_version\": 4"));
     }
 
     #[test]
@@ -266,6 +372,7 @@ mod tests {
         assert!(
             parse("{\"schema_version\": 3, \"rules\": [], \"counts\": {}}")
                 .expect("empty roster is fine")
+                .counts
                 .is_empty()
         );
     }
@@ -273,10 +380,10 @@ mod tests {
     #[test]
     fn v1_bare_map_baselines_still_parse() {
         let v1 = "{\n  \"unwrap-in-lib\": {\n    \"crates/nn/src/a.rs\": 2\n  }\n}\n";
-        let c = parse(v1).expect("v1 migration");
-        assert_eq!(c["unwrap-in-lib"]["crates/nn/src/a.rs"], 2);
+        let b = parse(v1).expect("v1 migration");
+        assert_eq!(b.counts["unwrap-in-lib"]["crates/nn/src/a.rs"], 2);
         // Re-rendering upgrades to the current schema.
-        assert!(render(&c).contains("\"schema_version\": 3"));
+        assert!(render(&b.counts, &b.unsafe_audit).contains("\"schema_version\": 4"));
     }
 
     #[test]
@@ -286,6 +393,7 @@ mod tests {
         assert!(err.contains("newer"), "{err}");
         assert!(parse("{\"schema_version\": 2, \"counts\": {}}")
             .expect("v2 empty")
+            .counts
             .is_empty());
         assert!(parse("{\"schema_version\": 2}").is_err());
         assert!(parse("{\"schema_version\": -1, \"counts\": {}}").is_err());
@@ -295,9 +403,9 @@ mod tests {
     fn empty_rule_maps_render_inline() {
         let mut c = Counts::new();
         c.insert("unwrap-in-lib".into(), BTreeMap::new());
-        let text = render(&c);
+        let text = render(&c, &UnsafeAudit::new());
         assert!(text.contains("\"unwrap-in-lib\": {}"));
-        assert_eq!(parse(&text).expect("parse"), c);
+        assert_eq!(parse(&text).expect("parse").counts, c);
     }
 
     #[test]

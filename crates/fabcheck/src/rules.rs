@@ -9,10 +9,12 @@
 //!   `unsafe-without-safety-comment`, `thread-spawn-outside-par`,
 //!   `raw-pointer-outside-par`, `alloc-on-hot-path`, `io-on-hot-path`,
 //!   `seed-stream-registry`, `unordered-float-reduction`,
-//!   `unclaimed-raw-span`);
+//!   `unclaimed-raw-span`, `target-feature-call-unguarded`,
+//!   `unsafe-claim-grammar`, `backend-parity`);
 //! * **counted** — hits are tallied per `rule × file` and ratcheted
 //!   against `FABCHECK_BASELINE.json`: counts may shrink, never grow
-//!   (`unwrap-in-lib`, `todo-unimplemented`, `panic-on-hot-path`).
+//!   (`unwrap-in-lib`, `todo-unimplemented`, `panic-on-hot-path`,
+//!   `span-disjointness`).
 //!
 //! Matching is whole-identifier over the [`crate::lexer`] token stream, so
 //! comments, strings, `Instantiates`, and `unwrap_or` never false-positive.
@@ -23,6 +25,7 @@
 //! [`Rule`] identities plus every single-file rule.
 
 use crate::lexer::{lex, Comment, Token};
+use crate::parser::{target_feature_fns, TargetFeatureFn};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose float-accumulation order feeds the reproducibility
@@ -59,6 +62,11 @@ pub const BLESSED_THREAD_FILE: &str = "crates/tensor/src/par.rs";
 /// How many lines above an `unsafe` token a `// SAFETY:` comment may end
 /// and still annotate it (allows attributes and a signature line between).
 const SAFETY_WINDOW_LINES: u32 = 5;
+
+/// The target features the workspace's kernels may enable. A
+/// `SAFETY(feature: …)` claim naming anything else is unparseable —
+/// growing this list is the deliberate act that admits a new ISA.
+pub const KNOWN_TARGET_FEATURES: &[&str] = &["avx2", "fma", "avx512f"];
 
 /// A fabcheck rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -114,11 +122,35 @@ pub enum Rule {
     UnwrapInLib,
     /// `todo!`/`unimplemented!` in non-test code (counted).
     TodoUnimplemented,
+    /// A call edge into an `#[target_feature(enable = …)]` fn from a
+    /// context that does not prove the ISA available: the caller neither
+    /// declares a superset of the callee's features nor is a dispatcher
+    /// method in [`BLESSED_SIMD_DIR`] (whose instances are only handed
+    /// out after `is_x86_feature_detected!` succeeds). Evaluated on the
+    /// cross-crate call graph by [`crate::graph`].
+    TargetFeatureCallUnguarded,
+    /// A SAFETY comment in the blessed unsafe regions
+    /// ([`BLESSED_SIMD_DIR`], [`BLESSED_THREAD_FILE`]) that is free text,
+    /// does not parse under the claim grammar (`SAFETY(bound: <expr>)` /
+    /// `SAFETY(feature: <isa,…>)` / `SAFETY(sync: <type>)`), or claims
+    /// the wrong kind for its site (e.g. a feature claim on a block doing
+    /// raw-pointer arithmetic).
+    UnsafeClaimGrammar,
+    /// A `fabcheck::claim(disjoint)` whose partition offset is not a
+    /// recognized non-overlapping pattern (a contiguous `i * chunk`
+    /// stride, optionally `.min(len)`-clamped). Counted, not forbidden:
+    /// unrecognized is not proven wrong, so it ratchets as debt.
+    SpanDisjointness,
+    /// A `CpuBackend` trait method missing from one of the backend impls
+    /// or absent from the cross-backend determinism coverage
+    /// (`backend_goldens.rs` / `proptests.rs`). Evaluated workspace-wide
+    /// by [`check_backend_parity`].
+    BackendParity,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 15] = [
+    pub const ALL: [Rule; 19] = [
         Rule::NondeterministicCollection,
         Rule::EntropyRng,
         Rule::WallclockInKernel,
@@ -134,6 +166,10 @@ impl Rule {
         Rule::UnclaimedRawSpan,
         Rule::UnwrapInLib,
         Rule::TodoUnimplemented,
+        Rule::TargetFeatureCallUnguarded,
+        Rule::UnsafeClaimGrammar,
+        Rule::SpanDisjointness,
+        Rule::BackendParity,
     ];
 
     /// The kebab-case rule id used in diagnostics, JSON, and the baseline.
@@ -154,6 +190,10 @@ impl Rule {
             Rule::UnclaimedRawSpan => "unclaimed-raw-span",
             Rule::UnwrapInLib => "unwrap-in-lib",
             Rule::TodoUnimplemented => "todo-unimplemented",
+            Rule::TargetFeatureCallUnguarded => "target-feature-call-unguarded",
+            Rule::UnsafeClaimGrammar => "unsafe-claim-grammar",
+            Rule::SpanDisjointness => "span-disjointness",
+            Rule::BackendParity => "backend-parity",
         }
     }
 
@@ -161,7 +201,10 @@ impl Rule {
     pub fn is_forbidden(self) -> bool {
         !matches!(
             self,
-            Rule::UnwrapInLib | Rule::TodoUnimplemented | Rule::PanicOnHotPath
+            Rule::UnwrapInLib
+                | Rule::TodoUnimplemented
+                | Rule::PanicOnHotPath
+                | Rule::SpanDisjointness
         )
     }
 }
@@ -304,6 +347,33 @@ fn scope(rule: Rule, class: &FileClass) -> Scope {
                 Scope::Off
             }
         }
+        // Evaluated by `crate::graph` over the whole cross-crate call
+        // graph (a guard and its guarded call live in different files).
+        Rule::TargetFeatureCallUnguarded => Scope::Off,
+        // Machine-parsed SAFETY claims: only the blessed unsafe homes —
+        // everywhere else `unsafe` is forbidden outright, so there is
+        // nothing to grammar-check.
+        Rule::UnsafeClaimGrammar => {
+            if (class.rel.starts_with(BLESSED_SIMD_DIR) || class.rel == BLESSED_THREAD_FILE)
+                && !class.is_test_file
+            {
+                Scope::NonTest
+            } else {
+                Scope::Off
+            }
+        }
+        // Verifies existing `claim(disjoint)` annotations wherever the
+        // unclaimed-raw-span rule demands them.
+        Rule::SpanDisjointness => {
+            if class.in_crates && !class.is_test_file {
+                Scope::NonTest
+            } else {
+                Scope::Off
+            }
+        }
+        // Workspace-level pass: [`check_backend_parity`] (the trait, the
+        // impls, and the coverage files are different files).
+        Rule::BackendParity => Scope::Off,
     }
 }
 
@@ -503,31 +573,330 @@ fn mentions_ident(text: &str, ident: &str) -> bool {
     false
 }
 
-/// A `// SAFETY:` (or `/* SAFETY: */`) comment annotates an `unsafe`
+/// A `// SAFETY:` / `// SAFETY(kind: …)` comment annotates an `unsafe`
 /// token when it ends on the same line or at most [`SAFETY_WINDOW_LINES`]
 /// lines above it — and each comment annotates exactly **one** `unsafe`.
 /// Claims the nearest eligible unclaimed comment; `claimed` is indexed
 /// parallel to `comments`. Two unsafe blocks can no longer share a
 /// single SAFETY comment: every block documents its own invariant.
-fn claim_safety_comment(comments: &[Comment], claimed: &mut [bool], unsafe_line: u32) -> bool {
+/// Returns the claimed comment's index so the grammar rule can inspect
+/// its content.
+fn claim_safety_comment(
+    comments: &[Comment],
+    claimed: &mut [bool],
+    unsafe_line: u32,
+) -> Option<usize> {
     let best = comments
         .iter()
         .enumerate()
         .filter(|(i, c)| {
             !claimed[*i]
-                && c.text.contains("SAFETY:")
+                && (c.text.contains("SAFETY:") || c.text.contains("SAFETY("))
                 && c.line_end <= unsafe_line
                 && c.line_end + SAFETY_WINDOW_LINES >= unsafe_line
         })
         .max_by_key(|(_, c)| c.line_end)
         .map(|(i, _)| i);
-    match best {
-        Some(i) => {
-            claimed[i] = true;
-            true
-        }
-        None => false,
+    if let Some(i) = best {
+        claimed[i] = true;
     }
+    best
+}
+
+/// A machine-parsed SAFETY claim: what kind of invariant the comment
+/// asserts for its `unsafe` region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyClaim {
+    /// `SAFETY(bound: <len-expr>)` — memory validity / in-bounds.
+    Bound(String),
+    /// `SAFETY(feature: avx2,fma)` — ISA availability was detected
+    /// before this code can execute.
+    Feature(Vec<String>),
+    /// `SAFETY(sync: <type>)` — a Send/Sync soundness argument for an
+    /// `unsafe impl`.
+    Sync(String),
+}
+
+/// Parses the first grammar claim in a comment. `None` means the comment
+/// contains no `SAFETY(` opener at all (legacy free text); `Some(Err)`
+/// means an opener is present but malformed — the error string names
+/// what is wrong.
+pub fn parse_safety_claim(text: &str) -> Option<Result<SafetyClaim, String>> {
+    let start = text.find("SAFETY(")?;
+    let inner_from = start + "SAFETY(".len();
+    // The argument may itself contain balanced parens (`a.len()`).
+    let mut depth = 1i64;
+    let mut end = None;
+    for (off, c) in text[inner_from..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(inner_from + off);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(end) = end else {
+        return Some(Err("unclosed `SAFETY(` claim".to_string()));
+    };
+    let inner = &text[inner_from..end];
+    let Some((kind, arg)) = inner.split_once(':') else {
+        return Some(Err(format!(
+            "`SAFETY({inner})` is missing its `kind: argument` separator"
+        )));
+    };
+    let arg = arg.trim();
+    if arg.is_empty() {
+        return Some(Err(format!(
+            "`SAFETY({}: )` has an empty argument",
+            kind.trim()
+        )));
+    }
+    Some(match kind.trim() {
+        "bound" => Ok(SafetyClaim::Bound(arg.to_string())),
+        "feature" => {
+            let feats: Vec<String> = arg.split(',').map(|f| f.trim().to_string()).collect();
+            match feats
+                .iter()
+                .find(|f| !KNOWN_TARGET_FEATURES.contains(&f.as_str()))
+            {
+                Some(bad) => Err(format!(
+                    "unknown target feature `{bad}` (known: {})",
+                    KNOWN_TARGET_FEATURES.join(", ")
+                )),
+                None => Ok(SafetyClaim::Feature(feats)),
+            }
+        }
+        "sync" => Ok(SafetyClaim::Sync(arg.to_string())),
+        other => Err(format!(
+            "unknown claim kind `{}` (expected `bound`, `feature`, or `sync`)",
+            other.trim()
+        )),
+    })
+}
+
+/// The claim kind a given `unsafe` site must carry, derived from its
+/// syntactic context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ExpectedClaim {
+    /// Inside a `#[target_feature]` kernel body, or the block performs
+    /// raw-pointer arithmetic — must claim `bound`.
+    Bound,
+    /// `unsafe impl Send/Sync` — must claim `sync`.
+    Sync,
+    /// The block calls same-file `#[target_feature]` fns — must claim
+    /// `feature` with at least these features.
+    Feature(Vec<String>),
+    /// No structural signal: any well-formed claim kind is accepted.
+    Any,
+}
+
+/// Token index of the `}` matching the `{` at `open` (mirror of
+/// [`matching_paren`]).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        if !toks[j].is_ident {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Classifies the `unsafe` token at `i`: which claim kind its site
+/// structurally requires. Precedence: target-feature kernel interior,
+/// `unsafe impl`, pointer arithmetic in the block, same-file
+/// target-feature callees, anything else.
+fn expected_claim(toks: &[Token], i: usize, tfs: &[TargetFeatureFn]) -> ExpectedClaim {
+    if tfs.iter().any(|f| f.body.0 < i && i < f.body.1) {
+        return ExpectedClaim::Bound;
+    }
+    if toks
+        .get(i + 1)
+        .is_some_and(|n| n.is_ident && n.text == "impl")
+    {
+        return ExpectedClaim::Sync;
+    }
+    // The region: the `{` right after `unsafe` (an unsafe block), or the
+    // body brace of an `unsafe fn` header.
+    let mut open = i + 1;
+    while open < toks.len() && (toks[open].is_ident || toks[open].text != "{") {
+        open += 1;
+    }
+    if open >= toks.len() || open > i + 24 {
+        return ExpectedClaim::Any;
+    }
+    let close = matching_brace(toks, open);
+    let mut features: BTreeSet<String> = BTreeSet::new();
+    for j in open + 1..close {
+        if !toks[j].is_ident {
+            continue;
+        }
+        let after_dot = j >= 1 && !toks[j - 1].is_ident && toks[j - 1].text == ".";
+        if toks[j].text == "from_raw_parts_mut"
+            || (after_dot && matches!(toks[j].text.as_str(), "add" | "wrapping_add" | "offset"))
+        {
+            return ExpectedClaim::Bound;
+        }
+        if !after_dot
+            && toks
+                .get(j + 1)
+                .is_some_and(|n| !n.is_ident && (n.text == "(" || n.text == ":"))
+        {
+            if let Some(tf) = tfs.iter().find(|f| f.name == toks[j].text) {
+                features.extend(tf.features.iter().cloned());
+            }
+        }
+    }
+    if features.is_empty() {
+        ExpectedClaim::Any
+    } else {
+        ExpectedClaim::Feature(features.into_iter().collect())
+    }
+}
+
+/// Whether a token can be an operand of a recognized partition product:
+/// an identifier or a numeric literal.
+fn is_operand(t: &Token) -> bool {
+    t.is_ident || t.text.starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Whether a token slice is a recognized disjoint-partition expression:
+/// `a * b`, or the clamped form `(a * b).min(c)`. Contiguous
+/// `index * chunk` strides are the one partition shape whose spans are
+/// provably non-overlapping for distinct indices.
+fn product_expr(toks: &[Token]) -> bool {
+    let is_p = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t: &Token| !t.is_ident && t.text == s)
+    };
+    if toks.len() == 3 {
+        return is_operand(&toks[0]) && is_p(1, "*") && is_operand(&toks[2]);
+    }
+    // `( a * b ) . min ( c )` — 10 tokens exactly.
+    toks.len() == 10
+        && is_p(0, "(")
+        && is_operand(&toks[1])
+        && is_p(2, "*")
+        && is_operand(&toks[3])
+        && is_p(4, ")")
+        && is_p(5, ".")
+        && toks[6].is_ident
+        && toks[6].text == "min"
+        && is_p(7, "(")
+        && is_operand(&toks[8])
+        && is_p(9, ")")
+}
+
+/// Token index of the statement-ending `;` at delimiter depth 0,
+/// starting from `from` (or the stream end when none).
+fn stmt_end(toks: &[Token], from: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = from;
+    while j < toks.len() {
+        if !toks[j].is_ident {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Whether `off` is bound in this file by a `let` whose right-hand side
+/// is a recognized partition product — either a plain
+/// `let off = a * b;` (optionally `.min(…)`-clamped) or a tuple
+/// `let (x, y) = (e1, e2);` with position-matched elements.
+fn binding_is_block_product(toks: &[Token], off: &str) -> bool {
+    let is_p = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t: &Token| !t.is_ident && t.text == s)
+    };
+    for (j, t) in toks.iter().enumerate() {
+        if !(t.is_ident && t.text == "let") {
+            continue;
+        }
+        // Optional `mut` between `let` and the pattern.
+        let p = if toks
+            .get(j + 1)
+            .is_some_and(|n| n.is_ident && n.text == "mut")
+        {
+            j + 2
+        } else {
+            j + 1
+        };
+        if toks.get(p).is_some_and(|n| n.is_ident && n.text == off) && is_p(p + 1, "=") {
+            return product_expr(&toks[p + 2..stmt_end(toks, p + 2)]);
+        }
+        if is_p(p, "(") {
+            let close = matching_paren(toks, p);
+            let elems = arg_ranges(toks, p);
+            let Some(pos) = elems
+                .iter()
+                .position(|&(a, b)| b - a == 1 && toks[a].is_ident && toks[a].text == off)
+            else {
+                continue;
+            };
+            if is_p(close + 1, "=") && is_p(close + 2, "(") {
+                if let Some(&(ra, rb)) = arg_ranges(toks, close + 2).get(pos) {
+                    return product_expr(&toks[ra..rb]);
+                }
+            }
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether the `from_raw_parts_mut` call at token index `i` carves its
+/// span with recognized disjoint-partition arithmetic: the pointer
+/// argument is either a bare base (zero offset) or
+/// `base…​.add/wrapping_add(off)` where `off` is bound to a block
+/// product ([`binding_is_block_product`]).
+fn span_partition_recognized(toks: &[Token], i: usize) -> bool {
+    let Some(&(a, b)) = arg_ranges(toks, i + 1).first() else {
+        return false;
+    };
+    if b - a == 1 && toks[a].is_ident {
+        return true;
+    }
+    for j in a..b {
+        if !(toks[j].is_ident
+            && matches!(toks[j].text.as_str(), "add" | "wrapping_add" | "offset")
+            && j >= 1
+            && !toks[j - 1].is_ident
+            && toks[j - 1].text == "."
+            && toks
+                .get(j + 1)
+                .is_some_and(|n| !n.is_ident && n.text == "("))
+        {
+            continue;
+        }
+        let close = matching_paren(toks, j + 1);
+        return close == j + 3
+            && toks[j + 2].is_ident
+            && binding_is_block_product(toks, &toks[j + 2].text);
+    }
+    false
 }
 
 /// Token index of the `)` matching the `(` at `open` (or the last token
@@ -624,6 +993,12 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
     let mut claimed = vec![false; lexed.comments.len()];
     let mut claim_claimed = vec![false; lexed.comments.len()];
     let float_allow = allow_lines(&lexed.comments, toks, "unordered_float_reduction");
+    let grammar_on = enabled.iter().any(|&(r, _)| r == Rule::UnsafeClaimGrammar);
+    let tfs = if grammar_on {
+        target_feature_fns(toks, src)
+    } else {
+        Vec::new()
+    };
     for (i, t) in toks.iter().enumerate() {
         if !t.is_ident {
             // `*` immediately before `const`/`mut` is a raw-pointer type
@@ -702,18 +1077,89 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                         .to_string(),
                 )
             }
-            "unsafe"
-                if on(Rule::UnsafeWithoutSafetyComment, i)
-                    && !claim_safety_comment(&lexed.comments, &mut claimed, t.line) =>
-            {
-                push(
-                    Rule::UnsafeWithoutSafetyComment,
-                    t,
-                    "`unsafe` without its own `// SAFETY:` comment in the preceding \
-                     lines (each unsafe block claims exactly one); document the \
-                     invariant that makes this sound"
-                        .to_string(),
-                )
+            "unsafe" if on(Rule::UnsafeWithoutSafetyComment, i) => {
+                match claim_safety_comment(&lexed.comments, &mut claimed, t.line) {
+                    None => push(
+                        Rule::UnsafeWithoutSafetyComment,
+                        t,
+                        "`unsafe` without its own `// SAFETY:` comment in the preceding \
+                         lines (each unsafe block claims exactly one); document the \
+                         invariant that makes this sound"
+                            .to_string(),
+                    ),
+                    Some(k) if on(Rule::UnsafeClaimGrammar, i) => {
+                        let expected = expected_claim(toks, i, &tfs);
+                        match parse_safety_claim(&lexed.comments[k].text) {
+                            None => push(
+                                Rule::UnsafeClaimGrammar,
+                                t,
+                                "free-text SAFETY comment in a blessed unsafe region; \
+                                 upgrade it to the machine-checked claim grammar: \
+                                 `// SAFETY(bound: <len-expr>)`, \
+                                 `// SAFETY(feature: <isa,…>)`, or \
+                                 `// SAFETY(sync: <type>)`"
+                                    .to_string(),
+                            ),
+                            Some(Err(why)) => push(
+                                Rule::UnsafeClaimGrammar,
+                                t,
+                                format!("unparseable SAFETY claim: {why}"),
+                            ),
+                            Some(Ok(claim)) => match (&expected, &claim) {
+                                (ExpectedClaim::Any, _)
+                                | (ExpectedClaim::Bound, SafetyClaim::Bound(_))
+                                | (ExpectedClaim::Sync, SafetyClaim::Sync(_)) => {}
+                                (ExpectedClaim::Feature(req), SafetyClaim::Feature(got)) => {
+                                    let missing: Vec<&String> =
+                                        req.iter().filter(|f| !got.contains(f)).collect();
+                                    if !missing.is_empty() {
+                                        push(
+                                            Rule::UnsafeClaimGrammar,
+                                            t,
+                                            format!(
+                                                "the `SAFETY(feature: …)` claim omits \
+                                                 {} required by the `#[target_feature]` \
+                                                 fns this block calls; claim every \
+                                                 feature the callees enable",
+                                                missing
+                                                    .iter()
+                                                    .map(|f| format!("`{f}`"))
+                                                    .collect::<Vec<_>>()
+                                                    .join(", ")
+                                            ),
+                                        )
+                                    }
+                                }
+                                (ExpectedClaim::Bound, _) => push(
+                                    Rule::UnsafeClaimGrammar,
+                                    t,
+                                    "this unsafe region does raw-pointer arithmetic \
+                                     (or sits inside a `#[target_feature]` kernel) — \
+                                     its claim must be `SAFETY(bound: <len-expr>)` \
+                                     stating the in-bounds invariant"
+                                        .to_string(),
+                                ),
+                                (ExpectedClaim::Sync, _) => push(
+                                    Rule::UnsafeClaimGrammar,
+                                    t,
+                                    "an `unsafe impl` must claim \
+                                     `SAFETY(sync: <type>)` stating why the type is \
+                                     sound to share across threads"
+                                        .to_string(),
+                                ),
+                                (ExpectedClaim::Feature(_), _) => push(
+                                    Rule::UnsafeClaimGrammar,
+                                    t,
+                                    "this block calls `#[target_feature]` fns — its \
+                                     claim must be `SAFETY(feature: <isa,…>)` naming \
+                                     the detected features"
+                                        .to_string(),
+                                ),
+                            },
+                        }
+                    }
+                    Some(_) => {}
+                }
             }
             "spawn" | "scope" | "Builder"
                 if on(Rule::ThreadSpawnOutsidePar, i)
@@ -886,7 +1332,7 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
             // Every raw mutable span must claim the partition argument
             // that makes its aliasing sound.
             "from_raw_parts_mut"
-                if on(Rule::UnclaimedRawSpan, i)
+                if (on(Rule::UnclaimedRawSpan, i) || on(Rule::SpanDisjointness, i))
                     && toks
                         .get(i + 1)
                         .is_some_and(|x| !x.is_ident && x.text == "(") =>
@@ -910,20 +1356,25 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                     .max_by_key(|(_, c)| c.line_end)
                     .map(|(k, _)| k);
                 match best {
-                    None => push(
-                        Rule::UnclaimedRawSpan,
-                        t,
-                        "`from_raw_parts_mut` without its own \
-                         `// fabcheck::claim(disjoint): …` annotation in the preceding \
-                         lines (each span claims exactly one); state which argument \
-                         partitions the spans disjointly"
-                            .to_string(),
-                    ),
+                    None => {
+                        if on(Rule::UnclaimedRawSpan, i) {
+                            push(
+                                Rule::UnclaimedRawSpan,
+                                t,
+                                "`from_raw_parts_mut` without its own \
+                                 `// fabcheck::claim(disjoint): …` annotation in the \
+                                 preceding lines (each span claims exactly one); state \
+                                 which argument partitions the spans disjointly"
+                                    .to_string(),
+                            )
+                        }
+                    }
                     Some(k) => {
                         claim_claimed[k] = true;
-                        if !args
-                            .iter()
-                            .any(|a| mentions_ident(&lexed.comments[k].text, a))
+                        if on(Rule::UnclaimedRawSpan, i)
+                            && !args
+                                .iter()
+                                .any(|a| mentions_ident(&lexed.comments[k].text, a))
                         {
                             push(
                                 Rule::UnclaimedRawSpan,
@@ -931,6 +1382,19 @@ pub fn check_file(class: &FileClass, src: &str) -> Vec<Finding> {
                                 "the `fabcheck::claim(disjoint)` annotation names none \
                                  of this `from_raw_parts_mut` call's arguments; name \
                                  the partition argument on the claim line itself"
+                                    .to_string(),
+                            )
+                        }
+                        if on(Rule::SpanDisjointness, i) && !span_partition_recognized(toks, i) {
+                            push(
+                                Rule::SpanDisjointness,
+                                t,
+                                "this `claim(disjoint)` span is not carved by a \
+                                 recognized partition pattern (a bare base pointer, or \
+                                 `.add/wrapping_add(off)` with `off` bound to an \
+                                 `index * chunk` product, optionally `.min(…)`-clamped); \
+                                 unverifiable claims ratchet as debt — restructure the \
+                                 offset arithmetic into a block product to discharge it"
                                     .to_string(),
                             )
                         }
@@ -1127,6 +1591,300 @@ pub fn check_seed_streams(files: &[(&FileClass, &str)]) -> Vec<Finding> {
     findings
 }
 
+/// Collects `fn <name>` declarations between token indices `open..close`
+/// as (name, line, col).
+fn fn_names_in(toks: &[Token], open: usize, close: usize) -> Vec<(String, u32, u32)> {
+    let mut out = Vec::new();
+    let mut j = open;
+    while j + 1 < close {
+        if toks[j].is_ident && toks[j].text == "fn" && toks[j + 1].is_ident {
+            out.push((toks[j + 1].text.clone(), toks[j + 1].line, toks[j + 1].col));
+            j += 2;
+            continue;
+        }
+        j += 1;
+    }
+    out
+}
+
+/// The workspace-level `backend-parity` pass: every method of the
+/// `CpuBackend` trait must be implemented by **every**
+/// `impl CpuBackend for <Type>` block in the trait's directory, and must
+/// appear (as a whole-word identifier) in each cross-backend coverage
+/// file (`backend_goldens.rs`, `proptests.rs`) present in the workspace.
+/// Adding a trait method without a scalar fallback or determinism tests
+/// therefore fails `--ci`. Trees without a `CpuBackend` trait are
+/// silently exempt (the fixture workspaces that predate the backend
+/// layer).
+pub fn check_backend_parity(files: &[(&FileClass, &str)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Pass 1: the trait declaration and its method roster.
+    let mut trait_at: Option<(String, String, String)> = None; // (rel, dir prefix, crate)
+    let mut methods: Vec<(String, u32, u32)> = Vec::new();
+    for (class, src) in files {
+        if class.is_test_file || !class.in_crates {
+            continue;
+        }
+        let toks = lex(src).tokens;
+        let mut i = 0;
+        while i + 1 < toks.len() {
+            if toks[i].is_ident
+                && toks[i].text == "trait"
+                && toks[i + 1].is_ident
+                && toks[i + 1].text == "CpuBackend"
+            {
+                let mut open = i + 2;
+                while open < toks.len() && (toks[open].is_ident || toks[open].text != "{") {
+                    open += 1;
+                }
+                let close = matching_brace(&toks, open);
+                methods = fn_names_in(&toks, open + 1, close);
+                let dir = class
+                    .rel
+                    .rsplit_once('/')
+                    .map(|(d, _)| format!("{d}/"))
+                    .unwrap_or_default();
+                trait_at = Some((class.rel.clone(), dir, class.crate_name.clone()));
+                break;
+            }
+            i += 1;
+        }
+        if trait_at.is_some() {
+            break;
+        }
+    }
+    let Some((trait_rel, dir, trait_crate)) = trait_at else {
+        return findings;
+    };
+    // Pass 2: the impl blocks in the trait's directory and the coverage
+    // files' identifier sets.
+    let mut impls: Vec<(String, String, BTreeSet<String>)> = Vec::new();
+    let mut coverage: Vec<(String, BTreeSet<String>)> = Vec::new();
+    for (class, src) in files {
+        // Coverage lives in the trait's own crate — other crates carry
+        // proptest modules of their own that say nothing about backends.
+        let is_cov = class.crate_name == trait_crate
+            && (class.rel.ends_with("tests/backend_goldens.rs")
+                || class.rel.ends_with("src/proptests.rs"));
+        if is_cov {
+            let idents = lex(src)
+                .tokens
+                .into_iter()
+                .filter(|t| t.is_ident)
+                .map(|t| t.text)
+                .collect();
+            coverage.push((class.rel.clone(), idents));
+            continue;
+        }
+        if class.is_test_file || !class.rel.starts_with(&dir) {
+            continue;
+        }
+        let toks = lex(src).tokens;
+        let mut i = 0;
+        while i + 3 < toks.len() {
+            if !(toks[i].is_ident
+                && toks[i].text == "impl"
+                && toks[i + 1].is_ident
+                && toks[i + 1].text == "CpuBackend"
+                && toks[i + 2].is_ident
+                && toks[i + 2].text == "for"
+                && toks[i + 3].is_ident)
+            {
+                i += 1;
+                continue;
+            }
+            let ty = toks[i + 3].text.clone();
+            let mut open = i + 4;
+            while open < toks.len() && (toks[open].is_ident || toks[open].text != "{") {
+                open += 1;
+            }
+            let close = matching_brace(&toks, open);
+            let names = fn_names_in(&toks, open + 1, close)
+                .into_iter()
+                .map(|(n, _, _)| n)
+                .collect();
+            impls.push((class.rel.clone(), ty, names));
+            i = close;
+        }
+    }
+    coverage.sort();
+    for (name, line, col) in &methods {
+        for (file, ty, names) in &impls {
+            if !names.contains(name) {
+                findings.push(Finding {
+                    rule: Rule::BackendParity,
+                    file: trait_rel.clone(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "`CpuBackend::{name}` has no implementation in \
+                         `impl CpuBackend for {ty}` (`{file}`); every backend \
+                         implements every kernel entry so dispatch can never \
+                         fall through"
+                    ),
+                });
+            }
+        }
+        for (file, idents) in &coverage {
+            if !idents.contains(name) {
+                findings.push(Finding {
+                    rule: Rule::BackendParity,
+                    file: trait_rel.clone(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "`CpuBackend::{name}` never appears in the cross-backend \
+                         coverage file `{file}`; add it to the bitwise/ULP parity \
+                         tests so backend divergence is caught"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Per-file unsafe-site audit: (sites with a claimed SAFETY comment,
+/// total `unsafe` tokens). Replays the same one-comment-per-site
+/// claiming the presence rule uses, so "claimed" here means exactly what
+/// `unsafe-without-safety-comment` accepts. Powers the `--json`
+/// `unsafe_audit` section, the baseline's pinned coverage, and the CI
+/// job summary.
+pub fn unsafe_site_audit(src: &str) -> (u64, u64) {
+    let lexed = lex(src);
+    let mut flags = vec![false; lexed.comments.len()];
+    let (mut claimed, mut total) = (0u64, 0u64);
+    for t in lexed.tokens.iter().filter(|t| t.is_ident) {
+        if t.text != "unsafe" {
+            continue;
+        }
+        total += 1;
+        if claim_safety_comment(&lexed.comments, &mut flags, t.line).is_some() {
+            claimed += 1;
+        }
+    }
+    (claimed, total)
+}
+
+/// `--explain <rule>`: the rule's contract and, where one exists, an
+/// example claim. Returns `None` for unknown rule names.
+pub fn explain(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "nondeterministic-collection" => {
+            "HashMap/HashSet iteration order varies per process, so any float \
+             accumulation or JSON emission driven by it breaks bitwise replay. \
+             Use BTreeMap/BTreeSet or sorted-key iteration in numeric crates."
+        }
+        "entropy-rng" => {
+            "thread_rng/from_entropy/OsRng/getrandom draw OS entropy, breaking \
+             fixed-seed replay everywhere (tests included). Derive a StdRng from \
+             the run seed via a registered SplitMix sub-stream."
+        }
+        "wallclock-in-kernel" => {
+            "Instant/SystemTime reads inside numeric crates make results a \
+             function of the clock. Timing belongs in crates/bench."
+        }
+        "env-var-outside-config" => {
+            "env::var is allowed only in the FABFLIP_THREADS budget modules and \
+             the backend dispatcher (FABFLIP_BACKEND); all other configuration \
+             arrives through FlConfig/CLI flags."
+        }
+        "unsafe-without-safety-comment" => {
+            "Every `unsafe` carries its own SAFETY comment within the 5 lines \
+             above it, and no two sites share one. In the blessed unsafe dirs \
+             the comment must additionally parse under the claim grammar \
+             (see unsafe-claim-grammar)."
+        }
+        "thread-spawn-outside-par" => {
+            "Thread creation is the worker pool's monopoly \
+             (crates/tensor/src/par.rs); ad-hoc spawns bypass the thread budget \
+             and the fixed-block determinism argument."
+        }
+        "raw-pointer-outside-par" => {
+            "Raw-pointer types are confined to the worker pool and the SIMD \
+             backend dir; product code everywhere else passes slices."
+        }
+        "alloc-on-hot-path" => {
+            "No heap allocation is reachable from the kernel entry set: the \
+             steady-state per-round loop must not touch the allocator. \
+             Preallocate in setup and reuse buffers."
+        }
+        "panic-on-hot-path" => {
+            "Counted debt: panic sites (indexing, assert!, unwrap) reachable \
+             from kernel entries. Ratchets shrink-only against the baseline."
+        }
+        "io-on-hot-path" => {
+            "No I/O or blocking synchronization reachable from kernel entries \
+             outside the worker pool: the deterministic core stays pure so a \
+             wire shell can wrap it."
+        }
+        "seed-stream-registry" => {
+            "Every sub_seed stream id is a named constant in the single \
+             fl::faults::streams registry; magic numbers and duplicate ids \
+             silently correlate 'independent' randomness."
+        }
+        "unordered-float-reduction" => {
+            "Order-sensitive float reductions (.sum::<f32>(), float-seeded \
+             folds, partial_cmp sorts without tie-breaks) must route through \
+             fixed-order kernels, or carry \
+             `// fabcheck::allow(unordered_float_reduction): why`."
+        }
+        "unclaimed-raw-span" => {
+            "Every from_raw_parts_mut span carries its own \
+             `// fabcheck::claim(disjoint): …` naming the partition argument \
+             that makes the aliasing sound.\n\
+             Example: // fabcheck::claim(disjoint): lo strides by worker index."
+        }
+        "unwrap-in-lib" => {
+            "Counted debt: .unwrap() in non-test library code. Prefer \
+             expect(\"actionable message\") or Result propagation."
+        }
+        "todo-unimplemented" => {
+            "Counted debt: todo!/unimplemented! in non-test code — tracked so \
+             stubs cannot silently accumulate."
+        }
+        "target-feature-call-unguarded" => {
+            "Every call edge into an `#[target_feature(enable = …)]` fn must \
+             prove the ISA available: the caller either declares a superset of \
+             the callee's features, or is a dispatcher method in \
+             crates/tensor/src/backend/ whose instances exist only after \
+             `is_x86_feature_detected!` succeeds (backend::active()). Any \
+             other edge could execute illegal instructions on an unsupporting \
+             host. Remedy: route the call through backend::active()."
+        }
+        "unsafe-claim-grammar" => {
+            "SAFETY comments in crates/tensor/src/backend/ and par.rs must \
+             parse under the claim grammar and match their site:\n\
+             // SAFETY(bound: q*8 + 8 <= a.len()): pointer arithmetic stays \
+             in bounds (required inside #[target_feature] kernels and at \
+             raw-pointer sites);\n\
+             // SAFETY(feature: avx2,fma): the dispatcher detected these \
+             features before handing this backend out (required on blocks \
+             calling #[target_feature] fns);\n\
+             // SAFETY(sync: JobRef): why the type is sound to send/share \
+             (required on `unsafe impl Send/Sync`)."
+        }
+        "span-disjointness" => {
+            "A `fabcheck::claim(disjoint)` is verified against recognized \
+             partition arithmetic: the span's base offset must be a bare base \
+             or `.add/wrapping_add(off)` with `let off = index * chunk;` \
+             (optionally `.min(len)`-clamped, tuple-lets allowed). Contiguous \
+             block products are provably non-overlapping for distinct \
+             indices; anything else ratchets as counted debt.\n\
+             Example: let lo = b * items_per_worker; \
+             base.ptr().wrapping_add(lo)"
+        }
+        "backend-parity" => {
+            "Every CpuBackend trait method must be implemented by every \
+             backend impl in crates/tensor/src/backend/ AND appear in the \
+             cross-backend coverage (backend_goldens.rs, proptests.rs). A new \
+             kernel entry without a scalar fallback and determinism tests \
+             fails --ci."
+        }
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1220,35 +1978,41 @@ mod tests {
 
     #[test]
     fn unsafe_requires_safety_comment() {
-        // Snippets live at the par.rs path: raw-pointer types are legal
-        // there, so only the unsafe-comment rule is under test.
+        // Snippets live at a compat path: the presence rule applies
+        // everywhere, but neither the raw-pointer confinement nor the
+        // blessed-dir claim grammar interferes there.
         let bad = "fn f(p: *const u8) { unsafe { p.read() }; }";
         assert_eq!(
-            run("crates/tensor/src/par.rs", bad),
+            run("compat/simd/src/lib.rs", bad),
             ["unsafe-without-safety-comment"]
         );
         let good = "// SAFETY: p is valid for reads per the caller contract.\n\
                     fn f(p: *const u8) { unsafe { p.read() }; }";
-        assert!(run("crates/tensor/src/par.rs", good).is_empty());
+        assert!(run("compat/simd/src/lib.rs", good).is_empty());
         // Attribute + doc-comment noise between the SAFETY line and the
         // unsafe token stays within the window.
         let noisy = "// SAFETY: index < len checked above.\n\
                      #[allow(clippy::missing_docs_in_private_items)]\n\
                      #[inline(always)]\n\
                      fn g(s: &[u8]) { unsafe { s.get_unchecked(0) }; }";
-        assert!(run("crates/tensor/src/par.rs", noisy).is_empty());
+        assert!(run("compat/simd/src/lib.rs", noisy).is_empty());
         // A SAFETY comment far above does not annotate.
         let far = format!(
             "// SAFETY: stale.\n{}\nfn f(p: *const u8) {{ unsafe {{ p.read() }}; }}",
             "\n".repeat(8)
         );
         assert_eq!(
-            run("crates/tensor/src/par.rs", &far),
+            run("compat/simd/src/lib.rs", &far),
             ["unsafe-without-safety-comment"]
         );
         // Trailing same-line comment counts.
         let inline = "fn f(p: *const u8) { unsafe { p.read() }; } // SAFETY: valid ptr.";
-        assert!(run("crates/tensor/src/par.rs", inline).is_empty());
+        assert!(run("compat/simd/src/lib.rs", inline).is_empty());
+        // In the blessed unsafe dirs the grammar form also satisfies the
+        // presence rule (the widened needle).
+        let grammar = "// SAFETY(bound: p valid for 1 byte): caller contract.\n\
+                       fn f(p: *const u8) { unsafe { p.read() }; }";
+        assert!(run("crates/tensor/src/par.rs", grammar).is_empty());
         // The word SAFETY: inside a doc example string does not annotate
         // and an `unsafe` inside a string is not a finding.
         assert!(run("crates/nn/src/x.rs", r#"let s = "unsafe";"#).is_empty());
@@ -1260,14 +2024,14 @@ mod tests {
         let shared = "// SAFETY: covers only one block.\n\
                       fn f(s: &[u8]) { unsafe { s.get_unchecked(0) }; unsafe { s.get_unchecked(1) }; }";
         assert_eq!(
-            run("crates/tensor/src/par.rs", shared),
+            run("compat/simd/src/lib.rs", shared),
             ["unsafe-without-safety-comment"]
         );
         // Two comments, two blocks: both annotated.
         let paired = "// SAFETY: first index in bounds.\n\
                       // SAFETY: second index in bounds.\n\
                       fn f(s: &[u8]) { unsafe { s.get_unchecked(0) }; unsafe { s.get_unchecked(1) }; }";
-        assert!(run("crates/tensor/src/par.rs", paired).is_empty());
+        assert!(run("compat/simd/src/lib.rs", paired).is_empty());
     }
 
     #[test]
@@ -1370,5 +2134,208 @@ mod tests {
         let src = "#[cfg(test)]\nmod proptests;\npub fn f() {}";
         assert_eq!(test_only_mods(src), ["proptests"]);
         assert!(test_only_mods("mod proptests;").is_empty());
+    }
+
+    #[test]
+    fn claim_grammar_parses_bound_feature_and_sync() {
+        assert_eq!(
+            parse_safety_claim("// SAFETY(bound: q*8 + 8 <= a.len() == b.len()): lanes fit."),
+            Some(Ok(SafetyClaim::Bound(
+                "q*8 + 8 <= a.len() == b.len()".into()
+            )))
+        );
+        assert_eq!(
+            parse_safety_claim("// SAFETY(feature: avx2, fma): detected at dispatch."),
+            Some(Ok(SafetyClaim::Feature(vec!["avx2".into(), "fma".into()])))
+        );
+        assert_eq!(
+            parse_safety_claim("// SAFETY(sync: JobRef): erased pointer outlives the job."),
+            Some(Ok(SafetyClaim::Sync("JobRef".into())))
+        );
+        // Free text has no opener at all.
+        assert_eq!(parse_safety_claim("// SAFETY: trust me."), None);
+        // Malformed claims are errors, not silently free text.
+        assert!(matches!(
+            parse_safety_claim("// SAFETY(feature: neon): wrong ISA."),
+            Some(Err(e)) if e.contains("neon")
+        ));
+        assert!(matches!(
+            parse_safety_claim("// SAFETY(vibes: good): unknown kind."),
+            Some(Err(e)) if e.contains("vibes")
+        ));
+        assert!(matches!(
+            parse_safety_claim("// SAFETY(bound q < n): no separator."),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_safety_claim("// SAFETY(bound: ): empty."),
+            Some(Err(e)) if e.contains("empty")
+        ));
+    }
+
+    #[test]
+    fn claim_grammar_scoped_to_blessed_dirs() {
+        // Free-text SAFETY: fine outside the blessed dirs, a grammar
+        // finding inside them.
+        let free = "// SAFETY: p is valid per the caller contract.\n\
+                    fn f(p: *const u8) { unsafe { p.read() }; }";
+        assert!(run("crates/tensor/src/par.rs", free).contains(&"unsafe-claim-grammar".into()));
+        assert!(
+            run("crates/tensor/src/backend/avx9.rs", free).contains(&"unsafe-claim-grammar".into())
+        );
+        assert!(!run("crates/nn/src/lib.rs", free).contains(&"unsafe-claim-grammar".into()));
+    }
+
+    #[test]
+    fn claim_kind_must_match_site() {
+        // A kernel block inside a #[target_feature] fn must claim bound.
+        let tf_wrong = "#[target_feature(enable = \"avx2\")]\n\
+                        fn k(a: &[f32]) {\n\
+                            // SAFETY(feature: avx2): wrong kind for a kernel interior.\n\
+                            unsafe { core::arch::x86_64::_mm_setzero_ps() };\n\
+                        }";
+        assert_eq!(
+            run("crates/tensor/src/backend/avx2.rs", tf_wrong),
+            ["unsafe-claim-grammar"]
+        );
+        let tf_right = tf_wrong.replace(
+            "// SAFETY(feature: avx2): wrong kind for a kernel interior.",
+            "// SAFETY(bound: lanes never exceed a.len()): in bounds.",
+        );
+        assert!(run("crates/tensor/src/backend/avx2.rs", &tf_right).is_empty());
+        // An unsafe impl must claim sync.
+        let imp_wrong = "// SAFETY(bound: n/a): wrong kind.\n\
+                         unsafe impl Send for JobRef {}";
+        assert_eq!(
+            run("crates/tensor/src/par.rs", imp_wrong),
+            ["unsafe-claim-grammar"]
+        );
+        let imp_right = "// SAFETY(sync: JobRef): the pointee outlives the job.\n\
+                         unsafe impl Send for JobRef {}";
+        assert!(run("crates/tensor/src/par.rs", imp_right).is_empty());
+        // A dispatch block calling a same-file target-feature fn must
+        // claim every feature the callee enables.
+        let disp = "#[target_feature(enable = \"avx2,fma\")]\n\
+                    fn dot(a: &[f32]) -> f32 { 0.0 }\n\
+                    fn entry(a: &[f32]) -> f32 {\n\
+                        // SAFETY(feature: avx2): fma missing.\n\
+                        unsafe { dot(a) }\n\
+                    }";
+        let hits = run("crates/tensor/src/backend/avx2.rs", disp);
+        assert_eq!(hits, ["unsafe-claim-grammar"], "{hits:?}");
+        let disp_ok = disp.replace("feature: avx2)", "feature: avx2,fma)");
+        assert!(run("crates/tensor/src/backend/avx2.rs", &disp_ok).is_empty());
+    }
+
+    #[test]
+    fn span_disjointness_verifies_partition_arithmetic() {
+        // Recognized: offset bound to a block product.
+        let good = "fn f(base: *mut f32, b: usize, per: usize, hi: usize) {\n\
+                    let lo = b * per;\n\
+                    // SAFETY(bound: lo..hi within the allocation): carved.\n\
+                    // fabcheck::claim(disjoint): lo strides by b, blocks are per wide.\n\
+                    let s = unsafe { std::slice::from_raw_parts_mut(base.wrapping_add(lo), hi) };\n\
+                    }";
+        assert!(
+            run("crates/tensor/src/par.rs", good).is_empty(),
+            "{:?}",
+            run("crates/tensor/src/par.rs", good)
+        );
+        // Tuple-let bindings match positionally.
+        let tuple = good.replace("let lo = b * per;", "let (lo, other) = (b * per, b + per);");
+        assert!(run("crates/tensor/src/par.rs", tuple.as_str()).is_empty());
+        // Clamped products are recognized.
+        let clamped = good.replace("let lo = b * per;", "let lo = (b * per).min(hi);");
+        assert!(run("crates/tensor/src/par.rs", clamped.as_str()).is_empty());
+        // A sum offset is NOT a recognized partition: counted debt.
+        let bad = good.replace("let lo = b * per;", "let lo = b + per;");
+        assert_eq!(
+            run("crates/tensor/src/par.rs", bad.as_str()),
+            ["span-disjointness"]
+        );
+        // An unbound offset name is likewise debt.
+        let unbound = good.replace("let lo = b * per;", "");
+        assert_eq!(
+            run("crates/tensor/src/par.rs", unbound.as_str()),
+            ["span-disjointness"]
+        );
+    }
+
+    fn parity_run(files: &[(&str, &str)]) -> Vec<String> {
+        let classes: Vec<FileClass> = files.iter().map(|(rel, _)| class(rel)).collect();
+        let pairs: Vec<(&FileClass, &str)> = classes
+            .iter()
+            .zip(files.iter())
+            .map(|(c, (_, src))| (c, *src))
+            .collect();
+        check_backend_parity(&pairs)
+            .into_iter()
+            .map(|f| f.message)
+            .collect()
+    }
+
+    #[test]
+    fn backend_parity_requires_every_impl_and_coverage() {
+        let trait_src = "pub trait CpuBackend: Send + Sync {\n\
+                         fn name(&self) -> &'static str;\n\
+                         fn dot(&self, a: &[f32]) -> f32;\n\
+                         }";
+        let scalar = "impl CpuBackend for Scalar {\n\
+                      fn name(&self) -> &'static str { \"scalar\" }\n\
+                      fn dot(&self, a: &[f32]) -> f32 { 0.0 }\n\
+                      }";
+        let avx2_missing_dot = "impl CpuBackend for Avx2 {\n\
+                                fn name(&self) -> &'static str { \"avx2\" }\n\
+                                }";
+        let msgs = parity_run(&[
+            ("crates/tensor/src/backend/mod.rs", trait_src),
+            ("crates/tensor/src/backend/scalar.rs", scalar),
+            ("crates/tensor/src/backend/avx2.rs", avx2_missing_dot),
+        ]);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("CpuBackend::dot") && msgs[0].contains("Avx2"));
+        // Coverage files must mention every method.
+        let msgs = parity_run(&[
+            ("crates/tensor/src/backend/mod.rs", trait_src),
+            ("crates/tensor/src/backend/scalar.rs", scalar),
+            (
+                "crates/tensor/tests/backend_goldens.rs",
+                "fn golden() { b.dot(&a); }",
+            ),
+            (
+                "crates/tensor/src/proptests.rs",
+                "fn prop() { b.name(); b.dot(&a); }",
+            ),
+        ]);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(
+            msgs[0].contains("CpuBackend::name") && msgs[0].contains("backend_goldens"),
+            "{msgs:?}"
+        );
+        // A workspace without the trait is silently exempt.
+        assert!(parity_run(&[("crates/tensor/src/kernel.rs", "fn k() {}")]).is_empty());
+    }
+
+    #[test]
+    fn unsafe_audit_counts_claimed_sites() {
+        let src = "// SAFETY(bound: one): ok.\n\
+                   fn f() { unsafe { a() }; unsafe { b() }; }";
+        assert_eq!(unsafe_site_audit(src), (1, 2));
+        assert_eq!(unsafe_site_audit("fn g() {}"), (0, 0));
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for rule in Rule::ALL {
+            assert!(
+                explain(rule.name()).is_some(),
+                "missing --explain text for {}",
+                rule.name()
+            );
+        }
+        assert!(explain("no-such-rule").is_none());
+        assert!(explain("unsafe-claim-grammar")
+            .expect("text")
+            .contains("SAFETY(bound:"));
     }
 }

@@ -1,0 +1,14 @@
+//! Deliberately bad fixture for the workspace `backend-parity` pass: the
+//! trait roster below has three methods, but the scalar backend
+//! (scalar.rs) implements only two — the gap is reported here, at the
+//! missing method's declaration. Never compiled — only scanned.
+
+mod avx2;
+mod avx512;
+mod scalar;
+
+pub trait CpuBackend: Send + Sync {
+    fn name(&self) -> &'static str;
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+    fn axpy(&self, out: &mut [f32], alpha: f32, src: &[f32]);
+}

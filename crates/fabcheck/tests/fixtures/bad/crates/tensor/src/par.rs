@@ -15,3 +15,16 @@ pub fn split(data: &mut [f32], per: usize) {
     let head = unsafe { std::slice::from_raw_parts_mut(base, lo) };
     head.fill(1.0);
 }
+
+/// A claimed-but-unverifiable carve: the offset strides by a *sum*, which
+/// the span-disjointness recognizer cannot prove partitions the slice —
+/// counted debt, not a forbidden finding.
+pub fn split_sum(data: &mut [f32], lo: usize, per: usize) {
+    let base = data.as_mut_ptr();
+    let off = lo + per;
+    // SAFETY(bound: off + per <= data.len()): scanned, never compiled.
+    // fabcheck::claim(disjoint): offsets stride by `lo + per`, a sum the
+    // recognizer rejects.
+    let span = unsafe { std::slice::from_raw_parts_mut(base.wrapping_add(off), per) };
+    span.fill(2.0);
+}

@@ -1,12 +1,13 @@
 //! Clean fixture: raw pointers inside the blessed SIMD backend dir
-//! (`BLESSED_SIMD_DIR`) with a per-site SAFETY comment — silent under
-//! both `raw-pointer-outside-par` and `unsafe-without-safety-comment`.
+//! (`BLESSED_SIMD_DIR`) with a per-site machine-parsed SAFETY claim —
+//! silent under `raw-pointer-outside-par`,
+//! `unsafe-without-safety-comment`, and `unsafe-claim-grammar`.
 
 pub fn lane_sum(v: &[f32]) -> f32 {
     let p: *const f32 = v.as_ptr();
     let mut s = 0.0f32;
     for i in 0..v.len() {
-        // SAFETY: `i < v.len()`, so the offset pointer stays in bounds
+        // SAFETY(bound: i < v.len()): the offset pointer stays in bounds
         // of the borrowed slice.
         s += unsafe { *p.wrapping_add(i) };
     }

@@ -20,8 +20,8 @@ pub fn dispatch(data: &mut [f32], workers: usize) {
     for w in 0..workers {
         let lo = (w * per).min(len);
         let hi = ((w + 1) * per).min(len);
-        // SAFETY: `[lo, hi)` lies inside `data`, which outlives the loop;
-        // spans for distinct `w` never overlap.
+        // SAFETY(bound: lo <= hi && hi <= len): `[lo, hi)` lies inside
+        // `data`, which outlives the loop; spans never overlap.
         // fabcheck::claim(disjoint): `lo` strides by whole `per`-sized
         // blocks, so workers' `[lo, hi)` ranges partition `data`.
         let span = unsafe { std::slice::from_raw_parts_mut(base.wrapping_add(lo), hi - lo) };

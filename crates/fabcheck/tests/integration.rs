@@ -65,6 +65,9 @@ fn bad_fixture_reports_every_forbidden_rule() {
         "unordered-float-reduction",
         "io-on-hot-path",
         "unclaimed-raw-span",
+        "unsafe-claim-grammar",
+        "target-feature-call-unguarded",
+        "backend-parity",
     ] {
         assert!(fired.contains(&rule), "missing {rule} in {fired:?}");
     }
@@ -104,6 +107,11 @@ fn bad_fixture_reports_every_forbidden_rule() {
         report.counts["panic-on-hot-path"]["crates/tensor/src/matmul.rs"],
         3
     );
+    // The sum-strided carve in par.rs: claimed disjoint, unprovable.
+    assert_eq!(
+        report.counts["span-disjointness"]["crates/tensor/src/par.rs"],
+        1
+    );
 }
 
 #[test]
@@ -112,10 +120,11 @@ fn bad_fixture_regresses_against_its_baseline() {
     // The bad baseline is deliberately kept in the v1 bare-map format, so
     // this test also exercises the schema migration read path.
     let baseline = ratchet::load(&fixture("bad").join("FABCHECK_BASELINE.json")).expect("baseline");
-    let (regressions, _) = ratchet::compare(&baseline, &report.counts);
+    let (regressions, _) = ratchet::compare(&baseline.counts, &report.counts);
     // unwrap-in-lib grew 1 → 2, todo-unimplemented appeared 0 → 1, and
-    // panic-on-hot-path appeared 0 → 3 (v1 baselines lack the rule).
-    assert_eq!(regressions.len(), 3, "{regressions:?}");
+    // panic-on-hot-path (0 → 3) and span-disjointness (0 → 1) appeared
+    // (v1 baselines lack both rules).
+    assert_eq!(regressions.len(), 4, "{regressions:?}");
     assert!(regressions
         .iter()
         .any(|r| r.rule == "unwrap-in-lib" && r.baseline == 1 && r.actual == 2));
@@ -125,6 +134,9 @@ fn bad_fixture_regresses_against_its_baseline() {
     assert!(regressions
         .iter()
         .any(|r| r.rule == "panic-on-hot-path" && r.baseline == 0 && r.actual == 3));
+    assert!(regressions
+        .iter()
+        .any(|r| r.rule == "span-disjointness" && r.baseline == 0 && r.actual == 1));
 }
 
 #[test]
@@ -187,6 +199,117 @@ fn corrupting_a_clean_tree_flips_exit_to_nonzero() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Acceptance pin: planting a call to a `#[target_feature]` kernel from
+/// an ordinary function in a clean tree flips `--ci` to failure via the
+/// ISA-safety pass.
+#[test]
+fn unguarded_target_feature_call_flips_ci() {
+    let dir = copy_fixture("clean", "tfcall");
+    let root = dir.to_str().expect("utf8 path");
+    let (code, _, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 0);
+    let target = dir.join("crates/tensor/src/backend/avx2.rs");
+    let mut src = std::fs::read_to_string(&target).expect("read fixture");
+    src.push_str(
+        "\n#[target_feature(enable = \"avx512f\")]\n\
+         fn gated(v: &[f32]) -> f32 {\n    v[0]\n}\n\n\
+         pub fn hasty(v: &[f32]) -> f32 {\n    \
+         // SAFETY(feature: avx512f): claimed but never detection-proven.\n    \
+         unsafe { gated(v) }\n}\n",
+    );
+    std::fs::write(&target, src).expect("write fixture");
+    let (code, stdout, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(stdout.contains("target-feature-call-unguarded"), "{stdout}");
+    assert!(stdout.contains("avx512f"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance pin: a `fabcheck::claim(disjoint)` carve whose offset the
+/// recognizer cannot prove disjoint (an overlapping sum stride) regresses
+/// the span-disjointness ratchet and flips `--ci` to failure.
+#[test]
+fn unprovable_span_claim_flips_ci() {
+    let dir = copy_fixture("clean", "spanclaim");
+    let root = dir.to_str().expect("utf8 path");
+    let (code, _, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 0);
+    let target = dir.join("crates/tensor/src/par.rs");
+    let mut src = std::fs::read_to_string(&target).expect("read fixture");
+    src.push_str(
+        "\npub fn overlapping(data: &mut [f32], w: usize, per: usize) {\n    \
+         let base = data.as_mut_ptr();\n    \
+         let off = w + per / 2;\n    \
+         // SAFETY(bound: off + per <= data.len()): scanned, never compiled.\n    \
+         // fabcheck::claim(disjoint): spans overlap by half a block — wrong.\n    \
+         let s = unsafe { std::slice::from_raw_parts_mut(base.wrapping_add(off), per) };\n    \
+         s.fill(0.0);\n}\n",
+    );
+    std::fs::write(&target, src).expect("write fixture");
+    let (code, stdout, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(stdout.contains("span-disjointness"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance pin: removing a backend's implementation of a trait method
+/// in a clean tree is caught by `backend-parity` — the bad fixture's
+/// `Scalar` impl already skips `axpy`, checked end to end here.
+#[test]
+fn backend_parity_gap_fails_ci_with_exact_anchor() {
+    let bad = fixture("bad");
+    let (code, stdout, _) = run_binary(&["--ci", "--root", bad.to_str().expect("utf8 path")]);
+    assert_eq!(code, 1);
+    assert!(
+        stdout.contains("`CpuBackend::axpy` has no implementation"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/tensor/src/backend/mod.rs:13"),
+        "finding must anchor at the trait method declaration: {stdout}"
+    );
+}
+
+/// `--explain` prints a rule's contract without scanning; unknown names
+/// list the roster and exit 2.
+#[test]
+fn explain_prints_rule_contracts() {
+    let (code, stdout, _) = run_binary(&["--explain", "unsafe-claim-grammar"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("SAFETY(bound:"), "{stdout}");
+    assert!(stdout.contains("SAFETY(feature:"), "{stdout}");
+    let (code, _, stderr) = run_binary(&["--explain", "no-such-rule"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unsafe-claim-grammar"), "{stderr}");
+    assert!(stderr.contains("backend-parity"), "{stderr}");
+}
+
+/// Acceptance pin on the real tree: every unsafe site in the blessed
+/// SIMD backends and the thread layer carries a machine-parsed claim —
+/// the audit map reports full coverage for those files.
+#[test]
+fn real_tree_unsafe_audit_is_fully_claimed_in_blessed_regions() {
+    let report = check_workspace(real_root()).expect("scan");
+    let blessed: Vec<(&String, &(u64, u64))> = report
+        .unsafe_audit
+        .iter()
+        .filter(|(file, _)| {
+            file.starts_with("crates/tensor/src/backend/") || *file == "crates/tensor/src/par.rs"
+        })
+        .collect();
+    assert!(
+        !blessed.is_empty(),
+        "audit map must cover the blessed regions: {:?}",
+        report.unsafe_audit
+    );
+    for (file, (claimed, total)) in blessed {
+        assert_eq!(
+            claimed, total,
+            "{file}: {claimed}/{total} unsafe sites claimed"
+        );
+    }
+}
+
 #[test]
 fn bless_rewrites_baseline_and_future_runs_pass() {
     let dir = copy_fixture("bad", "bless");
@@ -200,20 +323,24 @@ fn bless_rewrites_baseline_and_future_runs_pass() {
     assert_eq!(code, 1);
     let baseline_path = dir.join("FABCHECK_BASELINE.json");
     let blessed = ratchet::load(&baseline_path).expect("blessed baseline");
-    assert_eq!(blessed["unwrap-in-lib"]["crates/nn/src/lib.rs"], 2);
-    assert_eq!(blessed["todo-unimplemented"]["crates/nn/src/lib.rs"], 1);
+    assert_eq!(blessed.counts["unwrap-in-lib"]["crates/nn/src/lib.rs"], 2);
     assert_eq!(
-        blessed["panic-on-hot-path"]["crates/tensor/src/matmul.rs"],
+        blessed.counts["todo-unimplemented"]["crates/nn/src/lib.rs"],
+        1
+    );
+    assert_eq!(
+        blessed.counts["panic-on-hot-path"]["crates/tensor/src/matmul.rs"],
         3
     );
-    // Blessing a v1 baseline rewrites it in the v3 envelope, roster
-    // included.
+    // Blessing a v1 baseline rewrites it in the v4 envelope: roster plus
+    // the unsafe-site coverage map.
     let raw = std::fs::read_to_string(&baseline_path).expect("read blessed");
-    assert!(raw.contains("\"schema_version\": 3"), "{raw}");
+    assert!(raw.contains("\"schema_version\": 4"), "{raw}");
     assert!(raw.contains("\"rules\": ["), "{raw}");
+    assert!(raw.contains("\"unsafe_audit\""), "{raw}");
     // With the counted debt blessed, only the forbidden findings remain.
     let report = check_workspace(&dir).expect("scan");
-    let (regressions, _) = ratchet::compare(&blessed, &report.counts);
+    let (regressions, _) = ratchet::compare(&blessed.counts, &report.counts);
     assert!(regressions.is_empty());
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -224,7 +351,7 @@ fn missing_baseline_fails_closed_on_counted_debt() {
     std::fs::remove_file(dir.join("FABCHECK_BASELINE.json")).expect("remove baseline");
     let report = check_workspace(&dir).expect("scan");
     let baseline = ratchet::load(&dir.join("FABCHECK_BASELINE.json")).expect("empty baseline");
-    let (regressions, _) = ratchet::compare(&baseline, &report.counts);
+    let (regressions, _) = ratchet::compare(&baseline.counts, &report.counts);
     assert!(
         !regressions.is_empty(),
         "counted debt must regress against an absent baseline"
@@ -304,11 +431,13 @@ fn seed_stream_registry_findings_are_position_exact() {
     );
 }
 
-/// v2 → v3 baseline migration, end to end through the binary: a clean
+/// v2 → v4 baseline migration, end to end through the binary: a clean
 /// tree with a v2-envelope baseline passes as-is, `--bless` rewrites it
-/// in the v3 envelope (roster included), and the tree still passes.
+/// in the v4 envelope (roster plus the unsafe-audit coverage map,
+/// populated from the fixture's actual unsafe sites), and the tree still
+/// passes.
 #[test]
-fn v2_baseline_migrates_to_v3_roundtrip() {
+fn v2_baseline_migrates_to_v4_roundtrip() {
     let dir = copy_fixture("clean", "migrate");
     let root = dir.to_str().expect("utf8 path");
     let before = std::fs::read_to_string(dir.join("FABCHECK_BASELINE.json")).expect("read");
@@ -318,10 +447,11 @@ fn v2_baseline_migrates_to_v3_roundtrip() {
     let (code, _, _) = run_binary(&["--bless", "--root", root]);
     assert_eq!(code, 0);
     let after = std::fs::read_to_string(dir.join("FABCHECK_BASELINE.json")).expect("read");
-    assert!(after.contains("\"schema_version\": 3"), "{after}");
+    assert!(after.contains("\"schema_version\": 4"), "{after}");
     assert!(after.contains("\"rules\": ["), "{after}");
+    assert!(after.contains("\"unsafe_audit\""), "{after}");
     let (code, _, _) = run_binary(&["--ci", "--root", root]);
-    assert_eq!(code, 0, "v3 baseline must pass unchanged");
+    assert_eq!(code, 0, "v4 baseline must pass unchanged");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -420,7 +550,7 @@ fn real_workspace_has_no_forbidden_findings() {
         report.findings
     );
     let baseline = ratchet::load(&root.join(fabcheck::BASELINE_FILE)).expect("baseline");
-    let (regressions, _) = ratchet::compare(&baseline, &report.counts);
+    let (regressions, _) = ratchet::compare(&baseline.counts, &report.counts);
     assert!(
         regressions.is_empty(),
         "ratchet regressions: {regressions:#?}"

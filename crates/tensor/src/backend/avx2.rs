@@ -65,9 +65,9 @@ fn tile<const R: usize>(
         let mut acc = [[_mm256_setzero_ps(); 2]; R];
         for p in 0..kc {
             let boff = b_base + p * b_stride + jw;
-            // SAFETY: the caller's panel contract puts `b_base + p*b_stride
-            // + width` in-bounds for every p < kc, and jw + 16 <= width, so
-            // both 8-lane loads read inside `bp`.
+            // SAFETY(bound: b_base + p*b_stride + jw + 16 <= bp.len()): the
+            // caller's panel contract puts the full `width` row in-bounds
+            // for every p < kc, and jw + 16 <= width.
             let (b0, b1) = unsafe {
                 (
                     _mm256_loadu_ps(bpp.wrapping_add(boff)),
@@ -75,17 +75,17 @@ fn tile<const R: usize>(
                 )
             };
             for (r, accr) in acc.iter_mut().enumerate() {
-                // SAFETY: a_base + r*ars + p*aps addresses row r (r < R),
-                // step p (p < kc) of `a` per the caller's tile contract.
+                // SAFETY(bound: a_base + r*ars + p*aps < a.len()): row r <
+                // R, step p < kc of `a` per the caller's tile contract.
                 let av = _mm256_set1_ps(unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) });
                 accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
                 accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
             }
         }
         for (r, accr) in acc.iter().enumerate() {
-            // SAFETY: c_base + r*c_stride + jw + 16 <= c.len() for every
-            // r < R (caller's output-tile contract), so the two 8-lane
-            // read-modify-write pairs stay inside `c`.
+            // SAFETY(bound: c_base + r*c_stride + jw + 16 <= c.len()): holds
+            // for every r < R (caller's output-tile contract), so the two
+            // 8-lane read-modify-write pairs stay inside `c`.
             unsafe {
                 let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + jw);
                 _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), accr[0]));
@@ -101,19 +101,20 @@ fn tile<const R: usize>(
         let mut acc = [_mm256_setzero_ps(); R];
         for p in 0..kc {
             let boff = b_base + p * b_stride + jw;
-            // SAFETY: jw + 8 <= width keeps this 8-lane load inside the
-            // caller-guaranteed `bp` panel row for p < kc.
+            // SAFETY(bound: b_base + p*b_stride + jw + 8 <= bp.len()): jw +
+            // 8 <= width keeps this load inside the caller-guaranteed panel
+            // row for p < kc.
             let b0 = unsafe { _mm256_loadu_ps(bpp.wrapping_add(boff)) };
             for (r, accr) in acc.iter_mut().enumerate() {
-                // SAFETY: in-bounds `a` element for r < R, p < kc per the
-                // caller's tile contract.
+                // SAFETY(bound: a_base + r*ars + p*aps < a.len()): r < R,
+                // p < kc per the caller's tile contract.
                 let av = _mm256_set1_ps(unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) });
                 *accr = _mm256_fmadd_ps(av, b0, *accr);
             }
         }
         for (r, accr) in acc.iter().enumerate() {
-            // SAFETY: c_base + r*c_stride + jw + 8 <= c.len() for r < R
-            // (caller's output-tile contract).
+            // SAFETY(bound: c_base + r*c_stride + jw + 8 <= c.len()): holds
+            // for r < R (caller's output-tile contract).
             unsafe {
                 let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + jw);
                 _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), *accr));
@@ -124,18 +125,19 @@ fn tile<const R: usize>(
     for t in jw..width {
         let mut s = [0.0f32; R];
         for p in 0..kc {
-            // SAFETY: t < width keeps the panel read in-bounds for p < kc.
+            // SAFETY(bound: b_base + p*b_stride + t < bp.len()): t < width
+            // keeps the panel read in-bounds for p < kc.
             let bv = unsafe { *bpp.wrapping_add(b_base + p * b_stride + t) };
             for (r, sr) in s.iter_mut().enumerate() {
-                // SAFETY: in-bounds `a` element for r < R, p < kc per the
-                // caller's tile contract.
+                // SAFETY(bound: a_base + r*ars + p*aps < a.len()): r < R,
+                // p < kc per the caller's tile contract.
                 let av = unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) };
                 *sr = av.mul_add(bv, *sr);
             }
         }
         for (r, sr) in s.iter().enumerate() {
-            // SAFETY: c_base + r*c_stride + t < c.len() for r < R, t <
-            // width (caller's output-tile contract).
+            // SAFETY(bound: c_base + r*c_stride + t < c.len()): holds for
+            // r < R, t < width (caller's output-tile contract).
             unsafe {
                 let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + t);
                 *cp += sr;
@@ -154,8 +156,8 @@ fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
     let mut acc0 = _mm256_setzero_ps();
     let mut acc1 = _mm256_setzero_ps();
     for q in 0..chunks {
-        // SAFETY: q*16 + 16 <= a.len() == b.len() (q < len/16), so all
-        // four 8-lane loads are in-bounds.
+        // SAFETY(bound: q*16 + 16 <= a.len() == b.len()): q < len/16, so
+        // all four 8-lane loads are in-bounds.
         unsafe {
             acc0 = _mm256_fmadd_ps(
                 _mm256_loadu_ps(ap.wrapping_add(q * 16)),
@@ -186,7 +188,7 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     let (ap, bp) = (a.as_ptr(), b.as_ptr());
     let mut acc = [_mm256_setzero_ps(); 4];
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= a.len() == b.len() (q < len/8), so both
+        // SAFETY(bound: q*8 + 8 <= a.len() == b.len()): q < len/8, so both
         // 8-lane loads are in-bounds.
         let (av, bv) = unsafe {
             (
@@ -211,8 +213,8 @@ fn sq_norm(a: &[f32]) -> f32 {
     let ap = a.as_ptr();
     let mut acc = [_mm256_setzero_ps(); 4];
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= a.len() (q < len/8), so the 8-lane load is
-        // in-bounds.
+        // SAFETY(bound: q*8 + 8 <= a.len()): q < len/8, so the 8-lane load
+        // is in-bounds.
         let av = unsafe { _mm256_loadu_ps(ap.wrapping_add(q * 8)) };
         acc[q & 3] = _mm256_fmadd_ps(av, av, acc[q & 3]);
     }
@@ -233,8 +235,8 @@ fn dot_delta(a: &[f32], b: &[f32], r: &[f32]) -> f32 {
     let (ap, bp, rp) = (a.as_ptr(), b.as_ptr(), r.as_ptr());
     let mut acc = [_mm256_setzero_ps(); 4];
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= a.len() == b.len() == r.len() (q < len/8),
-        // so all three 8-lane loads are in-bounds.
+        // SAFETY(bound: q*8 + 8 <= a.len() == b.len() == r.len()): q <
+        // len/8, so all three 8-lane loads are in-bounds.
         let (av, bv, rv) = unsafe {
             (
                 _mm256_loadu_ps(ap.wrapping_add(q * 8)),
@@ -266,7 +268,7 @@ fn sq_norm_delta(a: &[f32], r: &[f32]) -> f32 {
     let (ap, rp) = (a.as_ptr(), r.as_ptr());
     let mut acc = [_mm256_setzero_ps(); 4];
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= a.len() == r.len() (q < len/8), so both
+        // SAFETY(bound: q*8 + 8 <= a.len() == r.len()): q < len/8, so both
         // 8-lane loads are in-bounds.
         let (av, rv) = unsafe {
             (
@@ -293,8 +295,8 @@ fn add_assign(out: &mut [f32], src: &[f32]) {
     let blocks = out.len() / 8;
     let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= out.len() == src.len() (q < len/8), so the
-        // 8-lane load/store pair stays in-bounds.
+        // SAFETY(bound: q*8 + 8 <= out.len() == src.len()): q < len/8, so
+        // the 8-lane load/store pair stays in-bounds.
         unsafe {
             let o = _mm256_loadu_ps(op.wrapping_add(q * 8));
             _mm256_storeu_ps(
@@ -319,7 +321,7 @@ fn scale_assign(out: &mut [f32], alpha: f32) {
     let av = _mm256_set1_ps(alpha);
     let op = out.as_mut_ptr();
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= out.len() (q < len/8), so the 8-lane
+        // SAFETY(bound: q*8 + 8 <= out.len()): q < len/8, so the 8-lane
         // load/store pair stays in-bounds.
         unsafe {
             _mm256_storeu_ps(
@@ -340,8 +342,8 @@ fn sq_dev_assign(out: &mut [f32], v: &[f32], m: &[f32]) {
     let blocks = out.len() / 8;
     let (op, vp, mp) = (out.as_mut_ptr(), v.as_ptr(), m.as_ptr());
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= out.len() == v.len() == m.len() (q < len/8),
-        // so every 8-lane access stays in-bounds.
+        // SAFETY(bound: q*8 + 8 <= out.len() == v.len() == m.len()): q <
+        // len/8, so every 8-lane access stays in-bounds.
         unsafe {
             let d = _mm256_sub_ps(
                 _mm256_loadu_ps(vp.wrapping_add(q * 8)),
@@ -373,7 +375,7 @@ fn scale_sqrt_assign(out: &mut [f32], alpha: f32) {
     let av = _mm256_set1_ps(alpha);
     let op = out.as_mut_ptr();
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= out.len() (q < len/8), so the 8-lane
+        // SAFETY(bound: q*8 + 8 <= out.len()): q < len/8, so the 8-lane
         // load/store pair stays in-bounds.
         unsafe {
             let o = _mm256_loadu_ps(op.wrapping_add(q * 8));
@@ -393,8 +395,8 @@ fn axpy_assign(out: &mut [f32], alpha: f32, src: &[f32]) {
     let av = _mm256_set1_ps(alpha);
     let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
     for q in 0..blocks {
-        // SAFETY: q*8 + 8 <= out.len() == src.len() (q < len/8), so the
-        // 8-lane load/store pair stays in-bounds.
+        // SAFETY(bound: q*8 + 8 <= out.len() == src.len()): q < len/8, so
+        // the 8-lane load/store pair stays in-bounds.
         unsafe {
             let o = _mm256_loadu_ps(op.wrapping_add(q * 8));
             _mm256_storeu_ps(
@@ -437,9 +439,9 @@ impl CpuBackend for Avx2 {
         c_stride: usize,
     ) {
         debug_assert!((1..=MR).contains(&rows), "gemm_tile: rows {rows}");
-        // SAFETY: `Avx2` is only instantiated after the dispatcher
-        // detected avx2+fma, so the target-feature kernels are executable
-        // on this host.
+        // SAFETY(feature: avx2,fma): `Avx2` is only instantiated after the
+        // dispatcher detected both features, so the tile kernels are
+        // executable on this host.
         unsafe {
             match rows {
                 4 => tile::<4>(
@@ -504,70 +506,70 @@ impl CpuBackend for Avx2 {
 
     fn dot_lanes(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        // SAFETY: avx2+fma were detected before this backend was handed
-        // out (dispatcher invariant).
+        // SAFETY(feature: avx2,fma): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { dot_lanes(a, b) }
     }
 
     fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        // SAFETY: avx2+fma were detected before this backend was handed
-        // out (dispatcher invariant).
+        // SAFETY(feature: avx2,fma): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { dot(a, b) }
     }
 
     fn sq_norm(&self, a: &[f32]) -> f32 {
-        // SAFETY: avx2+fma were detected before this backend was handed
-        // out (dispatcher invariant).
+        // SAFETY(feature: avx2,fma): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { sq_norm(a) }
     }
 
     fn dot_delta(&self, a: &[f32], b: &[f32], r: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         debug_assert_eq!(a.len(), r.len());
-        // SAFETY: avx2+fma were detected before this backend was handed
-        // out (dispatcher invariant).
+        // SAFETY(feature: avx2,fma): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { dot_delta(a, b, r) }
     }
 
     fn sq_norm_delta(&self, a: &[f32], r: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), r.len());
-        // SAFETY: avx2+fma were detected before this backend was handed
-        // out (dispatcher invariant).
+        // SAFETY(feature: avx2,fma): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { sq_norm_delta(a, r) }
     }
 
     fn add_assign(&self, out: &mut [f32], src: &[f32]) {
         debug_assert_eq!(out.len(), src.len());
-        // SAFETY: avx2 was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx2): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { add_assign(out, src) }
     }
 
     fn scale_assign(&self, out: &mut [f32], alpha: f32) {
-        // SAFETY: avx2 was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx2): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { scale_assign(out, alpha) }
     }
 
     fn sq_dev_assign(&self, out: &mut [f32], v: &[f32], m: &[f32]) {
         debug_assert_eq!(out.len(), v.len());
         debug_assert_eq!(out.len(), m.len());
-        // SAFETY: avx2 was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx2): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { sq_dev_assign(out, v, m) }
     }
 
     fn scale_sqrt_assign(&self, out: &mut [f32], alpha: f32) {
-        // SAFETY: avx2 was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx2): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { scale_sqrt_assign(out, alpha) }
     }
 
     fn axpy_assign(&self, out: &mut [f32], alpha: f32, src: &[f32]) {
         debug_assert_eq!(out.len(), src.len());
-        // SAFETY: avx2 was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx2): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { axpy_assign(out, alpha, src) }
     }
 }

@@ -79,9 +79,9 @@ fn tile<const R: usize>(
         let mut acc = [[_mm512_setzero_ps(); 4]; R];
         for p in 0..kc {
             let boff = b_base + p * b_stride + jw;
-            // SAFETY: the caller's panel contract puts `b_base + p*b_stride
-            // + width` in-bounds for every p < kc, and jw + 64 <= width, so
-            // all four 16-lane loads read inside `bp`.
+            // SAFETY(bound: b_base + p*b_stride + jw + 64 <= bp.len()): the
+            // caller's panel contract puts the full `width` row in-bounds
+            // for every p < kc, and jw + 64 <= width.
             let bv = unsafe {
                 [
                     _mm512_loadu_ps(bpp.wrapping_add(boff)),
@@ -91,8 +91,8 @@ fn tile<const R: usize>(
                 ]
             };
             for (r, accr) in acc.iter_mut().enumerate() {
-                // SAFETY: a_base + r*ars + p*aps addresses row r (r < R),
-                // step p (p < kc) of `a` per the caller's tile contract.
+                // SAFETY(bound: a_base + r*ars + p*aps < a.len()): row r <
+                // R, step p < kc of `a` per the caller's tile contract.
                 let av = _mm512_set1_ps(unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) });
                 for (t, b) in bv.iter().enumerate() {
                     accr[t] = _mm512_fmadd_ps(av, *b, accr[t]);
@@ -100,9 +100,9 @@ fn tile<const R: usize>(
             }
         }
         for (r, accr) in acc.iter().enumerate() {
-            // SAFETY: c_base + r*c_stride + jw + 64 <= c.len() for every
-            // r < R (caller's output-tile contract), so the four 16-lane
-            // read-modify-write pairs stay inside `c`.
+            // SAFETY(bound: c_base + r*c_stride + jw + 64 <= c.len()): holds
+            // for every r < R (caller's output-tile contract), so the four
+            // 16-lane read-modify-write pairs stay inside `c`.
             unsafe {
                 let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + jw);
                 for (t, av) in accr.iter().enumerate() {
@@ -117,19 +117,20 @@ fn tile<const R: usize>(
         let mut acc = [_mm512_setzero_ps(); R];
         for p in 0..kc {
             let boff = b_base + p * b_stride + jw;
-            // SAFETY: jw + 16 <= width keeps this 16-lane load inside the
-            // caller-guaranteed `bp` panel row for p < kc.
+            // SAFETY(bound: b_base + p*b_stride + jw + 16 <= bp.len()): jw +
+            // 16 <= width keeps this load inside the caller-guaranteed panel
+            // row for p < kc.
             let b0 = unsafe { _mm512_loadu_ps(bpp.wrapping_add(boff)) };
             for (r, accr) in acc.iter_mut().enumerate() {
-                // SAFETY: in-bounds `a` element for r < R, p < kc per the
-                // caller's tile contract.
+                // SAFETY(bound: a_base + r*ars + p*aps < a.len()): r < R,
+                // p < kc per the caller's tile contract.
                 let av = _mm512_set1_ps(unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) });
                 *accr = _mm512_fmadd_ps(av, b0, *accr);
             }
         }
         for (r, accr) in acc.iter().enumerate() {
-            // SAFETY: c_base + r*c_stride + jw + 16 <= c.len() for r < R
-            // (caller's output-tile contract).
+            // SAFETY(bound: c_base + r*c_stride + jw + 16 <= c.len()): holds
+            // for r < R (caller's output-tile contract).
             unsafe {
                 let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + jw);
                 _mm512_storeu_ps(cp, _mm512_add_ps(_mm512_loadu_ps(cp), *accr));
@@ -143,21 +144,21 @@ fn tile<const R: usize>(
         let mut acc = [_mm512_setzero_ps(); R];
         for p in 0..kc {
             let boff = b_base + p * b_stride + jw;
-            // SAFETY: masked load touches only the `rem` in-bounds lanes
-            // (jw + rem == width ≤ panel row end for p < kc); masked-out
-            // lanes are architecturally guaranteed not to fault.
+            // SAFETY(bound: b_base + p*b_stride + jw + rem <= bp.len()): the
+            // masked load touches only the `rem` in-bounds lanes (jw + rem
+            // == width); masked-out lanes never fault.
             let b0 = unsafe { _mm512_maskz_loadu_ps(mask, bpp.wrapping_add(boff)) };
             for (r, accr) in acc.iter_mut().enumerate() {
-                // SAFETY: in-bounds `a` element for r < R, p < kc per the
-                // caller's tile contract.
+                // SAFETY(bound: a_base + r*ars + p*aps < a.len()): r < R,
+                // p < kc per the caller's tile contract.
                 let av = _mm512_set1_ps(unsafe { *ap.wrapping_add(a_base + r * ars + p * aps) });
                 *accr = _mm512_fmadd_ps(av, b0, *accr);
             }
         }
         for (r, accr) in acc.iter().enumerate() {
-            // SAFETY: masked load/store touch only the `rem` lanes ending
-            // at c_base + r*c_stride + width <= row end (caller's
-            // output-tile contract); masked-out lanes never fault.
+            // SAFETY(bound: c_base + r*c_stride + jw + rem <= c.len()): the
+            // masked load/store touch only the `rem` lanes ending at the
+            // caller-guaranteed row end; masked-out lanes never fault.
             unsafe {
                 let cp = c.as_mut_ptr().wrapping_add(c_base + r * c_stride + jw);
                 let cur = _mm512_maskz_loadu_ps(mask, cp);
@@ -176,8 +177,8 @@ fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
     let (ap, bp) = (a.as_ptr(), b.as_ptr());
     let mut acc = _mm512_setzero_ps();
     for q in 0..chunks {
-        // SAFETY: q*16 + 16 <= a.len() == b.len() (q < len/16), so both
-        // 16-lane loads are in-bounds.
+        // SAFETY(bound: q*16 + 16 <= a.len() == b.len()): q < len/16, so
+        // both 16-lane loads are in-bounds.
         unsafe {
             acc = _mm512_fmadd_ps(
                 _mm512_loadu_ps(ap.wrapping_add(q * 16)),
@@ -203,8 +204,8 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     let (ap, bp) = (a.as_ptr(), b.as_ptr());
     let mut acc = [_mm512_setzero_ps(); 4];
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= a.len() == b.len() (q < len/16), so both
-        // 16-lane loads are in-bounds.
+        // SAFETY(bound: q*16 + 16 <= a.len() == b.len()): q < len/16, so
+        // both 16-lane loads are in-bounds.
         let (av, bv) = unsafe {
             (
                 _mm512_loadu_ps(ap.wrapping_add(q * 16)),
@@ -228,8 +229,8 @@ fn sq_norm(a: &[f32]) -> f32 {
     let ap = a.as_ptr();
     let mut acc = [_mm512_setzero_ps(); 4];
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= a.len() (q < len/16), so the 16-lane load
-        // is in-bounds.
+        // SAFETY(bound: q*16 + 16 <= a.len()): q < len/16, so the 16-lane
+        // load is in-bounds.
         let av = unsafe { _mm512_loadu_ps(ap.wrapping_add(q * 16)) };
         acc[q & 3] = _mm512_fmadd_ps(av, av, acc[q & 3]);
     }
@@ -249,8 +250,8 @@ fn dot_delta(a: &[f32], b: &[f32], r: &[f32]) -> f32 {
     let (ap, bp, rp) = (a.as_ptr(), b.as_ptr(), r.as_ptr());
     let mut acc = [_mm512_setzero_ps(); 4];
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= a.len() == b.len() == r.len() (q < len/16),
-        // so all three 16-lane loads are in-bounds.
+        // SAFETY(bound: q*16 + 16 <= a.len() == b.len() == r.len()): q <
+        // len/16, so all three 16-lane loads are in-bounds.
         let (av, bv, rv) = unsafe {
             (
                 _mm512_loadu_ps(ap.wrapping_add(q * 16)),
@@ -282,8 +283,8 @@ fn sq_norm_delta(a: &[f32], r: &[f32]) -> f32 {
     let (ap, rp) = (a.as_ptr(), r.as_ptr());
     let mut acc = [_mm512_setzero_ps(); 4];
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= a.len() == r.len() (q < len/16), so both
-        // 16-lane loads are in-bounds.
+        // SAFETY(bound: q*16 + 16 <= a.len() == r.len()): q < len/16, so
+        // both 16-lane loads are in-bounds.
         let (av, rv) = unsafe {
             (
                 _mm512_loadu_ps(ap.wrapping_add(q * 16)),
@@ -308,8 +309,8 @@ fn add_assign(out: &mut [f32], src: &[f32]) {
     let blocks = out.len() / 16;
     let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= out.len() == src.len() (q < len/16), so the
-        // 16-lane load/store pair stays in-bounds.
+        // SAFETY(bound: q*16 + 16 <= out.len() == src.len()): q < len/16,
+        // so the 16-lane load/store pair stays in-bounds.
         unsafe {
             let o = _mm512_loadu_ps(op.wrapping_add(q * 16));
             _mm512_storeu_ps(
@@ -334,7 +335,7 @@ fn scale_assign(out: &mut [f32], alpha: f32) {
     let av = _mm512_set1_ps(alpha);
     let op = out.as_mut_ptr();
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= out.len() (q < len/16), so the 16-lane
+        // SAFETY(bound: q*16 + 16 <= out.len()): q < len/16, so the 16-lane
         // load/store pair stays in-bounds.
         unsafe {
             _mm512_storeu_ps(
@@ -355,8 +356,8 @@ fn sq_dev_assign(out: &mut [f32], v: &[f32], m: &[f32]) {
     let blocks = out.len() / 16;
     let (op, vp, mp) = (out.as_mut_ptr(), v.as_ptr(), m.as_ptr());
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= out.len() == v.len() == m.len() (q <
-        // len/16), so every 16-lane access stays in-bounds.
+        // SAFETY(bound: q*16 + 16 <= out.len() == v.len() == m.len()): q <
+        // len/16, so every 16-lane access stays in-bounds.
         unsafe {
             let d = _mm512_sub_ps(
                 _mm512_loadu_ps(vp.wrapping_add(q * 16)),
@@ -387,7 +388,7 @@ fn scale_sqrt_assign(out: &mut [f32], alpha: f32) {
     let av = _mm512_set1_ps(alpha);
     let op = out.as_mut_ptr();
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= out.len() (q < len/16), so the 16-lane
+        // SAFETY(bound: q*16 + 16 <= out.len()): q < len/16, so the 16-lane
         // load/store pair stays in-bounds.
         unsafe {
             let o = _mm512_loadu_ps(op.wrapping_add(q * 16));
@@ -410,8 +411,8 @@ fn axpy_assign(out: &mut [f32], alpha: f32, src: &[f32]) {
     let av = _mm512_set1_ps(alpha);
     let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
     for q in 0..blocks {
-        // SAFETY: q*16 + 16 <= out.len() == src.len() (q < len/16), so the
-        // 16-lane load/store pair stays in-bounds.
+        // SAFETY(bound: q*16 + 16 <= out.len() == src.len()): q < len/16,
+        // so the 16-lane load/store pair stays in-bounds.
         unsafe {
             let o = _mm512_loadu_ps(op.wrapping_add(q * 16));
             _mm512_storeu_ps(
@@ -454,9 +455,9 @@ impl CpuBackend for Avx512 {
         c_stride: usize,
     ) {
         debug_assert!((1..=MR).contains(&rows), "gemm_tile: rows {rows}");
-        // SAFETY: `Avx512` is only instantiated after the dispatcher
-        // detected avx512f, so the target-feature kernels are executable
-        // on this host.
+        // SAFETY(feature: avx512f): `Avx512` is only instantiated after the
+        // dispatcher detected the feature, so the tile kernels are
+        // executable on this host.
         unsafe {
             match rows {
                 4 => tile::<4>(
@@ -521,70 +522,70 @@ impl CpuBackend for Avx512 {
 
     fn dot_lanes(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { dot_lanes(a, b) }
     }
 
     fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { dot(a, b) }
     }
 
     fn sq_norm(&self, a: &[f32]) -> f32 {
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { sq_norm(a) }
     }
 
     fn dot_delta(&self, a: &[f32], b: &[f32], r: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         debug_assert_eq!(a.len(), r.len());
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { dot_delta(a, b, r) }
     }
 
     fn sq_norm_delta(&self, a: &[f32], r: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), r.len());
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { sq_norm_delta(a, r) }
     }
 
     fn add_assign(&self, out: &mut [f32], src: &[f32]) {
         debug_assert_eq!(out.len(), src.len());
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { add_assign(out, src) }
     }
 
     fn scale_assign(&self, out: &mut [f32], alpha: f32) {
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { scale_assign(out, alpha) }
     }
 
     fn sq_dev_assign(&self, out: &mut [f32], v: &[f32], m: &[f32]) {
         debug_assert_eq!(out.len(), v.len());
         debug_assert_eq!(out.len(), m.len());
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { sq_dev_assign(out, v, m) }
     }
 
     fn scale_sqrt_assign(&self, out: &mut [f32], alpha: f32) {
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { scale_sqrt_assign(out, alpha) }
     }
 
     fn axpy_assign(&self, out: &mut [f32], alpha: f32, src: &[f32]) {
         debug_assert_eq!(out.len(), src.len());
-        // SAFETY: avx512f was detected before this backend was handed out
-        // (dispatcher invariant).
+        // SAFETY(feature: avx512f): detected by the dispatcher before this
+        // backend was handed out.
         unsafe { axpy_assign(out, alpha, src) }
     }
 }

@@ -55,9 +55,15 @@
 //!
 //! `crates/tensor/src/backend/` is the one blessed home for SIMD
 //! intrinsics and raw-pointer loads in product code
-//! (`raw-pointer-outside-par`); every `unsafe` block carries its own
-//! `// SAFETY:` comment claiming the lane-width and bounds invariant it
-//! relies on, enforced by `unsafe-without-safety-comment`. This file is
+//! (`raw-pointer-outside-par`); every `unsafe` block carries a
+//! machine-parsed `// SAFETY(bound: …)` / `// SAFETY(feature: …)` claim
+//! naming the bounds or ISA invariant it relies on — presence is enforced
+//! by `unsafe-without-safety-comment`, the claim grammar and claim *kind*
+//! by `unsafe-claim-grammar`, and calls into `#[target_feature]` kernels
+//! by `target-feature-call-unguarded` (only detection-proven call sites,
+//! i.e. these backend methods, may enter them). `backend-parity` checks
+//! that every [`CpuBackend`] method is implemented by all three backends
+//! and exercised by the cross-backend goldens/proptests. This file is
 //! additionally blessed for `env-var-outside-config` (the single
 //! `FABFLIP_BACKEND` read below).
 

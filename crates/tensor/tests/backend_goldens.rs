@@ -212,6 +212,59 @@ fn dot_lanes_bitwise_identical_across_backends() {
     }
 }
 
+/// The elementwise `*_assign` kernels are bitwise identical across
+/// backends: each output coordinate is an independent mul/add/sqrt chain
+/// with no reassociation, so SIMD lanes compute exactly the scalar FLOPs.
+/// Lengths straddle the 8- and 16-lane boundaries so every backend's
+/// vector body and scalar tail both execute.
+#[test]
+fn assign_kernels_bitwise_identical_across_backends() {
+    let scalar = backend::instance(Kind::Scalar);
+    for d in [1usize, 7, 8, 15, 16, 17, 33, 2069] {
+        let src = fill(80 + d as u64, d);
+        let v = fill(81 + d as u64, d);
+        let m = fill(82 + d as u64, d);
+        // `scale_sqrt_assign` takes the root of `out * alpha`: start from
+        // squared deviations so the product is non-negative.
+        let mut sq = vec![0.0f32; d];
+        scalar.sq_dev_assign(&mut sq, &v, &m);
+
+        let run = |be: &dyn backend::CpuBackend| {
+            let mut add = fill(90 + d as u64, d);
+            be.add_assign(&mut add, &src);
+            let mut scale = fill(91 + d as u64, d);
+            be.scale_assign(&mut scale, 0.37);
+            let mut dev = vec![0.0f32; d];
+            be.sq_dev_assign(&mut dev, &v, &m);
+            let mut root = sq.clone();
+            be.scale_sqrt_assign(&mut root, 0.25);
+            let mut axpy = fill(92 + d as u64, d);
+            be.axpy_assign(&mut axpy, -1.75, &src);
+            [
+                fold(&add),
+                fold(&scale),
+                fold(&dev),
+                fold(&root),
+                fold(&axpy),
+            ]
+        };
+        let want = run(scalar);
+        for kind in ALL_KINDS {
+            if !kind.supported() {
+                continue;
+            }
+            let got = run(backend::instance(kind));
+            assert_eq!(
+                got,
+                want,
+                "assign kernels d={d} backend {} diverge from scalar \
+                 (add/scale/sq_dev/scale_sqrt/axpy folds)",
+                backend::instance(kind).name()
+            );
+        }
+    }
+}
+
 /// The GEMM register tile itself is bitwise identical across backends,
 /// exercised directly through `gemm_tile` so the 64/16/8-column
 /// sub-tile and masked-remainder paths are all covered. The "packed"
