@@ -7,7 +7,11 @@
 use fabflip_agg::DefenseKind;
 use fabflip_bench::{render_table, save_json, BenchOpts};
 use fabflip_fl::{simulate, AttackSpec, FaultPlan, FlConfig, StragglerPolicy, TaskKind};
+use fabflip_serve::chaos::{ChaosProfile, ChaosProxy};
+use fabflip_serve::loadgen::{run_load, LoadGenOptions};
+use fabflip_serve::server::{spawn, ServeOptions};
 use serde::Serialize;
+use std::time::Duration;
 
 #[derive(Debug, Serialize)]
 struct RobustnessRow {
@@ -40,6 +44,97 @@ fn fault_profiles() -> Vec<(&'static str, FaultPlan)> {
         ("dropout-0.2", FaultPlan::dropout_only(0.2)),
         ("mixed-0.2/0.1/0.05", mixed),
     ]
+}
+
+/// Server-mode robustness (DESIGN.md §4g): run the loopback aggregation
+/// server under the chaos proxy and require the wire path — quantized
+/// transport, backpressure, retries and all — to land on the exact
+/// batch-simulation model, bitwise.
+#[derive(Debug, Serialize)]
+struct ServeRow {
+    chaos: String,
+    rounds_closed: usize,
+    accepted: u64,
+    duplicates: u64,
+    busy: u64,
+    retries: u64,
+    reconnects: u64,
+    frames_injected: u64,
+    bitwise_match: bool,
+}
+
+fn serve_mode_rows() -> Vec<ServeRow> {
+    let cfg = FlConfig::builder(TaskKind::Fashion)
+        .rounds(3)
+        .n_clients(12)
+        .clients_per_round(6)
+        .train_size(240)
+        .test_size(80)
+        .synth_set_size(6)
+        .attack(AttackSpec::Lie)
+        .defense(DefenseKind::MKrum { f: 2 })
+        .seed(7)
+        .build();
+    let batch = simulate(&cfg).expect("batch reference");
+    let batch_bits: Vec<u32> = batch.final_model.iter().map(|w| w.to_bits()).collect();
+    let mut rows = Vec::new();
+    for (label, profile) in [
+        ("off", ChaosProfile::off(7)),
+        ("light-7", ChaosProfile::light(7)),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "fabflip-bench-serve-{}-{label}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let mut sopts = ServeOptions::new(cfg.clone(), &dir);
+        sopts.workers = 2;
+        sopts.queue_cap = 8;
+        sopts.deadline = Duration::from_secs(60);
+        sopts.io_timeout = Duration::from_secs(2);
+        let t0 = std::time::Instant::now();
+        let handle = spawn(sopts).expect("serve spawn");
+        let mut proxy = ChaosProxy::spawn(handle.addr(), profile).expect("chaos proxy");
+        let mut lopts = LoadGenOptions::new(cfg.clone(), proxy.addr());
+        lopts.io_timeout = Duration::from_secs(2);
+        let report = run_load(&lopts).expect("load generator");
+        let frames_injected = proxy.stats().injected();
+        handle.stop();
+        let records = handle.join().expect("serve shutdown");
+        proxy.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        let row = ServeRow {
+            chaos: label.to_string(),
+            rounds_closed: records.len(),
+            accepted: report.accepted,
+            duplicates: report.duplicates,
+            busy: report.busy,
+            retries: report.retries,
+            reconnects: report.reconnects,
+            frames_injected,
+            bitwise_match: report.final_global_bits == batch_bits,
+        };
+        assert!(
+            row.bitwise_match,
+            "serve-mode model diverged from batch under chaos={label}"
+        );
+        assert_eq!(
+            records, batch.rounds,
+            "serve-mode transcript diverged from batch under chaos={label}"
+        );
+        eprintln!(
+            "  [serve] chaos={label} → {} rounds, {} accepted, {} busy, \
+             {} injected, bitwise ok ({:.0}s)",
+            row.rounds_closed,
+            row.accepted,
+            row.busy,
+            row.frames_injected,
+            t0.elapsed().as_secs_f32()
+        );
+        rows.push(row);
+    }
+    rows
 }
 
 fn main() {
@@ -126,4 +221,30 @@ fn main() {
         )
     );
     save_json(&opts.out_dir, "robustness.json", &rows);
+
+    let serve_rows = serve_mode_rows();
+    let serve_table: Vec<Vec<String>> = serve_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.chaos.clone(),
+                r.rounds_closed.to_string(),
+                r.accepted.to_string(),
+                r.duplicates.to_string(),
+                r.busy.to_string(),
+                r.retries.to_string(),
+                r.frames_injected.to_string(),
+                if r.bitwise_match { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nServer mode — loopback serve vs batch, bitwise (chaos proxy)");
+    println!(
+        "{}",
+        render_table(
+            &["Chaos", "Rounds", "Accepted", "Dup", "Busy", "Retries", "Injected", "Bitwise"],
+            &serve_table
+        )
+    );
+    save_json(&opts.out_dir, "robustness_serve.json", &serve_rows);
 }

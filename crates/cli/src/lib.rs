@@ -19,6 +19,7 @@
 use fabflip::ZkaConfig;
 use fabflip_agg::DefenseKind;
 use fabflip_fl::{AttackSpec, CheckpointSpec, FaultPlan, FlConfig, StragglerPolicy, TaskKind};
+use std::net::SocketAddr;
 
 /// A parsed `run` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +34,46 @@ pub struct RunArgs {
     pub checkpoint: Option<CheckpointSpec>,
 }
 
+/// A parsed `serve` invocation (the crash-tolerant TCP aggregation
+/// server, DESIGN.md §4g).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// The deployment config; must match the load generator's.
+    pub config: FlConfig,
+    /// Listen address (`:0` picks an ephemeral port).
+    pub bind: SocketAddr,
+    /// Checkpoint + write-ahead-log directory (required: the server's
+    /// whole point is durability).
+    pub ckpt_dir: String,
+    /// Connection-handler threads (`0` = one per core).
+    pub workers: usize,
+    /// Bound on the submission queue before `BUSY` backpressure.
+    pub queue_cap: usize,
+    /// Per-round deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// When set, the bound address is written there (atomically) once
+    /// listening — how scripts find an ephemeral port.
+    pub port_file: Option<String>,
+}
+
+/// A parsed `load-gen` invocation (drives a deployment's client side
+/// against a running server).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenArgs {
+    /// The deployment config; must match the server's.
+    pub config: FlConfig,
+    /// Server (or chaos proxy) address.
+    pub addr: SocketAddr,
+    /// Concurrent submission connections.
+    pub senders: usize,
+    /// Skip every Nth staged submission (deadline-degradation drills).
+    pub omit_every: usize,
+    /// Send SHUTDOWN to the server once all rounds are done.
+    pub shutdown: bool,
+    /// Emit the report as JSON instead of text.
+    pub json: bool,
+}
+
 /// Top-level parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -40,6 +81,10 @@ pub enum Command {
     List,
     /// `run …` (boxed: the config dwarfs the other variants).
     Run(Box<RunArgs>),
+    /// `serve …`
+    Serve(Box<ServeArgs>),
+    /// `load-gen …`
+    LoadGen(Box<LoadGenArgs>),
     /// `help` or `--help`
     Help,
 }
@@ -141,6 +186,118 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a s
         .ok_or_else(|| ParseError(format!("{flag} needs a value")))
 }
 
+fn take_parsed<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+    what: &str,
+) -> Result<T, ParseError> {
+    take_value(args, i, flag)?
+        .parse()
+        .map_err(|_| ParseError(format!("{flag} needs {what}")))
+}
+
+/// The experiment-shaping flags shared by `run`, `serve` and `load-gen` —
+/// one parser so a server and its load generator cannot drift apart.
+struct ConfigFlags {
+    task: TaskKind,
+    attack: AttackSpec,
+    defense: DefenseKind,
+    rounds: Option<usize>,
+    beta: Option<f64>,
+    seed: u64,
+    sybil_noise: f32,
+    n_clients: Option<usize>,
+    clients_per_round: Option<usize>,
+    train_size: Option<usize>,
+    test_size: Option<usize>,
+    synth_set: Option<usize>,
+}
+
+impl ConfigFlags {
+    fn new() -> ConfigFlags {
+        ConfigFlags {
+            task: TaskKind::Fashion,
+            attack: AttackSpec::None,
+            defense: DefenseKind::FedAvg,
+            rounds: None,
+            beta: None,
+            seed: 1,
+            sybil_noise: 0.0,
+            n_clients: None,
+            clients_per_round: None,
+            train_size: None,
+            test_size: None,
+            synth_set: None,
+        }
+    }
+
+    /// Consumes `args[*i]` if it is a shared config flag; returns whether
+    /// it did.
+    fn accept(&mut self, args: &[String], i: &mut usize) -> Result<bool, ParseError> {
+        match args[*i].as_str() {
+            "--task" => self.task = parse_task(take_value(args, i, "--task")?)?,
+            "--attack" => self.attack = parse_attack(take_value(args, i, "--attack")?)?,
+            "--defense" => self.defense = parse_defense(take_value(args, i, "--defense")?)?,
+            "--rounds" => self.rounds = Some(take_parsed(args, i, "--rounds", "an integer")?),
+            "--beta" => self.beta = Some(take_parsed(args, i, "--beta", "a number")?),
+            "--seed" => self.seed = take_parsed(args, i, "--seed", "an integer")?,
+            "--sybil-noise" => {
+                self.sybil_noise = take_parsed(args, i, "--sybil-noise", "a number")?
+            }
+            "--n-clients" => {
+                self.n_clients = Some(take_parsed(args, i, "--n-clients", "an integer")?)
+            }
+            "--clients-per-round" => {
+                self.clients_per_round =
+                    Some(take_parsed(args, i, "--clients-per-round", "an integer")?)
+            }
+            "--train-size" => {
+                self.train_size = Some(take_parsed(args, i, "--train-size", "an integer")?)
+            }
+            "--test-size" => {
+                self.test_size = Some(take_parsed(args, i, "--test-size", "an integer")?)
+            }
+            "--synth-set" => {
+                self.synth_set = Some(take_parsed(args, i, "--synth-set", "an integer")?)
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn build(self, faults: FaultPlan) -> FlConfig {
+        let mut builder = FlConfig::builder(self.task)
+            .attack(self.attack)
+            .defense(self.defense)
+            .seed(self.seed)
+            .sybil_noise(self.sybil_noise)
+            .faults(faults);
+        if let Some(r) = self.rounds {
+            builder = builder.rounds(r);
+        }
+        if let Some(b) = self.beta {
+            builder = builder.beta(b);
+        }
+        if let Some(n) = self.n_clients {
+            builder = builder.n_clients(n);
+        }
+        if let Some(k) = self.clients_per_round {
+            builder = builder.clients_per_round(k);
+        }
+        if let Some(n) = self.train_size {
+            builder = builder.train_size(n);
+        }
+        if let Some(n) = self.test_size {
+            builder = builder.test_size(n);
+        }
+        if let Some(s) = self.synth_set {
+            builder = builder.synth_set_size(s);
+        }
+        builder.build()
+    }
+}
+
 /// Parses a full command line (without the program name).
 ///
 /// # Errors
@@ -151,13 +308,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("list") => Ok(Command::List),
         Some("run") => {
-            let mut task = TaskKind::Fashion;
-            let mut attack = AttackSpec::None;
-            let mut defense = DefenseKind::FedAvg;
-            let mut rounds: Option<usize> = None;
-            let mut beta: Option<f64> = None;
-            let mut seed: u64 = 1;
-            let mut sybil_noise: f32 = 0.0;
+            let mut cf = ConfigFlags::new();
             let mut live = true;
             let mut json = false;
             let mut faults = FaultPlan::default();
@@ -167,34 +318,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut checkpoint_every: usize = 5;
             let mut i = 1usize;
             while i < args.len() {
+                if cf.accept(args, &mut i)? {
+                    i += 1;
+                    continue;
+                }
                 match args[i].as_str() {
-                    "--task" => task = parse_task(take_value(args, &mut i, "--task")?)?,
-                    "--attack" => attack = parse_attack(take_value(args, &mut i, "--attack")?)?,
-                    "--defense" => defense = parse_defense(take_value(args, &mut i, "--defense")?)?,
-                    "--rounds" => {
-                        rounds = Some(
-                            take_value(args, &mut i, "--rounds")?
-                                .parse()
-                                .map_err(|_| ParseError("--rounds needs an integer".into()))?,
-                        )
-                    }
-                    "--beta" => {
-                        beta = Some(
-                            take_value(args, &mut i, "--beta")?
-                                .parse()
-                                .map_err(|_| ParseError("--beta needs a number".into()))?,
-                        )
-                    }
-                    "--seed" => {
-                        seed = take_value(args, &mut i, "--seed")?
-                            .parse()
-                            .map_err(|_| ParseError("--seed needs an integer".into()))?
-                    }
-                    "--sybil-noise" => {
-                        sybil_noise = take_value(args, &mut i, "--sybil-noise")?
-                            .parse()
-                            .map_err(|_| ParseError("--sybil-noise needs a number".into()))?
-                    }
                     "--dropout" => {
                         faults.dropout = take_value(args, &mut i, "--dropout")?
                             .parse()
@@ -253,27 +381,112 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     discount_milli: (stale_discount * 1000.0).round() as u32,
                 };
             }
-            let mut builder = FlConfig::builder(task)
-                .attack(attack)
-                .defense(defense)
-                .seed(seed)
-                .sybil_noise(sybil_noise)
-                .faults(faults);
-            if let Some(r) = rounds {
-                builder = builder.rounds(r);
-            }
-            if let Some(b) = beta {
-                builder = builder.beta(b);
-            }
             Ok(Command::Run(Box::new(RunArgs {
-                config: builder.build(),
+                config: cf.build(faults),
                 live,
                 json,
                 checkpoint: checkpoint_dir.map(|d| CheckpointSpec::new(d, checkpoint_every)),
             })))
         }
+        Some("serve") => {
+            let mut cf = ConfigFlags::new();
+            let mut bind: SocketAddr = "127.0.0.1:7117"
+                .parse()
+                .map_err(|_| ParseError("internal: default bind address is invalid".into()))?;
+            let mut ckpt_dir: Option<String> = None;
+            let mut workers = 0usize;
+            let mut queue_cap = 16usize;
+            let mut deadline_ms = 30_000u64;
+            let mut port_file: Option<String> = None;
+            let mut i = 1usize;
+            while i < args.len() {
+                if cf.accept(args, &mut i)? {
+                    i += 1;
+                    continue;
+                }
+                match args[i].as_str() {
+                    "--bind" => {
+                        bind =
+                            take_parsed(args, &mut i, "--bind", "an address like 127.0.0.1:7117")?
+                    }
+                    "--ckpt-dir" => {
+                        ckpt_dir = Some(take_value(args, &mut i, "--ckpt-dir")?.to_string())
+                    }
+                    "--workers" => workers = take_parsed(args, &mut i, "--workers", "an integer")?,
+                    "--queue-cap" => {
+                        queue_cap = take_parsed(args, &mut i, "--queue-cap", "an integer")?
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = take_parsed(args, &mut i, "--deadline-ms", "milliseconds")?
+                    }
+                    "--port-file" => {
+                        port_file = Some(take_value(args, &mut i, "--port-file")?.to_string())
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            let Some(ckpt_dir) = ckpt_dir else {
+                return Err(ParseError(
+                    "serve needs --ckpt-dir (crash tolerance is the point)".into(),
+                ));
+            };
+            Ok(Command::Serve(Box::new(ServeArgs {
+                config: cf.build(FaultPlan::default()),
+                bind,
+                ckpt_dir,
+                workers,
+                queue_cap,
+                deadline_ms,
+                port_file,
+            })))
+        }
+        Some("load-gen") => {
+            let mut cf = ConfigFlags::new();
+            let mut addr: Option<SocketAddr> = None;
+            let mut senders = 4usize;
+            let mut omit_every = 0usize;
+            let mut shutdown = false;
+            let mut json = false;
+            let mut i = 1usize;
+            while i < args.len() {
+                if cf.accept(args, &mut i)? {
+                    i += 1;
+                    continue;
+                }
+                match args[i].as_str() {
+                    "--addr" => {
+                        addr = Some(take_parsed(
+                            args,
+                            &mut i,
+                            "--addr",
+                            "an address like 127.0.0.1:7117",
+                        )?)
+                    }
+                    "--senders" => senders = take_parsed(args, &mut i, "--senders", "an integer")?,
+                    "--omit-every" => {
+                        omit_every = take_parsed(args, &mut i, "--omit-every", "an integer")?
+                    }
+                    "--shutdown" => shutdown = true,
+                    "--json" => json = true,
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            let Some(addr) = addr else {
+                return Err(ParseError("load-gen needs --addr".into()));
+            };
+            Ok(Command::LoadGen(Box::new(LoadGenArgs {
+                config: cf.build(FaultPlan::default()),
+                addr,
+                senders,
+                omit_every,
+                shutdown,
+                json,
+            })))
+        }
         Some(other) => Err(ParseError(format!(
-            "unknown subcommand `{other}`; try `list`, `run` or `help`"
+            "unknown subcommand `{other}`; try `list`, `run`, `serve`, `load-gen` or `help`"
         ))),
     }
 }
@@ -290,6 +503,15 @@ USAGE:
                     [--stale-discount F] [--malformed R]
                     [--checkpoint-dir PATH] [--checkpoint-every N]
                     [--quiet] [--json]
+    fabflip-cli serve --ckpt-dir PATH [--bind ADDR] [--workers N]
+                    [--queue-cap N] [--deadline-ms MS] [--port-file PATH]
+                    [config flags as for run]
+    fabflip-cli load-gen --addr ADDR [--senders N] [--omit-every N]
+                    [--shutdown] [--json] [config flags as for run]
+
+SCALE (shared by run/serve/load-gen; defaults are the paper's 100/10):
+    --n-clients N --clients-per-round K --train-size N --test-size N
+    --synth-set S          shrink a deployment for smoke tests and CI
 
 FAULTS (deterministic per seed/round/client; rates in [0,1], sum ≤ 1):
     --dropout R            clients unreachable before local compute
@@ -303,11 +525,22 @@ CHECKPOINTING:
                            with the same config resumes automatically
     --checkpoint-every N   rounds between saves (default 5)
 
+SERVING (DESIGN.md §4g — live TCP aggregation instead of batch sim):
+    serve                  crash-tolerant aggregation server; checkpoints
+                           every accepted submission, so `kill -9` +
+                           restart resumes bitwise-identically. --bind :0
+                           plus --port-file is how scripts get the port.
+    load-gen               drives the whole client fleet (including the
+                           attack) against a server; --shutdown stops the
+                           server when the run completes.
+
 EXAMPLES:
     fabflip-cli run --task fashion --attack zka-g --defense mkrum --rounds 20
     fabflip-cli run --task cifar --attack min-max --defense bulyan --beta 0.1
     fabflip-cli run --attack random --defense krum --dropout 0.2 --malformed 0.05
     fabflip-cli run --rounds 50 --checkpoint-dir ckpts --checkpoint-every 10
+    fabflip-cli serve --ckpt-dir ckpts --attack lie --defense mkrum --rounds 20
+    fabflip-cli load-gen --addr 127.0.0.1:7117 --attack lie --defense mkrum --rounds 20 --shutdown
     fabflip-cli list
 "
 }
@@ -430,6 +663,96 @@ mod tests {
             _ => panic!(),
         }
         assert!(parse(&argv("run --checkpoint-every x")).is_err());
+    }
+
+    #[test]
+    fn parses_a_serve_command() {
+        let cmd = parse(&argv(
+            "serve --ckpt-dir /tmp/ck --bind 127.0.0.1:0 --workers 3 --queue-cap 8 \
+             --deadline-ms 1500 --port-file /tmp/port --attack lie --defense mkrum \
+             --rounds 5 --seed 21",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.ckpt_dir, "/tmp/ck");
+                assert_eq!(s.bind, "127.0.0.1:0".parse::<SocketAddr>().unwrap());
+                assert_eq!(s.workers, 3);
+                assert_eq!(s.queue_cap, 8);
+                assert_eq!(s.deadline_ms, 1500);
+                assert_eq!(s.port_file.as_deref(), Some("/tmp/port"));
+                assert_eq!(s.config.attack, AttackSpec::Lie);
+                assert_eq!(s.config.rounds, 5);
+                assert_eq!(s.config.seed, 21);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        // Defaults: fixed loopback bind, durable dir still required.
+        match parse(&argv("serve --ckpt-dir ck")).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.bind, "127.0.0.1:7117".parse::<SocketAddr>().unwrap());
+                assert_eq!(s.workers, 0);
+                assert_eq!(s.queue_cap, 16);
+                assert_eq!(s.deadline_ms, 30_000);
+                assert!(s.port_file.is_none());
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("serve")).is_err(), "--ckpt-dir is required");
+        assert!(parse(&argv("serve --ckpt-dir ck --bind nonsense")).is_err());
+        assert!(parse(&argv("serve --ckpt-dir ck --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_a_load_gen_command() {
+        let cmd = parse(&argv(
+            "load-gen --addr 127.0.0.1:9000 --senders 2 --omit-every 3 --shutdown --json \
+             --attack lie --defense mkrum --rounds 5 --seed 21",
+        ))
+        .unwrap();
+        match cmd {
+            Command::LoadGen(l) => {
+                assert_eq!(l.addr, "127.0.0.1:9000".parse::<SocketAddr>().unwrap());
+                assert_eq!(l.senders, 2);
+                assert_eq!(l.omit_every, 3);
+                assert!(l.shutdown);
+                assert!(l.json);
+                assert_eq!(l.config.attack, AttackSpec::Lie);
+                assert_eq!(l.config.seed, 21);
+            }
+            other => panic!("expected load-gen, got {other:?}"),
+        }
+        assert!(parse(&argv("load-gen")).is_err(), "--addr is required");
+        assert!(parse(&argv("load-gen --addr nonsense")).is_err());
+    }
+
+    #[test]
+    fn serve_and_load_gen_share_the_run_config_surface() {
+        // The same config flags must produce the same FlConfig through
+        // every subcommand — a server and its load generator parse their
+        // (identical) command lines independently.
+        let flags = "--task fashion --attack lie --defense mkrum --rounds 4 --beta 0.3 --seed 77 \
+                     --n-clients 12 --clients-per-round 6 --train-size 240 --test-size 80 \
+                     --synth-set 6";
+        let run = match parse(&argv(&format!("run {flags}"))).unwrap() {
+            Command::Run(r) => r.config,
+            _ => panic!(),
+        };
+        let serve = match parse(&argv(&format!("serve --ckpt-dir ck {flags}"))).unwrap() {
+            Command::Serve(s) => s.config,
+            _ => panic!(),
+        };
+        let lg = match parse(&argv(&format!("load-gen --addr 127.0.0.1:1 {flags}"))).unwrap() {
+            Command::LoadGen(l) => l.config,
+            _ => panic!(),
+        };
+        assert_eq!(run, serve);
+        assert_eq!(run, lg);
+        assert_eq!(run.n_clients, 12);
+        assert_eq!(run.clients_per_round, 6);
+        assert_eq!(run.train_size, 240);
+        assert_eq!(run.test_size, 80);
+        assert_eq!(run.synth_set_size, 6);
     }
 
     #[test]

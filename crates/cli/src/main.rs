@@ -3,25 +3,35 @@
 
 use fabflip::{ZkaConfig, ZkaG, ZkaR};
 use fabflip_attacks::{Attack, Fang, Lie, MinMax, MinSum, RandomWeights};
-use fabflip_cli::{help_text, parse, Command, RunArgs};
+use fabflip_cli::{help_text, parse, Command, LoadGenArgs, RunArgs, ServeArgs};
 use fabflip_fl::{metrics::attack_success_rate, runner::acc_natk, simulate_with};
+use fabflip_serve::server::{spawn, ServeError, ServeHandle, ServeOptions};
+use fabflip_serve::{run_load, LoadGenOptions};
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse(&args) {
-        Ok(Command::Help) => print!("{}", help_text()),
-        Ok(Command::List) => list(),
-        Ok(Command::Run(run_args)) => {
-            if let Err(e) = run(*run_args) {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
+    let outcome = match parse(&args) {
+        Ok(Command::Help) => {
+            print!("{}", help_text());
+            Ok(())
         }
+        Ok(Command::List) => {
+            list();
+            Ok(())
+        }
+        Ok(Command::Run(run_args)) => run(*run_args),
+        Ok(Command::Serve(serve_args)) => serve(*serve_args),
+        Ok(Command::LoadGen(lg_args)) => load_gen(*lg_args),
         Err(e) => {
             eprintln!("error: {e}\n");
             print!("{}", help_text());
             std::process::exit(2);
         }
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -52,6 +62,93 @@ fn list() {
     );
     println!("\ndefenses: fedavg, krum, mkrum, trmean, median, bulyan, foolsgold, normbound");
     println!("tasks:    fashion (28x28x1, 2-conv CNN), cifar (32x32x3, 6-conv CNN)");
+}
+
+/// Runs the crash-tolerant aggregation server until shutdown (a SHUTDOWN
+/// frame, typically from `load-gen --shutdown`).
+fn serve(args: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = ServeOptions::new(args.config, &args.ckpt_dir);
+    opts.bind = args.bind;
+    opts.workers = args.workers;
+    opts.queue_cap = args.queue_cap;
+    opts.deadline = Duration::from_millis(args.deadline_ms);
+    let handle = spawn_retry(&opts)?;
+    eprintln!(
+        "serving on {} (checkpoints in {})",
+        handle.addr(),
+        args.ckpt_dir
+    );
+    if let Some(pf) = &args.port_file {
+        // Atomic write: a watcher never reads a half-written address.
+        let tmp = format!("{pf}.tmp");
+        std::fs::write(&tmp, handle.addr().to_string())?;
+        std::fs::rename(&tmp, pf)?;
+    }
+    let records = handle.join()?;
+    eprintln!("shut down after {} closed rounds", records.len());
+    Ok(())
+}
+
+/// Binds the listen address, retrying through the window where a killed
+/// predecessor's socket still lingers (crash-restart has no `SO_REUSEADDR`
+/// in std, so the first bind after `kill -9` can transiently fail).
+fn spawn_retry(opts: &ServeOptions) -> Result<ServeHandle, ServeError> {
+    let mut last = None;
+    for _ in 0..400 {
+        match spawn(opts.clone()) {
+            Ok(h) => return Ok(h),
+            Err(ServeError::Io(e)) => {
+                last = Some(ServeError::Io(e));
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| ServeError::Config("bind retries exhausted".into())))
+}
+
+/// Drives the whole client fleet against a running server and reports
+/// what the deployment did.
+fn load_gen(args: LoadGenArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = LoadGenOptions::new(args.config, args.addr);
+    opts.senders = args.senders.max(1);
+    opts.omit_every = args.omit_every;
+    opts.shutdown_when_done = args.shutdown;
+    let report = run_load(&opts)?;
+    // FNV over the model bits: lets scripts compare two runs (or a serve
+    // run against batch `run`) without shipping the whole model around.
+    let mut model_bytes = Vec::with_capacity(report.final_global_bits.len() * 4);
+    for b in &report.final_global_bits {
+        model_bytes.extend_from_slice(&b.to_le_bytes());
+    }
+    let model_fnv = fabflip_serve::wire::fnv1a(&model_bytes);
+    if args.json {
+        let summary = serde_json::json!({
+            "rounds_driven": report.rounds_driven,
+            "accepted": report.accepted,
+            "duplicates": report.duplicates,
+            "quarantined": report.quarantined,
+            "omitted": report.omitted,
+            "busy": report.busy,
+            "reconnects": report.reconnects,
+            "retries": report.retries,
+            "model_dim": report.final_global_bits.len(),
+            "model_fnv": format!("{model_fnv:016x}"),
+        });
+        println!("{}", serde_json::to_string_pretty(&summary)?);
+    } else {
+        println!("rounds driven:   {}", report.rounds_driven);
+        println!(
+            "submissions:     {} accepted, {} duplicate, {} quarantined, {} omitted",
+            report.accepted, report.duplicates, report.quarantined, report.omitted
+        );
+        println!(
+            "repair work:     {} busy, {} reconnects, {} retries",
+            report.busy, report.reconnects, report.retries
+        );
+        println!("final model fnv: {model_fnv:016x}");
+    }
+    Ok(())
 }
 
 fn run(args: RunArgs) -> Result<(), Box<dyn std::error::Error>> {

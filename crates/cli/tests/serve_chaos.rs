@@ -1,0 +1,151 @@
+//! The tentpole acceptance test (ISSUE: criterion c): run the real
+//! `fabflip-cli serve` binary, drive it through the chaos proxy, `kill
+//! -9` it mid-round while clients keep submitting, restart it on the
+//! same port, and require the final global model — and the full
+//! per-round transcript in the checkpoint — to be bitwise identical to
+//! the uninterrupted batch simulation, at server thread counts 1, 2
+//! and 7.
+
+use fabflip_cli::{parse, Command};
+use fabflip_fl::{checkpoint, simulate, FlConfig};
+use fabflip_serve::chaos::{ChaosProfile, ChaosProxy};
+use fabflip_serve::loadgen::{run_load, LoadGenOptions};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command as Proc, Stdio};
+use std::time::{Duration, Instant};
+
+/// The deployment, expressed as CLI flags: the test's in-process fleet
+/// and the subprocess server both parse it, so they cannot drift apart.
+const FLAGS: &str = "--task fashion --attack lie --defense mkrum --rounds 3 --seed 21 \
+                     --n-clients 12 --clients-per-round 6 --train-size 240 --test-size 80 \
+                     --synth-set 6";
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn deployment_cfg() -> FlConfig {
+    match parse(&argv(&format!("load-gen --addr 127.0.0.1:1 {FLAGS}"))) {
+        Ok(Command::LoadGen(l)) => l.config,
+        other => panic!("flag parse: {other:?}"),
+    }
+}
+
+/// Unique scratch directory (pid + counter; no wall clock).
+fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "fabflip-killtest-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).expect("test dir");
+    d
+}
+
+fn launch_server(dir: &Path, bind: &str, port_file: &Path, threads: usize) -> Child {
+    Proc::new(env!("CARGO_BIN_EXE_fabflip-cli"))
+        .arg("serve")
+        .args(["--ckpt-dir", &dir.display().to_string()])
+        .args(["--bind", bind])
+        .args(["--port-file", &port_file.display().to_string()])
+        .args([
+            "--workers",
+            "2",
+            "--queue-cap",
+            "8",
+            "--deadline-ms",
+            "60000",
+        ])
+        .args(FLAGS.split_whitespace())
+        .env("FABFLIP_THREADS", threads.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("launch fabflip-cli serve")
+}
+
+fn wait_for_port(port_file: &Path) -> SocketAddr {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(port_file) {
+            if let Ok(addr) = s.trim().parse() {
+                return addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote {port_file:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn kill_minus_nine_mid_round_resumes_bitwise_at_every_thread_count() {
+    let cfg = deployment_cfg();
+    let batch = simulate(&cfg).expect("batch reference");
+    let batch_bits: Vec<u32> = batch.final_model.iter().map(|w| w.to_bits()).collect();
+
+    for threads in [1usize, 2, 7] {
+        let dir = test_dir(&format!("t{threads}"));
+        let port_file = dir.join("port");
+
+        let mut child = launch_server(&dir, "127.0.0.1:0", &port_file, threads);
+        let addr = wait_for_port(&port_file);
+        let mut proxy =
+            ChaosProxy::spawn(addr, ChaosProfile::light(40 + threads as u64)).expect("proxy");
+
+        let lg_cfg = cfg.clone();
+        let proxy_addr = proxy.addr();
+        let loadgen = std::thread::spawn(move || {
+            let mut opts = LoadGenOptions::new(lg_cfg, proxy_addr);
+            opts.io_timeout = Duration::from_secs(1);
+            run_load(&opts)
+        });
+
+        // Wait for durable progress — ideally a mid-round in-flight log,
+        // at minimum a closed round — then SIGKILL the server under
+        // continued client load.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if let Some(c) = checkpoint::load(&dir, &cfg) {
+                if !c.inflight.is_empty() || c.next_round >= 1 {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "no durable progress before kill");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        child.kill().expect("kill -9");
+        child.wait().expect("reap");
+
+        // Restart pinned to the port the clients already know. The serve
+        // binary retries the bind through any lingering-socket window.
+        let mut child2 = launch_server(&dir, &addr.to_string(), &port_file, threads);
+
+        let report = loadgen
+            .join()
+            .expect("loadgen thread")
+            .expect("loadgen survived the kill");
+        assert_eq!(
+            report.final_global_bits, batch_bits,
+            "threads={threads}: final model diverged after kill -9 + restart"
+        );
+
+        let ckpt = checkpoint::load(&dir, &cfg).expect("final checkpoint");
+        assert_eq!(
+            ckpt.rounds, batch.rounds,
+            "threads={threads}: per-round transcript diverged"
+        );
+        assert_eq!(ckpt.global_bits, batch_bits);
+        assert_eq!(ckpt.next_round, cfg.rounds);
+
+        child2.kill().expect("stop restarted server");
+        child2.wait().expect("reap restarted server");
+        proxy.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -52,8 +52,8 @@
 use crate::lexer::{lex, Lexed};
 use crate::parser::{parse_tokens, parse_uses, target_feature_fns, Call, CallKind, FnNode};
 use crate::rules::{
-    allow_lines, test_spans, FileClass, Finding, Rule, BLESSED_SIMD_DIR, BLESSED_THREAD_FILE,
-    NUMERIC_CRATES,
+    allow_lines, test_spans, FileClass, Finding, Rule, BLESSED_SERVE_DIR, BLESSED_SIMD_DIR,
+    BLESSED_THREAD_FILE, NUMERIC_CRATES,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -175,6 +175,7 @@ const CRATE_ALIASES: &[(&str, &str)] = &[
     ("fabflip_data", "data"),
     ("fabflip_fl", "fl"),
     ("fabflip_nn", "nn"),
+    ("fabflip_serve", "serve"),
     ("fabflip_tensor", "tensor"),
 ];
 
@@ -326,10 +327,13 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
             .unwrap_or_else(|| seg.to_string())
     };
     for (file_idx, (class, src)) in files.iter().enumerate() {
-        if !class.in_crates
-            || class.is_test_file
-            || !NUMERIC_CRATES.contains(&class.crate_name.as_str())
-        {
+        // The serving shell joins the graph alongside the numeric crates:
+        // its per-submission ingest calls straight into hot fl/tensor
+        // kernels, and those cross-crate edges are what keep a stray
+        // socket or Vec in the core visible from a serve-side route.
+        let in_graph = NUMERIC_CRATES.contains(&class.crate_name.as_str())
+            || class.rel.starts_with(BLESSED_SERVE_DIR);
+        if !class.in_crates || class.is_test_file || !in_graph {
             escapes.push(Escapes::default());
             use_maps.push(BTreeMap::new());
             continue;
@@ -463,6 +467,18 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
                 continue;
             }
             for v in resolve(call, &nodes[u]) {
+                // The serving shell is an I/O boundary, not a kernel:
+                // hot reachability stops at its door. Its sockets,
+                // checkpoint writes and queue locks are its job
+                // (io-on-hot-path is directory-blessed below), and
+                // letting name-over-approximated edges wander through
+                // the shell would drag `fs`/`net` helpers of the core
+                // into the hot set along false routes. Core functions
+                // the shell calls stay audited through their own
+                // entries (`fl::stream`, `tensor::quant`, …).
+                if nodes[v].file.starts_with(BLESSED_SERVE_DIR) {
+                    continue;
+                }
                 if !visited[v] {
                     visited[v] = true;
                     parent[v] = Some(u);
@@ -488,9 +504,12 @@ pub fn analyze(files: &[(&FileClass, &str)]) -> Analysis {
         let esc = &escapes[node.file_idx];
         let route = chain(u).join(" → ");
         // The worker pool is the one blessed home for blocking
-        // synchronization (park/unpark handshakes); everything else hot
-        // must stay pure.
-        let io_applies = node.file != BLESSED_THREAD_FILE;
+        // synchronization (park/unpark handshakes), and the serving
+        // shell's whole job is I/O (sockets, checkpoints, queue locks) —
+        // mirroring BLESSED_SIMD_DIR, the shell is blessed as a
+        // directory. Everything else hot must stay pure.
+        let io_applies =
+            node.file != BLESSED_THREAD_FILE && !node.file.starts_with(BLESSED_SERVE_DIR);
         let mut push = |rule: Rule, line: u32, col: u32, needle: &str| {
             let (verb, remedy) = match rule {
                 Rule::AllocOnHotPath => (

@@ -59,6 +59,20 @@ pub const BLESSED_SIMD_DIR: &str = "crates/tensor/src/backend/";
 /// contract (and the pool's parked workers are actually reused).
 pub const BLESSED_THREAD_FILE: &str = "crates/tensor/src/par.rs";
 
+/// The crash-tolerant serving shell (DESIGN.md §4g). Its threads
+/// (acceptors, connection handlers, the round engine, chaos-proxy pumps)
+/// do blocking socket I/O, never numeric work — the §4b determinism
+/// contract is carried by the pure round engine they call into, not by
+/// thread count or interleaving. The same blessing covers
+/// `io-on-hot-path` in the cross-crate graph: I/O is this shell's whole
+/// job. Thread creation and hot-path I/O stay forbidden everywhere else.
+pub const BLESSED_SERVE_DIR: &str = "crates/serve/";
+
+/// The cli's kill-and-restart acceptance test: it must run a server
+/// subprocess, a chaos proxy and a client fleet concurrently, so it
+/// spawns its own driver threads.
+pub const BLESSED_SERVE_TEST: &str = "crates/cli/tests/serve_chaos.rs";
+
 /// How many lines above an `unsafe` token a `// SAFETY:` comment may end
 /// and still annotate it (allows attributes and a signature line between).
 const SAFETY_WINDOW_LINES: u32 = 5;
@@ -285,9 +299,15 @@ fn scope(rule: Rule, class: &FileClass) -> Scope {
         // Thread creation is the pool's monopoly: ad-hoc spawns bypass the
         // budget cap and the fixed-block determinism argument. Tests too —
         // a scoped spawn in a test still races the pool's parked workers.
-        // The compat shims are exempt (the rayon shim delegates to `par`).
+        // The compat shims are exempt (the rayon shim delegates to `par`),
+        // as are the serving shell and its kill/restart harness, whose
+        // threads block on sockets rather than compute.
         Rule::ThreadSpawnOutsidePar => {
-            if class.in_crates && class.rel != BLESSED_THREAD_FILE {
+            if class.in_crates
+                && class.rel != BLESSED_THREAD_FILE
+                && !class.rel.starts_with(BLESSED_SERVE_DIR)
+                && class.rel != BLESSED_SERVE_TEST
+            {
                 Scope::All
             } else {
                 Scope::Off

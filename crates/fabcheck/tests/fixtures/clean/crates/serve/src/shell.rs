@@ -1,0 +1,36 @@
+//! Serving-shell fixture: blocking socket I/O, queue locks, condvar
+//! waits, and ad-hoc threads are all legal inside `crates/serve/` — the
+//! blessed I/O boundary mirroring `BLESSED_SIMD_DIR`. The hot-path walk
+//! stops at this directory's door, so none of this may produce a
+//! finding. Scanned, never compiled.
+use std::sync::{Condvar, Mutex};
+
+pub fn accept_loop(addr: &str) {
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(_) => return,
+    };
+    let queue = Mutex::new(Vec::<Vec<u8>>::new());
+    let ready = Condvar::new();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for conn in listener.incoming().flatten() {
+                pump(conn, &queue, &ready);
+            }
+        });
+    });
+}
+
+fn pump(mut conn: std::net::TcpStream, queue: &Mutex<Vec<Vec<u8>>>, ready: &Condvar) {
+    use std::io::Read;
+    let mut buf = [0u8; 64];
+    while let Ok(n) = conn.read(&mut buf) {
+        if n == 0 {
+            break;
+        }
+        if let Ok(mut q) = queue.lock() {
+            q.push(buf[..n].to_vec());
+            ready.notify_one();
+        }
+    }
+}

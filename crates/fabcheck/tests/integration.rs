@@ -148,7 +148,10 @@ fn clean_fixture_is_silent() {
         report.findings
     );
     assert!(report.counted.is_empty(), "{:?}", report.counted);
-    assert_eq!(report.files_checked, 9);
+    // 10 files: the serve shell (`crates/serve/src/shell.rs`) is full of
+    // sockets, locks, and spawns, and must still be silent — the blessed
+    // I/O boundary.
+    assert_eq!(report.files_checked, 10);
 }
 
 #[test]
@@ -528,6 +531,73 @@ fn vec_in_ingest_flips_ci_from_fl_entry() {
     let (code, stdout, _) = run_binary(&["--ci", "--root", root]);
     assert_eq!(code, 1, "planted alloc must fail CI: {stdout}");
     assert!(stdout.contains("alloc-on-hot-path"), "{stdout}");
+    assert!(
+        stdout.contains("fl::stream::StreamingServer::submit"),
+        "route must start at the fl entry: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The serve-dir blessing must not blunt the rule for the core: the bad
+/// fixture's `fl::stream::StreamingServer::submit` dials a `TcpStream`,
+/// and that is still an `io-on-hot-path` finding with a route from the
+/// fl entry.
+#[test]
+fn stray_tcp_in_fl_hot_entry_still_fires_despite_serve_blessing() {
+    let report = check_workspace(&fixture("bad")).expect("scan");
+    let io_hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::IoOnHotPath && f.file == "crates/fl/src/stream.rs")
+        .expect("fl TcpStream finding");
+    assert!(
+        io_hit.message.contains("net::TcpStream::connect"),
+        "{}",
+        io_hit.message
+    );
+    assert!(
+        io_hit
+            .message
+            .contains("fl::stream::StreamingServer::submit"),
+        "route must name the fl entry: {}",
+        io_hit.message
+    );
+}
+
+/// Planting a `TcpStream` in `StreamingAggregator::ingest` on the real
+/// tree must flip `--ci` to failure — the `crates/serve/` blessing is a
+/// directory boundary, not a hole in the aggregation core's purity.
+#[test]
+fn tcp_dial_in_ingest_flips_ci_from_fl_entry() {
+    let src = real_root();
+    let dir = std::env::temp_dir().join(format!("fabcheck-tcpplant-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(&src.join("crates"), &dir.join("crates")).expect("copy crates");
+    copy_tree(&src.join("compat"), &dir.join("compat")).expect("copy compat");
+    std::fs::copy(src.join("Cargo.toml"), dir.join("Cargo.toml")).expect("copy manifest");
+    std::fs::copy(
+        src.join(fabcheck::BASELINE_FILE),
+        dir.join(fabcheck::BASELINE_FILE),
+    )
+    .expect("copy baseline");
+    let root = dir.to_str().expect("utf8 path");
+    let (code, stdout, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 0, "copied tree must start clean: {stdout}");
+
+    let target = dir.join("crates/aggregation/src/streaming.rs");
+    let text = std::fs::read_to_string(&target).expect("read streaming.rs");
+    let needle = "pub fn ingest(&mut self, update: &[f32], weight: f32) {";
+    let planted = text.replace(
+        needle,
+        "pub fn ingest(&mut self, update: &[f32], weight: f32) {\n        \
+         let _probe = std::net::TcpStream::connect(\"127.0.0.1:9\");",
+    );
+    assert_ne!(planted, text, "ingest signature moved; update the test");
+    std::fs::write(&target, planted).expect("write streaming.rs");
+
+    let (code, stdout, _) = run_binary(&["--ci", "--root", root]);
+    assert_eq!(code, 1, "planted TcpStream must fail CI: {stdout}");
+    assert!(stdout.contains("io-on-hot-path"), "{stdout}");
     assert!(
         stdout.contains("fl::stream::StreamingServer::submit"),
         "route must start at the fl entry: {stdout}"

@@ -24,7 +24,11 @@ use std::path::{Path, PathBuf};
 
 /// Bump when the checkpoint schema changes; mismatched files are ignored
 /// (the run restarts from round 0) rather than misread.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2 added the mid-round in-flight submission log (`inflight` /
+/// `inflight_meta`) the serve shell uses as a write-ahead log for kill -9
+/// recovery inside a round.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Where and how often [`crate::simulate_with`] checkpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +69,25 @@ pub struct PendingStale {
     pub payload_bits: Vec<u32>,
 }
 
+/// One *accepted, validated* submission of the round in progress — the
+/// serve shell's write-ahead log entry. `seq` is the submission's position
+/// in the round's canonical staging order ([`crate::round::StagedRound`]),
+/// which is the sort/dedup key that makes the recovered log independent of
+/// network arrival order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InflightSubmission {
+    /// Canonical staging sequence number within the round.
+    pub seq: u32,
+    /// Submitting client id.
+    pub client: usize,
+    /// Whether the submission is the adversary's.
+    pub malicious: bool,
+    /// Aggregation weight (bits).
+    pub weight_bits: u32,
+    /// Payload (bits).
+    pub payload_bits: Vec<u32>,
+}
+
 /// One simulation's complete resumable state after `next_round` rounds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -88,6 +111,17 @@ pub struct Checkpoint {
     pub pending: Vec<PendingStale>,
     /// Opaque adversary state (`Attack::checkpoint_state`).
     pub attack_state: Vec<u64>,
+    /// Validated submissions of the round in progress (`next_round`),
+    /// sorted by `seq` — the serve shell's write-ahead log. The batch
+    /// simulator always checkpoints at round boundaries, so it leaves
+    /// this empty (and the field is omitted from its JSON).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub inflight: Vec<InflightSubmission>,
+    /// Mid-round accounting alongside `inflight`: empty, or the five
+    /// words `[expected, offline, diverged, silent, deadline_fired]` from
+    /// the round's META announcement and deadline state.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub inflight_meta: Vec<u64>,
     /// FNV-1a over every field above; detects torn/corrupt files that
     /// still parse as JSON.
     pub checksum: u64,
@@ -173,6 +207,21 @@ impl Checkpoint {
         for &w in &self.attack_state {
             h.u64(w);
         }
+        h.u64(self.inflight.len() as u64);
+        for s in &self.inflight {
+            h.u64(s.seq as u64);
+            h.u64(s.client as u64);
+            h.byte(s.malicious as u8);
+            h.u64(s.weight_bits as u64);
+            h.u64(s.payload_bits.len() as u64);
+            for &b in &s.payload_bits {
+                h.u64(b as u64);
+            }
+        }
+        h.u64(self.inflight_meta.len() as u64);
+        for &w in &self.inflight_meta {
+            h.u64(w);
+        }
         h.0
     }
 
@@ -225,6 +274,12 @@ pub fn save(dir: &Path, ckpt: &Checkpoint) -> Result<(), FlError> {
 
 fn try_load(path: &Path, fp: &str, max_rounds: usize) -> Option<Checkpoint> {
     let text = std::fs::read_to_string(path).ok()?;
+    // A zero-length file (e.g. the rename landed but the data blocks of a
+    // crashed write never did, on filesystems without write barriers) is
+    // corrupt, exactly like a torn one: degrade to `prev`, then round 0.
+    if text.is_empty() {
+        return None;
+    }
     let c: Checkpoint = serde_json::from_str(&text).ok()?;
     let intact = c.version == CHECKPOINT_VERSION
         && c.fingerprint == fp
@@ -246,12 +301,12 @@ pub fn load(dir: &Path, cfg: &FlConfig) -> Option<Checkpoint> {
 }
 
 /// Bit-packs a float slice for checkpoint storage.
-pub(crate) fn to_bits(v: &[f32]) -> Vec<u32> {
+pub fn to_bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
 /// Unpacks checkpoint bit storage back to floats.
-pub(crate) fn from_bits(v: &[u32]) -> Vec<f32> {
+pub fn from_bits(v: &[u32]) -> Vec<f32> {
     v.iter().map(|&x| f32::from_bits(x)).collect()
 }
 
@@ -297,6 +352,14 @@ mod tests {
                 payload_bits: vec![9, 8],
             }],
             attack_state: vec![1, 4],
+            inflight: vec![InflightSubmission {
+                seq: 2,
+                client: 3,
+                malicious: false,
+                weight_bits: 5.0f32.to_bits(),
+                payload_bits: vec![11, 12],
+            }],
+            inflight_meta: vec![4, 0, 0, 1, 0],
             checksum: 0,
         }
         .seal()
@@ -398,6 +461,69 @@ mod tests {
         let mut c = base.clone();
         c.pending[0].malicious = false;
         assert_ne!(c.body_checksum(), base.checksum);
+        let mut c = base.clone();
+        c.inflight[0].seq = 3;
+        assert_ne!(c.body_checksum(), base.checksum);
+        let mut c = base.clone();
+        c.inflight[0].payload_bits[1] = 99;
+        assert_ne!(c.body_checksum(), base.checksum);
+        let mut c = base.clone();
+        c.inflight_meta[0] = 5;
+        assert_ne!(c.body_checksum(), base.checksum);
+        let mut c = base.clone();
+        c.inflight.clear();
+        assert_ne!(c.body_checksum(), base.checksum);
+    }
+
+    #[test]
+    fn zero_length_current_degrades_to_prev_then_none() {
+        let dir = crate::test_dir("ckpt-zero");
+        let fp = fingerprint(&cfg());
+        let mut first = ckpt(fp.clone());
+        first.next_round = 1;
+        first.rounds.truncate(1);
+        let first = first.seal();
+        save(&dir, &first).unwrap();
+        save(&dir, &ckpt(fp.clone())).unwrap();
+
+        let path = path_for(&dir, &fp);
+        std::fs::write(&path, "").unwrap();
+        assert_eq!(load(&dir, &cfg()), Some(first), "prev wins");
+
+        std::fs::write(prev_path(&path), "").unwrap();
+        assert_eq!(load(&dir, &cfg()), None, "both empty: fresh start");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Crash-at-any-byte robustness: truncate the current checkpoint file
+    /// at *every* prefix length (including zero). Loading must never
+    /// panic, never return garbage — every truncation either fails
+    /// verification (falling back to the intact prev) or, at the full
+    /// length, loads the real checkpoint.
+    #[test]
+    fn truncation_at_every_byte_offset_degrades_cleanly() {
+        let dir = crate::test_dir("ckpt-truncate");
+        let fp = fingerprint(&cfg());
+        let mut prev = ckpt(fp.clone());
+        prev.next_round = 1;
+        prev.rounds.truncate(1);
+        let prev = prev.seal();
+        let current = ckpt(fp.clone());
+        save(&dir, &prev).unwrap();
+        save(&dir, &current).unwrap();
+
+        let path = path_for(&dir, &fp);
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let got = load(&dir, &cfg()).expect("prev checkpoint stays intact");
+            if cut == full.len() {
+                assert_eq!(got, current);
+            } else {
+                assert_eq!(got, prev, "truncation at byte {cut} must fall back");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod config;
 mod error;
 pub mod faults;
 pub mod metrics;
+pub mod round;
 pub mod runner;
 mod sim;
 pub mod stream;
@@ -48,6 +49,7 @@ pub use error::FlError;
 pub use fabflip_tensor::quant::Codec;
 pub use faults::{FaultPlan, StragglerPolicy};
 pub use metrics::{RoundRecord, RunResult};
+pub use round::{ClientFleet, RoundInput, ServerCore, StagedRound, StagedSubmission};
 pub use sim::{simulate, simulate_observed, simulate_with};
 pub use stream::{StreamingServer, Submit};
 

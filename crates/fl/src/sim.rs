@@ -1,50 +1,19 @@
 //! The federated-learning simulation loop (paper Sec. II-A, V-A), plus
 //! the deterministic fault-injection transport and graceful server-side
 //! degradation of DESIGN.md §4d.
+//!
+//! Since the §4g serve split, this module is the *batch shell* around the
+//! shared round engine in [`crate::round`]: [`ClientFleet`] stages every
+//! submission, this loop plays the in-process fault transport over the
+//! staged log, and [`ServerCore`] closes the round. The TCP server in
+//! `fabflip-serve` drives the same two halves over real sockets.
 
 use crate::checkpoint::{self, Checkpoint, CheckpointSpec, PendingStale};
 use crate::faults::{corrupt_payload, streams, sub_seed, ClientFault, StragglerPolicy};
 use crate::metrics::{RoundRecord, RunResult};
+use crate::round::{server_accepts, ClientFleet, RoundInput, ServerCore};
 use crate::{FlConfig, FlError};
-use fabflip_agg::{AggError, Aggregation, Selection};
-use fabflip_attacks::{AttackContext, TaskInfo};
-use fabflip_data::{dirichlet_partition, Dataset};
-use fabflip_nn::losses::{accuracy, softmax_cross_entropy_hard};
-use fabflip_nn::Sequential;
-use fabflip_tensor::{par, quant};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-/// Fixed task seed: all runs (clean baseline and attacked) share the same
-/// class prototypes, so `acc_natk` and `acc_max` are comparable.
-const TASK_SEED: u64 = 0xDA7A_5EED;
-
-/// Result of one selected client's local phase.
-enum LocalOutcome {
-    /// Adversary-controlled: its update is crafted centrally, not here.
-    Malicious,
-    /// No local data: the client never submits.
-    Offline,
-    /// Local training produced non-finite weights: fails to submit.
-    Diverged,
-    /// Dropout fault: the client is unreachable before it computes.
-    Dropped,
-    /// A finished benign update and its sample weight.
-    Trained(Vec<f32>, f32),
-}
-
-type ClientOutcome = Result<LocalOutcome, FlError>;
-
-/// A submission staged for this round's transport, tagged with the fault
-/// (if any) that strikes it in transit.
-struct Staged {
-    fault: Option<ClientFault>,
-    client: usize,
-    malicious: bool,
-    weight: f32,
-    payload: Vec<f32>,
-}
+use fabflip_tensor::quant;
 
 /// A straggler submission held in memory for next-round delivery (the
 /// checkpointable form is [`PendingStale`]).
@@ -53,60 +22,6 @@ struct Pending {
     malicious: bool,
     weight: f32,
     payload: Vec<f32>,
-}
-
-/// The server's per-submission validator, active only under a live fault
-/// plan: a payload is accepted when it has the model dimension, every
-/// coordinate is finite, and it is not the all-zero dead-buffer sentinel.
-/// Quarantining here is *degradation accounting*; the aggregation rules
-/// additionally filter malformed input themselves (defense in depth).
-pub(crate) fn server_accepts(payload: &[f32], d: usize) -> bool {
-    payload.len() == d && payload.iter().all(|v| v.is_finite()) && payload.iter().any(|&v| v != 0.0)
-}
-
-/// Evaluates `model` on `test`, batching to bound peak memory.
-///
-/// # Errors
-///
-/// Propagates forward-pass failures.
-pub fn evaluate_model(
-    model: &mut Sequential,
-    test: &Dataset,
-    batch: usize,
-) -> Result<f32, FlError> {
-    let n = test.len();
-    if n == 0 {
-        return Ok(0.0);
-    }
-    let mut correct_weighted = 0.0f32;
-    let idx: Vec<usize> = (0..n).collect();
-    for chunk in idx.chunks(batch.max(1)) {
-        let b = test.gather(chunk);
-        let logits = model.forward(&b.images)?;
-        correct_weighted += accuracy(&logits, &b.labels) * chunk.len() as f32;
-    }
-    Ok(correct_weighted / n as f32)
-}
-
-/// Trains one benign client: start at `global`, run `local_epochs` of
-/// mini-batch SGD on the client's shard, return the flat update.
-fn train_benign_client(
-    cfg: &FlConfig,
-    train: &Dataset,
-    shard: &[usize],
-    global: &[f32],
-    rng: &mut StdRng,
-) -> Result<Vec<f32>, FlError> {
-    let mut model = cfg.task.build_model(rng);
-    model.set_flat_params(global)?;
-    for _ in 0..cfg.local_epochs {
-        for b in train.shuffled_batches(shard, cfg.batch, rng) {
-            model.train_step(&b.images, cfg.lr, |logits| {
-                softmax_cross_entropy_hard(logits, &b.labels)
-            })?;
-        }
-    }
-    Ok(model.flat_params())
 }
 
 /// Runs one full FL simulation described by `cfg`.
@@ -165,96 +80,25 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
     mut observer: F,
 ) -> Result<RunResult, FlError> {
     cfg.validate().map_err(FlError::BadConfig)?;
-    let spec = cfg.task.spec();
-    let train = Dataset::synthesize_split(
-        &spec,
-        cfg.train_size,
-        TASK_SEED,
-        sub_seed(cfg.seed, streams::TRAIN_DATA, 0, 0),
-    );
-    let test = Dataset::synthesize_split(
-        &spec,
-        cfg.test_size,
-        TASK_SEED,
-        sub_seed(cfg.seed, streams::TEST_DATA, 0, 0),
-    );
-    let shards = dirichlet_partition(
-        &train,
-        cfg.n_clients,
-        cfg.beta,
-        sub_seed(cfg.seed, streams::PARTITION, 0, 0),
-    )?;
-
-    // Adversary-controlled clients: a uniformly random subset, kept as a
-    // sorted vector (membership via binary search) so every iteration over
-    // it is deterministic — a HashSet here leaks hash order into the
-    // adversary's data pool (fabcheck: nondeterministic-collection).
-    let mut setup_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::MALICIOUS_SET, 0, 0));
-    let mut ids: Vec<usize> = (0..cfg.n_clients).collect();
-    ids.shuffle(&mut setup_rng);
-    let mut malicious: Vec<usize> = ids[..cfg.n_malicious()].to_vec();
-    malicious.sort_unstable();
-    let is_malicious = |c: usize| malicious.binary_search(&c).is_ok();
-
-    // The Fig. 7 real-data adversary pools its clients' Dirichlet shards.
-    let adversary_data = if cfg.attack.needs_adversary_data() {
-        let mut pool: Vec<usize> = malicious
-            .iter()
-            .flat_map(|&c| shards[c].iter().copied())
-            .collect();
-        pool.sort_unstable();
-        let b = train.gather(&pool);
-        Some(Dataset::new(b.images, b.labels, train.num_classes()))
-    } else {
-        None
-    };
-    let mut attack = cfg.attack.build(adversary_data);
-
-    let task_info = TaskInfo {
-        channels: spec.channels,
-        height: spec.height,
-        width: spec.width,
-        num_classes: spec.num_classes,
-        synth_set_size: cfg.synth_set_size,
-        local_lr: cfg.lr,
-        local_batch: cfg.batch,
-        local_epochs: cfg.local_epochs,
-    };
-    let defense = cfg.defense.build()?;
-    // FLTrust extension: the server's clean root dataset (same task,
-    // independent sample stream).
-    let fltrust_root = cfg.fltrust_root_size.map(|n| {
-        Dataset::synthesize_split(
-            &spec,
-            n,
-            TASK_SEED,
-            sub_seed(cfg.seed, streams::FLTRUST_ROOT, 0, 0),
-        )
-    });
-    let build_model = {
-        let task = cfg.task;
-        move |rng: &mut StdRng| task.build_model(rng)
-    };
+    let mut fleet = ClientFleet::new(cfg)?;
+    let mut core = ServerCore::new(cfg)?;
     // The degradation layer (validator + dynamic quorum) switches on only
     // under a live fault plan, so fault-free configs take the exact
     // historical code path, bit for bit.
     let faults_active = cfg.faults.is_active();
     let fingerprint = ckpt.map(|_| checkpoint::fingerprint(cfg));
 
-    let mut init_rng = StdRng::seed_from_u64(sub_seed(cfg.seed, streams::MODEL_INIT, 0, 0));
-    let mut global_model = cfg.task.build_model(&mut init_rng);
-    let mut global = global_model.flat_params();
-    let mut prev_global: Option<Vec<f32>> = None;
     let mut pending: Vec<Pending> = Vec::new();
     let mut rounds: Vec<RoundRecord> = Vec::with_capacity(cfg.rounds);
     let mut start_round = 0usize;
 
     if let Some(spec) = ckpt {
         if let Some(c) = checkpoint::load(&spec.dir, cfg) {
-            if c.global_bits.len() == global.len() {
-                global = checkpoint::from_bits(&c.global_bits);
-                prev_global = c.prev_global_bits.as_deref().map(checkpoint::from_bits);
-                global_model.set_flat_params(&global)?;
+            if c.global_bits.len() == core.dim() {
+                core.restore(
+                    checkpoint::from_bits(&c.global_bits),
+                    c.prev_global_bits.as_deref().map(checkpoint::from_bits),
+                )?;
                 pending = c
                     .pending
                     .iter()
@@ -265,9 +109,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                         payload: checkpoint::from_bits(&p.payload_bits),
                     })
                     .collect();
-                if let Some(a) = attack.as_mut() {
-                    a.restore_state(&c.attack_state);
-                }
+                fleet.restore_attack_state(&c.attack_state);
                 start_round = c.next_round;
                 rounds = c.rounds;
             }
@@ -276,161 +118,13 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
 
     for round in start_round..cfg.rounds {
         let round_u64 = round as u64;
-        let mut round_rng =
-            StdRng::seed_from_u64(sub_seed(cfg.seed, streams::CLIENT_SAMPLING, round_u64, 0));
-        let mut pool: Vec<usize> = (0..cfg.n_clients).collect();
-        pool.shuffle(&mut round_rng);
-        let selected = &pool[..cfg.clients_per_round];
-
-        // The round's fault schedule — pure per (seed, round, client), so
-        // it is thread-count invariant and recomputed identically after a
-        // resume (no fault state is checkpointed beyond pending stales).
-        let faults: Vec<Option<ClientFault>> = selected
-            .iter()
-            .map(|&c| cfg.faults.fault_for(cfg.seed, round_u64, c as u64))
-            .collect();
-        let malicious_sel: Vec<(usize, usize)> = selected
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| is_malicious(c))
-            .map(|(s, &c)| (s, c))
-            .collect();
-
-        // Benign local training. Every client already draws from an
-        // independent RNG stream keyed by (seed, round, client), so clients
-        // train in parallel and their updates are merged in selection order
-        // — the transcript is bitwise identical to the sequential loop (see
-        // the determinism contract in `fabflip_tensor::par`).
-        let train_ref = &train;
-        let shards_ref = &shards;
-        let global_ref = &global;
-        let is_malicious_ref = &is_malicious;
-        let faults_ref = &faults;
-        let outcomes: Vec<ClientOutcome> = par::map_collect(selected.len(), |s| {
-            let client = selected[s];
-            if is_malicious_ref(client) {
-                return Ok(LocalOutcome::Malicious);
-            }
-            let shard = &shards_ref[client];
-            if shard.is_empty() {
-                return Ok(LocalOutcome::Offline);
-            }
-            if faults_ref[s] == Some(ClientFault::Dropout) {
-                // Dropout strikes before local compute: nothing to train.
-                return Ok(LocalOutcome::Dropped);
-            }
-            let mut crng = StdRng::seed_from_u64(sub_seed(
-                cfg.seed,
-                streams::CLIENT_TRAIN,
-                round_u64,
-                client as u64,
-            ));
-            let w = train_benign_client(cfg, train_ref, shard, global_ref, &mut crng)?;
-            if w.iter().any(|v| !v.is_finite()) {
-                // Local training diverged (possible once the global model
-                // is poisoned): a real client would fail to submit. Skip
-                // it so non-finite values never reach attacks or defenses.
-                return Ok(LocalOutcome::Diverged);
-            }
-            Ok(LocalOutcome::Trained(w, shard.len() as f32))
-        });
-
-        let mut offline = 0usize;
-        let mut diverged = 0usize;
-        let mut dropped = 0usize;
+        let staged_round = fleet.stage_round(round, core.global(), core.prev_global())?;
+        let mut staged = staged_round.submissions;
+        let mut dropped = staged_round.dropped;
         let mut straggling = 0usize;
         let mut quarantined = 0usize;
         let mut stale_quarantined = 0usize;
         let mut stale_delivered = 0usize;
-        let mut silent = 0usize;
-        // The adversary's oracle is the benign updates as *computed* —
-        // its white-box client-level view, before transport faults strike
-        // (dropout happens pre-compute, so dropped clients are absent).
-        let mut benign_updates: Vec<Vec<f32>> = Vec::new();
-        let mut staged: Vec<Staged> = Vec::new();
-        for (s, outcome) in outcomes.into_iter().enumerate() {
-            match outcome? {
-                LocalOutcome::Malicious => {}
-                LocalOutcome::Offline => offline += 1,
-                LocalOutcome::Diverged => diverged += 1,
-                LocalOutcome::Dropped => dropped += 1,
-                LocalOutcome::Trained(w, weight) => {
-                    benign_updates.push(w.clone());
-                    staged.push(Staged {
-                        fault: faults[s],
-                        client: selected[s],
-                        malicious: false,
-                        weight,
-                        payload: w,
-                    });
-                }
-            }
-        }
-
-        // Adversarial crafting: one update for all malicious clients,
-        // staged pre-transport (the adversary does not know the fault
-        // schedule; per-copy Sybil noise is drawn in selection order for
-        // every copy, faulted or not, so the draw sequence matches the
-        // fault-free transcript).
-        let malicious_selected = malicious_sel.len();
-        if malicious_selected > 0 {
-            if let Some(attack) = attack.as_mut() {
-                let empty: Vec<Vec<f32>> = Vec::new();
-                let oracle: &[Vec<f32>] = if cfg.attack.uses_benign_oracle() {
-                    &benign_updates
-                } else {
-                    &empty
-                };
-                let ctx = AttackContext {
-                    global: &global,
-                    prev_global: prev_global.as_deref(),
-                    benign_updates: oracle,
-                    n_selected: cfg.clients_per_round,
-                    n_malicious_selected: malicious_selected,
-                    task: &task_info,
-                    build_model: &build_model,
-                };
-                let mut arng =
-                    StdRng::seed_from_u64(sub_seed(cfg.seed, streams::ATTACK, round_u64, 0));
-                match attack.craft(&ctx, &mut arng) {
-                    Ok(w_mal) => {
-                        for &(s, client) in &malicious_sel {
-                            let mut copy = w_mal.clone();
-                            if cfg.sybil_noise > 0.0 {
-                                // Sec. III-A: independent per-copy noise to
-                                // break Sybil-similarity detection.
-                                use rand::Rng;
-                                for v in &mut copy {
-                                    let u1: f32 = arng.gen_range(f32::EPSILON..1.0);
-                                    let u2: f32 = arng.gen_range(0.0..1.0);
-                                    let n = (-2.0 * u1.ln()).sqrt()
-                                        * (std::f32::consts::TAU * u2).cos();
-                                    *v += cfg.sybil_noise * n;
-                                }
-                            }
-                            staged.push(Staged {
-                                fault: faults[s],
-                                client,
-                                malicious: true,
-                                weight: cfg.synth_set_size.max(1) as f32,
-                                payload: copy,
-                            });
-                        }
-                    }
-                    // An oracle-dependent attack cannot act in a round whose
-                    // oracle is empty or unusable: malicious clients stay
-                    // silent.
-                    Err(fabflip_attacks::AttackError::NeedsBenignUpdates(_)) => {
-                        silent += malicious_selected;
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            } else {
-                // No attack configured: sampled malicious clients submit
-                // nothing (the clean-baseline behaviour, now accounted).
-                silent += malicious_selected;
-            }
-        }
 
         // Quantized transport (DESIGN.md §4e): every staged payload
         // crosses the wire through the configured codec before faults or
@@ -447,7 +141,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
         // Transport + delivery. Stale entries land first — they were
         // submitted a round earlier — then this round's staged submissions
         // pass through the fault plan.
-        let d = global.len();
+        let d = core.dim();
         let mut updates: Vec<Vec<f32>> = Vec::new();
         let mut weights: Vec<f32> = Vec::new();
         let mut malicious_indices: Vec<usize> = Vec::new();
@@ -519,81 +213,23 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
         // fault plan the defense's parameters are recomputed for the
         // surviving cohort (`DefenseKind::for_cohort`); an impossible
         // quorum skips the round and carries the global model forward.
-        let mut malicious_passed = 0usize;
-        let mut selection_available = false;
-        let mut skipped = false;
-        let outcome: Option<Result<Aggregation, AggError>> = if updates.is_empty() {
-            None
-        } else if let Some(root) = &fltrust_root {
-            // FLTrust: the server computes its own root update, then
-            // trust-scores the clients against it (any cohort n ≥ 1).
-            let mut srng =
-                StdRng::seed_from_u64(sub_seed(cfg.seed, streams::FLTRUST_SERVER, round_u64, 0));
-            let all: Vec<usize> = (0..root.len()).collect();
-            let server_update = train_benign_client(cfg, root, &all, &global, &mut srng)?;
-            Some(fabflip_agg::fltrust_aggregate(
-                &updates,
-                &global,
-                &server_update,
-            ))
-        } else {
-            let effective = if faults_active {
-                cfg.defense.for_cohort(updates.len())
-            } else {
-                Some(cfg.defense)
-            };
-            match effective {
-                None => None,
-                Some(kind) if kind == cfg.defense => {
-                    Some(defense.aggregate_with_reference(&updates, &weights, Some(&global)))
-                }
-                Some(kind) => Some(kind.build()?.aggregate_with_reference(
-                    &updates,
-                    &weights,
-                    Some(&global),
-                )),
-            }
-        };
-        match outcome {
-            Some(Ok(agg)) => {
-                if let Selection::Chosen(ref kept) = agg.selection {
-                    selection_available = true;
-                    malicious_passed = kept
-                        .iter()
-                        .filter(|i| malicious_indices.contains(i))
-                        .count();
-                }
-                prev_global = Some(global.clone());
-                global = agg.model;
-                global_model.set_flat_params(&global)?;
-            }
-            Some(Err(AggError::TooFewUpdates { .. })) | Some(Err(AggError::NoUpdates)) => {
-                // No quorum this round: global model carried forward.
-                skipped = true;
-            }
-            Some(Err(e)) => return Err(e.into()),
-            None => skipped = true,
-        }
-
-        let acc = evaluate_model(&mut global_model, &test, 100)?;
-        let record = RoundRecord {
+        let record = core.close_round(
             round,
-            accuracy: acc,
-            // DPR denominator: malicious submissions actually delivered.
-            malicious_selected: malicious_indices.len(),
-            malicious_passed,
-            selection_available,
-            delivered: updates.len(),
-            stale: stale_delivered,
-            dropped,
-            straggling,
-            quarantined,
-            stale_quarantined,
-            offline,
-            diverged,
-            silent,
-            skipped,
-        };
+            RoundInput {
+                updates,
+                weights,
+                malicious_indices,
+                degrade: faults_active,
+                stale_delivered,
+                dropped,
+                straggling,
+                quarantined,
+                stale_quarantined,
+                offline: staged_round.offline,
+                diverged: staged_round.diverged,
+                silent: staged_round.silent,
+            },
+        )?;
         observer(&record);
         rounds.push(record);
 
@@ -603,8 +239,8 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                     version: checkpoint::CHECKPOINT_VERSION,
                     fingerprint: fingerprint.clone().expect("fingerprint set with spec"),
                     next_round: round + 1,
-                    global_bits: checkpoint::to_bits(&global),
-                    prev_global_bits: prev_global.as_deref().map(checkpoint::to_bits),
+                    global_bits: checkpoint::to_bits(core.global()),
+                    prev_global_bits: core.prev_global().map(checkpoint::to_bits),
                     rounds: rounds.clone(),
                     pending: pending
                         .iter()
@@ -615,9 +251,9 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
                             payload_bits: checkpoint::to_bits(&p.payload),
                         })
                         .collect(),
-                    attack_state: attack
-                        .as_ref()
-                        .map_or_else(Vec::new, |a| a.checkpoint_state()),
+                    attack_state: fleet.attack_state(),
+                    inflight: Vec::new(),
+                    inflight_meta: Vec::new(),
                     checksum: 0,
                 }
                 .seal();
@@ -627,7 +263,7 @@ pub fn simulate_with<F: FnMut(&RoundRecord)>(
     }
     Ok(RunResult {
         rounds,
-        final_model: global,
+        final_model: core.global().to_vec(),
     })
 }
 

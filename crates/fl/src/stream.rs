@@ -7,7 +7,7 @@
 //! server instead runs one [`StreamingServer`] per round: each arriving
 //! update (optionally quantized for the wire) is decoded into a scratch
 //! buffer, validated exactly like the batch transport path
-//! (`sim::server_accepts`: dimension, all-finite, not the all-zero dead
+//! (`round::server_accepts`: dimension, all-finite, not the all-zero dead
 //! buffer), and either folded into O(shards·d + reservoir·d) aggregation
 //! state or quarantined. Nothing per-client is retained.
 
@@ -79,7 +79,7 @@ impl StreamingServer {
     }
 
     fn submit_validated(&mut self, payload: &[f32], weight: f32) -> Submit {
-        if crate::sim::server_accepts(payload, self.d) {
+        if crate::round::server_accepts(payload, self.d) {
             self.agg.ingest(payload, weight);
             self.accepted += 1;
             Submit::Accepted

@@ -1,0 +1,462 @@
+//! Deterministic wire-level chaos proxy (DESIGN.md §4g).
+//!
+//! A loopback TCP proxy that sits between load-generator clients and the
+//! aggregation server and injects faults at exact frame boundaries:
+//! per-frame delay, one-byte payload corruption (caught by the frame
+//! checksum at the receiving end), mid-frame truncation followed by
+//! connection teardown, and whole-connection drops.
+//!
+//! Which fault (if any) strikes a given frame is a *pure function* of
+//! `(seed, connection id, direction, frame index)` — no RNG object, no
+//! wall-clock input — so a chaos schedule is reproducible run-to-run for
+//! the same connection/frame arrival structure. (Retries change frame
+//! indices, so chaos runs are not bitwise-scripted end-to-end; what *is*
+//! guaranteed, and what the soak test pins, is that the aggregation
+//! transcript survives any schedule bitwise-unchanged, because every
+//! injected fault is repaired by checksums, teardown and client retry.)
+
+use crate::wire;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Which way a frame is travelling through the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    ClientToServer,
+    /// Server → client.
+    ServerToClient,
+}
+
+impl Direction {
+    fn tag(self) -> u64 {
+        match self {
+            Direction::ClientToServer => 0,
+            Direction::ServerToClient => 1,
+        }
+    }
+}
+
+/// The fault injected into one forwarded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Forward untouched.
+    Forward,
+    /// Sleep this many milliseconds, then forward.
+    Delay(u64),
+    /// Flip one payload byte before forwarding (the receiver's checksum
+    /// catches it and tears the connection down).
+    Corrupt,
+    /// Forward only a prefix of the frame, then tear the connection down
+    /// (a mid-frame crash of the link).
+    Truncate,
+    /// Tear the connection down without forwarding.
+    Drop,
+}
+
+/// Per-frame fault rates in parts-per-million, plus the schedule seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosProfile {
+    /// Schedule seed: same seed, same per-(conn, direction, frame) faults.
+    pub seed: u64,
+    /// Delay probability (ppm).
+    pub delay_ppm: u32,
+    /// Injected delay in milliseconds.
+    pub delay_ms: u64,
+    /// One-byte payload corruption probability (ppm).
+    pub corrupt_ppm: u32,
+    /// Mid-frame truncation probability (ppm).
+    pub truncate_ppm: u32,
+    /// Connection-drop probability (ppm).
+    pub drop_ppm: u32,
+}
+
+impl ChaosProfile {
+    /// No faults at all: the proxy is a transparent frame forwarder.
+    pub fn off(seed: u64) -> ChaosProfile {
+        ChaosProfile {
+            seed,
+            delay_ppm: 0,
+            delay_ms: 0,
+            corrupt_ppm: 0,
+            truncate_ppm: 0,
+            drop_ppm: 0,
+        }
+    }
+
+    /// The soak-test profile: ~13% of frames suffer *something* — enough
+    /// to exercise every repair path many times per round without
+    /// stalling the run.
+    pub fn light(seed: u64) -> ChaosProfile {
+        ChaosProfile {
+            seed,
+            delay_ppm: 60_000,
+            delay_ms: 3,
+            corrupt_ppm: 30_000,
+            truncate_ppm: 20_000,
+            drop_ppm: 20_000,
+        }
+    }
+
+    /// `true` when every fault rate is zero.
+    pub fn is_off(&self) -> bool {
+        self.delay_ppm == 0 && self.corrupt_ppm == 0 && self.truncate_ppm == 0 && self.drop_ppm == 0
+    }
+
+    /// The fault for frame number `frame` of connection `conn` in
+    /// direction `dir` — pure, so unit tests can assert the schedule and
+    /// reruns see the same faults at the same frame positions.
+    pub fn action(&self, conn: u64, dir: Direction, frame: u64) -> ChaosAction {
+        let draw = mix64(
+            self.seed ^ 0xC4A0_5C11A0_u64,
+            conn.wrapping_mul(3).wrapping_add(dir.tag()),
+            frame,
+        );
+        let r = (draw % 1_000_000) as u32;
+        let mut edge = self.drop_ppm;
+        if r < edge {
+            return ChaosAction::Drop;
+        }
+        edge += self.truncate_ppm;
+        if r < edge {
+            return ChaosAction::Truncate;
+        }
+        edge += self.corrupt_ppm;
+        if r < edge {
+            return ChaosAction::Corrupt;
+        }
+        edge += self.delay_ppm;
+        if r < edge {
+            return ChaosAction::Delay(self.delay_ms);
+        }
+        ChaosAction::Forward
+    }
+}
+
+/// SplitMix64-style finalizer over three words: the chaos schedule's (and
+/// the client backoff jitter's) only source of "randomness".
+pub(crate) fn mix64(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// Counts of injected faults, for soak-test vacuity checks and bench
+/// reporting.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Frames forwarded untouched.
+    pub forwarded: AtomicU64,
+    /// Frames delayed.
+    pub delayed: AtomicU64,
+    /// Frames corrupted.
+    pub corrupted: AtomicU64,
+    /// Frames truncated (connection then torn down).
+    pub truncated: AtomicU64,
+    /// Connections dropped by the drop action.
+    pub dropped: AtomicU64,
+    /// Connections proxied in total.
+    pub connections: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Total injected faults (everything except clean forwards).
+    pub fn injected(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+            + self.corrupted.load(Ordering::Relaxed)
+            + self.truncated.load(Ordering::Relaxed)
+            + self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// A running chaos proxy. Dropping it (or calling
+/// [`ChaosProxy::shutdown`]) stops the accept loop and tears down every
+/// live proxied connection.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+    live: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port, forwarding to
+    /// `upstream` under `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-creation failures.
+    pub fn spawn(upstream: SocketAddr, profile: ChaosProfile) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stats = Arc::new(ChaosStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let t_stats = Arc::clone(&stats);
+        let t_stop = Arc::clone(&stop);
+        let t_live = Arc::clone(&live);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_id = 0u64;
+            while !t_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        conn_id += 1;
+                        t_stats.connections.fetch_add(1, Ordering::Relaxed);
+                        proxy_connection(
+                            client, upstream, conn_id, profile, &t_stats, &t_live, &t_stop,
+                        );
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(ChaosProxy {
+            addr,
+            stats,
+            stop,
+            live,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fault-injection counters.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Stops accepting and tears down all live proxied connections.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Ok(mut streams) = self.live.lock() {
+            for s in streams.drain(..) {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn register(live: &Mutex<Vec<TcpStream>>, s: &TcpStream) {
+    if let (Ok(mut l), Ok(c)) = (live.lock(), s.try_clone()) {
+        l.push(c);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn proxy_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    conn_id: u64,
+    profile: ChaosProfile,
+    stats: &Arc<ChaosStats>,
+    live: &Arc<Mutex<Vec<TcpStream>>>,
+    stop: &Arc<AtomicBool>,
+) {
+    // A connect failure (server down mid-kill) simply drops the client
+    // connection; the client's retry loop absorbs it.
+    let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    // Pump reads block at most this long, so shutdown() never waits on an
+    // idle peer for more than one tick.
+    let _ = client.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = server.set_read_timeout(Some(Duration::from_millis(250)));
+    register(live, &client);
+    register(live, &server);
+
+    for dir in [Direction::ClientToServer, Direction::ServerToClient] {
+        let (Ok(src), Ok(dst)) = (client.try_clone(), server.try_clone()) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+            return;
+        };
+        let (src, dst) = match dir {
+            Direction::ClientToServer => (src, dst),
+            Direction::ServerToClient => (dst, src),
+        };
+        let stats = Arc::clone(stats);
+        let stop = Arc::clone(stop);
+        std::thread::spawn(move || pump(src, dst, conn_id, dir, profile, &stats, &stop));
+    }
+}
+
+/// Forwards frames from `src` to `dst`, injecting the profile's faults.
+/// Exits (tearing both ends down) on any fatal fault, read error, or
+/// proxy shutdown.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    conn_id: u64,
+    dir: Direction,
+    profile: ChaosProfile,
+    stats: &ChaosStats,
+    stop: &AtomicBool,
+) {
+    let teardown = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    };
+    let mut frame_idx = 0u64;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            teardown(&src, &dst);
+            return;
+        }
+        let raw = match wire::read_raw_frame(&mut src, wire::DEFAULT_MAX_FRAME) {
+            Ok(raw) => raw,
+            Err(e) if e.is_timeout() => continue, // idle link: poll the stop flag
+            Err(_) => {
+                teardown(&src, &dst);
+                return;
+            }
+        };
+        let action = profile.action(conn_id, dir, frame_idx);
+        frame_idx += 1;
+        let ok = match action {
+            ChaosAction::Forward => {
+                stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                dst.write_all(&raw.bytes).is_ok()
+            }
+            ChaosAction::Delay(ms) => {
+                stats.delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(ms));
+                dst.write_all(&raw.bytes).is_ok()
+            }
+            ChaosAction::Corrupt => {
+                stats.corrupted.fetch_add(1, Ordering::Relaxed);
+                let mut bytes = raw.bytes;
+                let range = wire::HEADER_LEN..bytes.len();
+                // Flip one byte: in the payload when there is one, else in
+                // the checksum field — either way the receiver rejects it.
+                let at = if range.is_empty() {
+                    wire::HEADER_LEN - 1
+                } else {
+                    range.start + (mix64(profile.seed, conn_id, frame_idx) as usize) % range.len()
+                };
+                bytes[at] ^= 0x20;
+                dst.write_all(&bytes).is_ok()
+            }
+            ChaosAction::Truncate => {
+                stats.truncated.fetch_add(1, Ordering::Relaxed);
+                let cut = raw.bytes.len() / 2;
+                let _ = dst.write_all(&raw.bytes[..cut]);
+                teardown(&src, &dst);
+                return;
+            }
+            ChaosAction::Drop => {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                teardown(&src, &dst);
+                return;
+            }
+        };
+        if !ok {
+            teardown(&src, &dst);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_its_inputs() {
+        let p = ChaosProfile::light(42);
+        for conn in 0..5u64 {
+            for dir in [Direction::ClientToServer, Direction::ServerToClient] {
+                for frame in 0..200u64 {
+                    assert_eq!(p.action(conn, dir, frame), p.action(conn, dir, frame));
+                }
+            }
+        }
+        // Different seeds give different schedules (overwhelmingly).
+        let q = ChaosProfile::light(43);
+        let differs = (0..2000u64).any(|f| {
+            p.action(0, Direction::ClientToServer, f) != q.action(0, Direction::ClientToServer, f)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn light_profile_exercises_every_action() {
+        let p = ChaosProfile::light(7);
+        let mut seen = [false; 5];
+        for conn in 0..4u64 {
+            for frame in 0..3000u64 {
+                let i = match p.action(conn, Direction::ClientToServer, frame) {
+                    ChaosAction::Forward => 0,
+                    ChaosAction::Delay(_) => 1,
+                    ChaosAction::Corrupt => 2,
+                    ChaosAction::Truncate => 3,
+                    ChaosAction::Drop => 4,
+                };
+                seen[i] = true;
+            }
+        }
+        assert_eq!(seen, [true; 5]);
+    }
+
+    #[test]
+    fn off_profile_always_forwards() {
+        let p = ChaosProfile::off(99);
+        assert!(p.is_off());
+        for frame in 0..5000u64 {
+            assert_eq!(
+                p.action(1, Direction::ServerToClient, frame),
+                ChaosAction::Forward
+            );
+        }
+    }
+
+    #[test]
+    fn fault_rates_roughly_match_ppm() {
+        let p = ChaosProfile::light(3);
+        let n = 100_000u64;
+        let mut drops = 0u64;
+        for frame in 0..n {
+            if p.action(9, Direction::ClientToServer, frame) == ChaosAction::Drop {
+                drops += 1;
+            }
+        }
+        let ppm = drops * 1_000_000 / n;
+        assert!(
+            (10_000..40_000).contains(&ppm),
+            "drop rate {ppm}ppm far from configured {}ppm",
+            p.drop_ppm
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Client-side connection handling: reconnect, deterministic jittered
+//! exponential backoff, and at-least-once submission with server-side
+//! dedup (DESIGN.md §4g).
+//!
+//! The client's durability contract is *retry until durable*: a
+//! submission is finished only when the server answers `Accepted`
+//! (persisted now) or `Duplicate` (persisted earlier; the first ack was
+//! lost), or the round has moved on (`WrongRound`). Everything else —
+//! connection resets, checksum teardown, timeouts, `BUSY` backpressure —
+//! feeds the retry loop. Backoff jitter comes from the same pure `mix64`
+//! as the chaos schedule, seeded per policy: no RNG object, no entropy,
+//! reproducible run-to-run.
+
+use crate::chaos::mix64;
+use crate::wire::{self, Frame, StatusOk, Submit, Verdict, WireError};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure after retries are exhausted.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The operation kept failing for `attempts` tries; `last` is the
+    /// final failure.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last error observed.
+        last: String,
+    },
+    /// The server answered with a frame that makes no sense for the
+    /// request — a protocol bug, not a transient fault.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Jittered exponential backoff, deterministic per `(seed, stream, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry delay in milliseconds (doubles each attempt).
+    pub base_ms: u64,
+    /// Upper bound on any single delay.
+    pub cap_ms: u64,
+    /// Attempts before giving up.
+    pub max_attempts: u32,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base_ms: 5,
+            cap_ms: 400,
+            // Generous: must span a server kill + restart window.
+            max_attempts: 600,
+            seed: 0x5E1_7BAC0FF,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based) of logical
+    /// stream `stream`: exponential growth capped at `cap_ms`, with the
+    /// upper half jittered so concurrent clients do not retry in
+    /// lockstep. Pure — same inputs, same delay.
+    pub fn backoff_ms(&self, stream: u64, attempt: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cap_ms)
+            .max(1);
+        let half = exp / 2;
+        half + mix64(self.seed, stream, attempt as u64) % (exp - half + 1)
+    }
+}
+
+/// Counters of the repair work a client had to do — the soak test's
+/// evidence that chaos was actually exercised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Reconnections after an i/o or wire failure.
+    pub reconnects: u64,
+    /// `BUSY` replies honoured with a backoff.
+    pub busy: u64,
+    /// Total retries across all operations.
+    pub retries: u64,
+}
+
+/// One client connection to the aggregation server, with transparent
+/// reconnect-and-retry.
+pub struct ServeClient {
+    addr: SocketAddr,
+    io_timeout: Duration,
+    max_frame: usize,
+    policy: RetryPolicy,
+    stream: Option<TcpStream>,
+    /// Repair-work counters (reset at construction only).
+    pub stats: ClientStats,
+}
+
+impl ServeClient {
+    /// Creates a client for the server at `addr`. No connection is made
+    /// until the first request.
+    pub fn new(
+        addr: SocketAddr,
+        io_timeout: Duration,
+        max_frame: usize,
+        policy: RetryPolicy,
+    ) -> ServeClient {
+        ServeClient {
+            addr,
+            io_timeout,
+            max_frame,
+            policy,
+            stream: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    fn connect(&mut self) -> Result<(), WireError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.io_timeout)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        stream.set_nodelay(true)?;
+        self.stream = Some(stream);
+        // Handshake: verifies protocol compatibility before any payload.
+        match self.call_once(&Frame::Hello)? {
+            Frame::HelloOk { .. } => Ok(()),
+            other => {
+                self.stream = None;
+                Err(unexpected(&other))
+            }
+        }
+    }
+
+    /// One request/response on the current connection; drops the
+    /// connection on any failure so the next call reconnects.
+    fn call_once(&mut self, req: &Frame) -> Result<Frame, WireError> {
+        let max_frame = self.max_frame;
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "not connected",
+            )));
+        };
+        let result =
+            wire::write_frame(stream, req).and_then(|()| wire::read_frame(stream, max_frame));
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// One request/response, reconnecting first if needed.
+    fn call(&mut self, req: &Frame) -> Result<Frame, WireError> {
+        if self.stream.is_none() {
+            self.stats.reconnects += 1;
+            self.connect()?;
+        }
+        self.call_once(req)
+    }
+
+    /// Runs `req` with full retry: reconnects on transport failures and
+    /// honours `BUSY` backpressure, sleeping the policy's jittered
+    /// backoff between attempts. `stream` keys the jitter sequence.
+    /// Returns the first non-`BUSY` response.
+    fn call_retry(&mut self, req: &Frame, stream: u64) -> Result<Frame, ClientError> {
+        let mut last = String::new();
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                std::thread::sleep(Duration::from_millis(
+                    self.policy.backoff_ms(stream, attempt - 1),
+                ));
+            }
+            match self.call(req) {
+                Ok(Frame::Busy { retry_ms }) => {
+                    self.stats.busy += 1;
+                    last = format!("server busy (hint {retry_ms}ms)");
+                    // The server's hint is a floor under the policy's own
+                    // backoff for the next attempt.
+                    std::thread::sleep(Duration::from_millis(retry_ms as u64));
+                }
+                Ok(frame) => return Ok(frame),
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.policy.max_attempts,
+            last,
+        })
+    }
+
+    /// Polls server status; with `include_model` the reply carries the
+    /// global (and previous) model bits.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] after the policy's attempts.
+    pub fn status(&mut self, include_model: bool) -> Result<StatusOk, ClientError> {
+        match self.call_retry(&Frame::Status { include_model }, 0)? {
+            Frame::StatusOk(st) => Ok(*st),
+            other => Err(ClientError::Protocol(format!(
+                "status answered with {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    /// Submits one update until it is durable or moot. `Accepted` and
+    /// `Duplicate` both mean the submission is in the server's persisted
+    /// log; `WrongRound` means the round closed without it;
+    /// `Quarantined` means the server validator rejected the decoded
+    /// payload (retrying identical bytes cannot help).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] after the policy's attempts.
+    pub fn submit(&mut self, sub: &Submit) -> Result<(Verdict, u64), ClientError> {
+        let stream = (sub.round << 20) | sub.seq as u64;
+        match self.call_retry(&Frame::Submit(sub.clone()), stream)? {
+            Frame::SubmitOk { verdict, round } => Ok((verdict, round)),
+            other => Err(ClientError::Protocol(format!(
+                "submit answered with {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    /// Announces the round's cohort; returns the server's current round.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] after the policy's attempts.
+    pub fn meta(
+        &mut self,
+        round: u64,
+        expected: u32,
+        offline: u32,
+        diverged: u32,
+        silent: u32,
+    ) -> Result<u64, ClientError> {
+        let req = Frame::Meta {
+            round,
+            expected,
+            offline,
+            diverged,
+            silent,
+        };
+        match self.call_retry(&req, round ^ 0x4E7A)? {
+            Frame::MetaOk { round } => Ok(round),
+            other => Err(ClientError::Protocol(format!(
+                "meta answered with {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    /// Requests server shutdown (best-effort, no retry: a dead server is
+    /// already shut down).
+    pub fn shutdown_server(&mut self) {
+        let _ = self.call(&Frame::Shutdown);
+        self.stream = None;
+    }
+}
+
+fn unexpected(frame: &Frame) -> WireError {
+    let _ = frame;
+    WireError::Malformed("unexpected response frame")
+}
+
+fn frame_name(f: &Frame) -> &'static str {
+    match f {
+        Frame::Hello => "HELLO",
+        Frame::HelloOk { .. } => "HELLO_OK",
+        Frame::Submit(_) => "SUBMIT",
+        Frame::SubmitOk { .. } => "SUBMIT_OK",
+        Frame::Busy { .. } => "BUSY",
+        Frame::Meta { .. } => "META",
+        Frame::MetaOk { .. } => "META_OK",
+        Frame::Status { .. } => "STATUS",
+        Frame::StatusOk(_) => "STATUS_OK",
+        Frame::Shutdown => "SHUTDOWN",
+        Frame::ShutdownOk => "SHUTDOWN_OK",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            base_ms: 10,
+            cap_ms: 200,
+            max_attempts: 10,
+            seed: 5,
+        };
+        for stream in 0..4u64 {
+            for attempt in 0..12u32 {
+                let d = p.backoff_ms(stream, attempt);
+                assert_eq!(d, p.backoff_ms(stream, attempt), "pure");
+                let exp = (10u64 << attempt.min(16)).min(200);
+                assert!(
+                    d >= exp / 2 && d <= exp,
+                    "delay {d} outside [{}, {exp}]",
+                    exp / 2
+                );
+            }
+        }
+        // Different streams jitter differently somewhere.
+        assert!((0..10u32).any(|a| p.backoff_ms(1, a) != p.backoff_ms(2, a)));
+    }
+
+    #[test]
+    fn backoff_never_overflows_on_huge_attempts() {
+        let p = RetryPolicy::default();
+        assert!(p.backoff_ms(0, u32::MAX) <= p.cap_ms);
+        let tiny = RetryPolicy {
+            base_ms: 0,
+            cap_ms: 0,
+            max_attempts: 1,
+            seed: 0,
+        };
+        // Degenerate policy still returns a sane (≥ 0, tiny) delay.
+        assert!(tiny.backoff_ms(3, 7) <= 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # fabflip-serve
+//!
+//! The crash-tolerant TCP aggregation server of the `fabflip`
+//! reproduction, plus its companion client, load generator and
+//! wire-level chaos harness (DESIGN.md §4g).
+//!
+//! The crate is the *I/O shell* around the pure round engine in
+//! `fabflip_fl::round`: sockets, timeouts, queues and checkpoints live
+//! here; every aggregation decision remains a pure function of the
+//! ordered, validated submission log. That boundary is what makes the
+//! headline guarantee testable — a `kill -9` at any instant, under
+//! active chaos injection, resumes to a bitwise-identical global model,
+//! and a fault-free serve run produces the same per-round transcript as
+//! the batch simulator for the same `(seed, config)`.
+//!
+//! * [`wire`] — the length-prefixed, checksummed frame protocol,
+//! * [`server`] — thread-per-core server: bounded queues, BUSY
+//!   backpressure, per-round deadlines with cohort degradation, and a
+//!   per-submission write-ahead log,
+//! * [`client`] — reconnecting client with deterministic jittered
+//!   exponential backoff,
+//! * [`loadgen`] — drives a whole deployment's client side over the wire,
+//! * [`chaos`] — deterministic frame-level fault-injection proxy.
+
+pub mod chaos;
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use chaos::{ChaosProfile, ChaosProxy};
+pub use client::{ClientError, RetryPolicy, ServeClient};
+pub use loadgen::{run_load, LoadGenOptions, LoadGenReport};
+pub use server::{spawn, ServeError, ServeHandle, ServeOptions};

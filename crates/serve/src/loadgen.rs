@@ -1,0 +1,310 @@
+//! The CLI load generator: drives a full FL deployment's client side —
+//! [`ClientFleet`] staging, quantized encoding, META announcements and
+//! concurrent submission fan-out — against a running aggregation server
+//! (DESIGN.md §4g).
+//!
+//! The generator is *idempotent per round*: it stages each round exactly
+//! once (the fleet, including the adversary's cross-round state, lives
+//! here and survives server crashes), then sends META + submissions and
+//! re-sends until the server's round advances. Re-sent submissions are
+//! deduped server-side by sequence number, so crashes, chaos drops and
+//! lost acknowledgements all converge to the same persisted log.
+
+use crate::client::{ClientError, RetryPolicy, ServeClient};
+use crate::wire::{Submit, Verdict};
+use fabflip_fl::round::{ClientFleet, StagedRound};
+use fabflip_fl::{checkpoint, FlConfig, FlError};
+use fabflip_tensor::quant;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Load-generator failure.
+#[derive(Debug)]
+pub enum LoadGenError {
+    /// Invalid configuration (the fleet rejected it).
+    Fl(FlError),
+    /// The server stayed unreachable past the retry budget.
+    Client(ClientError),
+}
+
+impl std::fmt::Display for LoadGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadGenError::Fl(e) => write!(f, "fleet: {e}"),
+            LoadGenError::Client(e) => write!(f, "server unreachable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadGenError {}
+
+impl From<FlError> for LoadGenError {
+    fn from(e: FlError) -> LoadGenError {
+        LoadGenError::Fl(e)
+    }
+}
+
+impl From<ClientError> for LoadGenError {
+    fn from(e: ClientError) -> LoadGenError {
+        LoadGenError::Client(e)
+    }
+}
+
+/// How the load generator drives the server.
+#[derive(Debug, Clone)]
+pub struct LoadGenOptions {
+    /// The experiment configuration — must equal the server's (the
+    /// fingerprint in the server's checkpoint is keyed on it).
+    pub cfg: FlConfig,
+    /// Server (or chaos proxy) address.
+    pub addr: SocketAddr,
+    /// Concurrent submission connections.
+    pub senders: usize,
+    /// Per-connection socket timeout.
+    pub io_timeout: Duration,
+    /// Per-frame payload cap.
+    pub max_frame: usize,
+    /// Backoff policy for every connection.
+    pub retry: RetryPolicy,
+    /// Round-advance poll interval.
+    pub poll: Duration,
+    /// When `> 0`, skip every `omit_every`-th staged submission (by
+    /// sequence number) — a deliberate short cohort for exercising the
+    /// server's deadline degradation. `0` sends everything.
+    pub omit_every: usize,
+    /// Send SHUTDOWN once all rounds are done.
+    pub shutdown_when_done: bool,
+}
+
+impl LoadGenOptions {
+    /// Defaults for loopback runs.
+    pub fn new(cfg: FlConfig, addr: SocketAddr) -> LoadGenOptions {
+        LoadGenOptions {
+            cfg,
+            addr,
+            senders: 4,
+            io_timeout: Duration::from_secs(10),
+            max_frame: crate::wire::DEFAULT_MAX_FRAME,
+            retry: RetryPolicy::default(),
+            poll: Duration::from_millis(20),
+            omit_every: 0,
+            shutdown_when_done: false,
+        }
+    }
+}
+
+/// What one load-generation run did.
+#[derive(Debug, Clone, Default)]
+pub struct LoadGenReport {
+    /// Rounds the generator staged and drove.
+    pub rounds_driven: usize,
+    /// Submissions answered `Accepted`.
+    pub accepted: u64,
+    /// Submissions answered `Duplicate` (re-sends of durable entries).
+    pub duplicates: u64,
+    /// Submissions answered `Quarantined`.
+    pub quarantined: u64,
+    /// Submissions deliberately omitted (`omit_every`).
+    pub omitted: u64,
+    /// `BUSY` backpressure replies honoured.
+    pub busy: u64,
+    /// Reconnections across all connections.
+    pub reconnects: u64,
+    /// Retries across all connections.
+    pub retries: u64,
+    /// The server's final global model (f32 bits).
+    pub final_global_bits: Vec<u32>,
+}
+
+fn sent(seq: usize, omit_every: usize) -> bool {
+    omit_every == 0 || !(seq + 1).is_multiple_of(omit_every)
+}
+
+/// Runs the load generator until the server reports all rounds done.
+///
+/// # Errors
+///
+/// [`LoadGenError::Fl`] on an invalid config or a staging failure;
+/// [`LoadGenError::Client`] when the server stays unreachable past the
+/// retry budget.
+pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, LoadGenError> {
+    let mut fleet = ClientFleet::new(&opts.cfg)?;
+    let mut ctl = ServeClient::new(opts.addr, opts.io_timeout, opts.max_frame, opts.retry);
+    let mut report = LoadGenReport::default();
+    let mut staged: Option<(usize, StagedRound)> = None;
+
+    loop {
+        let st = ctl.status(true)?;
+        if st.done {
+            report.final_global_bits = st.global_bits.unwrap_or_default();
+            break;
+        }
+        let round = st.round as usize;
+
+        // Stage each round exactly once: the fleet's attack state must
+        // advance once per round, like the batch simulator's.
+        if staged.as_ref().map(|(r, _)| *r) != Some(round) {
+            let global = checkpoint::from_bits(st.global_bits.as_deref().unwrap_or(&[]));
+            let prev = st.prev_global_bits.as_deref().map(checkpoint::from_bits);
+            let sr = fleet.stage_round(round, &global, prev.as_deref())?;
+            report.rounds_driven += 1;
+            staged = Some((round, sr));
+        }
+        let Some((_, sr)) = staged.as_ref() else {
+            continue;
+        };
+
+        // Announce the cohort (idempotent; the server takes the first).
+        // The server cannot tell an omitted submission from a lost one,
+        // so META always announces the *full* staged cohort — omission
+        // shows up as a short cohort at the deadline, exactly like a
+        // real straggler.
+        let full = sr.submissions.len() as u32;
+        if opts.omit_every > 0 {
+            report.omitted += sr
+                .submissions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !sent(*i, opts.omit_every))
+                .count() as u64;
+        }
+        ctl.meta(
+            round as u64,
+            full,
+            sr.offline as u32,
+            sr.diverged as u32,
+            sr.silent as u32,
+        )?;
+
+        // Fan the round's submissions over the sender connections.
+        send_round(opts, round as u64, sr, &mut report)?;
+
+        // Wait for the server to close the round (or degrade past it).
+        let mut polls = 0u32;
+        loop {
+            let st = ctl.status(false)?;
+            if st.done || st.round as usize != round {
+                break;
+            }
+            std::thread::sleep(opts.poll);
+            polls += 1;
+            // Periodic re-send: anything lost to chaos or a crash gets
+            // another chance; durable entries answer `Duplicate`. Spaced
+            // out so the happy path is one send and a couple of polls.
+            if polls.is_multiple_of(16) {
+                send_round(opts, round as u64, sr, &mut report)?;
+            }
+        }
+        report.reconnects += ctl.stats.reconnects;
+        report.retries += ctl.stats.retries;
+        report.busy += ctl.stats.busy;
+        ctl.stats = Default::default();
+    }
+
+    if opts.shutdown_when_done {
+        ctl.shutdown_server();
+    }
+    report.reconnects += ctl.stats.reconnects;
+    report.retries += ctl.stats.retries;
+    report.busy += ctl.stats.busy;
+    Ok(report)
+}
+
+/// Sends (or re-sends) every non-omitted submission of the round,
+/// partitioned across `senders` concurrent connections. Stops early when
+/// any sender observes the round has moved on.
+fn send_round(
+    opts: &LoadGenOptions,
+    round: u64,
+    sr: &StagedRound,
+    report: &mut LoadGenReport,
+) -> Result<(), LoadGenError> {
+    let jobs: Vec<(usize, Submit)> = sr
+        .submissions
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| sent(*i, opts.omit_every))
+        .map(|(i, s)| {
+            (
+                i,
+                Submit {
+                    round,
+                    seq: i as u32,
+                    client: s.client as u32,
+                    malicious: s.malicious,
+                    weight_bits: s.weight.to_bits(),
+                    payload: quant::encode(opts.cfg.transport, &s.payload),
+                },
+            )
+        })
+        .collect();
+
+    let senders = opts.senders.max(1);
+    let moved = AtomicBool::new(false);
+    let accepted = AtomicU64::new(0);
+    let duplicates = AtomicU64::new(0);
+    let quarantined = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+    let reconnects = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let first_err: std::sync::Mutex<Option<ClientError>> = std::sync::Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for w in 0..senders {
+            let jobs = &jobs;
+            let moved = &moved;
+            let accepted = &accepted;
+            let duplicates = &duplicates;
+            let quarantined = &quarantined;
+            let busy = &busy;
+            let reconnects = &reconnects;
+            let retries = &retries;
+            let first_err = &first_err;
+            scope.spawn(move || {
+                let mut conn =
+                    ServeClient::new(opts.addr, opts.io_timeout, opts.max_frame, opts.retry);
+                for (_, sub) in jobs.iter().filter(|(i, _)| i % senders == w) {
+                    if moved.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match conn.submit(sub) {
+                        Ok((Verdict::Accepted, _)) => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok((Verdict::Duplicate, _)) => {
+                            duplicates.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok((Verdict::Quarantined, _)) => {
+                            quarantined.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok((Verdict::WrongRound, _)) => {
+                            moved.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(e) => {
+                            if let Ok(mut slot) = first_err.lock() {
+                                slot.get_or_insert(e);
+                            }
+                            break;
+                        }
+                    }
+                }
+                busy.fetch_add(conn.stats.busy, Ordering::Relaxed);
+                reconnects.fetch_add(conn.stats.reconnects, Ordering::Relaxed);
+                retries.fetch_add(conn.stats.retries, Ordering::Relaxed);
+            });
+        }
+    });
+
+    report.accepted += accepted.into_inner();
+    report.duplicates += duplicates.into_inner();
+    report.quarantined += quarantined.into_inner();
+    report.busy += busy.into_inner();
+    report.reconnects += reconnects.into_inner();
+    report.retries += retries.into_inner();
+    match first_err.into_inner() {
+        Ok(Some(e)) => Err(e.into()),
+        _ => Ok(()),
+    }
+}

@@ -1,0 +1,894 @@
+//! The length-prefixed wire protocol of the aggregation server
+//! (DESIGN.md §4g).
+//!
+//! Every frame is a fixed 20-byte header followed by `len` payload bytes,
+//! all little-endian:
+//!
+//! ```text
+//! magic: u32   version: u16   kind: u8   flags: u8   len: u32   checksum: u64
+//! ```
+//!
+//! `checksum` is FNV-1a (64-bit) over the payload bytes, so a frame
+//! corrupted in flight (the chaos proxy's corrupt action, a torn write)
+//! is detected at the receiver and the connection is torn down — never
+//! decoded into garbage state. `len` is validated against the receiver's
+//! frame cap *before* the payload is read, bounding per-connection memory.
+//!
+//! Submission payloads cross the wire in the configured
+//! [`fabflip_tensor::quant`] codec, so the server's decoded view is
+//! bitwise the batch simulator's `roundtrip_in_place` view — the parity
+//! anchor for the serve path.
+//!
+//! Encoding and decoding are pure functions of byte slices; only
+//! [`read_frame`]/[`write_frame`] touch a socket.
+
+use fabflip_tensor::quant::{Codec, Encoded, F16};
+use std::io::{Read, Write};
+
+/// Frame magic: rejects peers that are not speaking this protocol at all.
+pub const MAGIC: u32 = 0xFABF_11B5;
+
+/// Protocol version; bump on any incompatible frame-layout change.
+pub const VERSION: u16 = 1;
+
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Default per-frame payload cap (16 MiB — comfortably above any model
+/// this workspace trains, far below an allocation bomb).
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Wire-level failure. Every variant except `Io` means the stream can no
+/// longer be trusted to be frame-aligned: the connection must be torn
+/// down, never resynchronized.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure (includes read/write timeouts).
+    Io(std::io::Error),
+    /// Header magic mismatch: not this protocol.
+    BadMagic(u32),
+    /// Protocol version mismatch.
+    BadVersion(u16),
+    /// Declared payload length exceeds the receiver's frame cap.
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The receiver's cap.
+        max: usize,
+    },
+    /// Payload checksum mismatch: corrupted in flight.
+    Checksum,
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// Payload too short / malformed for its declared kind.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Oversize { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap {max}")
+            }
+            WireError::Checksum => write!(f, "payload checksum mismatch"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// `true` when the failure is a socket timeout (the peer may simply be
+    /// slow) rather than a protocol violation.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, WireError::Io(e) if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ))
+    }
+}
+
+/// FNV-1a (64-bit) over a byte slice — the frame payload checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The fate of one submission, as told to the submitting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Validated, logged and *persisted* — the client may forget it.
+    Accepted,
+    /// Rejected by the server validator; retrying the same bytes is
+    /// pointless.
+    Quarantined,
+    /// This sequence number is already in the persisted log (a retry of a
+    /// submission whose first acknowledgement was lost). As durable as
+    /// `Accepted`.
+    Duplicate,
+    /// The round has moved on; the submission no longer applies.
+    WrongRound,
+}
+
+impl Verdict {
+    fn code(self) -> u8 {
+        match self {
+            Verdict::Accepted => 0,
+            Verdict::Quarantined => 1,
+            Verdict::Duplicate => 2,
+            Verdict::WrongRound => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Verdict, WireError> {
+        match c {
+            0 => Ok(Verdict::Accepted),
+            1 => Ok(Verdict::Quarantined),
+            2 => Ok(Verdict::Duplicate),
+            3 => Ok(Verdict::WrongRound),
+            _ => Err(WireError::Malformed("verdict code")),
+        }
+    }
+}
+
+/// One client update submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submit {
+    /// The round this submission belongs to.
+    pub round: u64,
+    /// Canonical staging sequence number within the round — the server's
+    /// dedup and ordering key.
+    pub seq: u32,
+    /// Submitting client id.
+    pub client: u32,
+    /// Whether this is one of the adversary's copies (ground truth for the
+    /// DPR accounting, not a security boundary — the testbed's clients are
+    /// cooperative about labels even when their *updates* are poisoned).
+    pub malicious: bool,
+    /// Aggregation weight as f32 bits.
+    pub weight_bits: u32,
+    /// The update payload in the configured transport codec.
+    pub payload: Encoded,
+}
+
+/// Server status snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusOk {
+    /// The round currently in progress (= rounds closed so far).
+    pub round: u64,
+    /// All configured rounds have closed.
+    pub done: bool,
+    /// Validated submissions persisted for the round in progress.
+    pub logged: u32,
+    /// The round's announced cohort size, once its META arrived.
+    pub expected: Option<u32>,
+    /// Current global model (f32 bits), when requested.
+    pub global_bits: Option<Vec<u32>>,
+    /// Previous global model (f32 bits), when requested and present.
+    pub prev_global_bits: Option<Vec<u32>>,
+}
+
+/// A decoded protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client hello; the server answers with [`Frame::HelloOk`].
+    Hello,
+    /// Handshake reply: model dimension and round position.
+    HelloOk {
+        /// Model dimension `d`.
+        dim: u32,
+        /// Round currently in progress.
+        round: u64,
+        /// All rounds have closed.
+        done: bool,
+    },
+    /// One update submission.
+    Submit(Submit),
+    /// Submission verdict.
+    SubmitOk {
+        /// The submission's fate.
+        verdict: Verdict,
+        /// The server's current round (lets a client detect advancement
+        /// without a second round-trip).
+        round: u64,
+    },
+    /// Explicit backpressure: the submission queue is full; retry after a
+    /// jittered backoff of at least the hinted delay.
+    Busy {
+        /// Server-suggested minimum retry delay.
+        retry_ms: u32,
+    },
+    /// The round's cohort announcement: how many submissions to expect and
+    /// the client-side accounting of selected clients that never submit.
+    Meta {
+        /// The round being announced.
+        round: u64,
+        /// Staged submissions (the cohort size the server waits for).
+        expected: u32,
+        /// Selected clients with no local data.
+        offline: u32,
+        /// Benign clients whose local training went non-finite.
+        diverged: u32,
+        /// Selected malicious clients with nothing to submit.
+        silent: u32,
+    },
+    /// META acknowledgement carrying the server's current round.
+    MetaOk {
+        /// The server's current round.
+        round: u64,
+    },
+    /// Status poll.
+    Status {
+        /// Also return the global (and previous) model bits.
+        include_model: bool,
+    },
+    /// Status reply.
+    StatusOk(Box<StatusOk>),
+    /// Graceful server shutdown request.
+    Shutdown,
+    /// Shutdown acknowledgement.
+    ShutdownOk,
+}
+
+const K_HELLO: u8 = 1;
+const K_HELLO_OK: u8 = 2;
+const K_SUBMIT: u8 = 3;
+const K_SUBMIT_OK: u8 = 4;
+const K_BUSY: u8 = 5;
+const K_META: u8 = 6;
+const K_META_OK: u8 = 7;
+const K_STATUS: u8 = 8;
+const K_STATUS_OK: u8 = 9;
+const K_SHUTDOWN: u8 = 10;
+const K_SHUTDOWN_OK: u8 = 11;
+
+/// Little-endian payload writer.
+#[derive(Default)]
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bits(&mut self, v: &[u32]) {
+        self.u32(v.len() as u32);
+        for &b in v {
+            self.u32(b);
+        }
+    }
+    fn opt_bits(&mut self, v: Option<&Vec<u32>>) {
+        match v {
+            None => self.u8(0),
+            Some(bits) => {
+                self.u8(1);
+                self.bits(bits);
+            }
+        }
+    }
+}
+
+/// Little-endian payload reader over a borrowed slice.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(WireError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(WireError::Malformed("payload too short"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool flag")),
+        }
+    }
+
+    fn bits(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.u32()? as usize;
+        // The count is bounded by the already-capped payload length.
+        if n > self.buf.len().saturating_sub(self.pos) / 4 {
+            return Err(WireError::Malformed("bits count"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    fn opt_bits(&mut self) -> Result<Option<Vec<u32>>, WireError> {
+        if self.bool()? {
+            Ok(Some(self.bits()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing payload bytes"))
+        }
+    }
+}
+
+fn encode_payload_codec(e: &mut Enc, enc: &Encoded) {
+    match enc {
+        Encoded::F32(v) => {
+            e.u8(0);
+            e.u32(0); // scale slot unused
+            e.u32(v.len() as u32);
+            for &x in v {
+                e.u32(x.to_bits());
+            }
+        }
+        Encoded::F16(v) => {
+            e.u8(1);
+            e.u32(0);
+            e.u32(v.len() as u32);
+            for &F16(h) in v {
+                e.0.extend_from_slice(&h.to_le_bytes());
+            }
+        }
+        Encoded::I8 { scale, data } => {
+            e.u8(2);
+            e.u32(scale.to_bits());
+            e.u32(data.len() as u32);
+            for &q in data {
+                e.u8(q as u8);
+            }
+        }
+    }
+}
+
+fn decode_payload_codec(d: &mut Dec<'_>) -> Result<Encoded, WireError> {
+    let codec = d.u8()?;
+    let scale_bits = d.u32()?;
+    let count = d.u32()? as usize;
+    let per_elem = match codec {
+        0 => 4,
+        1 => 2,
+        2 => 1,
+        _ => return Err(WireError::Malformed("codec tag")),
+    };
+    let raw = d.take(
+        count
+            .checked_mul(per_elem)
+            .ok_or(WireError::Malformed("payload size overflow"))?,
+    )?;
+    Ok(match codec {
+        0 => Encoded::F32(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+                .collect(),
+        ),
+        1 => Encoded::F16(
+            raw.chunks_exact(2)
+                .map(|c| F16(u16::from_le_bytes([c[0], c[1]])))
+                .collect(),
+        ),
+        _ => Encoded::I8 {
+            scale: f32::from_bits(scale_bits),
+            data: raw.iter().map(|&b| b as i8).collect(),
+        },
+    })
+}
+
+/// The wire codec tag of an [`Encoded`] payload, mirroring [`Codec`].
+pub fn codec_of(enc: &Encoded) -> Codec {
+    match enc {
+        Encoded::F32(_) => Codec::F32,
+        Encoded::F16(_) => Codec::F16,
+        Encoded::I8 { .. } => Codec::I8,
+    }
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello => K_HELLO,
+            Frame::HelloOk { .. } => K_HELLO_OK,
+            Frame::Submit(_) => K_SUBMIT,
+            Frame::SubmitOk { .. } => K_SUBMIT_OK,
+            Frame::Busy { .. } => K_BUSY,
+            Frame::Meta { .. } => K_META,
+            Frame::MetaOk { .. } => K_META_OK,
+            Frame::Status { .. } => K_STATUS,
+            Frame::StatusOk(_) => K_STATUS_OK,
+            Frame::Shutdown => K_SHUTDOWN,
+            Frame::ShutdownOk => K_SHUTDOWN_OK,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        match self {
+            Frame::Hello | Frame::Shutdown | Frame::ShutdownOk => {}
+            Frame::HelloOk { dim, round, done } => {
+                e.u32(*dim);
+                e.u64(*round);
+                e.u8(*done as u8);
+            }
+            Frame::Submit(s) => {
+                e.u64(s.round);
+                e.u32(s.seq);
+                e.u32(s.client);
+                e.u8(s.malicious as u8);
+                e.u32(s.weight_bits);
+                encode_payload_codec(&mut e, &s.payload);
+            }
+            Frame::SubmitOk { verdict, round } => {
+                e.u8(verdict.code());
+                e.u64(*round);
+            }
+            Frame::Busy { retry_ms } => e.u32(*retry_ms),
+            Frame::Meta {
+                round,
+                expected,
+                offline,
+                diverged,
+                silent,
+            } => {
+                e.u64(*round);
+                e.u32(*expected);
+                e.u32(*offline);
+                e.u32(*diverged);
+                e.u32(*silent);
+            }
+            Frame::MetaOk { round } => e.u64(*round),
+            Frame::Status { include_model } => e.u8(*include_model as u8),
+            Frame::StatusOk(st) => {
+                e.u64(st.round);
+                e.u8(st.done as u8);
+                e.u32(st.logged);
+                match st.expected {
+                    None => e.u8(0),
+                    Some(x) => {
+                        e.u8(1);
+                        e.u32(x);
+                    }
+                }
+                e.opt_bits(st.global_bits.as_ref());
+                e.opt_bits(st.prev_global_bits.as_ref());
+            }
+        }
+        e.0
+    }
+
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        let mut d = Dec::new(payload);
+        let frame = match kind {
+            K_HELLO => Frame::Hello,
+            K_SHUTDOWN => Frame::Shutdown,
+            K_SHUTDOWN_OK => Frame::ShutdownOk,
+            K_HELLO_OK => Frame::HelloOk {
+                dim: d.u32()?,
+                round: d.u64()?,
+                done: d.bool()?,
+            },
+            K_SUBMIT => Frame::Submit(Submit {
+                round: d.u64()?,
+                seq: d.u32()?,
+                client: d.u32()?,
+                malicious: d.bool()?,
+                weight_bits: d.u32()?,
+                payload: decode_payload_codec(&mut d)?,
+            }),
+            K_SUBMIT_OK => Frame::SubmitOk {
+                verdict: Verdict::from_code(d.u8()?)?,
+                round: d.u64()?,
+            },
+            K_BUSY => Frame::Busy { retry_ms: d.u32()? },
+            K_META => Frame::Meta {
+                round: d.u64()?,
+                expected: d.u32()?,
+                offline: d.u32()?,
+                diverged: d.u32()?,
+                silent: d.u32()?,
+            },
+            K_META_OK => Frame::MetaOk { round: d.u64()? },
+            K_STATUS => Frame::Status {
+                include_model: d.bool()?,
+            },
+            K_STATUS_OK => Frame::StatusOk(Box::new(StatusOk {
+                round: d.u64()?,
+                done: d.bool()?,
+                logged: d.u32()?,
+                expected: if d.bool()? { Some(d.u32()?) } else { None },
+                global_bits: d.opt_bits()?,
+                prev_global_bits: d.opt_bits()?,
+            })),
+            k => return Err(WireError::UnknownKind(k)),
+        };
+        d.finish()?;
+        Ok(frame)
+    }
+
+    /// Serializes the frame to its full wire bytes (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind());
+        out.push(0); // flags, reserved
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// A validated raw frame: header plus payload bytes, not yet decoded.
+/// The chaos proxy forwards these so it can inject faults at exact frame
+/// boundaries without understanding payloads.
+#[derive(Debug, Clone)]
+pub struct RawFrame {
+    /// Full wire bytes (header + payload).
+    pub bytes: Vec<u8>,
+}
+
+impl RawFrame {
+    /// Payload byte range within [`RawFrame::bytes`].
+    pub fn payload_range(&self) -> std::ops::Range<usize> {
+        HEADER_LEN..self.bytes.len()
+    }
+}
+
+fn read_header(r: &mut impl Read, max_frame: usize) -> Result<(u8, usize, u64), WireError> {
+    let mut h = [0u8; HEADER_LEN];
+    r.read_exact(&mut h)?;
+    let magic = u32::from_le_bytes([h[0], h[1], h[2], h[3]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([h[4], h[5]]);
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = h[6];
+    let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+    if len as usize > max_frame {
+        return Err(WireError::Oversize {
+            len,
+            max: max_frame,
+        });
+    }
+    let checksum = u64::from_le_bytes([h[12], h[13], h[14], h[15], h[16], h[17], h[18], h[19]]);
+    Ok((kind, len as usize, checksum))
+}
+
+/// Reads and decodes one frame, enforcing the `max_frame` payload cap and
+/// verifying the payload checksum.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on socket failure (including timeouts); any other
+/// variant means the stream is no longer trustworthy and must be closed.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Frame, WireError> {
+    let (kind, len, checksum) = read_header(r, max_frame)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if fnv1a(&payload) != checksum {
+        return Err(WireError::Checksum);
+    }
+    Frame::decode_payload(kind, &payload)
+}
+
+/// Reads one frame without decoding its payload, still enforcing the
+/// frame cap (the checksum is *not* verified — the proxy forwards
+/// corruption; endpoints detect it).
+///
+/// # Errors
+///
+/// As [`read_frame`], minus checksum/kind validation.
+pub fn read_raw_frame(r: &mut impl Read, max_frame: usize) -> Result<RawFrame, WireError> {
+    let mut h = [0u8; HEADER_LEN];
+    r.read_exact(&mut h)?;
+    let magic = u32::from_le_bytes([h[0], h[1], h[2], h[3]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]) as usize;
+    if len > max_frame {
+        return Err(WireError::Oversize {
+            len: len as u32,
+            max: max_frame,
+        });
+    }
+    let mut bytes = vec![0u8; HEADER_LEN + len];
+    bytes[..HEADER_LEN].copy_from_slice(&h);
+    r.read_exact(&mut bytes[HEADER_LEN..])?;
+    Ok(RawFrame { bytes })
+}
+
+/// Writes one frame and flushes.
+///
+/// # Errors
+///
+/// Propagates socket failures (including write timeouts).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&frame.to_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello,
+            Frame::HelloOk {
+                dim: 1234,
+                round: 7,
+                done: false,
+            },
+            Frame::Submit(Submit {
+                round: 3,
+                seq: 9,
+                client: 41,
+                malicious: true,
+                weight_bits: 5.5f32.to_bits(),
+                payload: Encoded::F32(vec![1.0, -2.5, f32::NAN]),
+            }),
+            Frame::Submit(Submit {
+                round: 0,
+                seq: 0,
+                client: 0,
+                malicious: false,
+                weight_bits: 0,
+                payload: Encoded::F16(vec![F16(0x3C00), F16(0x8000)]),
+            }),
+            Frame::Submit(Submit {
+                round: 1,
+                seq: 2,
+                client: 3,
+                malicious: false,
+                weight_bits: 1.0f32.to_bits(),
+                payload: Encoded::I8 {
+                    scale: 0.25,
+                    data: vec![-127, 0, 64],
+                },
+            }),
+            Frame::SubmitOk {
+                verdict: Verdict::Duplicate,
+                round: 4,
+            },
+            Frame::Busy { retry_ms: 35 },
+            Frame::Meta {
+                round: 2,
+                expected: 6,
+                offline: 1,
+                diverged: 0,
+                silent: 2,
+            },
+            Frame::MetaOk { round: 2 },
+            Frame::Status {
+                include_model: true,
+            },
+            Frame::StatusOk(Box::new(StatusOk {
+                round: 5,
+                done: true,
+                logged: 3,
+                expected: Some(6),
+                global_bits: Some(vec![1, 2, 3]),
+                prev_global_bits: None,
+            })),
+            Frame::Shutdown,
+            Frame::ShutdownOk,
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips_bitwise() {
+        for f in all_frames() {
+            let bytes = f.to_bytes();
+            let mut r = &bytes[..];
+            let back = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap();
+            // NaN payloads break PartialEq; compare re-encoded bytes (bit
+            // transport is the actual contract).
+            assert_eq!(back.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn corrupting_any_payload_byte_is_detected() {
+        let f = Frame::Submit(Submit {
+            round: 1,
+            seq: 2,
+            client: 3,
+            malicious: false,
+            weight_bits: 2.0f32.to_bits(),
+            payload: Encoded::F32(vec![0.5; 16]),
+        });
+        let bytes = f.to_bytes();
+        for i in HEADER_LEN..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let mut r = &bad[..];
+            assert!(
+                matches!(
+                    read_frame(&mut r, DEFAULT_MAX_FRAME),
+                    Err(WireError::Checksum)
+                ),
+                "flip at byte {i} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn header_validation_rejects_garbage() {
+        let good = Frame::Hello.to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut &bad_magic[..], DEFAULT_MAX_FRAME),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xEE;
+        assert!(matches!(
+            read_frame(&mut &bad_version[..], DEFAULT_MAX_FRAME),
+            Err(WireError::BadVersion(_))
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[6] = 200;
+        assert!(matches!(
+            read_frame(&mut &bad_kind[..], DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownKind(200))
+        ));
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected_before_allocation() {
+        let f = Frame::Submit(Submit {
+            round: 0,
+            seq: 0,
+            client: 0,
+            malicious: false,
+            weight_bits: 0,
+            payload: Encoded::F32(vec![1.0; 64]),
+        });
+        let bytes = f.to_bytes();
+        assert!(matches!(
+            read_frame(&mut &bytes[..], 16),
+            Err(WireError::Oversize { .. })
+        ));
+        assert!(matches!(
+            read_raw_frame(&mut &bytes[..], 16),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let bytes = Frame::MetaOk { round: 3 }.to_bytes();
+        for cut in 0..bytes.len() {
+            let r = read_frame(&mut &bytes[..cut], DEFAULT_MAX_FRAME);
+            assert!(matches!(r, Err(WireError::Io(_))), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        // Hand-build a MetaOk whose payload has one extra byte (checksum
+        // valid over the padded payload, so only the decoder catches it).
+        let mut payload = 3u64.to_le_bytes().to_vec();
+        payload.push(0);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.push(7); // K_META_OK
+        bytes.push(0);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            read_frame(&mut &bytes[..], DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn raw_frames_preserve_bytes_and_boundaries() {
+        let a = Frame::Hello.to_bytes();
+        let b = Frame::Busy { retry_ms: 9 }.to_bytes();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        let mut r = &stream[..];
+        let ra = read_raw_frame(&mut r, DEFAULT_MAX_FRAME).unwrap();
+        let rb = read_raw_frame(&mut r, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(ra.bytes, a);
+        assert_eq!(rb.bytes, b);
+        assert!(ra.payload_range().is_empty());
+        assert_eq!(rb.payload_range().len(), 4);
+    }
+
+    #[test]
+    fn encoded_payloads_cross_every_codec() {
+        use fabflip_tensor::quant;
+        let v: Vec<f32> = (0..33).map(|i| ((i as f32) * 0.7).sin() * 2.0).collect();
+        for codec in [Codec::F32, Codec::F16, Codec::I8] {
+            let enc = quant::encode(codec, &v);
+            let f = Frame::Submit(Submit {
+                round: 0,
+                seq: 1,
+                client: 2,
+                malicious: false,
+                weight_bits: 1.0f32.to_bits(),
+                payload: enc.clone(),
+            });
+            let back = read_frame(&mut &f.to_bytes()[..], DEFAULT_MAX_FRAME).unwrap();
+            match back {
+                Frame::Submit(s) => {
+                    assert_eq!(codec_of(&s.payload), codec);
+                    let direct = quant::decode(&enc);
+                    let wired = quant::decode(&s.payload);
+                    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&direct), bits(&wired), "codec={}", codec.label());
+                }
+                other => panic!("expected Submit, got {other:?}"),
+            }
+        }
+    }
+}

@@ -45,10 +45,51 @@ static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// coordinate's accumulation.
 pub const CHUNK: usize = 4096;
 
-/// Hard ceiling on pool workers ever spawned, independent of how high the
-/// budget is set. Workers park when idle, so the only cost of a high-water
-/// mark is stack reservations.
-const MAX_POOL_WORKERS: usize = 64;
+/// Default ceiling on pool workers ever spawned, independent of how high
+/// the budget is set. Workers park when idle, so the only cost of a
+/// high-water mark is stack reservations. Many-core serving hosts can
+/// raise (or lower) it with `FABFLIP_MAX_POOL_WORKERS`, clamped to the
+/// detected core count — see [`max_pool_workers`].
+const DEFAULT_MAX_POOL_WORKERS: usize = 64;
+
+/// Cached resolved pool-worker cap (0 = not yet resolved).
+static POOL_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolves the pool-worker cap from the `FABFLIP_MAX_POOL_WORKERS`
+/// override and the detected core count. Pure, so the env/cores
+/// interaction is unit-testable without process-global races: an explicit
+/// positive override is honoured but clamped to `cores` (a cap above the
+/// hardware can only oversubscribe), anything else falls back to the
+/// default ceiling.
+fn resolve_pool_cap(env: Option<&str>, cores: usize) -> usize {
+    match env
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        Some(n) => n.min(cores.max(1)),
+        None => DEFAULT_MAX_POOL_WORKERS,
+    }
+}
+
+/// The process-wide cap on pool workers ever spawned, resolved once from
+/// `FABFLIP_MAX_POOL_WORKERS` (clamped to detected cores) or the built-in
+/// default of 64. Like [`max_threads`], the first reader wins and the
+/// value is cached for the life of the process.
+pub fn max_pool_workers() -> usize {
+    let cached = POOL_CAP.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(DEFAULT_MAX_POOL_WORKERS);
+    let n = resolve_pool_cap(
+        std::env::var("FABFLIP_MAX_POOL_WORKERS").ok().as_deref(),
+        cores,
+    );
+    POOL_CAP.store(n, Ordering::Relaxed);
+    n
+}
 
 thread_local! {
     /// True while this thread is executing blocks of a pool job (as the
@@ -194,12 +235,12 @@ fn pool() -> &'static PoolShared {
 /// Lazily tops the pool up to `wanted` workers (capped). Spawn failures
 /// are tolerated: the dispatch simply runs with fewer helpers.
 fn ensure_workers(shared: &'static PoolShared, wanted: usize) {
-    let target = wanted.min(MAX_POOL_WORKERS);
+    let target = wanted.min(max_pool_workers());
     let mut st = lock(&shared.state);
     while st.spawned < target {
         let res = std::thread::Builder::new()
             // fabcheck::allow(alloc_on_hot_path): one-time worker spawn —
-            // the pool tops up at most MAX_POOL_WORKERS times per process.
+            // the pool tops up at most max_pool_workers() times per process.
             .name(format!("fabflip-par-{}", st.spawned))
             .spawn(move || worker_loop(shared));
         match res {
@@ -687,6 +728,30 @@ mod tests {
     #[test]
     fn thread_budget_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_cap_resolver_clamps_and_defaults() {
+        // No override (or garbage): the built-in default, uncapped by
+        // cores — lazy spawning never tops past actual dispatch demand.
+        assert_eq!(resolve_pool_cap(None, 8), DEFAULT_MAX_POOL_WORKERS);
+        assert_eq!(resolve_pool_cap(Some(""), 8), DEFAULT_MAX_POOL_WORKERS);
+        assert_eq!(resolve_pool_cap(Some("lots"), 8), DEFAULT_MAX_POOL_WORKERS);
+        assert_eq!(resolve_pool_cap(Some("0"), 8), DEFAULT_MAX_POOL_WORKERS);
+        // An explicit override is honoured, clamped to detected cores.
+        assert_eq!(resolve_pool_cap(Some("128"), 256), 128);
+        assert_eq!(resolve_pool_cap(Some(" 96 "), 128), 96);
+        assert_eq!(resolve_pool_cap(Some("1024"), 8), 8);
+        assert_eq!(resolve_pool_cap(Some("2"), 8), 2);
+        // Degenerate core detection still yields a positive cap.
+        assert_eq!(resolve_pool_cap(Some("4"), 0), 1);
+    }
+
+    #[test]
+    fn resolved_pool_cap_is_positive_and_stable() {
+        let a = max_pool_workers();
+        assert!(a >= 1);
+        assert_eq!(max_pool_workers(), a, "first resolution is cached");
     }
 
     #[cfg(debug_assertions)]
